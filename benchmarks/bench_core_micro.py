@@ -1,0 +1,92 @@
+"""Microbenchmarks of the library's hot paths.
+
+These are not paper experiments; they track the throughput of the
+simulator and the sequential substrate so performance regressions in the
+core loops are visible in benchmark history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GlobalFITFPolicy,
+    LRUPolicy,
+    LruMimicDynamicPartition,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    equal_partition,
+    simulate,
+)
+from repro.offline import decide_pif, dp_ftf
+from repro.problems import PIFInstance
+from repro.sequential import belady_faults, lru_faults_all_sizes
+from repro.workloads import uniform_workload, zipf_workload
+
+P, N, K, TAU = 4, 5000, 32, 1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return zipf_workload(P, N, 64, alpha=1.2, seed=0)
+
+
+def test_simulator_shared_lru(benchmark, workload):
+    result = benchmark(
+        lambda: simulate(workload, K, TAU, SharedStrategy(LRUPolicy))
+    )
+    assert result.total_faults + result.total_hits == workload.total_requests
+
+
+def test_simulator_shared_fitf(benchmark, workload):
+    result = benchmark(
+        lambda: simulate(workload, K, TAU, SharedStrategy(GlobalFITFPolicy))
+    )
+    assert result.total_faults > 0
+
+
+def test_simulator_static_partition(benchmark, workload):
+    part = equal_partition(K, P)
+    result = benchmark(
+        lambda: simulate(workload, K, TAU, StaticPartitionStrategy(part, LRUPolicy))
+    )
+    assert result.total_faults > 0
+
+
+def test_simulator_lemma3_mimic(benchmark, workload):
+    result = benchmark(
+        lambda: simulate(workload, K, TAU, LruMimicDynamicPartition())
+    )
+    assert result.total_faults > 0
+
+
+def test_sequential_belady_100k(benchmark):
+    seq = list(uniform_workload(1, 100_000, 256, seed=1)[0])
+    faults = benchmark(lambda: belady_faults(seq, 64))
+    assert faults > 0
+
+
+def test_sequential_lru_all_sizes_100k(benchmark):
+    seq = list(uniform_workload(1, 100_000, 256, seed=2)[0])
+    table = benchmark(lambda: lru_faults_all_sizes(seq, 128))
+    assert len(table) == 128
+
+
+def test_dp_ftf_toy(benchmark):
+    w = uniform_workload(2, 10, 3, seed=3)
+    faults = benchmark(lambda: dp_ftf(w, 3, 1))
+    assert faults > 0
+
+
+def test_dp_pif_toy(benchmark):
+    w = uniform_workload(2, 8, 3, seed=4)
+    inst = PIFInstance(w, 3, 1, deadline=20, bounds=(6, 6))
+    result = benchmark(lambda: decide_pif(inst))
+    assert result.feasible in (True, False)
+
+
+def test_fast_shared_lru(benchmark, workload):
+    from repro.core.fastsim import fast_shared_lru
+
+    result = benchmark(lambda: fast_shared_lru(workload, K, TAU))
+    assert result.total_faults > 0

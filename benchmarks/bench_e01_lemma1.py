@@ -1,0 +1,10 @@
+"""Benchmark E1: Lemma 1 — within a fixed static partition, deterministic online
+eviction is Theta(max_j k_j)-competitive and LRU meets the bound.
+
+See ``repro.experiments.e01_lemma1`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e01_lemma1(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E1", scale="full")

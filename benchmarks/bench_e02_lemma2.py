@@ -1,0 +1,10 @@
+"""Benchmark E2: Lemma 2 — any online-chosen static partition is Omega(n) off the
+offline-chosen one on the proof's workload.
+
+See ``repro.experiments.e02_lemma2`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e02_lemma2(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E2", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E3: Theorem 1.1 — shared LRU beats the offline-optimal static partition
+by Omega(n) on the turn-taking workload.
+
+See ``repro.experiments.e03_theorem1_shared`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e03_theorem1_shared(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E3", scale="full")

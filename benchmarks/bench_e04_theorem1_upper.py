@@ -1,0 +1,10 @@
+"""Benchmark E4: Theorem 1.2 — the matching upper bound S_LRU <= K * sP^OPT_OPT holds
+across adversarial and random workload families.
+
+See ``repro.experiments.e04_theorem1_upper`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e04_theorem1_upper(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E4", scale="full")

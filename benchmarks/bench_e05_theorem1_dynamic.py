@@ -1,0 +1,10 @@
+"""Benchmark E5: Theorem 1.3 — dynamic partitions with o(n) stage changes lose
+omega(1) (Omega(n) for O(1) stages) to shared LRU.
+
+See ``repro.experiments.e05_theorem1_dynamic`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e05_theorem1_dynamic(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E5", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E6: Lemma 3 — the LRU-mimicking dynamic partition replays shared LRU
+exactly on disjoint workloads (event-level equality).
+
+See ``repro.experiments.e06_lemma3`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e06_lemma3(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E6", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E7: Lemma 4 — shared LRU's competitive ratio grows as Omega(p(tau+1))
+against the sacrifice strategy.
+
+See ``repro.experiments.e07_lemma4`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e07_lemma4(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E7", scale="full")

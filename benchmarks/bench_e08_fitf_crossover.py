@@ -1,0 +1,10 @@
+"""Benchmark E8: Lemma 4 remark — global FITF stops being optimal past tau = K/p
+(the crossover against the sacrifice strategy).
+
+See ``repro.experiments.e08_fitf_crossover`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e08_fitf_crossover(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E8", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E9: Theorem 2 — the 3-PARTITION -> PIF reduction executed end-to-end:
+witness schedules meet every bound tightly; DP confirms tightness.
+
+See ``repro.experiments.e09_reduction`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e09_reduction(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E9", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E10: Theorem 6 — Algorithm 1 (FTF DP) scales polynomially in n and
+exponentially in K.
+
+See ``repro.experiments.e10_dp_scaling`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e10_dp_scaling(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E10", scale="full")

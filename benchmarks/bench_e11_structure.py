@@ -1,0 +1,10 @@
+"""Benchmark E11: Theorems 4 & 5 — honesty and per-sequence-FITF victim restrictions
+are free for optimal offline algorithms (exhaustive check).
+
+See ``repro.experiments.e11_structure`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e11_structure(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E11", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E12: Section 5.1 — at tau = 0 greedy global FITF attains the DP optimum
+on every instance; strict gaps appear for tau > 0.
+
+See ``repro.experiments.e12_tau0_fitf`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e12_tau0_fitf(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E12", scale="full")

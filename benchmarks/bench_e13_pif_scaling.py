@@ -1,0 +1,10 @@
+"""Benchmark E13: Theorem 7 — Algorithm 2 (PIF DP) scales polynomially in n; the
+feasibility frontier moves monotonically with the deadline.
+
+See ``repro.experiments.e13_pif_scaling`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e13_pif_scaling(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E13", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E14: Context sweep — strategy families across synthetic workload families
+and fault penalties (the introduction's motivating landscape).
+
+See ``repro.experiments.e14_policy_landscape`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e14_policy_landscape(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E14", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E15: Theorem 3 — the MAX-PIF gap identity
+OPT_PIF = OPT_4PART + 3n/4, executed on solved 4-PARTITION instances.
+
+See ``repro.experiments.e15_max_pif_gap`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e15_max_pif_gap(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E15", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E16: Section 6 — fault count vs makespan vs fairness:
+the objectives genuinely conflict, and PIF polices the trade-off.
+
+See ``repro.experiments.e16_objectives`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e16_objectives(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E16", scale="full")

@@ -1,0 +1,11 @@
+"""Benchmark E17: the power of scheduling — the paper's
+no-delays model vs Hassidim's scheduler-augmented model, measured on
+conflict workloads.
+
+See ``repro.experiments.e17_scheduling_power`` for the measurement code
+and DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e17_scheduling_power(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E17", scale="full")

@@ -1,0 +1,10 @@
+"""Benchmark E18: ablating the model's parallel-fetch assumption —
+bandwidth throttling stretches makespan but barely moves fault counts.
+
+See ``repro.experiments.e18_parallel_fetch`` for the measurement code and
+DESIGN.md Section 3 for the experiment index.
+"""
+
+
+def test_e18_parallel_fetch(benchmark, experiment_runner):
+    experiment_runner(benchmark, "E18", scale="full")

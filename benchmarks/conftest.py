@@ -1,0 +1,40 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_eXX_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index at full scale, times it with pytest-benchmark,
+prints the paper-style table, and asserts the claim's shape checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(Use ``-s`` to see the tables stream; they are also captured into the
+report on failure.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def experiment_runner():
+    """Run an experiment once under the benchmark timer, print its table
+    and assert its checks."""
+
+    def _run(benchmark, experiment_id: str, scale: str = "full"):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format_ascii())
+        assert result.ok, result.format_ascii()
+        return result
+
+    return _run

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The NP-completeness gadget, executed: 3-PARTITION -> PIF (Theorem 2).
+
+Takes a solvable 3-PARTITION instance, builds the paper's PIF instance
+(alternating two-page sequences, cache 4p/3, per-sequence fault bounds
+B - s_i + 4 at checkpoint B(tau+1)+4tau+5), solves the source instance,
+converts the solution into the witness serving schedule, runs it on the
+simulator and shows that every sequence meets its bound *exactly* —
+the reduction's accounting has zero slack.
+
+Run:  python examples/hardness_reduction.py
+"""
+
+from repro.analysis import Table
+from repro.hardness import (
+    ThreePartitionInstance,
+    reduce_3partition_to_pif,
+    verify_yes_schedule,
+)
+
+INSTANCE = ThreePartitionInstance(
+    values=(6, 7, 8, 7, 6, 7, 6, 6, 7), B=20
+)
+TAU = 1
+
+
+def main() -> None:
+    print(f"3-PARTITION instance: values={INSTANCE.values}, B={INSTANCE.B}")
+    solution = INSTANCE.solve()
+    print(f"solver found groups : {solution}")
+    for group in solution:
+        values = [INSTANCE.values[i] for i in group]
+        print(f"  group {group}: {' + '.join(map(str, values))} = {sum(values)}")
+    print()
+
+    pif = reduce_3partition_to_pif(INSTANCE, tau=TAU)
+    print("reduced PIF instance (Theorem 2):")
+    print(f"  sequences : {pif.num_cores} x alternating (alpha_i beta_i)")
+    print(f"  cache     : K = 4p/3 = {pif.cache_size}")
+    print(f"  deadline  : t = B(tau+1)+4tau+5 = {pif.deadline}")
+    print(f"  bounds    : b_i = B - s_i + 4 = {pif.bounds}")
+    print()
+
+    report = verify_yes_schedule(pif, solution, INSTANCE.values)
+    table = Table(
+        "witness schedule: faults by the checkpoint vs allowed bounds",
+        ["sequence", "s_i", "faults", "bound", "slack"],
+    )
+    for i, (f, b) in enumerate(
+        zip(report["faults_at_deadline"], report["bounds"])
+    ):
+        table.add_row(i, INSTANCE.values[i], f, b, b - f)
+    print(table.format_ascii())
+    print()
+    verdict = "MET (tight)" if report["ok"] else "VIOLATED"
+    print(f"all bounds {verdict}; total faults = {report['total_faults']}")
+    print()
+    print(
+        "Deciding whether such a serving exists is NP-complete; executing\n"
+        "one, given the 3-PARTITION solution, is just cache management —\n"
+        "the asymmetry the reduction exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

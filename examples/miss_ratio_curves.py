@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Miss-ratio curves and where the paper's separations live.
+
+Per-core miss-ratio curves (fault rate vs cache size) are exactly the
+tables the optimal-static-partition DP allocates over — and their knees
+explain the adversarial constructions:
+
+* the Lemma 4 workload puts every core's knee at ``K/p + 1``, one page
+  past the fair share, so sharing thrashes under LRU;
+* the optimal static partition reads the curves and gives each core its
+  knee if the budget allows — here it cannot, and someone must starve.
+
+Run:  python examples/miss_ratio_curves.py
+"""
+
+from repro.analysis import mrc_plot, workload_mrcs
+from repro.analysis.tables import Table
+from repro.offline import optimal_static_partition
+from repro.workloads import lemma4_workload, mixed_workload
+
+K, P = 8, 2
+
+
+def lemma4_section() -> None:
+    w = lemma4_workload(K, P, 400)
+    print(f"Lemma 4 workload (K={K}, p={P}; per-core working set K/p+1 = {K//P+1}):")
+    print(mrc_plot(list(w[0]), K, "lru", width=50, height=10))
+    print()
+    curves = workload_mrcs(w, K, "lru")
+    table = Table(
+        "per-core LRU miss ratios by cache size",
+        ["core", *[f"k={k}" for k in range(1, K + 1)]],
+    )
+    for j, curve in enumerate(curves):
+        table.add_row(j, *[f"{v:.2f}" for v in curve])
+    print(table.format_ascii())
+    by_opt = optimal_static_partition(w, K, "opt")
+    by_lru = optimal_static_partition(w, K, "lru")
+    print(
+        f"\noptimal partition under per-part Belady: {list(by_opt.partition)} "
+        f"({by_opt.faults} faults) — Belady rides the cycle at rate 1/k, so "
+        "balancing wins;"
+        f"\noptimal partition under per-part LRU   : {list(by_lru.partition)} "
+        f"({by_lru.faults} faults) — LRU is all-or-nothing on cycles, so the "
+        "best it can do is sacrifice one core entirely.\n"
+        "The eviction policy changes the *shape* of the right partition — "
+        "Lemma 1's point, read off the curves."
+    )
+    print()
+
+
+def heterogeneous_section() -> None:
+    w = mixed_workload([("hotcold", 16), ("scan", 6)], 600, seed=2)
+    print("Heterogeneous mix (hot/cold vs streaming scan):")
+    curves = workload_mrcs(w, 10, "lru")
+    labels = ["hotcold", "scan"]
+    for label, curve in zip(labels, curves):
+        knee = next(
+            (k + 1 for k, v in enumerate(curve) if v < 0.2), None
+        )
+        print(
+            f"  {label:>8}: miss ratios "
+            f"{[round(float(v), 2) for v in curve]} "
+            f"(knee at k={knee})"
+        )
+    best = optimal_static_partition(w, 10, "opt")
+    print(
+        f"  optimal partition of 10 cells: {list(best.partition)} "
+        f"({best.faults} faults) — the scan core gets its whole loop, "
+        "the skewed core its hot set."
+    )
+
+
+def main() -> None:
+    lemma4_section()
+    heterogeneous_section()
+
+
+if __name__ == "__main__":
+    main()

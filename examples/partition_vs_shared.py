@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Shared caches vs partitions: Theorem 1 in action.
+
+Builds the paper's turn-taking workload — cores take turns bursting
+through a working set slightly larger than their fair cache share while
+everyone else idles on one page — and compares:
+
+* shared LRU (``S_LRU``),
+* the *offline-optimal* static partition with optimal per-part eviction
+  (``sP^OPT_OPT``, computed exactly via the allocation DP),
+* an equal static partition with LRU,
+* staged dynamic partitions with a few stage switches.
+
+Theorem 1 says sharing wins by a factor growing linearly in the input
+length, and that a handful of partition adjustments cannot fix it.
+
+Run:  python examples/partition_vs_shared.py
+"""
+
+from repro import (
+    LRUPolicy,
+    SharedStrategy,
+    StagedPartitionStrategy,
+    StaticPartitionStrategy,
+    equal_partition,
+    simulate,
+)
+from repro.analysis import Table, ascii_plot
+from repro.offline import optimal_static_partition
+from repro.workloads import theorem1_workload
+
+K, P, TAU = 8, 2, 1
+
+
+def staged_schedule(total_requests: int, stages: int):
+    schedule = [(0, equal_partition(K, P))]
+    span = max(1, (2 * total_requests) // stages)
+    for i in range(1, stages):
+        sizes = [1] * P
+        sizes[i % P] = K - (P - 1)
+        schedule.append((i * span, sizes))
+    return schedule
+
+
+def main() -> None:
+    ns, ratios = [], []
+    table = Table(
+        f"Turn-taking workload (K={K}, p={P}, tau={TAU}): total faults",
+        ["x", "n", "S_LRU", "sP_OPT_OPT", "sP_eq_LRU", "dP_4stages", "best_partition"],
+    )
+    for x in (5, 20, 80, 320):
+        w = theorem1_workload(K, P, x, TAU)
+        n = w.total_requests
+        shared = simulate(w, K, TAU, SharedStrategy(LRUPolicy)).total_faults
+        opt_static = optimal_static_partition(w, K, "opt")
+        eq = simulate(
+            w, K, TAU, StaticPartitionStrategy(equal_partition(K, P), LRUPolicy)
+        ).total_faults
+        staged = simulate(
+            w, K, TAU, StagedPartitionStrategy(staged_schedule(n, 4), LRUPolicy)
+        ).total_faults
+        table.add_row(
+            x, n, shared, opt_static.faults, eq, staged, list(opt_static.partition)
+        )
+        ns.append(n)
+        ratios.append(opt_static.faults / shared)
+    print(table.format_ascii())
+    print()
+    print(
+        ascii_plot(
+            ns,
+            ratios,
+            logx=True,
+            logy=True,
+            width=60,
+            height=12,
+            title="sP_OPT_OPT / S_LRU vs n (log-log): the Omega(n) separation",
+        )
+    )
+    print()
+    print(
+        "Shared LRU pays only the compulsory misses (~K+p) while every\n"
+        "partition — even the offline-chosen one with per-part Belady —\n"
+        "pays for the full burst each turn: the Omega(n) separation of\n"
+        "Theorem 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

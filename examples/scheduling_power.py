@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Why the model matters: this paper vs Hassidim's scheduler.
+
+The single modelling decision separating this paper from Hassidim's
+(its main point of comparison) is whether the paging algorithm may delay
+sequences.  This script builds a *conflict workload* — two cores whose
+working sets cannot fit simultaneously — and shows:
+
+1. in the paper's model, even the exact offline optimum (Algorithm 1)
+   must pay capacity misses: the collision is unavoidable;
+2. in the scheduler-augmented model, a trivial stagger schedule (run the
+   cores one after the other) drops to compulsory misses only;
+3. the exhaustive scheduled optimum confirms the gap, and with the stall
+   budget forced to zero it collapses back to the paper's optimum —
+   the difference is scheduling, nothing else.
+
+Run:  python examples/scheduling_power.py
+"""
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.analysis import Table, render_timeline
+from repro.contrast import (
+    ScheduledSimulator,
+    StaggerScheduler,
+    scheduled_ftf_optimum,
+)
+from repro.offline import dp_ftf
+from repro.problems import FTFInstance
+
+WORKLOAD = Workload(
+    [
+        [("a", i % 2) for i in range(6)],
+        [("b", i % 2) for i in range(6)],
+    ]
+)
+K = 3  # both cores need 2 pages; 4 > K: they cannot both fit
+
+
+def main() -> None:
+    compulsory = len(WORKLOAD.universe)
+    table = Table(
+        f"Conflict workload: 2 cores x 2-page ping-pong, K={K} "
+        f"(compulsory = {compulsory})",
+        ["tau", "paper OPT (Alg.1)", "sched OPT (budget 0)", "sched OPT (budget 8)", "stagger LRU"],
+    )
+    for tau in (1, 2, 3):
+        inst = FTFInstance(WORKLOAD, K, tau)
+        paper = dp_ftf(WORKLOAD, K, tau)
+        zero = scheduled_ftf_optimum(inst, stall_budget=0)
+        free = scheduled_ftf_optimum(inst, stall_budget=8)
+        delay = len(WORKLOAD[0]) * (tau + 1) + 1
+        stagger = ScheduledSimulator(
+            WORKLOAD, K, tau, StaggerScheduler([0, delay])
+        ).run().total_faults
+        table.add_row(tau, paper, zero, free, stagger)
+    print(table.format_ascii())
+    print()
+
+    tau = 2
+    base = simulate(
+        WORKLOAD, K, tau, SharedStrategy(LRUPolicy), record_trace=True
+    )
+    print("paper's model, shared LRU — the cores grind against each other:")
+    print(render_timeline(base.trace, 2, tau, width=70))
+    print()
+    delay = len(WORKLOAD[0]) * (tau + 1) + 1
+    sched = ScheduledSimulator(
+        WORKLOAD, K, tau, StaggerScheduler([0, delay]), record_trace=True
+    ).run()
+    print("scheduler-augmented model, stagger [0, %d] — peaks de-collided:" % delay)
+    print(render_timeline(sched.trace, 2, tau, width=70))
+    print()
+    print(
+        "The stagger pays only compulsory misses but nearly doubles the\n"
+        "makespan — Hassidim's model trades latency for faults, which is\n"
+        "why the two papers need different offline algorithms and\n"
+        "different hardness proofs."
+    )
+
+
+if __name__ == "__main__":
+    main()

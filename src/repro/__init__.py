@@ -1,0 +1,126 @@
+"""repro — multicore paging: simulator, strategies, offline optima and
+hardness, reproducing López-Ortiz & Salinger, *Paging for Multicore
+Processors* (University of Waterloo TR CS-2011-12; SPAA 2011 brief
+announcement).
+
+Quick tour
+----------
+
+>>> from repro import Workload, simulate, SharedStrategy, LRUPolicy
+>>> w = Workload([[1, 2, 1, 2], [10, 11, 10, 11]])
+>>> simulate(w, cache_size=4, tau=1, strategy=SharedStrategy(LRUPolicy)).total_faults
+4
+
+Packages
+--------
+
+``repro.core``
+    The model of Section 3: request sequences, shared cache with fetch
+    delays, the parallel-step simulator.
+``repro.policies`` / ``repro.strategies``
+    Eviction policies and the shared / static-partition /
+    dynamic-partition strategy families of Section 4.
+``repro.sequential``
+    Classical single-core paging substrate (fast LRU/FIFO/Belady fault
+    counters, phase decompositions).
+``repro.offline``
+    Section 5 algorithms: the FTF and PIF dynamic programs, brute-force
+    cross-checks, optimal static partitions, the Lemma 4 sacrifice
+    strategy.
+``repro.hardness``
+    3-/4-PARTITION, the Theorem 2/3 reductions and the executable witness
+    schedule.
+``repro.workloads``
+    The adversarial constructions from every proof plus synthetic
+    workload families.
+``repro.analysis``
+    Ratio/sweep harness and table formatting used by the benchmarks.
+"""
+
+from repro.core import (
+    AccessEvent,
+    AccessKind,
+    CacheState,
+    FutureOracle,
+    RequestSequence,
+    SimResult,
+    Simulator,
+    Strategy,
+    StrategyError,
+    Trace,
+    Workload,
+    simulate,
+)
+from repro.policies import (
+    ARCPolicy,
+    ClockPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    GlobalFITFPolicy,
+    LFUPolicy,
+    LIFOPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    MarkingPolicy,
+    PerSequenceFITFPolicy,
+    RandomizedMarkingPolicy,
+    RandomPolicy,
+    SLRUPolicy,
+    TwoQPolicy,
+)
+from repro.problems import FTFInstance, PIFInstance
+from repro.strategies import (
+    AdaptiveWorkingSetPartition,
+    FlushWhenFullStrategy,
+    LruMimicDynamicPartition,
+    SharedStrategy,
+    StagedPartitionStrategy,
+    StaticPartitionStrategy,
+    equal_partition,
+    proportional_partition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCPolicy",
+    "AccessEvent",
+    "AccessKind",
+    "AdaptiveWorkingSetPartition",
+    "CacheState",
+    "ClockPolicy",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "FTFInstance",
+    "FlushWhenFullStrategy",
+    "FutureOracle",
+    "GlobalFITFPolicy",
+    "LFUPolicy",
+    "LIFOPolicy",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "LruMimicDynamicPartition",
+    "MRUPolicy",
+    "MarkingPolicy",
+    "PIFInstance",
+    "PerSequenceFITFPolicy",
+    "RandomPolicy",
+    "RandomizedMarkingPolicy",
+    "RequestSequence",
+    "SLRUPolicy",
+    "TwoQPolicy",
+    "SharedStrategy",
+    "SimResult",
+    "Simulator",
+    "StagedPartitionStrategy",
+    "StaticPartitionStrategy",
+    "Strategy",
+    "StrategyError",
+    "Trace",
+    "Workload",
+    "equal_partition",
+    "proportional_partition",
+    "simulate",
+    "__version__",
+]

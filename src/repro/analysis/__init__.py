@@ -1,0 +1,64 @@
+"""Experiment harness: ratio computation, parameter sweeps, tables,
+trace statistics and timeline rendering."""
+
+from repro.analysis.adversary import AdversaryResult, find_bad_instance
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.batch import BatchResult, batch_run, summarize
+from repro.analysis.dominance import (
+    StrategyPoint,
+    evaluate_panel,
+    panel_table,
+    pareto_front,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law, is_linear_growth
+from repro.analysis.mrc import miss_ratio_curve, mrc_plot, workload_mrcs
+from repro.analysis.randomized import ExpectedFaults, expected_faults
+from repro.analysis.competitive import (
+    StrategyResult,
+    fault_ratio,
+    run_strategies,
+    sweep,
+)
+from repro.analysis.stats import (
+    CoreProgress,
+    core_progress,
+    delay_accounting,
+    fault_time_series,
+    interfault_intervals,
+    windowed_working_set,
+)
+from repro.analysis.tables import Table
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "AdversaryResult",
+    "BatchResult",
+    "ExpectedFaults",
+    "PowerLawFit",
+    "CoreProgress",
+    "StrategyPoint",
+    "StrategyResult",
+    "Table",
+    "core_progress",
+    "delay_accounting",
+    "expected_faults",
+    "fault_ratio",
+    "fault_time_series",
+    "find_bad_instance",
+    "interfault_intervals",
+    "render_timeline",
+    "ascii_plot",
+    "batch_run",
+    "evaluate_panel",
+    "fit_power_law",
+    "is_linear_growth",
+    "miss_ratio_curve",
+    "mrc_plot",
+    "panel_table",
+    "pareto_front",
+    "run_strategies",
+    "summarize",
+    "sweep",
+    "windowed_working_set",
+    "workload_mrcs",
+]

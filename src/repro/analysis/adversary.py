@@ -1,0 +1,104 @@
+"""Automated adversary: search for inputs where an online strategy does
+badly against the exact optimum.
+
+The paper's lower bounds are hand-crafted; this tool hunts for bad
+instances automatically on exhaustively-solvable sizes — random restarts
+plus single-page mutations, hill-climbing on the ratio
+``online_faults / Algorithm-1-optimum``.  It rediscovers in seconds the
+phenomena the proofs formalise (LRU thrashing patterns, FITF's
+delay-blindness) and is the tool we used to find the counterexamples in
+``benchmarks/bench_ablations.py``.
+
+Exponential in the DP's parameters; keep ``p``, ``length`` and ``pages``
+tiny.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.request import Workload
+from repro.core.simulator import Simulator
+from repro.offline.dp_ftf import dp_ftf
+
+__all__ = ["AdversaryResult", "find_bad_instance"]
+
+
+@dataclass(frozen=True)
+class AdversaryResult:
+    """Worst instance found for a strategy."""
+
+    workload: Workload
+    ratio: float
+    online_faults: int
+    optimal_faults: int
+    evaluations: int
+
+
+def _random_workload(rng, p, length, pages) -> list[list]:
+    return [
+        [(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)
+    ]
+
+
+def _mutate(rng, seqs, pages) -> list[list]:
+    out = [list(s) for s in seqs]
+    j = rng.randrange(len(out))
+    if not out[j]:
+        return out
+    i = rng.randrange(len(out[j]))
+    out[j][i] = (j, rng.randrange(pages))
+    return out
+
+
+def find_bad_instance(
+    strategy_factory: Callable[[], object],
+    *,
+    cache_size: int = 3,
+    tau: int = 1,
+    p: int = 2,
+    length: int = 5,
+    pages: int = 3,
+    restarts: int = 5,
+    steps: int = 40,
+    seed: int = 0,
+) -> AdversaryResult:
+    """Hill-climb the online/OPT ratio over random disjoint workloads.
+
+    ``strategy_factory`` must build a fresh strategy per evaluation.
+    Returns the worst instance seen across all restarts.
+    """
+    rng = random.Random(seed)
+    evaluations = 0
+
+    def ratio_of(seqs) -> tuple[float, int, int]:
+        nonlocal evaluations
+        evaluations += 1
+        workload = Workload(seqs)
+        online = Simulator(
+            workload, cache_size, tau, strategy_factory()
+        ).run().total_faults
+        opt = dp_ftf(workload, cache_size, tau)
+        return (online / opt if opt else float("inf")), online, opt
+
+    best_seqs = None
+    best = (0.0, 0, 0)
+    for _ in range(restarts):
+        seqs = _random_workload(rng, p, length, pages)
+        current = ratio_of(seqs)
+        for _ in range(steps):
+            cand_seqs = _mutate(rng, seqs, pages)
+            cand = ratio_of(cand_seqs)
+            if cand[0] >= current[0]:
+                seqs, current = cand_seqs, cand
+        if current[0] > best[0]:
+            best_seqs, best = seqs, current
+    return AdversaryResult(
+        workload=Workload(best_seqs),
+        ratio=best[0],
+        online_faults=best[1],
+        optimal_faults=best[2],
+        evaluations=evaluations,
+    )

@@ -1,0 +1,103 @@
+"""Minimal ASCII plotting for terminal-first experiment output.
+
+No plotting stack is assumed (the repository is terminal/CI oriented);
+these helpers render growth curves — the Omega(n) separations, the
+p(tau+1) scaling — as character grids, optionally on log axes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_plot"]
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    if any(v <= 0 for v in values):
+        raise ValueError("log axis requires positive values")
+    return [math.log10(float(v)) for v in values]
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "o",
+    title: str | None = None,
+    connect: bool = True,
+) -> str:
+    """Render an (x, y) series as an ASCII chart.
+
+    Points are plotted with ``marker``; with ``connect=True`` straight
+    segments are interpolated with ``.`` between consecutive points.
+    Axis extremes are labelled with the raw (pre-log) values.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if width < 10 or height < 4:
+        raise ValueError("width >= 10 and height >= 4 required")
+
+    tx = _transform(xs, logx)
+    ty = _transform(ys, logy)
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def col(v: float) -> int:
+        return round((v - x_lo) / x_span * (width - 1))
+
+    def row(v: float) -> int:
+        return (height - 1) - round((v - y_lo) / y_span * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    if connect:
+        steps = width * 2
+        points = sorted(zip(tx, ty))
+        for (x1, y1), (x2, y2) in zip(points, points[1:]):
+            for i in range(steps + 1):
+                f = i / steps
+                x = x1 + f * (x2 - x1)
+                y = y1 + f * (y2 - y1)
+                grid[row(y)][col(x)] = "."
+    for x, y in zip(tx, ty):
+        grid[row(y)][col(x)] = marker
+
+    y_hi_label = f"{max(ys):g}"
+    y_lo_label = f"{min(ys):g}"
+    label_width = max(len(y_hi_label), len(y_lo_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = ""
+        if r == 0:
+            label = y_hi_label
+        elif r == height - 1:
+            label = y_lo_label
+        lines.append(f"{label.rjust(label_width)} |" + "".join(grid[r]))
+    x_axis = " " * label_width + " +" + "-" * width
+    lines.append(x_axis)
+    x_lo_label = f"{min(xs):g}"
+    x_hi_label = f"{max(xs):g}"
+    pad = width - len(x_lo_label) - len(x_hi_label)
+    lines.append(
+        " " * (label_width + 2) + x_lo_label + " " * max(1, pad) + x_hi_label
+    )
+    if logx or logy:
+        axes = []
+        if logx:
+            axes.append("x:log10")
+        if logy:
+            axes.append("y:log10")
+        lines.append(" " * (label_width + 2) + "(" + ", ".join(axes) + ")")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Seed-replicated batch runs with aggregation.
+
+Competitive-analysis experiments are worst-case, but the landscape
+experiments (E14) and any practical evaluation want *distributions* over
+random workloads.  :func:`batch_run` replicates a (workload-factory,
+strategy-factory) pair over seeds — optionally across processes, since
+the replicas are embarrassingly parallel — and aggregates fault counts
+into mean/std/min/max summaries.
+
+Everything passed in must be picklable for ``parallel=True`` (module-level
+functions and the library's strategies/factories are).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.simulator import Simulator
+
+__all__ = ["BatchResult", "batch_run", "summarize"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregated outcome of seed-replicated runs of one configuration."""
+
+    label: str
+    seeds: tuple[int, ...]
+    faults: tuple[int, ...]
+    makespans: tuple[int, ...]
+
+    @property
+    def mean_faults(self) -> float:
+        return float(np.mean(self.faults))
+
+    @property
+    def std_faults(self) -> float:
+        return float(np.std(self.faults))
+
+    @property
+    def min_faults(self) -> int:
+        return int(min(self.faults))
+
+    @property
+    def max_faults(self) -> int:
+        return int(max(self.faults))
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(np.mean(self.makespans))
+
+    def summary_row(self) -> tuple:
+        return (
+            self.label,
+            len(self.seeds),
+            self.mean_faults,
+            self.std_faults,
+            self.min_faults,
+            self.max_faults,
+            self.mean_makespan,
+        )
+
+
+def _one_replica(job) -> tuple[int, int, int]:
+    workload_factory, strategy_factory, cache_size, tau, seed = job
+    workload = workload_factory(seed)
+    strategy = strategy_factory()
+    res = Simulator(workload, cache_size, tau, strategy).run()
+    return seed, res.total_faults, res.makespan
+
+
+def batch_run(
+    label: str,
+    workload_factory: Callable[[int], object],
+    strategy_factory: Callable[[], object],
+    cache_size: int,
+    tau: int,
+    seeds: Sequence[int],
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> BatchResult:
+    """Run ``strategy_factory()`` on ``workload_factory(seed)`` for every
+    seed and aggregate.
+
+    ``workload_factory`` takes the seed and returns a workload; a fresh
+    strategy is built per replica so no state leaks between runs.
+    """
+    jobs = [
+        (workload_factory, strategy_factory, cache_size, tau, seed)
+        for seed in seeds
+    ]
+    if parallel and len(jobs) > 1:
+        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_one_replica, jobs))
+    else:
+        outcomes = [_one_replica(job) for job in jobs]
+    outcomes.sort()
+    return BatchResult(
+        label=label,
+        seeds=tuple(s for s, _, _ in outcomes),
+        faults=tuple(f for _, f, _ in outcomes),
+        makespans=tuple(m for _, _, m in outcomes),
+    )
+
+
+def summarize(results: Sequence[BatchResult]):
+    """Render a list of batch results as a Table."""
+    from repro.analysis.tables import Table
+
+    table = Table(
+        "Batch summary (faults over seeds)",
+        ["config", "seeds", "mean", "std", "min", "max", "mean_makespan"],
+    )
+    for result in results:
+        table.add_row(*result.summary_row())
+    return table

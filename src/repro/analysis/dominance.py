@@ -1,0 +1,91 @@
+"""Multi-objective strategy comparison: Pareto frontiers over
+(total faults, makespan, fairness).
+
+Section 6 of the paper argues no single objective captures multicore
+paging; this module evaluates a panel of strategies on one workload and
+reports which are Pareto-optimal across the three measures the
+repository implements (fault count — the paper's objective; makespan —
+Hassidim's; Jain fairness of the per-core fault vector — the
+conclusion's suggestion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.core.simulator import Simulator
+from repro.objectives.fairness import jain_index
+
+__all__ = ["StrategyPoint", "evaluate_panel", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class StrategyPoint:
+    """One strategy's position in objective space (lower is better for
+    faults and makespan; fairness is stored negated so that "lower is
+    better" holds uniformly)."""
+
+    name: str
+    faults: int
+    makespan: int
+    unfairness: float  # 1 - jain index
+
+    def objectives(self) -> tuple[float, float, float]:
+        return (float(self.faults), float(self.makespan), self.unfairness)
+
+    @property
+    def jain(self) -> float:
+        return 1.0 - self.unfairness
+
+
+def _dominates(a: StrategyPoint, b: StrategyPoint) -> bool:
+    ao, bo = a.objectives(), b.objectives()
+    return all(x <= y for x, y in zip(ao, bo)) and any(
+        x < y for x, y in zip(ao, bo)
+    )
+
+
+def evaluate_panel(
+    workload,
+    cache_size: int,
+    tau: int,
+    strategies: Sequence[tuple[str, object]],
+) -> list[StrategyPoint]:
+    """Run each (name, strategy) pair and collect objective points."""
+    points = []
+    for name, strategy in strategies:
+        res = Simulator(workload, cache_size, tau, strategy).run()
+        points.append(
+            StrategyPoint(
+                name=name,
+                faults=res.total_faults,
+                makespan=res.makespan,
+                unfairness=1.0 - jain_index(res.faults_per_core),
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[StrategyPoint]) -> list[StrategyPoint]:
+    """The non-dominated subset, in input order."""
+    return [
+        p
+        for p in points
+        if not any(_dominates(q, p) for q in points if q is not p)
+    ]
+
+
+def panel_table(points: Sequence[StrategyPoint]) -> Table:
+    """Render a panel with Pareto-front membership marked."""
+    front = set(id(p) for p in pareto_front(points))
+    table = Table(
+        "Multi-objective strategy panel (faults / makespan / Jain)",
+        ["strategy", "faults", "makespan", "jain", "pareto"],
+    )
+    for p in points:
+        table.add_row(
+            p.name, p.faults, p.makespan, round(p.jain, 3), id(p) in front
+        )
+    return table

@@ -1,0 +1,77 @@
+"""Miss-ratio curves (MRCs): fault rate as a function of cache size.
+
+The staple tool of cache analysis, here in the roles the paper gives it
+implicitly: per-core MRCs are exactly the fault tables the optimal
+static-partition DP allocates over, and their knees are where the
+partition-vs-shared separations live (a knee just above ``K/p`` is the
+Lemma 4 / Theorem 1 setup).
+
+LRU curves come from one Fenwick stack-distance pass
+(:func:`repro.sequential.lru_faults_all_sizes`); other policies are
+evaluated per size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.core.request import Workload
+from repro.sequential.faults import (
+    belady_faults,
+    fifo_faults,
+    lru_faults_all_sizes,
+)
+
+__all__ = ["miss_ratio_curve", "workload_mrcs", "mrc_plot"]
+
+
+def miss_ratio_curve(seq, max_size: int, policy: str = "lru") -> np.ndarray:
+    """``curve[k-1]`` = miss ratio of ``policy`` on ``seq`` with a
+    ``k``-page cache, for ``k = 1..max_size``."""
+    seq = list(seq)
+    n = len(seq)
+    if n == 0:
+        return np.zeros(max_size)
+    policy = policy.lower()
+    if policy == "lru":
+        faults = lru_faults_all_sizes(seq, max_size).astype(float)
+    elif policy == "fifo":
+        faults = np.array(
+            [fifo_faults(seq, k) for k in range(1, max_size + 1)], dtype=float
+        )
+    elif policy in ("opt", "belady", "fitf"):
+        faults = np.array(
+            [belady_faults(seq, k) for k in range(1, max_size + 1)],
+            dtype=float,
+        )
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return faults / n
+
+
+def workload_mrcs(
+    workload: Workload | list, max_size: int, policy: str = "lru"
+) -> list[np.ndarray]:
+    """Per-core miss-ratio curves of a workload."""
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    return [
+        miss_ratio_curve(list(workload[j]), max_size, policy)
+        for j in range(workload.num_cores)
+    ]
+
+
+def mrc_plot(
+    seq, max_size: int, policy: str = "lru", *, width: int = 60, height: int = 12
+) -> str:
+    """ASCII rendering of one miss-ratio curve."""
+    curve = miss_ratio_curve(seq, max_size, policy)
+    # ascii_plot needs positive ys on log axes; keep linear here.
+    return ascii_plot(
+        list(range(1, max_size + 1)),
+        [max(v, 1e-9) for v in curve],
+        width=width,
+        height=height,
+        title=f"miss ratio vs cache size ({policy.upper()})",
+    )

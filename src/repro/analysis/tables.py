@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints paper-style tables; this keeps formatting in
+one place (monospace-aligned ASCII and GitHub markdown).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Table:
+    """A small column-aligned table with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def format_ascii(self) -> str:
+        widths = self._widths()
+        def line(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        sep = "  ".join("-" * w for w in widths)
+        out = [self.title, line(self.columns), sep]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def format_markdown(self) -> str:
+        head = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([f"**{self.title}**", "", head, sep, *body])
+
+    def __str__(self) -> str:
+        return self.format_ascii()

@@ -1,0 +1,358 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiment E7 [--scale full] [--markdown]``
+    Run one reproduction experiment and print its table + checks.
+``report [--scale full] [--output EXPERIMENTS.md]``
+    Run every experiment and emit the paper-vs-measured report.
+``compare --workload zipf --tau 4 [...]``
+    Run the strategy panel on a generated workload and tabulate faults.
+``simulate --workload-file w.trace --strategy S_LRU -K 8 --tau 1``
+    Simulate one strategy on a workload from a trace file.
+``generate --workload phased -p 4 -n 500 --output w.trace``
+    Write a synthetic workload to a trace file.
+``opt --workload-file w.trace -K 3 --tau 1``
+    Exact offline optimum (Algorithm 1) — guarded to toy sizes.
+``timeline --workload theorem1 -p 2 -K 8 --tau 1 --width 80``
+    Render an ASCII core-by-time execution timeline.
+``profile --workload-file w.trace``
+    Print the locality profile of a workload (footprints, reuse
+    distances, working sets, phase counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro import (
+    AdaptiveWorkingSetPartition,
+    FlushWhenFullStrategy,
+    GlobalFITFPolicy,
+    LruMimicDynamicPartition,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    equal_partition,
+    simulate,
+)
+from repro.strategies import ProgressBalancingStrategy
+from repro.analysis import Table
+from repro.policies import ONLINE_POLICIES
+from repro.workloads import (
+    access_graph_workload,
+    cyclic_workload,
+    lemma4_workload,
+    load_workload,
+    phased_workload,
+    save_workload,
+    theorem1_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+__all__ = ["main", "build_parser", "make_strategy", "make_workload"]
+
+
+# ---------------------------------------------------------------------------
+# spec parsers
+# ---------------------------------------------------------------------------
+
+STRATEGY_HELP = (
+    "strategy spec: S_<POLICY> (shared; POLICY one of "
+    f"{', '.join(sorted(ONLINE_POLICIES))}, or FITF), sP_eq_<POLICY> "
+    "(equal static partition), dP_ws_<POLICY> (adaptive working-set "
+    "partition), dP_lemma3 (the Lemma 3 LRU mimic), FWF, "
+    "S_BAL (progress-balancing fair LRU)"
+)
+
+
+def _policy(name: str):
+    name = name.upper()
+    if name == "FITF":
+        return GlobalFITFPolicy
+    try:
+        return ONLINE_POLICIES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown policy {name!r}; choose from "
+            f"{', '.join(sorted(ONLINE_POLICIES))}, FITF"
+        )
+
+
+def make_strategy(spec: str, cache_size: int, num_cores: int):
+    """Build a strategy from a CLI spec string."""
+    if spec == "FWF":
+        return FlushWhenFullStrategy()
+    if spec == "S_BAL":
+        return ProgressBalancingStrategy()
+    if spec == "dP_lemma3":
+        return LruMimicDynamicPartition()
+    if spec.startswith("S_"):
+        return SharedStrategy(_policy(spec[2:]))
+    if spec.startswith("sP_eq_"):
+        return StaticPartitionStrategy(
+            equal_partition(cache_size, num_cores), _policy(spec[6:])
+        )
+    if spec.startswith("dP_ws_"):
+        return AdaptiveWorkingSetPartition(_policy(spec[6:]))
+    raise SystemExit(f"cannot parse strategy spec {spec!r}; {STRATEGY_HELP}")
+
+
+WORKLOAD_NAMES = (
+    "uniform",
+    "zipf",
+    "cyclic",
+    "phased",
+    "graph",
+    "lemma4",
+    "theorem1",
+)
+
+
+def make_workload(args) -> Workload:
+    """Build a synthetic workload from CLI arguments."""
+    name, p, n, seed = args.workload, args.cores, args.length, args.seed
+    K = args.cache_size
+    if name == "uniform":
+        return uniform_workload(p, n, max(2, K // p + 2), seed=seed)
+    if name == "zipf":
+        return zipf_workload(p, n, max(2, K), alpha=args.alpha, seed=seed)
+    if name == "cyclic":
+        return cyclic_workload(p, n, K // p + 1)
+    if name == "phased":
+        return phased_workload(p, n, max(2, K // p + 1), 4, seed=seed)
+    if name == "graph":
+        return access_graph_workload(p, n, nodes=max(8, K), seed=seed)
+    if name == "lemma4":
+        return lemma4_workload(K, p, n * p)
+    if name == "theorem1":
+        return theorem1_workload(K, p, max(2, n // (K + p)), args.tau)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose from {', '.join(WORKLOAD_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(args.id, scale=args.scale)
+    print(result.format_markdown() if args.markdown else result.format_ascii())
+    return 0 if result.ok else 1
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import experiments_report
+
+    text, ok = experiments_report(scale=args.scale)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0 if ok else 1
+
+
+def cmd_compare(args) -> int:
+    workload = make_workload(args)
+    specs = args.strategies or [
+        "S_LRU",
+        "S_FIFO",
+        "S_FITF",
+        "sP_eq_LRU",
+        "dP_ws_LRU",
+        "dP_lemma3",
+    ]
+    table = Table(
+        f"{args.workload}: p={workload.num_cores}, "
+        f"n={workload.total_requests}, K={args.cache_size}, tau={args.tau}",
+        ["strategy", "faults", "fault_rate", "makespan"],
+    )
+    for spec in specs:
+        strategy = make_strategy(spec, args.cache_size, workload.num_cores)
+        res = simulate(workload, args.cache_size, args.tau, strategy)
+        table.add_row(spec, res.total_faults, res.fault_rate(), res.makespan)
+    print(table.format_ascii())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    workload = load_workload(args.workload_file)
+    strategy = make_strategy(args.strategy, args.cache_size, workload.num_cores)
+    res = simulate(
+        workload,
+        args.cache_size,
+        args.tau,
+        strategy,
+        record_trace=args.trace > 0,
+    )
+    print(res.summary())
+    if args.trace > 0:
+        print()
+        print(res.trace.format(limit=args.trace))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    workload = make_workload(args)
+    save_workload(workload, args.output)
+    print(
+        f"wrote {args.output}: p={workload.num_cores}, "
+        f"n={workload.total_requests}, universe={len(workload.universe)}"
+    )
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.analysis import render_timeline
+
+    if args.workload_file:
+        workload = load_workload(args.workload_file)
+    else:
+        workload = make_workload(args)
+    strategy = make_strategy(args.strategy, args.cache_size, workload.num_cores)
+    res = simulate(
+        workload, args.cache_size, args.tau, strategy, record_trace=True
+    )
+    print(
+        render_timeline(
+            res.trace,
+            workload.num_cores,
+            args.tau,
+            start=args.start,
+            width=args.width,
+        )
+    )
+    print()
+    print(
+        f"faults={res.total_faults} hits={res.total_hits} "
+        f"makespan={res.makespan}"
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.workloads import profile_workload
+
+    if args.workload_file:
+        workload = load_workload(args.workload_file)
+    else:
+        workload = make_workload(args)
+    print(profile_workload(workload).table().format_ascii())
+    return 0
+
+
+def cmd_opt(args) -> int:
+    from repro.offline import minimum_total_faults
+    from repro.problems import FTFInstance
+
+    workload = load_workload(args.workload_file)
+    if workload.total_requests > args.max_requests:
+        raise SystemExit(
+            f"instance has {workload.total_requests} requests; Algorithm 1 "
+            f"is exponential in K and p — refusing above "
+            f"--max-requests={args.max_requests}"
+        )
+    result = minimum_total_faults(
+        FTFInstance(workload, args.cache_size, args.tau)
+    )
+    print(f"optimal total faults : {result.faults}")
+    print(f"DP states expanded   : {result.states_expanded}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def _add_workload_args(sub, with_tau=True):
+    sub.add_argument("--workload", default="zipf", choices=WORKLOAD_NAMES)
+    sub.add_argument("-p", "--cores", type=int, default=4)
+    sub.add_argument("-n", "--length", type=int, default=1000)
+    sub.add_argument("-K", "--cache-size", type=int, default=16)
+    sub.add_argument("--alpha", type=float, default=1.2, help="zipf exponent")
+    sub.add_argument("--seed", type=int, default=0)
+    if with_tau:
+        sub.add_argument("--tau", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multicore paging reproduction (López-Ortiz & Salinger, SPAA'11)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    sub = subs.add_parser("experiment", help="run one reproduction experiment")
+    sub.add_argument("id", help="experiment id, e.g. E7")
+    sub.add_argument("--scale", default="small", choices=("small", "full"))
+    sub.add_argument("--markdown", action="store_true")
+    sub.set_defaults(func=cmd_experiment)
+
+    sub = subs.add_parser("report", help="run all experiments, emit report")
+    sub.add_argument("--scale", default="small", choices=("small", "full"))
+    sub.add_argument("--output", default=None)
+    sub.set_defaults(func=cmd_report)
+
+    sub = subs.add_parser("compare", help="strategy panel on a workload")
+    _add_workload_args(sub)
+    sub.add_argument(
+        "--strategies", nargs="*", default=None, help=STRATEGY_HELP
+    )
+    sub.set_defaults(func=cmd_compare)
+
+    sub = subs.add_parser("simulate", help="simulate a trace file")
+    sub.add_argument("--workload-file", required=True)
+    sub.add_argument("--strategy", default="S_LRU", help=STRATEGY_HELP)
+    sub.add_argument("-K", "--cache-size", type=int, required=True)
+    sub.add_argument("--tau", type=int, default=1)
+    sub.add_argument(
+        "--trace", type=int, default=0, help="print the first N trace events"
+    )
+    sub.set_defaults(func=cmd_simulate)
+
+    sub = subs.add_parser("generate", help="write a synthetic workload")
+    _add_workload_args(sub)
+    sub.add_argument("--output", required=True)
+    sub.set_defaults(func=cmd_generate)
+
+    sub = subs.add_parser("timeline", help="ASCII execution timeline")
+    _add_workload_args(sub)
+    sub.add_argument("--workload-file", default=None)
+    sub.add_argument("--strategy", default="S_LRU", help=STRATEGY_HELP)
+    sub.add_argument("--start", type=int, default=0)
+    sub.add_argument("--width", type=int, default=100)
+    sub.set_defaults(func=cmd_timeline)
+
+    sub = subs.add_parser("profile", help="workload locality profile")
+    _add_workload_args(sub)
+    sub.add_argument("--workload-file", default=None)
+    sub.set_defaults(func=cmd_profile)
+
+    sub = subs.add_parser("opt", help="exact offline optimum (Algorithm 1)")
+    sub.add_argument("--workload-file", required=True)
+    sub.add_argument("-K", "--cache-size", type=int, required=True)
+    sub.add_argument("--tau", type=int, default=1)
+    sub.add_argument("--max-requests", type=int, default=40)
+    sub.set_defaults(func=cmd_opt)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

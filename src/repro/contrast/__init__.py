@@ -1,0 +1,23 @@
+"""The scheduler-augmented (Hassidim-style) contrast model.
+
+The paper's model forbids delaying requests; Hassidim's allows it.  This
+package implements the augmented model so the difference — the *power of
+scheduling* — is measurable (experiment E17)."""
+
+from repro.contrast.opt import scheduled_ftf_optimum
+from repro.contrast.scheduled import (
+    ScheduledSimulator,
+    SchedulingStrategy,
+    ServeAllScheduler,
+    StaggerScheduler,
+    ThrottledScheduler,
+)
+
+__all__ = [
+    "ScheduledSimulator",
+    "SchedulingStrategy",
+    "ServeAllScheduler",
+    "StaggerScheduler",
+    "ThrottledScheduler",
+    "scheduled_ftf_optimum",
+]

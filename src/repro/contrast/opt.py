@@ -1,0 +1,116 @@
+"""Exhaustive optimum in the scheduler-augmented model (toy sizes).
+
+Searches jointly over admission decisions (which ready cores to stall)
+and eviction choices, memoised on time-shifted states.  Unbounded
+stalling never terminates, so the search carries a *stall budget*: total
+extra idle core-steps allowed.  More budget can only help, so for any
+budget the result upper-bounds the true scheduled optimum — and since a
+zero-budget search is exactly the paper's model, the chain
+
+    scheduled_opt(budget) <= scheduled_opt(0) == FTF optimum
+
+quantifies the power of scheduling from above at every budget.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+
+from repro.problems import FTFInstance
+
+__all__ = ["scheduled_ftf_optimum"]
+
+_BIG = 10**9
+
+
+def scheduled_ftf_optimum(
+    instance: FTFInstance, stall_budget: int = 8
+) -> int:
+    """Minimum total faults when the strategy may stall ready cores, with
+    at most ``stall_budget`` total stalled core-steps."""
+    workload = instance.workload
+    if not workload.is_disjoint:
+        raise ValueError("scheduled optimum assumes disjoint workloads")
+    K, tau, p = instance.cache_size, instance.tau, workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = tuple(len(s) for s in seqs)
+
+    @lru_cache(maxsize=None)
+    def search(cache: frozenset, positions: tuple, offsets: tuple, budget: int) -> int:
+        active = [j for j in range(p) if positions[j] < lengths[j]]
+        if not active:
+            return 0
+        delta = min(offsets[j] for j in active)
+        cache_now = frozenset((q, max(0, b - delta)) for q, b in cache)
+        offs = [
+            (offsets[j] - delta) if positions[j] < lengths[j] else None
+            for j in range(p)
+        ]
+        ready = [j for j in active if offs[j] == 0]
+        resident = {q for q, b in cache_now if b == 0}
+
+        best = _BIG
+        # Choose the admitted subset; stalling costs budget per stalled
+        # ready core.  (Admitting nobody burns budget for every ready
+        # core and advances time by 1.)
+        for admit_count in range(len(ready), -1, -1):
+            stalled = len(ready) - admit_count
+            if stalled > budget:
+                continue
+            for admitted in combinations(ready, admit_count):
+                requested = {seqs[j][positions[j]] for j in admitted}
+                fault_pages = sorted(
+                    (q for q in requested if q not in resident), key=repr
+                )
+                npos = list(positions)
+                noffs = list(offs)
+                for j in ready:
+                    if j in admitted:
+                        npos[j] += 1
+                        is_fault = seqs[j][positions[j]] not in resident
+                        noffs[j] = (
+                            ((1 + tau) if is_fault else 1)
+                            if npos[j] < lengths[j]
+                            else None
+                        )
+                    else:
+                        noffs[j] = 1  # stalled: ready again next step
+                survivors = {
+                    (q, b) for q, b in cache_now if b > 0 or q in requested
+                }
+                droppable = sorted(
+                    (
+                        it
+                        for it in cache_now
+                        if it[1] == 0 and it[0] not in requested
+                    ),
+                    key=lambda it: repr(it[0]),
+                )
+                incoming = {(q, tau + 1) for q in fault_pages}
+                need = len(survivors) + len(incoming)
+                if need > K:
+                    continue
+                evict_count = max(0, need + len(droppable) - K)
+                if evict_count > len(droppable):
+                    continue
+                nbudget = budget - stalled
+                # When nothing was admitted, time still advances (offsets
+                # all >= 1 now), so recursion terminates via budget decay.
+                for victims in combinations(droppable, evict_count):
+                    new_cache = frozenset(
+                        (survivors | set(droppable) - set(victims)) | incoming
+                    )
+                    sub = search(
+                        new_cache, tuple(npos), tuple(noffs), nbudget
+                    )
+                    if sub < _BIG:
+                        best = min(best, len(fault_pages) + sub)
+        return best
+
+    offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
+    out = search(frozenset(), tuple([0] * p), offsets0, stall_budget)
+    search.cache_clear()
+    if out >= _BIG:
+        raise RuntimeError("no feasible scheduled execution found")
+    return out

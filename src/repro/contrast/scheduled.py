@@ -1,0 +1,292 @@
+"""The scheduler-augmented model (Hassidim's setting), as a contrast
+substrate.
+
+The paper's central modelling decision is that the paging algorithm
+*cannot* delay requests; Hassidim's model (its main point of comparison)
+allows the algorithm to stall sequences at will.  This module implements
+that augmented model in the same discrete-time frame, so the *power of
+scheduling* can be measured: how many faults does the freedom to stall
+save over the paper's model on the same workload?
+
+:class:`ScheduledSimulator` extends the serving loop with an admission
+decision: each step, the strategy picks which of the ready cores to
+serve; unserved ready cores simply wait.  With
+:class:`ServeAllScheduler` the model collapses back to the paper's
+(property-tested), so the two simulators differ by exactly the
+scheduling power.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro._util import check_nonnegative, check_positive
+from repro.core.cache import CacheState
+from repro.core.metrics import SimResult
+from repro.core.request import Workload
+from repro.core.trace import Trace
+from repro.core.types import AccessEvent, AccessKind, CoreId, Page, Time
+
+__all__ = [
+    "SchedulingStrategy",
+    "ServeAllScheduler",
+    "StaggerScheduler",
+    "ThrottledScheduler",
+    "ScheduledSimulator",
+]
+
+
+class SchedulingStrategy(abc.ABC):
+    """Strategy protocol for the scheduler-augmented model: admission
+    control plus eviction."""
+
+    def attach(self, workload: Workload, cache: CacheState, tau: int) -> None:
+        self.workload = workload
+        self.cache = cache
+        self.tau = tau
+
+    @abc.abstractmethod
+    def admit(self, ready: Sequence[CoreId], t: Time) -> Sequence[CoreId]:
+        """Choose which of the ready cores to serve at step ``t``.
+
+        Must return a subset of ``ready``; unserved cores stay ready."""
+
+    @abc.abstractmethod
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        """As in the base model: victim for a fault, or None for a free
+        cell."""
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None: ...
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None: ...
+
+    def on_evict(self, page: Page, t: Time) -> None: ...
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class _LRUMixin:
+    """Shared-LRU bookkeeping for the bundled schedulers."""
+
+    def _reset_lru(self):
+        from repro.policies.recency import LRUPolicy
+
+        self._lru = LRUPolicy()
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        if not self.cache.is_full:
+            return None
+        candidates = self.cache.evictable_pages(t)
+        if not candidates:
+            raise RuntimeError("cache full and every cell busy")
+        return self._lru.victim(candidates, t)
+
+    def on_hit(self, core, page, t):
+        self._lru.on_hit(page, t)
+
+    def on_insert(self, core, page, t):
+        self._lru.on_insert(page, t)
+
+    def on_evict(self, page, t):
+        self._lru.on_evict(page)
+
+
+class ServeAllScheduler(_LRUMixin, SchedulingStrategy):
+    """No scheduling: admit everyone — exactly the paper's model (with
+    shared LRU eviction).  Used to validate the augmented simulator
+    against the base one."""
+
+    def attach(self, workload, cache, tau):
+        super().attach(workload, cache, tau)
+        self._reset_lru()
+
+    def admit(self, ready, t):
+        return list(ready)
+
+    @property
+    def name(self) -> str:
+        return "sched[all]_LRU"
+
+
+class StaggerScheduler(_LRUMixin, SchedulingStrategy):
+    """Static admission offsets: core ``j`` is withheld until step
+    ``delays[j]`` and free-running afterwards — the simplest useful
+    schedule, enough to de-collide working-set peaks (the way Hassidim's
+    offline adversary defeats LRU)."""
+
+    def __init__(self, delays: Sequence[int]):
+        self.delays = [check_nonnegative("delay", int(d)) for d in delays]
+
+    def attach(self, workload, cache, tau):
+        super().attach(workload, cache, tau)
+        if len(self.delays) != workload.num_cores:
+            raise ValueError(
+                f"{len(self.delays)} delays for {workload.num_cores} cores"
+            )
+        self._reset_lru()
+
+    def admit(self, ready, t):
+        return [j for j in ready if t >= self.delays[j]]
+
+    @property
+    def name(self) -> str:
+        return f"sched{self.delays}_LRU"
+
+
+class ThrottledScheduler(_LRUMixin, SchedulingStrategy):
+    """Admission limited to ``max_concurrent`` cores per step (round-robin
+    rotation for fairness).
+
+    Models a memory-bandwidth cap: the paper assumes all ``p`` fetches can
+    proceed in parallel; throttling lets that assumption be relaxed and
+    its cost measured.
+    """
+
+    def __init__(self, max_concurrent: int):
+        self.max_concurrent = check_positive("max_concurrent", max_concurrent)
+        self._next = 0
+
+    def attach(self, workload, cache, tau):
+        super().attach(workload, cache, tau)
+        self._reset_lru()
+        self._next = 0
+
+    def admit(self, ready, t):
+        if len(ready) <= self.max_concurrent:
+            return list(ready)
+        ordered = sorted(ready)
+        start = self._next % len(ordered)
+        chosen = [
+            ordered[(start + i) % len(ordered)]
+            for i in range(self.max_concurrent)
+        ]
+        self._next += self.max_concurrent
+        return chosen
+
+    @property
+    def name(self) -> str:
+        return f"sched[<= {self.max_concurrent}]_LRU"
+
+
+class ScheduledSimulator:
+    """The scheduler-augmented serving loop.
+
+    Differences from :class:`repro.core.simulator.Simulator`: each step
+    the strategy admits a subset of ready cores; a non-admitted core's
+    request is deferred (no fault, no progress).  Time advances to the
+    next step at which anything can happen.  A safety valve aborts runs
+    whose strategy never admits anyone.
+    """
+
+    def __init__(
+        self,
+        workload: Workload | list,
+        cache_size: int,
+        tau: int,
+        strategy: SchedulingStrategy,
+        *,
+        record_trace: bool = False,
+        max_steps: int | None = None,
+    ):
+        if not isinstance(workload, Workload):
+            workload = Workload(workload)
+        check_positive("cache_size", cache_size)
+        check_nonnegative("tau", tau)
+        workload.validate_against_cache(cache_size)
+        if not workload.is_disjoint:
+            raise ValueError(
+                "the scheduled model is implemented for disjoint workloads"
+            )
+        self.workload = workload
+        self.cache_size = cache_size
+        self.tau = tau
+        self.strategy = strategy
+        self.record_trace = record_trace
+        self.max_steps = max_steps or 100 * (
+            workload.total_requests * (tau + 1) + cache_size + 1
+        )
+
+    def run(self) -> SimResult:
+        workload = self.workload
+        tau = self.tau
+        p = workload.num_cores
+        seqs = [s.as_tuple() for s in workload]
+        lengths = [len(s) for s in seqs]
+        cache = CacheState(self.cache_size)
+        self.strategy.attach(workload, cache, tau)
+
+        positions = [0] * p
+        ready_at = [0] * p  # earliest step the core's next request may go
+        faults = [0] * p
+        hits = [0] * p
+        completion = [-1] * p
+        trace = Trace() if self.record_trace else None
+
+        t = 0
+        steps = 0
+        while True:
+            pending = [j for j in range(p) if positions[j] < lengths[j]]
+            if not pending:
+                break
+            steps += 1
+            if steps > self.max_steps:
+                raise RuntimeError(
+                    "scheduled run exceeded max_steps (strategy may be "
+                    "stalling forever)"
+                )
+            ready = [j for j in pending if ready_at[j] <= t]
+            admitted = [j for j in self.strategy.admit(ready, t) if j in ready]
+            for j in sorted(admitted):
+                page = seqs[j][positions[j]]
+                index = positions[j]
+                if cache.is_resident(page, t):
+                    cache.pin(page, t)
+                    self.strategy.on_hit(j, page, t)
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready_at[j] = t + 1
+                    done_at = t
+                    kind = AccessKind.HIT
+                    victim = None
+                else:
+                    victim = self.strategy.choose_victim(j, page, t)
+                    if victim is None:
+                        if cache.is_full:
+                            raise RuntimeError(
+                                "strategy claimed a free cell in a full cache"
+                            )
+                    else:
+                        cache.evict(victim, t)
+                        self.strategy.on_evict(victim, t)
+                    cache.insert(page, j, t, tau)
+                    self.strategy.on_insert(j, page, t)
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready_at[j] = t + 1 + tau
+                    done_at = t + tau
+                    kind = AccessKind.FAULT
+                if trace is not None:
+                    trace.record(
+                        AccessEvent(
+                            time=t,
+                            core=j,
+                            index=index,
+                            page=page,
+                            kind=kind,
+                            victim=victim,
+                        )
+                    )
+                if positions[j] >= lengths[j]:
+                    completion[j] = done_at
+            t += 1
+
+        return SimResult(
+            faults_per_core=tuple(faults),
+            hits_per_core=tuple(hits),
+            completion_times=tuple(completion),
+            total_steps=steps,
+            trace=trace,
+        )

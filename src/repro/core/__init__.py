@@ -1,0 +1,40 @@
+"""Core multicore-paging model: request types, cache state, simulator.
+
+This package implements the model of Section 3 of López-Ortiz & Salinger,
+"Paging for Multicore Processors" (UW TR CS-2011-12 / SPAA'11).
+"""
+
+from repro.core.cache import CacheCell, CacheState
+from repro.core.fastsim import fast_shared_lru
+from repro.core.metrics import SimResult
+from repro.core.oracle import FutureOracle
+from repro.core.request import RequestSequence, Workload
+from repro.core.simulator import SimContext, Simulator, StrategyError, simulate
+from repro.core.strategy import Strategy
+from repro.core.trace import Trace
+from repro.core.trace_io import load_trace, save_trace
+from repro.core.types import AccessEvent, AccessKind, CoreId, Page, PartitionChange, Time
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "CacheCell",
+    "CacheState",
+    "CoreId",
+    "FutureOracle",
+    "Page",
+    "PartitionChange",
+    "RequestSequence",
+    "SimContext",
+    "SimResult",
+    "Simulator",
+    "Strategy",
+    "StrategyError",
+    "Time",
+    "Trace",
+    "Workload",
+    "fast_shared_lru",
+    "load_trace",
+    "save_trace",
+    "simulate",
+]

@@ -1,0 +1,158 @@
+"""Shared-cache state with fetch-in-progress accounting.
+
+Follows the conventions of the paper (Section 3):
+
+* On a fault, the victim is evicted immediately and the cell stays *busy*
+  (unusable, un-evictable) until the fetch completes ``tau`` steps later.
+* A page fetched by a fault at time ``t`` is resident (hit-able) from time
+  ``t + tau + 1`` onwards.
+* Pages being fetched can never be evicted (mirrors Algorithm 1, where a
+  successor configuration must contain every in-flight page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import CoreId, Page, Time
+
+
+@dataclass(slots=True)
+class CacheCell:
+    """Metadata for one occupied cache cell."""
+
+    page: Page
+    #: Core whose fault brought the page in (last fetching core).
+    owner: CoreId
+    #: Time the triggering fault occurred.
+    fetched_at: Time
+    #: Last step the cell is busy fetching; the page is resident strictly
+    #: after this time.  Equal to ``fetched_at + tau``.
+    busy_until: Time
+    #: Step at which the cell last served a hit.  A cell read at step ``t``
+    #: cannot start a fetch at ``t``, so it is pinned for the rest of the
+    #: step (mirrors Algorithm 1's requirement that successor
+    #: configurations contain every currently-requested page).
+    pinned_at: Time = -1
+
+
+class CacheState:
+    """Mutable state of a shared cache of ``capacity`` pages."""
+
+    __slots__ = ("capacity", "_cells")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._cells: dict[Page, CacheCell] = {}
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, page: Page) -> bool:
+        return page in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of occupied cells, including cells busy fetching."""
+        return len(self._cells)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._cells) >= self.capacity
+
+    def cell(self, page: Page) -> CacheCell:
+        return self._cells[page]
+
+    def owner(self, page: Page) -> CoreId:
+        return self._cells[page].owner
+
+    def pages(self) -> frozenset[Page]:
+        return frozenset(self._cells)
+
+    def is_resident(self, page: Page, t: Time) -> bool:
+        """True iff ``page`` is in cache and its fetch has completed by the
+        start of step ``t`` (i.e. a request at ``t`` would be a hit)."""
+        cell = self._cells.get(page)
+        return cell is not None and cell.busy_until < t
+
+    def is_fetching(self, page: Page, t: Time) -> bool:
+        """True iff ``page`` occupies a cell whose fetch is still in flight
+        at step ``t``."""
+        cell = self._cells.get(page)
+        return cell is not None and cell.busy_until >= t
+
+    def evictable_pages(self, t: Time) -> set[Page]:
+        """Pages that may legally be evicted at step ``t``: everything not
+        currently being fetched and not hit earlier in this step."""
+        return {
+            p
+            for p, c in self._cells.items()
+            if c.busy_until < t and c.pinned_at != t
+        }
+
+    def evictable_pages_of(self, owner: CoreId, t: Time) -> set[Page]:
+        """Evictable pages owned by ``owner`` (partitioned strategies)."""
+        return {
+            p
+            for p, c in self._cells.items()
+            if c.owner == owner and c.busy_until < t and c.pinned_at != t
+        }
+
+    def pin(self, page: Page, t: Time) -> None:
+        """Mark ``page``'s cell as having served a hit at step ``t``; it
+        cannot be evicted for the remainder of the step."""
+        self._cells[page].pinned_at = t
+
+    def is_pinned(self, page: Page, t: Time) -> bool:
+        cell = self._cells.get(page)
+        return cell is not None and cell.pinned_at == t
+
+    def pages_of(self, owner: CoreId) -> set[Page]:
+        return {p for p, c in self._cells.items() if c.owner == owner}
+
+    def occupancy_of(self, owner: CoreId) -> int:
+        return sum(1 for c in self._cells.values() if c.owner == owner)
+
+    # -- mutations ---------------------------------------------------------
+    def insert(self, page: Page, owner: CoreId, t: Time, tau: int) -> None:
+        """Start fetching ``page`` into a free cell at step ``t``."""
+        if page in self._cells:
+            raise ValueError(f"page {page!r} already occupies a cell")
+        if len(self._cells) >= self.capacity:
+            raise ValueError("cache full: evict before inserting")
+        self._cells[page] = CacheCell(
+            page=page, owner=owner, fetched_at=t, busy_until=t + tau
+        )
+
+    def evict(self, page: Page, t: Time) -> CacheCell:
+        """Remove ``page``; it must not be mid-fetch."""
+        cell = self._cells.get(page)
+        if cell is None:
+            raise KeyError(f"page {page!r} is not in cache")
+        if cell.busy_until >= t:
+            raise ValueError(
+                f"page {page!r} is being fetched until t={cell.busy_until} "
+                f"and cannot be evicted at t={t}"
+            )
+        if cell.pinned_at == t:
+            raise ValueError(
+                f"page {page!r} served a hit at t={t} and cannot be "
+                "evicted within the same step"
+            )
+        del self._cells[page]
+        return cell
+
+    def reassign_owner(self, page: Page, owner: CoreId) -> None:
+        """Transfer cell ownership (dynamic partitions, Lemma 3)."""
+        self._cells[page].owner = owner
+
+    def snapshot(self) -> frozenset[Page]:
+        """The configuration ``C`` in the sense of Algorithm 1: the set of
+        cached pages, including in-flight ones."""
+        return frozenset(self._cells)
+
+    def clear(self) -> None:
+        self._cells.clear()

@@ -1,0 +1,81 @@
+"""Result objects and aggregate metrics for simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trace import Trace
+from repro.core.types import Time
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    faults_per_core:
+        Faults incurred by each sequence (the FTF objective is their sum).
+    hits_per_core:
+        Hits per sequence.
+    completion_times:
+        For each core, the time at which its final request *finished*
+        (presentation time plus ``tau`` if that request faulted).  The
+        maximum is the makespan (Hassidim's objective; reported for
+        context even though this paper optimises faults).
+    total_steps:
+        Number of distinct parallel steps at which at least one request
+        was presented.
+    trace:
+        Full event log when tracing was enabled, else ``None``.
+    """
+
+    faults_per_core: tuple[int, ...]
+    hits_per_core: tuple[int, ...]
+    completion_times: tuple[Time, ...]
+    total_steps: int
+    trace: Trace | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def total_faults(self) -> int:
+        """The FINAL-TOTAL-FAULTS objective value."""
+        return sum(self.faults_per_core)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits_per_core)
+
+    @property
+    def makespan(self) -> Time:
+        return max(self.completion_times)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.faults_per_core)
+
+    def fault_rate(self) -> float:
+        total = self.total_faults + self.total_hits
+        return self.total_faults / total if total else 0.0
+
+    def meets_bounds(self, bounds, deadline: Time) -> bool:
+        """PIF check: did every core fault at most ``bounds[i]`` times among
+        requests presented at time <= ``deadline``?  Requires a trace."""
+        if self.trace is None:
+            raise ValueError("meets_bounds requires a run with record_trace=True")
+        counts = self.trace.faults_by(deadline)
+        return all(
+            counts.get(core, 0) <= bound for core, bound in enumerate(bounds)
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"total faults : {self.total_faults}",
+            f"total hits   : {self.total_hits}",
+            f"fault rate   : {self.fault_rate():.4f}",
+            f"makespan     : {self.makespan}",
+        ]
+        for core, (f, h, c) in enumerate(
+            zip(self.faults_per_core, self.hits_per_core, self.completion_times)
+        ):
+            lines.append(f"  core {core}: faults={f} hits={h} done_at={c}")
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Future-knowledge oracle for offline eviction policies.
+
+Belady-style policies need "when is this page next requested?".  In the
+multicore model exact *times* of future requests depend on future faults
+(faults realign sequences — the crux of the paper), so the oracle answers in
+*request distance*: how many of core ``j``'s remaining requests occur before
+the next request to the page.  This is the standard adaptation and is exact
+for ``tau = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.request import Workload
+from repro.core.types import Page
+
+__all__ = ["FutureOracle"]
+
+
+class FutureOracle:
+    """Answers next-use queries against a workload at given positions."""
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+
+    def next_use_in(self, core: int, page: Page, position: int) -> float:
+        """Request-distance from ``position`` to the next request of
+        ``page`` in core ``core``'s sequence, or ``inf`` if none remains."""
+        seq = self.workload[core]
+        idx = seq.first_occurrence_from(page, position)
+        if idx >= len(seq):
+            return math.inf
+        return idx - position
+
+    def next_use(self, page: Page, positions: Sequence[int]) -> float:
+        """Minimum next-use distance of ``page`` over all cores."""
+        best = math.inf
+        for core in range(self.workload.num_cores):
+            d = self.next_use_in(core, page, positions[core])
+            if d < best:
+                best = d
+        return best
+
+    def never_used_again(self, page: Page, positions: Sequence[int]) -> bool:
+        return math.isinf(self.next_use(page, positions))
+
+    def next_use_time(
+        self,
+        page: Page,
+        positions: Sequence[int],
+        ready: Sequence[int],
+        now: int,
+    ) -> float:
+        """Optimistic *time* estimate (in steps from ``now``) of the next
+        request to ``page``.
+
+        For each core: wait until the core is next schedulable
+        (``ready[j] - now``), then one step per intervening request
+        (exact if they all hit, optimistic otherwise).  At ``tau = 0``
+        this is exact, which is what makes greedy global FITF optimal
+        there (Section 5.1); request-distance alone is *not* a consistent
+        cross-core measure mid-step, because cores served earlier in the
+        step have already advanced their position.
+        """
+        best = math.inf
+        for core in range(self.workload.num_cores):
+            d = self.next_use_in(core, page, positions[core])
+            if math.isinf(d):
+                continue
+            t = max(ready[core] - now, 0) + d
+            if t < best:
+                best = t
+        return best
+
+    def furthest_page(
+        self, candidates, positions: Sequence[int]
+    ) -> Page:
+        """The candidate whose next request (over all cores) is furthest in
+        the future by request distance; ties broken by ``repr``.
+
+        Prefer :meth:`furthest_page_by_time` when ``ready``/``now`` are
+        available (the simulator context) — distance ties hide real time
+        differences across cores.
+        """
+        return max(
+            candidates,
+            key=lambda page: (self.next_use(page, positions), repr(page)),
+        )
+
+    def furthest_page_by_time(
+        self,
+        candidates,
+        positions: Sequence[int],
+        ready: Sequence[int],
+        now: int,
+    ) -> Page:
+        """The candidate whose estimated next-use *time* is furthest."""
+        return max(
+            candidates,
+            key=lambda page: (
+                self.next_use_time(page, positions, ready, now),
+                repr(page),
+            ),
+        )
+
+    def furthest_page_in(
+        self, core: int, candidates, position: int
+    ) -> Page:
+        """Furthest-in-the-future restricted to one core's sequence
+        (the per-sequence eviction rule of Theorem 5)."""
+        return max(
+            candidates,
+            key=lambda page: (self.next_use_in(core, page, position), repr(page)),
+        )

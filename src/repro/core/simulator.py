@@ -1,0 +1,264 @@
+"""The multicore paging simulator (the model of Section 3 of the paper).
+
+Semantics implemented here, each pinned by a test in
+``tests/core/test_simulator_semantics.py``:
+
+* Discrete time.  All cores whose next request is due at step ``t`` present
+  it at ``t``; requests are served logically in ascending core order, so an
+  online strategy never sees a simultaneous request of a higher-numbered
+  core before deciding.
+* A hit at ``t`` makes the core's next request due at ``t + 1``.
+* A fault at ``t`` makes it due at ``t + 1 + tau`` — "a cache miss delays
+  the remaining requests of the corresponding processor by an additive
+  term tau".
+* On a fault the victim leaves the cache immediately and the cell is busy
+  (neither hit-able nor evictable) during ``[t, t + tau]``; the new page is
+  resident from ``t + tau + 1``.
+* The strategy's only power is the choice of victim.  It cannot delay or
+  reorder requests.
+* A cell that served a hit at step ``t`` is *pinned* for the rest of the
+  step: it cannot start a fetch at ``t`` (mirrors Algorithm 1's
+  ``C' ⊇ R(x)``; ablatable via ``pin_same_step=False``).
+
+Requests to a page whose fetch is still in flight (possible only for
+non-disjoint workloads, which the paper's proofs never use) are governed by
+the ``inflight`` option, see :class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_nonnegative, check_positive
+from repro.core.cache import CacheState
+from repro.core.metrics import SimResult
+from repro.core.request import Workload
+from repro.core.strategy import Strategy
+from repro.core.trace import Trace
+from repro.core.types import AccessEvent, AccessKind, CoreId, Page, Time
+
+__all__ = ["SimContext", "Simulator", "StrategyError", "simulate"]
+
+
+class StrategyError(RuntimeError):
+    """Raised when a strategy makes an illegal move (bad victim, claiming a
+    free cell in a full cache, ...)."""
+
+
+@dataclass
+class SimContext:
+    """Run state shared between the simulator and the strategy.
+
+    Strategies may read everything here; only the simulator mutates it.
+    ``positions[j]`` is the index of core ``j``'s *next* request —
+    offline/Belady-style policies combine it with ``workload`` to look into
+    the future.
+    """
+
+    workload: Workload
+    cache_size: int
+    tau: int
+    cache: CacheState = field(init=False)
+    positions: list[int] = field(init=False)
+    ready: list[Time] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cache = CacheState(self.cache_size)
+        p = self.workload.num_cores
+        self.positions = [0] * p
+        self.ready = [0] * p
+
+    @property
+    def num_cores(self) -> int:
+        return self.workload.num_cores
+
+
+class Simulator:
+    """Drive one strategy over one workload.
+
+    Parameters
+    ----------
+    workload:
+        The request sequences (anything accepted by :class:`Workload`).
+    cache_size:
+        ``K``, the shared cache capacity in pages.
+    tau:
+        The fault penalty (``tau >= 0``).  A faulted request completes
+        ``tau`` steps after a hit would have.
+    strategy:
+        The cache-management strategy to drive.
+    inflight:
+        What happens when a core requests a page another core is currently
+        fetching (non-disjoint workloads only):
+
+        ``"independent"`` (default)
+            Counts as a fault and delays the core by the full ``tau``,
+            matching the model text literally; no extra cell is used.
+        ``"share"``
+            Counts as a fault but the core merely waits for the in-flight
+            fetch to finish.
+    record_trace:
+        Keep a full :class:`~repro.core.trace.Trace` in the result.
+    max_steps:
+        Safety valve: raise if more than this many parallel steps occur.
+    pin_same_step:
+        Enforce the rule that a cell serving a hit at step ``t`` cannot
+        start a fetch at ``t`` (Algorithm 1's ``C' ⊇ R(x)``).  Default
+        True; turning it off is an *ablation only* — it breaks the
+        optimality of the paper's DP (see ``benchmarks/bench_ablations``).
+    """
+
+    def __init__(
+        self,
+        workload: Workload | list,
+        cache_size: int,
+        tau: int,
+        strategy: Strategy,
+        *,
+        inflight: str = "independent",
+        record_trace: bool = False,
+        max_steps: int | None = None,
+        pin_same_step: bool = True,
+    ):
+        if not isinstance(workload, Workload):
+            workload = Workload(workload)
+        check_positive("cache_size", cache_size)
+        check_nonnegative("tau", tau)
+        if inflight not in ("independent", "share"):
+            raise ValueError(f"unknown inflight policy {inflight!r}")
+        workload.validate_against_cache(cache_size)
+        self.workload = workload
+        self.cache_size = cache_size
+        self.tau = tau
+        self.strategy = strategy
+        self.inflight = inflight
+        self.record_trace = record_trace
+        self.max_steps = max_steps
+        self.pin_same_step = pin_same_step
+
+    def run(self) -> SimResult:
+        ctx = SimContext(self.workload, self.cache_size, self.tau)
+        self.strategy.attach(ctx)
+
+        p = ctx.num_cores
+        tau = self.tau
+        seqs = [s.as_tuple() for s in self.workload]
+        lengths = [len(s) for s in seqs]
+        positions = ctx.positions
+        ready = ctx.ready
+        cache = ctx.cache
+
+        faults = [0] * p
+        hits = [0] * p
+        completion = [-1] * p
+        trace = Trace() if self.record_trace else None
+
+        pending = [j for j in range(p) if lengths[j] > 0]
+        steps = 0
+        while pending:
+            t = min(ready[j] for j in pending)
+            steps += 1
+            if self.max_steps is not None and steps > self.max_steps:
+                raise RuntimeError(f"exceeded max_steps={self.max_steps}")
+            self.strategy.on_step(t)
+            finished: list[CoreId] = []
+            for j in pending:
+                if ready[j] != t:
+                    continue
+                page = seqs[j][positions[j]]
+                index = positions[j]
+                if cache.is_resident(page, t):
+                    # ---- hit --------------------------------------------
+                    if self.pin_same_step:
+                        cache.pin(page, t)  # cell busy reading this step
+                    self.strategy.on_hit(j, page, t)
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1
+                    done_at = t
+                    kind = AccessKind.HIT
+                    victim: Page | None = None
+                elif cache.is_fetching(page, t):
+                    # ---- fault on an in-flight page ---------------------
+                    faults[j] += 1
+                    positions[j] += 1
+                    if self.inflight == "share":
+                        done_at = cache.cell(page).busy_until
+                        ready[j] = max(t + 1, done_at + 1)
+                    else:
+                        done_at = t + tau
+                        ready[j] = t + 1 + tau
+                    kind = AccessKind.SHARED_FAULT
+                    victim = None
+                else:
+                    # ---- ordinary fault ---------------------------------
+                    victim = self.strategy.choose_victim(j, page, t)
+                    if victim is None:
+                        if cache.is_full:
+                            raise StrategyError(
+                                f"{self.strategy.name} claimed a free cell "
+                                f"at t={t} but the cache is full"
+                            )
+                    else:
+                        if victim not in cache:
+                            raise StrategyError(
+                                f"{self.strategy.name} chose victim "
+                                f"{victim!r} which is not cached"
+                            )
+                        if cache.is_fetching(victim, t):
+                            raise StrategyError(
+                                f"{self.strategy.name} chose victim "
+                                f"{victim!r} which is mid-fetch"
+                            )
+                        if cache.is_pinned(victim, t):
+                            raise StrategyError(
+                                f"{self.strategy.name} chose victim "
+                                f"{victim!r} which served a hit this step"
+                            )
+                        cache.evict(victim, t)
+                        self.strategy.on_evict(victim, t)
+                    cache.insert(page, j, t, tau)
+                    self.strategy.on_insert(j, page, t)
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+                    kind = AccessKind.FAULT
+                if trace is not None:
+                    trace.record(
+                        AccessEvent(
+                            time=t,
+                            core=j,
+                            index=index,
+                            page=page,
+                            kind=kind,
+                            victim=victim,
+                        )
+                    )
+                if positions[j] >= lengths[j]:
+                    completion[j] = done_at
+                    finished.append(j)
+            for j in finished:
+                pending.remove(j)
+
+        for j in range(p):
+            if lengths[j] == 0:
+                completion[j] = -1
+        return SimResult(
+            faults_per_core=tuple(faults),
+            hits_per_core=tuple(hits),
+            completion_times=tuple(completion),
+            total_steps=steps,
+            trace=trace,
+        )
+
+
+def simulate(
+    workload,
+    cache_size: int,
+    tau: int,
+    strategy: Strategy,
+    **kwargs,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(workload, cache_size, tau, strategy, **kwargs).run()

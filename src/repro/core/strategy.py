@@ -1,0 +1,77 @@
+"""Strategy protocol: how a cache-management strategy plugs into the
+simulator.
+
+The paper (Section 4) decomposes a cache strategy into a *partition policy*
+(shared / static partition / dynamic partition) combined with an *eviction
+policy*.  The simulator owns the cache state and the clock; a strategy is
+consulted at the decision points below and must only *name* the victim —
+legality (the victim is cached and not mid-fetch) is enforced by the
+simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.types import CoreId, Page, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulator import SimContext
+
+
+class Strategy(abc.ABC):
+    """Base class for cache-management strategies.
+
+    Lifecycle, per simulated run::
+
+        attach(ctx)                # once, before the clock starts
+        for each parallel step t:
+            on_step(t)             # once per step with >= 1 due request
+            for each due request (ascending core id):
+                on_hit(...)        # if resident
+                choose_victim(...) # if fault and strategy must make room
+                on_insert(...)     # after the fetch cell is allocated
+
+    Implementations must be reusable across runs: ``attach`` must fully
+    reset internal state.
+    """
+
+    ctx: "SimContext"
+
+    def attach(self, ctx: "SimContext") -> None:
+        """Bind to a run and reset all internal state."""
+        self.ctx = ctx
+
+    def on_step(self, t: Time) -> None:
+        """Called once at the start of each active parallel step (dynamic
+        partitions reconfigure here)."""
+
+    @abc.abstractmethod
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        """Called when ``core`` faults on ``page`` at step ``t``.
+
+        Return the page to evict, or ``None`` to claim a free cell.  If
+        ``None`` is returned the global cache must have a free cell; if a
+        page is returned it must be resident (not mid-fetch).  Partitioned
+        strategies typically evict even when the global cache has room,
+        because their *part* is full.
+        """
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        """Called when ``core`` hits ``page``."""
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        """Called after a faulted page has been placed (fetch started)."""
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        """Called after the simulator removed ``page`` from the cache."""
+
+    # -- description --------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short label used in tables (e.g. ``S_LRU``, ``sP[2,2]_FIFO``)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name}>"

@@ -1,0 +1,85 @@
+"""Execution traces: the full record of one simulated run.
+
+Traces exist for debugging, for the paper's hardness module (which must
+*verify* that a constructed schedule meets per-sequence fault bounds at a
+checkpoint time), and for the test-suite's semantic pins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.types import AccessEvent, CoreId, PartitionChange, Time
+
+
+class Trace(Sequence[AccessEvent]):
+    """An append-only log of :class:`AccessEvent` records plus partition
+    changes, ordered by (time, core)."""
+
+    __slots__ = ("_events", "_partition_changes")
+
+    def __init__(self) -> None:
+        self._events: list[AccessEvent] = []
+        self._partition_changes: list[PartitionChange] = []
+
+    # -- recording ----------------------------------------------------------
+    def record(self, event: AccessEvent) -> None:
+        self._events.append(event)
+
+    def record_partition_change(self, change: PartitionChange) -> None:
+        self._partition_changes.append(change)
+
+    # -- Sequence protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self._events)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def partition_changes(self) -> list[PartitionChange]:
+        return list(self._partition_changes)
+
+    def events_for_core(self, core: CoreId) -> list[AccessEvent]:
+        return [e for e in self._events if e.core == core]
+
+    def faults_for_core(self, core: CoreId) -> list[AccessEvent]:
+        return [e for e in self._events if e.core == core and e.is_fault]
+
+    def faults_by(self, deadline: Time) -> dict[CoreId, int]:
+        """Number of faults per core among requests presented at time
+        ``<= deadline``.  This is the quantity bounded in PIF.
+        """
+        counts: dict[CoreId, int] = {}
+        for e in self._events:
+            if e.is_fault and e.time <= deadline:
+                counts[e.core] = counts.get(e.core, 0) + 1
+        return counts
+
+    def fault_times(self, core: CoreId) -> list[Time]:
+        return [e.time for e in self._events if e.core == core and e.is_fault]
+
+    def hit_times(self, core: CoreId) -> list[Time]:
+        return [e.time for e in self._events if e.core == core and not e.is_fault]
+
+    def evictions(self) -> list[AccessEvent]:
+        return [e for e in self._events if e.victim is not None]
+
+    def format(self, limit: int | None = 50) -> str:
+        """Human-readable rendering, at most ``limit`` events."""
+        lines = []
+        events = self._events if limit is None else self._events[:limit]
+        for e in events:
+            mark = "HIT " if not e.is_fault else "MISS"
+            victim = f" evict={e.victim!r}" if e.victim is not None else ""
+            lines.append(
+                f"t={e.time:<5} core={e.core} idx={e.index:<4} "
+                f"{mark} page={e.page!r}{victim}"
+            )
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

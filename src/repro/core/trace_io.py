@@ -1,0 +1,85 @@
+"""Execution-trace (de)serialisation: JSON-lines export for external
+analysis.
+
+Workload files (``repro.workloads.traces``) store *inputs*; this module
+stores *outputs* — the per-event log of a simulated run — one JSON object
+per line, so results can be diffed, archived, or post-processed outside
+Python.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.core.trace import Trace
+from repro.core.types import AccessEvent, AccessKind
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def _encode_page(page) -> str:
+    return repr(page)
+
+
+def _decode_page(text: str):
+    return ast.literal_eval(text)
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` as JSON lines.
+
+    Pages are stored as ``repr`` strings, so any workload built from
+    ints, strings and tuples round-trips exactly.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for e in trace:
+            fh.write(
+                json.dumps(
+                    {
+                        "t": e.time,
+                        "core": e.core,
+                        "index": e.index,
+                        "page": _encode_page(e.page),
+                        "kind": e.kind.value,
+                        "victim": (
+                            _encode_page(e.victim)
+                            if e.victim is not None
+                            else None
+                        ),
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    trace = Trace()
+    for lineno, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            event = AccessEvent(
+                time=int(obj["t"]),
+                core=int(obj["core"]),
+                index=int(obj["index"]),
+                page=_decode_page(obj["page"]),
+                kind=AccessKind(obj["kind"]),
+                victim=(
+                    _decode_page(obj["victim"])
+                    if obj["victim"] is not None
+                    else None
+                ),
+            )
+        except (KeyError, ValueError, SyntaxError) as exc:
+            raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+        trace.record(event)
+    return trace

@@ -1,0 +1,81 @@
+"""Fundamental type aliases and event records for the multicore paging model.
+
+The model (paper, Section 3): ``p`` cores issue request sequences over a
+universe of pages, served by a shared cache of ``K`` pages with fault
+penalty ``tau``.  Pages are arbitrary hashable values; the adversarial
+generators use ``(core, index)`` tuples and strings, the synthetic
+generators use ints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, TypeAlias
+
+#: A page identifier.  Any hashable value.
+Page: TypeAlias = Hashable
+
+#: Core (processor) index, ``0 <= core < p``.
+CoreId: TypeAlias = int
+
+#: Discrete time, ``t >= 0``.  One unit = one parallel step.
+Time: TypeAlias = int
+
+
+class AccessKind(enum.Enum):
+    """Outcome of serving a single request."""
+
+    HIT = "hit"
+    FAULT = "fault"
+    #: A fault on a page whose fetch (triggered by another core) is still in
+    #: flight.  Only possible for non-disjoint workloads.
+    SHARED_FAULT = "shared_fault"
+
+    @property
+    def is_fault(self) -> bool:
+        return self is not AccessKind.HIT
+
+
+@dataclass(frozen=True, slots=True)
+class AccessEvent:
+    """One served request, as recorded in an execution trace.
+
+    Attributes
+    ----------
+    time:
+        The parallel step at which the request was presented.
+    core:
+        The requesting core.
+    index:
+        Position of the request within the core's sequence (0-based).
+    page:
+        The requested page.
+    kind:
+        Hit / fault / shared fault.
+    victim:
+        The page evicted to make room, or ``None`` (hit, or a free cell
+        was used).
+    """
+
+    time: Time
+    core: CoreId
+    index: int
+    page: Page
+    kind: AccessKind
+    victim: Page | None = None
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind.is_fault
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionChange:
+    """A recorded resize of a dynamic partition (paper, Section 4).
+
+    ``sizes`` is the vector ``k(., t)`` after the change took effect.
+    """
+
+    time: Time
+    sizes: tuple[int, ...]

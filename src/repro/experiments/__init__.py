@@ -1,0 +1,80 @@
+"""Reproduction experiments: one module per quantitative claim of the
+paper (see DESIGN.md, Section 3, for the index).
+
+>>> from repro.experiments import run_experiment, EXPERIMENTS
+>>> result = run_experiment("E7", scale="small")
+>>> result.ok
+True
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    e01_lemma1,
+    e02_lemma2,
+    e03_theorem1_shared,
+    e04_theorem1_upper,
+    e05_theorem1_dynamic,
+    e06_lemma3,
+    e07_lemma4,
+    e08_fitf_crossover,
+    e09_reduction,
+    e10_dp_scaling,
+    e11_structure,
+    e12_tau0_fitf,
+    e13_pif_scaling,
+    e14_policy_landscape,
+    e15_max_pif_gap,
+    e16_objectives,
+    e17_scheduling_power,
+    e18_parallel_fetch,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Registry of experiment modules, keyed by experiment id.
+EXPERIMENTS = {
+    module.ID: module
+    for module in (
+        e01_lemma1,
+        e02_lemma2,
+        e03_theorem1_shared,
+        e04_theorem1_upper,
+        e05_theorem1_dynamic,
+        e06_lemma3,
+        e07_lemma4,
+        e08_fitf_crossover,
+        e09_reduction,
+        e10_dp_scaling,
+        e11_structure,
+        e12_tau0_fitf,
+        e13_pif_scaling,
+        e14_policy_landscape,
+        e15_max_pif_gap,
+        e16_objectives,
+        e17_scheduling_power,
+        e18_parallel_fetch,
+    )
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E7"``)."""
+    try:
+        module = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return module.run(scale=scale)
+
+
+def run_all(scale: str = "small") -> list[ExperimentResult]:
+    """Run every experiment in id order."""
+    return [
+        EXPERIMENTS[eid].run(scale=scale)
+        for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    ]
+
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all", "run_experiment"]

@@ -1,0 +1,87 @@
+"""Experiment framework.
+
+The paper is theoretical and publishes no tables or figures, so the
+reproduction defines one *experiment* per quantitative claim (DESIGN.md,
+Section 3).  Each experiment module exposes::
+
+    run(scale="small" | "full") -> ExperimentResult
+
+``small`` finishes in well under a second and is what the test-suite
+asserts on; ``full`` is what the benchmark harness and EXPERIMENTS.md use.
+An :class:`ExperimentResult` carries the generated table, a dict of named
+boolean *checks* (the claim's shape, verified on the measured data), and
+free-text notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import Table
+
+__all__ = ["ExperimentResult", "Scale", "scale_params"]
+
+Scale = str  # "small" | "full"
+
+
+def scale_params(scale: Scale, small: dict, full: dict) -> dict:
+    """Pick the parameter set for a scale, validating the name."""
+    if scale == "small":
+        return dict(small)
+    if scale == "full":
+        return dict(full)
+    raise ValueError(f"unknown scale {scale!r} (use 'small' or 'full')")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment."""
+
+    id: str
+    title: str
+    claim: str
+    table: Table
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Did every shape check pass?"""
+        return all(self.checks.values())
+
+    def verdict(self) -> str:
+        return "REPRODUCED" if self.ok else "CHECK FAILED"
+
+    def format_ascii(self) -> str:
+        lines = [
+            f"=== {self.id}: {self.title} [{self.verdict()}] ===",
+            f"claim: {self.claim}",
+            "",
+            self.table.format_ascii(),
+            "",
+        ]
+        for name, passed in self.checks.items():
+            lines.append(f"  [{'ok' if passed else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        lines = [
+            f"### {self.id} — {self.title}",
+            "",
+            f"**Claim.** {self.claim}",
+            "",
+            f"**Verdict: {self.verdict()}**",
+            "",
+            self.table.format_markdown(),
+            "",
+            "Checks:",
+            "",
+        ]
+        for name, passed in self.checks.items():
+            lines.append(f"- {'✅' if passed else '❌'} {name}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"*Note: {self.notes}*")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""E1 — Lemma 1: online eviction inside a fixed static partition.
+
+Claim: for any fixed static partition ``B`` and any deterministic online
+eviction policy, the competitive ratio against the per-part offline
+optimum is ``Theta(max_j k_j)``; LRU (marking/conservative) attains the
+matching upper bound.
+
+Measurement: the proof's workload (one core cycling ``k_{j*}+1`` pages in
+the largest part, others idle on one page) for growing ``K``; the ratio
+``sP^B_LRU / sP^B_OPT`` must grow linearly with ``max_j k_j`` and approach
+it, while never exceeding it.
+"""
+
+from __future__ import annotations
+
+from repro import LRUPolicy, StaticPartitionStrategy, equal_partition, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import static_partition_faults
+from repro.workloads import lemma1_workload
+
+ID = "E1"
+TITLE = "Lemma 1: fixed static partition, LRU vs per-part OPT"
+CLAIM = (
+    "With a fixed static partition, any deterministic online policy is "
+    "Omega(max_j k_j)-competitive against the per-part optimum, and LRU "
+    "matches the upper bound max_j k_j."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"cache_sizes": (8, 16, 32), "p": 4, "n": 2000, "tau": 1},
+        full={"cache_sizes": (8, 16, 32, 64, 128), "p": 4, "n": 20_000, "tau": 1},
+    )
+    p, n, tau = params["p"], params["n"], params["tau"]
+    table = Table(
+        f"Lemma 1 workload: p={p}, n={n}, tau={tau}",
+        ["K", "max_k", "sP_LRU", "sP_OPT", "ratio", "ratio/max_k"],
+    )
+    ratios = []
+    bounds_held = True
+    for K in params["cache_sizes"]:
+        partition = equal_partition(K, p)
+        max_k = max(partition)
+        workload = lemma1_workload(partition, n)
+        lru = simulate(
+            workload, K, tau, StaticPartitionStrategy(partition, LRUPolicy)
+        ).total_faults
+        opt = static_partition_faults(workload, partition, "opt")
+        ratio = lru / opt
+        ratios.append((max_k, ratio))
+        bounds_held &= lru <= max_k * opt
+        table.add_row(K, max_k, lru, opt, ratio, ratio / max_k)
+
+    checks = {
+        "ratio grows monotonically with max_j k_j": all(
+            a[1] < b[1] for a, b in zip(ratios, ratios[1:])
+        ),
+        "ratio reaches >= 0.75 * max_j k_j at the largest K": (
+            ratios[-1][1] >= 0.75 * ratios[-1][0]
+        ),
+        "upper bound sP_LRU <= max_k * sP_OPT never violated": bounds_held,
+    }
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks)

@@ -1,0 +1,70 @@
+"""E2 — Lemma 2: online static partitions are not competitive.
+
+Claim: any static partition chosen online (before seeing the input) is
+``Omega(n)`` worse than the offline-chosen static partition, even with
+the same eviction policy.
+
+Measurement: the proof's workload against an equal split; the offline
+partition (computed exactly by the allocation DP) pays only compulsory
+misses, so the ratio must grow linearly in ``n``.
+"""
+
+from __future__ import annotations
+
+from repro import LRUPolicy, StaticPartitionStrategy, equal_partition, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import optimal_static_partition
+from repro.workloads import lemma2_workload
+
+ID = "E2"
+TITLE = "Lemma 2: online vs offline-chosen static partition"
+CLAIM = (
+    "No online static partition is competitive: against sP^OPT_LRU the "
+    "ratio grows as Omega(n) on the Lemma 2 workload."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"lengths": (400, 1600, 6400), "K": 8, "p": 4, "tau": 1},
+        full={"lengths": (1000, 4000, 16_000, 64_000), "K": 8, "p": 4, "tau": 1},
+    )
+    K, p, tau = params["K"], params["p"], params["tau"]
+    partition = equal_partition(K, p)
+    table = Table(
+        f"Lemma 2 workload: K={K}, p={p}, online partition={list(partition)}",
+        ["n", "online_faults", "offline_faults", "offline_partition", "ratio"],
+    )
+    ratios = []
+    offline_costs = []
+    for n in params["lengths"]:
+        workload = lemma2_workload(partition, n)
+        online = simulate(
+            workload, K, tau, StaticPartitionStrategy(partition, LRUPolicy)
+        ).total_faults
+        best = optimal_static_partition(workload, K, "lru")
+        ratio = online / best.faults
+        ratios.append((n, ratio))
+        offline_costs.append(best.faults)
+        table.add_row(n, online, best.faults, list(best.partition), ratio)
+
+    from repro.analysis.fitting import fit_power_law, is_linear_growth
+
+    fit = fit_power_law([n for n, _ in ratios], [r for _, r in ratios])
+    checks = {
+        "ratio grows monotonically in n": all(
+            a[1] < b[1] for a, b in zip(ratios, ratios[1:])
+        ),
+        "fitted log-log slope is ~1 (Omega(n))": is_linear_growth(
+            [n for n, _ in ratios], [r for _, r in ratios]
+        ),
+        "offline partition cost independent of n (compulsory only)": (
+            max(offline_costs) == min(offline_costs)
+        ),
+    }
+    notes = (
+        f"fitted ratio ~ n^{fit.exponent:.2f} (R^2={fit.r_squared:.3f})"
+    )
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

@@ -1,0 +1,80 @@
+"""E4 — Theorem 1.2: the matching upper bound ``S_LRU <= K * sP^OPT_OPT``.
+
+Claim: shared LRU is never more than a factor ``K`` worse than the
+offline-optimal static partition with offline-optimal per-part eviction —
+on *every* input (the shared-phase argument).
+
+Measurement: adversarial and random workload families across ``tau``;
+report the worst observed ratio per family and check it stays <= K.
+"""
+
+from __future__ import annotations
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import optimal_static_partition
+from repro.workloads import (
+    lemma4_workload,
+    phased_workload,
+    theorem1_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+ID = "E4"
+TITLE = "Theorem 1.2: S_LRU <= K * sP^OPT_OPT on every workload"
+CLAIM = (
+    "For all R, S_LRU(R) <= K * sP^OPT_OPT(R): shared LRU loses at most a "
+    "factor K to the best static partition (shared-phase argument)."
+)
+
+
+def _families(scale_n: int, K: int, p: int, seeds):
+    yield "uniform", [
+        uniform_workload(p, scale_n, 2 * K // p, seed=s) for s in seeds
+    ]
+    yield "zipf", [
+        zipf_workload(p, scale_n, 2 * K // p, alpha=1.2, seed=s) for s in seeds
+    ]
+    yield "phased", [
+        phased_workload(p, scale_n, K // p + 1, 4, seed=s) for s in seeds
+    ]
+    yield "lemma4", [lemma4_workload(K, p, scale_n * p)]
+    yield "theorem1", [theorem1_workload(K, p, max(2, scale_n // (K + p)), 1)]
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"n": 120, "K": 8, "p": 2, "taus": (0, 2), "seeds": range(3)},
+        full={"n": 2000, "K": 16, "p": 4, "taus": (0, 1, 4), "seeds": range(8)},
+    )
+    K, p = params["K"], params["p"]
+    table = Table(
+        f"Worst observed S_LRU / sP_OPT_OPT: K={K}, p={p}",
+        ["family", "tau", "cases", "worst_ratio", "bound_K", "within_bound"],
+    )
+    all_within = True
+    worst_overall = 0.0
+    for family, workloads in _families(params["n"], K, p, params["seeds"]):
+        for tau in params["taus"]:
+            worst = 0.0
+            for w in workloads:
+                if not w.is_disjoint:
+                    continue
+                shared = simulate(
+                    w, K, tau, SharedStrategy(LRUPolicy)
+                ).total_faults
+                static = optimal_static_partition(w, K, "opt").faults
+                worst = max(worst, shared / static)
+            within = worst <= K
+            all_within &= within
+            worst_overall = max(worst_overall, worst)
+            table.add_row(family, tau, len(workloads), worst, K, within)
+
+    checks = {
+        "S_LRU <= K * sP_OPT_OPT on every case": all_within,
+        "bound is not vacuous (some family exceeds ratio 1)": worst_overall > 1.0,
+    }
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks)

@@ -1,0 +1,81 @@
+"""E5 — Theorem 1.3: dynamic partitions with few stages lose omega(1).
+
+Claim: a dynamic partition whose sizes change ``o(n)`` times is
+``omega(1)`` worse than shared LRU on the turn-taking workload; with a
+constant number of stages the gap is ``Omega(n)``.
+
+Measurement: staged partitions with a fixed number of stages on the
+Theorem 1 workload for growing ``n``; the gap to shared LRU must grow
+without bound, and adding (a constant number of) stages must not fix it.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LRUPolicy,
+    SharedStrategy,
+    StagedPartitionStrategy,
+    equal_partition,
+    simulate,
+)
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.workloads import theorem1_workload
+
+ID = "E5"
+TITLE = "Theorem 1.3: staged dynamic partitions vs shared LRU"
+CLAIM = (
+    "Any dynamic partition with o(n) changes is omega(1) off shared LRU; "
+    "with O(1) stages the gap is Omega(n)."
+)
+
+
+def _staged_schedule(total_requests: int, stages: int, K: int, p: int):
+    """Evenly spaced stage switches cycling which core gets the big part."""
+    schedule = []
+    span = max(1, (2 * total_requests) // stages)
+    for i in range(stages):
+        sizes = [1] * p
+        sizes[i % p] = K - (p - 1)
+        schedule.append((i * span, sizes))
+    schedule[0] = (0, equal_partition(K, p))
+    return schedule
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"xs": (5, 20, 80), "K": 8, "p": 2, "tau": 1, "stages": 4},
+        full={"xs": (10, 40, 160, 640), "K": 16, "p": 4, "tau": 1, "stages": 8},
+    )
+    K, p, tau, stages = params["K"], params["p"], params["tau"], params["stages"]
+    table = Table(
+        f"Staged dynamic partitions ({stages} stages) on the turn-taking "
+        f"workload: K={K}, p={p}, tau={tau}",
+        ["x", "n", "S_LRU", "dP_staged", "gap"],
+    )
+    gaps = []
+    for x in params["xs"]:
+        workload = theorem1_workload(K, p, x, tau)
+        n = workload.total_requests
+        shared = simulate(workload, K, tau, SharedStrategy(LRUPolicy)).total_faults
+        staged = simulate(
+            workload,
+            K,
+            tau,
+            StagedPartitionStrategy(_staged_schedule(n, stages, K, p), LRUPolicy),
+        ).total_faults
+        gap = staged / shared
+        gaps.append((n, gap))
+        table.add_row(x, n, shared, staged, gap)
+
+    checks = {
+        "gap grows monotonically with n (omega(1))": all(
+            a[1] < b[1] for a, b in zip(gaps, gaps[1:])
+        ),
+        "gap exceeds 2x at the largest n": gaps[-1][1] > 2.0,
+        "growth consistent with Omega(n) for O(1) stages": (
+            gaps[-1][1] / gaps[0][1] >= 0.25 * (gaps[-1][0] / gaps[0][0])
+        ),
+    }
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks)

@@ -1,0 +1,68 @@
+"""E7 — Lemma 4: LRU's competitive ratio is Omega(p (tau+1)).
+
+Claim: there are inputs where ``S_LRU / S_OPT = Omega(p(tau+1))`` — in
+multicore paging the offline advantage grows with the fault penalty,
+unlike sequential paging where marking algorithms are K-competitive.
+
+Measurement: the Lemma 4 workload across ``tau`` (and ``p`` at full
+scale), with the proof's sacrifice strategy standing in for OPT (an upper
+bound on OPT, so the measured ratio lower-bounds the true one).
+"""
+
+from __future__ import annotations
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import SacrificeStrategy
+from repro.workloads import lemma4_workload
+
+ID = "E7"
+TITLE = "Lemma 4: S_LRU / S_OFF = Omega(p(tau+1))"
+CLAIM = (
+    "On the cyclic disjoint workload, shared LRU faults on every request "
+    "while the sacrifice strategy pays O(n/(p(tau+1))) + O(K), giving a "
+    "competitive ratio growing as p(tau+1)."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"K": 16, "p": 4, "n": 2000, "taus": (0, 1, 2, 4, 8)},
+        full={"K": 36, "p": 6, "n": 30_000, "taus": (0, 1, 2, 4, 8, 16, 32)},
+    )
+    K, p, n = params["K"], params["p"], params["n"]
+    workload = lemma4_workload(K, p, n)
+    table = Table(
+        f"Lemma 4 workload: K={K}, p={p}, n={n}",
+        ["tau", "S_LRU", "S_OFF", "ratio", "p(tau+1)", "ratio/p(tau+1)"],
+    )
+    ratios = []
+    lru_all_fault = True
+    for tau in params["taus"]:
+        lru = simulate(workload, K, tau, SharedStrategy(LRUPolicy)).total_faults
+        off = simulate(workload, K, tau, SacrificeStrategy()).total_faults
+        ratio = lru / off
+        scale_factor = p * (tau + 1)
+        ratios.append((scale_factor, ratio))
+        lru_all_fault &= lru == n
+        table.add_row(tau, lru, off, ratio, scale_factor, ratio / scale_factor)
+
+    from repro.analysis.fitting import fit_power_law
+
+    fit = fit_power_law([s for s, _ in ratios], [r for _, r in ratios])
+    checks = {
+        "S_LRU faults on every request": lru_all_fault,
+        "ratio grows monotonically with tau": all(
+            a[1] < b[1] for a, b in zip(ratios, ratios[1:])
+        ),
+        "fitted log-log slope vs p(tau+1) is ~1": (
+            0.6 <= fit.exponent <= 1.3 and fit.r_squared >= 0.9
+        ),
+    }
+    notes = (
+        f"fitted ratio ~ (p(tau+1))^{fit.exponent:.2f} "
+        f"(R^2={fit.r_squared:.3f})"
+    )
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

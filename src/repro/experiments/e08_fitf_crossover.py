@@ -1,0 +1,69 @@
+"""E8 — Remark after Lemma 4: FITF stops being optimal at tau > K/p.
+
+Claim: global Furthest-In-The-Future — optimal for sequential paging and
+for ``tau = 0`` — is *not* optimal in the multicore model: on the Lemma 4
+workload, once ``tau > K/p``, ``S_FITF(R) > S_OFF(R)``.
+
+Measurement: sweep ``tau`` through the predicted crossover ``K/p``;
+before it FITF matches/beats the sacrifice strategy, after it FITF loses.
+"""
+
+from __future__ import annotations
+
+from repro import GlobalFITFPolicy, SharedStrategy, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import SacrificeStrategy
+from repro.workloads import lemma4_workload
+
+ID = "E8"
+TITLE = "Lemma 4 remark: the FITF optimality crossover at tau = K/p"
+CLAIM = (
+    "Furthest-In-The-Future is suboptimal in the multicore model: for "
+    "tau > K/p on the Lemma 4 workload, S_FITF(R) > S_OFF(R)."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"K": 16, "p": 4, "n": 2000},
+        full={"K": 32, "p": 4, "n": 20_000},
+    )
+    K, p, n = params["K"], params["p"], params["n"]
+    threshold = K // p
+    taus = sorted({0, 1, threshold - 1, threshold, threshold + 1, threshold + 2, 2 * threshold})
+    taus = [t for t in taus if t >= 0]
+    workload = lemma4_workload(K, p, n)
+    table = Table(
+        f"FITF vs sacrifice strategy: K={K}, p={p}, n={n}, K/p={threshold}",
+        ["tau", "S_FITF", "S_OFF", "FITF_loses", "past_crossover"],
+    )
+    fitf_good_at_zero = None
+    fitf_bad_past = None
+    for tau in taus:
+        fitf = simulate(
+            workload, K, tau, SharedStrategy(GlobalFITFPolicy)
+        ).total_faults
+        off = simulate(workload, K, tau, SacrificeStrategy()).total_faults
+        loses = fitf > off
+        past = tau > threshold
+        if tau == 0:
+            fitf_good_at_zero = not loses
+        if tau == threshold + 2:
+            fitf_bad_past = loses
+        table.add_row(tau, fitf, off, loses, past)
+
+    checks = {
+        "FITF competitive with the sacrifice strategy at tau=0": bool(
+            fitf_good_at_zero
+        ),
+        "FITF strictly loses past the crossover (tau = K/p + 2)": bool(
+            fitf_bad_past
+        ),
+    }
+    notes = (
+        "S_OFF is an explicit strategy (an upper bound on OPT), so "
+        "'FITF loses to S_OFF' certifies FITF's suboptimality directly."
+    )
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

@@ -1,0 +1,80 @@
+"""E10 — Theorem 6: the FTF dynamic program scales polynomially in n.
+
+Claim: for constant ``K`` and ``p``, Algorithm 1 minimises total faults
+in time ``O(n^{K+p} (tau+1)^p)`` — polynomial in the sequence length,
+exponential only in the cache size and core count.
+
+Measurement: expanded-state counts and wall time for growing ``n`` at
+fixed ``(K, p, tau)``, and for growing ``K`` at fixed ``n`` — the former
+must grow polynomially (bounded log-log slope), the latter much faster.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.analysis.tables import Table
+from repro.core.request import Workload
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import minimum_total_faults
+from repro.problems import FTFInstance
+from repro.workloads import uniform_workload
+
+ID = "E10"
+TITLE = "Theorem 6: Algorithm 1 is polynomial in n, exponential in K"
+CLAIM = (
+    "The FTF DP runs in O(n^{K+p}(tau+1)^p) for constant K, p: state "
+    "growth in n is polynomial with small exponent while growth in K is "
+    "much steeper."
+)
+
+
+def _instance(n: int, p: int, pages: int, seed=0) -> Workload:
+    return uniform_workload(p, n, pages, seed=seed)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"lengths": (4, 8, 16), "K": 3, "p": 2, "tau": 1, "pages": 3},
+        full={"lengths": (4, 8, 16, 32), "K": 3, "p": 2, "tau": 1, "pages": 3},
+    )
+    K, p, tau = params["K"], params["p"], params["tau"]
+    table = Table(
+        f"FTF DP scaling in n: K={K}, p={p}, tau={tau}",
+        ["n_per_core", "states", "seconds", "faults"],
+    )
+    measurements = []
+    for n in params["lengths"]:
+        w = _instance(n, p, params["pages"])
+        t0 = time.perf_counter()
+        res = minimum_total_faults(FTFInstance(w, K, tau))
+        dt = time.perf_counter() - t0
+        measurements.append((n, res.states_expanded))
+        table.add_row(n, res.states_expanded, dt, res.faults)
+
+    # Empirical exponent between consecutive sizes.
+    exponents = [
+        math.log(s2 / s1) / math.log(n2 / n1)
+        for (n1, s1), (n2, s2) in zip(measurements, measurements[1:])
+    ]
+
+    # K-scaling at the smallest n: states explode with K.
+    k_table_rows = []
+    w = _instance(params["lengths"][0] * 2, p, 5, seed=1)
+    for K2 in (2, 3, 4):
+        res = minimum_total_faults(FTFInstance(w, K2, tau))
+        k_table_rows.append((K2, res.states_expanded))
+        table.add_row(f"[K={K2}]", res.states_expanded, "-", res.faults)
+
+    checks = {
+        "growth in n is polynomial (empirical exponent < K+p+1)": all(
+            e < K + p + 1 for e in exponents
+        ),
+        "states grow superlinearly in K": (
+            k_table_rows[-1][1] > 2 * k_table_rows[0][1]
+        ),
+    }
+    notes = f"empirical n-exponents: {[round(e, 2) for e in exponents]}"
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

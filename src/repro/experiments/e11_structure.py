@@ -1,0 +1,74 @@
+"""E11 — Theorems 4 and 5: structure of optimal offline algorithms.
+
+Claim: (Thm 4) some optimal algorithm is honest — never evicts without a
+fault; (Thm 5) some optimal algorithm, on each fault, evicts the page
+furthest-in-the-future *within some single sequence*.
+
+Measurement: on exhaustively-searchable instances, the optimum over
+(a) honest executions, (b) executions with voluntary evictions, and
+(c) executions restricted to per-sequence-FITF victims must coincide.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import Table
+from repro.core.request import Workload
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import (
+    brute_force_ftf,
+    minimum_total_faults,
+    restricted_ftf_optimum,
+)
+from repro.problems import FTFInstance
+
+ID = "E11"
+TITLE = "Theorems 4 & 5: honesty and per-sequence FITF are free"
+CLAIM = (
+    "Optimal offline algorithms need neither voluntary evictions (Thm 4) "
+    "nor victims outside the per-sequence furthest-in-future set (Thm 5)."
+)
+
+
+def _random_disjoint(seed, p, length, pages):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"trials": 6, "taus": (0, 1), "length": 4, "pages": 3, "K": 3},
+        full={"trials": 20, "taus": (0, 1, 2), "length": 5, "pages": 3, "K": 3},
+    )
+    K = params["K"]
+    table = Table(
+        f"Exhaustive structural verification: p=2, K={K}",
+        ["tau", "trials", "honest==full", "perseq_fitf==unrestricted"],
+    )
+    all_honest = True
+    all_fitf = True
+    for tau in params["taus"]:
+        honest_ok = True
+        fitf_ok = True
+        for seed in range(params["trials"]):
+            w = _random_disjoint(seed, 2, params["length"], params["pages"])
+            inst = FTFInstance(w, K, tau)
+            honest = minimum_total_faults(inst, honest=True).faults
+            full = minimum_total_faults(inst, honest=False).faults
+            unrestricted = brute_force_ftf(inst)
+            restricted = restricted_ftf_optimum(inst)
+            honest_ok &= honest == full
+            fitf_ok &= restricted == unrestricted
+        all_honest &= honest_ok
+        all_fitf &= fitf_ok
+        table.add_row(tau, params["trials"], honest_ok, fitf_ok)
+
+    checks = {
+        "Theorem 4: honest optimum equals full-space optimum": all_honest,
+        "Theorem 5: per-sequence-FITF victims lose nothing": all_fitf,
+    }
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks)

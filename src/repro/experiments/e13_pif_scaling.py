@@ -1,0 +1,86 @@
+"""E13 — Theorem 7: the PIF decision DP, scaling and feasibility frontier.
+
+Claim: Algorithm 2 decides PIF in time polynomial in ``n`` for constant
+``K`` and ``p`` (``O(n^{K+2p+1}(tau+1)^{p+1})``); feasibility is monotone
+in the bounds and anti-monotone in the deadline.
+
+Measurement: state counts for growing ``n``; plus the feasibility
+frontier — for a fixed workload, the minimum uniform bound ``b`` that is
+feasible at each deadline is non-decreasing in the deadline.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import decide_pif
+from repro.problems import PIFInstance
+from repro.workloads import uniform_workload
+
+ID = "E13"
+TITLE = "Theorem 7: Algorithm 2 scaling and the feasibility frontier"
+CLAIM = (
+    "PIF is decidable in time polynomial in n for constant K, p; the "
+    "minimal feasible uniform bound grows with the checkpoint deadline."
+)
+
+
+def _frontier(workload, K, tau, deadline, b_max) -> int | None:
+    """Smallest uniform bound b with a feasible serving, or None."""
+    p = workload.num_cores
+    for b in range(b_max + 1):
+        inst = PIFInstance(workload, K, tau, deadline, (b,) * p)
+        if decide_pif(inst).feasible:
+            return b
+    return None
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"lengths": (3, 6, 12), "K": 3, "p": 2, "tau": 1, "pages": 3},
+        full={"lengths": (4, 8, 16, 24), "K": 3, "p": 2, "tau": 1, "pages": 3},
+    )
+    K, p, tau = params["K"], params["p"], params["tau"]
+    table = Table(
+        f"PIF DP scaling in n: K={K}, p={p}, tau={tau}",
+        ["n_per_core", "states", "seconds", "feasible"],
+    )
+    measurements = []
+    for n in params["lengths"]:
+        w = uniform_workload(p, n, params["pages"], seed=0)
+        inst = PIFInstance(w, K, tau, deadline=2 * n * (tau + 1), bounds=(n, n))
+        t0 = time.perf_counter()
+        res = decide_pif(inst)
+        dt = time.perf_counter() - t0
+        measurements.append((n, max(1, res.states_expanded)))
+        table.add_row(n, res.states_expanded, dt, res.feasible)
+
+    exponents = [
+        math.log(s2 / s1) / math.log(n2 / n1)
+        for (n1, s1), (n2, s2) in zip(measurements, measurements[1:])
+    ]
+
+    # Feasibility frontier over deadlines.
+    w = uniform_workload(p, params["lengths"][-1], params["pages"], seed=2)
+    horizon = params["lengths"][-1] * (tau + 1) * 2
+    frontier = []
+    for deadline in range(2, horizon, max(1, horizon // 6)):
+        b = _frontier(w, K, tau, deadline, b_max=params["lengths"][-1])
+        frontier.append((deadline, b))
+        table.add_row(f"[deadline={deadline}]", "-", "-", f"min_b={b}")
+
+    bs = [b for _, b in frontier if b is not None]
+    checks = {
+        "growth in n is polynomial (empirical exponent < K+2p+2)": all(
+            e < K + 2 * p + 2 for e in exponents
+        ),
+        "minimal feasible bound is non-decreasing in the deadline": all(
+            a <= b for a, b in zip(bs, bs[1:])
+        ),
+    }
+    notes = f"empirical n-exponents: {[round(e, 2) for e in exponents]}"
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

@@ -1,0 +1,108 @@
+"""E16 — Section 6: beyond total faults — makespan and fairness.
+
+The paper's conclusion argues the evaluation framework is itself open:
+"perhaps other measures such as fairness or relative progress of
+sequences should be considered over minimizing faults globally."  This
+experiment quantifies the tension on exhaustively-solvable instances and
+on the Lemma 4 workload:
+
+* the makespan optimum and the fault optimum genuinely conflict — there
+  are instances where finishing fastest costs strictly more faults;
+* the fault-minimising sacrifice strategy is maximally *unfair*: its
+  Jain index collapses and its minimax (egalitarian) fault cost exceeds
+  the PIF-derived minimax optimum, while shared LRU is fair but slow —
+  exactly the trade-off PIF was defined to police.
+"""
+
+from __future__ import annotations
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.objectives import jain_index, minimax_faults, minimum_makespan
+from repro.offline import SacrificeStrategy, dp_ftf
+from repro.problems import FTFInstance
+from repro.workloads import lemma4_workload
+
+ID = "E16"
+TITLE = "Section 6: fault count vs makespan vs fairness"
+CLAIM = (
+    "The objectives the paper distinguishes genuinely conflict: makespan-"
+    "optimal schedules can need strictly more faults than FTF-optimal "
+    "ones, and fault-optimal strategies can be maximally unfair."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"cycle_len": 9, "lemma4_n": 400, "taus": (1, 2)},
+        full={"cycle_len": 12, "lemma4_n": 4000, "taus": (1, 2, 4)},
+    )
+
+    table = Table(
+        "Objective conflicts on exhaustively solvable instances",
+        ["instance", "tau", "FTF_opt", "makespan_opt_steps", "faults@fastest", "conflict"],
+    )
+    conflict_seen = False
+    both_bounded = True
+    n = params["cycle_len"]
+    w = Workload(
+        [[(0, i % 3) for i in range(n)], [(1, i % 3) for i in range(n)]]
+    )
+    for tau in params["taus"]:
+        inst = FTFInstance(w, 4, tau)
+        ftf = dp_ftf(w, 4, tau)
+        ms = minimum_makespan(inst)
+        conflict = ms.faults_at_optimum > ftf
+        conflict_seen |= conflict
+        both_bounded &= ms.faults_at_optimum >= ftf
+        table.add_row(
+            "2x cycle(3), K=4", tau, ftf, ms.steps, ms.faults_at_optimum, conflict
+        )
+
+    # Fairness on the Lemma 4 workload: total faults vs Jain index.
+    K, p = 8, 2
+    lw = lemma4_workload(K, p, params["lemma4_n"])
+    tau = 4
+    fair_rows = []
+    for label, strategy in (
+        ("S_LRU", SharedStrategy(LRUPolicy)),
+        ("S_OFF (sacrifice)", SacrificeStrategy()),
+    ):
+        res = simulate(lw, K, tau, strategy)
+        fair_rows.append(
+            (label, res.total_faults, jain_index(res.faults_per_core))
+        )
+        table.add_row(
+            f"lemma4 {label}", tau, res.total_faults, "-", "-",
+            f"jain={jain_index(res.faults_per_core):.3f}",
+        )
+
+    # Minimax (egalitarian) optimum on a toy contested instance.
+    toy = Workload([[(0, 0), (0, 1)] * 3, [(1, 0), (1, 1)] * 3])
+    toy_inst = FTFInstance(toy, 3, 1)
+    mm = minimax_faults(toy_inst)
+    ftf_toy = dp_ftf(toy, 3, 1)
+    table.add_row("toy contested, K=3", 1, ftf_toy, "-", "-", f"minimax_b={mm}")
+
+    lru_jain = fair_rows[0][2]
+    off_jain = fair_rows[1][2]
+    checks = {
+        "makespan and fault optima conflict on some instance": conflict_seen,
+        "fastest schedule never beats the fault optimum": both_bounded,
+        "the fault-saving sacrifice strategy is less fair than LRU": (
+            off_jain < lru_jain
+        ),
+        "sacrifice saves faults at fairness's expense": (
+            fair_rows[1][1] < fair_rows[0][1]
+        ),
+        "egalitarian optimum exceeds the per-core share of FTF opt": (
+            mm >= ftf_toy / toy.num_cores
+        ),
+    }
+    notes = (
+        "PIF is exactly the mechanism the paper offers for policing this "
+        "trade-off: minimax_b is computed by binary search over Algorithm 2."
+    )
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

@@ -1,0 +1,87 @@
+"""E17 — The power of scheduling: this paper's model vs Hassidim's.
+
+The paper's defining choice (Sections 1–2) is that the cache algorithm
+must serve requests as they arrive; Hassidim's model lets it delay
+sequences, which is why his offline adversary is so strong (LRU is
+``Omega(tau/alpha)`` off it) and why his NP-completeness proof doesn't
+transfer (the paper's Theorem 2 needs a different reduction).  This
+experiment makes the modelling difference quantitative:
+
+* on conflict workloads (working-set peaks colliding), the
+  scheduler-augmented optimum is *strictly below* the paper's Algorithm 1
+  optimum — sometimes all the way down to compulsory misses;
+* even a trivial static stagger schedule realises the gain;
+* with admission forced open (zero stall budget / serve-all), the two
+  models coincide exactly — the gap is attributable to scheduling alone.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.contrast import (
+    ScheduledSimulator,
+    ServeAllScheduler,
+    StaggerScheduler,
+    scheduled_ftf_optimum,
+)
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.offline import dp_ftf
+from repro.problems import FTFInstance
+from repro.workloads import hassidim_conflict_workload
+
+ID = "E17"
+TITLE = "Power of scheduling: the paper's model vs Hassidim's"
+CLAIM = (
+    "Allowing the algorithm to delay sequences (Hassidim's model) "
+    "strictly reduces the optimal fault count on conflict workloads; "
+    "with scheduling disabled the models coincide."
+)
+
+
+def run(scale: str = "small") -> ExperimentResult:
+    params = scale_params(
+        scale,
+        small={"cycle": 2, "reps": 2, "taus": (1, 2, 3), "budget": 8},
+        full={"cycle": 2, "reps": 3, "taus": (1, 2, 3, 4), "budget": 12},
+    )
+    cycle, reps = params["cycle"], params["reps"]
+    w = hassidim_conflict_workload(cycle, reps)
+    K = 2 * cycle - 1
+    compulsory = len(w.universe)
+    table = Table(
+        f"Conflict workload: 2 cores x cycle({cycle}) x {reps}, K={K}",
+        ["tau", "paper_OPT", "sched_OPT<=", "stagger_LRU", "serve_all==paper"],
+    )
+    strict_gap = True
+    stagger_realises = True
+    coincide = True
+    for tau in params["taus"]:
+        inst = FTFInstance(w, K, tau)
+        paper_opt = dp_ftf(w, K, tau)
+        sched_opt = scheduled_ftf_optimum(inst, stall_budget=params["budget"])
+        # A stagger big enough for core 0 to finish first.
+        delay = len(w[0]) * (tau + 1) + 1
+        stagger = ScheduledSimulator(
+            w, K, tau, StaggerScheduler([0, delay])
+        ).run().total_faults
+        serve_all = ScheduledSimulator(w, K, tau, ServeAllScheduler()).run()
+        from repro import LRUPolicy, SharedStrategy, simulate
+
+        base = simulate(w, K, tau, SharedStrategy(LRUPolicy))
+        same = serve_all.faults_per_core == base.faults_per_core
+        strict_gap &= sched_opt < paper_opt
+        stagger_realises &= stagger == compulsory
+        coincide &= same
+        table.add_row(tau, paper_opt, sched_opt, stagger, same)
+
+    checks = {
+        "scheduled optimum strictly below the paper's optimum": strict_gap,
+        "a static stagger already reaches compulsory misses": stagger_realises,
+        "with admission forced open the models coincide": coincide,
+    }
+    notes = (
+        "sched_OPT is computed with a finite stall budget, hence an upper "
+        "bound on Hassidim's unbounded-scheduling optimum — the strict "
+        "gap survives a fortiori."
+    )
+    return ExperimentResult(ID, TITLE, CLAIM, table, checks, notes)

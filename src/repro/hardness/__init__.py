@@ -1,0 +1,45 @@
+"""Hardness of multicore paging (Section 5.1 of the paper).
+
+* 3-PARTITION / 4-PARTITION instances and exact solvers.
+* The Theorem 2 reduction (3-PARTITION -> PIF) and the Theorem 3 gadget
+  (4-PARTITION -> PIF, behind MAX-PIF APX-hardness).
+* The explicit witness schedule for yes-instances
+  (:class:`GroupRotationStrategy`), executed on the simulator.
+* An exact MAX-PIF solver for small instances.
+"""
+
+from repro.hardness.gap import GapCertificate, certify_gap, max_4partition_groups
+from repro.hardness.max_pif import MaxPIFResult, max_pif
+from repro.hardness.partition_problems import (
+    FourPartitionInstance,
+    ThreePartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+)
+from repro.hardness.reduction import (
+    alternating_sequence,
+    reduce_3partition_to_pif,
+    reduce_4partition_to_pif,
+    reduction_size,
+    required_hits,
+)
+from repro.hardness.schedule import GroupRotationStrategy, verify_yes_schedule
+
+__all__ = [
+    "FourPartitionInstance",
+    "GapCertificate",
+    "certify_gap",
+    "max_4partition_groups",
+    "GroupRotationStrategy",
+    "MaxPIFResult",
+    "ThreePartitionInstance",
+    "alternating_sequence",
+    "max_pif",
+    "random_no_instance",
+    "random_yes_instance",
+    "reduce_3partition_to_pif",
+    "reduce_4partition_to_pif",
+    "reduction_size",
+    "required_hits",
+    "verify_yes_schedule",
+]

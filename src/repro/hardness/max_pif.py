@@ -1,0 +1,112 @@
+"""MAX-PARTIAL-INDIVIDUAL-FAULTS (Definition 3) and the Theorem 3 gap.
+
+``max_pif`` computes, by exhaustive dynamic programming, the maximum
+number of sequences that can be kept within their fault bounds at the
+checkpoint.  Same state space as Algorithm 2, but bound violations are not
+pruned — instead fault counts are capped at ``b_i + 1`` (beyond-bound is
+beyond-bound, the excess does not matter), which keeps the vector space
+finite and small.
+
+Theorem 3's reduction maps MAX-4-PARTITION to MAX-PIF so that
+``OPT_PIF = OPT_4PART + 3n/4`` (each solved group keeps all 4 sequences
+within bounds; each unsolved group can save at most 3 of its 4).  The
+benchmark suite exercises the constructive side of this equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.offline.alg_state import DPSpace
+from repro.problems import PIFInstance
+
+__all__ = ["MaxPIFResult", "max_pif"]
+
+
+@dataclass(frozen=True)
+class MaxPIFResult:
+    #: Maximum number of sequences within bound at the checkpoint.
+    satisfied: int
+    #: A witness (capped) fault vector achieving it.
+    witness: tuple[int, ...]
+    states_expanded: int
+
+
+def _pareto_add(vectors: set, vec) -> None:
+    dominated = []
+    for other in vectors:
+        if all(o <= v for o, v in zip(other, vec)):
+            return
+        if all(v <= o for v, o in zip(vec, other)):
+            dominated.append(other)
+    for other in dominated:
+        vectors.discard(other)
+    vectors.add(vec)
+
+
+def max_pif(
+    instance: PIFInstance,
+    *,
+    honest: bool = True,
+    max_states: int | None = 5_000_000,
+) -> MaxPIFResult:
+    """Solve MAX-PIF exactly (exponential in ``K`` and ``p``)."""
+    space = DPSpace(instance.workload, instance.cache_size, instance.tau)
+    bounds = instance.bounds
+    deadline = instance.deadline
+    p = space.p
+    caps = tuple(b + 1 for b in bounds)
+
+    def score(vec) -> int:
+        return sum(1 for v, b in zip(vec, bounds) if v <= b)
+
+    start = (frozenset(), space.initial_positions)
+    layer: dict = {start: {tuple([0] * p)}}
+    expanded = 0
+    t = 0
+    while True:
+        finished_best: tuple[int, tuple] | None = None
+        for (config, positions), vectors in layer.items():
+            if t >= deadline or space.is_terminal(positions):
+                for vec in vectors:
+                    cand = (score(vec), vec)
+                    if finished_best is None or cand[0] > finished_best[0]:
+                        finished_best = cand
+        if t >= deadline:
+            if finished_best is None:
+                raise RuntimeError("no surviving state at the checkpoint")
+            return MaxPIFResult(
+                satisfied=finished_best[0],
+                witness=finished_best[1],
+                states_expanded=expanded,
+            )
+        if finished_best is not None and finished_best[0] == p:
+            return MaxPIFResult(
+                satisfied=p,
+                witness=finished_best[1],
+                states_expanded=expanded,
+            )
+        nxt: dict = {}
+        for (config, positions), vectors in layer.items():
+            if space.is_terminal(positions):
+                # No more faults can accrue; carry the state forward.
+                bucket = nxt.setdefault((config, positions), set())
+                for vec in vectors:
+                    _pareto_add(bucket, vec)
+                continue
+            for tr in space.transitions(config, positions, honest=honest):
+                key = (tr.config, tr.positions)
+                for vec in vectors:
+                    expanded += 1
+                    if max_states is not None and expanded > max_states:
+                        raise RuntimeError(
+                            f"MAX-PIF DP exceeded max_states={max_states}"
+                        )
+                    new_vec = tuple(
+                        min(v + d, cap)
+                        for v, d, cap in zip(vec, tr.fault_vector, caps)
+                    )
+                    bucket = nxt.setdefault(key, set())
+                    _pareto_add(bucket, new_vec)
+        layer = nxt
+        t += 1

@@ -1,0 +1,230 @@
+"""3-PARTITION and 4-PARTITION: instances, exact solvers, generators.
+
+These are the strongly NP-complete sources of the paper's reductions
+(Theorem 2 reduces 3-PARTITION to PIF; Theorem 3 reduces MAX-4-PARTITION
+to MAX-PIF).  The exact solvers here are exponential backtracking — fine
+for the instance sizes the reductions are exercised at.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = [
+    "ThreePartitionInstance",
+    "FourPartitionInstance",
+    "random_yes_instance",
+    "random_no_instance",
+]
+
+
+def _solve_grouping(values: tuple[int, ...], group_size: int, target: int):
+    """Exact cover of ``values`` (by index) into groups of ``group_size``
+    each summing to ``target``; returns a list of index-tuples or None."""
+    n = len(values)
+    unused = set(range(n))
+    groups: list[tuple[int, ...]] = []
+
+    def backtrack() -> bool:
+        if not unused:
+            return True
+        first = min(unused)
+        rest = sorted(unused - {first})
+        for combo in combinations(rest, group_size - 1):
+            group = (first, *combo)
+            if sum(values[i] for i in group) != target:
+                continue
+            for i in group:
+                unused.discard(i)
+            groups.append(group)
+            if backtrack():
+                return True
+            groups.pop()
+            for i in group:
+                unused.add(i)
+        return False
+
+    if backtrack():
+        return list(groups)
+    return None
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-PARTITION instance: integers ``values`` and bound ``B`` with
+    ``B/4 < s_i < B/2`` and ``sum(values) = (n/3) * B``.
+
+    Question: can the values be split into ``n/3`` disjoint triples each
+    summing to ``B``?  (The size constraints force every group to have
+    exactly 3 elements.)
+    """
+
+    values: tuple[int, ...]
+    B: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(int(v) for v in self.values))
+        n = len(self.values)
+        if n == 0 or n % 3 != 0:
+            raise ValueError(f"need a positive multiple of 3 values, got {n}")
+        if sum(self.values) != (n // 3) * self.B:
+            raise ValueError(
+                f"sum(values)={sum(self.values)} != (n/3)*B={(n // 3) * self.B}"
+            )
+        for v in self.values:
+            if not (self.B / 4 < v < self.B / 2):
+                raise ValueError(
+                    f"value {v} outside the open interval (B/4, B/2) = "
+                    f"({self.B / 4}, {self.B / 2})"
+                )
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.values) // 3
+
+    def unary_size(self) -> int:
+        """Encoding size with values written in unary — the measure under
+        which 3-PARTITION is *strongly* NP-complete and the Theorem 2
+        reduction is polynomial."""
+        return sum(self.values) + len(self.values)
+
+    def solve(self) -> list[tuple[int, int, int]] | None:
+        """Exact solution (groups of value-indices) or ``None``."""
+        return _solve_grouping(self.values, 3, self.B)
+
+    def is_yes_instance(self) -> bool:
+        return self.solve() is not None
+
+    def verify(self, groups) -> bool:
+        """Check a proposed solution: disjoint triples covering all
+        indices, each summing to B."""
+        seen: set[int] = set()
+        for g in groups:
+            if len(g) != 3 or sum(self.values[i] for i in g) != self.B:
+                return False
+            for i in g:
+                if i in seen:
+                    return False
+                seen.add(i)
+        return len(seen) == len(self.values)
+
+
+@dataclass(frozen=True)
+class FourPartitionInstance:
+    """A 4-PARTITION instance: ``B/5 < s_i < B/3``, groups of exactly 4."""
+
+    values: tuple[int, ...]
+    B: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(int(v) for v in self.values))
+        n = len(self.values)
+        if n == 0 or n % 4 != 0:
+            raise ValueError(f"need a positive multiple of 4 values, got {n}")
+        if sum(self.values) != (n // 4) * self.B:
+            raise ValueError(
+                f"sum(values)={sum(self.values)} != (n/4)*B={(n // 4) * self.B}"
+            )
+        for v in self.values:
+            if not (self.B / 5 < v < self.B / 3):
+                raise ValueError(
+                    f"value {v} outside the open interval (B/5, B/3)"
+                )
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.values) // 4
+
+    def solve(self) -> list[tuple[int, ...]] | None:
+        return _solve_grouping(self.values, 4, self.B)
+
+    def is_yes_instance(self) -> bool:
+        return self.solve() is not None
+
+    def max_partition(self) -> int:
+        """MAX-4-PARTITION: the maximum number of disjoint groups of 4
+        summing to B (Cieliebak et al.).  Exhaustive branch and bound."""
+        values = self.values
+        B = self.B
+        n = len(values)
+        best = 0
+
+        def backtrack(unused: frozenset, count: int) -> None:
+            nonlocal best
+            best = max(best, count)
+            if count + len(unused) // 4 <= best:
+                return
+            if len(unused) < 4:
+                return
+            first = min(unused)
+            rest = sorted(unused - {first})
+            # Either use `first` in some group...
+            for combo in combinations(rest, 3):
+                if values[first] + sum(values[i] for i in combo) == B:
+                    backtrack(
+                        unused - {first} - set(combo), count + 1
+                    )
+            # ...or leave it ungrouped.
+            backtrack(unused - {first}, count)
+
+        backtrack(frozenset(range(n)), 0)
+        return best
+
+
+def random_yes_instance(
+    num_groups: int, B: int, seed: int | None = None, group_size: int = 3
+) -> ThreePartitionInstance | FourPartitionInstance:
+    """Generate a solvable instance by sampling groups that sum to B."""
+    rng = random.Random(seed)
+    if group_size == 3:
+        lo, hi = B // 4 + 1, (B - 1) // 2  # strict bounds for integers
+        cls = ThreePartitionInstance
+    elif group_size == 4:
+        lo, hi = B // 5 + 1, (B - 1) // 3
+        cls = FourPartitionInstance
+    else:
+        raise ValueError("group_size must be 3 or 4")
+    if lo > hi or group_size * lo > B or group_size * hi < B:
+        raise ValueError(f"B={B} too small to admit valid {group_size}-groups")
+    values: list[int] = []
+    for _ in range(num_groups):
+        for attempt in range(10_000):
+            head = [rng.randint(lo, hi) for _ in range(group_size - 1)]
+            last = B - sum(head)
+            if lo <= last <= hi:
+                values.extend(head + [last])
+                break
+        else:
+            raise RuntimeError(f"could not sample a group for B={B}")
+    rng.shuffle(values)
+    return cls(tuple(values), B)
+
+
+def random_no_instance(
+    num_groups: int, B: int, seed: int | None = None, max_tries: int = 2000
+) -> ThreePartitionInstance:
+    """Generate an *unsolvable* 3-PARTITION instance by rejection sampling:
+    draw value multisets satisfying the constraints until the exact solver
+    fails.  Needs ``num_groups >= 2`` (a single valid group is always
+    solvable) and a ``B`` large enough that the value range has slack."""
+    if num_groups < 2:
+        raise ValueError("a single-group instance is always solvable")
+    rng = random.Random(seed)
+    lo, hi = B // 4 + 1, (B - 1) // 2
+    n = 3 * num_groups
+    total = num_groups * B
+    for _ in range(max_tries):
+        values = [rng.randint(lo, hi) for _ in range(n - 1)]
+        last = total - sum(values)
+        if not (lo <= last <= hi):
+            continue
+        values.append(last)
+        inst = ThreePartitionInstance(tuple(values), B)
+        if not inst.is_yes_instance():
+            return inst
+    raise RuntimeError(
+        f"no unsolvable instance found in {max_tries} tries "
+        f"(B={B} may be too constrained)"
+    )

@@ -1,0 +1,116 @@
+"""The Theorem 2 reduction: 3-PARTITION -> PARTIAL-INDIVIDUAL-FAULTS.
+
+Given a 3-PARTITION instance with values ``s_1..s_p`` and bound ``B``,
+build ``p`` disjoint sequences ``R_i = a_i b_i a_i b_i ...`` of length
+``B(tau+1) + 4tau + 5``, a cache of ``K = 4p/3`` cells, checkpoint time
+``t = B(tau+1) + 4tau + 5`` and per-sequence fault bounds
+``b_i = B - s_i + 4``.
+
+The instance is a PIF yes-instance iff the 3-PARTITION instance is
+solvable; the witness schedule (groups of three sequences rotating a
+fourth cell so sequence ``i`` collects exactly ``h_i = s_i(tau+1) + 1``
+hits) is constructed explicitly in :mod:`repro.hardness.schedule`.
+
+The Theorem 3 analog (4-PARTITION -> PIF, the gadget behind the MAX-PIF
+APX-hardness) uses ``K = 5p/4``, length/checkpoint ``B(tau+1) + 5tau + 6``
+and bounds ``B - s_i + 5``.
+
+Time convention: the simulator's step 0 is the paper's time 1, so the
+paper's "at time t" is "among requests presented at steps 0..t-1", i.e.
+``PIFInstance.deadline = t``.
+"""
+
+from __future__ import annotations
+
+from repro.core.request import Workload
+from repro.hardness.partition_problems import (
+    FourPartitionInstance,
+    ThreePartitionInstance,
+)
+from repro.problems import PIFInstance
+
+__all__ = [
+    "alternating_sequence",
+    "reduce_3partition_to_pif",
+    "reduce_4partition_to_pif",
+    "reduction_size",
+    "required_hits",
+]
+
+
+def reduction_size(pif) -> int:
+    """Total size of a reduced PIF instance: requests plus the numeric
+    parameters, the quantity that must stay polynomial in the source
+    instance's *unary* size for Theorem 2's reduction to count."""
+    return (
+        pif.workload.total_requests
+        + pif.cache_size
+        + pif.deadline
+        + sum(pif.bounds)
+        + pif.tau
+    )
+
+
+def alternating_sequence(core: int, length: int) -> list:
+    """The gadget sequence ``a_i b_i a_i b_i ...`` (pages are disjoint
+    across cores by construction)."""
+    alpha = ("alpha", core)
+    beta = ("beta", core)
+    return [alpha if i % 2 == 0 else beta for i in range(length)]
+
+
+def required_hits(s_i: int, tau: int) -> int:
+    """``h_i = s_i(tau+1) + 1``: hits sequence ``i`` must collect by the
+    checkpoint to stay within its fault bound."""
+    return s_i * (tau + 1) + 1
+
+
+def reduce_3partition_to_pif(
+    instance: ThreePartitionInstance, tau: int = 1
+) -> PIFInstance:
+    """Build the PIF instance of Theorem 2."""
+    if tau < 0:
+        raise ValueError("tau must be >= 0")
+    p = len(instance.values)
+    if (4 * p) % 3 != 0:
+        raise ValueError("number of values must be divisible by 3")
+    K = 4 * p // 3
+    B = instance.B
+    length = B * (tau + 1) + 4 * tau + 5
+    workload = Workload(
+        [alternating_sequence(i, length) for i in range(p)]
+    )
+    bounds = tuple(B - s + 4 for s in instance.values)
+    return PIFInstance(
+        workload=workload,
+        cache_size=K,
+        tau=tau,
+        deadline=length,
+        bounds=bounds,
+    )
+
+
+def reduce_4partition_to_pif(
+    instance: FourPartitionInstance, tau: int = 1
+) -> PIFInstance:
+    """Build the PIF instance used inside the Theorem 3 gap-preserving
+    reduction (4-PARTITION flavour)."""
+    if tau < 0:
+        raise ValueError("tau must be >= 0")
+    p = len(instance.values)
+    if (5 * p) % 4 != 0:
+        raise ValueError("number of values must be divisible by 4")
+    K = 5 * p // 4
+    B = instance.B
+    length = B * (tau + 1) + 5 * tau + 6
+    workload = Workload(
+        [alternating_sequence(i, length) for i in range(p)]
+    )
+    bounds = tuple(B - s + 5 for s in instance.values)
+    return PIFInstance(
+        workload=workload,
+        cache_size=K,
+        tau=tau,
+        deadline=length,
+        bounds=bounds,
+    )

@@ -1,0 +1,17 @@
+"""Alternative objectives: makespan (Hassidim's measure, in this model)
+and the fairness measures the paper's conclusion proposes."""
+
+from repro.objectives.fairness import (
+    jain_index,
+    minimax_faults,
+    progress_gap_series,
+)
+from repro.objectives.makespan import MakespanResult, minimum_makespan
+
+__all__ = [
+    "MakespanResult",
+    "jain_index",
+    "minimax_faults",
+    "minimum_makespan",
+    "progress_gap_series",
+]

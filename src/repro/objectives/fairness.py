@@ -1,0 +1,102 @@
+"""Fairness objectives — the evaluation measures the paper's conclusion
+proposes ("perhaps other measures such as fairness or relative progress
+of sequences should be considered over minimizing faults globally").
+
+* :func:`minimax_faults` — the egalitarian optimum: the smallest uniform
+  per-sequence fault bound that *some* schedule satisfies.  Computed by
+  binary search over the PIF decision procedure (which is exactly what
+  PIF was defined to express: "posing a bound on individual faults might
+  be required to ensure fairness").
+* :func:`jain_index` — Jain's fairness index of a fault (or any) vector.
+* :func:`progress_gap_series` — the relative-progress measure: how far
+  apart the cores' completed-request counts drift over an execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.trace import Trace
+from repro.offline.dp_pif import decide_pif
+from repro.problems import FTFInstance, PIFInstance
+
+__all__ = ["minimax_faults", "jain_index", "progress_gap_series"]
+
+
+def minimax_faults(
+    instance: FTFInstance,
+    *,
+    honest: bool = True,
+    max_states: int | None = 5_000_000,
+) -> int:
+    """Smallest ``b`` such that the workload can be served with at most
+    ``b`` faults on *every* sequence (checked at completion).
+
+    Exponential like the PIF DP it binary-searches over; toy sizes only.
+    """
+    workload = instance.workload
+    p = workload.num_cores
+    longest = max((len(s) for s in workload), default=0)
+    if longest == 0:
+        return 0
+    # A deadline safely past any completion: every request faulting.
+    horizon = longest * (instance.tau + 1) + 1
+
+    def feasible(b: int) -> bool:
+        pif = PIFInstance(
+            workload,
+            instance.cache_size,
+            instance.tau,
+            deadline=horizon,
+            bounds=(b,) * p,
+        )
+        return decide_pif(
+            pif, honest=honest, max_states=max_states
+        ).feasible
+
+    lo, hi = 0, longest
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` — 1.0 when all
+    equal, ``1/n`` when one value dominates.  Zero vectors count as
+    perfectly fair."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    denom = arr.size * float(np.sum(arr**2))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / denom
+
+
+def progress_gap_series(trace: Trace, num_cores: int) -> np.ndarray:
+    """Max-minus-min completed-request counts after each event — the
+    "relative progress of sequences" measure, as a time series.
+
+    Finished cores are excluded once they complete (their progress stops
+    by construction, not unfairness), so the series reflects drift among
+    cores still running; it ends when fewer than two cores remain.
+    """
+    totals = [0] * num_cores
+    for event in trace:
+        totals[event.core] += 1
+    done = [0] * num_cores
+    gaps = []
+    for event in trace:
+        done[event.core] += 1
+        running = [
+            done[j] for j in range(num_cores) if done[j] < totals[j]
+        ]
+        if len(running) >= 2:
+            gaps.append(max(running) - min(running))
+    return np.asarray(gaps, dtype=np.int64)

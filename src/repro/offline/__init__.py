@@ -1,0 +1,43 @@
+"""Offline algorithms for multicore paging (Section 5 of the paper).
+
+* Algorithm 1 — :func:`minimum_total_faults` / :func:`dp_ftf`: optimal
+  FINAL-TOTAL-FAULTS, polynomial in sequence length (Theorem 6).
+* Algorithm 2 — :func:`decide_pif`: PARTIAL-INDIVIDUAL-FAULTS decision
+  (Theorem 7).
+* :func:`brute_force_ftf` / :func:`brute_force_pif`: independent
+  event-driven exhaustive searches used to validate the DPs.
+* :func:`optimal_static_partition`: the offline-optimal static partition
+  ``sP^OPT_A`` in closed form.
+* :class:`SacrificeStrategy`: the Lemma 4 offline strategy.
+"""
+
+from repro.offline.brute_force import brute_force_ftf, brute_force_pif
+from repro.offline.dp_ftf import FTFResult, dp_ftf, minimum_total_faults
+from repro.offline.dp_pif import PIFResult, decide_pif
+from repro.offline.opt_static import (
+    OptimalPartition,
+    optimal_static_partition,
+    per_size_fault_table,
+    static_partition_faults,
+)
+from repro.offline.sacrifice import SacrificeStrategy
+from repro.offline.schedule_check import ScheduleReport, validate_schedule
+from repro.offline.structure import restricted_ftf_optimum
+
+__all__ = [
+    "FTFResult",
+    "OptimalPartition",
+    "PIFResult",
+    "SacrificeStrategy",
+    "brute_force_ftf",
+    "brute_force_pif",
+    "decide_pif",
+    "dp_ftf",
+    "minimum_total_faults",
+    "optimal_static_partition",
+    "restricted_ftf_optimum",
+    "per_size_fault_table",
+    "static_partition_faults",
+    "ScheduleReport",
+    "validate_schedule",
+]

@@ -1,0 +1,147 @@
+"""Shared state machinery for the paper's offline dynamic programs.
+
+Algorithms 1 (FTF) and 2 (PIF) walk the same state graph; this module
+implements the position encoding and transition generator both use.
+
+Position encoding (paper, Section 5.3, 1-based): ``x_i`` ranges over
+``1 .. n_i(tau+1)+1``.  Index ``(j-1)(tau+1)+1`` is the *page index* of the
+``j``-th request of ``R_i``; the following ``tau`` indices are its *fetch
+period* (traversed only if that request faulted).  A hit advances the index
+by ``tau+1`` (skipping the fetch period), a fault or an in-flight fetch
+advances it by 1.  ``n_i(tau+1)+1`` is the terminal index.
+
+Each transition of the state graph is one parallel timestep for every
+unfinished sequence.
+
+Fidelity notes (documented deviations from the pseudocode as printed,
+both necessary for physical realisability and neither affecting the
+optimum):
+
+* Successor configurations are restricted to ``C' ⊆ C ∪ R(x)``: a page can
+  only enter the cache by being fetched.  The printed pseudocode ranges
+  over *all* configurations containing ``R(x)``, which would let pages
+  materialise for free.
+* The initial state is the *empty* configuration (cold cache) rather than
+  "all configurations at cost 0".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.request import Workload
+from repro.core.types import Page
+
+__all__ = ["DPSpace", "Transition"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One parallel step out of a DP state."""
+
+    #: Successor configuration (includes in-flight pages).
+    config: frozenset
+    #: Successor position vector.
+    positions: tuple[int, ...]
+    #: Total new faults, set semantics (|R(x) \ C|) — the Algorithm 1 cost.
+    cost: int
+    #: Per-sequence fault indicator for this step — the Algorithm 2 cost.
+    fault_vector: tuple[int, ...]
+
+
+class DPSpace:
+    """The state graph shared by Algorithms 1 and 2."""
+
+    def __init__(self, workload: Workload, cache_size: int, tau: int):
+        self.workload = workload
+        self.K = cache_size
+        self.tau = tau
+        self.p = workload.num_cores
+        self._seqs: list[tuple[Page, ...]] = [s.as_tuple() for s in workload]
+        self._n = [len(s) for s in self._seqs]
+        self.terminals = tuple(n * (tau + 1) + 1 for n in self._n)
+        if len(workload.universe) and cache_size < 1:
+            raise ValueError("cache_size must be positive")
+
+    # -- position helpers -----------------------------------------------------
+    @property
+    def initial_positions(self) -> tuple[int, ...]:
+        return tuple(1 if n > 0 else t for n, t in zip(self._n, self.terminals))
+
+    def is_terminal(self, positions: Sequence[int]) -> bool:
+        return all(x == t for x, t in zip(positions, self.terminals))
+
+    def is_page_index(self, i: int, x: int) -> bool:
+        """Is ``x`` a page index (as opposed to fetch period / terminal)?"""
+        return x < self.terminals[i] and (x - 1) % (self.tau + 1) == 0
+
+    def page_at(self, i: int, x: int) -> Page:
+        """The page indexed by ``x`` in sequence ``i`` (page or fetching)."""
+        return self._seqs[i][(x - 1) // (self.tau + 1)]
+
+    def requested_pages(self, positions: Sequence[int]) -> frozenset:
+        """``R(x)``: pages currently requested or being fetched."""
+        return frozenset(
+            self.page_at(i, x)
+            for i, x in enumerate(positions)
+            if x < self.terminals[i]
+        )
+
+    # -- transitions ---------------------------------------------------------
+    def transitions(
+        self, config: frozenset, positions: Sequence[int], honest: bool = False
+    ) -> Iterator[Transition]:
+        """All legal one-step successors of ``(C, x)``.
+
+        ``honest=True`` restricts to honest algorithms (Theorem 4): evict
+        only as many pages as capacity forces.  The full space additionally
+        allows voluntary evictions (forcing future faults), which the
+        theorem proves never help — a claim the test-suite checks by
+        running both modes.
+        """
+        tau1 = self.tau + 1
+        new_pos = list(positions)
+        fault_vec = [0] * self.p
+        requested: set = set()
+        for i, x in enumerate(positions):
+            if x == self.terminals[i]:
+                continue
+            page = self.page_at(i, x)
+            requested.add(page)
+            if self.is_page_index(i, x):
+                if page in config:
+                    new_pos[i] = x + tau1  # hit
+                else:
+                    new_pos[i] = x + 1  # fault, enter fetch period
+                    fault_vec[i] = 1
+            else:
+                new_pos[i] = x + 1  # continue fetching
+        cost = len(requested - config)
+        base = frozenset(requested)
+        if len(base) > self.K:
+            return  # more simultaneous pages than cells: infeasible state
+        droppable = sorted(config - base, key=repr)
+        max_keep = self.K - len(base)
+        pos_t = tuple(new_pos)
+        if honest:
+            keep_sizes = [min(len(droppable), max_keep)]
+        else:
+            keep_sizes = range(min(len(droppable), max_keep) + 1)
+        for keep in keep_sizes:
+            for kept in combinations(droppable, keep):
+                yield Transition(
+                    config=base | frozenset(kept),
+                    positions=pos_t,
+                    cost=cost,
+                    fault_vector=tuple(fault_vec),
+                )
+
+    # -- sizing info -----------------------------------------------------------
+    def describe(self) -> str:
+        w = len(self.workload.universe)
+        return (
+            f"DPSpace(p={self.p}, K={self.K}, tau={self.tau}, "
+            f"n={sum(self._n)}, universe={w})"
+        )

@@ -1,0 +1,228 @@
+"""Independent brute-force optima, used to validate the dynamic programs.
+
+This module re-derives the optimum by exhaustive search over eviction
+choices, with a *different* state encoding from Algorithms 1/2 (explicit
+busy counters and per-core due offsets instead of the paper's position
+arithmetic), so that agreement between the two is a meaningful check.
+
+Step semantics follow the paper exactly: within one parallel step, hits
+are read against the step's starting cache, every page requested or
+mid-fetch this step survives the step (a cell being read cannot start a
+fetch), and the victims for the step's faults are chosen among the
+remaining resident pages.
+
+The search is honest (evicts only when capacity forces it) — justified
+for FTF by Theorem 4.  Intended for workloads with at most a dozen or so
+requests; everything is exponential.
+
+Assumes disjoint workloads (like every proof in the paper); for
+non-disjoint inputs the in-flight-page semantics of the DP and the
+simulator differ and neither is "the" ground truth.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+
+from repro.problems import FTFInstance, PIFInstance
+
+__all__ = ["brute_force_ftf", "brute_force_pif"]
+
+
+def _step_outcome(cache, positions, offsets, seqs, lengths, tau, p):
+    """Resolve one parallel step from a (time-shifted) state.
+
+    Returns ``(requested, fault_cores, hit_cores, base_next_offsets,
+    shifted_cache)`` where ``shifted_cache`` is the cache advanced to the
+    step and ``base_next_offsets`` are the next-due offsets relative to the
+    step for non-faulting bookkeeping.  ``None`` if no core is active.
+    """
+    active = [j for j in range(p) if positions[j] < lengths[j]]
+    if not active:
+        return None
+    delta = min(offsets[j] for j in active)
+    cache_now = frozenset((q, max(0, busy - delta)) for q, busy in cache)
+    new_offsets = [
+        (offsets[j] - delta) if positions[j] < lengths[j] else None
+        for j in range(p)
+    ]
+    due = [j for j in active if new_offsets[j] == 0]
+    resident = {q for q, busy in cache_now if busy == 0}
+    in_flight = {q for q, busy in cache_now if busy > 0}
+    hit_cores, fault_cores = [], []
+    for j in due:
+        page = seqs[j][positions[j]]
+        if page in resident or page in in_flight:
+            # In-flight counts as "in C" exactly as in the DP; only
+            # meaningful for non-disjoint workloads.
+            hit_cores.append(j)
+        else:
+            fault_cores.append(j)
+    return cache_now, new_offsets, due, hit_cores, fault_cores, delta
+
+
+def brute_force_ftf(instance: FTFInstance) -> int:
+    """Minimum total faults by exhaustive search over victim choices."""
+    workload = instance.workload
+    K = instance.cache_size
+    tau = instance.tau
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = tuple(len(s) for s in seqs)
+
+    @lru_cache(maxsize=None)
+    def search(cache: frozenset, positions: tuple, offsets: tuple) -> int:
+        step = _step_outcome(cache, positions, offsets, seqs, lengths, tau, p)
+        if step is None:
+            return 0
+        cache_now, new_offsets, due, hit_cores, fault_cores, _ = step
+        requested = {seqs[j][positions[j]] for j in due}
+        npos = list(positions)
+        for j in due:
+            npos[j] += 1
+            is_fault = j in fault_cores
+            new_offsets[j] = (
+                ((1 + tau) if is_fault else 1)
+                if npos[j] < lengths[j]
+                else None
+            )
+        fault_pages = sorted(
+            {seqs[j][positions[j]] for j in fault_cores}, key=repr
+        )
+        cost = len(fault_pages)
+        # Advance busy counters by one step happens implicitly via offsets;
+        # here we only mutate membership.  Keep requested resident pages,
+        # keep in-flight, insert fault pages, evict as capacity demands.
+        survivors = {
+            (q, busy) for q, busy in cache_now if busy > 0 or q in requested
+        }
+        droppable = sorted(
+            (item for item in cache_now if item[1] == 0 and item[0] not in requested),
+            key=lambda it: repr(it[0]),
+        )
+        incoming = {(q, tau + 1) for q in fault_pages}
+        need = len(survivors) + len(incoming)
+        if need > K:
+            return _INFEASIBLE
+        evict_count = max(0, need + len(droppable) - K)
+        if evict_count > len(droppable):
+            return _INFEASIBLE
+        best = _INFEASIBLE
+        for victims in combinations(droppable, evict_count):
+            new_cache = frozenset(
+                (survivors | set(droppable) - set(victims)) | incoming
+            )
+            sub = search(new_cache, tuple(npos), tuple(new_offsets))
+            if sub < best:
+                best = sub
+        if best >= _INFEASIBLE:
+            return _INFEASIBLE
+        return cost + best
+
+    offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
+    result = search(frozenset(), tuple([0] * p), offsets0)
+    search.cache_clear()
+    if result >= _INFEASIBLE:
+        raise RuntimeError("no feasible execution found; K < p?")
+    return result
+
+
+_INFEASIBLE = 10**12
+
+
+def brute_force_pif(instance: PIFInstance) -> bool:
+    """Decide PIF by exhaustive honest search.
+
+    Returns True iff some honest execution keeps every sequence within its
+    fault bound at the checkpoint.  (Algorithm 2 with ``honest=False``
+    additionally explores voluntary evictions; on every instance family we
+    test the answers coincide.)
+    """
+    workload = instance.workload
+    K = instance.cache_size
+    tau = instance.tau
+    deadline = instance.deadline
+    bounds = instance.bounds
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = tuple(len(s) for s in seqs)
+
+    failed: set = set()
+
+    def search(
+        cache: frozenset,
+        positions: tuple,
+        offsets: tuple,
+        now: int,
+        remaining: tuple,
+    ) -> bool:
+        active = [j for j in range(p) if positions[j] < lengths[j]]
+        if not active:
+            return True
+        delta = min(offsets[j] for j in active)
+        if now + delta >= deadline:
+            return True
+        key = (cache, positions, offsets, now + delta, remaining)
+        if key in failed:
+            return False
+        step = _step_outcome(cache, positions, offsets, seqs, lengths, tau, p)
+        cache_now, new_offsets, due, hit_cores, fault_cores, _ = step
+        now = now + delta
+        nrem = list(remaining)
+        ok = True
+        for j in fault_cores:
+            if nrem[j] == 0:
+                ok = False
+                break
+            nrem[j] -= 1
+        if ok:
+            requested = {seqs[j][positions[j]] for j in due}
+            npos = list(positions)
+            for j in due:
+                npos[j] += 1
+                is_fault = j in fault_cores
+                new_offsets[j] = (
+                    ((1 + tau) if is_fault else 1)
+                    if npos[j] < lengths[j]
+                    else None
+                )
+            fault_pages = sorted(
+                {seqs[j][positions[j]] for j in fault_cores}, key=repr
+            )
+            survivors = {
+                (q, busy)
+                for q, busy in cache_now
+                if busy > 0 or q in requested
+            }
+            droppable = sorted(
+                (
+                    item
+                    for item in cache_now
+                    if item[1] == 0 and item[0] not in requested
+                ),
+                key=lambda it: repr(it[0]),
+            )
+            incoming = {(q, tau + 1) for q in fault_pages}
+            need = len(survivors) + len(incoming)
+            if need <= K:
+                evict_count = max(0, need + len(droppable) - K)
+                if evict_count <= len(droppable):
+                    for victims in combinations(droppable, evict_count):
+                        new_cache = frozenset(
+                            (survivors | set(droppable) - set(victims))
+                            | incoming
+                        )
+                        if search(
+                            new_cache,
+                            tuple(npos),
+                            tuple(new_offsets),
+                            now,
+                            tuple(nrem),
+                        ):
+                            return True
+        failed.add(key)
+        return False
+
+    offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
+    return search(frozenset(), tuple([0] * p), offsets0, 0, bounds)

@@ -1,0 +1,128 @@
+"""Algorithm 1 of the paper: optimal FINAL-TOTAL-FAULTS by dynamic
+programming.
+
+Exponential in ``K`` and ``p`` but polynomial in the sequence lengths
+(Theorem 6: ``O(n^{K+p} (tau+1)^p)`` for constant ``K`` and ``p``), so this
+is for small instances — which is exactly its role in the paper and here:
+ground truth against which online strategies and structural claims are
+checked.
+
+States ``(C, x)`` are processed in increasing order of ``sum(x)``; every
+transition strictly increases that sum, so the graph is acyclic and a
+bucketed forward relaxation computes exact minima.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.offline.alg_state import DPSpace
+from repro.problems import FTFInstance
+
+__all__ = ["FTFResult", "minimum_total_faults", "dp_ftf"]
+
+
+@dataclass(frozen=True)
+class FTFResult:
+    """Output of the FTF dynamic program."""
+
+    #: The optimal (minimum) total number of faults.
+    faults: int
+    #: Number of DP states expanded (complexity instrumentation).
+    states_expanded: int
+    #: One optimal cache-configuration-per-step schedule, starting from the
+    #: empty configuration; ``None`` unless requested.
+    schedule: tuple[frozenset, ...] | None = None
+
+
+def minimum_total_faults(
+    instance: FTFInstance,
+    *,
+    honest: bool = True,
+    return_schedule: bool = False,
+    max_states: int | None = 5_000_000,
+) -> FTFResult:
+    """Run Algorithm 1 on ``instance``.
+
+    Parameters
+    ----------
+    honest:
+        Restrict to honest algorithms (no voluntary evictions).  Safe by
+        Theorem 4 and much faster; set ``False`` to search the full space
+        (the tests verify the theorem empirically by comparing both modes).
+    return_schedule:
+        Also reconstruct one optimal configuration-per-step schedule.
+    max_states:
+        Abort with ``RuntimeError`` if more states than this are expanded.
+    """
+    space = DPSpace(instance.workload, instance.cache_size, instance.tau)
+    start_pos = space.initial_positions
+    start = (frozenset(), start_pos)
+
+    if space.is_terminal(start_pos):
+        return FTFResult(
+            faults=0,
+            states_expanded=0,
+            schedule=(frozenset(),) if return_schedule else None,
+        )
+
+    best: dict = {start: 0}
+    parent: dict = {start: None} if return_schedule else {}
+    buckets: dict[int, set] = defaultdict(set)
+    buckets[sum(start_pos)].add(start)
+
+    expanded = 0
+    best_final: int | None = None
+    final_state = None
+    max_sum = sum(space.terminals)
+    for s in range(sum(start_pos), max_sum + 1):
+        states = buckets.pop(s, None)
+        if not states:
+            continue
+        for state in states:
+            config, positions = state
+            cost_here = best[state]
+            if space.is_terminal(positions):
+                if best_final is None or cost_here < best_final:
+                    best_final = cost_here
+                    final_state = state
+                continue
+            if best_final is not None and cost_here >= best_final:
+                continue  # cannot improve: costs only grow along paths
+            expanded += 1
+            if max_states is not None and expanded > max_states:
+                raise RuntimeError(
+                    f"FTF DP exceeded max_states={max_states} "
+                    f"({space.describe()})"
+                )
+            for tr in space.transitions(config, positions, honest=honest):
+                nxt = (tr.config, tr.positions)
+                ncost = cost_here + tr.cost
+                old = best.get(nxt)
+                if old is None or ncost < old:
+                    best[nxt] = ncost
+                    if return_schedule:
+                        parent[nxt] = state
+                    buckets[sum(tr.positions)].add(nxt)
+
+    if best_final is None:
+        raise RuntimeError("DP found no terminal state (internal error)")
+
+    schedule = None
+    if return_schedule:
+        chain = []
+        state = final_state
+        while state is not None:
+            chain.append(state[0])
+            state = parent[state]
+        schedule = tuple(reversed(chain))
+    return FTFResult(
+        faults=best_final, states_expanded=expanded, schedule=schedule
+    )
+
+
+def dp_ftf(workload, cache_size: int, tau: int, **kwargs) -> int:
+    """Convenience wrapper: optimal total faults for raw arguments."""
+    inst = FTFInstance(workload, cache_size, tau)
+    return minimum_total_faults(inst, **kwargs).faults

@@ -1,0 +1,145 @@
+"""Algorithm 2 of the paper: deciding PARTIAL-INDIVIDUAL-FAULTS.
+
+Same state graph as Algorithm 1, but because PIF bounds faults *per
+sequence at a checkpoint time*, each state carries the set of achievable
+per-sequence fault vectors, and the search is layered by timestep (one
+layer per parallel step, Theorem 7).
+
+Vectors that violate a bound are pruned immediately (faults only
+accumulate), and each state's vector set is kept Pareto-minimal —
+a vector dominated componentwise by another can be discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.offline.alg_state import DPSpace
+from repro.problems import PIFInstance
+
+__all__ = ["PIFResult", "decide_pif"]
+
+
+@dataclass(frozen=True)
+class PIFResult:
+    """Output of the PIF decision procedure."""
+
+    feasible: bool
+    #: A witness fault vector at the checkpoint (or at completion if the
+    #: workload finishes earlier), when feasible.
+    witness: tuple[int, ...] | None
+    #: Number of (state, vector) pairs examined.
+    states_expanded: int
+    #: The layer (timestep) at which feasibility was certified.
+    certified_at: int | None
+    #: One feasible configuration-per-step schedule (starting from the
+    #: empty configuration); only with ``return_schedule=True``.
+    schedule: tuple[frozenset, ...] | None = None
+
+
+def _pareto_add(vectors: set[tuple[int, ...]], vec: tuple[int, ...]) -> bool:
+    """Insert ``vec`` into a Pareto-minimal set.  Returns True if added."""
+    dominated = []
+    for other in vectors:
+        if all(o <= v for o, v in zip(other, vec)):
+            return False  # vec is dominated (or equal)
+        if all(v <= o for v, o in zip(vec, other)):
+            dominated.append(other)
+    for other in dominated:
+        vectors.discard(other)
+    vectors.add(vec)
+    return True
+
+
+def decide_pif(
+    instance: PIFInstance,
+    *,
+    honest: bool = True,
+    max_states: int | None = 5_000_000,
+    return_schedule: bool = False,
+) -> PIFResult:
+    """Decide the PIF instance.
+
+    ``honest`` restricts to honest executions.  For the *decision* problem
+    this is in principle a restriction — Theorem 4 establishes
+    fault-optimality of honest algorithms for FTF, not PIF feasibility —
+    so the default is justified case-by-case by the caller (the Theorem 2
+    reduction's yes-schedules are honest) and the tests compare both modes
+    on small instances.  Set ``honest=False`` for the full search.
+    """
+    space = DPSpace(instance.workload, instance.cache_size, instance.tau)
+    bounds = instance.bounds
+    deadline = instance.deadline
+    p = space.p
+
+    def within(vec: tuple[int, ...]) -> bool:
+        return all(v <= b for v, b in zip(vec, bounds))
+
+    start_pos = space.initial_positions
+    zero = tuple([0] * p)
+    # layer: dict[(C, x)] -> Pareto set of fault vectors
+    layer: dict = {(frozenset(), start_pos): {zero}}
+    expanded = 0
+    # parents[(t, state, vec)] = (state', vec') at layer t-1
+    parents: dict = {} if return_schedule else None
+
+    def reconstruct(t: int, state, vec):
+        chain = [state[0]]
+        while t > 0:
+            state, vec = parents[(t, state, vec)]
+            t -= 1
+            chain.append(state[0])
+        return tuple(reversed(chain))
+
+    t = 0
+    while True:
+        # Certification: at the checkpoint, or once every sequence has
+        # finished (no further faults can accrue), any surviving vector
+        # within bounds witnesses feasibility.  Surviving vectors are
+        # within bounds by construction.
+        for (config, positions), vectors in layer.items():
+            if t >= deadline or space.is_terminal(positions):
+                for vec in vectors:
+                    schedule = (
+                        reconstruct(t, (config, positions), vec)
+                        if return_schedule
+                        else None
+                    )
+                    return PIFResult(
+                        feasible=True,
+                        witness=vec,
+                        states_expanded=expanded,
+                        certified_at=t,
+                        schedule=schedule,
+                    )
+        if t >= deadline or not layer:
+            return PIFResult(
+                feasible=False,
+                witness=None,
+                states_expanded=expanded,
+                certified_at=None,
+            )
+        nxt_layer: dict = {}
+        for (config, positions), vectors in layer.items():
+            for tr in space.transitions(config, positions, honest=honest):
+                key = (tr.config, tr.positions)
+                for vec in vectors:
+                    expanded += 1
+                    if max_states is not None and expanded > max_states:
+                        raise RuntimeError(
+                            f"PIF DP exceeded max_states={max_states} "
+                            f"({space.describe()})"
+                        )
+                    new_vec = tuple(
+                        v + d for v, d in zip(vec, tr.fault_vector)
+                    )
+                    if not within(new_vec):
+                        continue
+                    bucket = nxt_layer.setdefault(key, set())
+                    if _pareto_add(bucket, new_vec) and parents is not None:
+                        parents[(t + 1, key, new_vec)] = (
+                            (config, positions),
+                            vec,
+                        )
+        layer = nxt_layer
+        t += 1

@@ -1,0 +1,149 @@
+"""Optimal static partitions: ``sP^OPT_A`` and ``sP^OPT_OPT``.
+
+For a *disjoint* workload under a static partition, the parts never
+interact: part ``j`` is an independent classical paging instance, so the
+fault count of ``sP^B_A`` is exactly ``sum_j A(R_j, k_j)`` regardless of
+``tau`` (delays realign sequences but never change which requests of
+``R_j`` hit a ``k_j``-cell cache).  That makes the offline-optimal static
+partition computable in polynomial time by a small allocation DP over
+per-sequence fault tables — no simulation needed.  The simulator agrees
+exactly (property-tested).
+
+This module provides:
+
+* :func:`per_size_fault_table` — faults of a policy on one sequence for
+  every cache size ``0..K``.
+* :func:`optimal_static_partition` — the partition ``B`` minimising total
+  faults for a given per-part policy (``sP^OPT_LRU``, ``sP^OPT_OPT``...).
+* :func:`static_partition_faults` — closed-form faults of a given
+  partition.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.request import Workload
+from repro.sequential.faults import (
+    belady_faults,
+    fifo_faults,
+    lru_faults_all_sizes,
+)
+
+__all__ = [
+    "per_size_fault_table",
+    "static_partition_faults",
+    "optimal_static_partition",
+    "OptimalPartition",
+]
+
+_INF = math.inf
+
+
+def per_size_fault_table(seq, max_size: int, policy: str = "opt") -> list[float]:
+    """``table[k]`` = faults of ``policy`` on ``seq`` with a ``k``-cell
+    cache, for ``k = 0..max_size``.  ``table[0]`` is ``inf`` for non-empty
+    sequences (a core with requests needs at least one cell) and ``0`` for
+    empty ones."""
+    n = len(seq)
+    if n == 0:
+        return [0.0] * (max_size + 1)
+    policy = policy.lower()
+    if policy == "lru":
+        tail = lru_faults_all_sizes(list(seq), max_size).tolist()
+    elif policy == "fifo":
+        tail = [fifo_faults(list(seq), k) for k in range(1, max_size + 1)]
+    elif policy in ("opt", "belady", "fitf"):
+        tail = [belady_faults(list(seq), k) for k in range(1, max_size + 1)]
+    else:
+        raise ValueError(f"unknown sequential policy {policy!r}")
+    return [_INF] + [float(f) for f in tail]
+
+
+@dataclass(frozen=True)
+class OptimalPartition:
+    """An optimal static partition and its (closed-form) fault count."""
+
+    partition: tuple[int, ...]
+    faults: int
+    policy: str
+
+
+def static_partition_faults(
+    workload: Workload, partition: Sequence[int], policy: str = "opt"
+) -> int:
+    """Closed-form faults of ``sP^B_policy`` on a disjoint workload."""
+    if not workload.is_disjoint:
+        raise ValueError(
+            "closed-form static-partition faults require a disjoint workload"
+        )
+    total = 0
+    for seq, k in zip(workload, partition):
+        if len(seq) == 0:
+            continue
+        if k <= 0:
+            raise ValueError("active core assigned zero cells")
+        table = per_size_fault_table(seq, k, policy)
+        total += int(table[k])
+    return total
+
+
+def optimal_static_partition(
+    workload: Workload | list,
+    cache_size: int,
+    policy: str = "opt",
+) -> OptimalPartition:
+    """Compute the fault-minimising static partition for ``policy``.
+
+    ``policy="opt"`` yields ``sP^OPT_OPT`` (the benchmark of Theorem 1),
+    ``policy="lru"`` yields ``sP^OPT_LRU`` (used in Lemma 2).
+
+    Allocation DP: ``dp[j][c]`` = minimum faults serving sequences
+    ``0..j-1`` with ``c`` cells; ``O(p * K^2)`` after the fault tables.
+    """
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    if not workload.is_disjoint:
+        raise ValueError(
+            "optimal_static_partition requires a disjoint workload "
+            "(for non-disjoint workloads the closed form does not hold)"
+        )
+    p = workload.num_cores
+    K = cache_size
+    tables = [per_size_fault_table(seq, K, policy) for seq in workload]
+
+    dp = np.full((p + 1, K + 1), _INF)
+    dp[0][0] = 0.0
+    choice = np.zeros((p + 1, K + 1), dtype=np.int64)
+    for j in range(1, p + 1):
+        table = tables[j - 1]
+        for c in range(K + 1):
+            best = _INF
+            best_k = 0
+            for k in range(c + 1):
+                if table[k] == _INF or dp[j - 1][c - k] == _INF:
+                    continue
+                cand = dp[j - 1][c - k] + table[k]
+                if cand < best:
+                    best = cand
+                    best_k = k
+            dp[j][c] = best
+            choice[j][c] = best_k
+
+    if dp[p][K] == _INF:
+        raise ValueError(
+            f"no feasible partition of {K} cells over {p} active cores"
+        )
+    # Reconstruct.
+    sizes = [0] * p
+    c = K
+    for j in range(p, 0, -1):
+        sizes[j - 1] = int(choice[j][c])
+        c -= sizes[j - 1]
+    return OptimalPartition(
+        partition=tuple(sizes), faults=int(dp[p][K]), policy=policy
+    )

@@ -1,0 +1,94 @@
+"""The offline "sacrifice one sequence" strategy from the proof of Lemma 4.
+
+The proof's ``S_OFF``: after the cold-start faults, all evictions target a
+single designated *victim* sequence, so every other sequence keeps its full
+working set resident and never faults again, while the victim faults
+(roughly) once per ``tau + 1`` steps because each of its faults delays it.
+On the Lemma 4 workload this beats shared LRU by a factor ``Omega(p(tau+1))``
+— and it also demonstrates the remark after Lemma 4: global
+Furthest-In-The-Future is *not* optimal once ``tau > K/p``, because FITF
+spreads the pain instead of sacrificing.
+
+The eviction rule, generalising the proof:
+
+* fault by a non-victim core: evict the victim-owned page whose next use
+  in the victim's sequence is *furthest* (any victim page works for the
+  bound; furthest is never worse);
+* fault by the victim core: evict the victim-owned page whose next use is
+  *soonest* — "evicts the next page to be requested in R_p" — leaving the
+  other sequences untouched;
+* if no victim-owned page is evictable (victim finished, or all its pages
+  already replaced), fall back to global FITF.
+"""
+
+from __future__ import annotations
+
+from repro.core.oracle import FutureOracle
+from repro.core.simulator import SimContext
+from repro.core.strategy import Strategy
+from repro.core.types import CoreId, Page, Time
+
+__all__ = ["SacrificeStrategy"]
+
+
+class SacrificeStrategy(Strategy):
+    """Offline shared strategy sacrificing one sequence (Lemma 4 proof).
+
+    Parameters
+    ----------
+    victim_core:
+        The sequence to sacrifice; defaults to the last core.
+    """
+
+    def __init__(self, victim_core: CoreId | None = None):
+        self.victim_core = victim_core
+        self._victim: CoreId = -1
+        self._oracle: FutureOracle | None = None
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self._victim = (
+            ctx.num_cores - 1 if self.victim_core is None else self.victim_core
+        )
+        if not 0 <= self._victim < ctx.num_cores:
+            raise ValueError(f"victim core {self._victim} out of range")
+        self._oracle = FutureOracle(ctx.workload)
+
+    def _others_active(self) -> bool:
+        workload = self.ctx.workload
+        positions = self.ctx.positions
+        return any(
+            positions[j] < len(workload[j])
+            for j in range(self.ctx.num_cores)
+            if j != self._victim
+        )
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if not cache.is_full:
+            return None
+        oracle = self._oracle
+        positions = self.ctx.positions
+        victim_pages = {
+            q
+            for q in cache.evictable_pages(t)
+            if cache.owner(q) == self._victim
+        }
+        # "Once the other sequences are completely served, the rest of R_p
+        # is served with all the cache": sacrifice only while others run.
+        if victim_pages and self._others_active():
+            key = lambda q: (
+                oracle.next_use_in(self._victim, q, positions[self._victim]),
+                repr(q),
+            )
+            if core == self._victim:
+                return min(victim_pages, key=key)
+            return max(victim_pages, key=key)
+        candidates = cache.evictable_pages(t)
+        if not candidates:
+            raise RuntimeError("cache full and every cell mid-fetch")
+        return oracle.furthest_page(candidates, positions)
+
+    @property
+    def name(self) -> str:
+        return f"S_OFF[sacrifice={self.victim_core if self.victim_core is not None else 'last'}]"

@@ -1,0 +1,109 @@
+"""Validation of configuration schedules produced by the DPs.
+
+Algorithms 1 and 2 can return a *schedule*: the cache configuration at
+each parallel step.  This module independently replays such a schedule
+against the workload and checks every legality rule of the model, then
+reports the implied fault counts — so a DP bug that produced an illegal
+or miscounted schedule cannot hide behind its own bookkeeping.
+
+Rules checked for each step ``t`` (config ``C_t`` -> ``C_{t+1}``):
+
+* capacity: ``|C_{t+1}| <= K``;
+* no materialisation: ``C_{t+1} ⊆ C_t ∪ R_t`` (pages enter only by being
+  fetched on request);
+* service: every page requested or mid-fetch at ``t`` is in ``C_{t+1}``;
+* progress: hits advance a sequence by one request per step; faults
+  occupy ``tau`` fetch steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.request import Workload
+
+__all__ = ["ScheduleReport", "validate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Outcome of replaying a configuration schedule."""
+
+    valid: bool
+    faults_per_core: tuple[int, ...]
+    #: Positions reached (requests fully served per core).
+    served: tuple[int, ...]
+    #: Human-readable reason when invalid.
+    reason: str | None = None
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_per_core)
+
+
+def validate_schedule(
+    workload: Workload | list,
+    cache_size: int,
+    tau: int,
+    schedule,
+) -> ScheduleReport:
+    """Replay ``schedule`` (a sequence of configurations, starting with
+    the initial one) against ``workload`` and validate every step."""
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    schedule = [frozenset(c) for c in schedule]
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = [len(s) for s in seqs]
+
+    positions = [0] * p
+    fetch_left = [0] * p  # remaining fetch steps of the current fault
+    faults = [0] * p
+
+    def fail(step, why) -> ScheduleReport:
+        return ScheduleReport(
+            valid=False,
+            faults_per_core=tuple(faults),
+            served=tuple(positions),
+            reason=f"step {step}: {why}",
+        )
+
+    if not schedule:
+        return ScheduleReport(False, tuple(faults), tuple(positions), "empty schedule")
+    if schedule[0]:
+        return fail(0, "schedule must start from the empty configuration")
+
+    for step in range(len(schedule) - 1):
+        config, nxt = schedule[step], schedule[step + 1]
+        if len(nxt) > cache_size:
+            return fail(step, f"configuration exceeds K={cache_size}")
+        requested = set()
+        for j in range(p):
+            if positions[j] >= lengths[j]:
+                continue
+            page = seqs[j][positions[j]]
+            requested.add(page)
+        if not nxt <= config | requested:
+            return fail(step, "page materialised without being requested")
+        if not requested <= nxt:
+            return fail(step, "a requested/fetching page was dropped")
+        # Advance each sequence exactly as the model dictates.
+        for j in range(p):
+            if positions[j] >= lengths[j]:
+                continue
+            page = seqs[j][positions[j]]
+            if fetch_left[j] > 0:
+                fetch_left[j] -= 1
+                if fetch_left[j] == 0:
+                    positions[j] += 1
+            elif page in config:
+                positions[j] += 1  # hit
+            else:
+                faults[j] += 1  # fault: tau further fetch steps
+                if tau == 0:
+                    positions[j] += 1
+                else:
+                    fetch_left[j] = tau
+    return ScheduleReport(
+        valid=True, faults_per_core=tuple(faults), served=tuple(positions)
+    )

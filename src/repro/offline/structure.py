@@ -1,0 +1,122 @@
+"""Structural properties of optimal offline algorithms (Theorems 4 and 5).
+
+Theorem 4 (honesty): some optimal algorithm never evicts without a fault.
+Theorem 5 (per-sequence FITF): some optimal algorithm, on each fault,
+evicts a page that is furthest-in-the-future *within its own sequence*.
+
+Both are verified empirically by exhaustive search:
+
+* honesty — Algorithm 1 run with ``honest=True`` vs ``honest=False``
+  (see :func:`repro.offline.minimum_total_faults`);
+* per-sequence FITF — :func:`restricted_ftf_optimum` below, a brute force
+  whose victim menu at each fault is only, per sequence, that sequence's
+  furthest-in-the-future resident page.  Theorem 5 says this restriction
+  is free: it must match :func:`repro.offline.brute_force_ftf` exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.offline.brute_force import _step_outcome
+from repro.problems import FTFInstance
+
+__all__ = ["restricted_ftf_optimum"]
+
+_BIG = 10**9
+
+
+def restricted_ftf_optimum(instance: FTFInstance) -> int:
+    """Minimum total faults when victims are restricted per Theorem 5.
+
+    Requires a disjoint workload (like the theorem).  Exponential; use on
+    toy instances only.
+    """
+    workload = instance.workload
+    if not workload.is_disjoint:
+        raise ValueError("Theorem 5 is stated for disjoint workloads")
+    K, tau, p = instance.cache_size, instance.tau, workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = tuple(len(s) for s in seqs)
+    owner = {}
+    for j, seq in enumerate(seqs):
+        for page in seq:
+            owner[page] = j
+
+    def next_use(page, positions) -> int:
+        j = owner[page]
+        seq = workload[j]
+        idx = seq.first_occurrence_from(page, positions[j])
+        return idx - positions[j] if idx < len(seq) else _BIG
+
+    @lru_cache(maxsize=None)
+    def search(cache, positions, offsets) -> int:
+        step = _step_outcome(cache, positions, offsets, seqs, lengths, tau, p)
+        if step is None:
+            return 0
+        cache_now, new_offsets, due, _hit, fault_cores, _ = step
+        requested = {seqs[j][positions[j]] for j in due}
+        npos = list(positions)
+        for j in due:
+            npos[j] += 1
+            new_offsets[j] = (
+                ((1 + tau) if j in fault_cores else 1)
+                if npos[j] < lengths[j]
+                else None
+            )
+        fault_pages = sorted(
+            {seqs[j][positions[j]] for j in fault_cores}, key=repr
+        )
+        survivors = {(q, b) for q, b in cache_now if b > 0 or q in requested}
+        droppable = [
+            it for it in cache_now if it[1] == 0 and it[0] not in requested
+        ]
+        incoming = {(q, tau + 1) for q in fault_pages}
+        need = len(survivors) + len(incoming)
+        if need > K:
+            return _BIG
+        evict_count = max(0, need + len(droppable) - K)
+        # Theorem 5: each eviction takes the currently-furthest resident
+        # page of *some* sequence; several evictions in one step may take
+        # a prefix of one sequence's furthest-first order.
+        by_seq: dict = {}
+        for it in droppable:
+            by_seq.setdefault(owner[it[0]], []).append(it)
+        menus = [
+            sorted(
+                items,
+                key=lambda it: (next_use(it[0], npos), repr(it[0])),
+                reverse=True,
+            )
+            for items in by_seq.values()
+        ]
+
+        def victim_sets(menu_index: int, still_needed: int):
+            if still_needed == 0:
+                yield frozenset()
+                return
+            if menu_index >= len(menus):
+                return
+            menu = menus[menu_index]
+            for take in range(0, min(still_needed, len(menu)) + 1):
+                for rest in victim_sets(menu_index + 1, still_needed - take):
+                    yield frozenset(menu[:take]) | rest
+
+        best = None
+        for victims in victim_sets(0, evict_count):
+            new_cache = frozenset(
+                (survivors | set(droppable) - set(victims)) | incoming
+            )
+            sub = search(new_cache, tuple(npos), tuple(new_offsets))
+            if best is None or sub < best:
+                best = sub
+        if best is None or best >= _BIG:
+            return _BIG
+        return len(fault_pages) + best
+
+    offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
+    out = search(frozenset(), tuple([0] * p), offsets0)
+    search.cache_clear()
+    if out >= _BIG:
+        raise RuntimeError("restricted search found no feasible execution")
+    return out

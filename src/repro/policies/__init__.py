@@ -1,0 +1,51 @@
+"""Eviction policies for the multicore paging simulator.
+
+Each policy manages metadata for one pool of cells (the shared cache, or a
+single part of a partition) and answers "which page do I evict?".  See
+:class:`repro.policies.base.EvictionPolicy` for the protocol.
+"""
+
+from repro.policies.advanced import ARCPolicy, LRUKPolicy, SLRUPolicy, TwoQPolicy
+from repro.policies.base import EvictionPolicy, PolicyFactory
+from repro.policies.belady import GlobalFITFPolicy, PerSequenceFITFPolicy
+from repro.policies.clock import ClockPolicy
+from repro.policies.frequency import LFUPolicy
+from repro.policies.marking import MarkingPolicy, RandomizedMarkingPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.recency import FIFOPolicy, LIFOPolicy, LRUPolicy, MRUPolicy
+
+#: Registry of deterministic, online, context-free policies by short name.
+ONLINE_POLICIES: dict[str, type[EvictionPolicy]] = {
+    "LRU": LRUPolicy,
+    "FIFO": FIFOPolicy,
+    "LIFO": LIFOPolicy,
+    "MRU": MRUPolicy,
+    "LFU": LFUPolicy,
+    "CLOCK": ClockPolicy,
+    "MARK": MarkingPolicy,
+    "LRU2": LRUKPolicy,
+    "SLRU": SLRUPolicy,
+    "2Q": TwoQPolicy,
+    "ARC": ARCPolicy,
+}
+
+__all__ = [
+    "ARCPolicy",
+    "ClockPolicy",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "GlobalFITFPolicy",
+    "LFUPolicy",
+    "LIFOPolicy",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "MarkingPolicy",
+    "ONLINE_POLICIES",
+    "PerSequenceFITFPolicy",
+    "PolicyFactory",
+    "RandomPolicy",
+    "RandomizedMarkingPolicy",
+    "SLRUPolicy",
+    "TwoQPolicy",
+]

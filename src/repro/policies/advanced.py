@@ -1,0 +1,283 @@
+"""Advanced eviction policies: LRU-K, SLRU, 2Q, ARC.
+
+These postdate-the-textbook policies are the practical state of the art
+the paper's related-work section gestures at (adaptive insertion /
+scan-resistant caches, Qureshi et al. being the cited cousin).  They are
+included so the policy-landscape experiment (E14) and the examples can
+place the paper's theory against realistic baselines.
+
+Adaptation to the pool protocol: the simulator may exclude some pooled
+pages from the candidate set (mid-fetch cells, same-step pins), so every
+policy here ranks its *entire* pool and returns the best-ranked member of
+``candidates``.  Capacity-relative thresholds (SLRU's protected segment,
+2Q's A1in target, ARC's adaptation clock) use the live pool size, since a
+pool's capacity is the owning strategy's business, not the policy's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["LRUKPolicy", "SLRUPolicy", "TwoQPolicy", "ARCPolicy"]
+
+
+class LRUKPolicy(EvictionPolicy):
+    """LRU-K (O'Neil, O'Neil & Weikum): evict the page whose K-th most
+    recent reference is oldest.
+
+    Pages with fewer than K references rank before all fully-referenced
+    pages (their K-th reference is "minus infinity"), with ties broken by
+    least-recent last reference — the standard formulation.
+    """
+
+    def __init__(self, k: int = 2):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._history: dict[Page, deque[int]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._history.clear()
+
+    def _touch(self, page: Page) -> None:
+        hist = self._history.setdefault(page, deque(maxlen=self.k))
+        hist.append(self._tick())
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        self._history.pop(page, None)
+        self._touch(page)
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        self._touch(page)
+
+    def on_evict(self, page: Page) -> None:
+        self._history.pop(page, None)
+
+    def _rank(self, page: Page) -> tuple[int, int]:
+        hist = self._history[page]
+        kth = hist[0] if len(hist) == self.k else -1
+        return (kth, hist[-1])
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        return min(candidates, key=self._rank)
+
+    @property
+    def name(self) -> str:
+        return f"LRU-{self.k}"
+
+
+class SLRUPolicy(EvictionPolicy):
+    """Segmented LRU: a probationary segment for new pages and a
+    protected segment for re-referenced ones.
+
+    A hit in probation promotes to protected; when protected exceeds its
+    share (half the live pool by default) its LRU page demotes back to
+    probation.  Victims come from probation first.
+    """
+
+    def __init__(self, protected_fraction: float = 0.5):
+        super().__init__()
+        if not 0 < protected_fraction < 1:
+            raise ValueError("protected_fraction must be in (0, 1)")
+        self.protected_fraction = protected_fraction
+        self._probation: OrderedDict[Page, None] = OrderedDict()
+        self._protected: OrderedDict[Page, None] = OrderedDict()
+
+    def reset(self) -> None:
+        super().reset()
+        self._probation.clear()
+        self._protected.clear()
+
+    def _pool_size(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def _protected_cap(self) -> int:
+        return max(1, int(self._pool_size() * self.protected_fraction))
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        self._probation[page] = None
+        self._probation.move_to_end(page)
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        if page in self._probation:
+            del self._probation[page]
+            self._protected[page] = None
+        self._protected.move_to_end(page)
+        while len(self._protected) > self._protected_cap():
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None
+            self._probation.move_to_end(demoted, last=False)
+
+    def on_evict(self, page: Page) -> None:
+        self._probation.pop(page, None)
+        self._protected.pop(page, None)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        for page in self._probation:  # LRU-first order
+            if page in candidates:
+                return page
+        for page in self._protected:
+            if page in candidates:
+                return page
+        raise ValueError("no candidate found in SLRU segments")
+
+    @property
+    def name(self) -> str:
+        return "SLRU"
+
+
+class TwoQPolicy(EvictionPolicy):
+    """Simplified 2Q (Johnson & Shasha): a FIFO admission queue ``A1in``,
+    a ghost queue ``A1out`` of recently evicted one-timers, and a main
+    LRU queue ``Am``.
+
+    A page whose ghost is remembered is admitted straight into ``Am``;
+    victims come from ``A1in`` while it exceeds its target share.
+    """
+
+    def __init__(self, a1_fraction: float = 0.25, ghost_fraction: float = 0.5):
+        super().__init__()
+        if not 0 < a1_fraction < 1:
+            raise ValueError("a1_fraction must be in (0, 1)")
+        self.a1_fraction = a1_fraction
+        self.ghost_fraction = ghost_fraction
+        self._a1in: OrderedDict[Page, None] = OrderedDict()
+        self._am: OrderedDict[Page, None] = OrderedDict()
+        self._a1out: OrderedDict[Page, None] = OrderedDict()
+
+    def reset(self) -> None:
+        super().reset()
+        self._a1in.clear()
+        self._am.clear()
+        self._a1out.clear()
+
+    def _pool_size(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        if page in self._a1out:
+            del self._a1out[page]
+            self._am[page] = None
+            self._am.move_to_end(page)
+        else:
+            self._a1in[page] = None
+            self._a1in.move_to_end(page)
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        # 2Q leaves A1in order alone on hits (FIFO); Am is LRU.
+        if page in self._am:
+            self._am.move_to_end(page)
+
+    def on_evict(self, page: Page) -> None:
+        if page in self._a1in:
+            del self._a1in[page]
+            self._a1out[page] = None
+            ghost_cap = max(1, int(self._pool_size() * self.ghost_fraction))
+            while len(self._a1out) > ghost_cap:
+                self._a1out.popitem(last=False)
+        else:
+            self._am.pop(page, None)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        a1_target = max(1, int(self._pool_size() * self.a1_fraction))
+        if len(self._a1in) >= a1_target:
+            for page in self._a1in:  # FIFO order
+                if page in candidates:
+                    return page
+        for page in self._am:  # LRU order
+            if page in candidates:
+                return page
+        for page in self._a1in:
+            if page in candidates:
+                return page
+        raise ValueError("no candidate found in 2Q queues")
+
+    @property
+    def name(self) -> str:
+        return "2Q"
+
+
+class ARCPolicy(EvictionPolicy):
+    """ARC (Megiddo & Modha): two resident lists T1 (recency) and T2
+    (frequency) plus ghost lists B1/B2 steering the adaptation target
+    ``p``.
+
+    The canonical formulation owns the cache; here the policy only ranks
+    victims, so the REPLACE rule picks between the LRU ends of T1 and T2
+    by the adapted ``p``, with ghost-driven adaptation applied on
+    (re-)insertions exactly as in the paper.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._t1: OrderedDict[Page, None] = OrderedDict()
+        self._t2: OrderedDict[Page, None] = OrderedDict()
+        self._b1: OrderedDict[Page, None] = OrderedDict()
+        self._b2: OrderedDict[Page, None] = OrderedDict()
+        self._p = 0.0
+
+    def reset(self) -> None:
+        super().reset()
+        for q in (self._t1, self._t2, self._b1, self._b2):
+            q.clear()
+        self._p = 0.0
+
+    def _cache_size(self) -> int:
+        return max(1, len(self._t1) + len(self._t2))
+
+    def _trim_ghosts(self) -> None:
+        c = self._cache_size()
+        while len(self._b1) > c:
+            self._b1.popitem(last=False)
+        while len(self._b2) > c:
+            self._b2.popitem(last=False)
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        if page in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(self._cache_size()), self._p + delta)
+            del self._b1[page]
+            self._t2[page] = None
+        elif page in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[page]
+            self._t2[page] = None
+        else:
+            self._t1[page] = None
+        self._trim_ghosts()
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        if page in self._t1:
+            del self._t1[page]
+        self._t2[page] = None
+        self._t2.move_to_end(page)
+
+    def on_evict(self, page: Page) -> None:
+        if page in self._t1:
+            del self._t1[page]
+            self._b1[page] = None
+        elif page in self._t2:
+            del self._t2[page]
+            self._b2[page] = None
+        self._trim_ghosts()
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        prefer_t1 = len(self._t1) >= max(1.0, self._p)
+        orders = (
+            (self._t1, self._t2) if prefer_t1 else (self._t2, self._t1)
+        )
+        for queue in orders:
+            for page in queue:  # LRU-first
+                if page in candidates:
+                    return page
+        raise ValueError("no candidate found in ARC lists")
+
+    @property
+    def name(self) -> str:
+        return "ARC"

@@ -1,0 +1,75 @@
+"""Eviction-policy protocol.
+
+An :class:`EvictionPolicy` manages the access metadata for one *pool* of
+cache cells — the whole cache for a shared strategy, a single part for a
+partitioned strategy — and names a victim among the evictable candidates on
+demand.  Policies never touch the cache themselves.
+
+Determinism: every policy here is deterministic (Random takes a seed), and
+ties are broken by a monotone access counter so that runs are exactly
+reproducible.  The simulator serves simultaneous requests in ascending core
+order, which makes the counter well-defined.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.types import CoreId, Page, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import SimContext
+
+__all__ = ["EvictionPolicy", "PolicyFactory"]
+
+
+class EvictionPolicy(abc.ABC):
+    """Base class for eviction policies over one pool of cells."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Forget everything (called by the strategy at attach time)."""
+        self._clock = 0
+
+    def bind(self, ctx: "SimContext") -> None:
+        """Offer run context to policies that need it (Belady variants).
+        Default: ignore."""
+
+    def bind_core(self, core: CoreId) -> None:
+        """Tell the policy it serves a single core's part (partitioned
+        strategies).  Default: ignore."""
+
+    # -- bookkeeping callbacks ------------------------------------------------
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        """A faulted page entered the pool at step ``t``."""
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        """A pooled page was hit at step ``t``."""
+
+    def on_evict(self, page: Page) -> None:
+        """A pooled page left the pool (by this or any other decision)."""
+
+    # -- the decision ---------------------------------------------------------
+    @abc.abstractmethod
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        """Choose the page to evict among ``candidates`` (non-empty, all
+        currently evictable members of this pool)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Policy")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} policy>"
+
+
+#: Anything callable with no arguments that yields a fresh policy.
+PolicyFactory = Callable[[], EvictionPolicy]

@@ -1,0 +1,116 @@
+"""Furthest-In-The-Future (Belady) policies.
+
+``GlobalFITFPolicy`` evicts the cached page whose next request — measured in
+request distance over all cores at their current positions — is furthest
+away.  Sequentially (``p = 1``) and for ``tau = 0`` this is the optimal
+offline policy (paper, Section 5.1); for ``tau > 0`` the paper's remark
+after Lemma 4 shows it is *not* optimal, a crossover experiment E8
+reproduces.
+
+``PerSequenceFITFPolicy`` applies the FITF rule within a single core's
+sequence — the eviction shape an optimal algorithm can always take by
+Theorem 5 (the hard part, which sequence to evict from, is the caller's
+problem).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.oracle import FutureOracle
+from repro.core.types import CoreId, Page, Time
+from repro.policies.base import EvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import SimContext
+
+__all__ = ["GlobalFITFPolicy", "PerSequenceFITFPolicy"]
+
+
+class GlobalFITFPolicy(EvictionPolicy):
+    """Evict the page requested furthest in the future across all cores.
+
+    ``metric`` selects how "furthest" is measured:
+
+    * ``"time"`` (default): estimated steps until the next request —
+      exact at ``tau = 0`` (required for the Section 5.1 optimality) and
+      a consistent cross-core measure mid-step;
+    * ``"distance"``: raw per-core request distance — the naive
+      adaptation, kept as an ablation (it loses the tau = 0 optimality;
+      see ``benchmarks/bench_ablations``).
+    """
+
+    def __init__(self, metric: str = "time") -> None:
+        super().__init__()
+        if metric not in ("time", "distance"):
+            raise ValueError(f"unknown FITF metric {metric!r}")
+        self.metric = metric
+        self._ctx: "SimContext | None" = None
+        self._oracle: FutureOracle | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._ctx = None
+        self._oracle = None
+
+    def bind(self, ctx: "SimContext") -> None:
+        self._ctx = ctx
+        self._oracle = FutureOracle(ctx.workload)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        if self._ctx is None or self._oracle is None:
+            raise RuntimeError("FITF policy used without a bound context")
+        if self.metric == "distance":
+            return self._oracle.furthest_page(candidates, self._ctx.positions)
+        return self._oracle.furthest_page_by_time(
+            candidates, self._ctx.positions, self._ctx.ready, t
+        )
+
+    @property
+    def name(self) -> str:
+        return "FITF" if self.metric == "time" else "FITF[dist]"
+
+
+class PerSequenceFITFPolicy(EvictionPolicy):
+    """FITF restricted to the owning core's sequence.
+
+    Intended for partitioned strategies, where each part holds exactly one
+    core's pages; the part's policy is told its core via :meth:`bind_core`.
+    Within a static partition this *is* the optimal eviction policy for
+    that part (each part is an independent sequential paging instance), so
+    ``sP^B_OPT`` in Lemma 1 is realised by this policy.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ctx: "SimContext | None" = None
+        self._oracle: FutureOracle | None = None
+        self._core: CoreId | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._ctx = None
+        self._oracle = None
+
+    def bind(self, ctx: "SimContext") -> None:
+        self._ctx = ctx
+        self._oracle = FutureOracle(ctx.workload)
+
+    def bind_core(self, core: CoreId) -> None:
+        self._core = core
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        if self._ctx is None or self._oracle is None:
+            raise RuntimeError("FITF policy used without a bound context")
+        if self._core is None:
+            raise RuntimeError(
+                "PerSequenceFITFPolicy needs bind_core(); use it inside a "
+                "partitioned strategy"
+            )
+        return self._oracle.furthest_page_in(
+            self._core, candidates, self._ctx.positions[self._core]
+        )
+
+    @property
+    def name(self) -> str:
+        return "seqFITF"

@@ -1,0 +1,77 @@
+"""CLOCK (second-chance) — the classic one-bit LRU approximation."""
+
+from __future__ import annotations
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["ClockPolicy"]
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance replacement.
+
+    Pages live on a circular list in insertion order with a reference bit,
+    set on every hit.  The hand sweeps from its last position: a set bit is
+    cleared and skipped, a clear bit is the victim.  Pages outside the
+    candidate set (e.g. mid-fetch cells) keep their bit but are skipped.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ring: list[Page] = []
+        self._ref: dict[Page, bool] = {}
+        self._hand = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._ring.clear()
+        self._ref.clear()
+        self._hand = 0
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        # Insert right behind the hand so new pages are inspected last.
+        if not self._ring:
+            self._ring.append(page)
+            self._hand = 0
+        else:
+            self._ring.insert(self._hand, page)
+            self._hand = (self._hand + 1) % len(self._ring)
+        self._ref[page] = False
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        self._ref[page] = True
+
+    def on_evict(self, page: Page) -> None:
+        if page in self._ref:
+            idx = self._ring.index(page)
+            self._ring.pop(idx)
+            if idx < self._hand:
+                self._hand -= 1
+            if self._ring:
+                self._hand %= len(self._ring)
+            else:
+                self._hand = 0
+            del self._ref[page]
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        if not self._ring:
+            raise ValueError("clock ring is empty")
+        # Two full sweeps suffice: the first clears every set bit.
+        for _ in range(2 * len(self._ring)):
+            page = self._ring[self._hand]
+            if page not in candidates:
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            if self._ref[page]:
+                self._ref[page] = False
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            return page
+        # All candidates referenced twice in a row (cannot happen after the
+        # clearing sweep unless candidates is empty).
+        raise ValueError("no evictable candidate found")
+
+    @property
+    def name(self) -> str:
+        return "CLOCK"

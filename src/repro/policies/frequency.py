@@ -1,0 +1,47 @@
+"""Frequency-based policy: LFU."""
+
+from __future__ import annotations
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(EvictionPolicy):
+    """Least Frequently Used, ties broken toward least recently used.
+
+    Counts are per cache residency: a page re-fetched after eviction starts
+    from 1 again (the common "in-cache LFU" variant).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count: dict[Page, int] = {}
+        self._last: dict[Page, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._count.clear()
+        self._last.clear()
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        self._count[page] = 1
+        self._last[page] = self._tick()
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        self._count[page] += 1
+        self._last[page] = self._tick()
+
+    def on_evict(self, page: Page) -> None:
+        self._count.pop(page, None)
+        self._last.pop(page, None)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        return min(
+            candidates, key=lambda page: (self._count[page], self._last[page])
+        )
+
+    @property
+    def name(self) -> str:
+        return "LFU"

@@ -1,0 +1,88 @@
+"""Marking algorithms (Borodin & El-Yaniv, ch. 3).
+
+A marking algorithm marks every requested page and never evicts a marked
+page; when everything in the pool is marked a new *phase* starts and all
+marks are cleared.  Lemma 1 of the paper shows any marking algorithm is
+``max_j k_j``-competitive within a fixed static partition.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["MarkingPolicy", "RandomizedMarkingPolicy"]
+
+
+class MarkingPolicy(EvictionPolicy):
+    """Deterministic marking: evicts the least-recently-used unmarked page.
+
+    With this tie-break the policy coincides with LRU on sequential inputs
+    whose pool never exceeds the phase size, but any unmarked page would
+    preserve the marking guarantee.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._marked: set[Page] = set()
+        self._stamp: dict[Page, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._marked.clear()
+        self._stamp.clear()
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        self._marked.add(page)
+        self._stamp[page] = self._tick()
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        self._marked.add(page)
+        self._stamp[page] = self._tick()
+
+    def on_evict(self, page: Page) -> None:
+        self._marked.discard(page)
+        self._stamp.pop(page, None)
+
+    def _unmarked(self, candidates: set[Page]) -> set[Page]:
+        unmarked = candidates - self._marked
+        if not unmarked:
+            # Phase change: clear all marks (pool-wide, as in the textbook
+            # definition), then everything is fair game.
+            self._marked.clear()
+            unmarked = set(candidates)
+        return unmarked
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        unmarked = self._unmarked(candidates)
+        return min(unmarked, key=lambda page: self._stamp[page])
+
+    @property
+    def name(self) -> str:
+        return "MARK"
+
+
+class RandomizedMarkingPolicy(MarkingPolicy):
+    """The MARK algorithm of Fiat et al.: evict a *uniformly random*
+    unmarked page.  (2·H_k − 1)-competitive sequentially."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        unmarked = self._unmarked(candidates)
+        # Sort for reproducibility across set-iteration orders.
+        pool = sorted(unmarked, key=repr)
+        return pool[self._rng.randrange(len(pool))]
+
+    @property
+    def name(self) -> str:
+        return "RMARK"

@@ -1,0 +1,35 @@
+"""Uniform-random eviction (the RANDOM algorithm)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(EvictionPolicy):
+    """Evict a uniformly random evictable page.
+
+    Seeded for reproducibility; k-competitive sequentially against an
+    oblivious adversary.
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        pool = sorted(candidates, key=repr)
+        return pool[self._rng.randrange(len(pool))]
+
+    @property
+    def name(self) -> str:
+        return "RAND"

@@ -1,0 +1,96 @@
+"""Recency- and insertion-order-based policies: LRU, MRU, FIFO, LIFO.
+
+All four keep a single stamp per pooled page; they differ only in which
+stamp (insertion vs last access) and which extreme (min vs max) they evict.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["LRUPolicy", "MRUPolicy", "FIFOPolicy", "LIFOPolicy"]
+
+
+class _StampPolicy(EvictionPolicy):
+    """Shared machinery: a stamp per page plus a min/max victim rule."""
+
+    #: Subclasses set: update stamp on hit?
+    _stamp_on_hit: bool
+    #: Subclasses set: evict the largest stamp instead of the smallest?
+    _evict_newest: bool
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stamp: dict[Page, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._stamp.clear()
+
+    def on_insert(self, page: Page, t: Time) -> None:
+        self._stamp[page] = self._tick()
+
+    def on_hit(self, page: Page, t: Time) -> None:
+        if self._stamp_on_hit:
+            self._stamp[page] = self._tick()
+
+    def on_evict(self, page: Page) -> None:
+        self._stamp.pop(page, None)
+
+    def victim(self, candidates: set[Page], t: Time) -> Page:
+        stamp = self._stamp
+        chooser = max if self._evict_newest else min
+        return chooser(candidates, key=lambda page: stamp[page])
+
+
+class LRUPolicy(_StampPolicy):
+    """Least Recently Used — the paper's reference online policy.
+
+    A marking *and* conservative algorithm, hence ``max_j k_j``-competitive
+    within any fixed static partition (Lemma 1) and the subject of
+    Theorem 1 / Lemma 4 for shared caches.
+    """
+
+    _stamp_on_hit = True
+    _evict_newest = False
+
+    @property
+    def name(self) -> str:
+        return "LRU"
+
+
+class MRUPolicy(_StampPolicy):
+    """Most Recently Used: evicts the most recently accessed page.  Optimal
+    for single-core cyclic scans, pathological elsewhere."""
+
+    _stamp_on_hit = True
+    _evict_newest = True
+
+    @property
+    def name(self) -> str:
+        return "MRU"
+
+
+class FIFOPolicy(_StampPolicy):
+    """First-In First-Out: evicts the page fetched longest ago.  A
+    conservative (but not marking) algorithm; shares LRU's Lemma 1 bound."""
+
+    _stamp_on_hit = False
+    _evict_newest = False
+
+    @property
+    def name(self) -> str:
+        return "FIFO"
+
+
+class LIFOPolicy(_StampPolicy):
+    """Last-In First-Out: evicts the page fetched most recently.  Not
+    competitive even sequentially; included as a baseline."""
+
+    _stamp_on_hit = False
+    _evict_newest = True
+
+    @property
+    def name(self) -> str:
+        return "LIFO"

@@ -1,0 +1,75 @@
+"""Problem instances: FINAL-TOTAL-FAULTS and PARTIAL-INDIVIDUAL-FAULTS.
+
+Definitions 1–3 of the paper, as value objects shared by the offline
+algorithms (:mod:`repro.offline`) and the hardness reductions
+(:mod:`repro.hardness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_nonnegative, check_positive
+from repro.core.request import Workload
+
+__all__ = ["FTFInstance", "PIFInstance"]
+
+
+@dataclass(frozen=True)
+class FTFInstance:
+    """FINAL-TOTAL-FAULTS (Definition 1): minimise total faults serving
+    ``workload`` with a cache of ``cache_size`` and penalty ``tau``."""
+
+    workload: Workload
+    cache_size: int
+    tau: int
+
+    def __post_init__(self):
+        check_positive("cache_size", self.cache_size)
+        check_nonnegative("tau", self.tau)
+        if not isinstance(self.workload, Workload):
+            object.__setattr__(self, "workload", Workload(self.workload))
+
+    @property
+    def num_cores(self) -> int:
+        return self.workload.num_cores
+
+
+@dataclass(frozen=True)
+class PIFInstance:
+    """PARTIAL-INDIVIDUAL-FAULTS (Definition 2): can ``workload`` be served
+    so that by checkpoint time ``deadline`` each sequence ``R_i`` has
+    faulted at most ``bounds[i]`` times?
+
+    Time convention: ``deadline`` counts *parallel steps*; a fault on a
+    request presented at step ``s`` (0-based) is "within time t" iff
+    ``s < t``.  The paper's 1-based "at time t" maps to ``deadline = t``.
+    """
+
+    workload: Workload
+    cache_size: int
+    tau: int
+    deadline: int
+    bounds: tuple[int, ...]
+
+    def __post_init__(self):
+        check_positive("cache_size", self.cache_size)
+        check_nonnegative("tau", self.tau)
+        check_nonnegative("deadline", self.deadline)
+        if not isinstance(self.workload, Workload):
+            object.__setattr__(self, "workload", Workload(self.workload))
+        object.__setattr__(self, "bounds", tuple(int(b) for b in self.bounds))
+        if len(self.bounds) != self.workload.num_cores:
+            raise ValueError(
+                f"{len(self.bounds)} bounds for {self.workload.num_cores} cores"
+            )
+        if any(b < 0 for b in self.bounds):
+            raise ValueError(f"bounds must be non-negative: {self.bounds}")
+
+    @property
+    def num_cores(self) -> int:
+        return self.workload.num_cores
+
+    def ftf(self) -> FTFInstance:
+        """The FTF relaxation of this instance (drop bounds/deadline)."""
+        return FTFInstance(self.workload, self.cache_size, self.tau)

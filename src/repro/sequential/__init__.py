@@ -1,0 +1,32 @@
+"""Classical (single-core) paging substrate: fast fault counters and
+phase decompositions used throughout the multicore analysis."""
+
+from repro.sequential.faults import (
+    belady_faults,
+    count_faults,
+    fifo_faults,
+    lru_faults,
+    lru_faults_all_sizes,
+    lru_stack_distances,
+    next_occurrence_table,
+)
+from repro.sequential.phases import (
+    num_phases,
+    phase_boundaries,
+    phase_lengths,
+    shared_phase_count,
+)
+
+__all__ = [
+    "belady_faults",
+    "count_faults",
+    "fifo_faults",
+    "lru_faults",
+    "lru_faults_all_sizes",
+    "lru_stack_distances",
+    "next_occurrence_table",
+    "num_phases",
+    "phase_boundaries",
+    "phase_lengths",
+    "shared_phase_count",
+]

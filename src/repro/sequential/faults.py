@@ -1,0 +1,193 @@
+"""Single-core (classical) paging fault counters.
+
+These are the sequential substrate the multicore results lean on: within a
+static partition each part is an independent classical paging instance, so
+``sP^B_A(R) = sum_j A(R_j, k_j)`` for disjoint workloads — which lets the
+optimal static partition (``sP^OPT_OPT``, ``sP^OPT_LRU``) be computed
+exactly without simulation.  The simulator is cross-checked against these
+counters in the test-suite.
+
+Implementations:
+
+* :func:`belady_faults` — Furthest-In-The-Future with a lazy max-heap,
+  ``O(n log n)``.
+* :func:`lru_faults` / :func:`lru_faults_all_sizes` — via LRU stack
+  distances computed with a Fenwick tree (``O(n log n)`` once, then the
+  fault count for *every* cache size is a vectorised histogram lookup).
+* :func:`fifo_faults` — direct queue simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.types import Page
+
+__all__ = [
+    "next_occurrence_table",
+    "belady_faults",
+    "fifo_faults",
+    "lru_stack_distances",
+    "lru_faults",
+    "lru_faults_all_sizes",
+    "count_faults",
+]
+
+
+def next_occurrence_table(seq: Sequence[Page]) -> list[int]:
+    """``table[i]``: smallest ``i' > i`` with ``seq[i'] == seq[i]``, else
+    ``len(seq)``."""
+    n = len(seq)
+    table = [n] * n
+    last: dict[Page, int] = {}
+    for i in range(n - 1, -1, -1):
+        table[i] = last.get(seq[i], n)
+        last[seq[i]] = i
+    return table
+
+
+def belady_faults(seq: Sequence[Page], cache_size: int) -> int:
+    """Fault count of Belady's Furthest-In-The-Future on one sequence.
+
+    Optimal for classical paging (Belady 1966); also optimal per part
+    within a static partition, and for the whole problem when ``tau = 0``
+    (paper, Section 5.1).
+    """
+    if cache_size <= 0:
+        raise ValueError("cache_size must be positive")
+    nxt = next_occurrence_table(seq)
+    in_cache: set[Page] = set()
+    next_use: dict[Page, int] = {}
+    heap: list[tuple[int, int]] = []  # (-next_use, insertion_tick) -> page
+    tagged: dict[int, Page] = {}
+    tick = 0
+    faults = 0
+    for i, page in enumerate(seq):
+        if page not in in_cache:
+            faults += 1
+            if len(in_cache) >= cache_size:
+                while True:
+                    neg_nu, tk = heapq.heappop(heap)
+                    victim = tagged.pop(tk)
+                    if victim in in_cache and next_use.get(victim) == -neg_nu:
+                        in_cache.remove(victim)
+                        next_use.pop(victim, None)
+                        break
+            in_cache.add(page)
+        next_use[page] = nxt[i]
+        tick += 1
+        tagged[tick] = page
+        heapq.heappush(heap, (-nxt[i], tick))
+    return faults
+
+
+def fifo_faults(seq: Sequence[Page], cache_size: int) -> int:
+    """Fault count of FIFO on one sequence."""
+    if cache_size <= 0:
+        raise ValueError("cache_size must be positive")
+    in_cache: set[Page] = set()
+    queue: deque[Page] = deque()
+    faults = 0
+    for page in seq:
+        if page in in_cache:
+            continue
+        faults += 1
+        if len(in_cache) >= cache_size:
+            victim = queue.popleft()
+            in_cache.remove(victim)
+        in_cache.add(page)
+        queue.append(page)
+    return faults
+
+
+class _Fenwick:
+    """Binary indexed tree over positions 1..n, point update / prefix sum."""
+
+    __slots__ = ("n", "tree")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of positions [0, i]."""
+        i += 1
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+def lru_stack_distances(seq: Sequence[Page]) -> np.ndarray:
+    """LRU stack distance of every access.
+
+    ``dist[i]`` is the number of *distinct other* pages requested strictly
+    between access ``i`` and the previous access to the same page, or ``-1``
+    for a first access (compulsory miss).  LRU with cache size ``k`` hits
+    access ``i`` iff ``0 <= dist[i] < k``.
+    """
+    n = len(seq)
+    dist = np.empty(n, dtype=np.int64)
+    bit = _Fenwick(n)
+    last: dict[Page, int] = {}
+    for i, page in enumerate(seq):
+        prev = last.get(page)
+        if prev is None:
+            dist[i] = -1
+        else:
+            # Marked positions are the most recent access (so far) of each
+            # page; counting them in (prev, i) counts distinct pages seen
+            # in between.
+            dist[i] = bit.prefix(i - 1) - bit.prefix(prev)
+            bit.add(prev, -1)
+        bit.add(i, 1)
+        last[page] = i
+    return dist
+
+
+def lru_faults(seq: Sequence[Page], cache_size: int) -> int:
+    """Fault count of LRU on one sequence."""
+    if cache_size <= 0:
+        raise ValueError("cache_size must be positive")
+    dist = lru_stack_distances(seq)
+    return int(np.count_nonzero((dist < 0) | (dist >= cache_size)))
+
+
+def lru_faults_all_sizes(seq: Sequence[Page], max_size: int) -> np.ndarray:
+    """Vector of LRU fault counts for every cache size ``1..max_size``.
+
+    One stack-distance pass serves all sizes: ``faults[k-1] =
+    #compulsory + #(dist >= k)``, computed with a cumulative histogram.
+    """
+    if max_size <= 0:
+        raise ValueError("max_size must be positive")
+    dist = lru_stack_distances(seq)
+    compulsory = int(np.count_nonzero(dist < 0))
+    capped = np.clip(dist[dist >= 0], 0, max_size)
+    hist = np.bincount(capped, minlength=max_size + 1)
+    # suffix[k] = number of accesses with distance >= k
+    suffix = np.cumsum(hist[::-1])[::-1]
+    return compulsory + suffix[1 : max_size + 1]
+
+
+def count_faults(seq: Sequence[Page], cache_size: int, policy: str = "lru") -> int:
+    """Dispatch by policy name: ``lru``, ``fifo`` or ``opt`` (Belady)."""
+    policy = policy.lower()
+    if policy == "lru":
+        return lru_faults(seq, cache_size)
+    if policy == "fifo":
+        return fifo_faults(seq, cache_size)
+    if policy in ("opt", "belady", "fitf"):
+        return belady_faults(seq, cache_size)
+    raise ValueError(f"unknown sequential policy {policy!r}")

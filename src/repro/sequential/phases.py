@@ -1,0 +1,79 @@
+"""k-phase decomposition of request sequences.
+
+The proofs of Lemma 1 and Theorem 1.2 partition a sequence into *phases*:
+a new phase starts at the request for the ``(k+1)``-th distinct page since
+the current phase began.  LRU (any marking/conservative algorithm) faults
+at most ``k`` times per phase, while every algorithm — including the
+offline optimum — faults at least once per phase (except possibly the
+last), which is how the ``max_j k_j`` bound and the ``S_LRU <= K *
+sP^OPT_OPT`` bound are derived.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.types import Page
+
+__all__ = ["phase_boundaries", "num_phases", "phase_lengths", "shared_phase_count"]
+
+
+def phase_boundaries(seq: Sequence[Page], k: int) -> list[int]:
+    """Start indices of the k-phases of ``seq``.
+
+    The first phase starts at index 0; a new phase starts whenever a
+    request would be for the ``(k+1)``-th distinct page of the current
+    phase.  Returns ``[]`` for an empty sequence.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not len(seq):
+        return []
+    starts = [0]
+    distinct: set[Page] = set()
+    for i, page in enumerate(seq):
+        if page in distinct:
+            continue
+        if len(distinct) == k:
+            starts.append(i)
+            distinct = {page}
+        else:
+            distinct.add(page)
+    return starts
+
+
+def num_phases(seq: Sequence[Page], k: int) -> int:
+    """Number of k-phases, ``phi_j`` in the paper's notation."""
+    return len(phase_boundaries(seq, k))
+
+
+def phase_lengths(seq: Sequence[Page], k: int) -> list[int]:
+    """Length (in requests) of each k-phase."""
+    starts = phase_boundaries(seq, k)
+    if not starts:
+        return []
+    ends = starts[1:] + [len(seq)]
+    return [e - s for s, e in zip(starts, ends)]
+
+
+def shared_phase_count(sequences: Sequence[Sequence[Page]], K: int) -> int:
+    """K-phases of the *merged* request stream (round-robin interleaving),
+    the "shared phase" object from the proof of Theorem 1.2.
+
+    The proof's claim — a shared phase cannot start and end without at
+    least one per-sequence phase ending — holds for any interleaving
+    consistent with execution; the round-robin merge is the ``tau = 0``
+    canonical one and is what the property tests exercise.
+    """
+    merged: list[Page] = []
+    iters = [iter(s) for s in sequences]
+    exhausted = [False] * len(iters)
+    while not all(exhausted):
+        for j, it in enumerate(iters):
+            if exhausted[j]:
+                continue
+            try:
+                merged.append(next(it))
+            except StopIteration:
+                exhausted[j] = True
+    return num_phases(merged, K)

@@ -1,0 +1,34 @@
+"""Cache-management strategies: shared, static-partition, dynamic-partition.
+
+Notation follows the paper: ``S_A`` (shared, policy A), ``sP^B_A`` (static
+partition B), ``dP^D_A`` (dynamic partition D).
+"""
+
+from repro.strategies.dynamic import (
+    AdaptiveWorkingSetPartition,
+    LruMimicDynamicPartition,
+    StagedPartitionStrategy,
+)
+from repro.strategies.fairness import ProgressBalancingStrategy
+from repro.strategies.partitions import (
+    equal_partition,
+    proportional_partition,
+    validate_partition,
+    weighted_partition,
+)
+from repro.strategies.shared import FlushWhenFullStrategy, SharedStrategy
+from repro.strategies.static import StaticPartitionStrategy
+
+__all__ = [
+    "AdaptiveWorkingSetPartition",
+    "ProgressBalancingStrategy",
+    "FlushWhenFullStrategy",
+    "LruMimicDynamicPartition",
+    "SharedStrategy",
+    "StagedPartitionStrategy",
+    "StaticPartitionStrategy",
+    "equal_partition",
+    "proportional_partition",
+    "validate_partition",
+    "weighted_partition",
+]

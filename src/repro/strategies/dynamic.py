@@ -1,0 +1,314 @@
+"""Dynamic partition strategies: ``dP^D_A`` in the paper's notation.
+
+A dynamic partition changes the part sizes ``k(j, t)`` over time.  Per the
+model, shrinking a part below its current occupancy evicts the surplus
+according to the part's eviction policy (mid-fetch cells are exempt until
+they can legally be evicted — a core has at most one in-flight cell).
+
+Three concrete strategies:
+
+* :class:`StagedPartitionStrategy` — a fixed schedule of partitions
+  ("stages"), the object of Theorem 1.3: with ``o(n)`` stages it is
+  ``ω(1)`` worse than shared LRU on the turn-taking workload.
+* :class:`LruMimicDynamicPartition` — the construction of Lemma 3: a
+  dynamic partition that replays shared LRU *exactly* on disjoint
+  workloads by always taking the cell of the globally least-recently-used
+  page.
+* :class:`AdaptiveWorkingSetPartition` — a practical heuristic in the
+  spirit of the dynamic-partitioning systems cited in Section 2
+  (Stone et al., Molnos et al., Chang & Sohi): re-apportion cells
+  periodically by recent per-core working-set size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.simulator import SimContext
+from repro.core.strategy import Strategy
+from repro.core.types import CoreId, Page, PartitionChange, Time
+from repro.policies.base import EvictionPolicy
+from repro.policies.recency import LRUPolicy
+from repro.strategies.shared import make_policy
+
+__all__ = [
+    "StagedPartitionStrategy",
+    "LruMimicDynamicPartition",
+    "AdaptiveWorkingSetPartition",
+]
+
+
+class _PartitionedBase(Strategy):
+    """Machinery shared by schedule-driven dynamic partitions: per-part
+    policies, ownership map, and quota enforcement with deferred evictions
+    for mid-fetch cells."""
+
+    def __init__(self, policy):
+        if isinstance(policy, EvictionPolicy):
+            raise TypeError(
+                "dynamic partitions need a policy factory, not an instance"
+            )
+        self._policy_factory = policy
+        self.policies: list[EvictionPolicy] = []
+        self._part_of: dict[Page, CoreId] = {}
+        self.sizes: list[int] = []
+        self.partition_changes: list[PartitionChange] = []
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self.policies = []
+        self._part_of = {}
+        self.partition_changes = []
+        for core in range(ctx.num_cores):
+            policy = make_policy(self._policy_factory)
+            policy.bind(ctx)
+            policy.bind_core(core)
+            self.policies.append(policy)
+
+    # -- quota enforcement ----------------------------------------------------
+    def _set_sizes(self, sizes: Sequence[int], t: Time) -> None:
+        sizes = list(int(k) for k in sizes)
+        if len(sizes) != self.ctx.num_cores:
+            raise ValueError(
+                f"partition has {len(sizes)} parts for {self.ctx.num_cores} cores"
+            )
+        if sum(sizes) != self.ctx.cache_size:
+            raise ValueError(
+                f"partition {sizes} does not sum to K={self.ctx.cache_size}"
+            )
+        if sizes != self.sizes:
+            self.sizes = sizes
+            self.partition_changes.append(PartitionChange(t, tuple(sizes)))
+        self._enforce_quotas(t)
+
+    def _evict_from_part(self, core: CoreId, t: Time) -> bool:
+        """Evict one page from ``core``'s part by its policy.  Returns False
+        if nothing in the part is currently evictable."""
+        cache = self.ctx.cache
+        candidates = {
+            page
+            for page in cache.pages_of(core)
+            if self._part_of.get(page) == core
+            and not cache.is_fetching(page, t)
+            and not cache.is_pinned(page, t)
+        }
+        if not candidates:
+            return False
+        victim = self.policies[core].victim(candidates, t)
+        cache.evict(victim, t)
+        self.on_evict(victim, t)
+        return True
+
+    def _enforce_quotas(self, t: Time) -> None:
+        """Shrink any over-quota part down to its allocation (deferring
+        mid-fetch cells to the next step)."""
+        cache = self.ctx.cache
+        for core in range(self.ctx.num_cores):
+            while cache.occupancy_of(core) > self.sizes[core]:
+                if not self._evict_from_part(core, t):
+                    break  # only the in-flight cell remains over quota
+
+    # -- strategy protocol ------------------------------------------------------
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if cache.occupancy_of(core) < self.sizes[core] and not cache.is_full:
+            return None
+        if cache.occupancy_of(core) >= self.sizes[core]:
+            # Own part is at quota: evict within it.
+            candidates = {
+                q
+                for q in cache.pages_of(core)
+                if not cache.is_fetching(q, t) and not cache.is_pinned(q, t)
+            }
+            if candidates:
+                return self.policies[core].victim(candidates, t)
+        # Cache globally full because another part is over quota (deferred
+        # shrink): take from the most over-quota part.
+        debtor = max(
+            range(self.ctx.num_cores),
+            key=lambda j: cache.occupancy_of(j) - self.sizes[j],
+        )
+        candidates = {
+            q
+            for q in cache.pages_of(debtor)
+            if not cache.is_fetching(q, t) and not cache.is_pinned(q, t)
+        }
+        if not candidates:
+            raise RuntimeError("no evictable cell anywhere; K < p?")
+        return self.policies[debtor].victim(candidates, t)
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self.policies[self._part_of[page]].on_hit(page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self._part_of[page] = core
+        self.policies[core].on_insert(page, t)
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        part = self._part_of.pop(page)
+        self.policies[part].on_evict(page)
+
+    @property
+    def num_changes(self) -> int:
+        """Number of partition re-configurations after the initial one (the
+        quantity Theorem 1.3 bounds)."""
+        return max(0, len(self.partition_changes) - 1)
+
+
+class StagedPartitionStrategy(_PartitionedBase):
+    """A dynamic partition following a fixed schedule of stages.
+
+    ``stages`` is a list of ``(start_time, sizes)`` pairs in increasing
+    start time; the first must start at 0.
+    """
+
+    def __init__(self, stages: Sequence[tuple[Time, Sequence[int]]], policy):
+        super().__init__(policy)
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages = [(int(t0), tuple(map(int, sz))) for t0, sz in stages]
+        if self.stages[0][0] != 0:
+            raise ValueError("first stage must start at time 0")
+        starts = [t0 for t0, _ in self.stages]
+        if starts != sorted(starts):
+            raise ValueError("stages must be in increasing start-time order")
+        self._next_stage = 0
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self._next_stage = 0
+        for _, sizes in self.stages:
+            if len(sizes) != ctx.num_cores:
+                raise ValueError(
+                    f"stage has {len(sizes)} parts for {ctx.num_cores} cores"
+                )
+            if sum(sizes) != ctx.cache_size:
+                raise ValueError(
+                    f"stage {sizes} does not sum to K={ctx.cache_size}"
+                )
+        self.sizes = list(self.stages[0][1])
+        self.partition_changes = [PartitionChange(0, self.stages[0][1])]
+        self._next_stage = 1
+
+    def on_step(self, t: Time) -> None:
+        while (
+            self._next_stage < len(self.stages)
+            and self.stages[self._next_stage][0] <= t
+        ):
+            self._set_sizes(self.stages[self._next_stage][1], t)
+            self._next_stage += 1
+        # Retry deferred shrink evictions.
+        self._enforce_quotas(t)
+
+    @property
+    def name(self) -> str:
+        inner = getattr(self._policy_factory, "__name__", "?").removesuffix("Policy")
+        return f"dP[staged x{len(self.stages)}]_{inner}"
+
+
+class LruMimicDynamicPartition(Strategy):
+    """The Lemma 3 construction: a dynamic partition equal to shared LRU.
+
+    Starts from an (implicit) equal split; on a fault with a full cache it
+    shrinks the part owning the globally least-recently-used page by one
+    cell and grows the faulting core's part.  Lemma 3: on disjoint
+    workloads its fault pattern is *identical* to ``S_LRU`` — verified
+    exactly by the test-suite and experiment E6.
+    """
+
+    def __init__(self) -> None:
+        self._lru = LRUPolicy()
+        self.partition_changes: list[PartitionChange] = []
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self._lru.reset()
+        self.partition_changes = []
+
+    def _sizes(self) -> tuple[int, ...]:
+        cache = self.ctx.cache
+        return tuple(
+            cache.occupancy_of(j) for j in range(self.ctx.num_cores)
+        )
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if not cache.is_full:
+            return None
+        candidates = cache.evictable_pages(t)
+        victim = self._lru.victim(candidates, t)
+        owner = cache.owner(victim)
+        if owner != core:
+            # k_owner -= 1, k_core += 1: a partition change in the sense of
+            # the model; recorded for the analysis harness.
+            sizes = list(self._sizes())
+            sizes[owner] -= 1
+            sizes[core] += 1
+            self.partition_changes.append(PartitionChange(t, tuple(sizes)))
+        return victim
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self._lru.on_hit(page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self._lru.on_insert(page, t)
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        self._lru.on_evict(page)
+
+    @property
+    def name(self) -> str:
+        return "dP[lemma3]_LRU"
+
+
+class AdaptiveWorkingSetPartition(_PartitionedBase):
+    """Periodic repartitioning by recent per-core working-set size.
+
+    Every ``period`` steps the cells are re-apportioned proportionally to
+    the number of distinct pages each core touched during the last window
+    (largest-remainder rounding, one-cell floor).  A practical dynamic
+    heuristic used as a baseline in experiment E14.
+    """
+
+    def __init__(self, policy, period: int = 64):
+        super().__init__(policy)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self._window_pages: list[set[Page]] = []
+        self._last_resize: Time = 0
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        p = ctx.num_cores
+        K = ctx.cache_size
+        base, extra = divmod(K, p)
+        self.sizes = [base + (1 if j < extra else 0) for j in range(p)]
+        self.partition_changes = [PartitionChange(0, tuple(self.sizes))]
+        self._window_pages = [set() for _ in range(p)]
+        self._last_resize = 0
+
+    def on_step(self, t: Time) -> None:
+        if t - self._last_resize >= self.period:
+            from repro.strategies.partitions import weighted_partition
+
+            weights = [max(1, len(s)) for s in self._window_pages]
+            self._set_sizes(
+                weighted_partition(self.ctx.cache_size, weights), t
+            )
+            self._window_pages = [set() for _ in range(self.ctx.num_cores)]
+            self._last_resize = t
+        self._enforce_quotas(t)
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self._window_pages[core].add(page)
+        super().on_hit(core, page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self._window_pages[core].add(page)
+        super().on_insert(core, page, t)
+
+    @property
+    def name(self) -> str:
+        inner = getattr(self._policy_factory, "__name__", "?").removesuffix("Policy")
+        return f"dP[ws/{self.period}]_{inner}"

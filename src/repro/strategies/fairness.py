@@ -1,0 +1,78 @@
+"""A fairness-aware online strategy — the research direction the paper's
+conclusion points at ("perhaps other measures such as fairness or
+relative progress of sequences should be considered").
+
+:class:`ProgressBalancingStrategy` is shared LRU with a progress bias:
+on a fault it preferentially evicts pages owned by the core that is
+furthest *ahead* (largest completed fraction of its sequence), using LRU
+order within that core's pages.  Faults then land on the cores that can
+best afford the delay, compressing the relative-progress gap — at some
+cost in total faults (no free lunch: Lemma 4 shows fault-optimal
+schedules may have to be maximally unfair).
+
+``bias`` interpolates between plain LRU (0.0) and always-evict-from-the-
+leader (1.0): a candidate set is restricted to the leader's pages only
+when the leader's progress exceeds the laggard's by more than
+``(1 - bias)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulator import SimContext
+from repro.core.strategy import Strategy
+from repro.core.types import CoreId, Page, Time
+from repro.policies.recency import LRUPolicy
+
+__all__ = ["ProgressBalancingStrategy"]
+
+
+class ProgressBalancingStrategy(Strategy):
+    """Shared LRU biased toward evicting the most-progressed core's pages."""
+
+    def __init__(self, bias: float = 1.0):
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must be in [0, 1]")
+        self.bias = bias
+        self._lru = LRUPolicy()
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self._lru.reset()
+
+    def _progress(self, core: CoreId) -> float:
+        length = len(self.ctx.workload[core])
+        if length == 0:
+            return 1.0
+        return self.ctx.positions[core] / length
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if not cache.is_full:
+            return None
+        candidates = cache.evictable_pages(t)
+        if not candidates:
+            raise RuntimeError("cache full and every cell mid-fetch")
+        owners = {cache.owner(q) for q in candidates}
+        leader = max(owners, key=self._progress)
+        laggard = min(owners, key=self._progress)
+        gap = self._progress(leader) - self._progress(laggard)
+        if gap > (1.0 - self.bias) and leader != laggard:
+            leader_pages = {
+                q for q in candidates if cache.owner(q) == leader
+            }
+            if leader_pages:
+                return self._lru.victim(leader_pages, t)
+        return self._lru.victim(candidates, t)
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self._lru.on_hit(page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self._lru.on_insert(page, t)
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        self._lru.on_evict(page)
+
+    @property
+    def name(self) -> str:
+        return f"S_BAL[{self.bias:g}]"

@@ -1,0 +1,104 @@
+"""Static partition constructors and validation.
+
+A static partition ``B = {k_1, ..., k_p}`` assigns ``k_j`` dedicated cells
+to core ``j`` with ``sum k_j = K`` (paper, Section 4).  The paper requires
+every processor with active requests to receive at least one cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.request import Workload
+
+__all__ = [
+    "validate_partition",
+    "equal_partition",
+    "proportional_partition",
+    "weighted_partition",
+]
+
+
+def validate_partition(
+    partition: Sequence[int], cache_size: int, workload: Workload | None = None
+) -> tuple[int, ...]:
+    """Check a static partition and return it as a tuple.
+
+    Raises ``ValueError`` if sizes are negative, do not sum to ``K``, or a
+    core with a non-empty sequence gets zero cells.
+    """
+    part = tuple(int(k) for k in partition)
+    if any(k < 0 for k in part):
+        raise ValueError(f"partition has negative sizes: {part}")
+    if sum(part) != cache_size:
+        raise ValueError(
+            f"partition {part} sums to {sum(part)}, cache size is {cache_size}"
+        )
+    if workload is not None:
+        if len(part) != workload.num_cores:
+            raise ValueError(
+                f"partition has {len(part)} parts for {workload.num_cores} cores"
+            )
+        for j, k in enumerate(part):
+            if k == 0 and len(workload[j]) > 0:
+                raise ValueError(
+                    f"core {j} has requests but was assigned zero cells"
+                )
+    return part
+
+
+def equal_partition(cache_size: int, num_cores: int) -> tuple[int, ...]:
+    """Split ``K`` as evenly as possible; lower-numbered cores receive the
+    remainder cells."""
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    if cache_size < num_cores:
+        raise ValueError(
+            f"cannot give {num_cores} cores at least one of {cache_size} cells"
+        )
+    base, extra = divmod(cache_size, num_cores)
+    return tuple(base + (1 if j < extra else 0) for j in range(num_cores))
+
+
+def weighted_partition(
+    cache_size: int, weights: Sequence[float]
+) -> tuple[int, ...]:
+    """Largest-remainder apportionment of ``K`` cells by ``weights``, with
+    every core guaranteed at least one cell."""
+    p = len(weights)
+    if p == 0:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ValueError(f"weights must be non-negative: {list(weights)}")
+    if cache_size < p:
+        raise ValueError(f"cannot give {p} cores at least one of {cache_size} cells")
+    total = float(sum(weights))
+    if total <= 0:
+        return equal_partition(cache_size, p)
+    spare = cache_size - p  # one guaranteed cell each
+    quotas = [spare * w / total for w in weights]
+    sizes = [1 + int(q) for q in quotas]
+    remainders = sorted(
+        range(p), key=lambda j: (quotas[j] - int(quotas[j]), -j), reverse=True
+    )
+    leftover = cache_size - sum(sizes)
+    for j in remainders[:leftover]:
+        sizes[j] += 1
+    return tuple(sizes)
+
+
+def proportional_partition(
+    cache_size: int, workload: Workload, by: str = "distinct"
+) -> tuple[int, ...]:
+    """Partition proportionally to each sequence's footprint.
+
+    ``by="distinct"`` weights by the number of distinct pages (working-set
+    size); ``by="length"`` weights by sequence length.
+    """
+    if by == "distinct":
+        weights = [s.distinct_count for s in workload]
+    elif by == "length":
+        weights = [len(s) for s in workload]
+    else:
+        raise ValueError(f"unknown weighting {by!r}")
+    return weighted_partition(cache_size, weights)

@@ -1,0 +1,109 @@
+"""Shared-cache strategies: ``S_A`` in the paper's notation.
+
+The whole cache is one pool; any cell may hold any core's page; a single
+eviction policy arbitrates.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulator import SimContext
+from repro.core.strategy import Strategy
+from repro.core.types import CoreId, Page, Time
+from repro.policies.base import EvictionPolicy
+
+__all__ = ["SharedStrategy", "FlushWhenFullStrategy", "make_policy"]
+
+
+def make_policy(policy) -> EvictionPolicy:
+    """Normalise a policy argument: accept an instance (reset and reused)
+    or a zero-argument factory/class (called fresh)."""
+    if isinstance(policy, EvictionPolicy):
+        policy.reset()
+        return policy
+    made = policy()
+    if not isinstance(made, EvictionPolicy):
+        raise TypeError(
+            f"policy factory returned {type(made).__name__}, "
+            "expected an EvictionPolicy"
+        )
+    return made
+
+
+class SharedStrategy(Strategy):
+    """``S_A``: fully shared cache with eviction policy ``A``.
+
+    Example::
+
+        from repro.policies import LRUPolicy
+        from repro.strategies import SharedStrategy
+        s_lru = SharedStrategy(LRUPolicy)   # the paper's S_LRU
+    """
+
+    def __init__(self, policy):
+        self._policy_arg = policy
+        self.policy: EvictionPolicy | None = None
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        self.policy = make_policy(self._policy_arg)
+        self.policy.bind(ctx)
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if not cache.is_full:
+            return None
+        candidates = cache.evictable_pages(t)
+        if not candidates:
+            raise RuntimeError(
+                "cache full and every cell mid-fetch; the model assumes "
+                "K >= p so this cannot happen on valid inputs"
+            )
+        return self.policy.victim(candidates, t)
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self.policy.on_hit(page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self.policy.on_insert(page, t)
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        self.policy.on_evict(page)
+
+    @property
+    def name(self) -> str:
+        inner = self.policy.name if self.policy is not None else (
+            self._policy_arg.name
+            if isinstance(self._policy_arg, EvictionPolicy)
+            else getattr(self._policy_arg, "__name__", "?").removesuffix("Policy")
+        )
+        return f"S_{inner}"
+
+
+class FlushWhenFullStrategy(Strategy):
+    """Shared FWF: when a fault finds the cache full, flush *everything*
+    evictable before fetching.
+
+    FWF is the textbook marking-algorithm straw man; the flush is a batch of
+    voluntary evictions, which the model permits (Theorem 4 merely shows an
+    optimal algorithm never needs them).
+    """
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if not cache.is_full:
+            return None
+        victims = sorted(cache.evictable_pages(t), key=repr)
+        if not victims:
+            raise RuntimeError("cache full and every cell mid-fetch")
+        # Voluntarily evict all but one; return the last so the simulator
+        # performs a legal single eviction for the incoming fetch.
+        for page_out in victims[:-1]:
+            cache.evict(page_out, t)
+        return victims[-1]
+
+    @property
+    def name(self) -> str:
+        return "S_FWF"

@@ -1,0 +1,89 @@
+"""Static partition strategies: ``sP^B_A`` in the paper's notation.
+
+Each core owns ``k_j`` dedicated cells; the part runs its own instance of
+the eviction policy, oblivious to the other cores (the main practical
+appeal of partitioning noted in Section 4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.simulator import SimContext
+from repro.core.strategy import Strategy
+from repro.core.types import CoreId, Page, Time
+from repro.policies.base import EvictionPolicy
+from repro.strategies.partitions import validate_partition
+from repro.strategies.shared import make_policy
+
+__all__ = ["StaticPartitionStrategy"]
+
+
+class StaticPartitionStrategy(Strategy):
+    """``sP^B_A``: fixed partition ``B``, eviction policy ``A`` per part.
+
+    Parameters
+    ----------
+    partition:
+        The sizes ``(k_1, ..., k_p)``; must sum to the cache size and give
+        every active core at least one cell.
+    policy:
+        A policy *factory* (class or zero-arg callable) — a fresh instance
+        is created per part.  Passing a single shared instance would leak
+        metadata between parts and is rejected.
+    """
+
+    def __init__(self, partition: Sequence[int], policy):
+        if isinstance(policy, EvictionPolicy):
+            raise TypeError(
+                "StaticPartitionStrategy needs a policy factory (one fresh "
+                "policy per part), not a shared instance"
+            )
+        self.partition = tuple(int(k) for k in partition)
+        self._policy_factory = policy
+        self.policies: list[EvictionPolicy] = []
+        self._part_of: dict[Page, CoreId] = {}
+
+    def attach(self, ctx: SimContext) -> None:
+        super().attach(ctx)
+        validate_partition(self.partition, ctx.cache_size, ctx.workload)
+        self.policies = []
+        self._part_of = {}
+        for core in range(ctx.num_cores):
+            policy = make_policy(self._policy_factory)
+            policy.bind(ctx)
+            policy.bind_core(core)
+            self.policies.append(policy)
+
+    def part_occupancy(self, core: CoreId) -> int:
+        return self.ctx.cache.occupancy_of(core)
+
+    def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
+        cache = self.ctx.cache
+        if cache.occupancy_of(core) < self.partition[core]:
+            # The part has room; globally there must be room too, because
+            # every part respects its own bound and the bounds sum to K.
+            return None
+        candidates = cache.evictable_pages_of(core, t)
+        if not candidates:
+            raise RuntimeError(
+                f"part of core {core} is full and entirely mid-fetch; "
+                "impossible since a core has one outstanding request"
+            )
+        return self.policies[core].victim(candidates, t)
+
+    def on_hit(self, core: CoreId, page: Page, t: Time) -> None:
+        self.policies[self._part_of[page]].on_hit(page, t)
+
+    def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
+        self._part_of[page] = core
+        self.policies[core].on_insert(page, t)
+
+    def on_evict(self, page: Page, t: Time) -> None:
+        part = self._part_of.pop(page)
+        self.policies[part].on_evict(page)
+
+    @property
+    def name(self) -> str:
+        inner = getattr(self._policy_factory, "__name__", "?").removesuffix("Policy")
+        return f"sP{list(self.partition)}_{inner}"

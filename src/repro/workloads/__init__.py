@@ -1,0 +1,73 @@
+"""Workload generators: the paper's adversarial constructions plus
+synthetic families, and trace (de)serialisation."""
+
+from repro.workloads.adversarial import (
+    constant_core,
+    cyclic_core,
+    hassidim_conflict_workload,
+    lemma1_workload,
+    lemma2_workload,
+    lemma4_workload,
+    theorem1_workload,
+)
+from repro.workloads.mixes import (
+    PATTERNS,
+    hot_cold_core,
+    mixed_workload,
+    sawtooth_core,
+    scan_core,
+    stride_core,
+)
+from repro.workloads.profile import (
+    CoreProfile,
+    WorkloadProfile,
+    profile_workload,
+)
+from repro.workloads.programs import (
+    PROGRAMS,
+    loop_nest_program,
+    matrix_walk_program,
+    pointer_chase_program,
+    program_workload,
+)
+from repro.workloads.synthetic import (
+    access_graph_workload,
+    cyclic_workload,
+    multi_pointer_graph_workload,
+    phased_workload,
+    uniform_workload,
+    zipf_workload,
+)
+from repro.workloads.traces import load_workload, save_workload
+
+__all__ = [
+    "CoreProfile",
+    "PATTERNS",
+    "PROGRAMS",
+    "WorkloadProfile",
+    "access_graph_workload",
+    "constant_core",
+    "cyclic_core",
+    "cyclic_workload",
+    "hassidim_conflict_workload",
+    "lemma1_workload",
+    "lemma2_workload",
+    "lemma4_workload",
+    "hot_cold_core",
+    "load_workload",
+    "loop_nest_program",
+    "matrix_walk_program",
+    "mixed_workload",
+    "multi_pointer_graph_workload",
+    "phased_workload",
+    "pointer_chase_program",
+    "profile_workload",
+    "program_workload",
+    "save_workload",
+    "sawtooth_core",
+    "scan_core",
+    "stride_core",
+    "theorem1_workload",
+    "uniform_workload",
+    "zipf_workload",
+]

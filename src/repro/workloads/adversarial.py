@@ -1,0 +1,155 @@
+"""Adversarial workloads: the explicit constructions from the paper's
+proofs, parameterised so the benchmarks can sweep them.
+
+Every generator returns a disjoint :class:`~repro.core.request.Workload`
+whose pages are ``(core, index)`` tuples (``index = 0`` is the "resident"
+page ``sigma_1`` of the proofs).
+"""
+
+from __future__ import annotations
+
+from repro.core.request import Workload
+
+__all__ = [
+    "cyclic_core",
+    "constant_core",
+    "hassidim_conflict_workload",
+    "lemma1_workload",
+    "lemma2_workload",
+    "theorem1_workload",
+    "lemma4_workload",
+]
+
+
+def constant_core(core: int, length: int) -> list:
+    """``(sigma^j_1)^length``: the same page over and over."""
+    return [(core, 0)] * length
+
+
+def cyclic_core(core: int, distinct: int, length: int) -> list:
+    """``(sigma^j_1 ... sigma^j_distinct)^*`` truncated to ``length``."""
+    return [(core, i % distinct) for i in range(length)]
+
+
+def lemma1_workload(partition, n: int) -> Workload:
+    """Lemma 1 lower-bound workload for a *fixed static partition*.
+
+    Every core but the one with the largest part requests a single page;
+    the largest part's core cycles through ``k_{j*} + 1`` distinct pages,
+    which makes LRU (or any deterministic marking/conservative policy)
+    fault on every request while the part's offline OPT faults about once
+    per ``k_{j*}`` requests.  Expected ratio ``~ max_j k_j``.
+
+    ``n`` is the total request count; each core gets ``n / p`` requests.
+    """
+    partition = list(partition)
+    p = len(partition)
+    if p < 1 or n < p:
+        raise ValueError("need n >= p >= 1")
+    per_core = n // p
+    j_star = max(range(p), key=lambda j: partition[j])
+    seqs = []
+    for j in range(p):
+        if j == j_star:
+            seqs.append(cyclic_core(j, partition[j] + 1, per_core))
+        else:
+            seqs.append(constant_core(j, per_core))
+    return Workload(seqs)
+
+
+def lemma2_workload(partition, n: int) -> Workload:
+    """Lemma 2 workload: defeats any *online-chosen* static partition.
+
+    Following the proof: let ``k* = min{k_j : k_j >= 2}`` attained at
+    ``j*`` and ``P`` the ``k*`` largest parts.  Cores in ``P \\ {j*}``
+    cycle over ``k_j + 1`` pages (thrash their part), the remaining cores
+    except ``j*`` cycle over exactly ``k_j`` pages (fit), and ``j*``
+    requests a single page — so the offline partition moves ``j*``'s spare
+    cells to the thrashing cores and pays only compulsory misses.
+    """
+    partition = list(partition)
+    p = len(partition)
+    per_core = n // p
+    eligible = [j for j in range(p) if partition[j] >= 2]
+    if not eligible:
+        raise ValueError("Lemma 2 needs some part with k_j >= 2")
+    j_star = min(eligible, key=lambda j: (partition[j], j))
+    k_star = partition[j_star]
+    by_size = sorted(range(p), key=lambda j: (-partition[j], j))
+    P = set(by_size[: min(k_star, p)])
+    P_prime = P - {j_star}
+    seqs = []
+    for j in range(p):
+        if j == j_star:
+            seqs.append(constant_core(j, per_core))
+        elif j in P_prime:
+            seqs.append(cyclic_core(j, partition[j] + 1, per_core))
+        else:
+            seqs.append(cyclic_core(j, max(partition[j], 1), per_core))
+    return Workload(seqs)
+
+
+def theorem1_workload(K: int, p: int, x: int, tau: int) -> Workload:
+    """Theorem 1.1/1.3 turn-taking workload.
+
+    Cores take turns having a *distinct period* of ``x`` cycles over
+    ``m = K/p + 1`` pages while every other core re-requests one page.
+    Shared LRU pays ``~ K + p`` faults total; every static partition (even
+    the offline-optimal one) and every dynamic partition with few stages
+    pays ``Theta(x * m)`` on the turn-taking, an ``Omega(n)`` separation.
+
+    Requires ``K`` divisible by ``p``.
+    """
+    if K % p != 0:
+        raise ValueError("theorem1_workload needs K divisible by p")
+    m = K // p + 1
+    pad = tau + x
+    seqs = []
+    for j in range(1, p + 1):  # 1-based as in the proof
+        core = j - 1
+        seq = (
+            constant_core(core, (j - 1) * m * pad)
+            + cyclic_core(core, m, x * m)
+            + constant_core(core, (p - j) * m * pad)
+        )
+        seqs.append(seq)
+    return Workload(seqs)
+
+
+def lemma4_workload(K: int, p: int, n: int) -> Workload:
+    """Lemma 4 workload: each core cycles over ``K/p + 1`` disjoint pages.
+
+    Shared LRU faults on every one of the ``n`` requests; the offline
+    sacrifice strategy (:class:`repro.offline.SacrificeStrategy`) serves
+    all but one sequence from cache and pays ``O(n / (p (tau+1)))`` —
+    the ``Omega(p (tau+1))`` competitive lower bound for LRU.  The same
+    workload witnesses the remark after Lemma 4: global FITF stops being
+    optimal once ``tau > K/p``.
+
+    Requires ``K`` divisible by ``p`` (for the clean ``K/p + 1`` working
+    sets) and ``K >= p**2`` is assumed by the proof's accounting.
+    """
+    if K % p != 0:
+        raise ValueError("lemma4_workload needs K divisible by p")
+    m = K // p + 1
+    per_core = n // p
+    return Workload([cyclic_core(j, m, per_core) for j in range(p)])
+
+
+def hassidim_conflict_workload(cycle: int, reps: int) -> Workload:
+    """Colliding working-set peaks: two cores each cycling over ``cycle``
+    disjoint pages, meant for a cache of ``K = 2*cycle - 1`` so both
+    working sets cannot be resident simultaneously.
+
+    In this paper's model the collision is unavoidable (capacity misses
+    forever); in the scheduler-augmented model a stagger removes it — the
+    workload behind experiment E17's power-of-scheduling measurement.
+    """
+    if cycle < 1 or reps < 1:
+        raise ValueError("cycle and reps must be positive")
+    return Workload(
+        [
+            [("a", i % cycle) for i in range(cycle * reps)],
+            [("b", i % cycle) for i in range(cycle * reps)],
+        ]
+    )

@@ -1,0 +1,123 @@
+"""Workload profiling: the locality statistics that predict cache
+behaviour under the model.
+
+Summarises per-core footprints, LRU reuse-distance distributions (which
+determine per-part fault counts exactly for static partitions), k-phase
+counts (the quantity the competitive bounds are stated in) and
+cross-core sharing — everything one needs to anticipate how a workload
+will behave before running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.request import Workload
+from repro.sequential.faults import lru_stack_distances
+from repro.sequential.phases import num_phases
+
+__all__ = ["CoreProfile", "WorkloadProfile", "profile_workload"]
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """Locality statistics of one core's sequence."""
+
+    core: int
+    length: int
+    footprint: int
+    #: Fraction of accesses that are re-references (non-compulsory).
+    reuse_fraction: float
+    #: Median LRU stack distance of re-references (-1 if none).
+    median_reuse_distance: float
+    #: Smallest cache size at which LRU faults only compulsorily.
+    lru_working_set: int
+    #: Number of k-phases at k = footprint // 2 (>= 1 working sets).
+    phases_half_footprint: int
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregate + per-core workload profile."""
+
+    cores: tuple[CoreProfile, ...]
+    total_requests: int
+    universe: int
+    disjoint: bool
+    #: Pages requested by more than one core.
+    shared_pages: int
+
+    def table(self) -> Table:
+        table = Table(
+            f"Workload profile: p={len(self.cores)}, "
+            f"n={self.total_requests}, universe={self.universe}, "
+            f"disjoint={self.disjoint} (shared pages: {self.shared_pages})",
+            [
+                "core",
+                "length",
+                "footprint",
+                "reuse%",
+                "median_dist",
+                "ws(LRU)",
+                "phases",
+            ],
+        )
+        for c in self.cores:
+            table.add_row(
+                c.core,
+                c.length,
+                c.footprint,
+                f"{100 * c.reuse_fraction:.0f}",
+                c.median_reuse_distance,
+                c.lru_working_set,
+                c.phases_half_footprint,
+            )
+        return table
+
+
+def _profile_core(core: int, seq) -> CoreProfile:
+    pages = list(seq)
+    n = len(pages)
+    footprint = len(set(pages))
+    if n == 0:
+        return CoreProfile(core, 0, 0, 0.0, -1.0, 0, 0)
+    dist = lru_stack_distances(pages)
+    reuses = dist[dist >= 0]
+    reuse_fraction = float(len(reuses)) / n
+    median = float(np.median(reuses)) if len(reuses) else -1.0
+    # LRU hits every re-reference once k > max distance.
+    lru_ws = int(reuses.max()) + 1 if len(reuses) else 1
+    k_half = max(1, footprint // 2)
+    return CoreProfile(
+        core=core,
+        length=n,
+        footprint=footprint,
+        reuse_fraction=reuse_fraction,
+        median_reuse_distance=median,
+        lru_working_set=lru_ws,
+        phases_half_footprint=num_phases(pages, k_half),
+    )
+
+
+def profile_workload(workload: Workload | list) -> WorkloadProfile:
+    """Profile every core of ``workload``."""
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    cores = tuple(
+        _profile_core(j, workload[j]) for j in range(workload.num_cores)
+    )
+    seen: dict = {}
+    for j in range(workload.num_cores):
+        for page in workload[j].pages:
+            seen.setdefault(page, set()).add(j)
+    shared = sum(1 for owners in seen.values() if len(owners) > 1)
+    return WorkloadProfile(
+        cores=cores,
+        total_requests=workload.total_requests,
+        universe=len(workload.universe),
+        disjoint=workload.is_disjoint,
+        shared_pages=shared,
+    )

@@ -1,0 +1,66 @@
+"""Workload (de)serialisation: a small line-oriented trace format.
+
+Format (text, UTF-8)::
+
+    # optional comments
+    core <j>
+    <page> <page> <page> ...
+
+Pages are written with ``repr`` for tuples/strings and parsed back with
+``ast.literal_eval``, so any workload built from ints, strings and tuples
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.core.request import Workload
+
+__all__ = ["save_workload", "load_workload"]
+
+
+def _encode(page) -> str:
+    text = repr(page)
+    if " " in text:
+        text = text.replace(" ", "")
+    return text
+
+
+def save_workload(workload: Workload, path) -> None:
+    """Write ``workload`` to ``path`` in the trace format."""
+    path = Path(path)
+    lines = [f"# repro workload: p={workload.num_cores}"]
+    for j, seq in enumerate(workload):
+        lines.append(f"core {j}")
+        lines.append(" ".join(_encode(page) for page in seq))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_workload(path) -> Workload:
+    """Read a workload written by :func:`save_workload`."""
+    path = Path(path)
+    sequences: list[list] = []
+    current: list | None = None
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("core "):
+            index = int(line.split()[1])
+            if index != len(sequences):
+                raise ValueError(
+                    f"core sections out of order: got {index}, "
+                    f"expected {len(sequences)}"
+                )
+            current = []
+            sequences.append(current)
+            continue
+        if current is None:
+            raise ValueError(f"page data before any 'core' header: {line!r}")
+        for token in line.split():
+            current.append(ast.literal_eval(token))
+    if not sequences:
+        raise ValueError(f"{path} contains no workload")
+    return Workload(sequences)

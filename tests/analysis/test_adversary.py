@@ -1,0 +1,58 @@
+"""Tests for the automated adversary search."""
+
+from repro import GlobalFITFPolicy, LRUPolicy, SharedStrategy, simulate
+from repro.analysis import find_bad_instance
+from repro.offline import dp_ftf
+
+
+class TestFindBadInstance:
+    def test_finds_lru_gap(self):
+        result = find_bad_instance(
+            lambda: SharedStrategy(LRUPolicy),
+            tau=1,
+            restarts=3,
+            steps=25,
+            seed=1,
+        )
+        assert result.ratio > 1.0
+        assert result.online_faults > result.optimal_faults
+        assert result.evaluations > 0
+
+    def test_result_is_reproducible_evidence(self):
+        """The returned workload must actually exhibit the claimed ratio
+        when re-simulated."""
+        result = find_bad_instance(
+            lambda: SharedStrategy(LRUPolicy),
+            tau=1,
+            restarts=2,
+            steps=15,
+            seed=3,
+        )
+        online = simulate(
+            result.workload, 3, 1, SharedStrategy(LRUPolicy)
+        ).total_faults
+        opt = dp_ftf(result.workload, 3, 1)
+        assert online == result.online_faults
+        assert opt == result.optimal_faults
+
+    def test_finds_fitf_suboptimality_with_delays(self):
+        """Rediscovers the Lemma 4 remark automatically: FITF is beatable
+        once tau > 0."""
+        result = find_bad_instance(
+            lambda: SharedStrategy(GlobalFITFPolicy),
+            tau=2,
+            restarts=4,
+            steps=25,
+            seed=1,
+        )
+        assert result.ratio > 1.0
+
+    def test_deterministic_given_seed(self):
+        a = find_bad_instance(
+            lambda: SharedStrategy(LRUPolicy), restarts=2, steps=10, seed=7
+        )
+        b = find_bad_instance(
+            lambda: SharedStrategy(LRUPolicy), restarts=2, steps=10, seed=7
+        )
+        assert a.ratio == b.ratio
+        assert a.workload == b.workload

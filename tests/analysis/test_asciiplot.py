@@ -1,0 +1,53 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot([1, 2, 3], [1, 4, 9], width=20, height=6)
+        lines = text.splitlines()
+        assert any("o" in line for line in lines)
+        assert "+" in text  # axis corner
+        assert "1" in text and "9" in text  # extreme labels
+
+    def test_title(self):
+        text = ascii_plot([1, 2], [1, 2], title="growth")
+        assert text.splitlines()[0] == "growth"
+
+    def test_log_axes_annotated(self):
+        text = ascii_plot([1, 10, 100], [1, 10, 100], logx=True, logy=True)
+        assert "x:log10" in text and "y:log10" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], [1, 2], logx=True)
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [-1, 2], logy=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1])
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1])
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1, 2], width=5)
+
+    def test_constant_series(self):
+        # Degenerate spans must not divide by zero.
+        text = ascii_plot([1, 2, 3], [5, 5, 5], width=15, height=5)
+        assert "o" in text
+
+    def test_marker_count_in_plot(self):
+        text = ascii_plot([1, 2, 3, 4], [1, 2, 3, 4], connect=False)
+        assert sum(line.count("o") for line in text.splitlines()) == 4
+
+    def test_monotone_line_orientation(self):
+        """Increasing series: the top row holds the last point's marker."""
+        text = ascii_plot([1, 2, 3], [10, 20, 30], width=30, height=8)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        top, bottom = plot_lines[0], plot_lines[-1]
+        assert top.rstrip().endswith("o")
+        assert bottom.index("o") < len(bottom) - 2

@@ -1,0 +1,63 @@
+"""Tests for the multi-objective Pareto analysis."""
+
+from repro import LRUPolicy, SharedStrategy, Workload
+from repro.analysis import evaluate_panel, pareto_front
+from repro.analysis.dominance import StrategyPoint, panel_table
+from repro.offline import SacrificeStrategy
+from repro.strategies import ProgressBalancingStrategy
+from repro.workloads import lemma4_workload
+
+
+class TestParetoFront:
+    def test_single_point_is_front(self):
+        p = StrategyPoint("a", 10, 10, 0.0)
+        assert pareto_front([p]) == [p]
+
+    def test_dominated_point_removed(self):
+        good = StrategyPoint("good", 5, 5, 0.0)
+        bad = StrategyPoint("bad", 6, 6, 0.1)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_trade_off_keeps_both(self):
+        fast = StrategyPoint("fast", 10, 5, 0.5)
+        fair = StrategyPoint("fair", 12, 9, 0.0)
+        assert set(p.name for p in pareto_front([fast, fair])) == {
+            "fast",
+            "fair",
+        }
+
+    def test_equal_points_both_survive(self):
+        a = StrategyPoint("a", 5, 5, 0.0)
+        b = StrategyPoint("b", 5, 5, 0.0)
+        assert len(pareto_front([a, b])) == 2
+
+
+class TestPanel:
+    def test_lemma4_trade_off_panel(self):
+        """On the Lemma 4 workload LRU (fair, slow) and the sacrifice
+        strategy (few faults, unfair) are both Pareto-optimal — the
+        Section 6 trade-off as a frontier."""
+        w = lemma4_workload(8, 2, 300)
+        points = evaluate_panel(
+            w,
+            8,
+            4,
+            [
+                ("S_LRU", SharedStrategy(LRUPolicy)),
+                ("S_OFF", SacrificeStrategy()),
+                ("S_BAL", ProgressBalancingStrategy(bias=0.9)),
+            ],
+        )
+        front = {p.name for p in pareto_front(points)}
+        assert "S_OFF" in front  # fewest faults
+        by_name = {p.name: p for p in points}
+        assert by_name["S_OFF"].faults < by_name["S_LRU"].faults
+        assert by_name["S_OFF"].jain < by_name["S_LRU"].jain
+
+    def test_panel_table_marks_front(self):
+        w = Workload([[1, 2, 1, 2], [10, 11, 10, 11]])
+        points = evaluate_panel(
+            w, 4, 1, [("S_LRU", SharedStrategy(LRUPolicy))]
+        )
+        text = panel_table(points).format_ascii()
+        assert "S_LRU" in text and "pareto" in text

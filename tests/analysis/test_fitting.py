@@ -1,0 +1,53 @@
+"""Tests for power-law fitting."""
+
+import pytest
+
+from repro.analysis.fitting import PowerLawFit, fit_power_law, is_linear_growth
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        fit = fit_power_law([1, 2, 4, 8], [3, 6, 12, 24])
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        xs = [1, 2, 3, 4]
+        fit = fit_power_law(xs, [x * x for x in xs])
+        assert fit.exponent == pytest.approx(2.0)
+
+    def test_constant_series(self):
+        fit = fit_power_law([1, 2, 4], [5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0)
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, coefficient=3.0, r_squared=1.0)
+        assert fit.predict(4) == pytest.approx(48.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([-1, 2], [1, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestIsLinearGrowth:
+    def test_linear_passes(self):
+        assert is_linear_growth([10, 20, 40, 80], [11, 19, 42, 79])
+
+    def test_quadratic_fails(self):
+        xs = [10, 20, 40, 80]
+        assert not is_linear_growth(xs, [x * x for x in xs])
+
+    def test_flat_fails(self):
+        assert not is_linear_growth([10, 20, 40], [5, 5, 5])
+
+    def test_noisy_fit_fails(self):
+        assert not is_linear_growth(
+            [1, 2, 3, 4, 5], [1, 9, 2, 11, 3], min_r_squared=0.9
+        )

@@ -1,0 +1,55 @@
+"""Tests for miss-ratio curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import miss_ratio_curve, mrc_plot, workload_mrcs
+from repro.sequential import belady_faults, lru_faults
+from repro.workloads import lemma4_workload, zipf_workload
+
+
+class TestMissRatioCurve:
+    def test_matches_direct_counts(self):
+        seq = [1, 2, 3, 1, 2, 3, 4, 1]
+        curve = miss_ratio_curve(seq, 4, "lru")
+        for k in range(1, 5):
+            assert curve[k - 1] == pytest.approx(lru_faults(seq, k) / len(seq))
+
+    def test_opt_below_lru_pointwise(self):
+        seq = list(zipf_workload(1, 300, 12, seed=0)[0])
+        lru = miss_ratio_curve(seq, 8, "lru")
+        opt = miss_ratio_curve(seq, 8, "opt")
+        assert np.all(opt <= lru + 1e-12)
+        for k in range(1, 9):
+            assert opt[k - 1] == pytest.approx(belady_faults(seq, k) / len(seq))
+
+    def test_monotone_nonincreasing_lru(self):
+        seq = list(zipf_workload(1, 300, 12, seed=1)[0])
+        curve = miss_ratio_curve(seq, 10, "lru")
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_empty_sequence(self):
+        assert np.all(miss_ratio_curve([], 4) == 0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            miss_ratio_curve([1], 2, "magic")
+
+
+class TestWorkloadMrcs:
+    def test_per_core_curves(self):
+        w = lemma4_workload(8, 2, 100)
+        curves = workload_mrcs(w, 6, "lru")
+        assert len(curves) == 2
+        # Lemma 4 knee: working set is K/p + 1 = 5 pages per core.
+        for curve in curves:
+            assert curve[3] > 0.9    # k=4 < working set: thrash
+            assert curve[4] < 0.2    # k=5 = working set: compulsory only
+
+
+class TestPlot:
+    def test_renders(self):
+        seq = list(zipf_workload(1, 200, 10, seed=2)[0])
+        text = mrc_plot(seq, 8)
+        assert "miss ratio" in text
+        assert "o" in text

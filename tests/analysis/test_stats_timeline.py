@@ -1,0 +1,148 @@
+"""Tests for trace statistics and the ASCII timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.analysis import (
+    core_progress,
+    delay_accounting,
+    fault_time_series,
+    interfault_intervals,
+    render_timeline,
+    windowed_working_set,
+)
+from repro.offline import SacrificeStrategy
+from repro.workloads import lemma4_workload
+
+
+@pytest.fixture
+def traced_run():
+    w = Workload([[1, 2, 3, 1, 2, 3], [10, 11, 10, 11, 10, 11]])
+    res = simulate(w, 4, 1, SharedStrategy(LRUPolicy), record_trace=True)
+    return w, res
+
+
+class TestFaultTimeSeries:
+    def test_counts_match_total(self, traced_run):
+        _, res = traced_run
+        series = fault_time_series(res.trace)
+        assert series.sum() == res.total_faults
+
+    def test_bucketing(self, traced_run):
+        _, res = traced_run
+        fine = fault_time_series(res.trace, bucket=1)
+        coarse = fault_time_series(res.trace, bucket=4)
+        assert fine.sum() == coarse.sum()
+        assert len(coarse) <= (len(fine) + 3) // 4
+
+    def test_horizon_truncates(self, traced_run):
+        _, res = traced_run
+        series = fault_time_series(res.trace, horizon=1)
+        assert len(series) == 1
+        assert series[0] == 2  # both compulsory misses at t=0
+
+    def test_bucket_validation(self, traced_run):
+        _, res = traced_run
+        with pytest.raises(ValueError):
+            fault_time_series(res.trace, bucket=0)
+
+
+class TestInterfaultIntervals:
+    def test_sacrifice_victim_period(self):
+        """The sacrificed sequence faults exactly every tau+1 steps while
+        the others run — Lemma 4's accounting, measured."""
+        K, p, tau = 8, 2, 3
+        w = lemma4_workload(K, p, 600)
+        res = simulate(w, K, tau, SacrificeStrategy(), record_trace=True)
+        gaps = interfault_intervals(res.trace, core=1)
+        # Steady state dominated by tau+1 gaps.
+        steady = gaps[3:-3]
+        assert np.median(steady) == tau + 1
+
+    def test_too_few_faults(self, traced_run):
+        _, res = traced_run
+        w2 = Workload([[1, 1, 1]])
+        r2 = simulate(w2, 2, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        assert len(interfault_intervals(r2.trace, 0)) == 0
+
+
+class TestWorkingSet:
+    def test_basic(self):
+        sizes = windowed_working_set([1, 2, 1, 3], window=2)
+        assert list(sizes) == [1, 2, 2, 2]
+
+    def test_window_one(self):
+        assert list(windowed_working_set([1, 1, 2], window=1)) == [1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windowed_working_set([1], window=0)
+
+    def test_bounded_by_window_and_universe(self):
+        seq = [i % 5 for i in range(50)]
+        for window in (3, 7, 20):
+            sizes = windowed_working_set(seq, window)
+            assert sizes.max() <= min(window, 5)
+
+
+class TestCoreProgress:
+    def test_accounting(self, traced_run):
+        w, res = traced_run
+        progress = core_progress(res.trace, w, tau=1)
+        for core, p in enumerate(progress):
+            assert p.requests == len(w[core])
+            assert p.faults == res.faults_per_core[core]
+            assert p.faults + p.hits == p.requests
+            assert p.stall_steps == p.faults * 1
+            assert p.dilation >= 1.0
+
+    def test_delay_accounting(self, traced_run):
+        w, res = traced_run
+        acct = delay_accounting(res.trace, w, tau=1)
+        assert acct["total_requests"] == w.total_requests
+        assert acct["makespan"] == res.makespan + 1
+        assert acct["mean_dilation"] >= 1.0
+
+    def test_empty_core(self):
+        w = Workload([[], [1]])
+        res = simulate(w, 2, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        progress = core_progress(res.trace, w, tau=1)
+        assert progress[0].requests == 0
+        assert progress[0].dilation == 1.0
+
+
+class TestTimeline:
+    def test_renders_hits_faults_fetches(self, traced_run):
+        _, res = traced_run
+        text = render_timeline(res.trace, 2, tau=1, width=40)
+        assert "core 0" in text and "core 1" in text
+        assert "X" in text and "." in text and "-" in text
+        assert "tau=1" in text
+
+    def test_width_and_start(self, traced_run):
+        _, res = traced_run
+        text = render_timeline(
+            res.trace, 2, tau=1, start=2, width=10, legend=False
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3  # ruler + 2 cores
+        assert all(len(l) <= len("core 0 |") + 10 for l in lines[1:])
+
+    def test_validation(self, traced_run):
+        _, res = traced_run
+        with pytest.raises(ValueError):
+            render_timeline(res.trace, 0, tau=1)
+        with pytest.raises(ValueError):
+            render_timeline(res.trace, 2, tau=1, width=0)
+
+    def test_turn_taking_visible(self):
+        """On the Theorem 1 workload the distinct periods show up as
+        bursts of faults taking turns across cores."""
+        from repro.workloads import theorem1_workload
+
+        w = theorem1_workload(4, 2, 3, 1)
+        res = simulate(w, 4, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        text = render_timeline(res.trace, 2, tau=1, width=30, legend=False)
+        rows = text.splitlines()[1:]
+        assert rows[0].count("X") > 0 and rows[1].count("X") > 0

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LRUPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    Workload,
+)
+
+
+@pytest.fixture
+def two_core_disjoint() -> Workload:
+    """A tiny disjoint two-core workload used across suites."""
+    return Workload([[1, 2, 3, 1, 2, 3], [10, 11, 10, 11, 10, 11]])
+
+
+@pytest.fixture
+def shared_lru() -> SharedStrategy:
+    return SharedStrategy(LRUPolicy)
+
+
+@pytest.fixture
+def static_lru_2_2() -> StaticPartitionStrategy:
+    return StaticPartitionStrategy([2, 2], LRUPolicy)
+
+
+def make_disjoint_workload(rng, p: int, length: int, pages: int) -> Workload:
+    """Random disjoint workload helper for property tests."""
+    return Workload(
+        [
+            [(j, rng.randrange(pages)) for _ in range(length)]
+            for j in range(p)
+        ]
+    )

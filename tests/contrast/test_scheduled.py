@@ -1,0 +1,168 @@
+"""Tests for the scheduler-augmented (Hassidim-style) contrast model."""
+
+import random
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.contrast import (
+    ScheduledSimulator,
+    ServeAllScheduler,
+    StaggerScheduler,
+    scheduled_ftf_optimum,
+)
+from repro.offline import dp_ftf
+from repro.problems import FTFInstance
+
+
+def random_disjoint(seed, p=2, length=8, pages=3):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+CONFLICT = Workload(
+    [
+        [("a", 0), ("a", 1), ("a", 0), ("a", 1)],
+        [("b", 0), ("b", 1), ("b", 0), ("b", 1)],
+    ]
+)
+
+
+class TestServeAllEquivalence:
+    """With admission forced open, the augmented simulator must equal the
+    base model exactly — the models differ by scheduling alone."""
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_matches_base_simulator(self, tau):
+        for seed in range(6):
+            w = random_disjoint(seed)
+            base = simulate(w, 3, tau, SharedStrategy(LRUPolicy))
+            sched = ScheduledSimulator(w, 3, tau, ServeAllScheduler()).run()
+            assert base.faults_per_core == sched.faults_per_core
+            assert base.completion_times == sched.completion_times
+
+
+class TestStaggerScheduler:
+    def test_delays_validated(self):
+        with pytest.raises(ValueError):
+            ScheduledSimulator(
+                CONFLICT, 3, 1, StaggerScheduler([0])
+            ).run()
+        with pytest.raises(ValueError):
+            StaggerScheduler([-1, 0])
+
+    def test_staggering_decollides_conflict(self):
+        """Serving the cores one after the other removes all capacity
+        misses: only the 4 compulsory faults remain."""
+        tau = 2
+        delay = len(CONFLICT[0]) * (tau + 1) + 1
+        res = ScheduledSimulator(
+            CONFLICT, 3, tau, StaggerScheduler([0, delay])
+        ).run()
+        assert res.total_faults == 4
+
+    def test_zero_delays_equal_serve_all(self):
+        res_a = ScheduledSimulator(
+            CONFLICT, 3, 1, StaggerScheduler([0, 0])
+        ).run()
+        res_b = ScheduledSimulator(CONFLICT, 3, 1, ServeAllScheduler()).run()
+        assert res_a.faults_per_core == res_b.faults_per_core
+
+    def test_trace_recorded(self):
+        res = ScheduledSimulator(
+            CONFLICT, 3, 1, StaggerScheduler([0, 5]), record_trace=True
+        ).run()
+        assert res.trace is not None
+        assert len(res.trace) == CONFLICT.total_requests
+
+
+class TestScheduledOptimum:
+    def test_strictly_beats_paper_model_on_conflict(self):
+        for tau in (1, 2):
+            paper = dp_ftf(CONFLICT, 3, tau)
+            sched = scheduled_ftf_optimum(
+                FTFInstance(CONFLICT, 3, tau), stall_budget=8
+            )
+            assert sched < paper
+            assert sched == 4  # compulsory only
+
+    def test_zero_budget_equals_paper_optimum(self):
+        for seed in range(4):
+            w = random_disjoint(seed, length=5)
+            for tau in (0, 1):
+                inst = FTFInstance(w, 3, tau)
+                assert scheduled_ftf_optimum(inst, stall_budget=0) == dp_ftf(
+                    w, 3, tau
+                )
+
+    def test_budget_monotone(self):
+        inst = FTFInstance(CONFLICT, 3, 1)
+        vals = [
+            scheduled_ftf_optimum(inst, stall_budget=b) for b in (0, 2, 4, 8)
+        ]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_non_disjoint(self):
+        with pytest.raises(ValueError):
+            scheduled_ftf_optimum(FTFInstance([[1], [1]], 2, 0))
+
+
+class TestGuards:
+    def test_non_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSimulator([[1], [1]], 2, 0, ServeAllScheduler())
+
+    def test_never_admitting_aborts(self):
+        class Starver(ServeAllScheduler):
+            def admit(self, ready, t):
+                return []
+
+        with pytest.raises(RuntimeError, match="max_steps"):
+            ScheduledSimulator(
+                CONFLICT, 3, 1, Starver(), max_steps=50
+            ).run()
+
+
+class TestThrottledScheduler:
+    def test_validation(self):
+        from repro.contrast import ThrottledScheduler
+
+        with pytest.raises(ValueError):
+            ThrottledScheduler(0)
+
+    def test_wide_throttle_equals_serve_all(self):
+        from repro.contrast import ThrottledScheduler
+
+        w = random_disjoint(2, p=3, length=8)
+        a = ScheduledSimulator(w, 4, 1, ThrottledScheduler(3)).run()
+        b = ScheduledSimulator(w, 4, 1, ServeAllScheduler()).run()
+        assert a.faults_per_core == b.faults_per_core
+
+    def test_throttle_stretches_makespan(self):
+        from repro.contrast import ThrottledScheduler
+
+        w = random_disjoint(4, p=4, length=20, pages=2)
+        wide = ScheduledSimulator(w, 8, 2, ThrottledScheduler(4)).run()
+        narrow = ScheduledSimulator(w, 8, 2, ThrottledScheduler(1)).run()
+        assert narrow.makespan > wide.makespan
+
+    def test_round_robin_is_fair(self):
+        """Under a 1-wide throttle, symmetric cores finish near each
+        other (rotation prevents starvation)."""
+        from repro.contrast import ThrottledScheduler
+
+        w = Workload(
+            [[(j, i % 2) for i in range(12)] for j in range(3)]
+        )
+        res = ScheduledSimulator(w, 6, 1, ThrottledScheduler(1)).run()
+        spread = max(res.completion_times) - min(res.completion_times)
+        assert spread <= 12  # no core left far behind
+
+    def test_accounting(self):
+        from repro.contrast import ThrottledScheduler
+
+        w = random_disjoint(9, p=3, length=10)
+        res = ScheduledSimulator(w, 4, 1, ThrottledScheduler(2)).run()
+        assert res.total_faults + res.total_hits == w.total_requests

@@ -1,0 +1,131 @@
+"""Tests for CacheState: residency, fetch windows, pinning, eviction."""
+
+import pytest
+
+from repro.core.cache import CacheState
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CacheState(0)
+        with pytest.raises(ValueError):
+            CacheState(-1)
+
+    def test_insert_and_contains(self):
+        c = CacheState(2)
+        c.insert("a", owner=0, t=0, tau=1)
+        assert "a" in c
+        assert c.occupancy == 1
+        assert not c.is_full
+        c.insert("b", owner=1, t=0, tau=1)
+        assert c.is_full
+
+    def test_double_insert_rejected(self):
+        c = CacheState(2)
+        c.insert("a", 0, 0, 1)
+        with pytest.raises(ValueError):
+            c.insert("a", 0, 1, 1)
+
+    def test_insert_into_full_cache_rejected(self):
+        c = CacheState(1)
+        c.insert("a", 0, 0, 0)
+        with pytest.raises(ValueError):
+            c.insert("b", 0, 5, 0)
+
+    def test_owner_tracking(self):
+        c = CacheState(4)
+        c.insert("a", 2, 0, 0)
+        assert c.owner("a") == 2
+        c.reassign_owner("a", 3)
+        assert c.owner("a") == 3
+
+
+class TestFetchWindow:
+    def test_resident_only_after_fetch_completes(self):
+        c = CacheState(2)
+        c.insert("a", 0, t=5, tau=3)  # busy during [5, 8]
+        for t in (5, 6, 7, 8):
+            assert c.is_fetching("a", t)
+            assert not c.is_resident("a", t)
+        assert c.is_resident("a", 9)
+        assert not c.is_fetching("a", 9)
+
+    def test_tau_zero_resident_next_step(self):
+        c = CacheState(2)
+        c.insert("a", 0, t=5, tau=0)
+        assert c.is_fetching("a", 5)
+        assert c.is_resident("a", 6)
+
+    def test_cannot_evict_mid_fetch(self):
+        c = CacheState(2)
+        c.insert("a", 0, t=0, tau=2)
+        with pytest.raises(ValueError):
+            c.evict("a", t=2)
+        cell = c.evict("a", t=3)
+        assert cell.page == "a"
+        assert "a" not in c
+
+    def test_evict_missing_page(self):
+        c = CacheState(2)
+        with pytest.raises(KeyError):
+            c.evict("ghost", 0)
+
+    def test_evictable_pages_excludes_fetching(self):
+        c = CacheState(3)
+        c.insert("a", 0, t=0, tau=0)
+        c.insert("b", 1, t=3, tau=2)  # busy [3, 5]
+        assert c.evictable_pages(4) == {"a"}
+        assert c.evictable_pages(6) == {"a", "b"}
+
+
+class TestPinning:
+    def test_pinned_page_not_evictable_same_step(self):
+        c = CacheState(2)
+        c.insert("a", 0, t=0, tau=0)
+        c.pin("a", t=4)
+        assert c.is_pinned("a", 4)
+        assert "a" not in c.evictable_pages(4)
+        with pytest.raises(ValueError):
+            c.evict("a", t=4)
+
+    def test_pin_expires_next_step(self):
+        c = CacheState(2)
+        c.insert("a", 0, t=0, tau=0)
+        c.pin("a", t=4)
+        assert not c.is_pinned("a", 5)
+        assert "a" in c.evictable_pages(5)
+        c.evict("a", t=5)
+
+    def test_is_pinned_missing_page(self):
+        c = CacheState(2)
+        assert not c.is_pinned("ghost", 0)
+
+
+class TestOwnership:
+    def test_pages_of_and_occupancy_of(self):
+        c = CacheState(4)
+        c.insert("a", 0, 0, 0)
+        c.insert("b", 0, 0, 0)
+        c.insert("x", 1, 0, 0)
+        assert c.pages_of(0) == {"a", "b"}
+        assert c.occupancy_of(0) == 2
+        assert c.occupancy_of(1) == 1
+        assert c.occupancy_of(9) == 0
+
+    def test_evictable_pages_of_respects_fetch(self):
+        c = CacheState(4)
+        c.insert("a", 0, t=0, tau=0)
+        c.insert("b", 0, t=3, tau=5)
+        assert c.evictable_pages_of(0, 4) == {"a"}
+
+    def test_snapshot_includes_fetching(self):
+        c = CacheState(4)
+        c.insert("a", 0, t=0, tau=10)
+        assert c.snapshot() == frozenset({"a"})
+
+    def test_clear(self):
+        c = CacheState(2)
+        c.insert("a", 0, 0, 0)
+        c.clear()
+        assert c.occupancy == 0

@@ -1,0 +1,94 @@
+"""Stateful property testing of CacheState (hypothesis rule-based).
+
+Drives random legal sequences of insert/complete/pin/evict operations
+against a simple reference model and checks the invariants the simulator
+relies on after every step."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.cache import CacheState
+
+CAPACITY = 4
+PAGES = [f"p{i}" for i in range(8)]
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = CacheState(CAPACITY)
+        self.clock = 0
+        # reference model: page -> (busy_until, pinned_at)
+        self.model: dict[str, tuple[int, int]] = {}
+
+    # -- operations ---------------------------------------------------------
+    @rule(tau=st.integers(0, 3), page=st.sampled_from(PAGES))
+    def insert(self, page, tau):
+        if page in self.model or len(self.model) >= CAPACITY:
+            return
+        self.cache.insert(page, owner=0, t=self.clock, tau=tau)
+        self.model[page] = (self.clock + tau, -1)
+
+    @rule(page=st.sampled_from(PAGES))
+    def pin_resident(self, page):
+        entry = self.model.get(page)
+        if entry is None or entry[0] >= self.clock:
+            return
+        self.cache.pin(page, self.clock)
+        self.model[page] = (entry[0], self.clock)
+
+    @rule(page=st.sampled_from(PAGES))
+    def evict_legal(self, page):
+        entry = self.model.get(page)
+        if entry is None:
+            return
+        busy_until, pinned_at = entry
+        if busy_until >= self.clock or pinned_at == self.clock:
+            return
+        self.cache.evict(page, self.clock)
+        del self.model[page]
+
+    @rule(delta=st.integers(1, 3))
+    def advance_time(self, delta):
+        self.clock += delta
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def occupancy_matches(self):
+        assert self.cache.occupancy == len(self.model)
+        assert self.cache.pages() == frozenset(self.model)
+
+    @invariant()
+    def residency_matches(self):
+        for page, (busy_until, _) in self.model.items():
+            assert self.cache.is_resident(page, self.clock) == (
+                busy_until < self.clock
+            )
+            assert self.cache.is_fetching(page, self.clock) == (
+                busy_until >= self.clock
+            )
+
+    @invariant()
+    def evictable_set_matches(self):
+        expected = {
+            page
+            for page, (busy_until, pinned_at) in self.model.items()
+            if busy_until < self.clock and pinned_at != self.clock
+        }
+        assert self.cache.evictable_pages(self.clock) == expected
+
+    @invariant()
+    def never_over_capacity(self):
+        assert self.cache.occupancy <= CAPACITY
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestCacheStateMachine = CacheMachine.TestCase

@@ -1,0 +1,96 @@
+"""Tests for FutureOracle."""
+
+import math
+
+from repro.core.oracle import FutureOracle
+from repro.core.request import Workload
+
+
+class TestFutureOracle:
+    def setup_method(self):
+        self.w = Workload([[1, 2, 1, 3], [10, 11, 10]])
+        self.oracle = FutureOracle(self.w)
+
+    def test_next_use_in(self):
+        assert self.oracle.next_use_in(0, 1, 0) == 0
+        assert self.oracle.next_use_in(0, 1, 1) == 1
+        assert self.oracle.next_use_in(0, 3, 0) == 3
+        assert math.isinf(self.oracle.next_use_in(0, 99, 0))
+        assert math.isinf(self.oracle.next_use_in(0, 2, 2))
+
+    def test_next_use_across_cores(self):
+        assert self.oracle.next_use(10, [0, 0]) == 0
+        assert self.oracle.next_use(10, [0, 1]) == 1
+        assert math.isinf(self.oracle.next_use(10, [0, 3]))
+
+    def test_never_used_again(self):
+        assert self.oracle.never_used_again(2, [2, 0])
+        assert not self.oracle.never_used_again(1, [1, 0])
+
+    def test_furthest_page(self):
+        # At positions [1, 0]: next uses -> 1: d=1, 2: d=0, 3: d=2.
+        assert self.oracle.furthest_page({1, 2, 3}, [1, 0]) == 3
+
+    def test_furthest_page_prefers_never_again(self):
+        assert self.oracle.furthest_page({1, 2}, [2, 0]) == 2  # 2 never again
+
+    def test_furthest_page_in_core(self):
+        assert self.oracle.furthest_page_in(0, {1, 2, 3}, 1) == 3
+
+    def test_deterministic_tie_break(self):
+        w = Workload([[1, 2]])
+        oracle = FutureOracle(w)
+        # Both never used again from position 2: tie broken by repr.
+        assert oracle.furthest_page({1, 2}, [2]) == 2
+
+
+class TestNextUseTime:
+    """The time-frame metric (the E12-critical fix)."""
+
+    def setup_method(self):
+        self.w = Workload([[1, 2, 1, 3], [10, 11, 10]])
+        self.oracle = FutureOracle(self.w)
+
+    def test_matches_distance_when_all_ready_now(self):
+        # positions [0,0], everyone ready at now: time == distance.
+        for page in (1, 10, 2):
+            assert self.oracle.next_use_time(
+                page, [0, 0], [5, 5], now=5
+            ) == self.oracle.next_use(page, [0, 0])
+
+    def test_ready_gap_added(self):
+        # Core 1 is mid-fetch until step 9: its pages are 4 steps further
+        # away than the raw distance suggests.
+        t = self.oracle.next_use_time(10, [0, 0], [5, 9], now=5)
+        assert t == 4 + 0
+
+    def test_mid_step_consistency(self):
+        """A core already served this step (position advanced, ready
+        now+1) must be comparable with an unserved core — the exact case
+        the request-distance metric gets wrong."""
+        # Core 0 served its step-5 request: position 1, ready 6.
+        # Core 1 not yet served: position 0, ready 5.
+        # Next use of 2 (core 0 idx 1): time 1.  Next use of 10 (core 1
+        # idx... position 0 -> idx 0 is 'now'): time 0.
+        t_2 = self.oracle.next_use_time(2, [1, 0], [6, 5], now=5)
+        t_10 = self.oracle.next_use_time(10, [1, 0], [6, 5], now=5)
+        assert t_2 == 1
+        assert t_10 == 0
+
+    def test_inf_when_never_used(self):
+        assert math.isinf(
+            self.oracle.next_use_time(99, [0, 0], [0, 0], now=0)
+        )
+
+    def test_furthest_by_time_breaks_distance_ties(self):
+        # Both pages at distance 1, but core 1 is delayed: its page is
+        # later in *time* and must be the victim.
+        w = Workload([[1, 2], [10, 11]])
+        oracle = FutureOracle(w)
+        # positions [1,1]: next use of 2 at distance 0... construct:
+        # candidates 2 (core 0, distance 1 from pos 0) and 11 (core 1,
+        # distance 1 from pos 0) with core 1 stalled 3 steps.
+        victim = oracle.furthest_page_by_time(
+            {2, 11}, [0, 0], [0, 3], now=0
+        )
+        assert victim == 11

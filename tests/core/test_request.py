@@ -1,0 +1,125 @@
+"""Tests for RequestSequence and Workload."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.request import RequestSequence, Workload
+
+
+class TestRequestSequence:
+    def test_basic_sequence_protocol(self):
+        seq = RequestSequence([1, 2, 3, 2])
+        assert len(seq) == 4
+        assert seq[0] == 1
+        assert seq[-1] == 2
+        assert list(seq) == [1, 2, 3, 2]
+
+    def test_slicing_returns_sequence(self):
+        seq = RequestSequence([1, 2, 3, 4])
+        sub = seq[1:3]
+        assert isinstance(sub, RequestSequence)
+        assert list(sub) == [2, 3]
+
+    def test_equality_with_tuples_and_lists(self):
+        seq = RequestSequence([1, 2])
+        assert seq == (1, 2)
+        assert seq == [1, 2]
+        assert seq == RequestSequence([1, 2])
+        assert seq != RequestSequence([2, 1])
+
+    def test_hashable(self):
+        assert hash(RequestSequence([1, 2])) == hash(RequestSequence([1, 2]))
+
+    def test_pages_and_distinct_count(self):
+        seq = RequestSequence([1, 2, 1, 3, 1])
+        assert seq.pages == {1, 2, 3}
+        assert seq.distinct_count == 3
+
+    def test_empty_sequence(self):
+        seq = RequestSequence([])
+        assert len(seq) == 0
+        assert seq.pages == frozenset()
+        assert seq.next_occurrence == ()
+
+    def test_next_occurrence_table(self):
+        seq = RequestSequence([1, 2, 1, 2, 3])
+        assert seq.next_occurrence == (2, 3, 5, 5, 5)
+
+    def test_next_occurrence_no_repeats(self):
+        seq = RequestSequence([1, 2, 3])
+        assert seq.next_occurrence == (3, 3, 3)
+
+    def test_first_occurrence_from(self):
+        seq = RequestSequence([1, 2, 1, 3, 1])
+        assert seq.first_occurrence_from(1, 0) == 0
+        assert seq.first_occurrence_from(1, 1) == 2
+        assert seq.first_occurrence_from(1, 3) == 4
+        assert seq.first_occurrence_from(1, 5) == 5
+        assert seq.first_occurrence_from(3, 0) == 3
+        assert seq.first_occurrence_from(99, 0) == 5  # absent page
+
+    @given(st.lists(st.integers(0, 5), max_size=30), st.integers(0, 30))
+    def test_first_occurrence_from_matches_naive(self, pages, start):
+        seq = RequestSequence(pages)
+        for page in set(pages) | {99}:
+            naive = next(
+                (i for i in range(start, len(pages)) if pages[i] == page),
+                len(pages),
+            )
+            assert seq.first_occurrence_from(page, start) == naive
+
+    @given(st.lists(st.integers(0, 5), max_size=30))
+    def test_next_occurrence_matches_naive(self, pages):
+        seq = RequestSequence(pages)
+        n = len(pages)
+        for i in range(n):
+            naive = next(
+                (k for k in range(i + 1, n) if pages[k] == pages[i]), n
+            )
+            assert seq.next_occurrence[i] == naive
+
+
+class TestWorkload:
+    def test_construction_and_len(self):
+        w = Workload([[1, 2], [3]])
+        assert len(w) == 2
+        assert w.num_cores == 2
+        assert w.total_requests == 3
+        assert w.lengths() == (2, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload([])
+
+    def test_universe(self):
+        w = Workload([[1, 2], [2, 3]])
+        assert w.universe == {1, 2, 3}
+
+    def test_disjointness(self):
+        assert Workload([[1, 2], [3, 4]]).is_disjoint
+        assert not Workload([[1, 2], [2, 3]]).is_disjoint
+        assert Workload([[1]]).is_disjoint
+
+    def test_accepts_request_sequences(self):
+        rs = RequestSequence([1, 2])
+        w = Workload([rs, [3]])
+        assert w[0] is rs
+
+    def test_equality_and_hash(self):
+        assert Workload([[1], [2]]) == Workload([[1], [2]])
+        assert hash(Workload([[1]])) == hash(Workload([[1]]))
+
+    def test_as_lists(self):
+        assert Workload([[1, 2], [3]]).as_lists() == [[1, 2], [3]]
+
+    def test_validate_against_cache(self):
+        w = Workload([[1], [2], [3]])
+        w.validate_against_cache(3)
+        with pytest.raises(ValueError):
+            w.validate_against_cache(2)
+
+    def test_empty_core_sequences_allowed(self):
+        w = Workload([[], [1]])
+        assert w.total_requests == 1
+        assert w.is_disjoint

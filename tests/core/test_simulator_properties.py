@@ -1,0 +1,99 @@
+"""Property-based tests of simulator invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FIFOPolicy,
+    LRUPolicy,
+    MarkingPolicy,
+    SharedStrategy,
+    Workload,
+    simulate,
+)
+from repro.sequential import lru_faults
+
+
+def disjoint_workloads(max_cores=3, max_len=12, max_pages=4):
+    """Strategy producing small disjoint workloads."""
+
+    @st.composite
+    def build(draw):
+        p = draw(st.integers(1, max_cores))
+        seqs = []
+        for j in range(p):
+            length = draw(st.integers(0, max_len))
+            seqs.append(
+                [
+                    (j, draw(st.integers(0, max_pages - 1)))
+                    for _ in range(length)
+                ]
+            )
+        if all(len(s) == 0 for s in seqs):
+            seqs[0] = [(0, 0)]
+        return Workload(seqs)
+
+    return build()
+
+
+@given(
+    disjoint_workloads(),
+    st.integers(0, 3),
+    st.sampled_from([LRUPolicy, FIFOPolicy, MarkingPolicy]),
+)
+@settings(max_examples=60, deadline=None)
+def test_accounting_invariants(workload, tau, policy):
+    K = max(4, workload.num_cores)
+    res = simulate(workload, K, tau, SharedStrategy(policy), record_trace=True)
+    # Conservation: every request is a hit or a fault.
+    assert res.total_faults + res.total_hits == workload.total_requests
+    for j in range(workload.num_cores):
+        assert res.faults_per_core[j] + res.hits_per_core[j] == len(workload[j])
+    # Trace agrees with counters.
+    assert sum(1 for e in res.trace if e.is_fault) == res.total_faults
+    # Every core faults at least its distinct-page count / K... at minimum
+    # the compulsory misses that fit simultaneously: distinct pages when
+    # K >= distinct; in general >= 1 if nonempty.
+    for j in range(workload.num_cores):
+        if len(workload[j]) > 0:
+            assert res.faults_per_core[j] >= 1
+
+
+@given(disjoint_workloads(max_cores=1), st.integers(0, 2), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_single_core_matches_sequential_lru(workload, tau, K):
+    """With one core, the simulator's shared LRU must equal classical LRU
+    regardless of tau (delays don't change a single sequence's order)."""
+    res = simulate(workload, K, tau, SharedStrategy(LRUPolicy))
+    assert res.total_faults == lru_faults(list(workload[0]), K)
+
+
+@given(disjoint_workloads(), st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_bigger_cache_never_hurts_lru_sequentially(workload, tau):
+    """Per-core LRU fault counts shrink when every core gets more cache.
+
+    (For *shared* caches LRU is not monotone in general — Belady's anomaly
+    analogue — so this is asserted on the per-core static split.)"""
+    from repro import StaticPartitionStrategy
+
+    p = workload.num_cores
+    small = simulate(
+        workload, p * 2, tau, StaticPartitionStrategy([2] * p, LRUPolicy)
+    )
+    big = simulate(
+        workload, p * 4, tau, StaticPartitionStrategy([4] * p, LRUPolicy)
+    )
+    assert big.total_faults <= small.total_faults
+
+
+@given(disjoint_workloads(max_cores=3), st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_makespan_lower_bound(workload, tau):
+    """Makespan >= per-core serving time lower bound: hits + (tau+1)*faults."""
+    res = simulate(workload, max(4, workload.num_cores), tau, SharedStrategy(LRUPolicy))
+    for j in range(workload.num_cores):
+        if len(workload[j]) == 0:
+            continue
+        lb = res.hits_per_core[j] + (tau + 1) * res.faults_per_core[j] - 1
+        assert res.completion_times[j] >= lb

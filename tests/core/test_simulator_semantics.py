@@ -1,0 +1,231 @@
+"""Hand-worked scenarios pinning every timing rule of the model
+(Section 3 of the paper).  If any of these change, the semantics of the
+whole reproduction change."""
+
+import pytest
+
+from repro import (
+    LRUPolicy,
+    SharedStrategy,
+    Simulator,
+    StrategyError,
+    Workload,
+    simulate,
+)
+from repro.core.strategy import Strategy
+from repro.core.types import AccessKind
+
+
+class ScriptedStrategy(Strategy):
+    """Evicts from a fixed script of victims (None = free cell)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def attach(self, ctx):
+        super().attach(ctx)
+        self._i = 0
+
+    def choose_victim(self, core, page, t):
+        victim = self.script[self._i]
+        self._i += 1
+        return victim
+
+
+class TestHitAndFaultTiming:
+    def test_hit_takes_one_step(self):
+        # [1, 1, 1], K=1, tau=2: fault at t=0 (completes t=2), hits at 3, 4.
+        res = simulate([[1, 1, 1]], 1, 2, SharedStrategy(LRUPolicy), record_trace=True)
+        assert res.faults_per_core == (1,)
+        assert res.hits_per_core == (2,)
+        times = [e.time for e in res.trace]
+        assert times == [0, 3, 4]
+        assert res.completion_times == (4,)
+        assert res.makespan == 4
+
+    def test_fault_delays_by_tau(self):
+        # [1, 2], K=2, tau=3: fault t=0, next request due t=4.
+        res = simulate([[1, 2]], 2, 3, SharedStrategy(LRUPolicy), record_trace=True)
+        assert [e.time for e in res.trace] == [0, 4]
+        assert res.completion_times == (7,)  # second fault completes at 4+3
+
+    def test_tau_zero_fault_still_one_step(self):
+        res = simulate([[1, 2, 3]], 3, 0, SharedStrategy(LRUPolicy), record_trace=True)
+        assert [e.time for e in res.trace] == [0, 1, 2]
+        assert res.total_faults == 3
+        assert res.makespan == 2
+
+    def test_fetched_page_resident_after_tau_plus_one(self):
+        # [1, 2, 1], K=1, tau=1: every request must fault (1 evicted for 2,
+        # 2 evicted for the second 1).
+        res = simulate([[1, 2, 1]], 1, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        assert res.total_faults == 3
+        assert [e.time for e in res.trace] == [0, 2, 4]
+        assert res.trace[1].victim == 1
+        assert res.trace[2].victim == 2
+
+    def test_refetch_after_eviction_is_fault(self):
+        # LRU with K=2 over 3 pages cycled faults every time.
+        res = simulate([[1, 2, 3, 1, 2, 3]], 2, 0, SharedStrategy(LRUPolicy))
+        assert res.total_faults == 6
+
+
+class TestParallelService:
+    def test_simultaneous_requests_one_step(self):
+        res = simulate(
+            [[1], [2]], 2, 0, SharedStrategy(LRUPolicy), record_trace=True
+        )
+        assert [(e.time, e.core) for e in res.trace] == [(0, 0), (0, 1)]
+
+    def test_events_sorted_by_time_then_core(self):
+        w = Workload([[1, 2, 1, 2], [10, 11, 10, 11], [20, 20, 20, 20]])
+        res = simulate(w, 8, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        keys = [(e.time, e.core) for e in res.trace]
+        assert keys == sorted(keys)
+
+    def test_faulting_core_lags_hitting_core(self):
+        # Core 0 thrashes (K=1 each... shared K=3): core 0 cycles 3 pages,
+        # core 1 repeats one page.  Core 1 finishes first despite equal
+        # lengths because core 0 eats tau on every request.
+        w = Workload([[1, 2, 3, 1, 2, 3], [10] * 6])
+        res = simulate(w, 3, 4, SharedStrategy(LRUPolicy))
+        assert res.completion_times[1] < res.completion_times[0]
+
+    def test_empty_sequence_completion(self):
+        res = simulate([[], [1]], 2, 1, SharedStrategy(LRUPolicy))
+        assert res.completion_times[0] == -1
+        assert res.faults_per_core == (0, 1)
+
+
+class TestEvictionLegality:
+    def test_claiming_free_cell_when_full_raises(self):
+        with pytest.raises(StrategyError, match="free cell"):
+            simulate([[1, 2]], 1, 0, ScriptedStrategy([None, None]))
+
+    def test_unknown_victim_raises(self):
+        with pytest.raises(StrategyError, match="not cached"):
+            simulate([[1, 2]], 1, 0, ScriptedStrategy([None, 99]))
+
+    def test_mid_fetch_victim_raises(self):
+        # Core 1 faults at t=0 while core 0's page is still fetching.
+        script = {("a", 0): None}
+
+        class EvictInFlight(Strategy):
+            def choose_victim(self, core, page, t):
+                if core == 0:
+                    return None
+                return "a"  # core 0's page, busy until t=2
+
+        with pytest.raises(StrategyError, match="mid-fetch"):
+            simulate([["a"], ["x", "y"]], 2, 2, EvictInFlight())
+
+    def test_same_step_hit_pin_blocks_eviction(self):
+        # t=0: both cores fault (cache [a, x] full, K=2, tau=0).
+        # t=1: core 0 hits a (pinned); core 1 faults y and tries to evict a.
+        class EvictJustHit(Strategy):
+            def choose_victim(self, core, page, t):
+                if not self.ctx.cache.is_full:
+                    return None
+                return "a"
+
+        with pytest.raises(StrategyError, match="hit this step"):
+            simulate([["a", "a"], ["x", "y"]], 2, 0, EvictJustHit())
+
+    def test_pin_expires_next_step(self):
+        # Same shape but core 1 arrives one step later (after a hit of its
+        # own), so evicting a is legal.
+        class EvictA(Strategy):
+            def choose_victim(self, core, page, t):
+                cache = self.ctx.cache
+                if not cache.is_full:
+                    return None
+                candidates = cache.evictable_pages(t)
+                if "a" in candidates:
+                    return "a"
+                return min(candidates, key=repr)
+
+        # core0: a fault(t0), a hit(t1), a hit(t2)...; core1: x fault(t0),
+        # x hit(t1), y fault(t2) evicts a (pinned at t2? core 0 hits a at
+        # t2 *after* core 1? No: core order serves core 0 first).
+        # Use core order: make the evictor core 0 so it acts before the
+        # pin of core 1's hit.
+        res = simulate(
+            [["x", "x", "y"], ["a", "a", "a", "a"]],
+            2,
+            0,
+            EvictA(),
+            record_trace=True,
+        )
+        # core 0 (served first) evicts a at t=2 before core 1's request of
+        # a in the same step; core 1 then faults on a.
+        assert res.faults_per_core[1] >= 2
+
+
+class TestInflightSemantics:
+    def test_same_step_shared_fault_kinds(self):
+        res = simulate(
+            [["s"], ["s"]], 2, 3, SharedStrategy(LRUPolicy), record_trace=True
+        )
+        kinds = [e.kind for e in res.trace]
+        assert kinds == [AccessKind.FAULT, AccessKind.SHARED_FAULT]
+        assert res.trace[1].victim is None
+        assert res.total_faults == 2
+
+    def _mid_fetch_workload(self):
+        # core 0: x fault@0, s fault@4 (busy until 7).
+        # core 1: a fault@0, hits a @4,5,6, s @7 -> mid-fetch shared fault.
+        return Workload([["x", "s"], ["a", "a", "a", "a", "s", "c"]])
+
+    def test_share_joins_existing_fetch(self):
+        w = self._mid_fetch_workload()
+        res = simulate(
+            w, 4, 3, SharedStrategy(LRUPolicy), inflight="share", record_trace=True
+        )
+        shared = [e for e in res.trace if e.kind == AccessKind.SHARED_FAULT]
+        assert len(shared) == 1 and shared[0].time == 7
+        # c is presented as soon as the joined fetch completes (t=8).
+        c_event = [e for e in res.trace if e.page == "c"][0]
+        assert c_event.time == 8
+
+    def test_independent_waits_full_tau(self):
+        w = self._mid_fetch_workload()
+        res = simulate(
+            w, 4, 3, SharedStrategy(LRUPolicy), inflight="independent",
+            record_trace=True,
+        )
+        c_event = [e for e in res.trace if e.page == "c"][0]
+        assert c_event.time == 11  # 7 + 1 + tau
+
+    def test_invalid_inflight_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator([[1]], 1, 0, SharedStrategy(LRUPolicy), inflight="warp")
+
+
+class TestHarness:
+    def test_deterministic_repeat(self, two_core_disjoint):
+        s = SharedStrategy(LRUPolicy)
+        r1 = simulate(two_core_disjoint, 4, 1, s)
+        r2 = simulate(two_core_disjoint, 4, 1, s)
+        assert r1 == r2
+
+    def test_trace_disabled_by_default(self, two_core_disjoint):
+        res = simulate(two_core_disjoint, 4, 1, SharedStrategy(LRUPolicy))
+        assert res.trace is None
+
+    def test_max_steps_guard(self):
+        with pytest.raises(RuntimeError, match="max_steps"):
+            simulate(
+                [[1, 2] * 50], 2, 0, SharedStrategy(LRUPolicy), max_steps=10
+            )
+
+    def test_k_less_than_p_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([[1], [2], [3]], 2, 0, SharedStrategy(LRUPolicy))
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            simulate([[1]], 1, -1, SharedStrategy(LRUPolicy))
+
+    def test_total_accounting(self, two_core_disjoint):
+        res = simulate(two_core_disjoint, 4, 2, SharedStrategy(LRUPolicy))
+        assert res.total_faults + res.total_hits == two_core_disjoint.total_requests

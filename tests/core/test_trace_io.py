@@ -1,0 +1,41 @@
+"""Round-trip tests for trace JSONL export."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.core import load_trace, save_trace
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        w = Workload(
+            [[("a", 0), ("a", 1), ("a", 0)], ["x", "y", "x", "y"]]
+        )
+        res = simulate(w, 3, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(res.trace)
+        for a, b in zip(loaded, res.trace):
+            assert a == b
+
+    def test_faults_by_survives_roundtrip(self, tmp_path):
+        w = Workload([[1, 2, 3, 1, 2, 3], [10, 11] * 3])
+        res = simulate(w, 4, 2, SharedStrategy(LRUPolicy), record_trace=True)
+        path = tmp_path / "run.jsonl"
+        save_trace(res.trace, path)
+        loaded = load_trace(path)
+        assert loaded.faults_by(10**6) == res.trace.faults_by(10**6)
+
+    def test_empty_trace(self, tmp_path):
+        from repro.core.trace import Trace
+
+        path = tmp_path / "empty.jsonl"
+        save_trace(Trace(), path)
+        assert len(load_trace(path)) == 0
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)

@@ -1,0 +1,91 @@
+"""Tests for Trace and SimResult."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.core.trace import Trace
+from repro.core.types import AccessEvent, AccessKind, PartitionChange
+
+
+def make_event(t, core, page, fault, victim=None, index=0):
+    return AccessEvent(
+        time=t,
+        core=core,
+        index=index,
+        page=page,
+        kind=AccessKind.FAULT if fault else AccessKind.HIT,
+        victim=victim,
+    )
+
+
+class TestTrace:
+    def test_record_and_sequence_protocol(self):
+        tr = Trace()
+        e = make_event(0, 0, "a", True)
+        tr.record(e)
+        assert len(tr) == 1
+        assert tr[0] is e
+        assert list(tr) == [e]
+
+    def test_events_for_core(self):
+        tr = Trace()
+        tr.record(make_event(0, 0, "a", True))
+        tr.record(make_event(0, 1, "x", False))
+        tr.record(make_event(1, 0, "b", False))
+        assert len(tr.events_for_core(0)) == 2
+        assert len(tr.faults_for_core(0)) == 1
+        assert tr.hit_times(1) == [0]
+
+    def test_faults_by_deadline(self):
+        tr = Trace()
+        tr.record(make_event(0, 0, "a", True))
+        tr.record(make_event(5, 0, "b", True))
+        tr.record(make_event(9, 1, "x", True))
+        assert tr.faults_by(4) == {0: 1}
+        assert tr.faults_by(5) == {0: 2}
+        assert tr.faults_by(100) == {0: 2, 1: 1}
+
+    def test_fault_times_and_evictions(self):
+        tr = Trace()
+        tr.record(make_event(0, 0, "a", True))
+        tr.record(make_event(3, 0, "b", True, victim="a"))
+        assert tr.fault_times(0) == [0, 3]
+        assert [e.victim for e in tr.evictions()] == ["a"]
+
+    def test_partition_changes(self):
+        tr = Trace()
+        tr.record_partition_change(PartitionChange(0, (2, 2)))
+        assert tr.partition_changes == [PartitionChange(0, (2, 2))]
+
+    def test_format_truncation(self):
+        tr = Trace()
+        for i in range(10):
+            tr.record(make_event(i, 0, i, True))
+        text = tr.format(limit=3)
+        assert "7 more events" in text
+        assert tr.format(limit=None).count("\n") == 9
+
+
+class TestSimResult:
+    def test_summary_and_fault_rate(self, two_core_disjoint):
+        res = simulate(two_core_disjoint, 4, 1, SharedStrategy(LRUPolicy))
+        assert 0 < res.fault_rate() <= 1
+        text = res.summary()
+        assert "total faults" in text
+        assert "core 1" in text
+
+    def test_meets_bounds_requires_trace(self, two_core_disjoint):
+        res = simulate(two_core_disjoint, 4, 1, SharedStrategy(LRUPolicy))
+        with pytest.raises(ValueError):
+            res.meets_bounds((99, 99), 100)
+
+    def test_meets_bounds(self, two_core_disjoint):
+        res = simulate(
+            two_core_disjoint, 4, 1, SharedStrategy(LRUPolicy), record_trace=True
+        )
+        assert res.meets_bounds(res.faults_per_core, deadline=10**9)
+        assert not res.meets_bounds((0,) * 2, deadline=10**9)
+
+    def test_num_cores(self, two_core_disjoint):
+        res = simulate(two_core_disjoint, 4, 1, SharedStrategy(LRUPolicy))
+        assert res.num_cores == 2

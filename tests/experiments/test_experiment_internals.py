@@ -1,0 +1,75 @@
+"""Structural tests of the experiment framework itself."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult, scale_params
+from repro.analysis.tables import Table
+
+
+class TestScaleParams:
+    def test_small_and_full(self):
+        assert scale_params("small", {"a": 1}, {"a": 2}) == {"a": 1}
+        assert scale_params("full", {"a": 1}, {"a": 2}) == {"a": 2}
+
+    def test_copies_not_aliases(self):
+        small = {"xs": [1, 2]}
+        out = scale_params("small", small, {})
+        out["xs"] = [9]
+        assert small["xs"] == [1, 2]
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            scale_params("galactic", {}, {})
+
+
+class TestExperimentResult:
+    def _result(self, checks):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        return ExperimentResult("E0", "title", "claim", t, checks)
+
+    def test_ok_requires_all_checks(self):
+        assert self._result({"x": True, "y": True}).ok
+        assert not self._result({"x": True, "y": False}).ok
+
+    def test_verdict_strings(self):
+        assert self._result({"x": True}).verdict() == "REPRODUCED"
+        assert self._result({"x": False}).verdict() == "CHECK FAILED"
+
+    def test_ascii_marks_failures(self):
+        text = self._result({"good": True, "bad": False}).format_ascii()
+        assert "[ok] good" in text
+        assert "[FAIL] bad" in text
+
+    def test_markdown_includes_notes(self):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        res = ExperimentResult("E0", "t", "c", t, {"x": True}, notes="hello")
+        assert "hello" in res.format_markdown()
+
+
+class TestRegistryMetadata:
+    @pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+    def test_module_constants(self, eid):
+        module = EXPERIMENTS[eid]
+        assert module.ID == eid
+        assert isinstance(module.TITLE, str) and module.TITLE
+        assert isinstance(module.CLAIM, str) and len(module.CLAIM) > 20
+        assert callable(module.run)
+
+    def test_ids_dense(self):
+        numbers = sorted(int(eid[1:]) for eid in EXPERIMENTS)
+        assert numbers == list(range(1, len(numbers) + 1))
+
+    def test_scales_differ_somewhere(self):
+        """small and full must genuinely differ (full is the benchmark
+        configuration, not a copy) — checked via source inspection."""
+        import inspect
+
+        differing = 0
+        for module in EXPERIMENTS.values():
+            source = inspect.getsource(module.run)
+            if "small=" in source and "full=" in source:
+                differing += 1
+        assert differing == len(EXPERIMENTS)

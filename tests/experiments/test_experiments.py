@@ -1,0 +1,49 @@
+"""Tests for the experiment registry: every experiment runs at small
+scale and reproduces its claim."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+
+ALL_IDS = sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+class TestRegistry:
+    def test_eighteen_experiments(self):
+        assert ALL_IDS == [f"E{i}" for i in range(1, 19)]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("E99")
+
+    def test_case_insensitive_lookup(self):
+        assert run_experiment("e2").id == "E2"
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            run_experiment("E2", scale="enormous")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_reproduces(experiment_id):
+    """The headline assertion of the whole repository: every claim's
+    shape checks pass at small scale."""
+    result = run_experiment(experiment_id, scale="small")
+    assert result.id == experiment_id
+    assert result.table.rows, "experiment produced an empty table"
+    assert result.checks, "experiment defined no checks"
+    assert result.ok, result.format_ascii()
+
+
+def test_result_rendering():
+    result = run_experiment("E2", scale="small")
+    ascii_text = result.format_ascii()
+    md_text = result.format_markdown()
+    assert "E2" in ascii_text and "REPRODUCED" in ascii_text
+    assert md_text.startswith("### E2")
+    assert "✅" in md_text
+
+
+def test_run_all_order():
+    results = run_all("small")
+    assert [r.id for r in results] == ALL_IDS

@@ -1,0 +1,62 @@
+"""Tests for the Theorem 3 constructive gap certification."""
+
+import pytest
+
+from repro.hardness import (
+    FourPartitionInstance,
+    certify_gap,
+    max_4partition_groups,
+)
+
+
+SOLVABLE = FourPartitionInstance((3, 3, 3, 4, 3, 3, 3, 4), 13)
+PARTIAL = FourPartitionInstance((5, 5, 6, 7, 7, 7, 5, 5, 7, 5, 5, 5), 23)
+
+
+class TestMax4PartitionGroups:
+    def test_fully_solvable(self):
+        solved, leftover = max_4partition_groups(SOLVABLE)
+        assert len(solved) == 2
+        assert leftover == []
+        for group in solved:
+            assert sum(SOLVABLE.values[i] for i in group) == 13
+
+    def test_partial(self):
+        solved, leftover = max_4partition_groups(PARTIAL)
+        assert len(solved) == 1
+        assert len(leftover) == 2
+        # Covers every index exactly once.
+        all_indices = sorted(i for g in solved + leftover for i in g)
+        assert all_indices == list(range(12))
+
+    def test_agrees_with_max_partition(self):
+        for inst in (SOLVABLE, PARTIAL):
+            solved, _ = max_4partition_groups(inst)
+            assert len(solved) == inst.max_partition()
+
+
+class TestCertifyGap:
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_fully_solvable_all_satisfied(self, tau):
+        cert = certify_gap(SOLVABLE, tau=tau)
+        assert cert.opt_4part == 2
+        assert cert.achieved == cert.predicted == 8
+        assert cert.matches
+        # Tight accounting: solved-group members hit their bounds exactly.
+        assert all(f <= b for f, b in zip(cert.faults, cert.bounds))
+
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_partial_identity(self, tau):
+        cert = certify_gap(PARTIAL, tau=tau)
+        assert cert.opt_4part == 1
+        assert cert.predicted == 1 + 3 * 3  # opt_4part + 3 * num_groups
+        assert cert.achieved == 10
+        assert cert.matches
+
+    def test_sacrificed_members_blow_bounds(self):
+        cert = certify_gap(PARTIAL, tau=1)
+        violations = sum(
+            1 for f, b in zip(cert.faults, cert.bounds) if f > b
+        )
+        assert violations == cert.num_groups - cert.opt_4part  # one per
+        # unsolved group

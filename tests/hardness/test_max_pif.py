@@ -1,0 +1,65 @@
+"""Tests for the exact MAX-PIF solver (Definition 3 / Theorem 3)."""
+
+import pytest
+
+from repro.hardness import max_pif
+from repro.offline import decide_pif
+from repro.problems import PIFInstance
+from repro.core.request import Workload
+
+
+class TestMaxPIF:
+    def test_all_satisfiable(self):
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 0, 10, (2, 2))
+        res = max_pif(inst)
+        assert res.satisfied == 2
+
+    def test_none_satisfiable(self):
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 0, 10, (0, 0))
+        res = max_pif(inst)
+        assert res.satisfied == 0
+
+    def test_partial_satisfaction(self):
+        # K=2, two cores each alternating 2 pages (4 pages total): only
+        # one core can keep both pages resident; with bound 1 at a late
+        # deadline exactly one sequence can stay within bound... both
+        # cores need 2 cells to stop faulting.
+        w = Workload([[(0, 0), (0, 1)] * 4, [(1, 0), (1, 1)] * 4])
+        inst = PIFInstance(w, 3, 0, deadline=8, bounds=(2, 2))
+        res = max_pif(inst)
+        assert res.satisfied == 1
+
+    def test_agrees_with_decision_procedure(self):
+        import random
+
+        rng = random.Random(4)
+        for trial in range(10):
+            w = Workload(
+                [
+                    [(0, rng.randrange(3)) for _ in range(4)],
+                    [(1, rng.randrange(3)) for _ in range(4)],
+                ]
+            )
+            bounds = (rng.randrange(0, 3), rng.randrange(0, 3))
+            deadline = rng.randrange(1, 8)
+            inst = PIFInstance(w, 3, 1, deadline, bounds)
+            full = decide_pif(inst).feasible
+            res = max_pif(inst)
+            assert (res.satisfied == 2) == full
+            assert 0 <= res.satisfied <= 2
+
+    def test_witness_consistent(self):
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 1, 10, (2, 2))
+        res = max_pif(inst)
+        assert len(res.witness) == 2
+        assert res.satisfied == sum(
+            1 for v, b in zip(res.witness, inst.bounds) if v <= b
+        )
+
+    def test_max_states_guard(self):
+        w = Workload(
+            [[(j, i % 3) for i in range(8)] for j in range(3)]
+        )
+        inst = PIFInstance(w, 4, 2, 40, (9, 9, 9))
+        with pytest.raises(RuntimeError):
+            max_pif(inst, max_states=5)

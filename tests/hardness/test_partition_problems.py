@@ -1,0 +1,103 @@
+"""Tests for 3-/4-PARTITION instances, solvers and generators."""
+
+import pytest
+
+from repro.hardness import (
+    FourPartitionInstance,
+    ThreePartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+)
+
+
+class TestThreePartition:
+    def test_valid_instance(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        assert inst.num_groups == 1
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((2, 2), 4)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((2, 2, 3), 6)
+
+    def test_rejects_out_of_range_values(self):
+        # 1 <= B/4 fails the strict inequality for B=4... craft: B=12,
+        # value 3 == B/4 violates the *strict* lower bound.
+        with pytest.raises(ValueError):
+            ThreePartitionInstance((3, 4, 5), 12)
+
+    def test_solve_single_group(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        sol = inst.solve()
+        assert sol == [(0, 1, 2)]
+        assert inst.verify(sol)
+
+    def test_solve_two_groups(self):
+        inst = ThreePartitionInstance((4, 4, 5, 4, 4, 5), 13)
+        sol = inst.solve()
+        assert sol is not None
+        assert inst.verify(sol)
+
+    def test_unsolvable(self):
+        # B=13: the only valid triple shape is {4, 4, 5}; with no 5s there
+        # is no solution.
+        inst = ThreePartitionInstance((4, 4, 4, 4, 4, 6), 13)
+        assert inst.solve() is None
+        assert not inst.is_yes_instance()
+
+    def test_verify_rejects_bad_groups(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        assert not inst.verify([(0, 1, 1)])
+        assert not inst.verify([(0, 1)])
+        assert not inst.verify([])
+
+
+class TestFourPartition:
+    def test_valid_and_solve(self):
+        inst = FourPartitionInstance((3, 3, 3, 4), 13)
+        sol = inst.solve()
+        assert sol == [(0, 1, 2, 3)]
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            FourPartitionInstance((2, 3, 4, 4), 13)  # 2 <= 13/5
+
+    def test_max_partition_counts_groups(self):
+        inst = FourPartitionInstance((3, 3, 3, 4, 3, 3, 3, 4), 13)
+        assert inst.max_partition() == 2
+
+    def test_max_partition_matches_solver(self):
+        inst = FourPartitionInstance((3, 3, 3, 3, 3, 3, 4, 4), 13)
+        assert (inst.max_partition() == inst.num_groups) == inst.is_yes_instance()
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_yes_instances_solvable(self, seed):
+        inst = random_yes_instance(3, 21, seed=seed)
+        assert inst.is_yes_instance()
+        assert len(inst.values) == 9
+
+    def test_yes_instance_4partition(self):
+        inst = random_yes_instance(2, 26, seed=0, group_size=4)
+        assert isinstance(inst, FourPartitionInstance)
+        assert inst.is_yes_instance()
+
+    def test_no_instances_unsolvable(self):
+        inst = random_no_instance(2, 13, seed=1)
+        assert not inst.is_yes_instance()
+
+    def test_no_instance_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            random_no_instance(1, 13)
+
+    def test_too_small_b_rejected(self):
+        with pytest.raises(ValueError):
+            random_yes_instance(1, 2, seed=0)
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            random_yes_instance(1, 20, group_size=5)

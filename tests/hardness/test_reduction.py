@@ -1,0 +1,156 @@
+"""Tests for the Theorem 2/3 reductions and the witness schedule."""
+
+import pytest
+
+from repro.hardness import (
+    GroupRotationStrategy,
+    ThreePartitionInstance,
+    alternating_sequence,
+    random_yes_instance,
+    reduce_3partition_to_pif,
+    reduce_4partition_to_pif,
+    required_hits,
+    verify_yes_schedule,
+)
+from repro.offline import brute_force_pif, decide_pif
+from repro.problems import PIFInstance
+
+
+class TestReductionShape:
+    def test_parameters_match_theorem2(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        for tau in (0, 1, 2):
+            pif = reduce_3partition_to_pif(inst, tau=tau)
+            assert pif.cache_size == 4  # 4p/3
+            assert pif.tau == tau
+            expected_len = 6 * (tau + 1) + 4 * tau + 5
+            assert pif.deadline == expected_len
+            assert all(len(seq) == expected_len for seq in pif.workload)
+            assert pif.bounds == (8, 8, 8)  # B - s + 4
+
+    def test_sequences_alternate_disjoint(self):
+        pif = reduce_3partition_to_pif(ThreePartitionInstance((2, 2, 2), 6))
+        assert pif.workload.is_disjoint
+        seq = pif.workload[0]
+        assert seq[0] == ("alpha", 0)
+        assert seq[1] == ("beta", 0)
+        assert seq[2] == ("alpha", 0)
+
+    def test_alternating_sequence_helper(self):
+        seq = alternating_sequence(3, 5)
+        assert seq == [
+            ("alpha", 3), ("beta", 3), ("alpha", 3), ("beta", 3), ("alpha", 3)
+        ]
+
+    def test_required_hits(self):
+        assert required_hits(2, 1) == 5
+        assert required_hits(3, 0) == 4
+
+    def test_4partition_shape(self):
+        from repro.hardness import FourPartitionInstance
+
+        inst = FourPartitionInstance((3, 3, 3, 4), 13)
+        pif = reduce_4partition_to_pif(inst, tau=1)
+        assert pif.cache_size == 5  # 5p/4
+        assert pif.deadline == 13 * 2 + 5 + 6
+        assert pif.bounds == (15, 15, 15, 14)
+
+    def test_negative_tau_rejected(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        with pytest.raises(ValueError):
+            reduce_3partition_to_pif(inst, tau=-1)
+
+
+class TestWitnessSchedule:
+    """Forward direction of Theorem 2, executed: a 3-PARTITION solution
+    yields a serving schedule meeting every fault bound — with equality,
+    since the proof's accounting is tight."""
+
+    @pytest.mark.parametrize("tau", [0, 1, 2, 3])
+    def test_single_group_tight(self, tau):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        pif = reduce_3partition_to_pif(inst, tau=tau)
+        report = verify_yes_schedule(pif, inst.solve(), inst.values)
+        assert report["ok"]
+        assert report["faults_at_deadline"] == report["bounds"]
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_multi_group_tight(self, seed, tau):
+        inst = random_yes_instance(3, 21, seed=seed)  # p=9, K=12
+        pif = reduce_3partition_to_pif(inst, tau=tau)
+        report = verify_yes_schedule(pif, inst.solve(), inst.values)
+        assert report["ok"]
+        assert report["faults_at_deadline"] == report["bounds"]
+
+    def test_asymmetric_values_tight(self):
+        inst = ThreePartitionInstance((6, 6, 8), 20)
+        pif = reduce_3partition_to_pif(inst, tau=1)
+        report = verify_yes_schedule(pif, inst.solve(), inst.values)
+        assert report["ok"]
+        assert report["faults_at_deadline"] == report["bounds"]
+
+    def test_wrong_grouping_violates_bounds(self):
+        """Serving with groups that do NOT solve the instance must blow
+        at least one bound — the contrapositive of the backward direction."""
+        inst = ThreePartitionInstance((6, 6, 8, 6, 6, 8), 20)
+        sol = inst.solve()
+        assert sol is not None
+        # Scramble: pair values so group sums != B (6+6+6=18, 8+6+8=22).
+        bad_groups = [(0, 1, 3), (2, 4, 5)]
+        sums = [sum(inst.values[i] for i in g) for g in bad_groups]
+        assert all(s != inst.B for s in sums)
+        pif = reduce_3partition_to_pif(inst, tau=1)
+        report = verify_yes_schedule(pif, bad_groups, inst.values)
+        assert not report["ok"]
+
+    def test_schedule_strategy_validation(self):
+        with pytest.raises(ValueError):
+            GroupRotationStrategy([(0, 1), (1, 2)], {})  # overlapping groups
+
+
+class TestDPVerification:
+    """Exact verification on instances small enough for Algorithm 2."""
+
+    def test_yes_instance_feasible(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        pif = reduce_3partition_to_pif(inst, tau=0)
+        assert decide_pif(pif).feasible
+        assert brute_force_pif(pif)
+
+    def test_bounds_are_tight_at_tau_zero(self):
+        """Tightening any single bound by one makes the instance
+        infeasible — the reduction leaves no slack."""
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        pif = reduce_3partition_to_pif(inst, tau=0)
+        for i in range(3):
+            bounds = list(pif.bounds)
+            bounds[i] -= 1
+            tighter = PIFInstance(
+                pif.workload, pif.cache_size, pif.tau, pif.deadline, tuple(bounds)
+            )
+            assert not decide_pif(tighter).feasible
+            assert not brute_force_pif(tighter)
+
+
+class TestPolynomiality:
+    """3-PARTITION is *strongly* NP-complete: the reduction must be
+    polynomial in the unary encoding size, and it is — linearly so."""
+
+    def test_reduction_linear_in_unary_size(self):
+        from repro.hardness import random_yes_instance, reduction_size
+
+        sizes = []
+        for groups, B in ((2, 13), (4, 21), (8, 41)):
+            inst = random_yes_instance(groups, B, seed=0)
+            pif = reduce_3partition_to_pif(inst, tau=1)
+            sizes.append((inst.unary_size(), reduction_size(pif)))
+        # Output size grows at most linearly (x constant) in unary size.
+        for unary, out in sizes:
+            assert out <= 60 * unary
+        (u1, o1), (_, _), (u3, o3) = sizes
+        assert o3 / o1 <= 4 * (u3 / u1)
+
+    def test_unary_size(self):
+        inst = ThreePartitionInstance((2, 2, 2), 6)
+        assert inst.unary_size() == 6 + 3

@@ -1,0 +1,96 @@
+"""Slow randomized cross-validation campaigns.
+
+Broader random sweeps of the DP/brute-force/simulator agreement and the
+reduction machinery, beyond what the fast suites cover.  Marked ``slow``
+(deselect with ``-m "not slow"``); together they run in ~15 seconds.
+"""
+
+import random
+
+import pytest
+
+from repro import GlobalFITFPolicy, LRUPolicy, SharedStrategy, Workload, simulate
+from repro.hardness import (
+    random_yes_instance,
+    reduce_3partition_to_pif,
+    verify_yes_schedule,
+)
+from repro.offline import (
+    brute_force_ftf,
+    decide_pif,
+    minimum_total_faults,
+    validate_schedule,
+)
+from repro.problems import FTFInstance, PIFInstance
+
+pytestmark = pytest.mark.slow
+
+
+def random_disjoint(rng, p, length, pages):
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestFTFCampaign:
+    def test_dp_brute_agreement_wide(self):
+        rng = random.Random(1234)
+        for _ in range(40):
+            p = rng.choice([1, 2, 2, 3])
+            length = rng.randrange(2, 6 if p == 3 else 7)
+            tau = rng.randrange(0, 3)
+            K = rng.randrange(max(2, p), 5)
+            w = random_disjoint(rng, p, length, 3)
+            inst = FTFInstance(w, K, tau)
+            res = minimum_total_faults(inst, return_schedule=True)
+            assert res.faults == brute_force_ftf(inst)
+            report = validate_schedule(w, K, tau, res.schedule)
+            assert report.valid, report.reason
+            assert report.total_faults == res.faults
+
+    def test_online_sandwich(self):
+        """OPT <= every online strategy <= all-fault on every instance."""
+        rng = random.Random(99)
+        for _ in range(30):
+            w = random_disjoint(rng, 2, rng.randrange(3, 7), 3)
+            tau = rng.randrange(0, 3)
+            opt = minimum_total_faults(FTFInstance(w, 3, tau)).faults
+            for policy in (LRUPolicy, GlobalFITFPolicy):
+                online = simulate(
+                    w, 3, tau, SharedStrategy(policy)
+                ).total_faults
+                assert opt <= online <= w.total_requests
+
+
+class TestPIFCampaign:
+    def test_decision_consistency_wide(self):
+        from repro.offline import brute_force_pif
+
+        rng = random.Random(77)
+        for _ in range(40):
+            w = random_disjoint(rng, 2, rng.randrange(2, 6), 3)
+            tau = rng.randrange(0, 2)
+            inst = PIFInstance(
+                w,
+                3,
+                tau,
+                deadline=rng.randrange(1, 10),
+                bounds=(rng.randrange(0, 4), rng.randrange(0, 4)),
+            )
+            a = decide_pif(inst).feasible
+            assert a == brute_force_pif(inst)
+            assert a == decide_pif(inst, honest=False).feasible
+
+
+class TestReductionCampaign:
+    @pytest.mark.parametrize("groups,B", [(2, 13), (3, 21), (5, 33)])
+    def test_witness_schedules_tight_across_sizes(self, groups, B):
+        for seed in range(3):
+            inst = random_yes_instance(groups, B, seed=seed)
+            solution = inst.solve()
+            assert solution is not None
+            for tau in (0, 1, 3):
+                pif = reduce_3partition_to_pif(inst, tau=tau)
+                report = verify_yes_schedule(pif, solution, inst.values)
+                assert report["ok"]
+                assert report["faults_at_deadline"] == report["bounds"]

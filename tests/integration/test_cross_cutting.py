@@ -1,0 +1,112 @@
+"""Cross-cutting integration tests: every policy under every strategy
+family, non-disjoint workloads through partitions, and run-to-run
+isolation."""
+
+import pytest
+
+from repro import (
+    SharedStrategy,
+    StaticPartitionStrategy,
+    AdaptiveWorkingSetPartition,
+    Workload,
+    simulate,
+)
+from repro.policies import ONLINE_POLICIES
+from repro.workloads import mixed_workload, uniform_workload
+
+ALL_POLICY_NAMES = sorted(ONLINE_POLICIES)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_workload(
+        [("scan", 6), ("hotcold", 10), ("sawtooth", 5)], 120, seed=3
+    )
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICY_NAMES)
+class TestEveryPolicyEverywhere:
+    def test_shared(self, policy_name, workload):
+        policy = ONLINE_POLICIES[policy_name]
+        res = simulate(workload, 9, 1, SharedStrategy(policy))
+        assert res.total_faults + res.total_hits == workload.total_requests
+        assert all(f >= 1 for f in res.faults_per_core)  # compulsory
+
+    def test_static_partition(self, policy_name, workload):
+        policy = ONLINE_POLICIES[policy_name]
+        res = simulate(
+            workload, 9, 1, StaticPartitionStrategy([3, 3, 3], policy)
+        )
+        assert res.total_faults + res.total_hits == workload.total_requests
+
+    def test_adaptive_partition(self, policy_name, workload):
+        policy = ONLINE_POLICIES[policy_name]
+        res = simulate(
+            workload, 9, 1, AdaptiveWorkingSetPartition(policy, period=20)
+        )
+        assert res.total_faults + res.total_hits == workload.total_requests
+
+    def test_deterministic_across_runs(self, policy_name, workload):
+        policy = ONLINE_POLICIES[policy_name]
+        a = simulate(workload, 9, 2, SharedStrategy(policy))
+        b = simulate(workload, 9, 2, SharedStrategy(policy))
+        assert a.faults_per_core == b.faults_per_core
+
+
+class TestNonDisjointIntegration:
+    @pytest.fixture
+    def shared_pages_workload(self):
+        return uniform_workload(3, 60, 3, shared_pages=3, seed=5)
+
+    @pytest.mark.parametrize("inflight", ["independent", "share"])
+    def test_shared_cache_non_disjoint(self, shared_pages_workload, inflight):
+        from repro.policies import LRUPolicy
+
+        res = simulate(
+            shared_pages_workload,
+            6,
+            2,
+            SharedStrategy(LRUPolicy),
+            inflight=inflight,
+        )
+        assert (
+            res.total_faults + res.total_hits
+            == shared_pages_workload.total_requests
+        )
+
+    def test_share_never_slower_than_independent(self, shared_pages_workload):
+        from repro.policies import LRUPolicy
+
+        indep = simulate(
+            shared_pages_workload, 6, 3, SharedStrategy(LRUPolicy),
+            inflight="independent",
+        )
+        share = simulate(
+            shared_pages_workload, 6, 3, SharedStrategy(LRUPolicy),
+            inflight="share",
+        )
+        # Joining an in-flight fetch can only shorten per-core waits.
+        assert share.makespan <= indep.makespan
+
+    def test_multi_pointer_graph(self):
+        from repro.policies import LRUPolicy
+        from repro.workloads import multi_pointer_graph_workload
+
+        w = multi_pointer_graph_workload(3, 50, nodes=12, degree=3, seed=1)
+        res = simulate(w, 8, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        # Shared faults may occur on genuinely shared pages.
+        assert res.total_faults + res.total_hits == w.total_requests
+
+
+class TestStrategyReuse:
+    def test_strategy_instance_isolated_between_workloads(self):
+        """Attaching resets: results must not depend on a prior run."""
+        from repro.policies import LRUPolicy
+
+        strategy = SharedStrategy(LRUPolicy)
+        w1 = Workload([[1, 2, 3, 1], [10, 11, 10, 11]])
+        w2 = Workload([[5, 6, 5, 6], [20, 21, 22, 20]])
+        first_w2 = simulate(w2, 4, 1, strategy)
+        simulate(w1, 4, 1, strategy)
+        second_w2 = simulate(w2, 4, 1, strategy)
+        assert first_w2.faults_per_core == second_w2.faults_per_core

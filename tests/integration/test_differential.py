@@ -1,0 +1,97 @@
+"""Differential property tests: independent implementations of the same
+quantity must agree, and online strategies must respect offline bounds,
+on randomly generated instances (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FIFOPolicy,
+    GlobalFITFPolicy,
+    LRUPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    simulate,
+)
+from repro.offline import (
+    brute_force_ftf,
+    dp_ftf,
+    minimum_total_faults,
+    optimal_static_partition,
+    static_partition_faults,
+)
+from repro.problems import FTFInstance
+
+
+def tiny_disjoint(max_len=4, pages=3):
+    @st.composite
+    def build(draw):
+        seqs = []
+        for j in range(2):
+            length = draw(st.integers(1, max_len))
+            seqs.append(
+                [(j, draw(st.integers(0, pages - 1))) for _ in range(length)]
+            )
+        return Workload(seqs)
+
+    return build()
+
+
+@given(tiny_disjoint(), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_dp_equals_brute_force(workload, tau):
+    """Algorithm 1 == independent event-driven exhaustive search."""
+    inst = FTFInstance(workload, 3, tau)
+    assert minimum_total_faults(inst).faults == brute_force_ftf(inst)
+
+
+@given(tiny_disjoint(), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_honesty_theorem4(workload, tau):
+    """Voluntary evictions never improve the optimum (Theorem 4)."""
+    inst = FTFInstance(workload, 3, tau)
+    assert (
+        minimum_total_faults(inst, honest=True).faults
+        == minimum_total_faults(inst, honest=False).faults
+    )
+
+
+@given(
+    tiny_disjoint(max_len=5),
+    st.integers(0, 2),
+    st.sampled_from([LRUPolicy, FIFOPolicy, GlobalFITFPolicy]),
+)
+@settings(max_examples=30, deadline=None)
+def test_online_never_beats_dp(workload, tau, policy):
+    """Every online shared strategy is lower-bounded by the Algorithm 1
+    optimum."""
+    opt = dp_ftf(workload, 3, tau)
+    online = simulate(workload, 3, tau, SharedStrategy(policy)).total_faults
+    assert online >= opt
+
+
+@given(tiny_disjoint(max_len=5), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_static_partition_never_beats_dp(workload, tau):
+    """Static partitions are a restriction of the general strategy space,
+    so their (closed-form) faults are also lower-bounded by OPT."""
+    opt = dp_ftf(workload, 3, tau)
+    static = static_partition_faults(workload, (2, 1), "opt")
+    assert static >= opt
+
+
+@given(tiny_disjoint(max_len=6, pages=4), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_opt_static_is_minimal(workload, tau):
+    """The allocation DP's partition really is the best static one,
+    checked against the simulator on every composition."""
+    from repro._util import compositions
+
+    K = 4
+    best = optimal_static_partition(workload, K, "lru")
+    for part in compositions(K, 2, minimum=1):
+        sim = simulate(
+            workload, K, tau, StaticPartitionStrategy(part, LRUPolicy)
+        )
+        assert sim.total_faults >= best.faults

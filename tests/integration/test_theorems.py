@@ -1,0 +1,157 @@
+"""Integration tests: each of the paper's quantitative claims at reduced
+scale.  These are the same experiments the benchmarks run big; here they
+run small and assert the *shape* (who wins, monotone growth, bounds)."""
+
+import pytest
+
+from repro import (
+    GlobalFITFPolicy,
+    LRUPolicy,
+    SharedStrategy,
+    StagedPartitionStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    equal_partition,
+    simulate,
+)
+from repro.offline import (
+    SacrificeStrategy,
+    dp_ftf,
+    optimal_static_partition,
+    static_partition_faults,
+)
+from repro.workloads import (
+    lemma1_workload,
+    lemma2_workload,
+    lemma4_workload,
+    theorem1_workload,
+    uniform_workload,
+)
+
+
+class TestLemma1:
+    """Fixed static partition: online eviction is Theta(max_j k_j) off the
+    per-part optimum, and LRU meets the upper bound."""
+
+    def test_ratio_tracks_max_part(self):
+        p, n = 4, 2000
+        ratios = []
+        for K in (8, 16, 32):
+            part = equal_partition(K, p)
+            w = lemma1_workload(part, n)
+            lru = simulate(
+                w, K, 1, StaticPartitionStrategy(part, LRUPolicy)
+            ).total_faults
+            opt = static_partition_faults(w, part, "opt")
+            ratios.append(lru / opt)
+        # Ratio grows with max k_j = K/p and approaches it.
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 32 / 4 * 0.8
+
+    def test_upper_bound_never_exceeded(self):
+        """Lemma 1 upper bound: sP^B_LRU <= max_j k_j * sP^B_OPT on any
+        workload (checked on random ones)."""
+        for seed in range(5):
+            w = uniform_workload(3, 60, 6, seed=seed)
+            part = (3, 2, 3)
+            lru = static_partition_faults(w, part, "lru")
+            opt = static_partition_faults(w, part, "opt")
+            assert lru <= max(part) * opt
+
+
+class TestLemma2:
+    def test_online_partition_omega_n(self):
+        K, p = 8, 4
+        part = equal_partition(K, p)
+        ratios = []
+        for n in (400, 1600):
+            w = lemma2_workload(part, n)
+            online = simulate(
+                w, K, 1, StaticPartitionStrategy(part, LRUPolicy)
+            ).total_faults
+            best = optimal_static_partition(w, K, "lru").faults
+            ratios.append(online / best)
+        assert ratios[1] > ratios[0] * 3  # linear in n: x4 requests ~ x4 ratio
+
+
+class TestTheorem1:
+    def test_part1_static_partitions_lose_omega_n(self):
+        K, p, tau = 8, 2, 1
+        ratios = []
+        for x in (5, 40):
+            w = theorem1_workload(K, p, x, tau)
+            shared = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+            best_static = optimal_static_partition(w, K, "opt").faults
+            ratios.append(best_static / shared)
+        assert ratios[1] > ratios[0] * 4  # grows linearly in x
+
+    def test_part2_upper_bound(self):
+        """S_LRU <= K * sP^OPT_OPT on arbitrary (random + adversarial)
+        disjoint workloads."""
+        cases = [uniform_workload(2, 60, 6, seed=s) for s in range(4)]
+        cases.append(theorem1_workload(6, 2, 6, 1))
+        cases.append(lemma4_workload(6, 2, 120))
+        for w in cases:
+            for tau in (0, 2):
+                K = 6
+                shared = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+                opt_static = optimal_static_partition(w, K, "opt").faults
+                assert shared <= K * opt_static
+
+    def test_part3_staged_dynamic_loses(self):
+        """A dynamic partition with a constant number of stages stays
+        Omega(n) off shared LRU on the turn-taking workload."""
+        K, p, tau = 8, 2, 1
+        gaps = []
+        for x in (5, 40):
+            w = theorem1_workload(K, p, x, tau)
+            shared = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+            # 2 stages: equal split, then flipped halfway.
+            half = w.total_requests // 2
+            staged = simulate(
+                w,
+                K,
+                tau,
+                StagedPartitionStrategy(
+                    [(0, equal_partition(K, p)), (half, (K - 1, 1))], LRUPolicy
+                ),
+            ).total_faults
+            gaps.append(staged / shared)
+        assert gaps[1] > gaps[0] * 3
+
+
+class TestLemma4:
+    def test_lower_bound_growth(self):
+        K, p, n = 16, 4, 1600
+        w = lemma4_workload(K, p, n)
+        prev = 0.0
+        for tau in (0, 2, 6):
+            lru = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+            off = simulate(w, K, tau, SacrificeStrategy()).total_faults
+            ratio = lru / off
+            assert ratio > prev
+            prev = ratio
+        assert prev > p  # comfortably beyond p for tau=6
+
+    def test_fitf_suboptimal_past_crossover(self):
+        K, p, n = 16, 4, 1600
+        w = lemma4_workload(K, p, n)
+        tau = K // p + 2
+        fitf = simulate(w, K, tau, SharedStrategy(GlobalFITFPolicy)).total_faults
+        off = simulate(w, K, tau, SacrificeStrategy()).total_faults
+        assert fitf > off
+
+
+class TestOfflineOptimum:
+    def test_online_strategies_bounded_below_by_dp(self):
+        for seed in range(3):
+            w = uniform_workload(2, 6, 3, seed=seed)
+            for tau in (0, 1):
+                opt = dp_ftf(w, 3, tau)
+                for strat in (
+                    SharedStrategy(LRUPolicy),
+                    SharedStrategy(GlobalFITFPolicy),
+                    StaticPartitionStrategy([2, 1], LRUPolicy),
+                ):
+                    online = simulate(w, 3, tau, strat).total_faults
+                    assert online >= opt

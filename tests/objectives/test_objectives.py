@@ -1,0 +1,152 @@
+"""Tests for the makespan and fairness objectives."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    GlobalFITFPolicy,
+    LRUPolicy,
+    SharedStrategy,
+    Workload,
+    simulate,
+)
+from repro.objectives import (
+    jain_index,
+    minimax_faults,
+    minimum_makespan,
+    progress_gap_series,
+)
+from repro.offline import dp_ftf
+from repro.problems import FTFInstance
+
+
+def random_disjoint(seed, p=2, length=5, pages=3):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestMinimumMakespan:
+    def test_empty_workload(self):
+        res = minimum_makespan(FTFInstance([[]], 1, 1))
+        assert res.steps == 0 and res.makespan == 0
+
+    def test_all_hits_single_core(self):
+        # [1, 1, 1]: fault (tau+1 steps) then two hits.
+        res = minimum_makespan(FTFInstance([[1, 1, 1]], 1, 2))
+        assert res.steps == 3 + 2  # 1 fault (3 steps) + 2 hits
+        assert res.faults_at_optimum == 1
+
+    def test_tau_zero_equals_longest_sequence(self):
+        w = random_disjoint(1, p=2, length=5)
+        res = minimum_makespan(FTFInstance(w, 4, 0))
+        assert res.steps == 5  # every step serves both cores
+
+    def test_lower_bounds_every_strategy(self):
+        for seed in range(4):
+            w = random_disjoint(seed, p=2, length=5)
+            for tau in (0, 1, 2):
+                res = minimum_makespan(FTFInstance(w, 3, tau))
+                for policy in (LRUPolicy, GlobalFITFPolicy):
+                    sim = simulate(w, 3, tau, SharedStrategy(policy))
+                    assert res.makespan <= sim.makespan
+
+    def test_faults_at_optimum_at_least_ftf_opt(self):
+        """A makespan-optimal schedule cannot have fewer faults than the
+        fault-optimal one."""
+        for seed in range(4):
+            w = random_disjoint(seed + 10)
+            res = minimum_makespan(FTFInstance(w, 3, 1))
+            assert res.faults_at_optimum >= dp_ftf(w, 3, 1)
+
+    def test_objectives_can_conflict(self):
+        """There are instances where no schedule is optimal for both
+        makespan and faults: two symmetric 3-page cycles over 4 cells at
+        tau=1 need 11 faults to finish fastest but only 10 in total
+        (achieved by a slower, sacrifice-style schedule)."""
+        w = Workload(
+            [
+                [(0, i % 3) for i in range(9)],
+                [(1, i % 3) for i in range(9)],
+            ]
+        )
+        inst = FTFInstance(w, 4, 1)
+        res = minimum_makespan(inst)
+        opt_faults = dp_ftf(w, 4, 1)
+        assert res.faults_at_optimum == 11
+        assert opt_faults == 10
+        assert res.faults_at_optimum > opt_faults
+
+    def test_max_states_guard(self):
+        w = random_disjoint(0, p=3, length=6, pages=3)
+        with pytest.raises(RuntimeError, match="max_states"):
+            minimum_makespan(FTFInstance(w, 5, 2), max_states=5)
+
+
+class TestMinimaxFaults:
+    def test_empty(self):
+        assert minimax_faults(FTFInstance([[]], 1, 0)) == 0
+
+    def test_single_core_equals_belady(self):
+        from repro.sequential import belady_faults
+
+        seq = [1, 2, 3, 1, 2, 3]
+        assert minimax_faults(FTFInstance([seq], 2, 0)) == belady_faults(seq, 2)
+
+    def test_two_competing_cores(self):
+        # K=3, both cores alternate 2 pages: one core gets 2 cells
+        # (2 faults), the other thrashes... minimax balances them.
+        w = Workload([[(0, 0), (0, 1)] * 3, [(1, 0), (1, 1)] * 3])
+        b = minimax_faults(FTFInstance(w, 3, 1))
+        # Total optimum is 6 (2 + 4); the fair split caps each at 4.
+        assert 2 <= b <= 4
+
+    def test_monotone_in_cache(self):
+        w = random_disjoint(5, p=2, length=5)
+        b_small = minimax_faults(FTFInstance(w, 2, 1))
+        b_big = minimax_faults(FTFInstance(w, 4, 1))
+        assert b_big <= b_small
+
+
+class TestJainIndex:
+    def test_equal_is_one(self):
+        assert jain_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_concentrated_is_one_over_n(self):
+        assert jain_index([5, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+    def test_bounds(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            vals = [rng.randrange(10) for _ in range(5)]
+            idx = jain_index(vals)
+            assert 1 / 5 - 1e-9 <= idx <= 1.0 + 1e-9
+
+
+class TestProgressGap:
+    def test_balanced_execution_small_gap(self):
+        w = Workload([[1, 2] * 5, [11, 12] * 5])
+        res = simulate(w, 4, 1, SharedStrategy(LRUPolicy), record_trace=True)
+        gaps = progress_gap_series(res.trace, 2)
+        assert gaps.max() <= 1  # symmetric cores stay in lockstep
+
+    def test_starved_core_grows_gap(self):
+        from repro.offline import SacrificeStrategy
+        from repro.workloads import lemma4_workload
+
+        w = lemma4_workload(8, 2, 200)
+        res = simulate(w, 8, 4, SacrificeStrategy(), record_trace=True)
+        gaps = progress_gap_series(res.trace, 2)
+        assert gaps.max() > 10  # the sacrificed core falls far behind
+
+    def test_empty_trace(self):
+        from repro.core.trace import Trace
+
+        assert len(progress_gap_series(Trace(), 2)) == 0

@@ -1,0 +1,133 @@
+"""Tests for Algorithm 2 (PIF decision DP)."""
+
+import random
+
+import pytest
+
+from repro import Workload
+from repro.offline import brute_force_pif, decide_pif, dp_ftf
+from repro.problems import PIFInstance
+
+
+def random_disjoint(seed, p=2, length=4, pages=3):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestBasics:
+    def test_trivially_feasible_zero_deadline(self):
+        inst = PIFInstance([[1, 2]], 1, 0, deadline=0, bounds=(0,))
+        assert decide_pif(inst).feasible
+
+    def test_infeasible_zero_bounds(self):
+        inst = PIFInstance([[1, 2]], 2, 0, deadline=2, bounds=(0,))
+        res = decide_pif(inst)
+        assert not res.feasible
+        assert res.witness is None
+
+    def test_feasible_generous_bounds(self):
+        inst = PIFInstance([[1, 2]], 2, 0, deadline=10, bounds=(2,))
+        res = decide_pif(inst)
+        assert res.feasible
+        assert res.witness == (2,)
+
+    def test_bounds_arity_checked(self):
+        with pytest.raises(ValueError):
+            PIFInstance([[1]], 1, 0, 1, bounds=(1, 1))
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PIFInstance([[1]], 1, 0, 1, bounds=(-1,))
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("tau", [0, 1])
+    def test_matches_brute_force(self, tau):
+        rng = random.Random(42)
+        for trial in range(15):
+            w = random_disjoint(trial, p=2, length=4, pages=3)
+            deadline = rng.randrange(1, 9)
+            bounds = (rng.randrange(0, 4), rng.randrange(0, 4))
+            inst = PIFInstance(w, 3, tau, deadline, bounds)
+            assert decide_pif(inst).feasible == brute_force_pif(inst), inst
+
+    def test_honest_equals_full_space(self):
+        rng = random.Random(7)
+        for trial in range(10):
+            w = random_disjoint(trial + 30, p=2, length=4, pages=3)
+            deadline = rng.randrange(1, 8)
+            bounds = (rng.randrange(0, 3), rng.randrange(0, 3))
+            inst = PIFInstance(w, 3, 1, deadline, bounds)
+            assert (
+                decide_pif(inst, honest=True).feasible
+                == decide_pif(inst, honest=False).feasible
+            )
+
+
+class TestMonotonicity:
+    def test_monotone_in_bounds(self):
+        w = random_disjoint(3)
+        inst_loose = PIFInstance(w, 3, 1, 8, (3, 3))
+        inst_tight = PIFInstance(w, 3, 1, 8, (1, 1))
+        if decide_pif(inst_tight).feasible:
+            assert decide_pif(inst_loose).feasible
+
+    def test_monotone_in_deadline(self):
+        """A later checkpoint is harder (more faults can accrue)."""
+        w = random_disjoint(5)
+        for b in [(2, 2), (3, 3)]:
+            early = decide_pif(PIFInstance(w, 3, 1, 3, b)).feasible
+            late = decide_pif(PIFInstance(w, 3, 1, 12, b)).feasible
+            if late:
+                assert early
+
+    def test_relates_to_ftf(self):
+        """PIF with total-fault-generous bounds at a deadline past the
+        makespan is feasible iff per-core bounds can sum to the FTF OPT."""
+        w = random_disjoint(9)
+        opt = dp_ftf(w, 3, 1)
+        inst = PIFInstance(w, 3, 1, deadline=200, bounds=(opt, opt))
+        assert decide_pif(inst).feasible
+
+
+class TestWitnessSchedule:
+    def test_schedule_shape(self):
+        inst = PIFInstance([[1, 2, 1, 2], [10, 11, 10, 11]], 3, 1, 12, (2, 4))
+        res = decide_pif(inst, return_schedule=True)
+        assert res.feasible
+        assert res.schedule is not None
+        assert res.schedule[0] == frozenset()
+        assert len(res.schedule) == res.certified_at + 1
+        assert all(len(c) <= 3 for c in res.schedule)
+
+    def test_schedule_faults_match_witness(self):
+        """New pages along the schedule = total faults = sum(witness)."""
+        inst = PIFInstance([[1, 2, 1], [10, 11, 10]], 3, 1, 20, (3, 3))
+        res = decide_pif(inst, return_schedule=True)
+        assert res.feasible
+        added = sum(
+            len(b - a) for a, b in zip(res.schedule, res.schedule[1:])
+        )
+        assert added == sum(res.witness)
+
+    def test_no_schedule_by_default(self):
+        inst = PIFInstance([[1]], 1, 0, 5, (1,))
+        assert decide_pif(inst).schedule is None
+
+    def test_infeasible_has_no_schedule(self):
+        inst = PIFInstance([[1, 2]], 2, 0, 5, (0,))
+        res = decide_pif(inst, return_schedule=True)
+        assert not res.feasible and res.schedule is None
+
+
+class TestWitness:
+    def test_witness_within_bounds(self):
+        w = random_disjoint(11)
+        inst = PIFInstance(w, 3, 1, 10, (3, 3))
+        res = decide_pif(inst)
+        if res.feasible:
+            assert all(v <= b for v, b in zip(res.witness, inst.bounds))
+            assert res.certified_at is not None
+            assert res.certified_at <= inst.deadline

@@ -1,0 +1,134 @@
+"""Tests for optimal static partitions (sP^OPT_A) and the closed form."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    LRUPolicy,
+    PerSequenceFITFPolicy,
+    StaticPartitionStrategy,
+    Workload,
+    simulate,
+)
+from repro._util import compositions
+from repro.offline import (
+    optimal_static_partition,
+    per_size_fault_table,
+    static_partition_faults,
+)
+from repro.sequential import belady_faults, lru_faults
+
+
+def random_disjoint(seed, p=2, length=20, pages=5):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestPerSizeTable:
+    def test_lru_table(self):
+        seq = [1, 2, 3, 1, 2, 3]
+        table = per_size_fault_table(seq, 4, "lru")
+        assert table[0] == float("inf")
+        assert table[1:] == [
+            float(lru_faults(seq, k)) for k in range(1, 5)
+        ]
+
+    def test_opt_table(self):
+        seq = [1, 2, 1, 3, 1]
+        table = per_size_fault_table(seq, 3, "opt")
+        assert table[2] == belady_faults(seq, 2)
+
+    def test_empty_sequence(self):
+        assert per_size_fault_table([], 3) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            per_size_fault_table([1], 1, "magic")
+
+
+class TestClosedForm:
+    """static_partition_faults == simulated faults, any tau (disjoint)."""
+
+    @given(st.integers(0, 500), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_simulation_lru(self, seed, tau):
+        w = random_disjoint(seed)
+        partition = (3, 2)
+        closed = static_partition_faults(w, partition, "lru")
+        sim = simulate(
+            w, 5, tau, StaticPartitionStrategy(partition, LRUPolicy)
+        )
+        assert closed == sim.total_faults
+
+    @given(st.integers(0, 500), st.integers(0, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_simulation_opt(self, seed, tau):
+        w = random_disjoint(seed)
+        partition = (2, 3)
+        closed = static_partition_faults(w, partition, "opt")
+        sim = simulate(
+            w, 5, tau, StaticPartitionStrategy(partition, PerSequenceFITFPolicy)
+        )
+        assert closed == sim.total_faults
+
+    def test_rejects_non_disjoint(self):
+        w = Workload([[1, 2], [2, 3]])
+        with pytest.raises(ValueError):
+            static_partition_faults(w, (1, 1), "lru")
+
+    def test_rejects_zero_cells_for_active(self):
+        w = Workload([[1], [2]])
+        with pytest.raises(ValueError):
+            static_partition_faults(w, (2, 0), "lru")
+
+
+class TestOptimalPartition:
+    def test_matches_exhaustive_enumeration(self):
+        for seed in range(5):
+            w = random_disjoint(seed, p=3, length=12, pages=4)
+            K = 6
+            best = optimal_static_partition(w, K, "opt")
+            brute = min(
+                static_partition_faults(w, part, "opt")
+                for part in compositions(K, 3, minimum=1)
+            )
+            assert best.faults == brute
+
+    def test_partition_sums_to_k(self):
+        w = random_disjoint(3, p=3)
+        res = optimal_static_partition(w, 7, "lru")
+        assert sum(res.partition) == 7
+        assert all(k >= 1 for k in res.partition)
+
+    def test_respects_empty_sequences(self):
+        w = Workload([[1, 2, 3, 1, 2, 3], []])
+        res = optimal_static_partition(w, 4, "opt")
+        assert res.partition == (4, 0)
+
+    def test_favors_heavy_core(self):
+        w = Workload(
+            [[(0, i % 5) for i in range(40)], [(1, 0)] * 40]
+        )
+        res = optimal_static_partition(w, 6, "opt")
+        assert res.partition[0] == 5
+        assert res.faults == 5 + 1  # both just compulsory
+
+    def test_infeasible_k(self):
+        w = Workload([[1], [2], [3]])
+        with pytest.raises(ValueError):
+            optimal_static_partition(w, 2, "opt")
+
+    def test_rejects_non_disjoint(self):
+        with pytest.raises(ValueError):
+            optimal_static_partition(Workload([[1], [1]]), 2, "opt")
+
+    def test_optimum_below_any_partition(self):
+        w = random_disjoint(9, p=2)
+        res = optimal_static_partition(w, 5, "lru")
+        for part in compositions(5, 2, minimum=1):
+            assert res.faults <= static_partition_faults(w, part, "lru")

@@ -1,0 +1,134 @@
+"""Tests for the Lemma 4 sacrifice strategy and the structural theorems
+(Theorem 4 honesty, Theorem 5 per-sequence FITF, the tau=0 FITF-optimality
+remark)."""
+
+import random
+
+import pytest
+
+from repro import (
+    GlobalFITFPolicy,
+    LRUPolicy,
+    SharedStrategy,
+    Workload,
+    simulate,
+)
+from repro.offline import SacrificeStrategy, brute_force_ftf, dp_ftf
+from repro.problems import FTFInstance
+from repro.workloads import lemma4_workload
+
+
+def random_disjoint(seed, p=2, length=5, pages=3):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestSacrificeStrategy:
+    def test_beats_lru_on_lemma4_workload(self):
+        K, p, n = 8, 2, 400
+        w = lemma4_workload(K, p, n)
+        for tau in (1, 2, 4):
+            lru = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+            off = simulate(w, K, tau, SacrificeStrategy()).total_faults
+            assert lru == n  # LRU faults on every request
+            assert off < lru / 2
+
+    def test_ratio_grows_with_tau(self):
+        K, p, n = 8, 2, 800
+        w = lemma4_workload(K, p, n)
+        ratios = []
+        for tau in (0, 2, 6):
+            lru = simulate(w, K, tau, SharedStrategy(LRUPolicy)).total_faults
+            off = simulate(w, K, tau, SacrificeStrategy()).total_faults
+            ratios.append(lru / off)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_non_sacrificed_cores_nearly_fault_free(self):
+        K, p, n = 16, 4, 800
+        w = lemma4_workload(K, p, n)
+        res = simulate(w, K, 2, SacrificeStrategy(victim_core=3))
+        m = K // p + 1
+        for j in range(p - 1):
+            assert res.faults_per_core[j] <= m  # compulsory only
+        assert res.faults_per_core[3] > m
+
+    def test_victim_core_validation(self):
+        with pytest.raises(ValueError):
+            simulate([[1], [2]], 2, 0, SacrificeStrategy(victim_core=5))
+
+    def test_default_victim_is_last(self):
+        s = SacrificeStrategy()
+        simulate([[1, 2], [10, 20]], 2, 0, s)
+        assert s._victim == 1
+
+
+class TestFITFCrossover:
+    """Remark after Lemma 4: S_FITF(R) > S_OFF(R) once tau > K/p."""
+
+    def test_crossover(self):
+        K, p, n = 16, 4, 800
+        w = lemma4_workload(K, p, n)
+        tau_big = K // p + 1  # > K/p
+        fitf = simulate(
+            w, K, tau_big, SharedStrategy(GlobalFITFPolicy)
+        ).total_faults
+        off = simulate(w, K, tau_big, SacrificeStrategy()).total_faults
+        assert fitf > off
+
+    def test_no_crossover_at_tau_zero(self):
+        K, p, n = 8, 2, 400
+        w = lemma4_workload(K, p, n)
+        fitf = simulate(w, K, 0, SharedStrategy(GlobalFITFPolicy)).total_faults
+        off = simulate(w, K, 0, SacrificeStrategy()).total_faults
+        assert fitf <= off + K  # FITF is (near-)optimal without delays
+
+
+class TestTauZeroFITFOptimal:
+    """Section 5.1: for tau = 0, FTF is solved by FITF."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fitf_matches_dp_at_tau_zero(self, seed):
+        w = random_disjoint(seed, p=2, length=5, pages=3)
+        opt = dp_ftf(w, 3, 0)
+        fitf = simulate(w, 3, 0, SharedStrategy(GlobalFITFPolicy)).total_faults
+        assert fitf == opt
+
+    def test_fitf_not_optimal_with_tau(self):
+        """And with tau > 0 FITF can be strictly suboptimal (found by
+        scanning small instances — the paper's Lemma 4 remark in miniature)."""
+        found = False
+        for seed in range(40):
+            w = random_disjoint(seed, p=2, length=5, pages=3)
+            for tau in (1, 2):
+                opt = dp_ftf(w, 3, tau)
+                fitf = simulate(
+                    w, 3, tau, SharedStrategy(GlobalFITFPolicy)
+                ).total_faults
+                assert fitf >= opt
+                if fitf > opt:
+                    found = True
+        assert found
+
+
+class TestTheorem5Structure:
+    """Theorem 5: some optimal algorithm always evicts the
+    furthest-in-future page *of some sequence*.  Verified on small
+    instances: restricting the brute force to per-sequence-FITF victims
+    loses nothing."""
+
+    @pytest.mark.parametrize("tau", [0, 1])
+    def test_per_sequence_fitf_victims_suffice(self, tau):
+        from repro.offline import restricted_ftf_optimum
+
+        for seed in range(4):
+            w = random_disjoint(seed + 300, p=2, length=4, pages=3)
+            inst = FTFInstance(w, 3, tau)
+            assert restricted_ftf_optimum(inst) == brute_force_ftf(inst)
+
+    def test_rejects_non_disjoint(self):
+        from repro.offline import restricted_ftf_optimum
+
+        with pytest.raises(ValueError):
+            restricted_ftf_optimum(FTFInstance([[1], [1]], 2, 0))

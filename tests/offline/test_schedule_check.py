@@ -1,0 +1,83 @@
+"""Tests for the independent configuration-schedule validator."""
+
+import random
+
+import pytest
+
+from repro.core.request import Workload
+from repro.offline import (
+    decide_pif,
+    minimum_total_faults,
+    validate_schedule,
+)
+from repro.problems import FTFInstance, PIFInstance
+
+
+def random_disjoint(seed, p=2, length=5, pages=3):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestValidSchedules:
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_ftf_schedules_replay_exactly(self, tau):
+        for seed in range(6):
+            w = random_disjoint(seed)
+            res = minimum_total_faults(
+                FTFInstance(w, 3, tau), return_schedule=True
+            )
+            report = validate_schedule(w, 3, tau, res.schedule)
+            assert report.valid, report.reason
+            assert report.total_faults == res.faults
+            assert report.served == w.lengths()
+
+    def test_pif_schedules_replay_to_witness(self):
+        for seed in range(6):
+            w = random_disjoint(seed + 20, length=4)
+            inst = PIFInstance(w, 3, 1, deadline=10, bounds=(3, 3))
+            res = decide_pif(inst, return_schedule=True)
+            if not res.feasible:
+                continue
+            report = validate_schedule(w, 3, 1, res.schedule)
+            assert report.valid, report.reason
+            assert report.faults_per_core == res.witness
+
+
+class TestInvalidSchedules:
+    def setup_method(self):
+        self.w = Workload([[1, 2, 1]])
+        self.res = minimum_total_faults(
+            FTFInstance(self.w, 2, 1), return_schedule=True
+        )
+
+    def test_empty_schedule(self):
+        report = validate_schedule(self.w, 2, 1, [])
+        assert not report.valid
+
+    def test_nonempty_start(self):
+        bad = [frozenset({1})] + list(self.res.schedule[1:])
+        report = validate_schedule(self.w, 2, 1, bad)
+        assert not report.valid
+        assert "empty configuration" in report.reason
+
+    def test_over_capacity(self):
+        bad = list(self.res.schedule)
+        bad[1] = frozenset({1, 2, 99})
+        report = validate_schedule(self.w, 2, 1, bad)
+        assert not report.valid
+
+    def test_materialised_page(self):
+        bad = list(self.res.schedule)
+        bad[1] = bad[1] | {99}
+        report = validate_schedule(self.w, 2, 1, bad)
+        assert not report.valid
+        assert "materialised" in report.reason
+
+    def test_dropped_requested_page(self):
+        bad = list(self.res.schedule)
+        bad[1] = frozenset()
+        report = validate_schedule(self.w, 2, 1, bad)
+        assert not report.valid
+        assert "dropped" in report.reason

@@ -1,0 +1,176 @@
+"""Tests for the advanced policies (LRU-K, SLRU, 2Q, ARC)."""
+
+import random
+
+import pytest
+
+from repro import (
+    ARCPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    SLRUPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    TwoQPolicy,
+    simulate,
+)
+
+
+def run(policy_factory, seq, K, tau=0):
+    return simulate([seq], K, tau, SharedStrategy(policy_factory)).total_faults
+
+
+def scan_with_hot_set(length=300, hot=3, scan_pages=50, seed=0):
+    """A hot working set polluted by one-shot scans — the workload
+    scan-resistant policies are built for."""
+    rng = random.Random(seed)
+    seq = []
+    scan_next = 1000
+    for i in range(length):
+        if i % 7 == 3:
+            seq.append(scan_next % scan_pages + 100)  # one-shot pollution
+            scan_next += 1
+        else:
+            seq.append(rng.randrange(hot))
+    return seq
+
+
+class TestLRUK:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUKPolicy(k=0)
+
+    def test_name(self):
+        assert LRUKPolicy(2).name == "LRU-2"
+        assert LRUKPolicy(3).name == "LRU-3"
+
+    def test_prefers_evicting_single_reference_pages(self):
+        p = LRUKPolicy(k=2)
+        p.on_insert("once", 0)
+        p.on_insert("twice", 1)
+        p.on_hit("twice", 2)
+        assert p.victim({"once", "twice"}, 3) == "once"
+
+    def test_k1_degenerates_to_lru(self):
+        rng = random.Random(1)
+        for _ in range(5):
+            seq = [rng.randrange(6) for _ in range(50)]
+            assert run(lambda: LRUKPolicy(k=1), seq, 3) == run(LRUPolicy, seq, 3)
+
+    def test_scan_resistance(self):
+        seq = scan_with_hot_set()
+        assert run(lambda: LRUKPolicy(k=2), seq, 4) <= run(LRUPolicy, seq, 4)
+
+    def test_history_cleared_on_evict_and_reinsert(self):
+        p = LRUKPolicy(k=2)
+        p.on_insert("a", 0)
+        p.on_hit("a", 1)
+        p.on_evict("a")
+        p.on_insert("a", 2)
+        p.on_insert("b", 3)
+        p.on_hit("b", 4)
+        # a has one (fresh) reference, b has two: evict a.
+        assert p.victim({"a", "b"}, 5) == "a"
+
+
+class TestSLRU:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLRUPolicy(protected_fraction=0.0)
+        with pytest.raises(ValueError):
+            SLRUPolicy(protected_fraction=1.0)
+
+    def test_probation_evicted_before_protected(self):
+        p = SLRUPolicy()
+        p.on_insert("new", 0)
+        p.on_insert("hot", 0)
+        p.on_hit("hot", 1)  # promoted
+        assert p.victim({"new", "hot"}, 2) == "new"
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            SLRUPolicy().victim(set(), 0)
+
+    def test_simulator_integration(self):
+        seq = scan_with_hot_set(seed=3)
+        faults = run(SLRUPolicy, seq, 4)
+        assert 0 < faults <= len(seq)
+
+    def test_protects_hot_set_from_scans(self):
+        # The protected segment must be big enough for the hot set (3 of 4
+        # cells here); then every scan page dies in probation.
+        seq = scan_with_hot_set(seed=4)
+        slru = run(lambda: SLRUPolicy(protected_fraction=0.8), seq, 4)
+        assert slru <= run(LRUPolicy, seq, 4)
+
+
+class TestTwoQ:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoQPolicy(a1_fraction=0)
+
+    def test_ghost_readmission_goes_to_main(self):
+        p = TwoQPolicy()
+        p.on_insert("a", 0)
+        p.on_evict("a")  # a becomes a ghost
+        p.on_insert("a", 1)
+        assert "a" in p._am
+
+    def test_one_timers_evicted_first(self):
+        p = TwoQPolicy(a1_fraction=0.25)
+        # b is in Am (re-admitted after ghosting); fresh one-timers queue
+        # up in A1in and must go first.
+        p.on_insert("b", 0)
+        p.on_evict("b")
+        p.on_insert("b", 1)
+        for i in range(3):
+            p.on_insert(f"one{i}", 2 + i)
+        assert p.victim({"b", "one0", "one1", "one2"}, 9) == "one0"
+
+    def test_simulator_integration(self):
+        seq = scan_with_hot_set(seed=5)
+        faults = run(TwoQPolicy, seq, 4)
+        assert 0 < faults <= len(seq)
+
+
+class TestARC:
+    def test_single_reference_pages_live_in_t1(self):
+        p = ARCPolicy()
+        p.on_insert("a", 0)
+        assert "a" in p._t1
+        p.on_hit("a", 1)
+        assert "a" in p._t2 and "a" not in p._t1
+
+    def test_ghost_hit_adapts_p(self):
+        p = ARCPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_evict("a")  # a -> B1
+        before = p._p
+        p.on_insert("a", 1)  # B1 hit: favour recency, p goes up
+        assert p._p > before
+        assert "a" in p._t2
+
+    def test_victim_prefers_t1_initially(self):
+        p = ARCPolicy()
+        p.on_insert("r", 0)
+        p.on_insert("f", 0)
+        p.on_hit("f", 1)
+        assert p.victim({"r", "f"}, 2) == "r"
+
+    def test_simulator_integration_multicore(self):
+        w = [
+            scan_with_hot_set(seed=6),
+            [x + 1000 for x in scan_with_hot_set(seed=7)],
+        ]
+        res = simulate(w, 8, 2, SharedStrategy(ARCPolicy))
+        assert res.total_faults + res.total_hits == sum(len(s) for s in w)
+
+    def test_scan_resistance(self):
+        seq = scan_with_hot_set(seed=8)
+        assert run(ARCPolicy, seq, 4) <= run(LRUPolicy, seq, 4) * 1.1
+
+    def test_partitioned_usage(self):
+        w = [[(0, i % 3) for i in range(30)], [(1, i % 4) for i in range(30)]]
+        res = simulate(w, 6, 1, StaticPartitionStrategy([3, 3], ARCPolicy))
+        assert res.total_faults > 0

@@ -1,0 +1,88 @@
+"""Tests for the FITF (Belady) policies, including the single-core
+optimality guarantee and the Theorem 5 per-sequence variant."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    GlobalFITFPolicy,
+    LRUPolicy,
+    PerSequenceFITFPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    simulate,
+)
+from repro.sequential import belady_faults, lru_faults
+
+
+class TestGlobalFITF:
+    def test_requires_bound_context(self):
+        with pytest.raises(RuntimeError):
+            GlobalFITFPolicy().victim({1}, 0)
+
+    def test_single_core_matches_belady(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            seq = [rng.randrange(5) for _ in range(20)]
+            sim = simulate([seq], 3, 0, SharedStrategy(GlobalFITFPolicy))
+            assert sim.total_faults == belady_faults(seq, 3)
+
+    def test_single_core_matches_belady_with_tau(self):
+        # Delays never change a single core's request order.
+        rng = random.Random(1)
+        for tau in (1, 3):
+            seq = [rng.randrange(4) for _ in range(15)]
+            sim = simulate([seq], 2, tau, SharedStrategy(GlobalFITFPolicy))
+            assert sim.total_faults == belady_faults(seq, 2)
+
+    def test_never_worse_than_lru_sequentially(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            seq = [rng.randrange(6) for _ in range(30)]
+            fitf = simulate([seq], 3, 0, SharedStrategy(GlobalFITFPolicy))
+            assert fitf.total_faults <= lru_faults(seq, 3)
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_belady_optimality_property(self, seq):
+        """Simulated FITF == classical Belady count on one core."""
+        sim = simulate([seq], 2, 0, SharedStrategy(GlobalFITFPolicy))
+        assert sim.total_faults == belady_faults(seq, 2)
+
+
+class TestPerSequenceFITF:
+    def test_requires_bind_core(self):
+        policy = PerSequenceFITFPolicy()
+
+        class Ctx:
+            pass
+
+        policy._ctx = object()
+        policy._oracle = object()
+        with pytest.raises(RuntimeError, match="bind_core"):
+            policy.victim({1}, 0)
+
+    def test_optimal_within_static_partition(self):
+        """sP^B_seqFITF equals the per-part Belady closed form (it IS the
+        per-part optimum)."""
+        rng = random.Random(3)
+        for _ in range(5):
+            s0 = [(0, rng.randrange(4)) for _ in range(15)]
+            s1 = [(1, rng.randrange(4)) for _ in range(15)]
+            sim = simulate(
+                [s0, s1], 4, 1, StaticPartitionStrategy([2, 2], PerSequenceFITFPolicy)
+            )
+            expected = belady_faults(s0, 2) + belady_faults(s1, 2)
+            assert sim.total_faults == expected
+
+    def test_beats_lru_partition(self):
+        s0 = [(0, i % 3) for i in range(30)]  # cycle of 3 in 2 cells
+        s1 = [(1, 0)] * 30
+        fitf = simulate(
+            [s0, s1], 3, 0, StaticPartitionStrategy([2, 1], PerSequenceFITFPolicy)
+        )
+        lru = simulate([s0, s1], 3, 0, StaticPartitionStrategy([2, 1], LRUPolicy))
+        assert fitf.total_faults < lru.total_faults

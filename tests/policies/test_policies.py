@@ -1,0 +1,220 @@
+"""Unit tests for every eviction policy, exercised both standalone (pool
+protocol) and through the simulator on signature patterns."""
+
+import pytest
+
+from repro import (
+    ClockPolicy,
+    FIFOPolicy,
+    LFUPolicy,
+    LIFOPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    MarkingPolicy,
+    RandomizedMarkingPolicy,
+    RandomPolicy,
+    SharedStrategy,
+    simulate,
+)
+from repro.policies import ONLINE_POLICIES
+
+
+def run(policy_factory, seq, K, tau=0):
+    return simulate([seq], K, tau, SharedStrategy(policy_factory)).total_faults
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        p = LRUPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_hit("a", 1)
+        assert p.victim({"a", "b"}, 2) == "b"
+
+    def test_respects_candidate_set(self):
+        p = LRUPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 1)
+        assert p.victim({"b"}, 2) == "b"
+
+    def test_cyclic_pathology(self):
+        # Classic: K=2, cycle of 3 pages -> fault every request.
+        assert run(LRUPolicy, [1, 2, 3] * 4, 2) == 12
+
+    def test_locality_friendly(self):
+        assert run(LRUPolicy, [1, 2, 1, 2, 1, 2], 2) == 2
+
+    def test_on_evict_clears_state(self):
+        p = LRUPolicy()
+        p.on_insert("a", 0)
+        p.on_evict("a")
+        p.on_insert("b", 1)
+        assert p.victim({"b"}, 2) == "b"
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        p = MRUPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_hit("a", 1)
+        assert p.victim({"a", "b"}, 2) == "a"
+
+    def test_mru_beats_lru_on_cycle(self):
+        cyc = [1, 2, 3] * 10
+        assert run(MRUPolicy, cyc, 2) < run(LRUPolicy, cyc, 2)
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        p = FIFOPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_hit("a", 5)  # must not refresh a
+        assert p.victim({"a", "b"}, 6) == "a"
+
+    def test_fifo_queue_order(self):
+        assert run(FIFOPolicy, [1, 2, 3, 1], 2) == 4
+
+
+class TestLIFO:
+    def test_evicts_newest(self):
+        p = LIFOPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 1)
+        assert p.victim({"a", "b"}, 2) == "b"
+
+    def test_lifo_keeps_first_page_forever(self):
+        # K=2: page 1 stays; page slot 2 churns.
+        assert run(LIFOPolicy, [1, 2, 3, 1, 4, 1], 2) == 4
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFUPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_hit("a", 1)
+        assert p.victim({"a", "b"}, 2) == "b"
+
+    def test_frequency_reset_on_evict(self):
+        p = LFUPolicy()
+        p.on_insert("a", 0)
+        p.on_hit("a", 1)
+        p.on_evict("a")
+        p.on_insert("a", 2)
+        p.on_insert("b", 2)
+        p.on_hit("b", 3)
+        assert p.victim({"a", "b"}, 4) == "a"
+
+    def test_tie_break_lru(self):
+        p = LFUPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 1)
+        assert p.victim({"a", "b"}, 2) == "a"
+
+
+class TestClock:
+    def test_second_chance(self):
+        p = ClockPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 1)
+        p.on_hit("a", 2)  # a gets a reference bit
+        assert p.victim({"a", "b"}, 3) == "b"
+
+    def test_clears_bits_on_sweep(self):
+        p = ClockPolicy()
+        for page in "abc":
+            p.on_insert(page, 0)
+        for page in "abc":
+            p.on_hit(page, 1)
+        # All referenced: first sweep clears, second finds a victim.
+        victim = p.victim({"a", "b", "c"}, 2)
+        assert victim in {"a", "b", "c"}
+
+    def test_on_evict_maintains_ring(self):
+        p = ClockPolicy()
+        for page in "abc":
+            p.on_insert(page, 0)
+        p.on_evict("b")
+        assert p.victim({"a", "c"}, 1) in {"a", "c"}
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            ClockPolicy().victim(set(), 0)
+
+    def test_approximates_lru_on_locality(self):
+        seq = [1, 2, 1, 2, 3, 1, 2] * 3
+        assert run(ClockPolicy, seq, 2) <= run(FIFOPolicy, seq, 2) + 3
+
+
+class TestMarking:
+    def test_never_evicts_marked(self):
+        p = MarkingPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p.on_hit("a", 1)
+        p.on_evict("b")
+        p.on_insert("c", 2)
+        # a and c marked; phase has unmarked nothing... all marked ->
+        # phase reset, so any is allowed; check it doesn't crash.
+        assert p.victim({"a", "c"}, 3) in {"a", "c"}
+
+    def test_prefers_unmarked(self):
+        p = MarkingPolicy()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p._marked.discard("b")
+        assert p.victim({"a", "b"}, 1) == "b"
+
+    def test_k_competitive_phase_bound(self):
+        # On any sequence, marking faults <= K per K-phase.
+        from repro.sequential import num_phases
+
+        seq = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5] * 3
+        K = 3
+        faults = run(MarkingPolicy, seq, K)
+        assert faults <= K * num_phases(seq, K)
+
+
+class TestRandomized:
+    def test_seeded_reproducibility(self):
+        seq = [1, 2, 3, 4, 1, 3, 2] * 5
+        a = run(lambda: RandomPolicy(seed=7), seq, 3)
+        b = run(lambda: RandomPolicy(seed=7), seq, 3)
+        assert a == b
+
+    def test_different_seeds_may_differ(self):
+        seq = [1, 2, 3, 4, 1, 3, 2, 4, 2, 1] * 6
+        results = {run(lambda s=s: RandomPolicy(seed=s), seq, 3) for s in range(8)}
+        assert len(results) >= 1  # at minimum it runs; usually varies
+
+    def test_randomized_marking_respects_marks(self):
+        p = RandomizedMarkingPolicy(seed=1)
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        p._marked.discard("b")
+        assert p.victim({"a", "b"}, 1) == "b"
+
+    def test_reset_restores_seed(self):
+        p = RandomPolicy(seed=3)
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        first = p.victim({"a", "b"}, 1)
+        p.reset()
+        p.on_insert("a", 0)
+        p.on_insert("b", 0)
+        assert p.victim({"a", "b"}, 1) == first
+
+
+class TestRegistry:
+    def test_registry_instantiable(self):
+        for name, cls in ONLINE_POLICIES.items():
+            policy = cls()
+            assert policy.name
+            policy.reset()
+
+    def test_names(self):
+        assert LRUPolicy().name == "LRU"
+        assert FIFOPolicy().name == "FIFO"
+        assert MarkingPolicy().name == "MARK"

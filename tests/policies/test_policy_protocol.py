@@ -1,0 +1,95 @@
+"""Protocol-level property tests over every registered policy.
+
+Whatever the policy, it must honour the pool contract: victims come from
+the candidate set, bookkeeping survives arbitrary legal call sequences,
+and reset really resets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies import ONLINE_POLICIES
+
+POLICY_ITEMS = sorted(ONLINE_POLICIES.items())
+
+
+def legal_call_sequence(rng, policy, pages, steps):
+    """Drive the policy through a random legal pool history; returns the
+    current pool membership."""
+    pool: set = set()
+    t = 0
+    for _ in range(steps):
+        t += 1
+        action = rng.random()
+        if action < 0.45 or not pool:
+            page = rng.choice(pages)
+            if page not in pool:
+                policy.on_insert(page, t)
+                pool.add(page)
+        elif action < 0.8:
+            policy.on_hit(rng.choice(sorted(pool, key=repr)), t)
+        else:
+            victim = policy.victim(set(pool), t)
+            assert victim in pool
+            policy.on_evict(victim)
+            pool.discard(victim)
+    return pool, t
+
+
+@pytest.mark.parametrize("name,cls", POLICY_ITEMS)
+class TestPoolContract:
+    def test_victim_always_from_candidates(self, name, cls):
+        rng = random.Random(hash(name) & 0xFFFF)
+        policy = cls()
+        pages = [f"{name}-{i}" for i in range(6)]
+        pool, t = legal_call_sequence(rng, policy, pages, 60)
+        if pool:
+            subset = set(sorted(pool, key=repr)[: max(1, len(pool) // 2)])
+            assert policy.victim(subset, t + 1) in subset
+
+    def test_survives_many_histories(self, name, cls):
+        for seed in range(5):
+            rng = random.Random(seed)
+            policy = cls()
+            pages = [f"{name}-{i}" for i in range(5)]
+            legal_call_sequence(rng, policy, pages, 80)
+
+    def test_reset_clears_state(self, name, cls):
+        policy = cls()
+        pages = [f"{name}-{i}" for i in range(4)]
+        rng = random.Random(0)
+        legal_call_sequence(rng, policy, pages, 40)
+        policy.reset()
+        # After reset the policy must accept a brand-new history.
+        policy.on_insert("fresh-a", 1)
+        policy.on_insert("fresh-b", 2)
+        assert policy.victim({"fresh-a", "fresh-b"}, 3) in {
+            "fresh-a",
+            "fresh-b",
+        }
+
+    def test_evicting_stranger_is_harmless(self, name, cls):
+        """on_evict for a page the policy never saw must not corrupt it
+        (partitioned strategies may route evictions liberally)."""
+        policy = cls()
+        policy.on_insert("known", 1)
+        policy.on_evict("stranger")
+        assert policy.victim({"known"}, 2) == "known"
+
+
+@given(
+    name_cls=st.sampled_from(POLICY_ITEMS),
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 60),
+)
+@settings(max_examples=80, deadline=None)
+def test_policy_fuzz(name_cls, seed, steps):
+    """Hypothesis fuzz over the pool protocol for every policy."""
+    name, cls = name_cls
+    rng = random.Random(seed)
+    policy = cls()
+    pages = [f"{name}{i}" for i in range(5)]
+    legal_call_sequence(rng, policy, pages, steps)

@@ -1,0 +1,164 @@
+"""Tests for the sequential fault counters (LRU / FIFO / Belady),
+including cross-validation against reference simulations and each other."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequential import (
+    belady_faults,
+    count_faults,
+    fifo_faults,
+    lru_faults,
+    lru_faults_all_sizes,
+    lru_stack_distances,
+    next_occurrence_table,
+)
+
+page_lists = st.lists(st.integers(0, 6), min_size=0, max_size=60)
+
+
+def reference_lru(seq, k):
+    """Dead-simple list-based LRU for cross-checking."""
+    cache = []
+    faults = 0
+    for page in seq:
+        if page in cache:
+            cache.remove(page)
+            cache.append(page)
+        else:
+            faults += 1
+            if len(cache) >= k:
+                cache.pop(0)
+            cache.append(page)
+    return faults
+
+
+def reference_fifo(seq, k):
+    cache = []
+    faults = 0
+    for page in seq:
+        if page in cache:
+            continue
+        faults += 1
+        if len(cache) >= k:
+            cache.pop(0)
+        cache.append(page)
+    return faults
+
+
+class TestNextOccurrence:
+    def test_basic(self):
+        assert next_occurrence_table([1, 2, 1]) == [2, 3, 3]
+
+    def test_empty(self):
+        assert next_occurrence_table([]) == []
+
+
+class TestLRU:
+    def test_small_example(self):
+        assert lru_faults([1, 2, 3, 1, 2, 3], 2) == 6
+        assert lru_faults([1, 2, 3, 1, 2, 3], 3) == 3
+        assert lru_faults([1, 1, 1], 1) == 1
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            lru_faults([1], 0)
+
+    @given(page_lists, st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, seq, k):
+        assert lru_faults(seq, k) == reference_lru(seq, k)
+
+    @given(page_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_all_sizes_consistent(self, seq):
+        table = lru_faults_all_sizes(seq, 8)
+        for k in range(1, 9):
+            assert table[k - 1] == lru_faults(seq, k)
+
+    @given(page_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_lru_monotone_in_cache_size(self, seq):
+        """LRU (a stack algorithm) has no Belady anomaly."""
+        table = lru_faults_all_sizes(seq, 8)
+        assert all(a >= b for a, b in zip(table, table[1:]))
+
+    def test_stack_distances_example(self):
+        # seq:       1   2   1    2    3   1
+        # distance: -1  -1   1    1   -1   2
+        dist = lru_stack_distances([1, 2, 1, 2, 3, 1])
+        assert list(dist) == [-1, -1, 1, 1, -1, 2]
+
+
+class TestFIFO:
+    def test_small_example(self):
+        assert fifo_faults([1, 2, 3, 1], 2) == 4
+        assert fifo_faults([1, 2, 1, 2], 2) == 2
+
+    @given(page_lists, st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, seq, k):
+        assert fifo_faults(seq, k) == reference_fifo(seq, k)
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            fifo_faults([1], -1)
+
+
+class TestBelady:
+    def test_small_example(self):
+        assert belady_faults([1, 2, 3, 1, 2, 3], 2) == 4
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            belady_faults([1], 0)
+
+    @given(page_lists, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_optimality_vs_online(self, seq, k):
+        """OPT lower-bounds LRU and FIFO everywhere."""
+        opt = belady_faults(seq, k)
+        assert opt <= lru_faults(seq, k)
+        assert opt <= fifo_faults(seq, k)
+
+    @given(page_lists, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_compulsory(self, seq, k):
+        opt = belady_faults(seq, k)
+        distinct = len(set(seq))
+        assert opt >= min(distinct, distinct)  # all first accesses fault
+        assert opt >= len(set(seq)) if k >= len(set(seq)) else True
+
+    @given(page_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cache_size(self, seq):
+        counts = [belady_faults(seq, k) for k in range(1, 8)]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_matches_exhaustive_small(self):
+        """Belady == exhaustive-search optimum on tiny instances."""
+        from repro.offline import brute_force_ftf
+        from repro.problems import FTFInstance
+
+        rng = random.Random(0)
+        for _ in range(10):
+            seq = [rng.randrange(4) for _ in range(8)]
+            assert belady_faults(seq, 2) == brute_force_ftf(
+                FTFInstance([seq], 2, 0)
+            )
+
+
+class TestDispatch:
+    def test_count_faults_dispatch(self):
+        seq = [1, 2, 3, 1, 2, 3]
+        assert count_faults(seq, 2, "lru") == lru_faults(seq, 2)
+        assert count_faults(seq, 2, "fifo") == fifo_faults(seq, 2)
+        assert count_faults(seq, 2, "opt") == belady_faults(seq, 2)
+        assert count_faults(seq, 2, "FITF") == belady_faults(seq, 2)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            count_faults([1], 1, "magic")

@@ -1,0 +1,79 @@
+"""Tests for k-phase decomposition (the proof device of Lemma 1 and
+Theorem 1.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequential import (
+    belady_faults,
+    lru_faults,
+    num_phases,
+    phase_boundaries,
+    phase_lengths,
+    shared_phase_count,
+)
+
+page_lists = st.lists(st.integers(0, 6), min_size=1, max_size=60)
+
+
+class TestPhaseBoundaries:
+    def test_basic(self):
+        #      k=2: [1 2 1] [3 1] [2 ...]
+        seq = [1, 2, 1, 3, 1, 2]
+        assert phase_boundaries(seq, 2) == [0, 3, 5]
+        assert num_phases(seq, 2) == 3
+        assert phase_lengths(seq, 2) == [3, 2, 1]
+
+    def test_single_phase(self):
+        assert phase_boundaries([1, 2, 1, 2], 2) == [0]
+
+    def test_empty(self):
+        assert phase_boundaries([], 3) == []
+        assert phase_lengths([], 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            phase_boundaries([1], 0)
+
+    @given(page_lists, st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_each_phase_has_at_most_k_distinct(self, seq, k):
+        starts = phase_boundaries(seq, k)
+        ends = starts[1:] + [len(seq)]
+        for s, e in zip(starts, ends):
+            assert len(set(seq[s:e])) <= k
+        # And every non-final phase is "full": the next request is its
+        # (k+1)-th distinct page.
+        for (s, e) in zip(starts[:-1], ends[:-1]):
+            assert len(set(seq[s:e])) == k
+
+
+class TestPhaseBounds:
+    @given(page_lists, st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_lru_at_most_k_per_phase(self, seq, k):
+        """The Lemma 1 upper-bound argument: LRU faults <= k * phases."""
+        assert lru_faults(seq, k) <= k * num_phases(seq, k)
+
+    @given(page_lists, st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_opt_at_least_one_fault_per_phase(self, seq, k):
+        """Any algorithm faults at least once per phase (modulo the final
+        partial phase)."""
+        assert belady_faults(seq, k) >= num_phases(seq, k) - 1
+
+
+class TestSharedPhases:
+    def test_merged_round_robin(self):
+        count = shared_phase_count([[1, 2, 1], [10, 11, 10]], 4)
+        assert count == 1
+
+    def test_theorem12_inequality(self):
+        """phi <= sum_j phi_j for per-part sizes summing to K (the claim
+        inside the proof of Theorem 1.2)."""
+        seqs = [[1, 2, 3, 1, 2, 3, 4, 5], [10, 11, 10, 12, 13, 10, 11, 12]]
+        K = 4
+        shared = shared_phase_count(seqs, K)
+        per = sum(num_phases(s, 2) for s in seqs)  # partition (2, 2)
+        assert shared <= per

@@ -1,0 +1,154 @@
+"""Tests for dynamic partition strategies (staged, Lemma 3 mimic,
+adaptive working-set)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdaptiveWorkingSetPartition,
+    LRUPolicy,
+    LruMimicDynamicPartition,
+    SharedStrategy,
+    StagedPartitionStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    simulate,
+)
+
+
+def random_disjoint(seed, p=2, length=25, pages=5):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestLemma3Mimic:
+    """Lemma 3: a dynamic partition exists that equals shared LRU exactly
+    on disjoint workloads."""
+
+    def test_exact_equality_basic(self, two_core_disjoint):
+        for tau in (0, 1, 3):
+            shared = simulate(
+                two_core_disjoint, 4, tau, SharedStrategy(LRUPolicy), record_trace=True
+            )
+            mimic = simulate(
+                two_core_disjoint, 4, tau, LruMimicDynamicPartition(), record_trace=True
+            )
+            assert shared.faults_per_core == mimic.faults_per_core
+            # Event-by-event identical executions.
+            assert [
+                (e.time, e.core, e.page, e.kind) for e in shared.trace
+            ] == [(e.time, e.core, e.page, e.kind) for e in mimic.trace]
+
+    @given(st.integers(0, 1000), st.integers(0, 2), st.integers(2, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_equality_property(self, seed, tau, p):
+        w = random_disjoint(seed, p=p, length=20, pages=4)
+        K = max(4, p + 1)
+        shared = simulate(w, K, tau, SharedStrategy(LRUPolicy))
+        mimic = simulate(w, K, tau, LruMimicDynamicPartition())
+        assert shared.faults_per_core == mimic.faults_per_core
+        assert shared.completion_times == mimic.completion_times
+
+    def test_partition_changes_recorded(self):
+        # Core 1 abandons (1, 0) after one use; core 0's pressure forces a
+        # cross-core steal of that cell (a partition change under Lemma 3's
+        # accounting).
+        w = Workload(
+            [[(0, i % 3) for i in range(12)], [(1, 0)] + [(1, 1)] * 11]
+        )
+        strat = LruMimicDynamicPartition()
+        simulate(w, 4, 0, strat)
+        assert len(strat.partition_changes) > 0
+        for change in strat.partition_changes:
+            assert sum(change.sizes) == 4
+
+    def test_name(self):
+        assert "lemma3" in LruMimicDynamicPartition().name
+
+
+class TestStagedPartition:
+    def test_single_stage_equals_static(self):
+        w = random_disjoint(7, p=2, length=30, pages=4)
+        for tau in (0, 2):
+            staged = simulate(
+                w, 4, tau, StagedPartitionStrategy([(0, [2, 2])], LRUPolicy)
+            )
+            static = simulate(w, 4, tau, StaticPartitionStrategy([2, 2], LRUPolicy))
+            assert staged.faults_per_core == static.faults_per_core
+
+    def test_stage_switch_applies(self):
+        # Give core 0 all spare capacity after t=10.
+        w = Workload(
+            [[(0, i % 3) for i in range(30)], [(1, 0) for _ in range(30)]]
+        )
+        staged = StagedPartitionStrategy([(0, [2, 2]), (10, [3, 1])], LRUPolicy)
+        res = simulate(w, 4, 0, staged)
+        static = simulate(w, 4, 0, StaticPartitionStrategy([2, 2], LRUPolicy))
+        assert res.total_faults < static.total_faults
+        assert staged.num_changes == 1
+
+    def test_shrink_evicts_surplus(self):
+        # Core 0 fills 3 cells, then its part shrinks to 1.
+        w = Workload(
+            [[(0, 0), (0, 1), (0, 2), (0, 0)], [(1, 0)] * 4]
+        )
+        staged = StagedPartitionStrategy([(0, [3, 1]), (3, [1, 3])], LRUPolicy)
+        res = simulate(w, 4, 0, staged, record_trace=True)
+        # After the shrink, (0,0) was evicted (it held 3 pages, keeps 1 most
+        # recently used = (0,2)), so the second (0,0) faults.
+        assert res.faults_per_core[0] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StagedPartitionStrategy([], LRUPolicy)
+        with pytest.raises(ValueError):
+            StagedPartitionStrategy([(5, [2, 2])], LRUPolicy)
+        with pytest.raises(ValueError):
+            StagedPartitionStrategy([(0, [2, 2]), (4, [1, 3]), (2, [3, 1])], LRUPolicy)
+        with pytest.raises(TypeError):
+            StagedPartitionStrategy([(0, [2, 2])], LRUPolicy())
+
+    def test_wrong_sum_at_runtime(self):
+        with pytest.raises(ValueError):
+            simulate(
+                [[1], [2]], 4, 0, StagedPartitionStrategy([(0, [1, 1])], LRUPolicy)
+            )
+
+
+class TestAdaptiveWorkingSet:
+    def test_runs_and_accounts(self):
+        w = random_disjoint(3, p=3, length=40, pages=6)
+        strat = AdaptiveWorkingSetPartition(LRUPolicy, period=8)
+        res = simulate(w, 6, 1, strat)
+        assert res.total_faults + res.total_hits == w.total_requests
+
+    def test_adapts_to_skewed_demand(self):
+        # Core 0 draws uniformly from 5 pages, core 1 needs 1: adaptation
+        # should beat the frozen equal split.  (Random access, not a cyclic
+        # scan — LRU gains nothing from extra cells on a cycle.)
+        rng = random.Random(11)
+        w = Workload(
+            [[(0, rng.randrange(5)) for _ in range(200)], [(1, 0)] * 200]
+        )
+        adaptive = simulate(
+            w, 6, 0, AdaptiveWorkingSetPartition(LRUPolicy, period=16)
+        )
+        frozen = simulate(w, 6, 0, StaticPartitionStrategy([3, 3], LRUPolicy))
+        assert adaptive.total_faults < frozen.total_faults
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWorkingSetPartition(LRUPolicy, period=0)
+
+    def test_partition_changes_tracked(self):
+        w = random_disjoint(5, p=2, length=60, pages=5)
+        strat = AdaptiveWorkingSetPartition(LRUPolicy, period=10)
+        simulate(w, 4, 0, strat)
+        assert len(strat.partition_changes) >= 1
+        for change in strat.partition_changes:
+            assert sum(change.sizes) == 4

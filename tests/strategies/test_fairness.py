@@ -1,0 +1,63 @@
+"""Tests for the progress-balancing (fairness-aware) strategy."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.objectives import jain_index, progress_gap_series
+from repro.strategies import ProgressBalancingStrategy
+
+
+def asymmetric_workload(n=300):
+    """Core 0 thrashes a 9-page cycle; core 1 fits comfortably."""
+    return Workload(
+        [[(0, i % 9) for i in range(n)], [(1, i % 2) for i in range(n)]]
+    )
+
+
+class TestProgressBalancing:
+    def test_bias_validation(self):
+        with pytest.raises(ValueError):
+            ProgressBalancingStrategy(bias=1.5)
+        with pytest.raises(ValueError):
+            ProgressBalancingStrategy(bias=-0.1)
+
+    def test_zero_bias_equals_lru(self):
+        w = asymmetric_workload(100)
+        lru = simulate(w, 8, 2, SharedStrategy(LRUPolicy))
+        bal = simulate(w, 8, 2, ProgressBalancingStrategy(bias=0.0))
+        assert lru.faults_per_core == bal.faults_per_core
+
+    def test_compresses_progress_gap(self):
+        w = asymmetric_workload()
+        K, tau = 8, 4
+        lru = simulate(w, K, tau, SharedStrategy(LRUPolicy), record_trace=True)
+        bal = simulate(
+            w, K, tau, ProgressBalancingStrategy(bias=0.9), record_trace=True
+        )
+        lru_gap = progress_gap_series(lru.trace, 2).max()
+        bal_gap = progress_gap_series(bal.trace, 2).max()
+        assert bal_gap < lru_gap / 2
+
+    def test_improves_fault_fairness(self):
+        w = asymmetric_workload()
+        K, tau = 8, 4
+        lru = simulate(w, K, tau, SharedStrategy(LRUPolicy))
+        bal = simulate(w, K, tau, ProgressBalancingStrategy(bias=0.9))
+        assert jain_index(bal.faults_per_core) > jain_index(lru.faults_per_core)
+
+    def test_fairness_costs_faults(self):
+        """No free lunch: the balanced schedule pays more total faults —
+        the trade-off the paper's conclusion predicts."""
+        w = asymmetric_workload()
+        K, tau = 8, 4
+        lru = simulate(w, K, tau, SharedStrategy(LRUPolicy))
+        bal = simulate(w, K, tau, ProgressBalancingStrategy(bias=0.9))
+        assert bal.total_faults > lru.total_faults
+
+    def test_accounting(self):
+        w = asymmetric_workload(80)
+        res = simulate(w, 8, 1, ProgressBalancingStrategy())
+        assert res.total_faults + res.total_hits == w.total_requests
+
+    def test_name(self):
+        assert ProgressBalancingStrategy(0.5).name == "S_BAL[0.5]"

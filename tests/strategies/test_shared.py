@@ -1,0 +1,79 @@
+"""Tests for SharedStrategy and FlushWhenFullStrategy."""
+
+import pytest
+
+from repro import (
+    FIFOPolicy,
+    FlushWhenFullStrategy,
+    LRUPolicy,
+    SharedStrategy,
+    simulate,
+)
+from repro.core.simulator import Simulator
+from repro.policies.base import EvictionPolicy
+from repro.strategies.shared import make_policy
+
+
+class TestMakePolicy:
+    def test_accepts_class(self):
+        assert isinstance(make_policy(LRUPolicy), LRUPolicy)
+
+    def test_accepts_instance_and_resets(self):
+        inst = LRUPolicy()
+        inst.on_insert("a", 0)
+        out = make_policy(inst)
+        assert out is inst
+        assert out._stamp == {}
+
+    def test_rejects_non_policy_factory(self):
+        with pytest.raises(TypeError):
+            make_policy(lambda: 42)
+
+
+class TestSharedStrategy:
+    def test_name(self):
+        s = SharedStrategy(LRUPolicy)
+        assert s.name == "S_LRU"
+        simulate([[1]], 1, 0, s)
+        assert s.name == "S_LRU"
+
+    def test_uses_whole_cache_for_one_core(self):
+        # K=4 shared: a 4-page working set fits even for a single core.
+        res = simulate([[1, 2, 3, 4] * 5], 4, 0, SharedStrategy(LRUPolicy))
+        assert res.total_faults == 4
+
+    def test_cores_can_steal_capacity(self):
+        # Core 1 idle-ish (one page): core 0 can use K-1 cells.
+        w = [[1, 2, 3, 1, 2, 3], [10] * 6]
+        res = simulate(w, 4, 0, SharedStrategy(LRUPolicy))
+        assert res.faults_per_core == (3, 1)
+
+    def test_policy_instance_reusable_across_runs(self):
+        policy = LRUPolicy()
+        s = SharedStrategy(policy)
+        r1 = simulate([[1, 2, 3, 1]], 2, 0, s)
+        r2 = simulate([[1, 2, 3, 1]], 2, 0, s)
+        assert r1.total_faults == r2.total_faults
+
+
+class TestFlushWhenFull:
+    def test_flushes_all_on_full_fault(self):
+        # K=2, seq 1,2,3: the fault on 3 flushes 1 and 2; then 1 refaults.
+        res = simulate(
+            [[1, 2, 3, 1, 2]], 2, 0, FlushWhenFullStrategy(), record_trace=True
+        )
+        assert res.total_faults == 5
+
+    def test_never_better_than_lru_here(self):
+        seq = [1, 2, 1, 2, 3, 1, 2]
+        fwf = simulate([seq], 2, 0, FlushWhenFullStrategy()).total_faults
+        lru = simulate([seq], 2, 0, SharedStrategy(LRUPolicy)).total_faults
+        assert fwf >= lru
+
+    def test_multicore_flush(self):
+        w = [[(0, i % 3) for i in range(9)], [(1, i % 3) for i in range(9)]]
+        res = simulate(w, 4, 1, FlushWhenFullStrategy())
+        assert res.total_faults + res.total_hits == 18
+
+    def test_name(self):
+        assert FlushWhenFullStrategy().name == "S_FWF"

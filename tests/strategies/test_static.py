@@ -1,0 +1,132 @@
+"""Tests for StaticPartitionStrategy and partition constructors."""
+
+import pytest
+
+from repro import (
+    LRUPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    equal_partition,
+    proportional_partition,
+    simulate,
+)
+from repro.policies import LRUPolicy as LRU
+from repro.sequential import lru_faults
+from repro.strategies import validate_partition, weighted_partition
+
+
+class TestPartitionConstructors:
+    def test_equal_partition_exact(self):
+        assert equal_partition(8, 4) == (2, 2, 2, 2)
+
+    def test_equal_partition_remainder(self):
+        assert equal_partition(10, 4) == (3, 3, 2, 2)
+
+    def test_equal_partition_requires_enough_cells(self):
+        with pytest.raises(ValueError):
+            equal_partition(3, 4)
+
+    def test_weighted_partition_sums_to_k(self):
+        part = weighted_partition(10, [1, 2, 7])
+        assert sum(part) == 10
+        assert all(k >= 1 for k in part)
+        assert part[2] > part[0]
+
+    def test_weighted_partition_zero_weights(self):
+        assert sum(weighted_partition(6, [0, 0, 0])) == 6
+
+    def test_proportional_partition_by_distinct(self):
+        w = Workload([[1, 2, 3, 4], [10, 10, 10, 10]])
+        part = proportional_partition(8, w, by="distinct")
+        assert sum(part) == 8
+        assert part[0] > part[1]
+
+    def test_proportional_partition_by_length(self):
+        w = Workload([[1] * 10, [2] * 2])
+        part = proportional_partition(6, w, by="length")
+        assert part[0] > part[1]
+
+    def test_proportional_partition_bad_mode(self):
+        with pytest.raises(ValueError):
+            proportional_partition(4, Workload([[1], [2]]), by="magic")
+
+    def test_validate_partition(self):
+        w = Workload([[1], [2]])
+        assert validate_partition([1, 3], 4, w) == (1, 3)
+        with pytest.raises(ValueError):
+            validate_partition([1, 1], 4, w)  # wrong sum
+        with pytest.raises(ValueError):
+            validate_partition([4, 0], 4, w)  # active core with 0 cells
+        with pytest.raises(ValueError):
+            validate_partition([-1, 5], 4, w)
+        with pytest.raises(ValueError):
+            validate_partition([2, 2, 0], 4, w)  # wrong arity
+
+    def test_zero_cells_ok_for_empty_sequence(self):
+        w = Workload([[1], []])
+        assert validate_partition([4, 0], 4, w) == (4, 0)
+
+
+class TestStaticPartitionStrategy:
+    def test_rejects_policy_instance(self):
+        with pytest.raises(TypeError):
+            StaticPartitionStrategy([2, 2], LRUPolicy())
+
+    def test_partition_isolation(self):
+        """A thrashing core cannot steal the other core's cells."""
+        w = [[(0, i % 5) for i in range(20)], [(1, 0), (1, 1)] * 10]
+        res = simulate(w, 4, 0, StaticPartitionStrategy([2, 2], LRUPolicy))
+        # Core 1's two pages fit its 2 cells: only compulsory misses.
+        assert res.faults_per_core[1] == 2
+        # Core 0 cycles 5 pages in 2 cells: faults on everything.
+        assert res.faults_per_core[0] == 20
+
+    def test_matches_closed_form_per_part(self):
+        import random
+
+        rng = random.Random(0)
+        for tau in (0, 1, 2):
+            s0 = [(0, rng.randrange(5)) for _ in range(30)]
+            s1 = [(1, rng.randrange(3)) for _ in range(30)]
+            res = simulate(
+                [s0, s1], 5, tau, StaticPartitionStrategy([3, 2], LRUPolicy)
+            )
+            assert res.faults_per_core == (
+                lru_faults(s0, 3),
+                lru_faults(s1, 2),
+            )
+
+    def test_shared_never_worse_than_static_here(self):
+        # With identical pressure, shared LRU can emulate any split.
+        w = [[(0, i % 3) for i in range(12)], [(1, i % 3) for i in range(12)]]
+        shared = simulate(w, 6, 0, SharedStrategy(LRUPolicy)).total_faults
+        static = simulate(
+            w, 6, 0, StaticPartitionStrategy([3, 3], LRUPolicy)
+        ).total_faults
+        assert shared == static  # both fit; sanity not superiority
+
+    def test_bad_partition_at_attach(self):
+        with pytest.raises(ValueError):
+            simulate([[1], [2]], 4, 0, StaticPartitionStrategy([2, 1], LRUPolicy))
+
+    def test_name_mentions_partition(self):
+        s = StaticPartitionStrategy([2, 2], LRU)
+        assert "2, 2" in s.name or "[2, 2]" in s.name
+
+
+class TestWeightedPartitionEdges:
+    def test_negative_weights_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_partition(6, [1, -1, 2])
+
+    def test_extreme_skew_keeps_floor(self):
+        part = weighted_partition(10, [1000, 1, 1])
+        assert sum(part) == 10
+        assert all(k >= 1 for k in part)
+        assert part[0] >= 7
+
+    def test_single_core(self):
+        assert weighted_partition(5, [3.0]) == (5,)

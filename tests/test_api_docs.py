@@ -1,0 +1,49 @@
+"""The API-reference generator must run cleanly over the whole package."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import gen_api_docs  # noqa: E402
+
+
+def test_generator_runs(tmp_path):
+    out = tmp_path / "API.md"
+    gen_api_docs.main(str(out))
+    text = out.read_text()
+    assert "# API reference" in text
+    # Every public package is covered.
+    for package in (
+        "repro.core",
+        "repro.policies",
+        "repro.strategies",
+        "repro.offline",
+        "repro.hardness",
+        "repro.workloads",
+        "repro.objectives",
+        "repro.contrast",
+        "repro.experiments",
+        "repro.analysis",
+    ):
+        assert f"## `{package}" in text, package
+
+
+def test_first_paragraph_helper():
+    def documented():
+        """First line.
+
+        Second paragraph.
+        """
+
+    assert gen_api_docs.first_paragraph(documented) == "First line."
+    assert gen_api_docs.first_paragraph(lambda: None) == ""
+
+
+def test_profiler_tool_runs(capsys):
+    import profile_hotspots
+
+    profile_hotspots.main(200)
+    out = capsys.readouterr().out
+    assert "general simulator" in out
+    assert "fast path" in out

@@ -1,0 +1,244 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_strategy
+from repro.strategies import (
+    AdaptiveWorkingSetPartition,
+    FlushWhenFullStrategy,
+    LruMimicDynamicPartition,
+    SharedStrategy,
+    StaticPartitionStrategy,
+)
+
+
+class TestStrategySpecs:
+    def test_shared(self):
+        assert isinstance(make_strategy("S_LRU", 8, 2), SharedStrategy)
+        assert isinstance(make_strategy("S_FITF", 8, 2), SharedStrategy)
+
+    def test_static(self):
+        s = make_strategy("sP_eq_FIFO", 8, 2)
+        assert isinstance(s, StaticPartitionStrategy)
+        assert s.partition == (4, 4)
+
+    def test_dynamic(self):
+        assert isinstance(
+            make_strategy("dP_ws_LRU", 8, 2), AdaptiveWorkingSetPartition
+        )
+        assert isinstance(
+            make_strategy("dP_lemma3", 8, 2), LruMimicDynamicPartition
+        )
+
+    def test_fwf(self):
+        assert isinstance(make_strategy("FWF", 8, 2), FlushWhenFullStrategy)
+
+    def test_bad_specs(self):
+        with pytest.raises(SystemExit):
+            make_strategy("S_MAGIC", 8, 2)
+        with pytest.raises(SystemExit):
+            make_strategy("nonsense", 8, 2)
+
+
+class TestCommands:
+    def test_experiment(self, capsys):
+        assert main(["experiment", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out and "REPRODUCED" in out
+
+    def test_experiment_markdown(self, capsys):
+        assert main(["experiment", "E2", "--markdown"]) == 0
+        assert capsys.readouterr().out.startswith("### E2")
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "uniform",
+                "-p",
+                "2",
+                "-n",
+                "100",
+                "-K",
+                "8",
+                "--tau",
+                "1",
+                "--strategies",
+                "S_LRU",
+                "S_FITF",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S_LRU" in out and "S_FITF" in out
+
+    def test_generate_simulate_opt_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--workload",
+                    "uniform",
+                    "-p",
+                    "2",
+                    "-n",
+                    "6",
+                    "-K",
+                    "3",
+                    "--output",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        assert trace.exists()
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload-file",
+                    str(trace),
+                    "--strategy",
+                    "S_LRU",
+                    "-K",
+                    "3",
+                    "--tau",
+                    "1",
+                    "--trace",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "total faults" in out
+        assert (
+            main(
+                ["opt", "--workload-file", str(trace), "-K", "3", "--tau", "1"]
+            )
+            == 0
+        )
+        assert "optimal total faults" in capsys.readouterr().out
+
+    def test_opt_refuses_big_instances(self, tmp_path):
+        trace = tmp_path / "big.trace"
+        main(
+            [
+                "generate",
+                "--workload",
+                "uniform",
+                "-p",
+                "4",
+                "-n",
+                "100",
+                "-K",
+                "8",
+                "--output",
+                str(trace),
+            ]
+        )
+        with pytest.raises(SystemExit, match="refusing"):
+            main(["opt", "--workload-file", str(trace), "-K", "8"])
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        # Run the two fastest experiments only?  report runs all; at small
+        # scale that is a few seconds — acceptable once per suite.
+        code = main(["report", "--output", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "### E1" in text and "### E14" in text
+
+    def test_all_generator_names(self, tmp_path):
+        for name in ("zipf", "cyclic", "phased", "graph", "lemma4", "theorem1"):
+            out = tmp_path / f"{name}.trace"
+            assert (
+                main(
+                    [
+                        "generate",
+                        "--workload",
+                        name,
+                        "-p",
+                        "2",
+                        "-n",
+                        "50",
+                        "-K",
+                        "8",
+                        "--output",
+                        str(out),
+                    ]
+                )
+                == 0
+            )
+
+
+class TestTimelineAndProfile:
+    def test_timeline_generated_workload(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "--workload",
+                "theorem1",
+                "-p",
+                "2",
+                "-n",
+                "100",
+                "-K",
+                "8",
+                "--tau",
+                "1",
+                "--width",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core 0" in out and "X" in out
+
+    def test_timeline_from_file(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        main(
+            [
+                "generate",
+                "--workload",
+                "cyclic",
+                "-p",
+                "2",
+                "-n",
+                "20",
+                "-K",
+                "4",
+                "--output",
+                str(trace),
+            ]
+        )
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--workload-file",
+                    str(trace),
+                    "-K",
+                    "4",
+                    "--width",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        assert "faults=" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        code = main(
+            ["profile", "--workload", "zipf", "-p", "2", "-n", "100", "-K", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out
+
+    def test_bal_strategy_spec(self):
+        from repro.strategies import ProgressBalancingStrategy
+
+        assert isinstance(make_strategy("S_BAL", 8, 2), ProgressBalancingStrategy)

@@ -1,0 +1,25 @@
+"""Run the doctests embedded in public-facing docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.experiments
+import repro.workloads.mixes
+import repro.workloads.programs
+
+MODULES = [
+    repro,
+    repro.experiments,
+    repro.workloads.mixes,
+    repro.workloads.programs,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # Each listed module is expected to actually contain examples.
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

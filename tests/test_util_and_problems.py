@@ -1,0 +1,102 @@
+"""Tests for repro._util helpers and the problem dataclasses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    check_nonnegative,
+    check_positive,
+    compositions,
+    human_int,
+    pairwise_disjoint,
+)
+from repro.core.request import Workload
+from repro.problems import FTFInstance, PIFInstance
+
+
+class TestValidators:
+    def test_check_positive(self):
+        assert check_positive("x", 3) == 3
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(TypeError):
+            check_positive("x", 1.5)
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+        with pytest.raises(TypeError):
+            check_nonnegative("x", "1")
+
+
+class TestCompositions:
+    def test_simple(self):
+        assert sorted(compositions(3, 2)) == [(0, 3), (1, 2), (2, 1), (3, 0)]
+
+    def test_with_minimum(self):
+        assert sorted(compositions(4, 2, minimum=1)) == [(1, 3), (2, 2), (3, 1)]
+
+    def test_single_part(self):
+        assert list(compositions(5, 1)) == [(5,)]
+        assert list(compositions(5, 1, minimum=6)) == []
+
+    def test_infeasible(self):
+        assert list(compositions(2, 3, minimum=1)) == []
+
+    @given(st.integers(0, 8), st.integers(1, 4), st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_count_and_validity(self, total, parts, minimum):
+        out = list(compositions(total, parts, minimum))
+        # All valid, all distinct.
+        for comp in out:
+            assert len(comp) == parts
+            assert sum(comp) == total
+            assert all(c >= minimum for c in comp)
+        assert len(set(out)) == len(out)
+        slack = total - parts * minimum
+        expected = (
+            0 if slack < 0 else math.comb(slack + parts - 1, parts - 1)
+        )
+        assert len(out) == expected
+
+
+class TestMisc:
+    def test_pairwise_disjoint(self):
+        assert pairwise_disjoint([{1}, {2}, {3}])
+        assert not pairwise_disjoint([{1, 2}, {2}])
+        assert pairwise_disjoint([])
+
+    def test_human_int(self):
+        assert human_int(1234567) == "1,234,567"
+
+
+class TestProblemInstances:
+    def test_ftf_coerces_workload(self):
+        inst = FTFInstance([[1, 2]], 2, 0)
+        assert isinstance(inst.workload, Workload)
+        assert inst.num_cores == 1
+
+    def test_ftf_validation(self):
+        with pytest.raises(ValueError):
+            FTFInstance([[1]], 0, 0)
+        with pytest.raises(ValueError):
+            FTFInstance([[1]], 1, -1)
+
+    def test_pif_validation(self):
+        with pytest.raises(ValueError):
+            PIFInstance([[1]], 1, 0, -1, (0,))
+        with pytest.raises(ValueError):
+            PIFInstance([[1]], 1, 0, 1, (0, 0))
+
+    def test_pif_to_ftf(self):
+        pif = PIFInstance([[1, 2]], 2, 1, 5, (2,))
+        ftf = pif.ftf()
+        assert ftf.cache_size == 2
+        assert ftf.tau == 1
+        assert ftf.workload is pif.workload

@@ -1,0 +1,131 @@
+"""Tests for the adversarial workload generators (proof constructions)."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, StaticPartitionStrategy, simulate
+from repro.offline import static_partition_faults
+from repro.workloads import (
+    constant_core,
+    cyclic_core,
+    lemma1_workload,
+    lemma2_workload,
+    lemma4_workload,
+    theorem1_workload,
+)
+
+
+class TestPrimitives:
+    def test_constant_core(self):
+        assert constant_core(2, 3) == [(2, 0)] * 3
+
+    def test_cyclic_core(self):
+        assert cyclic_core(1, 2, 5) == [(1, 0), (1, 1), (1, 0), (1, 1), (1, 0)]
+
+
+class TestLemma1:
+    def test_structure(self):
+        w = lemma1_workload([2, 4, 2], 30)
+        assert w.num_cores == 3
+        assert w.is_disjoint
+        # Core 1 (largest part) cycles 5 distinct pages; others repeat one.
+        assert w[1].distinct_count == 5
+        assert w[0].distinct_count == 1
+
+    def test_realises_the_bound(self):
+        part = [2, 4, 2]
+        n = 300
+        w = lemma1_workload(part, n)
+        lru = simulate(w, 8, 0, StaticPartitionStrategy(part, LRUPolicy))
+        per_core = n // 3
+        assert lru.faults_per_core[1] == per_core  # faults on everything
+        opt = static_partition_faults(w, part, "opt")
+        assert lru.total_faults / opt >= max(part) * 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma1_workload([2, 2], 1)
+
+
+class TestLemma2:
+    def test_structure(self):
+        w = lemma2_workload([2, 2, 2, 2], 40)
+        assert w.is_disjoint
+        assert w.num_cores == 4
+
+    def test_thrashes_online_partition(self):
+        part = [2, 2, 2, 2]
+        w = lemma2_workload(part, 400)
+        res = simulate(w, 8, 0, StaticPartitionStrategy(part, LRUPolicy))
+        # At least one core faults on all its requests.
+        assert max(res.faults_per_core) == 100
+
+    def test_requires_some_part_at_least_two(self):
+        with pytest.raises(ValueError):
+            lemma2_workload([1, 1], 10)
+
+
+class TestTheorem1:
+    def test_structure(self):
+        K, p, x, tau = 8, 2, 3, 1
+        w = theorem1_workload(K, p, x, tau)
+        m = K // p + 1
+        assert w.num_cores == p
+        assert w.is_disjoint
+        for seq in w:
+            assert seq.distinct_count == m
+        # Symmetric lengths.
+        assert len(set(w.lengths())) == 1
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            theorem1_workload(7, 2, 3, 1)
+
+    def test_shared_lru_nearly_optimal(self):
+        K, p, x, tau = 8, 2, 20, 1
+        w = theorem1_workload(K, p, x, tau)
+        shared = simulate(w, K, tau, SharedStrategy(LRUPolicy))
+        # S_LRU faults ~ K + p in total (one compulsory pass per core).
+        assert shared.total_faults <= K + p
+
+
+class TestLemma4:
+    def test_structure(self):
+        w = lemma4_workload(16, 4, 400)
+        assert w.num_cores == 4
+        assert w.is_disjoint
+        for seq in w:
+            assert seq.distinct_count == 5  # K/p + 1
+
+    def test_lru_faults_on_everything(self):
+        K, p, n = 8, 2, 200
+        w = lemma4_workload(K, p, n)
+        res = simulate(w, K, 1, SharedStrategy(LRUPolicy))
+        assert res.total_faults == n
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            lemma4_workload(9, 2, 100)
+
+
+class TestHassidimConflict:
+    def test_structure(self):
+        from repro.workloads import hassidim_conflict_workload
+
+        w = hassidim_conflict_workload(2, 3)
+        assert w.num_cores == 2
+        assert w.is_disjoint
+        assert w.lengths() == (6, 6)
+        assert w[0].distinct_count == 2
+
+    def test_collision_under_shared_lru(self):
+        from repro.workloads import hassidim_conflict_workload
+
+        w = hassidim_conflict_workload(2, 4)
+        res = simulate(w, 3, 1, SharedStrategy(LRUPolicy))
+        assert res.total_faults == w.total_requests  # grinds forever
+
+    def test_validation(self):
+        from repro.workloads import hassidim_conflict_workload
+
+        with pytest.raises(ValueError):
+            hassidim_conflict_workload(0, 1)

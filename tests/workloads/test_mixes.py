@@ -1,0 +1,72 @@
+"""Tests for heterogeneous mixes and extra access patterns."""
+
+import pytest
+
+from repro import LRUPolicy, FIFOPolicy, SharedStrategy, simulate
+from repro.workloads import (
+    PATTERNS,
+    hot_cold_core,
+    mixed_workload,
+    sawtooth_core,
+    scan_core,
+    stride_core,
+)
+
+
+class TestPatterns:
+    def test_scan_wraps(self):
+        seq = scan_core(0, 7, 3)
+        assert seq == [(0, i % 3) for i in range(7)]
+
+    def test_sawtooth_shape(self):
+        seq = [page for _, page in sawtooth_core(0, 9, 4)]
+        assert seq == [0, 1, 2, 3, 2, 1, 0, 1, 2]
+
+    def test_sawtooth_single_page(self):
+        assert sawtooth_core(0, 3, 1) == [(0, 0)] * 3
+
+    def test_sawtooth_favors_lru_over_fifo(self):
+        """The textbook separation: LRU beats FIFO on up-down sweeps."""
+        seq = sawtooth_core(0, 400, 6)
+        lru = simulate([seq], 5, 0, SharedStrategy(LRUPolicy)).total_faults
+        fifo = simulate([seq], 5, 0, SharedStrategy(FIFOPolicy)).total_faults
+        assert lru < fifo
+
+    def test_hot_cold_skew(self):
+        seq = hot_cold_core(0, 2000, 20, hot_fraction=0.2, hot_weight=0.9, seed=1)
+        hot_hits = sum(1 for _, page in seq if page < 4)
+        assert hot_hits > 0.8 * len(seq)
+
+    def test_hot_cold_deterministic(self):
+        a = hot_cold_core(0, 50, 10, seed=3)
+        b = hot_cold_core(0, 50, 10, seed=3)
+        assert a == b
+
+    def test_stride(self):
+        seq = [page for _, page in stride_core(0, 4, 7, stride=3)]
+        assert seq == [0, 3, 6, 2]
+
+
+class TestMixedWorkload:
+    def test_basic_mix(self):
+        w = mixed_workload([("scan", 8), ("hotcold", 16), ("sawtooth", 4)], 60)
+        assert w.num_cores == 3
+        assert w.is_disjoint
+        assert w.lengths() == (60, 60, 60)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            mixed_workload([("quantum", 4)], 10)
+
+    def test_all_registered_patterns_work(self):
+        specs = [(name, 6) for name in sorted(PATTERNS)]
+        w = mixed_workload(specs, 40, seed=2)
+        assert w.num_cores == len(PATTERNS)
+        res = simulate(w, 2 * len(PATTERNS), 1, SharedStrategy(LRUPolicy))
+        assert res.total_faults + res.total_hits == w.total_requests
+
+    def test_seed_changes_stochastic_cores_only(self):
+        a = mixed_workload([("scan", 5), ("hotcold", 10)], 50, seed=1)
+        b = mixed_workload([("scan", 5), ("hotcold", 10)], 50, seed=2)
+        assert a[0] == b[0]  # deterministic pattern unchanged
+        assert a[1] != b[1]  # stochastic pattern reseeded

@@ -1,0 +1,64 @@
+"""Tests for workload profiling."""
+
+from repro import LRUPolicy, SharedStrategy, Workload, simulate
+from repro.workloads import (
+    mixed_workload,
+    profile_workload,
+    uniform_workload,
+)
+
+
+class TestCoreProfiles:
+    def test_footprint_and_reuse(self):
+        prof = profile_workload([[1, 2, 1, 2, 3]])
+        core = prof.cores[0]
+        assert core.footprint == 3
+        assert core.length == 5
+        assert core.reuse_fraction == 2 / 5
+
+    def test_empty_core(self):
+        prof = profile_workload(Workload([[], [1]]))
+        assert prof.cores[0].length == 0
+        assert prof.cores[0].footprint == 0
+
+    def test_working_set_predicts_lru(self):
+        """A cache of size ws(LRU) makes LRU purely compulsory."""
+        w = mixed_workload([("sawtooth", 6)], 200, seed=0)
+        prof = profile_workload(w)
+        ws = prof.cores[0].lru_working_set
+        res = simulate(w, ws, 0, SharedStrategy(LRUPolicy))
+        assert res.total_faults == prof.cores[0].footprint
+        if ws > 1:
+            tighter = simulate(w, ws - 1, 0, SharedStrategy(LRUPolicy))
+            assert tighter.total_faults > prof.cores[0].footprint
+
+    def test_single_page(self):
+        prof = profile_workload([[7, 7, 7]])
+        core = prof.cores[0]
+        assert core.footprint == 1
+        assert core.lru_working_set == 1
+        assert core.reuse_fraction == 2 / 3
+
+
+class TestWorkloadAggregate:
+    def test_disjoint_detection(self):
+        prof = profile_workload(uniform_workload(2, 30, 4, seed=0))
+        assert prof.disjoint
+        assert prof.shared_pages == 0
+
+    def test_shared_pages_counted(self):
+        prof = profile_workload([[1, 2, "s"], ["s", 3]])
+        assert not prof.disjoint
+        assert prof.shared_pages == 1
+
+    def test_table_renders(self):
+        prof = profile_workload(mixed_workload([("scan", 5), ("hotcold", 8)], 60))
+        text = prof.table().format_ascii()
+        assert "footprint" in text
+        assert len(prof.table().rows) == 2
+
+    def test_totals(self):
+        w = uniform_workload(3, 25, 5, seed=2)
+        prof = profile_workload(w)
+        assert prof.total_requests == 75
+        assert prof.universe == len(w.universe)

@@ -1,0 +1,99 @@
+"""Tests for the structured program workload builders."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.workloads import (
+    PROGRAMS,
+    loop_nest_program,
+    matrix_walk_program,
+    pointer_chase_program,
+    program_workload,
+)
+
+
+class TestLoopNest:
+    def test_length_exact(self):
+        assert len(loop_nest_program(77)) == 77
+
+    def test_nested_structure(self):
+        seq = loop_nest_program(60, outer_pages=2, inner_pages=2, inner_iters=3)
+        # Outer pages (< outer_pages) interleave with inner pages (>=).
+        outer = [x for x in seq if x < 2]
+        inner = [x for x in seq if x >= 2]
+        assert outer and inner
+        assert len(outer) > len(inner) * 0.5  # outer touched each iter
+
+    def test_inner_set_is_hot(self):
+        """A cache big enough for the inner set + 1 outer page hits well."""
+        seq = loop_nest_program(500, outer_pages=8, inner_pages=3, inner_iters=10)
+        res = simulate([seq], 4, 0, SharedStrategy(LRUPolicy))
+        assert res.fault_rate() < 0.2
+
+
+class TestMatrixWalk:
+    def test_row_major_is_cache_friendly(self):
+        row = matrix_walk_program(360, rows=6, cols=6, by="row")
+        col = matrix_walk_program(360, rows=6, cols=6, by="col")
+        k = 3  # smaller than the 6 row-pages
+        row_faults = simulate([row], k, 0, SharedStrategy(LRUPolicy)).total_faults
+        col_faults = simulate([col], k, 0, SharedStrategy(LRUPolicy)).total_faults
+        assert row_faults < col_faults
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix_walk_program(10, by="diag")
+
+    def test_page_range(self):
+        seq = matrix_walk_program(100, rows=6, cols=4, pages_per_row=2)
+        assert set(seq) <= {0, 1, 2}
+
+
+class TestPointerChase:
+    def test_locality_validation(self):
+        with pytest.raises(ValueError):
+            pointer_chase_program(10, locality=1.5)
+
+    def test_sequential_chase_is_lru_hostile(self):
+        """locality -> 1 degenerates to a cyclic scan, the classic LRU
+        pathology: LRU faults more than on a low-locality walk, and MRU
+        (the scan-friendly policy) beats LRU on it."""
+        from repro import MRUPolicy
+
+        k = 6
+        tight = pointer_chase_program(800, nodes=24, locality=0.95, seed=1)
+        loose = pointer_chase_program(800, nodes=24, locality=0.2, seed=1)
+        tight_lru = simulate([tight], k, 0, SharedStrategy(LRUPolicy)).total_faults
+        loose_lru = simulate([loose], k, 0, SharedStrategy(LRUPolicy)).total_faults
+        assert tight_lru > loose_lru
+        tight_mru = simulate([tight], k, 0, SharedStrategy(MRUPolicy)).total_faults
+        assert tight_mru < tight_lru
+
+    def test_big_cache_only_compulsory(self):
+        seq = pointer_chase_program(400, nodes=10, locality=0.9, seed=2)
+        res = simulate([seq], 10, 0, SharedStrategy(LRUPolicy))
+        assert res.total_faults == len(set(seq))
+
+    def test_deterministic(self):
+        assert pointer_chase_program(50, seed=4) == pointer_chase_program(
+            50, seed=4
+        )
+
+
+class TestProgramWorkload:
+    def test_combination(self):
+        w = program_workload(["loopnest", "matrix_col", "chase"], 80)
+        assert w.num_cores == 3
+        assert w.is_disjoint
+        assert w.lengths() == (80, 80, 80)
+
+    def test_unknown_program(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            program_workload(["fortran"], 10)
+
+    def test_all_registered(self):
+        w = program_workload(sorted(PROGRAMS), 50, seed=1)
+        res = simulate(
+            w, 4 * len(PROGRAMS), 1, SharedStrategy(LRUPolicy)
+        )
+        assert res.total_faults + res.total_hits == w.total_requests

@@ -1,0 +1,103 @@
+"""Tests for synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    access_graph_workload,
+    cyclic_workload,
+    multi_pointer_graph_workload,
+    phased_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+class TestUniform:
+    def test_shape_and_disjoint(self):
+        w = uniform_workload(3, 50, 8, seed=1)
+        assert w.num_cores == 3
+        assert w.lengths() == (50, 50, 50)
+        assert w.is_disjoint
+
+    def test_shared_pages_make_non_disjoint(self):
+        w = uniform_workload(2, 200, 2, shared_pages=3, seed=1)
+        assert not w.is_disjoint
+
+    def test_seed_reproducibility(self):
+        a = uniform_workload(2, 30, 5, seed=9)
+        b = uniform_workload(2, 30, 5, seed=9)
+        assert a == b
+        c = uniform_workload(2, 30, 5, seed=10)
+        assert a != c
+
+
+class TestZipf:
+    def test_skew(self):
+        """Higher alpha concentrates mass on fewer pages."""
+        flat = zipf_workload(1, 2000, 20, alpha=0.5, seed=3)
+        skewed = zipf_workload(1, 2000, 20, alpha=2.5, seed=3)
+
+        def top_share(w):
+            from collections import Counter
+
+            counts = Counter(w[0])
+            return counts.most_common(1)[0][1] / len(w[0])
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            zipf_workload(1, 10, 5, alpha=0)
+
+    def test_disjoint_universes(self):
+        assert zipf_workload(3, 40, 6, seed=0).is_disjoint
+
+
+class TestCyclic:
+    def test_pattern(self):
+        w = cyclic_workload(2, 6, 3)
+        assert list(w[0]) == [(0, 0), (0, 1), (0, 2)] * 2
+
+    def test_stride(self):
+        w = cyclic_workload(1, 4, 4, stride=2)
+        assert list(w[0]) == [(0, 0), (0, 2), (0, 0), (0, 2)]
+
+
+class TestPhased:
+    def test_phase_working_sets_disjoint(self):
+        w = phased_workload(1, 100, working_set=5, num_phases=4, seed=2)
+        seq = list(w[0])
+        first = {page for page in seq[:25]}
+        last = {page for page in seq[-25:]}
+        assert first.isdisjoint(last)
+
+    def test_length_exact(self):
+        w = phased_workload(2, 97, working_set=4, num_phases=3, seed=0)
+        assert w.lengths() == (97, 97)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phased_workload(1, 10, 3, num_phases=0)
+
+
+class TestAccessGraph:
+    def test_walk_respects_graph(self):
+        import networkx as nx
+
+        g = nx.cycle_graph(6)
+        w = access_graph_workload(2, 40, graph=g, seed=5)
+        for seq in w:
+            for (core, a), (_, b) in zip(seq, seq[1:]):
+                assert b in g[a] or a == b
+
+    def test_disjoint_copies(self):
+        assert access_graph_workload(3, 20, nodes=10, degree=3, seed=1).is_disjoint
+
+    def test_multi_pointer_shares_pages(self):
+        w = multi_pointer_graph_workload(3, 60, nodes=8, degree=3, seed=2)
+        assert not w.is_disjoint
+
+    def test_reproducible(self):
+        a = multi_pointer_graph_workload(2, 30, seed=7)
+        b = multi_pointer_graph_workload(2, 30, seed=7)
+        assert a == b

@@ -1,0 +1,71 @@
+"""Tests for workload trace (de)serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import Workload
+from repro.workloads import load_workload, save_workload
+from repro.workloads.synthetic import uniform_workload
+
+
+class TestRoundTrip:
+    def test_ints(self, tmp_path):
+        w = Workload([[1, 2, 3], [4, 5]])
+        path = tmp_path / "w.trace"
+        save_workload(w, path)
+        assert load_workload(path) == w
+
+    def test_tuples_and_strings(self, tmp_path):
+        w = Workload([[("alpha", 0), ("beta", 0)], ["page-x", "page-y"]])
+        path = tmp_path / "w.trace"
+        save_workload(w, path)
+        assert load_workload(path) == w
+
+    def test_empty_core(self, tmp_path):
+        w = Workload([[], [1]])
+        path = tmp_path / "w.trace"
+        save_workload(w, path)
+        assert load_workload(path) == w
+
+    def test_generated_workload(self, tmp_path):
+        w = uniform_workload(3, 40, 6, seed=0)
+        path = tmp_path / "w.trace"
+        save_workload(w, path)
+        assert load_workload(path) == w
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), max_size=10), min_size=1, max_size=3
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seqs):
+        import tempfile
+        from pathlib import Path
+
+        w = Workload(seqs)
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "w.trace"
+            save_workload(w, path)
+            assert load_workload(path) == w
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_out_of_order_cores(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("core 1\n1 2\n")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_data_before_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            load_workload(path)

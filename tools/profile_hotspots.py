@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Profile the simulator's hot paths (the guide's workflow: no
+optimisation without measuring).
+
+Runs cProfile over a representative shared-LRU simulation plus the fast
+path, and prints the top functions by cumulative time — the measurement
+that motivated ``repro.core.fastsim``.
+
+Run:  python tools/profile_hotspots.py [requests_per_core]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.core.fastsim import fast_shared_lru
+from repro.workloads import zipf_workload
+
+
+def profile_call(label: str, fn, top: int = 12) -> pstats.Stats:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"===== {label} =====")
+    # Trim the boilerplate header lines for readability.
+    lines = stream.getvalue().splitlines()
+    for line in lines[:top + 8]:
+        print(line)
+    print()
+    return stats
+
+
+def main(n_per_core: int = 10_000) -> None:
+    workload = zipf_workload(4, n_per_core, 64, alpha=1.2, seed=0)
+    K, tau = 32, 1
+    print(
+        f"workload: p=4, n={workload.total_requests}, K={K}, tau={tau}\n"
+    )
+    profile_call(
+        "general simulator (SharedStrategy + LRUPolicy)",
+        lambda: simulate(workload, K, tau, SharedStrategy(LRUPolicy)),
+    )
+    profile_call(
+        "fast path (fast_shared_lru)",
+        lambda: fast_shared_lru(workload, K, tau),
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)
