@@ -90,3 +90,60 @@ def test_fast_shared_lru(benchmark, workload):
 
     result = benchmark(lambda: fast_shared_lru(workload, K, TAU))
     assert result.total_faults > 0
+
+
+@pytest.mark.parametrize("spec", ["S_FIFO", "S_MARK", "S_FITF"])
+def test_kernel_dispatch(benchmark, workload, spec):
+    from repro.core.kernels import simulate_fast
+
+    result = benchmark(lambda: simulate_fast(workload, K, TAU, spec))
+    assert result.total_faults + result.total_hits == workload.total_requests
+
+
+def test_kernel_partitioned_lru(benchmark, workload):
+    from repro.core.kernels import fast_partitioned_lru
+
+    part = equal_partition(K, P)
+    result = benchmark(lambda: fast_partitioned_lru(workload, K, TAU, part))
+    assert result.total_faults > 0
+
+
+def test_dp_transition_expansion(benchmark):
+    """Raw throughput of ``DPSpace.expand_ids`` over every reachable
+    state of a small instance — the inner loop of both DPs."""
+    from repro.offline.alg_state import DPSpace
+
+    w = uniform_workload(2, 12, 3, seed=5)
+    space = DPSpace(w, 3, 1)
+    width = space.width
+
+    def sweep():
+        seen = {space.initial_pos_id << width}
+        frontier = list(seen)
+        n = 0
+        while frontier:
+            nxt = []
+            for state in frontier:
+                for ncfg, npid, _c, _fv, _s in space.expand_ids(
+                    state & ((1 << width) - 1), state >> width, True
+                ):
+                    n += 1
+                    packed = (npid << width) | ncfg
+                    if packed not in seen:
+                        seen.add(packed)
+                        nxt.append(packed)
+            frontier = nxt
+        return n
+
+    assert benchmark(sweep) > 0
+
+
+def test_dp_greedy_descent(benchmark):
+    """The Belady-flavored descent used as FTF upper bound and PIF
+    presolve."""
+    from repro.offline.alg_state import DPSpace
+
+    w = uniform_workload(2, 40, 5, seed=6)
+    space = DPSpace(w, 4, 1)
+    chain = benchmark(lambda: space.greedy_descent())
+    assert chain is not None

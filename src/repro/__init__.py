@@ -50,6 +50,7 @@ from repro.core import (
     Trace,
     Workload,
     simulate,
+    simulate_fast,
 )
 from repro.policies import (
     ARCPolicy,
@@ -122,5 +123,6 @@ __all__ = [
     "equal_partition",
     "proportional_partition",
     "simulate",
+    "simulate_fast",
     "__version__",
 ]

@@ -3,7 +3,13 @@ trace statistics and timeline rendering."""
 
 from repro.analysis.adversary import AdversaryResult, find_bad_instance
 from repro.analysis.asciiplot import ascii_plot
-from repro.analysis.batch import BatchResult, batch_run, summarize
+from repro.analysis.batch import (
+    BatchResult,
+    batch_run,
+    cache_info,
+    clear_cache,
+    summarize,
+)
 from repro.analysis.dominance import (
     StrategyPoint,
     evaluate_panel,
@@ -49,6 +55,8 @@ __all__ = [
     "render_timeline",
     "ascii_plot",
     "batch_run",
+    "cache_info",
+    "clear_cache",
     "evaluate_panel",
     "fit_power_law",
     "is_linear_growth",

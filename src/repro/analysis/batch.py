@@ -1,4 +1,4 @@
-"""Seed-replicated batch runs with aggregation.
+"""Seed-replicated batch runs with aggregation and an on-disk cache.
 
 Competitive-analysis experiments are worst-case, but the landscape
 experiments (E14) and any practical evaluation want *distributions* over
@@ -7,22 +7,63 @@ strategy-factory) pair over seeds — optionally across processes, since
 the replicas are embarrassingly parallel — and aggregates fault counts
 into mean/std/min/max summaries.
 
+Replicas go through :func:`repro.core.kernels.simulate_fast`, so the
+supported strategy/policy combinations hit the specialised kernels and
+everything else transparently falls back to the general simulator.
+
+With ``cache=True`` each replica's result is persisted as one small JSON
+file under ``<cache_dir>/batch/v<CACHE_VERSION>/``, keyed by a sha256
+over the *content* of the replica: the workload's request lists, the
+strategy's type and :attr:`~repro.core.strategy.Strategy.name`, ``K``
+and ``tau``.  Re-running the same sweep re-reads the files instead of
+simulating.  Keys embed :data:`CACHE_VERSION`; bumping it (on any change
+to simulation semantics) invalidates every old entry without touching
+the filesystem.  Page objects must pickle deterministically for keys to
+be reproducible across processes (ints, strings and tuples — everything
+the workload generators emit — do).
+
 Everything passed in must be picklable for ``parallel=True`` (module-level
-functions and the library's strategies/factories are).
+functions and the library's strategies/factories are).  The factories are
+shipped once per worker via the pool initializer, not re-pickled with
+every job, and jobs are submitted in explicit chunks.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import pickle
+import shutil
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.core.simulator import Simulator
+from repro.core.kernels import simulate_fast
 
-__all__ = ["BatchResult", "batch_run", "summarize"]
+__all__ = [
+    "BatchResult",
+    "CACHE_VERSION",
+    "batch_run",
+    "cache_info",
+    "clear_cache",
+    "default_cache_dir",
+    "summarize",
+]
+
+#: Bump on any change that alters simulation results — old cache entries
+#: become unreachable (their keys embed the version) rather than wrong.
+CACHE_VERSION = 1
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro_cache``."""
+    return Path(os.environ.get(_CACHE_ENV, ".repro_cache"))
 
 
 @dataclass(frozen=True)
@@ -33,6 +74,9 @@ class BatchResult:
     seeds: tuple[int, ...]
     faults: tuple[int, ...]
     makespans: tuple[int, ...]
+    #: How many replicas were served from the on-disk cache (0 without
+    #: ``cache=True``).
+    cache_hits: int = 0
 
     @property
     def mean_faults(self) -> float:
@@ -66,12 +110,93 @@ class BatchResult:
         )
 
 
-def _one_replica(job) -> tuple[int, int, int]:
-    workload_factory, strategy_factory, cache_size, tau, seed = job
+# ---------------------------------------------------------------------------
+# on-disk replica cache
+# ---------------------------------------------------------------------------
+
+
+def _cache_root(cache_dir) -> Path:
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return base / "batch" / f"v{CACHE_VERSION}"
+
+
+def _replica_key(workload, strategy, cache_size: int, tau: int) -> str:
+    """Content hash identifying one replica's simulation inputs.
+
+    Serialised with :mod:`pickle` at a pinned protocol: it is C-speed
+    (an order of magnitude faster than ``repr`` on large workloads) and,
+    unlike default ``repr``, never embeds memory addresses for custom
+    page objects.  A different serialisation merely causes a cache miss,
+    never a wrong hit.
+    """
+    payload = pickle.dumps(
+        (
+            CACHE_VERSION,
+            workload.as_lists(),
+            type(strategy).__qualname__,
+            strategy.name,
+            cache_size,
+            tau,
+        ),
+        protocol=4,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _store(path: Path, payload: dict) -> None:
+    """Atomic single-file write (concurrent workers may race on a key;
+    last ``os.replace`` wins and all writers write identical content)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _run_replica(
+    workload_factory, strategy_factory, cache_size, tau, seed, cache_root
+):
     workload = workload_factory(seed)
     strategy = strategy_factory()
-    res = Simulator(workload, cache_size, tau, strategy).run()
-    return seed, res.total_faults, res.makespan
+    path = None
+    if cache_root is not None:
+        key = _replica_key(workload, strategy, cache_size, tau)
+        path = cache_root / key[:2] / f"{key}.json"
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return seed, int(data["faults"]), int(data["makespan"]), True
+        except (OSError, ValueError, KeyError):
+            pass  # miss, or a corrupt/truncated entry: recompute
+    res = simulate_fast(workload, cache_size, tau, strategy)
+    if path is not None:
+        _store(
+            path,
+            {
+                "faults": res.total_faults,
+                "makespan": res.makespan,
+                "strategy": strategy.name,
+                "cache_size": cache_size,
+                "tau": tau,
+            },
+        )
+    return seed, res.total_faults, res.makespan, False
+
+
+# Worker-side context, installed once per process by the pool initializer
+# so the (possibly closure-heavy) factories are pickled once per worker
+# instead of once per job.
+_WORKER_CTX = None
+
+
+def _init_worker(workload_factory, strategy_factory, cache_size, tau, cache_root):
+    global _WORKER_CTX
+    _WORKER_CTX = (workload_factory, strategy_factory, cache_size, tau, cache_root)
+
+
+def _seed_replica(seed):
+    return _run_replica(*_WORKER_CTX[:4], seed, _WORKER_CTX[4])
 
 
 def batch_run(
@@ -84,30 +209,76 @@ def batch_run(
     *,
     parallel: bool = False,
     max_workers: int | None = None,
+    cache: bool = False,
+    cache_dir: str | os.PathLike | None = None,
 ) -> BatchResult:
     """Run ``strategy_factory()`` on ``workload_factory(seed)`` for every
     seed and aggregate.
 
     ``workload_factory`` takes the seed and returns a workload; a fresh
-    strategy is built per replica so no state leaks between runs.
+    strategy is built per replica so no state leaks between runs.  With
+    ``cache=True`` results are read from / written to the on-disk replica
+    cache under ``cache_dir`` (default :func:`default_cache_dir`).
     """
-    jobs = [
-        (workload_factory, strategy_factory, cache_size, tau, seed)
-        for seed in seeds
-    ]
-    if parallel and len(jobs) > 1:
-        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_one_replica, jobs))
+    seeds = list(seeds)
+    cache_root = _cache_root(cache_dir) if cache else None
+    if parallel and len(seeds) > 1:
+        workers = max_workers or min(len(seeds), os.cpu_count() or 1)
+        chunksize = max(1, len(seeds) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(
+                workload_factory,
+                strategy_factory,
+                cache_size,
+                tau,
+                cache_root,
+            ),
+        ) as pool:
+            outcomes = list(pool.map(_seed_replica, seeds, chunksize=chunksize))
     else:
-        outcomes = [_one_replica(job) for job in jobs]
+        outcomes = [
+            _run_replica(
+                workload_factory, strategy_factory, cache_size, tau, seed,
+                cache_root,
+            )
+            for seed in seeds
+        ]
     outcomes.sort()
     return BatchResult(
         label=label,
-        seeds=tuple(s for s, _, _ in outcomes),
-        faults=tuple(f for _, f, _ in outcomes),
-        makespans=tuple(m for _, _, m in outcomes),
+        seeds=tuple(s for s, _, _, _ in outcomes),
+        faults=tuple(f for _, f, _, _ in outcomes),
+        makespans=tuple(m for _, _, m, _ in outcomes),
+        cache_hits=sum(1 for _, _, _, hit in outcomes if hit),
     )
+
+
+def cache_info(cache_dir: str | os.PathLike | None = None) -> dict:
+    """Entry count and total size of the batch result cache (all versions)."""
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    root = base / "batch"
+    entries = 0
+    size = 0
+    if root.is_dir():
+        for path in root.rglob("*.json"):
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+    return {"path": str(root), "entries": entries, "bytes": size}
+
+
+def clear_cache(cache_dir: str | os.PathLike | None = None) -> int:
+    """Delete every cached batch result (all versions).  Returns the
+    number of entries removed."""
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    root = base / "batch"
+    removed = sum(1 for _ in root.rglob("*.json")) if root.is_dir() else 0
+    shutil.rmtree(root, ignore_errors=True)
+    return removed
 
 
 def summarize(results: Sequence[BatchResult]):

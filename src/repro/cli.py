@@ -20,6 +20,9 @@ Commands
 ``profile --workload-file w.trace``
     Print the locality profile of a workload (footprints, reuse
     distances, working sets, phase counts).
+``cache [--clear] [--dir DIR]``
+    Inspect or clear the on-disk batch result cache
+    (``.repro_cache/`` or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -251,6 +254,20 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.analysis.batch import cache_info, clear_cache
+
+    if args.clear:
+        removed = clear_cache(args.dir)
+        print(f"removed {removed} cached batch result(s)")
+        return 0
+    info = cache_info(args.dir)
+    print(f"cache dir : {info['path']}")
+    print(f"entries   : {info['entries']}")
+    print(f"size      : {info['bytes']} bytes")
+    return 0
+
+
 def cmd_opt(args) -> int:
     from repro.offline import minimum_total_faults
     from repro.problems import FTFInstance
@@ -338,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(sub)
     sub.add_argument("--workload-file", default=None)
     sub.set_defaults(func=cmd_profile)
+
+    sub = subs.add_parser("cache", help="inspect or clear the result cache")
+    sub.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
+    )
+    sub.add_argument(
+        "--clear", action="store_true", help="delete cached batch results"
+    )
+    sub.set_defaults(func=cmd_cache)
 
     sub = subs.add_parser("opt", help="exact offline optimum (Algorithm 1)")
     sub.add_argument("--workload-file", required=True)

@@ -6,6 +6,7 @@ This package implements the model of Section 3 of López-Ortiz & Salinger,
 
 from repro.core.cache import CacheCell, CacheState
 from repro.core.fastsim import fast_shared_lru
+from repro.core.kernels import kernel_for, simulate_fast
 from repro.core.metrics import SimResult
 from repro.core.oracle import FutureOracle
 from repro.core.request import RequestSequence, Workload
@@ -34,7 +35,9 @@ __all__ = [
     "Trace",
     "Workload",
     "fast_shared_lru",
+    "kernel_for",
     "load_trace",
     "save_trace",
     "simulate",
+    "simulate_fast",
 ]

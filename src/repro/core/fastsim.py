@@ -1,112 +1,12 @@
-"""Specialised fast path: shared LRU without the strategy/policy layers.
+"""Back-compat shim: the shared-LRU fast path moved to the kernel
+registry (:mod:`repro.core.kernels`), which generalises the idea to a
+family of specialised kernels behind a ``simulate_fast`` dispatcher.
 
-Profiling the experiment suite (per the optimisation workflow: make it
-work, make it right, then measure) shows the bulk of full-scale
-experiment time is spent simulating ``S_LRU`` — it is the reference
-point of E1–E8 and E14.  This module inlines that one configuration:
-no Strategy dispatch, no policy objects, no event records — just dicts
-of stamps and fetch deadlines.
-
-Exact-equivalence with ``simulate(w, K, tau, SharedStrategy(LRUPolicy))``
-is property-tested (``tests/core/test_fastsim.py``); any semantic change
-to the general simulator must be mirrored here or those tests fail.
+``fast_shared_lru`` keeps its historical import location here.
 """
 
 from __future__ import annotations
 
-from repro._util import check_nonnegative, check_positive
-from repro.core.metrics import SimResult
-from repro.core.request import Workload
+from repro.core.kernels.shared import fast_shared_lru
 
 __all__ = ["fast_shared_lru"]
-
-
-def fast_shared_lru(
-    workload: Workload | list, cache_size: int, tau: int
-) -> SimResult:
-    """Simulate shared LRU; returns a trace-less :class:`SimResult`
-    identical to the general simulator's."""
-    if not isinstance(workload, Workload):
-        workload = Workload(workload)
-    check_positive("cache_size", cache_size)
-    check_nonnegative("tau", tau)
-    workload.validate_against_cache(cache_size)
-
-    p = workload.num_cores
-    seqs = [s.as_tuple() for s in workload]
-    lengths = [len(s) for s in seqs]
-    positions = [0] * p
-    ready = [0] * p
-    faults = [0] * p
-    hits = [0] * p
-    completion = [-1] * p
-
-    stamp: dict = {}  # page -> LRU stamp
-    busy_until: dict = {}  # page -> last fetching step
-    pinned_at: dict = {}  # page -> step of last same-step hit
-    clock = 0
-
-    pending = [j for j in range(p) if lengths[j] > 0]
-    steps = 0
-    while pending:
-        t = min(ready[j] for j in pending)
-        steps += 1
-        finished = []
-        for j in pending:
-            if ready[j] != t:
-                continue
-            page = seqs[j][positions[j]]
-            entry = stamp.get(page)
-            if entry is not None and busy_until[page] < t:
-                # hit
-                clock += 1
-                stamp[page] = clock
-                pinned_at[page] = t
-                hits[j] += 1
-                positions[j] += 1
-                ready[j] = t + 1
-                done_at = t
-            elif entry is not None:
-                # in-flight page (non-disjoint): independent semantics
-                faults[j] += 1
-                positions[j] += 1
-                ready[j] = t + 1 + tau
-                done_at = t + tau
-            else:
-                # fault
-                if len(stamp) >= cache_size:
-                    victim = None
-                    victim_stamp = None
-                    for q, s in stamp.items():
-                        if busy_until[q] >= t or pinned_at.get(q) == t:
-                            continue
-                        if victim_stamp is None or s < victim_stamp:
-                            victim = q
-                            victim_stamp = s
-                    if victim is None:
-                        raise RuntimeError(
-                            "cache full and every cell busy; K < p?"
-                        )
-                    del stamp[victim]
-                    del busy_until[victim]
-                    pinned_at.pop(victim, None)
-                clock += 1
-                stamp[page] = clock
-                busy_until[page] = t + tau
-                faults[j] += 1
-                positions[j] += 1
-                ready[j] = t + 1 + tau
-                done_at = t + tau
-            if positions[j] >= lengths[j]:
-                completion[j] = done_at
-                finished.append(j)
-        for j in finished:
-            pending.remove(j)
-
-    return SimResult(
-        faults_per_core=tuple(faults),
-        hits_per_core=tuple(hits),
-        completion_times=tuple(completion),
-        total_steps=steps,
-        trace=None,
-    )

@@ -1,0 +1,114 @@
+"""Belady-on-shared kernel: ``S_FITF`` without the oracle/policy layers.
+
+Replicates ``SharedStrategy(GlobalFITFPolicy())`` (the ``"time"`` metric,
+Section 5.1's adaptation of Belady): on a fault, evict the resident page
+whose estimated next-use *time* — wait until the core is schedulable,
+then one step per intervening request — is furthest, ties broken by
+``repr``.  The estimate is evaluated against the mid-step positions of
+already-served cores, exactly as the general simulator does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.kernels.shared import _prepare
+from repro.core.metrics import SimResult
+
+__all__ = ["fast_shared_fitf"]
+
+
+def fast_shared_fitf(workload, cache_size: int, tau: int) -> SimResult:
+    """Equivalent to ``SharedStrategy(GlobalFITFPolicy())``."""
+    workload = _prepare(workload, cache_size, tau)
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = [len(s) for s in seqs]
+    sequences = list(workload)  # RequestSequence: cached occurrence index
+    # Cores whose sequence ever requests a page — the only ones that can
+    # contribute a finite next-use estimate.
+    cores_of: dict = {}
+    for j, s in enumerate(sequences):
+        for page in s.pages:
+            cores_of.setdefault(page, []).append(j)
+
+    positions = [0] * p
+    ready = [0] * p
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+
+    cached: dict = {}  # page -> None (membership; order irrelevant)
+    busy_until: dict = {}
+    pinned_at: dict = {}
+    inf = math.inf
+
+    pending = [j for j in range(p) if lengths[j] > 0]
+    steps = 0
+    while pending:
+        t = min(ready[j] for j in pending)
+        steps += 1
+        finished = []
+        for j in pending:
+            if ready[j] != t:
+                continue
+            page = seqs[j][positions[j]]
+            if page in cached:
+                if busy_until[page] < t:
+                    pinned_at[page] = t
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+            else:
+                if len(cached) >= cache_size:
+                    best_key = None
+                    victim = None
+                    for q in cached:
+                        if busy_until[q] >= t or pinned_at.get(q) == t:
+                            continue
+                        nxt = inf
+                        for c in cores_of.get(q, ()):
+                            pos = positions[c]
+                            idx = sequences[c].first_occurrence_from(q, pos)
+                            if idx >= lengths[c]:
+                                continue
+                            wait = ready[c] - t
+                            est = (wait if wait > 0 else 0) + idx - pos
+                            if est < nxt:
+                                nxt = est
+                        key = (nxt, repr(q))
+                        if best_key is None or key > best_key:
+                            best_key = key
+                            victim = q
+                    if victim is None:
+                        raise RuntimeError(
+                            "cache full and every cell busy; K < p?"
+                        )
+                    del cached[victim]
+                    del busy_until[victim]
+                    pinned_at.pop(victim, None)
+                cached[page] = None
+                busy_until[page] = t + tau
+                faults[j] += 1
+                positions[j] += 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                finished.append(j)
+        for j in finished:
+            pending.remove(j)
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )

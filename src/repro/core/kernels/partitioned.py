@@ -1,0 +1,104 @@
+"""Static-partition LRU kernel: ``sP^B_LRU`` without the strategy layer.
+
+Each part keeps its own recency dict (insertion order = LRU order, as in
+the shared kernels); cell ownership follows the general simulator's rule
+that the *fetching* core owns the cell, so non-disjoint workloads where a
+core hits a page resident in another part behave identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.kernels.shared import _prepare
+from repro.core.metrics import SimResult
+from repro.strategies.partitions import validate_partition
+
+__all__ = ["fast_partitioned_lru"]
+
+
+def fast_partitioned_lru(
+    workload, cache_size: int, tau: int, partition: Sequence[int]
+) -> SimResult:
+    """Equivalent to ``StaticPartitionStrategy(partition, LRUPolicy)``."""
+    workload = _prepare(workload, cache_size, tau)
+    part = validate_partition(partition, cache_size, workload)
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = [len(s) for s in seqs]
+    positions = [0] * p
+    ready = [0] * p
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+
+    part_order: list[dict] = [{} for _ in range(p)]  # per-part LRU order
+    owner: dict = {}  # page -> owning part (the last fetching core)
+    busy_until: dict = {}
+    pinned_at: dict = {}
+
+    pending = [j for j in range(p) if lengths[j] > 0]
+    steps = 0
+    while pending:
+        t = min(ready[j] for j in pending)
+        steps += 1
+        finished = []
+        for j in pending:
+            if ready[j] != t:
+                continue
+            page = seqs[j][positions[j]]
+            if page in owner:
+                if busy_until[page] < t:
+                    # hit: refresh recency within the *owning* part
+                    porder = part_order[owner[page]]
+                    del porder[page]
+                    porder[page] = None
+                    pinned_at[page] = t
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+            else:
+                porder = part_order[j]
+                if len(porder) >= part[j]:
+                    victim = None
+                    for q in porder:
+                        if busy_until[q] >= t or pinned_at.get(q) == t:
+                            continue
+                        victim = q
+                        break
+                    if victim is None:
+                        raise RuntimeError(
+                            f"part of core {j} is full and entirely "
+                            "mid-fetch; impossible since a core has one "
+                            "outstanding request"
+                        )
+                    del porder[victim]
+                    del owner[victim]
+                    del busy_until[victim]
+                    pinned_at.pop(victim, None)
+                porder[page] = None
+                owner[page] = j
+                busy_until[page] = t + tau
+                faults[j] += 1
+                positions[j] += 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                finished.append(j)
+        for j in finished:
+            pending.remove(j)
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )

@@ -1,0 +1,240 @@
+"""Shared-cache kernels: LRU, FIFO, marking and flush-when-full.
+
+Each kernel inlines one strategy/policy combination into a single loop
+over parallel steps: no Strategy dispatch, no policy objects, no event
+records — just dicts of fetch deadlines and same-step pins.  Recency
+order is carried by *dict insertion order* (a hit deletes and re-inserts
+the page), so victim selection is a short scan from the oldest entry
+instead of a full min-over-stamps scan per fault.
+
+Exact-equivalence with the general simulator is property-tested for
+every kernel (``tests/core/test_kernels.py``); any semantic change to
+the general simulator must be mirrored here or those tests fail.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_nonnegative, check_positive
+from repro.core.metrics import SimResult
+from repro.core.request import Workload
+
+__all__ = [
+    "fast_shared_lru",
+    "fast_shared_fifo",
+    "fast_shared_marking",
+    "fast_shared_fwf",
+]
+
+
+def _prepare(workload, cache_size: int, tau: int):
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    check_positive("cache_size", cache_size)
+    check_nonnegative("tau", tau)
+    workload.validate_against_cache(cache_size)
+    return workload
+
+
+def _shared_stamp_kernel(
+    workload, cache_size: int, tau: int, *, touch_on_hit: bool, marking: bool
+) -> SimResult:
+    """Shared cache with a single stamp order per page.
+
+    ``touch_on_hit=True`` re-stamps on hits (LRU/marking order);
+    ``False`` keeps insertion order (FIFO).  ``marking=True`` adds the
+    textbook marking rule on top of the stamp order: requested pages are
+    marked, only unmarked pages are evicted, and when every evictable
+    candidate is marked all marks are cleared (a phase change).
+    """
+    workload = _prepare(workload, cache_size, tau)
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = [len(s) for s in seqs]
+    positions = [0] * p
+    ready = [0] * p
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+
+    order: dict = {}  # page -> None, oldest stamp first
+    busy_until: dict = {}  # page -> last fetching step
+    pinned_at: dict = {}  # page -> step of last same-step hit
+    marked: set = set()
+
+    pending = [j for j in range(p) if lengths[j] > 0]
+    steps = 0
+    while pending:
+        t = min(ready[j] for j in pending)
+        steps += 1
+        finished = []
+        for j in pending:
+            if ready[j] != t:
+                continue
+            page = seqs[j][positions[j]]
+            if page in order:
+                if busy_until[page] < t:
+                    # hit
+                    if touch_on_hit:
+                        del order[page]
+                        order[page] = None
+                    if marking:
+                        marked.add(page)
+                    pinned_at[page] = t
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    # in-flight page (non-disjoint): independent semantics
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+            else:
+                # fault
+                if len(order) >= cache_size:
+                    victim = None
+                    if marking:
+                        fallback = None
+                        for q in order:
+                            if busy_until[q] >= t or pinned_at.get(q) == t:
+                                continue
+                            if q not in marked:
+                                victim = q
+                                break
+                            if fallback is None:
+                                fallback = q
+                        if victim is None and fallback is not None:
+                            # Phase change: every candidate is marked.
+                            marked.clear()
+                            victim = fallback
+                    else:
+                        for q in order:
+                            if busy_until[q] >= t or pinned_at.get(q) == t:
+                                continue
+                            victim = q
+                            break
+                    if victim is None:
+                        raise RuntimeError(
+                            "cache full and every cell busy; K < p?"
+                        )
+                    del order[victim]
+                    del busy_until[victim]
+                    pinned_at.pop(victim, None)
+                    if marking:
+                        marked.discard(victim)
+                order[page] = None
+                busy_until[page] = t + tau
+                if marking:
+                    marked.add(page)
+                faults[j] += 1
+                positions[j] += 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                finished.append(j)
+        for j in finished:
+            pending.remove(j)
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )
+
+
+def fast_shared_lru(workload, cache_size: int, tau: int) -> SimResult:
+    """``S_LRU``: equivalent to ``SharedStrategy(LRUPolicy)``."""
+    return _shared_stamp_kernel(
+        workload, cache_size, tau, touch_on_hit=True, marking=False
+    )
+
+
+def fast_shared_fifo(workload, cache_size: int, tau: int) -> SimResult:
+    """``S_FIFO``: equivalent to ``SharedStrategy(FIFOPolicy)``."""
+    return _shared_stamp_kernel(
+        workload, cache_size, tau, touch_on_hit=False, marking=False
+    )
+
+
+def fast_shared_marking(workload, cache_size: int, tau: int) -> SimResult:
+    """``S_MARK``: equivalent to ``SharedStrategy(MarkingPolicy)`` (the
+    deterministic marking policy with LRU tie-break)."""
+    return _shared_stamp_kernel(
+        workload, cache_size, tau, touch_on_hit=True, marking=True
+    )
+
+
+def fast_shared_fwf(workload, cache_size: int, tau: int) -> SimResult:
+    """``S_FWF``: equivalent to ``FlushWhenFullStrategy`` — a fault on a
+    full cache flushes every evictable page before fetching."""
+    workload = _prepare(workload, cache_size, tau)
+    p = workload.num_cores
+    seqs = [s.as_tuple() for s in workload]
+    lengths = [len(s) for s in seqs]
+    positions = [0] * p
+    ready = [0] * p
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+
+    busy_until: dict = {}  # page -> last fetching step; doubles as the cache
+    pinned_at: dict = {}
+
+    pending = [j for j in range(p) if lengths[j] > 0]
+    steps = 0
+    while pending:
+        t = min(ready[j] for j in pending)
+        steps += 1
+        finished = []
+        for j in pending:
+            if ready[j] != t:
+                continue
+            page = seqs[j][positions[j]]
+            if page in busy_until:
+                if busy_until[page] < t:
+                    pinned_at[page] = t
+                    hits[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    faults[j] += 1
+                    positions[j] += 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+            else:
+                if len(busy_until) >= cache_size:
+                    victims = [
+                        q
+                        for q, busy in busy_until.items()
+                        if busy < t and pinned_at.get(q) != t
+                    ]
+                    if not victims:
+                        raise RuntimeError(
+                            "cache full and every cell busy; K < p?"
+                        )
+                    for q in victims:
+                        del busy_until[q]
+                        pinned_at.pop(q, None)
+                busy_until[page] = t + tau
+                faults[j] += 1
+                positions[j] += 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                finished.append(j)
+        for j in finished:
+            pending.remove(j)
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )

@@ -16,6 +16,7 @@ benchmark suite exercises the constructive side of this equality.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import add, le
 
 from repro.offline.alg_state import DPSpace
 from repro.problems import PIFInstance
@@ -35,9 +36,9 @@ class MaxPIFResult:
 def _pareto_add(vectors: set, vec) -> None:
     dominated = []
     for other in vectors:
-        if all(o <= v for o, v in zip(other, vec)):
+        if all(map(le, other, vec)):
             return
-        if all(v <= o for v, o in zip(vec, other)):
+        if all(map(le, vec, other)):
             dominated.append(other)
     for other in dominated:
         vectors.discard(other)
@@ -60,14 +61,18 @@ def max_pif(
     def score(vec) -> int:
         return sum(1 for v, b in zip(vec, bounds) if v <= b)
 
-    start = (frozenset(), space.initial_positions)
-    layer: dict = {start: {tuple([0] * p)}}
+    # A state is the single int ``pos_id << width | config`` — see
+    # alg_state's interning.
+    width = space.width
+    cfg_mask = (1 << width) - 1
+    terminal = space.terminal_pos_id
+    layer: dict = {space.initial_pos_id << width: {tuple([0] * p)}}
     expanded = 0
     t = 0
     while True:
         finished_best: tuple[int, tuple] | None = None
-        for (config, positions), vectors in layer.items():
-            if t >= deadline or space.is_terminal(positions):
+        for state, vectors in layer.items():
+            if t >= deadline or state >> width == terminal:
                 for vec in vectors:
                     cand = (score(vec), vec)
                     if finished_best is None or cand[0] > finished_best[0]:
@@ -87,26 +92,34 @@ def max_pif(
                 states_expanded=expanded,
             )
         nxt: dict = {}
-        for (config, positions), vectors in layer.items():
-            if space.is_terminal(positions):
+        expand = space.expand_ids
+        for state, vectors in layer.items():
+            if state >> width == terminal:
                 # No more faults can accrue; carry the state forward.
-                bucket = nxt.setdefault((config, positions), set())
+                bucket = nxt.setdefault(state, set())
                 for vec in vectors:
                     _pareto_add(bucket, vec)
                 continue
-            for tr in space.transitions(config, positions, honest=honest):
-                key = (tr.config, tr.positions)
-                for vec in vectors:
-                    expanded += 1
-                    if max_states is not None and expanded > max_states:
-                        raise RuntimeError(
-                            f"MAX-PIF DP exceeded max_states={max_states}"
-                        )
-                    new_vec = tuple(
-                        min(v + d, cap)
-                        for v, d, cap in zip(vec, tr.fault_vector, caps)
+            config = state & cfg_mask
+            pid = state >> width
+            for ncfg, npid, _ncost, nfv, _nsum in expand(
+                config, pid, honest
+            ):
+                key = (npid << width) | ncfg
+                expanded += len(vectors)
+                if max_states is not None and expanded > max_states:
+                    raise RuntimeError(
+                        f"MAX-PIF DP exceeded max_states={max_states}"
                     )
-                    bucket = nxt.setdefault(key, set())
-                    _pareto_add(bucket, new_vec)
+                bucket = nxt.setdefault(key, set())
+                if any(nfv):
+                    for vec in vectors:
+                        new_vec = tuple(
+                            map(min, map(add, vec, nfv), caps)
+                        )
+                        _pareto_add(bucket, new_vec)
+                else:
+                    for vec in vectors:
+                        _pareto_add(bucket, vec)
         layer = nxt
         t += 1

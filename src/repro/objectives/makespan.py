@@ -63,26 +63,34 @@ def minimum_makespan(
     if space.is_terminal(start_pos):
         return MakespanResult(steps=0, faults_at_optimum=0, states_expanded=0)
 
-    layer: dict = {(frozenset(), start_pos): 0}
+    # A state is the single int ``pos_id << width | config`` — see
+    # alg_state's interning.
+    width = space.width
+    cfg_mask = (1 << width) - 1
+    layer: dict = {space.initial_pos_id << width: 0}
     expanded = 0
     steps = 0
+    max_sum = sum(space.terminals)
+    expand = space.expand_ids
     while layer:
         steps += 1
         nxt: dict = {}
         terminal_faults = None
-        for (config, positions), faults in layer.items():
+        for state, faults in layer.items():
             expanded += 1
             if max_states is not None and expanded > max_states:
                 raise RuntimeError(
                     f"makespan search exceeded max_states={max_states}"
                 )
-            for tr in space.transitions(config, positions, honest=honest):
-                nfaults = faults + tr.cost
-                if space.is_terminal(tr.positions):
+            for ncfg, npid, ncost, _nfv, nsum in expand(
+                state & cfg_mask, state >> width, honest
+            ):
+                nfaults = faults + ncost
+                if nsum == max_sum:  # positions never exceed terminals
                     if terminal_faults is None or nfaults < terminal_faults:
                         terminal_faults = nfaults
                     continue
-                key = (tr.config, tr.positions)
+                key = (npid << width) | ncfg
                 old = nxt.get(key)
                 if old is None or nfaults < old:
                     nxt[key] = nfaults

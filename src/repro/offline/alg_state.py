@@ -13,6 +13,30 @@ advances it by 1.  ``n_i(tau+1)+1`` is the terminal index.
 Each transition of the state graph is one parallel timestep for every
 unfinished sequence.
 
+Representation: the page universe is *interned* once per :class:`DPSpace`
+(in a fixed ``repr``-sorted order) and cache configurations are integer
+**bitmasks** — membership, ``R(x) \\ C`` and the transition cost become
+single integer ops instead of frozenset algebra.  This is an encoding
+change only; the state graph, costs and optima are untouched (the DP
+cross-validation tests against an independently-coded brute force run
+unmodified on this engine, see ``tests/offline/``).  The mask-level API
+(``DPSpace.transitions_masked``, :meth:`intern`, :meth:`extern`) is
+what the DPs use; :meth:`transitions` keeps the historical frozenset
+interface for external callers.
+
+Two memo layers make expansion cheap:
+
+* a *per-positions template* — everything a transition needs that does
+  not depend on the configuration (the requested mask, the successor
+  position vector for every hit/fault outcome pattern, the fault
+  vectors, the position sums) is computed once per distinct position
+  vector.  The DPs visit the same few thousand position vectors tens of
+  thousands of times with different configurations, so per-expansion
+  work drops to a handful of integer ops;
+* a bounded LRU memo over full ``(C, x, honest)`` keys, for callers
+  that revisit exact states (the PIF layering under multiple bounds,
+  repeated queries on one space).
+
 Fidelity notes (documented deviations from the pseudocode as printed,
 both necessary for physical realisability and neither affecting the
 optimum):
@@ -27,19 +51,25 @@ optimum):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations
 
 from repro.core.request import Workload
 from repro.core.types import Page
 
-__all__ = ["DPSpace", "Transition"]
+__all__ = ["DPSpace", "Transition", "TRANSITION_CACHE_SIZE"]
+
+#: Bound on the per-space transition memo (entries, not bytes).  Each entry
+#: caches the full successor tuple of one ``(C, x, honest)`` key.
+TRANSITION_CACHE_SIZE = 65536
 
 
 @dataclass(frozen=True)
 class Transition:
-    """One parallel step out of a DP state."""
+    """One parallel step out of a DP state (frozenset view)."""
 
     #: Successor configuration (includes in-flight pages).
     config: frozenset
@@ -64,6 +94,70 @@ class DPSpace:
         self.terminals = tuple(n * (tau + 1) + 1 for n in self._n)
         if len(workload.universe) and cache_size < 1:
             raise ValueError("cache_size must be positive")
+        # -- interned page universe ------------------------------------
+        # Pages in repr-sorted order; bit i of a configuration mask is
+        # page_order[i].  The order matches the historical
+        # ``sorted(..., key=repr)`` per-transition sort, now hoisted here
+        # so droppable pages enumerate identically (ties included).
+        self.page_order: tuple[Page, ...] = tuple(
+            sorted(workload.universe, key=repr)
+        )
+        self._bit_of: dict[Page, int] = {
+            page: 1 << i for i, page in enumerate(self.page_order)
+        }
+        # Per-sequence bit of the page at each request index.
+        self._req_bits: list[tuple[int, ...]] = [
+            tuple(self._bit_of[page] for page in seq) for seq in self._seqs
+        ]
+        # -- interned position vectors ---------------------------------
+        # Each distinct position vector gets a small integer id; the DPs
+        # pack a whole state into the single int ``pos_id << width |
+        # config`` so state dictionaries hash machine ints instead of
+        # nested tuples.  _templates[pid] caches the config-independent
+        # expansion data of that position vector (built lazily).
+        #: Bits occupied by a configuration mask in a packed state.
+        self.width: int = len(self.page_order)
+        self._pos_of: list[tuple[int, ...]] = []
+        self._id_of_pos: dict[tuple[int, ...], int] = {}
+        self._templates: list = []
+        #: Id of the all-finished position vector.
+        self.terminal_pos_id: int = self.pos_id(self.terminals)
+        #: Id of the starting position vector.
+        self.initial_pos_id: int = self.pos_id(self.initial_positions)
+        #: All legal one-step successors of ``(C, x)`` in bitmask form:
+        #: a tuple of ``(config, positions, cost, fault_vector, pos_sum)``
+        #: 5-tuples.  ``positions`` must be a tuple (hashable);
+        #: ``pos_sum`` is ``sum(positions)`` of the successor, precomputed
+        #: for the bucketed relaxations.  Bounded LRU memo over the full
+        #: ``(C, x, honest)`` key.  ``honest=True`` restricts to honest
+        #: algorithms (Theorem 4): evict only as many pages as capacity
+        #: forces.  The full space additionally allows voluntary
+        #: evictions, which the theorem proves never help for FTF — a
+        #: claim the test-suite checks by running both modes.
+        self.transitions_masked = lru_cache(maxsize=TRANSITION_CACHE_SIZE)(
+            self._transitions_masked_impl
+        )
+
+    # -- mask interning -------------------------------------------------------
+    def intern(self, config) -> int:
+        """Bitmask of a configuration given as an iterable of pages."""
+        bit_of = self._bit_of
+        mask = 0
+        for page in config:
+            mask |= bit_of[page]
+        return mask
+
+    def extern(self, mask: int) -> frozenset:
+        """Frozenset view of a configuration bitmask."""
+        order = self.page_order
+        pages = []
+        i = 0
+        while mask:
+            if mask & 1:
+                pages.append(order[i])
+            mask >>= 1
+            i += 1
+        return frozenset(pages)
 
     # -- position helpers -----------------------------------------------------
     @property
@@ -71,7 +165,7 @@ class DPSpace:
         return tuple(1 if n > 0 else t for n, t in zip(self._n, self.terminals))
 
     def is_terminal(self, positions: Sequence[int]) -> bool:
-        return all(x == t for x, t in zip(positions, self.terminals))
+        return tuple(positions) == self.terminals
 
     def is_page_index(self, i: int, x: int) -> bool:
         """Is ``x`` a page index (as opposed to fetch period / terminal)?"""
@@ -89,54 +183,243 @@ class DPSpace:
             if x < self.terminals[i]
         )
 
+    # -- position interning ---------------------------------------------------
+    def pos_id(self, positions: Sequence[int]) -> int:
+        """Small integer id of a position vector (interned per space)."""
+        positions = tuple(positions)
+        pid = self._id_of_pos.get(positions)
+        if pid is None:
+            pid = len(self._pos_of)
+            self._id_of_pos[positions] = pid
+            self._pos_of.append(positions)
+            self._templates.append(None)
+        return pid
+
+    def positions_of(self, pid: int) -> tuple[int, ...]:
+        """The position vector behind an interned id."""
+        return self._pos_of[pid]
+
     # -- transitions ---------------------------------------------------------
+    def _build_template(self, pid: int) -> tuple:
+        """Config-independent expansion data for one position vector.
+
+        Returns ``(requested, max_keep, deciders, variants)``:
+
+        * ``requested`` — the mask ``R(x)`` (identical for every config);
+        * ``max_keep`` — ``K - |R(x)|``, negative iff infeasible;
+        * ``deciders`` — ``(variant_bit, page_bit)`` per core sitting at a
+          page index: whether that page is in the config decides hit vs
+          fault, and ``variant_bit`` is its index into ``variants``;
+        * ``variants`` — for each hit/fault outcome pattern, the
+          precomputed ``(pos_id', fault_vector, sum(positions'))``.
+
+        Cores mid-fetch or finished advance identically in every variant.
+        """
+        positions = self._pos_of[pid]
+        tau1 = self.tau + 1
+        terminals = self.terminals
+        req_bits = self._req_bits
+        requested = 0
+        deciders = []
+        base = list(positions)
+        for i, x in enumerate(positions):
+            if x == terminals[i]:
+                continue
+            bit = req_bits[i][(x - 1) // tau1]
+            requested |= bit
+            if (x - 1) % tau1 == 0:
+                deciders.append((i, bit))  # page index: hit or fault
+            else:
+                base[i] = x + 1  # continue fetching
+        variants = []
+        for v in range(1 << len(deciders)):
+            pos = list(base)
+            fv = [0] * self.p
+            for d, (i, bit) in enumerate(deciders):
+                if v >> d & 1:
+                    pos[i] = positions[i] + tau1  # hit
+                else:
+                    pos[i] = positions[i] + 1  # fault, enter fetch period
+                    fv[i] = 1
+            variants.append((self.pos_id(pos), tuple(fv), sum(pos)))
+        template = (
+            requested,
+            self.K - requested.bit_count(),
+            tuple((1 << d, bit) for d, (_, bit) in enumerate(deciders)),
+            tuple(variants),
+        )
+        self._templates[pid] = template
+        return template
+
+    def expand_ids(
+        self, config: int, pid: int, honest: bool
+    ) -> tuple[tuple, ...]:
+        """Successors of ``(C, x)`` with ``x`` as an interned position id.
+
+        The raw engine under ``transitions_masked``: returns ``(config,
+        pos_id, cost, fault_vector, pos_sum)`` 5-tuples.  Unmemoized —
+        the per-positions template already amortizes everything
+        config-independent, and single-visit relaxations (FTF) would pay
+        for a state-level memo without ever hitting it.
+        """
+        template = self._templates[pid]
+        if template is None:
+            template = self._build_template(pid)
+        requested, max_keep, deciders, variants = template
+        if max_keep < 0:
+            return ()  # more simultaneous pages than cells: infeasible
+        v = 0
+        for variant_bit, bit in deciders:
+            if bit & config:
+                v |= variant_bit
+        npid, fv_t, pos_sum = variants[v]
+        cost = (requested & ~config).bit_count()
+        droppable_mask = config & ~requested
+        if droppable_mask == 0:
+            return ((requested, npid, cost, fv_t, pos_sum),)
+        n_drop = droppable_mask.bit_count()
+        if honest and n_drop <= max_keep:
+            # Capacity does not force any eviction: keep everything.
+            return ((requested | droppable_mask, npid, cost, fv_t, pos_sum),)
+        # Enumerate droppable page bits lowest-first — bit order is the
+        # interned repr-sorted page order, so kept-subset enumeration
+        # matches the historical sorted(config - base, key=repr) order.
+        droppable = []
+        mask = droppable_mask
+        while mask:
+            low = mask & -mask
+            droppable.append(low)
+            mask ^= low
+        if honest:
+            keep_sizes = (max_keep,)  # n_drop > max_keep here
+        else:
+            keep_sizes = range(min(n_drop, max_keep) + 1)
+        out = []
+        for keep in keep_sizes:
+            if keep == n_drop:
+                out.append(
+                    (requested | droppable_mask, npid, cost, fv_t, pos_sum)
+                )
+                continue
+            for kept in combinations(droppable, keep):
+                kept_mask = 0
+                for bit in kept:
+                    kept_mask |= bit
+                out.append(
+                    (requested | kept_mask, npid, cost, fv_t, pos_sum)
+                )
+        return tuple(out)
+
+    # -- greedy descent -------------------------------------------------------
+    @property
+    def _occurrences(self) -> dict:
+        """Page bit -> {core: sorted request indices} (built lazily)."""
+        occ = self.__dict__.get("_occ")
+        if occ is None:
+            occ = {}
+            for i, seq in enumerate(self._req_bits):
+                for idx, bit in enumerate(seq):
+                    occ.setdefault(bit, {}).setdefault(i, []).append(idx)
+            self.__dict__["_occ"] = occ
+        return occ
+
+    def greedy_descent(self, max_steps: int | None = None):
+        """One honest descent from the cold start, Belady-style.
+
+        At each forced eviction the kept pages are the droppable ones
+        requested soonest (nearest next use across cores).  Every prefix
+        of the returned chain is a valid schedule, which makes the
+        descent a cheap source of upper bounds (FTF) and feasibility
+        witnesses (PIF) — it never replaces the exact search, only
+        seeds/short-circuits it.
+
+        Returns a list of ``(config, cost, fault_vector)`` per step,
+        stopping at the terminal state or after ``max_steps`` steps;
+        ``None`` if some step is infeasible (more than K simultaneous
+        requests).
+        """
+        expand = self.expand_ids
+        terminal = self.terminal_pos_id
+        tau1 = self.tau + 1
+        config, pid = 0, self.initial_pos_id
+        chain: list[tuple] = []
+        left = float("inf") if max_steps is None else max_steps
+        while pid != terminal and left > 0:
+            left -= 1
+            trs = expand(config, pid, True)
+            if not trs:
+                return None
+            if len(trs) == 1:
+                tr = trs[0]
+            else:
+                # Forced eviction: requested pages are in every successor
+                # config, each kept subset appears in exactly one.
+                requested = trs[0][0]
+                for other in trs[1:]:
+                    requested &= other[0]
+                occ = self._occurrences
+                positions = self._pos_of[pid]
+                rptr = tuple((x - 1) // tau1 for x in positions)
+
+                def next_use(bit: int) -> int:
+                    best = 1 << 30
+                    for i, lst in occ[bit].items():
+                        j = bisect_left(lst, rptr[i])
+                        if j < len(lst):
+                            d = lst[j] - rptr[i]
+                            if d < best:
+                                best = d
+                    return best
+
+                droppable = []
+                mask = config & ~requested
+                while mask:
+                    low = mask & -mask
+                    droppable.append(low)
+                    mask ^= low
+                droppable.sort(key=next_use)
+                kept = 0
+                keep_n = self.K - requested.bit_count()
+                for bit in droppable[:keep_n]:
+                    kept |= bit
+                want = requested | kept
+                tr = next(t for t in trs if t[0] == want)
+            chain.append((tr[0], tr[2], tr[3]))
+            config, pid = tr[0], tr[1]
+        return chain
+
+    def _transitions_masked_impl(
+        self, config: int, positions: tuple[int, ...], honest: bool
+    ) -> tuple[tuple, ...]:
+        pos_of = self._pos_of
+        return tuple(
+            (cfg, pos_of[npid], cost, fv, pos_sum)
+            for cfg, npid, cost, fv, pos_sum in self.expand_ids(
+                config, self.pos_id(positions), honest
+            )
+        )
+
     def transitions(
         self, config: frozenset, positions: Sequence[int], honest: bool = False
     ) -> Iterator[Transition]:
-        """All legal one-step successors of ``(C, x)``.
+        """All legal one-step successors of ``(C, x)`` — frozenset view.
 
-        ``honest=True`` restricts to honest algorithms (Theorem 4): evict
-        only as many pages as capacity forces.  The full space additionally
-        allows voluntary evictions (forcing future faults), which the
-        theorem proves never help — a claim the test-suite checks by
-        running both modes.
+        Thin wrapper over ``transitions_masked`` kept for external
+        callers; the DPs themselves stay in mask space.
         """
-        tau1 = self.tau + 1
-        new_pos = list(positions)
-        fault_vec = [0] * self.p
-        requested: set = set()
-        for i, x in enumerate(positions):
-            if x == self.terminals[i]:
-                continue
-            page = self.page_at(i, x)
-            requested.add(page)
-            if self.is_page_index(i, x):
-                if page in config:
-                    new_pos[i] = x + tau1  # hit
-                else:
-                    new_pos[i] = x + 1  # fault, enter fetch period
-                    fault_vec[i] = 1
-            else:
-                new_pos[i] = x + 1  # continue fetching
-        cost = len(requested - config)
-        base = frozenset(requested)
-        if len(base) > self.K:
-            return  # more simultaneous pages than cells: infeasible state
-        droppable = sorted(config - base, key=repr)
-        max_keep = self.K - len(base)
-        pos_t = tuple(new_pos)
-        if honest:
-            keep_sizes = [min(len(droppable), max_keep)]
-        else:
-            keep_sizes = range(min(len(droppable), max_keep) + 1)
-        for keep in keep_sizes:
-            for kept in combinations(droppable, keep):
-                yield Transition(
-                    config=base | frozenset(kept),
-                    positions=pos_t,
-                    cost=cost,
-                    fault_vector=tuple(fault_vec),
-                )
+        for cfg, pos_t, cost, fv_t, _ in self.transitions_masked(
+            self.intern(config), tuple(positions), honest
+        ):
+            yield Transition(
+                config=self.extern(cfg),
+                positions=pos_t,
+                cost=cost,
+                fault_vector=fv_t,
+            )
+
+    def transition_cache_info(self):
+        """Hit/miss statistics of the bounded transition memo."""
+        return self.transitions_masked.cache_info()
 
     # -- sizing info -----------------------------------------------------------
     def describe(self) -> str:

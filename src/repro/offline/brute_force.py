@@ -11,6 +11,13 @@ mid-fetch this step survives the step (a cell being read cannot start a
 fetch), and the victims for the step's faults are chosen among the
 remaining resident pages.
 
+Representation: pages are interned to bits (in ``repr``-sorted order,
+as everywhere in this package) and the cache is a tuple of bitmasks
+indexed by busy level — ``levels[0]`` holds the resident pages,
+``levels[b]`` the pages whose fetch completes in ``b`` more steps.  The
+*encoding* is bit-level but the *state machine* (busy counters shifted
+by per-core due offsets) remains intentionally unlike the DP's.
+
 The search is honest (evicts only when capacity forces it) — justified
 for FTF by Theorem 4.  Intended for workloads with at most a dozen or so
 requests; everything is exponential.
@@ -29,37 +36,68 @@ from repro.problems import FTFInstance, PIFInstance
 
 __all__ = ["brute_force_ftf", "brute_force_pif"]
 
+_INFEASIBLE = 10**12
 
-def _step_outcome(cache, positions, offsets, seqs, lengths, tau, p):
-    """Resolve one parallel step from a (time-shifted) state.
 
-    Returns ``(requested, fault_cores, hit_cores, base_next_offsets,
-    shifted_cache)`` where ``shifted_cache`` is the cache advanced to the
-    step and ``base_next_offsets`` are the next-due offsets relative to the
-    step for non-faulting bookkeeping.  ``None`` if no core is active.
-    """
+def _intern(workload):
+    """Per-sequence request bits, in repr-sorted page order."""
+    page_order = sorted(workload.universe, key=repr)
+    bit_of = {page: 1 << i for i, page in enumerate(page_order)}
+    return [tuple(bit_of[q] for q in s.as_tuple()) for s in workload]
+
+
+def _shift(levels: tuple, delta: int) -> tuple:
+    """Advance every busy counter by ``delta`` steps (0 saturates)."""
+    if delta == 0:
+        return levels
+    out = [0] * len(levels)
+    out[0] = levels[0]
+    for b in range(1, len(levels)):
+        nb = b - delta
+        if nb <= 0:
+            out[0] |= levels[b]
+        else:
+            out[nb] |= levels[b]
+    return tuple(out)
+
+
+def _bits(mask: int) -> list[int]:
+    """Single-bit masks of ``mask``, lowest (repr-smallest page) first."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low)
+        mask ^= low
+    return out
+
+
+def _resolve_step(levels, positions, offsets, seqs, lengths, p):
+    """Shared per-step bookkeeping: who is due, who hits, who faults."""
     active = [j for j in range(p) if positions[j] < lengths[j]]
     if not active:
         return None
     delta = min(offsets[j] for j in active)
-    cache_now = frozenset((q, max(0, busy - delta)) for q, busy in cache)
+    levels_now = _shift(levels, delta)
     new_offsets = [
         (offsets[j] - delta) if positions[j] < lengths[j] else None
         for j in range(p)
     ]
     due = [j for j in active if new_offsets[j] == 0]
-    resident = {q for q, busy in cache_now if busy == 0}
-    in_flight = {q for q, busy in cache_now if busy > 0}
-    hit_cores, fault_cores = [], []
+    present = 0
+    for lvl in levels_now:
+        present |= lvl
+    requested = 0
+    fault_cores = []
+    fault_pages = 0
     for j in due:
-        page = seqs[j][positions[j]]
-        if page in resident or page in in_flight:
+        bit = seqs[j][positions[j]]
+        requested |= bit
+        if not bit & present:
             # In-flight counts as "in C" exactly as in the DP; only
             # meaningful for non-disjoint workloads.
-            hit_cores.append(j)
-        else:
             fault_cores.append(j)
-    return cache_now, new_offsets, due, hit_cores, fault_cores, delta
+            fault_pages |= bit
+    return levels_now, new_offsets, due, fault_cores, fault_pages, requested, delta
 
 
 def brute_force_ftf(instance: FTFInstance) -> int:
@@ -68,52 +106,53 @@ def brute_force_ftf(instance: FTFInstance) -> int:
     K = instance.cache_size
     tau = instance.tau
     p = workload.num_cores
-    seqs = [s.as_tuple() for s in workload]
+    seqs = _intern(workload)
     lengths = tuple(len(s) for s in seqs)
 
     @lru_cache(maxsize=None)
-    def search(cache: frozenset, positions: tuple, offsets: tuple) -> int:
-        step = _step_outcome(cache, positions, offsets, seqs, lengths, tau, p)
+    def search(levels: tuple, positions: tuple, offsets: tuple) -> int:
+        step = _resolve_step(levels, positions, offsets, seqs, lengths, p)
         if step is None:
             return 0
-        cache_now, new_offsets, due, hit_cores, fault_cores, _ = step
-        requested = {seqs[j][positions[j]] for j in due}
+        levels_now, new_offsets, due, fault_cores, fault_pages, requested, _ = step
         npos = list(positions)
         for j in due:
             npos[j] += 1
-            is_fault = j in fault_cores
             new_offsets[j] = (
-                ((1 + tau) if is_fault else 1)
+                ((1 + tau) if j in fault_cores else 1)
                 if npos[j] < lengths[j]
                 else None
             )
-        fault_pages = sorted(
-            {seqs[j][positions[j]] for j in fault_cores}, key=repr
+        cost = fault_pages.bit_count()
+        # Keep requested resident pages, keep in-flight, insert fault
+        # pages, evict among the remaining resident pages as capacity
+        # demands.
+        in_flight = 0
+        for lvl in levels_now[1:]:
+            in_flight |= lvl
+        droppable_mask = levels_now[0] & ~requested
+        survivors = (
+            in_flight.bit_count()
+            + (levels_now[0] & requested).bit_count()
         )
-        cost = len(fault_pages)
-        # Advance busy counters by one step happens implicitly via offsets;
-        # here we only mutate membership.  Keep requested resident pages,
-        # keep in-flight, insert fault pages, evict as capacity demands.
-        survivors = {
-            (q, busy) for q, busy in cache_now if busy > 0 or q in requested
-        }
-        droppable = sorted(
-            (item for item in cache_now if item[1] == 0 and item[0] not in requested),
-            key=lambda it: repr(it[0]),
-        )
-        incoming = {(q, tau + 1) for q in fault_pages}
-        need = len(survivors) + len(incoming)
+        need = survivors + cost
         if need > K:
             return _INFEASIBLE
-        evict_count = max(0, need + len(droppable) - K)
-        if evict_count > len(droppable):
+        n_drop = droppable_mask.bit_count()
+        evict_count = max(0, need + n_drop - K)
+        if evict_count > n_drop:
             return _INFEASIBLE
+        top = list(levels_now)
+        top[tau + 1] |= fault_pages
+        npos_t = tuple(npos)
+        noff_t = tuple(new_offsets)
         best = _INFEASIBLE
-        for victims in combinations(droppable, evict_count):
-            new_cache = frozenset(
-                (survivors | set(droppable) - set(victims)) | incoming
-            )
-            sub = search(new_cache, tuple(npos), tuple(new_offsets))
+        for victims in combinations(_bits(droppable_mask), evict_count):
+            vmask = 0
+            for bit in victims:
+                vmask |= bit
+            new_levels = (top[0] & ~vmask,) + tuple(top[1:])
+            sub = search(new_levels, npos_t, noff_t)
             if sub < best:
                 best = sub
         if best >= _INFEASIBLE:
@@ -121,14 +160,12 @@ def brute_force_ftf(instance: FTFInstance) -> int:
         return cost + best
 
     offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
-    result = search(frozenset(), tuple([0] * p), offsets0)
+    levels0 = tuple([0] * (tau + 2))
+    result = search(levels0, tuple([0] * p), offsets0)
     search.cache_clear()
     if result >= _INFEASIBLE:
         raise RuntimeError("no feasible execution found; K < p?")
     return result
-
-
-_INFEASIBLE = 10**12
 
 
 def brute_force_pif(instance: PIFInstance) -> bool:
@@ -145,13 +182,13 @@ def brute_force_pif(instance: PIFInstance) -> bool:
     deadline = instance.deadline
     bounds = instance.bounds
     p = workload.num_cores
-    seqs = [s.as_tuple() for s in workload]
+    seqs = _intern(workload)
     lengths = tuple(len(s) for s in seqs)
 
     failed: set = set()
 
     def search(
-        cache: frozenset,
+        levels: tuple,
         positions: tuple,
         offsets: tuple,
         now: int,
@@ -163,11 +200,11 @@ def brute_force_pif(instance: PIFInstance) -> bool:
         delta = min(offsets[j] for j in active)
         if now + delta >= deadline:
             return True
-        key = (cache, positions, offsets, now + delta, remaining)
+        key = (levels, positions, offsets, now + delta, remaining)
         if key in failed:
             return False
-        step = _step_outcome(cache, positions, offsets, seqs, lengths, tau, p)
-        cache_now, new_offsets, due, hit_cores, fault_cores, _ = step
+        step = _resolve_step(levels, positions, offsets, seqs, lengths, p)
+        levels_now, new_offsets, due, fault_cores, fault_pages, requested, _ = step
         now = now + delta
         nrem = list(remaining)
         ok = True
@@ -177,52 +214,44 @@ def brute_force_pif(instance: PIFInstance) -> bool:
                 break
             nrem[j] -= 1
         if ok:
-            requested = {seqs[j][positions[j]] for j in due}
             npos = list(positions)
             for j in due:
                 npos[j] += 1
-                is_fault = j in fault_cores
                 new_offsets[j] = (
-                    ((1 + tau) if is_fault else 1)
+                    ((1 + tau) if j in fault_cores else 1)
                     if npos[j] < lengths[j]
                     else None
                 )
-            fault_pages = sorted(
-                {seqs[j][positions[j]] for j in fault_cores}, key=repr
+            in_flight = 0
+            for lvl in levels_now[1:]:
+                in_flight |= lvl
+            droppable_mask = levels_now[0] & ~requested
+            survivors = (
+                in_flight.bit_count()
+                + (levels_now[0] & requested).bit_count()
             )
-            survivors = {
-                (q, busy)
-                for q, busy in cache_now
-                if busy > 0 or q in requested
-            }
-            droppable = sorted(
-                (
-                    item
-                    for item in cache_now
-                    if item[1] == 0 and item[0] not in requested
-                ),
-                key=lambda it: repr(it[0]),
-            )
-            incoming = {(q, tau + 1) for q in fault_pages}
-            need = len(survivors) + len(incoming)
+            need = survivors + fault_pages.bit_count()
             if need <= K:
-                evict_count = max(0, need + len(droppable) - K)
-                if evict_count <= len(droppable):
-                    for victims in combinations(droppable, evict_count):
-                        new_cache = frozenset(
-                            (survivors | set(droppable) - set(victims))
-                            | incoming
-                        )
-                        if search(
-                            new_cache,
-                            tuple(npos),
-                            tuple(new_offsets),
-                            now,
-                            tuple(nrem),
-                        ):
+                n_drop = droppable_mask.bit_count()
+                evict_count = max(0, need + n_drop - K)
+                if evict_count <= n_drop:
+                    top = list(levels_now)
+                    top[tau + 1] |= fault_pages
+                    npos_t = tuple(npos)
+                    noff_t = tuple(new_offsets)
+                    nrem_t = tuple(nrem)
+                    for victims in combinations(
+                        _bits(droppable_mask), evict_count
+                    ):
+                        vmask = 0
+                        for bit in victims:
+                            vmask |= bit
+                        new_levels = (top[0] & ~vmask,) + tuple(top[1:])
+                        if search(new_levels, npos_t, noff_t, now, nrem_t):
                             return True
         failed.add(key)
         return False
 
     offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
-    return search(frozenset(), tuple([0] * p), offsets0, 0, bounds)
+    levels0 = tuple([0] * (tau + 2))
+    return search(levels0, tuple([0] * p), offsets0, 0, bounds)

@@ -36,6 +36,19 @@ class FTFResult:
     schedule: tuple[frozenset, ...] | None = None
 
 
+def _greedy_upper_bound(space: DPSpace) -> float:
+    """Cost of a greedy honest descent — an upper bound on the optimum.
+
+    A completed Belady-flavored descent is a valid schedule, so its cost
+    bounds the optimum from above.  ``inf`` if the descent gets stuck
+    (some step requests more than K pages).
+    """
+    chain = space.greedy_descent()
+    if chain is None:
+        return float("inf")
+    return sum(cost for _cfg, cost, _fv in chain)
+
+
 def minimum_total_faults(
     instance: FTFInstance,
     *,
@@ -58,7 +71,6 @@ def minimum_total_faults(
     """
     space = DPSpace(instance.workload, instance.cache_size, instance.tau)
     start_pos = space.initial_positions
-    start = (frozenset(), start_pos)
 
     if space.is_terminal(start_pos):
         return FTFResult(
@@ -67,11 +79,27 @@ def minimum_total_faults(
             schedule=(frozenset(),) if return_schedule else None,
         )
 
-    best: dict = {start: 0}
-    parent: dict = {start: None} if return_schedule else {}
-    buckets: dict[int, set] = defaultdict(set)
-    buckets[sum(start_pos)].add(start)
+    # A greedy descent gives a valid schedule, hence an upper bound on the
+    # optimum; states whose accumulated cost already exceeds it can never
+    # lie on an optimal path and are skipped.  (Honest transitions are a
+    # subset of the full space, so the bound is valid in both modes.)
+    upper = _greedy_upper_bound(space)
 
+    # A state is the single int ``pos_id << width | config`` (see
+    # alg_state's interning); masks are converted back to frozensets only
+    # at the API boundary (the reconstructed schedule).  Each bucket maps
+    # the states of one position-sum to their best known cost; every
+    # transition strictly increases the sum, so a bucket is final when
+    # processed and ``best``-style global bookkeeping is unnecessary.
+    width = space.width
+    cfg_mask = (1 << width) - 1
+    start = space.initial_pos_id << width  # config bits 0: cold cache
+
+    parent: dict = {start: None} if return_schedule else {}
+    buckets: dict[int, dict] = defaultdict(dict)
+    buckets[sum(start_pos)][start] = 0
+
+    expand = space.expand_ids
     expanded = 0
     best_final: int | None = None
     final_state = None
@@ -80,31 +108,34 @@ def minimum_total_faults(
         states = buckets.pop(s, None)
         if not states:
             continue
-        for state in states:
-            config, positions = state
-            cost_here = best[state]
-            if space.is_terminal(positions):
+        if s == max_sum:
+            # Positions never exceed their terminals, so a state sums to
+            # max_sum iff it is terminal — the whole bucket is final.
+            for state, cost_here in states.items():
                 if best_final is None or cost_here < best_final:
                     best_final = cost_here
                     final_state = state
-                continue
-            if best_final is not None and cost_here >= best_final:
-                continue  # cannot improve: costs only grow along paths
+            continue
+        for state, cost_here in states.items():
+            if cost_here > upper:
+                continue  # costs only grow along paths
             expanded += 1
             if max_states is not None and expanded > max_states:
                 raise RuntimeError(
                     f"FTF DP exceeded max_states={max_states} "
                     f"({space.describe()})"
                 )
-            for tr in space.transitions(config, positions, honest=honest):
-                nxt = (tr.config, tr.positions)
-                ncost = cost_here + tr.cost
-                old = best.get(nxt)
-                if old is None or ncost < old:
-                    best[nxt] = ncost
+            config = state & cfg_mask
+            pid = state >> width
+            for ncfg, npid, ncost, _nfv, nsum in expand(config, pid, honest):
+                nxt = (npid << width) | ncfg
+                ntotal = cost_here + ncost
+                bucket = buckets[nsum]
+                old = bucket.get(nxt)
+                if old is None or ntotal < old:
+                    bucket[nxt] = ntotal
                     if return_schedule:
                         parent[nxt] = state
-                    buckets[sum(tr.positions)].add(nxt)
 
     if best_final is None:
         raise RuntimeError("DP found no terminal state (internal error)")
@@ -114,7 +145,7 @@ def minimum_total_faults(
         chain = []
         state = final_state
         while state is not None:
-            chain.append(state[0])
+            chain.append(space.extern(state & cfg_mask))
             state = parent[state]
         schedule = tuple(reversed(chain))
     return FTFResult(

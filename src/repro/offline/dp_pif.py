@@ -13,6 +13,7 @@ a vector dominated componentwise by another can be discarded.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import add, gt, le
 
 from repro.offline.alg_state import DPSpace
 from repro.problems import PIFInstance
@@ -41,9 +42,9 @@ def _pareto_add(vectors: set[tuple[int, ...]], vec: tuple[int, ...]) -> bool:
     """Insert ``vec`` into a Pareto-minimal set.  Returns True if added."""
     dominated = []
     for other in vectors:
-        if all(o <= v for o, v in zip(other, vec)):
+        if all(map(le, other, vec)):
             return False  # vec is dominated (or equal)
-        if all(v <= o for v, o in zip(vec, other)):
+        if all(map(le, vec, other)):
             dominated.append(other)
     for other in dominated:
         vectors.discard(other)
@@ -72,23 +73,51 @@ def decide_pif(
     deadline = instance.deadline
     p = space.p
 
-    def within(vec: tuple[int, ...]) -> bool:
-        return all(v <= b for v, b in zip(vec, bounds))
+    # Presolve: a greedy honest descent whose running fault vector stays
+    # within the bounds is itself a witness schedule — certify without
+    # touching the layered search.  (Honest schedules are a subset of the
+    # full space, so the witness is valid in both modes.)  The exact
+    # search below runs whenever the greedy exceeds a bound or gets
+    # stuck, so infeasible answers are always certified exactly.
+    chain = space.greedy_descent(max_steps=deadline)
+    if chain is not None:
+        vec = [0] * p
+        configs = [frozenset()]
+        for cfg, _cost, fv in chain:
+            vec = [v + d for v, d in zip(vec, fv)]
+            if any(v > b for v, b in zip(vec, bounds)):
+                break
+            configs.append(space.extern(cfg))
+        else:
+            return PIFResult(
+                feasible=True,
+                witness=tuple(vec),
+                states_expanded=len(chain),
+                certified_at=len(chain),
+                schedule=tuple(configs) if return_schedule else None,
+            )
 
-    start_pos = space.initial_positions
     zero = tuple([0] * p)
-    # layer: dict[(C, x)] -> Pareto set of fault vectors
-    layer: dict = {(frozenset(), start_pos): {zero}}
+    # layer: dict[state] -> Pareto set of fault vectors.  A state is the
+    # single int ``pos_id << width | config`` (see alg_state's interning);
+    # masks are externed back to frozensets only in the reconstructed
+    # schedule.
+    width = space.width
+    cfg_mask = (1 << width) - 1
+    terminal = space.terminal_pos_id
+    layer: dict = {space.initial_pos_id << width: {zero}}
+    expand = space.expand_ids
+    expand_memo: dict = {}
     expanded = 0
     # parents[(t, state, vec)] = (state', vec') at layer t-1
     parents: dict = {} if return_schedule else None
 
-    def reconstruct(t: int, state, vec):
-        chain = [state[0]]
+    def reconstruct(t: int, state: int, vec):
+        chain = [space.extern(state & cfg_mask)]
         while t > 0:
             state, vec = parents[(t, state, vec)]
             t -= 1
-            chain.append(state[0])
+            chain.append(space.extern(state & cfg_mask))
         return tuple(reversed(chain))
 
     t = 0
@@ -97,11 +126,11 @@ def decide_pif(
         # finished (no further faults can accrue), any surviving vector
         # within bounds witnesses feasibility.  Surviving vectors are
         # within bounds by construction.
-        for (config, positions), vectors in layer.items():
-            if t >= deadline or space.is_terminal(positions):
+        for state, vectors in layer.items():
+            if t >= deadline or state >> width == terminal:
                 for vec in vectors:
                     schedule = (
-                        reconstruct(t, (config, positions), vec)
+                        reconstruct(t, state, vec)
                         if return_schedule
                         else None
                     )
@@ -120,26 +149,67 @@ def decide_pif(
                 certified_at=None,
             )
         nxt_layer: dict = {}
-        for (config, positions), vectors in layer.items():
-            for tr in space.transitions(config, positions, honest=honest):
-                key = (tr.config, tr.positions)
-                for vec in vectors:
-                    expanded += 1
-                    if max_states is not None and expanded > max_states:
-                        raise RuntimeError(
-                            f"PIF DP exceeded max_states={max_states} "
-                            f"({space.describe()})"
-                        )
-                    new_vec = tuple(
-                        v + d for v, d in zip(vec, tr.fault_vector)
+        limit = float("inf") if max_states is None else max_states
+        for state, vectors in layer.items():
+            # The layering revisits (C, x) states (the same progress can
+            # be reached in a different number of steps when tau > 0), so
+            # expansions are memoized per run on the packed state.
+            trs = expand_memo.get(state)
+            if trs is None:
+                trs = expand_memo[state] = expand(
+                    state & cfg_mask, state >> width, honest
+                )
+            for ncfg, npid, _ncost, nfv, _nsum in trs:
+                key = (npid << width) | ncfg
+                expanded += len(vectors)
+                if expanded > limit:
+                    raise RuntimeError(
+                        f"PIF DP exceeded max_states={max_states} "
+                        f"({space.describe()})"
                     )
-                    if not within(new_vec):
+                # Buckets are created lazily so pruned-out keys do not
+                # linger in the layer as empty states.  A fresh bucket
+                # can be bulk-filled: translating a Pareto-minimal set
+                # by one fault vector keeps it Pareto-minimal, so the
+                # pairwise dominance scans are only needed when a second
+                # source state merges into the same successor.
+                bucket = nxt_layer.get(key)
+                if any(nfv):
+                    if bucket is None and parents is None:
+                        fresh = {
+                            nv
+                            for nv in (
+                                tuple(map(add, vec, nfv))
+                                for vec in vectors
+                            )
+                            if not any(map(gt, nv, bounds))
+                        }
+                        if fresh:
+                            nxt_layer[key] = fresh
                         continue
-                    bucket = nxt_layer.setdefault(key, set())
-                    if _pareto_add(bucket, new_vec) and parents is not None:
-                        parents[(t + 1, key, new_vec)] = (
-                            (config, positions),
-                            vec,
-                        )
+                    for vec in vectors:
+                        new_vec = tuple(map(add, vec, nfv))
+                        if any(map(gt, new_vec, bounds)):
+                            continue
+                        if bucket is None:
+                            bucket = nxt_layer.setdefault(key, set())
+                        if (
+                            _pareto_add(bucket, new_vec)
+                            and parents is not None
+                        ):
+                            parents[(t + 1, key, new_vec)] = (state, vec)
+                else:
+                    # No core faults in this step: vectors carry over.
+                    if bucket is None and parents is None:
+                        nxt_layer[key] = set(vectors)
+                        continue
+                    if bucket is None:
+                        bucket = nxt_layer.setdefault(key, set())
+                    for vec in vectors:
+                        if (
+                            _pareto_add(bucket, vec)
+                            and parents is not None
+                        ):
+                            parents[(t + 1, key, vec)] = (state, vec)
         layer = nxt_layer
         t += 1

@@ -120,19 +120,16 @@ def optimal_static_partition(
     dp[0][0] = 0.0
     choice = np.zeros((p + 1, K + 1), dtype=np.int64)
     for j in range(1, p + 1):
-        table = tables[j - 1]
+        table = np.asarray(tables[j - 1])
+        prev = dp[j - 1]
         for c in range(K + 1):
-            best = _INF
-            best_k = 0
-            for k in range(c + 1):
-                if table[k] == _INF or dp[j - 1][c - k] == _INF:
-                    continue
-                cand = dp[j - 1][c - k] + table[k]
-                if cand < best:
-                    best = cand
-                    best_k = k
-            dp[j][c] = best
-            choice[j][c] = best_k
+            # cand[k] = dp[j-1][c-k] + table[k]; argmin takes the first
+            # (smallest-k) minimiser, matching the scalar tie-break.
+            cand = prev[c::-1] + table[: c + 1]
+            k = int(np.argmin(cand))
+            if cand[k] < _INF:
+                dp[j][c] = cand[k]
+                choice[j][c] = k
 
     if dp[p][K] == _INF:
         raise ValueError(

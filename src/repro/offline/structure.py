@@ -18,12 +18,41 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.offline.brute_force import _step_outcome
 from repro.problems import FTFInstance
 
 __all__ = ["restricted_ftf_optimum"]
 
 _BIG = 10**9
+
+
+def _step_outcome(cache, positions, offsets, seqs, lengths, tau, p):
+    """Resolve one parallel step from a (time-shifted) state.
+
+    Frozenset-of-``(page, busy)`` twin of the step bookkeeping in
+    :mod:`repro.offline.brute_force` (which now runs on busy-level
+    bitmasks); kept here explicitly because this verifier is exercised
+    on toy instances only and values direct auditability over speed.
+    """
+    active = [j for j in range(p) if positions[j] < lengths[j]]
+    if not active:
+        return None
+    delta = min(offsets[j] for j in active)
+    cache_now = frozenset((q, max(0, busy - delta)) for q, busy in cache)
+    new_offsets = [
+        (offsets[j] - delta) if positions[j] < lengths[j] else None
+        for j in range(p)
+    ]
+    due = [j for j in active if new_offsets[j] == 0]
+    resident = {q for q, busy in cache_now if busy == 0}
+    in_flight = {q for q, busy in cache_now if busy > 0}
+    hit_cores, fault_cores = [], []
+    for j in due:
+        page = seqs[j][positions[j]]
+        if page in resident or page in in_flight:
+            hit_cores.append(j)
+        else:
+            fault_cores.append(j)
+    return cache_now, new_offsets, due, hit_cores, fault_cores, delta
 
 
 def restricted_ftf_optimum(instance: FTFInstance) -> int:

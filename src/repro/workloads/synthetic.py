@@ -49,7 +49,7 @@ def uniform_workload(
         shared = [("shared", i) for i in range(shared_pages)]
         pool = private + shared
         idx = rng.integers(0, len(pool), size=length)
-        seqs.append([pool[i] for i in idx])
+        seqs.append([pool[i] for i in idx.tolist()])
     return Workload(seqs)
 
 
@@ -76,7 +76,9 @@ def zipf_workload(
         # Per-core random permutation so the hot page differs per core.
         perm = rng.permutation(pages_per_core)
         ranks = rng.choice(pages_per_core, size=length, p=probs)
-        seqs.append([(j, int(perm[r])) for r in ranks])
+        # Gather through numpy, then build tuples at C speed; identical
+        # draws and pages to the scalar per-element version.
+        seqs.append(list(zip([j] * length, perm[ranks].tolist())))
     return Workload(seqs)
 
 

@@ -57,6 +57,93 @@ class TestBatchRun:
         assert len(table.rows) == 2
 
 
+class TestResultCache:
+    def test_warm_run_hits_and_matches(self, tmp_path):
+        base = batch_run("x", make_workload, make_strategy, 4, 1, range(4))
+        cold = batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(4),
+            cache=True, cache_dir=tmp_path,
+        )
+        warm = batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(4),
+            cache=True, cache_dir=tmp_path,
+        )
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 4
+        assert base.faults == cold.faults == warm.faults
+        assert base.makespans == cold.makespans == warm.makespans
+
+    def test_key_separates_configurations(self, tmp_path):
+        batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(3),
+            cache=True, cache_dir=tmp_path,
+        )
+        other_tau = batch_run(
+            "x", make_workload, make_strategy, 4, 2, range(3),
+            cache=True, cache_dir=tmp_path,
+        )
+        other_k = batch_run(
+            "x", make_workload, make_strategy, 5, 1, range(3),
+            cache=True, cache_dir=tmp_path,
+        )
+        assert other_tau.cache_hits == 0
+        assert other_k.cache_hits == 0
+
+    def test_parallel_with_cache(self, tmp_path):
+        serial = batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(4),
+            cache=True, cache_dir=tmp_path,
+        )
+        parallel = batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(4),
+            parallel=True, max_workers=2, cache=True, cache_dir=tmp_path,
+        )
+        assert parallel.faults == serial.faults
+        assert parallel.cache_hits == 4
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        from repro.analysis.batch import _cache_root
+
+        batch_run(
+            "x", make_workload, make_strategy, 4, 1, [0],
+            cache=True, cache_dir=tmp_path,
+        )
+        (entry,) = list(_cache_root(tmp_path).rglob("*.json"))
+        entry.write_text("{ truncated")
+        again = batch_run(
+            "x", make_workload, make_strategy, 4, 1, [0],
+            cache=True, cache_dir=tmp_path,
+        )
+        assert again.cache_hits == 0
+        assert again.faults == batch_run(
+            "x", make_workload, make_strategy, 4, 1, [0]
+        ).faults
+
+    def test_info_and_clear(self, tmp_path):
+        from repro.analysis import cache_info, clear_cache
+
+        batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(3),
+            cache=True, cache_dir=tmp_path,
+        )
+        info = cache_info(tmp_path)
+        assert info["entries"] == 3 and info["bytes"] > 0
+        assert clear_cache(tmp_path) == 3
+        assert cache_info(tmp_path)["entries"] == 0
+
+    def test_cli_cache_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        batch_run(
+            "x", make_workload, make_strategy, 4, 1, range(2),
+            cache=True, cache_dir=tmp_path,
+        )
+        assert main(["cache", "--dir", str(tmp_path)]) == 0
+        assert "entries   : 2" in capsys.readouterr().out
+        assert main(["cache", "--dir", str(tmp_path), "--clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+
 class TestExpectedFaults:
     def test_randomized_marking_bounds(self):
         """E[MARK_random] lies between OPT (Belady) and the deterministic

@@ -1,0 +1,130 @@
+"""Randomized exact-equivalence tests for every specialised kernel.
+
+Each registered kernel is run against the general simulator on the same
+random workloads (seeds x shapes x tau) and must reproduce every
+``SimResult`` field exactly.  ``simulate_fast`` dispatch and fallback
+behaviour are covered separately.
+"""
+
+import pytest
+
+from repro import (
+    FIFOPolicy,
+    FlushWhenFullStrategy,
+    GlobalFITFPolicy,
+    LRUPolicy,
+    MarkingPolicy,
+    RandomizedMarkingPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    Workload,
+    equal_partition,
+    simulate,
+)
+from repro.core.kernels import KERNELS, kernel_for, simulate_fast
+from repro.workloads import uniform_workload, zipf_workload
+
+TAUS = (0, 1, 3)
+SEEDS = tuple(range(8))
+
+
+def _strategy_factory(kernel_name, K, p):
+    """A fresh-general-strategy factory equivalent to ``kernel_name``."""
+    if kernel_name == "S_LRU":
+        return lambda: SharedStrategy(LRUPolicy)
+    if kernel_name == "S_FIFO":
+        return lambda: SharedStrategy(FIFOPolicy)
+    if kernel_name == "S_MARK":
+        return lambda: SharedStrategy(MarkingPolicy)
+    if kernel_name == "S_FWF":
+        return lambda: FlushWhenFullStrategy()
+    if kernel_name == "S_FITF":
+        return lambda: SharedStrategy(GlobalFITFPolicy())
+    if kernel_name == "sP_LRU":
+        return lambda: StaticPartitionStrategy(equal_partition(K, p), LRUPolicy)
+    raise AssertionError(f"unmapped kernel {kernel_name!r}")
+
+
+def _random_workloads(seed):
+    """Three workload shapes per seed (8 seeds x 3 shapes = 24 random
+    workloads per kernel/tau cell): disjoint uniform, skewed zipf, and a
+    non-disjoint workload with shared pages."""
+    yield uniform_workload(3, 48, 6, seed=seed), 8
+    yield zipf_workload(2, 60, 8, seed=100 + seed), 6
+    yield uniform_workload(2, 40, 4, shared_pages=2, seed=200 + seed), 6
+
+
+def assert_identical(fast, general):
+    assert fast.faults_per_core == general.faults_per_core
+    assert fast.hits_per_core == general.hits_per_core
+    assert fast.completion_times == general.completion_times
+    assert fast.total_steps == general.total_steps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("tau", TAUS)
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+class TestKernelEquivalence:
+    def test_randomized(self, kernel_name, tau, seed):
+        for workload, K in _random_workloads(seed):
+            factory = _strategy_factory(kernel_name, K, workload.num_cores)
+            assert kernel_for(factory()) is not None, "kernel not dispatched"
+            general = simulate(workload, K, tau, factory())
+            fast = simulate_fast(workload, K, tau, factory())
+            assert_identical(fast, general)
+
+
+class TestDispatch:
+    def test_spec_string(self):
+        w = uniform_workload(2, 30, 4, seed=2)
+        fast = simulate_fast(w, 4, 1, "S_FIFO")
+        general = simulate(w, 4, 1, SharedStrategy(FIFOPolicy))
+        assert_identical(fast, general)
+
+    def test_factory_class(self):
+        w = uniform_workload(2, 30, 4, seed=3)
+        fast = simulate_fast(w, 4, 1, FlushWhenFullStrategy)
+        general = simulate(w, 4, 1, FlushWhenFullStrategy())
+        assert_identical(fast, general)
+
+
+class TestFallback:
+    def test_unmatched_strategy_falls_back(self):
+        from repro.strategies import ProgressBalancingStrategy
+
+        assert kernel_for(ProgressBalancingStrategy()) is None
+        w = uniform_workload(2, 30, 4, seed=0)
+        fast = simulate_fast(w, 4, 1, ProgressBalancingStrategy)
+        general = simulate(w, 4, 1, ProgressBalancingStrategy())
+        assert_identical(fast, general)
+
+    def test_policy_subclass_not_matched(self):
+        # RandomizedMarkingPolicy subclasses MarkingPolicy but must not
+        # hit the deterministic marking kernel.
+        assert kernel_for(
+            SharedStrategy(RandomizedMarkingPolicy(seed=0))
+        ) is None
+
+    def test_kwargs_force_general_path(self):
+        w = uniform_workload(2, 30, 4, seed=1)
+        res = simulate_fast(
+            w, 4, 1, SharedStrategy(LRUPolicy), record_trace=True
+        )
+        assert res.trace is not None  # kernels never record traces
+        assert_identical(res, simulate(w, 4, 1, SharedStrategy(LRUPolicy)))
+
+
+class TestExceptionParity:
+    def test_bad_partition_raises_in_both_paths(self):
+        w = uniform_workload(2, 20, 4, seed=3)
+        with pytest.raises(ValueError):
+            simulate(w, 4, 0, StaticPartitionStrategy((5, 5), LRUPolicy))
+        with pytest.raises(ValueError):
+            simulate_fast(w, 4, 0, StaticPartitionStrategy((5, 5), LRUPolicy))
+
+    def test_cache_smaller_than_cores_raises_in_both_paths(self):
+        w = Workload([[1], [2]])
+        with pytest.raises((ValueError, RuntimeError)):
+            simulate(w, 1, 0, SharedStrategy(LRUPolicy))
+        with pytest.raises((ValueError, RuntimeError)):
+            simulate_fast(w, 1, 0, SharedStrategy(LRUPolicy))

@@ -40,10 +40,17 @@ def test_first_paragraph_helper():
     assert gen_api_docs.first_paragraph(lambda: None) == ""
 
 
-def test_profiler_tool_runs(capsys):
+def test_profiler_tool_runs(capsys, tmp_path):
+    import json
+
     import profile_hotspots
 
-    profile_hotspots.main(200)
+    dump = tmp_path / "hotspots.json"
+    profile_hotspots.main(["-n", "200", "--top", "5", "--json", str(dump)])
     out = capsys.readouterr().out
     assert "general simulator" in out
-    assert "fast path" in out
+    assert "kernel: simulate_fast S_LRU" in out
+    assert "dp: decide_pif" in out
+    records = json.loads(dump.read_text())
+    assert len(records) == 5 * 5  # five sections, top 5 each
+    assert {"section", "function", "ncalls", "cumtime"} <= records[0].keys()

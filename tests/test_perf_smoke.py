@@ -1,0 +1,77 @@
+"""Performance smoke tests — one per engine layer.
+
+Run with ``pytest -m perf_smoke``.  Each test asserts a *relative*
+property (the fast path beats the slow path it replaces, or does
+strictly less work), never an absolute wall-clock budget, so they stay
+meaningful on slow or noisy machines.  CPU time is measured with
+``time.process_time`` best-of-N for the same reason.
+"""
+
+import time
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.analysis.batch import batch_run
+from repro.core.kernels import simulate_fast
+from repro.offline import decide_pif
+from repro.problems import PIFInstance
+from repro.workloads import uniform_workload, zipf_workload
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _cpu(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.process_time()
+        fn()
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+def test_kernel_layer_beats_general_simulator():
+    """Layer 1: a dispatched kernel outruns the strategy-object path."""
+    w = zipf_workload(4, 3000, 64, seed=0)
+    fast = _cpu(lambda: simulate_fast(w, 32, 1, SharedStrategy(LRUPolicy)))
+    general = _cpu(lambda: simulate(w, 32, 1, SharedStrategy(LRUPolicy)))
+    assert fast < general
+
+
+def test_dp_layer_presolve_skips_layered_search():
+    """Layer 2: on a generously-bounded PIF instance the greedy descent
+    certifies feasibility, so the expansion count equals the descent
+    length instead of growing with the layered state graph."""
+    w = uniform_workload(2, 24, 4, seed=5)
+    n = w.total_requests
+    inst = PIFInstance(w, 4, 1, deadline=4 * n, bounds=(n, n))
+    res = decide_pif(inst)
+    assert res.feasible
+    # Presolve signature: one expansion per descent step, bounded by the
+    # number of parallel steps a 2-core run of n requests can take.
+    assert res.states_expanded <= 2 * n
+
+
+def test_batch_layer_warm_cache_beats_cold(tmp_path):
+    """Layer 3: re-running a cached sweep reads results from disk."""
+
+    def wf(seed):
+        return uniform_workload(2, 600, 16, seed=seed)
+
+    def sf():
+        return SharedStrategy(LRUPolicy)
+
+    t0 = time.process_time()
+    cold = batch_run(
+        "x", wf, sf, 8, 1, range(6), cache=True, cache_dir=tmp_path
+    )
+    cold_dt = time.process_time() - t0
+    t0 = time.process_time()
+    warm = batch_run(
+        "x", wf, sf, 8, 1, range(6), cache=True, cache_dir=tmp_path
+    )
+    warm_dt = time.process_time() - t0
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == 6
+    assert warm.faults == cold.faults
+    assert warm_dt < cold_dt

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Before/after timings for the performance engine (BENCH_kernels.json).
+
+Times the hot paths the kernel registry, the bitmask DP engine and the
+cached batch runner accelerate:
+
+* ``kernel_*`` — one representative workload per specialised kernel,
+  through the general simulator (``--phase before``) or through
+  :func:`repro.core.kernels.simulate_fast` (``--phase after``).
+* ``solve_ftf`` / ``decide_pif`` — the offline dynamic programs on
+  mid-size instances.
+* ``sweep_e14_cold`` / ``sweep_e14_warm`` — a 32-seed E14-style
+  ``batch_run`` sweep; the warm run re-reads the on-disk result cache.
+
+Run ``--phase before`` at the old code state and ``--phase after`` at the
+new one; both merge into the same JSON file so the speedups are
+reproducible measurements, not estimates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro import (
+    FlushWhenFullStrategy,
+    GlobalFITFPolicy,
+    LRUPolicy,
+    FIFOPolicy,
+    MarkingPolicy,
+    SharedStrategy,
+    StaticPartitionStrategy,
+    equal_partition,
+    simulate,
+)
+from repro.analysis.batch import batch_run
+from repro.offline import decide_pif, dp_ftf
+from repro.problems import PIFInstance
+from repro.workloads import uniform_workload, zipf_workload
+
+SWEEP_SEEDS = 32
+SWEEP_P, SWEEP_N, SWEEP_U, SWEEP_K, SWEEP_TAU = 4, 2000, 64, 32, 1
+
+
+def _time(fn, min_total: float = 1.0, max_reps: int = 5) -> float:
+    """Best-of-reps wall time; repeats cheap calls for stability."""
+    best = None
+    total = 0.0
+    reps = 0
+    while reps < max_reps and (total < min_total or reps < 1):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+        total += dt
+        reps += 1
+    return best
+
+
+def _kernel_specs(K: int, p: int):
+    return {
+        "kernel_shared_lru": lambda: SharedStrategy(LRUPolicy),
+        "kernel_shared_fifo": lambda: SharedStrategy(FIFOPolicy),
+        "kernel_shared_marking": lambda: SharedStrategy(MarkingPolicy),
+        "kernel_shared_fwf": lambda: FlushWhenFullStrategy(),
+        "kernel_shared_fitf": lambda: SharedStrategy(GlobalFITFPolicy),
+        "kernel_partitioned_lru": lambda: StaticPartitionStrategy(
+            equal_partition(K, p), LRUPolicy
+        ),
+    }
+
+
+def _sweep_workload(seed: int):
+    return zipf_workload(SWEEP_P, SWEEP_N, SWEEP_U, alpha=1.2, seed=seed)
+
+
+def run_phase(phase: str) -> dict[str, float]:
+    timings: dict[str, float] = {}
+    w = zipf_workload(4, 8000, 64, alpha=1.2, seed=0)
+    K, tau = 32, 1
+
+    if phase == "after":
+        from repro.core.kernels import simulate_fast
+
+    for name, factory in _kernel_specs(K, 4).items():
+        if phase == "before":
+            timings[name] = _time(lambda: simulate(w, K, tau, factory()))
+        else:
+            timings[name] = _time(lambda: simulate_fast(w, K, tau, factory()))
+        print(f"{name:26s} {timings[name]*1e3:9.1f} ms")
+
+    ftf_w = uniform_workload(2, 24, 6, seed=3)
+    timings["solve_ftf"] = _time(lambda: dp_ftf(ftf_w, 6, 1), min_total=0.0, max_reps=2)
+    print(f"{'solve_ftf':26s} {timings['solve_ftf']*1e3:9.1f} ms")
+
+    pif_w = uniform_workload(2, 16, 6, seed=4)
+    inst = PIFInstance(pif_w, 6, 1, deadline=40, bounds=(12, 12))
+    timings["decide_pif"] = _time(
+        lambda: decide_pif(inst), min_total=0.0, max_reps=2
+    )
+    print(f"{'decide_pif':26s} {timings['decide_pif']*1e3:9.1f} ms")
+
+    seeds = range(SWEEP_SEEDS)
+    if phase == "before":
+        timings["sweep_e14_cold"] = _time(
+            lambda: batch_run(
+                "S_LRU", _sweep_workload, lambda: SharedStrategy(LRUPolicy),
+                SWEEP_K, SWEEP_TAU, seeds,
+            ),
+            min_total=0.0, max_reps=1,
+        )
+        print(f"{'sweep_e14_cold':26s} {timings['sweep_e14_cold']*1e3:9.1f} ms")
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="repro_bench_cache_")
+        try:
+            for label in ("sweep_e14_cold", "sweep_e14_warm"):
+                timings[label] = _time(
+                    lambda: batch_run(
+                        "S_LRU", _sweep_workload,
+                        lambda: SharedStrategy(LRUPolicy),
+                        SWEEP_K, SWEEP_TAU, seeds,
+                        cache=True, cache_dir=cache_dir,
+                    ),
+                    min_total=0.0, max_reps=1,
+                )
+                print(f"{label:26s} {timings[label]*1e3:9.1f} ms")
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", choices=("before", "after"), required=True)
+    parser.add_argument("--output", default="BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    data = {}
+    if os.path.exists(args.output):
+        with open(args.output, encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("meta", {})
+    data["meta"].update(
+        {
+            "python": sys.version.split()[0],
+            "sweep": {
+                "seeds": SWEEP_SEEDS, "p": SWEEP_P, "n_per_core": SWEEP_N,
+                "universe": SWEEP_U, "K": SWEEP_K, "tau": SWEEP_TAU,
+            },
+        }
+    )
+    data[args.phase] = run_phase(args.phase)
+    if "before" in data and "after" in data:
+        speedups = {}
+        for name, after in data["after"].items():
+            base = data["before"].get(
+                "sweep_e14_cold" if name == "sweep_e14_warm" else name
+            )
+            if base and after:
+                speedups[name] = round(base / after, 2)
+        data["speedup_vs_before"] = speedups
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

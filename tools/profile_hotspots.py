@@ -1,27 +1,43 @@
 #!/usr/bin/env python3
-"""Profile the simulator's hot paths (the guide's workflow: no
+"""Profile the package's hot paths (the guide's workflow: no
 optimisation without measuring).
 
-Runs cProfile over a representative shared-LRU simulation plus the fast
-path, and prints the top functions by cumulative time — the measurement
-that motivated ``repro.core.fastsim``.
+Sections
+--------
+* ``general``  — the general simulator on a shared-LRU run (the
+  measurement that motivated the kernel registry).
+* ``kernels``  — the same run through ``simulate_fast`` plus the
+  partitioned-LRU kernel.
+* ``dp``       — the bitmask DP engine: ``decide_pif`` on a mid-size
+  instance (greedy presolve disabled-by-bounds so the layered search and
+  ``DPSpace.expand_ids`` actually run) and ``minimum_total_faults``.
 
-Run:  python tools/profile_hotspots.py [requests_per_core]
+``--json PATH`` additionally dumps the top-N hotspots of every section
+as machine-readable records ``{section, function, file, line, ncalls,
+tottime, cumtime}``.
+
+Run:  python tools/profile_hotspots.py [-n REQUESTS] [--top N] [--json PATH]
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 
-from repro import LRUPolicy, SharedStrategy, simulate
-from repro.core.fastsim import fast_shared_lru
-from repro.workloads import zipf_workload
+from repro import LRUPolicy, SharedStrategy, StaticPartitionStrategy, simulate
+from repro.core.kernels import simulate_fast
+from repro.offline import decide_pif, minimum_total_faults
+from repro.problems import FTFInstance, PIFInstance
+from repro.strategies import equal_partition
+from repro.workloads import uniform_workload, zipf_workload
 
 
-def profile_call(label: str, fn, top: int = 12) -> pstats.Stats:
+def profile_call(label: str, fn, top: int) -> list[dict]:
+    """Profile ``fn``, print the top functions, return hotspot records."""
     profiler = cProfile.Profile()
     profiler.enable()
     fn()
@@ -31,28 +47,92 @@ def profile_call(label: str, fn, top: int = 12) -> pstats.Stats:
     stats.sort_stats("cumulative").print_stats(top)
     print(f"===== {label} =====")
     # Trim the boilerplate header lines for readability.
-    lines = stream.getvalue().splitlines()
-    for line in lines[:top + 8]:
+    for line in stream.getvalue().splitlines()[: top + 8]:
         print(line)
     print()
-    return stats
 
-
-def main(n_per_core: int = 10_000) -> None:
-    workload = zipf_workload(4, n_per_core, 64, alpha=1.2, seed=0)
-    K, tau = 32, 1
-    print(
-        f"workload: p=4, n={workload.total_requests}, K={K}, tau={tau}\n"
+    records = []
+    entries = sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
     )
-    profile_call(
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in entries:
+        records.append(
+            {
+                "section": label,
+                "function": funcname,
+                "file": filename,
+                "line": lineno,
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+        if len(records) >= top:
+            break
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-n", type=int, default=10_000, help="requests per core (simulator)"
+    )
+    parser.add_argument(
+        "--top", type=int, default=12, help="hotspots per section"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump the hotspot records as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    records: list[dict] = []
+    workload = zipf_workload(4, args.n, 64, alpha=1.2, seed=0)
+    K, tau = 32, 1
+    print(f"workload: p=4, n={workload.total_requests}, K={K}, tau={tau}\n")
+
+    records += profile_call(
         "general simulator (SharedStrategy + LRUPolicy)",
         lambda: simulate(workload, K, tau, SharedStrategy(LRUPolicy)),
+        args.top,
     )
-    profile_call(
-        "fast path (fast_shared_lru)",
-        lambda: fast_shared_lru(workload, K, tau),
+    records += profile_call(
+        "kernel: simulate_fast S_LRU",
+        lambda: simulate_fast(workload, K, tau, SharedStrategy(LRUPolicy)),
+        args.top,
     )
+    part = equal_partition(K, workload.num_cores)
+    records += profile_call(
+        "kernel: simulate_fast sP_LRU",
+        lambda: simulate_fast(
+            workload, K, tau, StaticPartitionStrategy(part, LRUPolicy)
+        ),
+        args.top,
+    )
+
+    # Mid-size DP instances.  PIF bounds are chosen infeasibly tight so
+    # the greedy presolve cannot certify and the layered Pareto search
+    # (DPSpace.expand_ids, _pareto_add) shows up in the profile.
+    dp_workload = uniform_workload(2, 16, 4, seed=3)
+    records += profile_call(
+        "dp: decide_pif (layered search)",
+        lambda: decide_pif(
+            PIFInstance(dp_workload, 3, 1, deadline=40, bounds=(3, 3))
+        ),
+        args.top,
+    )
+    records += profile_call(
+        "dp: minimum_total_faults (Algorithm 1)",
+        lambda: minimum_total_faults(FTFInstance(dp_workload, 3, 1)),
+        args.top,
+    )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {len(records)} hotspot records to {args.json}")
+    return 0
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)
+    sys.exit(main())
