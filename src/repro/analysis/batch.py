@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import shutil
+import tempfile
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -56,7 +57,11 @@ __all__ = [
 
 #: Bump on any change that alters simulation results — old cache entries
 #: become unreachable (their keys embed the version) rather than wrong.
-CACHE_VERSION = 1
+#: v2: keys switched from (type, name) to the canonical
+#: ``Strategy.cache_fingerprint()``, which includes eviction-policy
+#: configuration — (type, name) aliased differently-configured strategies
+#: (e.g. two LRU-K instances with different k) onto one entry.
+CACHE_VERSION = 2
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 
@@ -123,6 +128,12 @@ def _cache_root(cache_dir) -> Path:
 def _replica_key(workload, strategy, cache_size: int, tau: int) -> str:
     """Content hash identifying one replica's simulation inputs.
 
+    The strategy is identified by its canonical
+    :meth:`~repro.core.strategy.Strategy.cache_fingerprint`, which
+    includes eviction-policy configuration — the display name alone is
+    not injective (``SharedStrategy(LRUKPolicy)`` has the same name for
+    every ``k``).
+
     Serialised with :mod:`pickle` at a pinned protocol: it is C-speed
     (an order of magnitude faster than ``repr`` on large workloads) and,
     unlike default ``repr``, never embeds memory addresses for custom
@@ -133,8 +144,7 @@ def _replica_key(workload, strategy, cache_size: int, tau: int) -> str:
         (
             CACHE_VERSION,
             workload.as_lists(),
-            type(strategy).__qualname__,
-            strategy.name,
+            strategy.cache_fingerprint(),
             cache_size,
             tau,
         ),
@@ -144,15 +154,33 @@ def _replica_key(workload, strategy, cache_size: int, tau: int) -> str:
 
 
 def _store(path: Path, payload: dict) -> None:
-    """Atomic single-file write (concurrent workers may race on a key;
-    last ``os.replace`` wins and all writers write identical content)."""
+    """Atomic single-file write (concurrent writers may race on a key;
+    last ``os.replace`` wins and all writers write identical content).
+
+    The temp name comes from :func:`tempfile.NamedTemporaryFile`, which is
+    collision-free by construction — a pid-derived suffix is not: two
+    threads of one process, or a recycled pid on another machine sharing
+    the cache directory, would interleave writes into the same temp file
+    and could publish a truncated entry.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f"{path.name}.tmp",
+        delete=False,
+    )
     try:
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+        with tmp:
+            tmp.write(json.dumps(payload))
+        os.replace(tmp.name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp.name)
+        except OSError:
+            pass
+        raise
 
 
 def _run_replica(

@@ -23,6 +23,11 @@ Commands
 ``cache [--clear] [--dir DIR]``
     Inspect or clear the on-disk batch result cache
     (``.repro_cache/`` or ``$REPRO_CACHE_DIR``).
+``verify [--fuzz N] [--seed S] [--no-shrink] [--corpus DIR]``
+    Differential verification: fuzz random/adversarial workloads through
+    the general simulator, every specialised kernel and (on small
+    instances) the exact DP, shrinking any divergence to a minimal
+    replayable counterexample.
 """
 
 from __future__ import annotations
@@ -268,6 +273,38 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import fuzz, replay_corpus, save_case
+
+    report = fuzz(
+        args.fuzz,
+        seed=args.seed,
+        shrink=args.shrink,
+        strategies=args.strategies,
+        on_progress=(
+            None
+            if args.quiet
+            else lambda done, total: print(
+                f"  fuzz {done}/{total}...", file=sys.stderr
+            )
+        ),
+    )
+    if args.corpus:
+        replayed, divergences = replay_corpus(args.corpus)
+        report.corpus_replayed += replayed
+        report.divergences.extend(divergences)
+    print(report.summary())
+    if args.save_failures:
+        for i, div in enumerate(report.divergences):
+            path = save_case(
+                div.case,
+                f"{args.save_failures}/{div.kind}_{div.strategy}_{i}.json",
+                details=div.details,
+            )
+            print(f"saved {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_opt(args) -> int:
     from repro.offline import minimum_total_faults
     from repro.problems import FTFInstance
@@ -366,6 +403,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true", help="delete cached batch results"
     )
     sub.set_defaults(func=cmd_cache)
+
+    sub = subs.add_parser(
+        "verify", help="cross-engine differential verification"
+    )
+    sub.add_argument(
+        "--fuzz",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of random/adversarial cases to fuzz (default 200)",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="shrink divergences to minimal counterexamples",
+    )
+    sub.add_argument(
+        "--strategies",
+        nargs="*",
+        default=None,
+        help="restrict to these kernel names (default: all registered)",
+    )
+    sub.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="also replay every *.json case under DIR",
+    )
+    sub.add_argument(
+        "--save-failures",
+        default=None,
+        metavar="DIR",
+        help="write each (shrunk) divergence as a replayable JSON case",
+    )
+    sub.add_argument(
+        "-q", "--quiet", action="store_true", help="no progress output"
+    )
+    sub.set_defaults(func=cmd_verify)
 
     sub = subs.add_parser("opt", help="exact offline optimum (Algorithm 1)")
     sub.add_argument("--workload-file", required=True)

@@ -106,6 +106,13 @@ class Simulator:
         start a fetch at ``t`` (Algorithm 1's ``C' ⊇ R(x)``).  Default
         True; turning it off is an *ablation only* — it breaks the
         optimality of the paper's DP (see ``benchmarks/bench_ablations``).
+    check_invariants:
+        Run a :class:`~repro.verify.invariants.InvariantMonitor` alongside
+        the simulation, re-asserting the model's laws (timing, occupancy,
+        eviction legality, core order) on every step and raising
+        :class:`~repro.verify.invariants.InvariantError` on the first
+        violation.  ``None`` (default) defers to the ``REPRO_VERIFY``
+        environment variable.
     """
 
     def __init__(
@@ -119,6 +126,7 @@ class Simulator:
         record_trace: bool = False,
         max_steps: int | None = None,
         pin_same_step: bool = True,
+        check_invariants: bool | None = None,
     ):
         if not isinstance(workload, Workload):
             workload = Workload(workload)
@@ -135,10 +143,25 @@ class Simulator:
         self.record_trace = record_trace
         self.max_steps = max_steps
         self.pin_same_step = pin_same_step
+        if check_invariants is None:
+            from repro.verify.invariants import verify_env_enabled
+
+            check_invariants = verify_env_enabled()
+        self.check_invariants = check_invariants
 
     def run(self) -> SimResult:
         ctx = SimContext(self.workload, self.cache_size, self.tau)
         self.strategy.attach(ctx)
+        monitor = None
+        if self.check_invariants:
+            from repro.verify.invariants import InvariantMonitor
+
+            monitor = InvariantMonitor(
+                self.cache_size,
+                self.tau,
+                inflight=self.inflight,
+                pin_same_step=self.pin_same_step,
+            )
 
         p = ctx.num_cores
         tau = self.tau
@@ -160,6 +183,8 @@ class Simulator:
             steps += 1
             if self.max_steps is not None and steps > self.max_steps:
                 raise RuntimeError(f"exceeded max_steps={self.max_steps}")
+            if monitor is not None:
+                monitor.begin_step(t)
             self.strategy.on_step(t)
             finished: list[CoreId] = []
             for j in pending:
@@ -215,6 +240,8 @@ class Simulator:
                                 f"{self.strategy.name} chose victim "
                                 f"{victim!r} which served a hit this step"
                             )
+                        if monitor is not None:
+                            monitor.check_victim(victim, t, cache)
                         cache.evict(victim, t)
                         self.strategy.on_evict(victim, t)
                     cache.insert(page, j, t, tau)
@@ -224,6 +251,8 @@ class Simulator:
                     ready[j] = t + 1 + tau
                     done_at = t + tau
                     kind = AccessKind.FAULT
+                if monitor is not None:
+                    monitor.after_serve(j, page, t, kind.value, ready[j], cache)
                 if trace is not None:
                     trace.record(
                         AccessEvent(

@@ -67,6 +67,19 @@ class Strategy(abc.ABC):
     def on_evict(self, page: Page, t: Time) -> None:
         """Called after the simulator removed ``page`` from the cache."""
 
+    # -- identity -----------------------------------------------------------
+    def cache_fingerprint(self) -> tuple:
+        """Canonical, hashable identity of this strategy's *behaviour*.
+
+        Used as the strategy component of the batch-cache key: two
+        strategies must share a fingerprint only if they produce identical
+        simulation results on every workload.  The base form is the class
+        plus the display :attr:`name`; strategies carrying configuration
+        that the name does not encode (eviction-policy parameters,
+        partition vectors, periods, biases) extend it.
+        """
+        return (type(self).__qualname__, self.name)
+
     # -- description --------------------------------------------------------
     @property
     def name(self) -> str:

@@ -44,6 +44,9 @@ class LRUKPolicy(EvictionPolicy):
         super().reset()
         self._history.clear()
 
+    def config(self) -> tuple:
+        return (("k", self.k),)
+
     def _touch(self, page: Page) -> None:
         hist = self._history.setdefault(page, deque(maxlen=self.k))
         hist.append(self._tick())
@@ -92,6 +95,9 @@ class SLRUPolicy(EvictionPolicy):
         super().reset()
         self._probation.clear()
         self._protected.clear()
+
+    def config(self) -> tuple:
+        return (("protected_fraction", self.protected_fraction),)
 
     def _pool_size(self) -> int:
         return len(self._probation) + len(self._protected)
@@ -149,6 +155,12 @@ class TwoQPolicy(EvictionPolicy):
         self._a1in: OrderedDict[Page, None] = OrderedDict()
         self._am: OrderedDict[Page, None] = OrderedDict()
         self._a1out: OrderedDict[Page, None] = OrderedDict()
+
+    def config(self) -> tuple:
+        return (
+            ("a1_fraction", self.a1_fraction),
+            ("ghost_fraction", self.ghost_fraction),
+        )
 
     def reset(self) -> None:
         super().reset()

@@ -63,6 +63,20 @@ class EvictionPolicy(abc.ABC):
         """Choose the page to evict among ``candidates`` (non-empty, all
         currently evictable members of this pool)."""
 
+    # -- identity -------------------------------------------------------------
+    def config(self) -> tuple:
+        """The behaviour-determining constructor parameters, as a tuple of
+        ``(field, value)`` pairs.  Parameterised policies override this;
+        it feeds :meth:`fingerprint` and, through it, the batch-cache key,
+        so two instances with equal fingerprints must simulate
+        identically."""
+        return ()
+
+    def fingerprint(self) -> tuple:
+        """Canonical identity of this policy's *behaviour*: class plus
+        :meth:`config`.  Never includes mutable run state."""
+        return (type(self).__qualname__, *self.config())
+
     @property
     def name(self) -> str:
         return type(self).__name__.removesuffix("Policy")

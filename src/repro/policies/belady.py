@@ -53,6 +53,9 @@ class GlobalFITFPolicy(EvictionPolicy):
         self._ctx = None
         self._oracle = None
 
+    def config(self) -> tuple:
+        return (("metric", self.metric),)
+
     def bind(self, ctx: "SimContext") -> None:
         self._ctx = ctx
         self._oracle = FutureOracle(ctx.workload)

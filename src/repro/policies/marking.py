@@ -77,6 +77,9 @@ class RandomizedMarkingPolicy(MarkingPolicy):
         super().reset()
         self._rng = random.Random(self._seed)
 
+    def config(self) -> tuple:
+        return (("seed", self._seed),)
+
     def victim(self, candidates: set[Page], t: Time) -> Page:
         unmarked = self._unmarked(candidates)
         # Sort for reproducibility across set-iteration orders.

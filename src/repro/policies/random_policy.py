@@ -26,6 +26,9 @@ class RandomPolicy(EvictionPolicy):
         super().reset()
         self._rng = random.Random(self._seed)
 
+    def config(self) -> tuple:
+        return (("seed", self._seed),)
+
     def victim(self, candidates: set[Page], t: Time) -> Page:
         pool = sorted(candidates, key=repr)
         return pool[self._rng.randrange(len(pool))]

@@ -29,7 +29,7 @@ from repro.core.strategy import Strategy
 from repro.core.types import CoreId, Page, PartitionChange, Time
 from repro.policies.base import EvictionPolicy
 from repro.policies.recency import LRUPolicy
-from repro.strategies.shared import make_policy
+from repro.strategies.shared import make_policy, policy_arg_fingerprint
 
 __all__ = [
     "StagedPartitionStrategy",
@@ -148,6 +148,11 @@ class _PartitionedBase(Strategy):
         part = self._part_of.pop(page)
         self.policies[part].on_evict(page)
 
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (
+            policy_arg_fingerprint(self._policy_factory),
+        )
+
     @property
     def num_changes(self) -> int:
         """Number of partition re-configurations after the initial one (the
@@ -199,6 +204,9 @@ class StagedPartitionStrategy(_PartitionedBase):
             self._next_stage += 1
         # Retry deferred shrink evictions.
         self._enforce_quotas(t)
+
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (("stages", tuple(self.stages)),)
 
     @property
     def name(self) -> str:
@@ -307,6 +315,9 @@ class AdaptiveWorkingSetPartition(_PartitionedBase):
     def on_insert(self, core: CoreId, page: Page, t: Time) -> None:
         self._window_pages[core].add(page)
         super().on_insert(core, page, t)
+
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (("period", self.period),)
 
     @property
     def name(self) -> str:

@@ -35,6 +35,9 @@ class ProgressBalancingStrategy(Strategy):
         self.bias = bias
         self._lru = LRUPolicy()
 
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (("bias", self.bias),)
+
     def attach(self, ctx: SimContext) -> None:
         super().attach(ctx)
         self._lru.reset()

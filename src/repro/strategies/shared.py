@@ -6,12 +6,19 @@ eviction policy arbitrates.
 
 from __future__ import annotations
 
+import copy
+
 from repro.core.simulator import SimContext
 from repro.core.strategy import Strategy
 from repro.core.types import CoreId, Page, Time
 from repro.policies.base import EvictionPolicy
 
-__all__ = ["SharedStrategy", "FlushWhenFullStrategy", "make_policy"]
+__all__ = [
+    "SharedStrategy",
+    "FlushWhenFullStrategy",
+    "make_policy",
+    "policy_arg_fingerprint",
+]
 
 
 def make_policy(policy) -> EvictionPolicy:
@@ -29,6 +36,16 @@ def make_policy(policy) -> EvictionPolicy:
     return made
 
 
+def policy_arg_fingerprint(policy) -> tuple:
+    """Fingerprint a policy argument (instance or factory) by the
+    behaviour of the instance it denotes — the factory is invoked so that
+    e.g. ``lambda: LRUKPolicy(k=3)`` and ``lambda: LRUKPolicy(k=2)``
+    fingerprint differently even though both are anonymous callables."""
+    if isinstance(policy, EvictionPolicy):
+        return policy.fingerprint()
+    return make_policy(policy).fingerprint()
+
+
 class SharedStrategy(Strategy):
     """``S_A``: fully shared cache with eviction policy ``A``.
 
@@ -41,11 +58,24 @@ class SharedStrategy(Strategy):
 
     def __init__(self, policy):
         self._policy_arg = policy
+        # Policy *instances* are snapshotted pristine at construction and
+        # cloned per run.  Mutating the instance directly (the previous
+        # behaviour) made repeated runs of the same strategy object depend
+        # on the policy's reset() being complete — a user subclass with a
+        # forgotten field turned simulate() / simulate_fast() results
+        # nondeterministic across calls.
+        self._pristine = (
+            copy.deepcopy(policy) if isinstance(policy, EvictionPolicy) else None
+        )
         self.policy: EvictionPolicy | None = None
 
     def attach(self, ctx: SimContext) -> None:
         super().attach(ctx)
-        self.policy = make_policy(self._policy_arg)
+        if self._pristine is not None:
+            self.policy = copy.deepcopy(self._pristine)
+            self.policy.reset()
+        else:
+            self.policy = make_policy(self._policy_arg)
         self.policy.bind(ctx)
 
     def choose_victim(self, core: CoreId, page: Page, t: Time) -> Page | None:
@@ -68,6 +98,11 @@ class SharedStrategy(Strategy):
 
     def on_evict(self, page: Page, t: Time) -> None:
         self.policy.on_evict(page)
+
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (
+            policy_arg_fingerprint(self._policy_arg),
+        )
 
     @property
     def name(self) -> str:

@@ -83,6 +83,14 @@ class StaticPartitionStrategy(Strategy):
         part = self._part_of.pop(page)
         self.policies[part].on_evict(page)
 
+    def cache_fingerprint(self) -> tuple:
+        from repro.strategies.shared import policy_arg_fingerprint
+
+        return super().cache_fingerprint() + (
+            ("partition", self.partition),
+            policy_arg_fingerprint(self._policy_factory),
+        )
+
     @property
     def name(self) -> str:
         inner = getattr(self._policy_factory, "__name__", "?").removesuffix("Policy")

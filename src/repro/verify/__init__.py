@@ -1,0 +1,84 @@
+"""Differential verification: invariant monitoring, cross-engine oracles,
+and counterexample shrinking.
+
+The repository deliberately maintains *three* independent implementations
+of the Section 3 model — the general :class:`~repro.core.simulator.Simulator`,
+the hand-inlined kernels behind
+:func:`~repro.core.kernels.simulate_fast`, and the bitmask DP /
+brute-force stack in :mod:`repro.offline`.  They must agree exactly; this
+package is the machinery that *keeps* them agreeing:
+
+:mod:`repro.verify.invariants`
+    A debug-mode monitor wired into ``Simulator.run`` (enable with
+    ``check_invariants=True`` or the ``REPRO_VERIFY`` environment
+    variable) that re-asserts the model's laws on every step: the timing
+    law (hit due at ``t+1``, fault due at ``t+1+tau``), cache occupancy
+    ``<= K``, eviction legality (never a mid-fetch or same-step-hit
+    page), and ascending core-order service.
+:mod:`repro.verify.oracle`
+    The cross-engine oracle: run a workload through the general
+    simulator and every registered kernel, plus — on small instances —
+    the exact optima (``dp_ftf`` / ``brute_force_ftf``), and report any
+    divergence (kernel != simulator, OPT > online, DP != brute force).
+:mod:`repro.verify.shrink`
+    A delta-debugging shrinker that reduces a failing case to a minimal
+    counterexample: drop cores, ddmin-truncate sequences, merge pages,
+    lower ``tau`` and ``K``.
+:mod:`repro.verify.corpus`
+    Replayable JSON serialisation of cases and a persisted corpus of
+    previously found counterexamples (``tests/corpus/verify/``),
+    replayed unconditionally in CI.
+
+Entry points: ``repro verify`` on the command line, or::
+
+    from repro.verify import fuzz
+    report = fuzz(500, seed=0)
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+from repro.verify.invariants import (
+    InvariantError,
+    InvariantMonitor,
+    verify_env_enabled,
+)
+
+__all__ = [
+    "Divergence",
+    "FuzzReport",
+    "InvariantError",
+    "InvariantMonitor",
+    "VerifyCase",
+    "check_case",
+    "fuzz",
+    "load_case",
+    "replay_corpus",
+    "save_case",
+    "shrink_case",
+    "verify_env_enabled",
+]
+
+_LAZY = {
+    "Divergence": "repro.verify.oracle",
+    "FuzzReport": "repro.verify.oracle",
+    "VerifyCase": "repro.verify.oracle",
+    "check_case": "repro.verify.oracle",
+    "fuzz": "repro.verify.oracle",
+    "shrink_case": "repro.verify.shrink",
+    "load_case": "repro.verify.corpus",
+    "replay_corpus": "repro.verify.corpus",
+    "save_case": "repro.verify.corpus",
+}
+
+
+def __getattr__(name: str):
+    # Deferred imports: the oracle pulls in every engine (kernels, DP,
+    # brute force), which the simulator's own lazy import of
+    # ``invariants`` must not drag along.
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,112 @@
+"""Replayable counterexample corpus: JSON (de)serialisation of
+verification cases.
+
+Every failing case the fuzzer finds is shrunk and can be persisted as a
+small JSON file; the checked-in corpus (``tests/corpus/verify/``) holds
+previously-found and regression-sensitive cases and is replayed
+unconditionally by the test suite, so a fixed divergence can never
+silently return.
+
+Pages are stored as ``repr`` strings (the same convention as
+:mod:`repro.core.trace_io`), so workloads built from ints, strings and
+tuples round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.verify.oracle import Divergence, VerifyCase, check_case
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "case_to_json",
+    "iter_corpus",
+    "load_case",
+    "replay_corpus",
+    "save_case",
+]
+
+CORPUS_SCHEMA = 1
+
+
+def _encode_page(page) -> str:
+    return repr(page)
+
+
+def _decode_page(text: str):
+    return ast.literal_eval(text)
+
+
+def case_to_json(case: VerifyCase, *, details: str | None = None) -> dict:
+    """The JSON-serialisable form of a case (plus optional divergence
+    details recorded for human readers)."""
+    payload = {
+        "schema": CORPUS_SCHEMA,
+        "note": case.note,
+        "cache_size": case.cache_size,
+        "tau": case.tau,
+        "sequences": [
+            [_encode_page(q) for q in seq] for seq in case.sequences
+        ],
+    }
+    if details is not None:
+        payload["details"] = details
+    return payload
+
+
+def case_from_json(payload: dict) -> VerifyCase:
+    if payload.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"unsupported corpus schema {payload.get('schema')!r} "
+            f"(expected {CORPUS_SCHEMA})"
+        )
+    return VerifyCase.make(
+        [[_decode_page(q) for q in seq] for seq in payload["sequences"]],
+        payload["cache_size"],
+        payload["tau"],
+        payload.get("note", ""),
+    )
+
+
+def save_case(case: VerifyCase, path, *, details: str | None = None) -> Path:
+    """Write one case as a replayable JSON repro file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(case_to_json(case, details=details), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_case(path) -> VerifyCase:
+    path = Path(path)
+    try:
+        return case_from_json(json.loads(path.read_text(encoding="utf-8")))
+    except (ValueError, KeyError, SyntaxError) as exc:
+        raise ValueError(f"{path}: malformed corpus case: {exc}") from exc
+
+
+def iter_corpus(directory):
+    """Yield ``(path, case)`` for every ``*.json`` case under
+    ``directory``, in sorted order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.rglob("*.json")):
+        yield path, load_case(path)
+
+
+def replay_corpus(directory, **check_kwargs) -> tuple[int, list[Divergence]]:
+    """Re-check every corpus case; returns ``(cases_replayed,
+    divergences)``.  Keyword arguments pass through to
+    :func:`~repro.verify.oracle.check_case`."""
+    replayed = 0
+    divergences: list[Divergence] = []
+    for _path, case in iter_corpus(directory):
+        replayed += 1
+        divergences.extend(check_case(case, **check_kwargs))
+    return replayed, divergences

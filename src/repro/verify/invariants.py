@@ -1,0 +1,192 @@
+"""Runtime invariant monitor for the general simulator.
+
+The monitor is a *second, independent* implementation of the model's
+laws (Section 3 of the paper), checked while the simulator runs:
+
+``timing``
+    A hit at step ``t`` makes the core's next request due at ``t + 1``;
+    a fault makes it due at ``t + 1 + tau`` ("a cache miss delays the
+    remaining requests of the corresponding processor by an additive
+    term tau").
+``occupancy``
+    The cache never holds more than ``K`` pages, counting cells that are
+    still busy fetching.
+``eviction legality``
+    A victim must be resident: never a page whose fetch is in flight,
+    and (under the default ``pin_same_step`` rule) never a page that
+    served a hit earlier in the same step.
+``core order``
+    Requests due at the same step are served in ascending core order, so
+    a strategy never observes a higher-numbered core's simultaneous
+    request before deciding.
+``clock``
+    Parallel steps are strictly increasing.
+
+The monitor only *observes* — it never mutates run state — and raises
+:class:`InvariantError` on the first violated law.  Enable it per run
+with ``Simulator(..., check_invariants=True)`` or process-wide with the
+``REPRO_VERIFY`` environment variable (any value other than ``0`` /
+``false`` / ``no`` / ``off``).
+
+Voluntary evictions that strategies perform directly on the
+:class:`~repro.core.cache.CacheState` (FWF's flush, dynamic partitions'
+quota enforcement) are legality-checked by ``CacheState.evict`` itself;
+the monitor re-checks the simulator's own eviction path so that a bug in
+the simulator's legality guards cannot pass silently.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["InvariantError", "InvariantMonitor", "verify_env_enabled"]
+
+#: Environment variable that switches invariant checking on by default.
+VERIFY_ENV = "REPRO_VERIFY"
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def verify_env_enabled() -> bool:
+    """True iff ``$REPRO_VERIFY`` asks for invariant checking."""
+    return os.environ.get(VERIFY_ENV, "").strip().lower() not in _FALSEY
+
+
+class InvariantError(AssertionError):
+    """A model law was violated during a simulated run."""
+
+
+class InvariantMonitor:
+    """Assert the Section 3 laws on every step of a simulated run.
+
+    The simulator drives the monitor through three hooks:
+
+    * :meth:`begin_step` once per parallel step,
+    * :meth:`check_victim` immediately before it evicts a victim,
+    * :meth:`after_serve` after each request is fully served.
+    """
+
+    __slots__ = (
+        "cache_size",
+        "tau",
+        "inflight",
+        "pin_same_step",
+        "_step",
+        "_last_core",
+        "violations_checked",
+    )
+
+    def __init__(
+        self,
+        cache_size: int,
+        tau: int,
+        *,
+        inflight: str = "independent",
+        pin_same_step: bool = True,
+    ):
+        self.cache_size = cache_size
+        self.tau = tau
+        self.inflight = inflight
+        self.pin_same_step = pin_same_step
+        self._step = -1
+        self._last_core = -1
+        #: Number of individual law checks performed (instrumentation).
+        self.violations_checked = 0
+
+    # -- hooks ---------------------------------------------------------------
+    def begin_step(self, t: int) -> None:
+        self.violations_checked += 1
+        if t <= self._step:
+            raise InvariantError(
+                f"clock law violated: step t={t} after step t={self._step} "
+                "(parallel steps must strictly increase)"
+            )
+        self._step = t
+        self._last_core = -1
+
+    def check_victim(self, victim, t: int, cache) -> None:
+        """Eviction legality, re-derived from the cache state."""
+        self.violations_checked += 1
+        if victim not in cache:
+            raise InvariantError(
+                f"eviction legality violated at t={t}: victim {victim!r} "
+                "is not in the cache"
+            )
+        cell = cache.cell(victim)
+        if cell.busy_until >= t:
+            raise InvariantError(
+                f"eviction legality violated at t={t}: victim {victim!r} "
+                f"is mid-fetch until t={cell.busy_until}"
+            )
+        if self.pin_same_step and cell.pinned_at == t:
+            raise InvariantError(
+                f"eviction legality violated at t={t}: victim {victim!r} "
+                "served a hit earlier in this step"
+            )
+
+    def after_serve(
+        self, core: int, page, t: int, kind: str, ready_after: int, cache
+    ) -> None:
+        """Timing law, occupancy bound and core-order after one request.
+
+        ``kind`` is ``"hit"``, ``"fault"`` or ``"shared_fault"``;
+        ``ready_after`` is the core's next due time as set by the engine.
+        """
+        self.violations_checked += 1
+        if t != self._step:
+            raise InvariantError(
+                f"clock law violated: request served at t={t} inside "
+                f"step t={self._step}"
+            )
+        if core <= self._last_core:
+            raise InvariantError(
+                f"core-order law violated at t={t}: core {core} served "
+                f"after core {self._last_core} within the same step"
+            )
+        self._last_core = core
+
+        if kind == "hit":
+            expected = t + 1
+        elif kind == "fault":
+            expected = t + 1 + self.tau
+        elif kind == "shared_fault":
+            # "share" merely waits out the in-flight fetch, so the exact
+            # due time depends on the other core's fault time; it can
+            # only be bounded below.
+            expected = t + 1 + self.tau if self.inflight == "independent" else None
+        else:  # pragma: no cover - defensive
+            raise InvariantError(f"unknown access kind {kind!r} at t={t}")
+        if expected is not None and ready_after != expected:
+            raise InvariantError(
+                f"timing law violated at t={t}: {kind} of page {page!r} "
+                f"(core {core}) made the core due at t={ready_after}, "
+                f"expected t={expected} (tau={self.tau})"
+            )
+        if expected is None and ready_after < t + 1:
+            raise InvariantError(
+                f"timing law violated at t={t}: shared fault of page "
+                f"{page!r} (core {core}) made the core due at "
+                f"t={ready_after} < t+1"
+            )
+
+        occupancy = len(cache)
+        if occupancy > self.cache_size:
+            raise InvariantError(
+                f"occupancy law violated at t={t}: {occupancy} cells "
+                f"occupied in a cache of K={self.cache_size}"
+            )
+        if kind == "hit":
+            if not cache.is_resident(page, t):
+                raise InvariantError(
+                    f"hit legality violated at t={t}: page {page!r} was "
+                    "served as a hit but is not resident"
+                )
+        elif kind == "fault":
+            cell = cache.cell(page) if page in cache else None
+            if cell is None or cell.busy_until != t + self.tau:
+                until = "absent" if cell is None else f"busy_until={cell.busy_until}"
+                raise InvariantError(
+                    f"fetch law violated at t={t}: faulted page {page!r} "
+                    f"must occupy a cell busy until t={t + self.tau} "
+                    f"({until})"
+                )

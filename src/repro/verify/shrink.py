@@ -1,0 +1,238 @@
+"""Delta-debugging shrinker for failing verification cases.
+
+Given a :class:`~repro.verify.oracle.VerifyCase` and a predicate
+("does this case still fail?"), :func:`shrink_case` greedily applies
+reduction passes until a fixpoint:
+
+1. **drop cores** — remove whole sequences;
+2. **truncate sequences** — classic ddmin over each sequence, removing
+   contiguous chunks of halving size;
+3. **paired deletions** — remove one request from each of two cores at
+   once, preserving the time alignment that single deletions destroy;
+4. **merge pages** — replace one page by another already-present page,
+   collapsing the universe;
+5. **rewrite positions** — substitute a single occurrence by a smaller
+   page, unsticking ddmin from 1-minimal local optima;
+6. **lower tau**, 7. **lower K** — smaller parameters are simpler
+   counterexamples as long as the failure persists.
+
+Every candidate is validated (``K >= p``, at least one non-empty
+sequence) before the predicate runs, and the predicate is the sole
+arbiter — a pass keeps a reduction only if the case still fails, so the
+result is always a genuine (locally minimal) counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.verify.oracle import VerifyCase
+
+__all__ = ["shrink_case"]
+
+
+def _valid(case: VerifyCase) -> bool:
+    return (
+        case.num_cores >= 1
+        and case.cache_size >= max(1, case.num_cores)
+        and case.total_requests >= 1
+    )
+
+
+def _try(case: VerifyCase, predicate) -> bool:
+    return _valid(case) and predicate(case)
+
+
+def _drop_cores(case: VerifyCase, predicate) -> tuple[VerifyCase, bool]:
+    changed = False
+    i = 0
+    while case.num_cores > 1 and i < case.num_cores:
+        cand = replace(
+            case,
+            sequences=case.sequences[:i] + case.sequences[i + 1:],
+        )
+        if _try(cand, predicate):
+            case = cand
+            changed = True
+        else:
+            i += 1
+    return case, changed
+
+
+def _truncate_sequence(
+    case: VerifyCase, core: int, predicate
+) -> tuple[VerifyCase, bool]:
+    """ddmin on one core's sequence: drop contiguous chunks, halving the
+    chunk size until single requests."""
+    changed = False
+    chunk = max(1, len(case.sequences[core]) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(case.sequences[core]):
+            seq = case.sequences[core]
+            shorter = seq[:i] + seq[i + chunk:]
+            if not shorter and case.num_cores > 1:
+                # Emptying a sequence is core-dropping's job; skip so the
+                # shrunk case never carries silent zero-length cores.
+                i += chunk
+                continue
+            cand = replace(
+                case,
+                sequences=case.sequences[:core]
+                + (shorter,)
+                + case.sequences[core + 1:],
+            )
+            if _try(cand, predicate):
+                case = cand
+                changed = True
+            else:
+                i += chunk
+        chunk //= 2
+    return case, changed
+
+
+def _merge_pages(case: VerifyCase, predicate) -> tuple[VerifyCase, bool]:
+    changed = False
+    if len(case.universe) > 16:
+        return case, changed  # merging is quadratic; wait until smaller
+    progress = True
+    while progress:
+        progress = False
+        pages = sorted(case.universe, key=repr)
+        for a in reversed(pages):
+            for b in pages:
+                if repr(b) >= repr(a):
+                    break
+                cand = replace(
+                    case,
+                    sequences=tuple(
+                        tuple(b if q == a else q for q in seq)
+                        for seq in case.sequences
+                    ),
+                )
+                if _try(cand, predicate):
+                    case = cand
+                    changed = progress = True
+                    break
+            if progress:
+                break
+    return case, changed
+
+
+def _paired_deletions(case: VerifyCase, predicate) -> tuple[VerifyCase, bool]:
+    """Delete one request from each of two cores simultaneously.
+
+    Multicore counterexamples are often time-aligned: removing a single
+    request shifts one core's schedule relative to the other and the
+    failure vanishes, so plain ddmin stalls.  Removing one request from
+    *each* core preserves the alignment and lets shrinking continue.
+    """
+    changed = False
+    if case.total_requests > 40 or case.num_cores < 2:
+        return case, changed
+    progress = True
+    while progress:
+        progress = False
+        for a in range(case.num_cores):
+            for b in range(case.num_cores):
+                if a == b:
+                    continue
+                for i in range(len(case.sequences[a])):
+                    for j in range(len(case.sequences[b])):
+                        seqs = list(case.sequences)
+                        sa = seqs[a][:i] + seqs[a][i + 1:]
+                        sb = seqs[b][:j] + seqs[b][j + 1:]
+                        if (not sa or not sb) and case.num_cores > 1:
+                            continue  # emptying is core-dropping's job
+                        seqs[a] = sa
+                        seqs[b] = sb
+                        cand = replace(case, sequences=tuple(seqs))
+                        if _try(cand, predicate):
+                            case = cand
+                            changed = progress = True
+                            break
+                    if progress:
+                        break
+                if progress:
+                    break
+            if progress:
+                break
+    return case, changed
+
+
+def _rewrite_positions(case: VerifyCase, predicate) -> tuple[VerifyCase, bool]:
+    """Replace single page occurrences with repr-smaller pages from the
+    same sequence.  Rewrites never reduce the request count directly but
+    collapse the page structure, unsticking the truncation pass from
+    1-minimal local optima."""
+    changed = False
+    if case.total_requests > 40 or len(case.universe) > 16:
+        return case, changed
+    for core in range(case.num_cores):
+        alphabet = sorted(set(case.sequences[core]), key=repr)
+        i = 0
+        while i < len(case.sequences[core]):
+            seq = case.sequences[core]
+            for b in alphabet:
+                if repr(b) >= repr(seq[i]):
+                    break
+                cand = replace(
+                    case,
+                    sequences=case.sequences[:core]
+                    + (seq[:i] + (b,) + seq[i + 1:],)
+                    + case.sequences[core + 1:],
+                )
+                if _try(cand, predicate):
+                    case = cand
+                    changed = True
+                    break
+            i += 1
+    return case, changed
+
+
+def _lower_scalar(
+    case: VerifyCase, attr: str, floor: int, predicate
+) -> tuple[VerifyCase, bool]:
+    changed = False
+    value = getattr(case, attr)
+    for smaller in range(floor, value):
+        cand = replace(case, **{attr: smaller})
+        if _try(cand, predicate):
+            case = cand
+            changed = True
+            break
+    return case, changed
+
+
+def shrink_case(case: VerifyCase, predicate, *, max_rounds: int = 10) -> VerifyCase:
+    """Reduce ``case`` to a locally-minimal case still satisfying
+    ``predicate`` (i.e. still failing).
+
+    ``predicate`` must be deterministic; it is re-evaluated on every
+    candidate reduction.  If ``case`` itself does not satisfy the
+    predicate it is returned unchanged.
+    """
+    if not _try(case, predicate):
+        return case
+    for _ in range(max_rounds):
+        any_change = False
+        case, ch = _drop_cores(case, predicate)
+        any_change |= ch
+        for core in range(case.num_cores):
+            case, ch = _truncate_sequence(case, core, predicate)
+            any_change |= ch
+        case, ch = _paired_deletions(case, predicate)
+        any_change |= ch
+        case, ch = _merge_pages(case, predicate)
+        any_change |= ch
+        case, ch = _rewrite_positions(case, predicate)
+        any_change |= ch
+        case, ch = _lower_scalar(case, "tau", 0, predicate)
+        any_change |= ch
+        case, ch = _lower_scalar(
+            case, "cache_size", max(1, case.num_cores), predicate
+        )
+        any_change |= ch
+        if not any_change:
+            break
+    return case

@@ -144,6 +144,62 @@ class TestResultCache:
         assert "removed 2" in capsys.readouterr().out
 
 
+class TestCacheFingerprint:
+    """The cache key must separate strategies whose display *name* collides
+    but whose configuration differs (the v1 key aliased them)."""
+
+    def test_same_name_different_config_distinct_keys(self):
+        from repro.analysis.batch import _replica_key
+        from repro.policies import LRUKPolicy
+
+        w = make_workload(0)
+        two = SharedStrategy(lambda: LRUKPolicy(k=2))
+        three = SharedStrategy(lambda: LRUKPolicy(k=3))
+        assert two.name == three.name  # the very aliasing that broke v1
+        assert _replica_key(w, two, 4, 1) != _replica_key(w, three, 4, 1)
+
+    def test_same_name_different_config_no_shared_entry(self, tmp_path):
+        from repro.policies import LRUKPolicy
+
+        first = batch_run(
+            "k2", make_workload, lambda: SharedStrategy(lambda: LRUKPolicy(k=2)),
+            4, 1, range(3), cache=True, cache_dir=tmp_path,
+        )
+        second = batch_run(
+            "k3", make_workload, lambda: SharedStrategy(lambda: LRUKPolicy(k=3)),
+            4, 1, range(3), cache=True, cache_dir=tmp_path,
+        )
+        assert first.cache_hits == 0
+        assert second.cache_hits == 0  # v1 would have served k=2's entries
+
+    def test_partition_in_key(self):
+        from repro.analysis.batch import _replica_key
+        from repro.strategies import StaticPartitionStrategy
+
+        w = make_workload(0)
+        a = StaticPartitionStrategy([3, 1], LRUPolicy)
+        b = StaticPartitionStrategy([2, 2], LRUPolicy)
+        assert _replica_key(w, a, 4, 1) != _replica_key(w, b, 4, 1)
+
+    def test_version_bump_orphans_old_entries(self, tmp_path):
+        """Keys embed CACHE_VERSION and live under a versioned root, so a
+        v1 entry can never be read back by the current code."""
+        import repro.analysis.batch as batch_mod
+        from repro.analysis.batch import _cache_root
+
+        assert batch_mod.CACHE_VERSION == 2
+        assert _cache_root(tmp_path).name == "v2"
+        v1 = tmp_path / "batch" / "v1" / "ab" / ("a" * 64 + ".json")
+        v1.parent.mkdir(parents=True)
+        v1.write_text('{"faults": 0, "makespan": 0}')
+        res = batch_run(
+            "x", make_workload, make_strategy, 4, 1, [0],
+            cache=True, cache_dir=tmp_path,
+        )
+        assert res.cache_hits == 0
+        assert res.faults[0] > 0  # recomputed, not the poisoned v1 entry
+
+
 class TestExpectedFaults:
     def test_randomized_marking_bounds(self):
         """E[MARK_random] lies between OPT (Belady) and the deterministic

@@ -77,3 +77,61 @@ class TestFlushWhenFull:
 
     def test_name(self):
         assert FlushWhenFullStrategy().name == "S_FWF"
+
+
+class _StickyLRUPolicy(LRUPolicy):
+    """An LRU variant whose extra state deliberately survives reset():
+    the model of a user subclass with an incomplete reset()."""
+
+    def __init__(self):
+        super().__init__()
+        self.poisoned = set()
+
+    # reset() inherited — forgets the stamps but NOT `poisoned`.
+
+    def victim(self, candidates, t):
+        bad = candidates & self.poisoned
+        if bad:
+            victim = min(bad, key=repr)
+        else:
+            victim = super().victim(candidates, t)
+        self.poisoned.add(victim)
+        return victim
+
+
+class TestStatefulPolicyReuse:
+    """Running the *same strategy object* twice must be deterministic,
+    even when the policy instance's reset() is incomplete."""
+
+    WORKLOAD = [[0, 1, 2, 0, 3, 1, 0, 2], [10, 11, 10, 12, 11, 13]]
+
+    def test_same_strategy_object_twice_identical(self):
+        from repro.core.kernels import simulate_fast
+
+        strategy = SharedStrategy(_StickyLRUPolicy())
+        first = simulate_fast(self.WORKLOAD, 3, 1, strategy)
+        second = simulate_fast(self.WORKLOAD, 3, 1, strategy)
+        assert first == second
+
+    def test_general_simulator_reuse_identical(self):
+        strategy = SharedStrategy(_StickyLRUPolicy())
+        first = simulate(self.WORKLOAD, 3, 1, strategy)
+        second = simulate(self.WORKLOAD, 3, 1, strategy)
+        assert first == second
+
+    def test_caller_instance_not_mutated(self):
+        instance = _StickyLRUPolicy()
+        strategy = SharedStrategy(instance)
+        simulate(self.WORKLOAD, 3, 1, strategy)
+        assert instance.poisoned == set()
+
+    def test_in_tree_instance_reuse_matches_fresh(self):
+        shared = SharedStrategy(LRUPolicy())
+        reused = [
+            simulate(self.WORKLOAD, 3, 1, shared).faults_per_core
+            for _ in range(2)
+        ]
+        fresh = simulate(
+            self.WORKLOAD, 3, 1, SharedStrategy(LRUPolicy)
+        ).faults_per_core
+        assert reused[0] == reused[1] == fresh

@@ -242,3 +242,66 @@ class TestTimelineAndProfile:
         from repro.strategies import ProgressBalancingStrategy
 
         assert isinstance(make_strategy("S_BAL", 8, 2), ProgressBalancingStrategy)
+
+
+class TestVerifyCommand:
+    def test_clean_fuzz_exits_zero(self, capsys):
+        assert main(["verify", "--fuzz", "30", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "30 fuzz case(s)" in out
+        assert "all engines agree" in out
+
+    def test_corpus_replay(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).resolve().parent / "corpus" / "verify"
+        assert (
+            main(["verify", "--fuzz", "5", "--corpus", str(corpus), "-q"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "7 corpus case(s)" in out
+
+    def test_injected_bug_exits_one_and_saves(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import inspect
+        import types
+
+        import repro.core.kernels as kernels_mod
+        import repro.core.kernels.shared as shared_mod
+
+        legal = "if busy_until[q] >= t or pinned_at.get(q) == t:"
+        source = inspect.getsource(shared_mod)
+        assert legal in source
+        patched = types.ModuleType(shared_mod.__name__)
+        exec(
+            compile(
+                source.replace(legal, "if busy_until[q] >= t:"),
+                shared_mod.__file__,
+                "exec",
+            ),
+            patched.__dict__,
+        )
+        monkeypatch.setitem(
+            kernels_mod.KERNELS, "S_FIFO", patched.fast_shared_fifo
+        )
+
+        save_dir = tmp_path / "failures"
+        code = main(
+            [
+                "verify", "--fuzz", "300", "-q",
+                "--strategies", "S_FIFO",
+                "--save-failures", str(save_dir),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "kernel_mismatch [S_FIFO]" in out
+        saved = list(save_dir.glob("*.json"))
+        assert len(saved) == 1
+
+        from repro.verify import load_case
+
+        case = load_case(saved[0])
+        assert case.num_cores <= 3
+        assert case.total_requests <= 10

@@ -1,0 +1,39 @@
+"""Fuzz budget run (marked ``verify_fuzz``) and unconditional corpus replay.
+
+The corpus under ``tests/corpus/verify/`` holds shrunk counterexamples of
+previously-injected bugs plus structurally nasty hand-picked cases; it is
+replayed on every suite run so a fixed divergence can never silently
+return.  The randomized budget run is the CI equivalent of
+``repro verify --fuzz 200`` and can be deselected with
+``-m "not verify_fuzz"``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import fuzz, replay_corpus
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus" / "verify"
+
+
+def test_corpus_exists_and_replays_clean():
+    replayed, divergences = replay_corpus(CORPUS_DIR)
+    assert replayed >= 5, f"corpus missing or empty at {CORPUS_DIR}"
+    assert divergences == [], "\n".join(d.format() for d in divergences)
+
+
+@pytest.mark.verify_fuzz
+def test_quick_fuzz_budget_clean():
+    report = fuzz(200, seed=0)
+    assert report.cases_run == 200
+    assert report.ok, report.summary()
+
+
+@pytest.mark.verify_fuzz
+@pytest.mark.slow
+def test_acceptance_fuzz_500_seed0():
+    """The ISSUE acceptance command: ``repro verify --fuzz 500 --seed 0``."""
+    from repro.cli import main
+
+    assert main(["verify", "--fuzz", "500", "--seed", "0", "-q"]) == 0

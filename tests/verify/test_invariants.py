@@ -1,0 +1,121 @@
+"""Tests for the runtime invariant monitor."""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.core.cache import CacheState
+from repro.core.simulator import Simulator
+from repro.verify import InvariantError, InvariantMonitor, verify_env_enabled
+from repro.workloads import theorem1_workload, uniform_workload
+
+
+class TestCleanRuns:
+    """The monitor must be silent on every legal run."""
+
+    @pytest.mark.parametrize("tau", [0, 1, 3])
+    def test_random_workload_clean(self, tau):
+        w = uniform_workload(3, 60, 5, seed=4)
+        checked = simulate(
+            w, 6, tau, SharedStrategy(LRUPolicy), check_invariants=True
+        )
+        plain = simulate(w, 6, tau, SharedStrategy(LRUPolicy))
+        assert checked == plain  # observing must not perturb the run
+
+    def test_adversarial_clean(self):
+        w = theorem1_workload(4, 2, 2, 2)
+        simulate(w, 4, 2, SharedStrategy(LRUPolicy), check_invariants=True)
+
+    def test_monitor_counts_checks(self):
+        sim = Simulator(
+            [[0, 1, 0]], 2, 1, SharedStrategy(LRUPolicy), check_invariants=True
+        )
+        assert sim.check_invariants
+        sim.run()  # no InvariantError
+
+
+class TestEnvGating:
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert verify_env_enabled()
+        assert Simulator([[0]], 1, 0, SharedStrategy(LRUPolicy)).check_invariants
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        assert not verify_env_enabled()
+
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        sim = Simulator(
+            [[0]], 1, 0, SharedStrategy(LRUPolicy), check_invariants=False
+        )
+        assert not sim.check_invariants
+
+
+class TestLaws:
+    """Drive the monitor directly with illegal observations."""
+
+    def monitor(self, K=2, tau=1, **kw):
+        return InvariantMonitor(K, tau, **kw)
+
+    def test_clock_must_increase(self):
+        m = self.monitor()
+        m.begin_step(3)
+        with pytest.raises(InvariantError, match="clock law"):
+            m.begin_step(3)
+
+    def test_core_order(self):
+        m = self.monitor()
+        cache = CacheState(2)
+        m.begin_step(0)
+        cache.insert("a", 1, 0, 1)
+        m.after_serve(1, "a", 0, "fault", 2, cache)
+        cache.insert("b", 0, 0, 1)
+        with pytest.raises(InvariantError, match="core-order"):
+            m.after_serve(0, "b", 0, "fault", 2, cache)
+
+    def test_hit_timing(self):
+        m = self.monitor(tau=2)
+        cache = CacheState(2)
+        cache.insert("a", 0, -5, 0)
+        m.begin_step(0)
+        with pytest.raises(InvariantError, match="timing law"):
+            m.after_serve(0, "a", 0, "hit", 3, cache)  # must be t+1
+
+    def test_fault_timing(self):
+        m = self.monitor(tau=2)
+        cache = CacheState(2)
+        cache.insert("a", 0, 0, 2)
+        m.begin_step(0)
+        with pytest.raises(InvariantError, match="timing law"):
+            m.after_serve(0, "a", 0, "fault", 1, cache)  # must be t+1+tau
+
+    def test_evict_mid_fetch_rejected(self):
+        m = self.monitor(tau=3)
+        cache = CacheState(2)
+        cache.insert("a", 0, 0, 3)  # busy until t=3
+        m.begin_step(1)
+        with pytest.raises(InvariantError, match="mid-fetch"):
+            m.check_victim("a", 1, cache)
+
+    def test_evict_pinned_rejected(self):
+        m = self.monitor(tau=0)
+        cache = CacheState(2)
+        cache.insert("a", 0, -3, 0)
+        m.begin_step(2)
+        cache.pin("a", 2)
+        with pytest.raises(InvariantError, match="served a hit"):
+            m.check_victim("a", 2, cache)
+
+    def test_evict_absent_rejected(self):
+        m = self.monitor()
+        m.begin_step(0)
+        with pytest.raises(InvariantError, match="not in the cache"):
+            m.check_victim("ghost", 0, CacheState(2))
+
+    def test_hit_on_nonresident_rejected(self):
+        m = self.monitor(tau=0)
+        cache = CacheState(2)
+        m.begin_step(0)
+        with pytest.raises(InvariantError, match="hit legality"):
+            m.after_serve(0, "a", 0, "hit", 1, cache)

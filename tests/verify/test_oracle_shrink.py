@@ -1,0 +1,161 @@
+"""Tests for the cross-engine oracle, the shrinker and the corpus format."""
+
+import pytest
+
+import repro.core.kernels as kernels_mod
+from repro.verify import VerifyCase, check_case, load_case, save_case
+from repro.verify.oracle import fuzz, oracle_strategies, random_case
+from repro.verify.shrink import shrink_case
+
+
+class TestCheckCase:
+    def test_clean_on_simple_case(self):
+        case = VerifyCase.make([[0, 1, 0, 2], [10, 11, 10]], 4, 1)
+        assert check_case(case) == []
+
+    def test_exception_parity_is_agreement(self):
+        # Non-disjoint K=p case where the only page of a full part is
+        # pinned by another core's hit: both engines raise the identical
+        # RuntimeError, which the oracle must treat as agreement.
+        case = VerifyCase.make([[1, 3], [3, 2]], 2, 0)
+        assert check_case(case) == []
+
+    def test_strategy_filter(self):
+        case = VerifyCase.make([[0, 1, 0]], 2, 0)
+        assert check_case(case, strategies=["S_LRU"]) == []
+        with pytest.raises(KeyError):
+            check_case(case, strategies=["no_such_kernel"])
+
+    def test_oracle_strategy_factories_cover_kernels(self):
+        made = oracle_strategies(4, 2)
+        assert set(made) == set(kernels_mod.KERNELS)
+
+
+class TestRandomCase:
+    def test_reproducible_and_valid(self):
+        import random
+
+        a = [random_case(random.Random(7)) for _ in range(50)]
+        b = [random_case(random.Random(7)) for _ in range(50)]
+        assert a == b
+        for case in a:
+            assert case.cache_size >= case.num_cores  # K >= p
+            assert case.tau >= 0
+            assert case.total_requests >= 1
+
+
+class TestShrinker:
+    def test_returns_unshrinkable_case_unchanged(self):
+        case = VerifyCase.make([[0]], 1, 0)
+        assert shrink_case(case, lambda c: True) == case
+
+    def test_non_failing_case_untouched(self):
+        case = VerifyCase.make([[0, 1, 2]], 2, 1)
+        assert shrink_case(case, lambda c: False) == case
+
+    def test_shrinks_to_predicate_core(self):
+        # Predicate: core 1's sequence contains at least three requests.
+        case = VerifyCase.make([[0, 1, 2, 3], [5, 6, 7, 8, 9], [4]], 8, 2)
+        small = shrink_case(
+            case, lambda c: any(len(s) >= 3 for s in c.sequences)
+        )
+        assert small.num_cores == 1
+        assert small.total_requests == 3
+        assert small.tau == 0
+        assert small.cache_size == 1
+
+    def test_escapes_alignment_local_minimum(self):
+        # Requires deleting one request from EACH core to stay failing —
+        # exactly the trap that pure per-sequence ddmin cannot leave.
+        case = VerifyCase.make([[0, 1, 0, 1], [5, 6, 5, 6]], 4, 1)
+
+        def aligned(c):
+            if c.num_cores != 2:
+                return False
+            a, b = (len(s) for s in c.sequences)
+            return a == b and a >= 1
+
+        small = shrink_case(case, aligned)
+        assert [len(s) for s in small.sequences] == [1, 1]
+
+
+BUGGY_SPECS = [
+    # (kernel name, module path, legal line, buggy line): each removes one
+    # pinned-victim legality check, the model's eviction-legality law.
+    (
+        "S_FIFO",
+        "repro.core.kernels.shared",
+        "if busy_until[q] >= t or pinned_at.get(q) == t:",
+        "if busy_until[q] >= t:",
+    ),
+    (
+        "S_FITF",
+        "repro.core.kernels.belady",
+        "if busy_until[q] >= t or pinned_at.get(q) == t:",
+        "if busy_until[q] >= t:",
+    ),
+]
+
+
+class TestBugInjection:
+    """Acceptance criterion: a one-line eviction-legality bug in any kernel
+    must be caught by the fuzzer and shrunk to <= 3 cores / <= 10 requests."""
+
+    @pytest.mark.parametrize(
+        "kernel,module,legal,buggy", BUGGY_SPECS, ids=lambda v: str(v)[:12]
+    )
+    def test_injected_bug_caught_and_shrunk(
+        self, monkeypatch, kernel, module, legal, buggy
+    ):
+        import importlib
+        import inspect
+        import types
+
+        mod = importlib.import_module(module)
+        source = inspect.getsource(mod)
+        assert legal in source, "legality check moved; update the test"
+        patched = types.ModuleType(mod.__name__)
+        exec(compile(source.replace(legal, buggy), mod.__file__, "exec"),
+             patched.__dict__)
+        buggy_fn = getattr(patched, kernels_mod.KERNELS[kernel].__name__)
+        monkeypatch.setitem(kernels_mod.KERNELS, kernel, buggy_fn)
+
+        report = fuzz(500, seed=0, strategies=[kernel])
+        assert not report.ok, "fuzzer missed the injected bug"
+        div = report.divergences[0]
+        assert div.kind == "kernel_mismatch"
+        assert div.strategy == kernel
+        assert div.case.num_cores <= 3
+        assert div.case.total_requests <= 10
+        # The shrunk case must be replayable: it still fails on the buggy
+        # kernel and passes on the healthy one.
+        assert any(
+            d.kind == "kernel_mismatch"
+            for d in check_case(div.case, strategies=[kernel])
+        )
+        monkeypatch.setitem(
+            kernels_mod.KERNELS, kernel, getattr(mod, buggy_fn.__name__)
+        )
+        assert check_case(div.case, strategies=[kernel]) == []
+
+
+class TestCorpusRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        case = VerifyCase.make(
+            [[("f", 1), ("f", 2)], ["s", "t", "s"]], 3, 2, "tuple+str pages"
+        )
+        path = save_case(case, tmp_path / "case.json", details="why")
+        loaded = load_case(path)
+        assert loaded == case
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="malformed"):
+            load_case(bad)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "schema.json"
+        bad.write_text('{"schema": 99, "cache_size": 1, "tau": 0, "sequences": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_case(bad)

@@ -1,0 +1,89 @@
+"""tau = 0 properties: with a free fetch the model degenerates nicely.
+
+With ``tau = 0`` a faulted page is resident in the same step it was
+requested, every request completes at its own step, and (paper, Section
+5.1) the multicore problem with one core is *exactly* classical paging —
+so the engines can be cross-checked against the independent sequential
+fault counters and the exact DP on top of the usual kernel/simulator
+agreement.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LRUPolicy, SharedStrategy, simulate
+from repro.offline import minimum_total_faults
+from repro.problems import FTFInstance
+from repro.sequential import belady_faults, fifo_faults, lru_faults
+from repro.verify import VerifyCase, check_case
+from repro.workloads import uniform_workload, zipf_workload
+
+
+def sequences(min_cores=1, max_cores=3):
+    return st.lists(
+        st.lists(st.integers(0, 5), min_size=1, max_size=8),
+        min_size=min_cores,
+        max_size=max_cores,
+    )
+
+
+class TestEnginesAgreeAtTauZero:
+    @settings(max_examples=60, deadline=None)
+    @given(seqs=sequences(), extra=st.integers(0, 3))
+    def test_kernels_and_dp_agree(self, seqs, extra):
+        # Disjoint-ify the universes per core: the exact engines only
+        # certify disjoint instances.
+        seqs = [[(j, q) for q in s] for j, s in enumerate(seqs)]
+        case = VerifyCase.make(seqs, len(seqs) + extra + 1, 0)
+        assert check_case(case, opt_limit=10) == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_workloads_clean(self, seed):
+        w = uniform_workload(3, 45, 4, seed=seed)
+        case = VerifyCase.make(w.as_lists(), 6, 0)
+        assert check_case(case) == []
+
+
+class TestSingleCoreIsClassicalPaging:
+    """p=1, tau=0: multicore faults == textbook per-sequence counters."""
+
+    @pytest.mark.parametrize("K", [2, 3, 5])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lru_matches_sequential_counter(self, K, seed):
+        seq = list(zipf_workload(1, 60, 8, seed=seed)[0])
+        res = simulate([seq], K, 0, SharedStrategy(LRUPolicy))
+        assert res.total_faults == lru_faults(seq, K)
+
+    @pytest.mark.parametrize("K", [2, 4])
+    def test_fifo_matches_sequential_counter(self, K):
+        from repro import FIFOPolicy
+
+        seq = list(zipf_workload(1, 50, 7, seed=3)[0])
+        res = simulate([seq], K, 0, SharedStrategy(FIFOPolicy))
+        assert res.total_faults == fifo_faults(seq, K)
+
+    @pytest.mark.parametrize("K", [2, 3])
+    def test_dp_matches_belady(self, K):
+        # At p=1, tau=0, the exact multicore DP must equal Belady's FITF —
+        # the classical offline optimum.
+        seq = [0, 1, 2, 0, 1, 3, 0, 2, 1, 3][:8]
+        opt = minimum_total_faults(FTFInstance([seq], K, 0))
+        assert opt.faults == belady_faults(seq, K)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=st.lists(st.integers(0, 4), min_size=1, max_size=9))
+    def test_dp_matches_belady_property(self, seq):
+        opt = minimum_total_faults(FTFInstance([seq], 3, 0))
+        assert opt.faults == belady_faults(seq, 3)
+
+
+class TestCompletionAtTauZero:
+    @settings(max_examples=30, deadline=None)
+    @given(seqs=sequences(min_cores=2, max_cores=3))
+    def test_makespan_equals_longest_sequence(self, seqs):
+        # tau=0: every request costs exactly one step regardless of
+        # faulting, so each core finishes at len(seq)-1.
+        seqs = [[(j, q) for q in s] for j, s in enumerate(seqs)]
+        res = simulate(seqs, len(seqs) + 2, 0, SharedStrategy(LRUPolicy))
+        assert res.completion_times == tuple(len(s) - 1 for s in seqs)
