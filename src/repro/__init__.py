@@ -35,6 +35,9 @@ Packages
     workload families.
 ``repro.analysis``
     Ratio/sweep harness and table formatting used by the benchmarks.
+``repro.runtime``
+    Robust execution runtime: solver budgets with graceful degradation,
+    supervised resumable sweeps, deterministic chaos injection.
 """
 
 from repro.core import (
@@ -71,6 +74,7 @@ from repro.policies import (
     TwoQPolicy,
 )
 from repro.problems import FTFInstance, PIFInstance
+from repro.runtime import BoundedResult, Budget, BudgetExceeded
 from repro.strategies import (
     AdaptiveWorkingSetPartition,
     FlushWhenFullStrategy,
@@ -88,6 +92,9 @@ __all__ = [
     "ARCPolicy",
     "AccessEvent",
     "AccessKind",
+    "BoundedResult",
+    "Budget",
+    "BudgetExceeded",
     "AdaptiveWorkingSetPartition",
     "CacheState",
     "ClockPolicy",

@@ -26,6 +26,17 @@ Everything passed in must be picklable for ``parallel=True`` (module-level
 functions and the library's strategies/factories are).  The factories are
 shipped once per worker via the pool initializer, not re-pickled with
 every job, and jobs are submitted in explicit chunks.
+
+Long sweeps get supervision (docs/ROBUSTNESS.md): ``timeout_s`` bounds
+one replica's wall clock, ``retries``/``retry_backoff_s`` retry failed or
+crashed replicas with a rebuilt pool, and ``journal=`` names an
+append-only manifest of completed replicas so an interrupted sweep
+(crash, ``KeyboardInterrupt``) resumes where it left off instead of
+recomputing.  Cache entries are sha256-checksummed; a corrupt or
+truncated entry is *quarantined* (moved aside for inspection, counted by
+:func:`cache_info`) and recomputed rather than trusted or crashed on.
+All of it is testable deterministically via ``REPRO_CHAOS``
+(:mod:`repro.runtime.chaos`).
 """
 
 from __future__ import annotations
@@ -44,6 +55,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.kernels import simulate_fast
+from repro.runtime import chaos
+from repro.runtime.supervisor import Journal, supervised_map
 
 __all__ = [
     "BatchResult",
@@ -61,7 +74,9 @@ __all__ = [
 #: ``Strategy.cache_fingerprint()``, which includes eviction-policy
 #: configuration — (type, name) aliased differently-configured strategies
 #: (e.g. two LRU-K instances with different k) onto one entry.
-CACHE_VERSION = 2
+#: v3: entries carry a sha256 payload checksum; unchecksummed v2 entries
+#: are unreachable rather than indistinguishable from tampered ones.
+CACHE_VERSION = 3
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 
@@ -82,6 +97,12 @@ class BatchResult:
     #: How many replicas were served from the on-disk cache (0 without
     #: ``cache=True``).
     cache_hits: int = 0
+    #: How many replicas were restored from the journal manifest of an
+    #: interrupted earlier run (0 without ``journal=``).
+    resumed: int = 0
+    #: Seeds whose replica exhausted its retries (always empty with the
+    #: default ``on_failure="raise"``); excluded from the statistics.
+    failed_seeds: tuple[int, ...] = ()
 
     @property
     def mean_faults(self) -> float:
@@ -153,7 +174,52 @@ def _replica_key(workload, strategy, cache_size: int, tau: int) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def _store(path: Path, payload: dict) -> None:
+def _payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON of a payload, ``sha256`` key excluded."""
+    body = {k: v for k, v in payload.items() if k != "sha256"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _quarantine(path: Path, cache_root: Path) -> None:
+    """Move a corrupt entry into ``<cache base>/batch/quarantine/`` for
+    post-mortem instead of deleting it or crashing on it.  Best-effort:
+    a concurrent reader may quarantine the same file first."""
+    qdir = cache_root.parent / "quarantine"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, qdir / path.name)
+    except OSError:
+        pass
+
+
+def _load_entry(path: Path, cache_root: Path):
+    """Read one cache entry; returns ``(faults, makespan)`` or ``None``.
+
+    A missing file is a plain miss.  An unparsable, truncated or
+    checksum-mismatched file is *quarantined* — silently recomputing over
+    it would mask corruption bugs, and crashing on it would kill a sweep
+    for one bad sector.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        data = json.loads(text)
+        stored = data["sha256"]
+        result = int(data["faults"]), int(data["makespan"])
+    except (ValueError, KeyError, TypeError):
+        _quarantine(path, cache_root)
+        return None
+    if stored != _payload_checksum(data):
+        _quarantine(path, cache_root)
+        return None
+    return result
+
+
+def _store(path: Path, payload: dict, *, key: str = "") -> None:
     """Atomic single-file write (concurrent writers may race on a key;
     last ``os.replace`` wins and all writers write identical content).
 
@@ -163,6 +229,9 @@ def _store(path: Path, payload: dict) -> None:
     the cache directory, would interleave writes into the same temp file
     and could publish a truncated entry.
     """
+    payload = dict(payload)
+    payload["sha256"] = _payload_checksum(payload)
+    text = chaos.maybe_corrupt(("cache", key), json.dumps(payload))
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = tempfile.NamedTemporaryFile(
         mode="w",
@@ -173,7 +242,7 @@ def _store(path: Path, payload: dict) -> None:
     )
     try:
         with tmp:
-            tmp.write(json.dumps(payload))
+            tmp.write(text)
         os.replace(tmp.name, path)
     except BaseException:
         try:
@@ -184,19 +253,21 @@ def _store(path: Path, payload: dict) -> None:
 
 
 def _run_replica(
-    workload_factory, strategy_factory, cache_size, tau, seed, cache_root
+    workload_factory, strategy_factory, cache_size, tau, seed, cache_root,
+    attempt: int = 0,
 ):
+    chaos.maybe_crash(("replica", seed), attempt, hard=_WORKER_CTX is not None)
+    chaos.maybe_slow(("replica", seed), attempt)
     workload = workload_factory(seed)
     strategy = strategy_factory()
     path = None
+    key = ""
     if cache_root is not None:
         key = _replica_key(workload, strategy, cache_size, tau)
         path = cache_root / key[:2] / f"{key}.json"
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            return seed, int(data["faults"]), int(data["makespan"]), True
-        except (OSError, ValueError, KeyError):
-            pass  # miss, or a corrupt/truncated entry: recompute
+        cached = _load_entry(path, cache_root)
+        if cached is not None:
+            return seed, cached[0], cached[1], True
     res = simulate_fast(workload, cache_size, tau, strategy)
     if path is not None:
         _store(
@@ -208,6 +279,7 @@ def _run_replica(
                 "cache_size": cache_size,
                 "tau": tau,
             },
+            key=key,
         )
     return seed, res.total_faults, res.makespan, False
 
@@ -227,6 +299,32 @@ def _seed_replica(seed):
     return _run_replica(*_WORKER_CTX[:4], seed, _WORKER_CTX[4])
 
 
+def _seed_replica_attempt(seed, attempt):
+    """Supervised-pool entry point: the attempt number scopes chaos."""
+    return _run_replica(*_WORKER_CTX[:4], seed, _WORKER_CTX[4], attempt)
+
+
+def _journal_fingerprint(label, strategy_factory, cache_size, tau) -> str:
+    """Identity of one sweep configuration for journal validation.
+
+    The workload factory itself is not content-addressable without
+    building every workload, so the fingerprint relies on the caller
+    keeping ``label`` stable for one logical sweep (plus everything that
+    *is* canonically hashable: strategy fingerprint, ``K``, ``tau``,
+    cache version)."""
+    payload = pickle.dumps(
+        (
+            CACHE_VERSION,
+            str(label),
+            strategy_factory().cache_fingerprint(),
+            cache_size,
+            tau,
+        ),
+        protocol=4,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
 def batch_run(
     label: str,
     workload_factory: Callable[[int], object],
@@ -239,6 +337,11 @@ def batch_run(
     max_workers: int | None = None,
     cache: bool = False,
     cache_dir: str | os.PathLike | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.1,
+    journal: str | os.PathLike | None = None,
+    on_failure: str = "raise",
 ) -> BatchResult:
     """Run ``strategy_factory()`` on ``workload_factory(seed)`` for every
     seed and aggregate.
@@ -247,32 +350,118 @@ def batch_run(
     strategy is built per replica so no state leaks between runs.  With
     ``cache=True`` results are read from / written to the on-disk replica
     cache under ``cache_dir`` (default :func:`default_cache_dir`).
+
+    Supervision (see docs/ROBUSTNESS.md):
+
+    ``timeout_s``
+        Per-replica wall-clock bound.  Only enforceable with
+        ``parallel=True`` (a hung in-process replica cannot be
+        preempted); a timed-out replica's worker is killed, the pool is
+        rebuilt, and the replica is retried or failed.
+    ``retries`` / ``retry_backoff_s``
+        Failed replicas (worker exception, crashed worker / broken pool,
+        timeout) are retried up to ``retries`` times with exponential
+        backoff before counting as failed.
+    ``journal``
+        Path to an append-only manifest of completed replicas.  Replicas
+        recorded there are *not* recomputed — an interrupted sweep rerun
+        with the same journal resumes where it left off.  The journal
+        validates a configuration fingerprint: reusing it with a
+        different label/strategy/``K``/``tau`` raises
+        :class:`~repro.runtime.supervisor.JournalMismatch`.
+    ``on_failure``
+        ``"raise"`` (default) aborts the sweep with
+        :class:`~repro.runtime.supervisor.SweepError` on the first
+        replica that exhausts its retries — completed replicas are
+        already journaled.  ``"record"`` finishes the sweep and reports
+        the failures in :attr:`BatchResult.failed_seeds`.
     """
     seeds = list(seeds)
     cache_root = _cache_root(cache_dir) if cache else None
-    if parallel and len(seeds) > 1:
-        workers = max_workers or min(len(seeds), os.cpu_count() or 1)
-        chunksize = max(1, len(seeds) // (workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(
+    supervised = (
+        timeout_s is not None
+        or retries > 0
+        or journal is not None
+        or on_failure != "raise"
+        or chaos.chaos_active()
+    )
+    journal_obj = None
+    resumed: dict = {}
+    todo = seeds
+    if journal is not None:
+        journal_obj = Journal(
+            journal,
+            _journal_fingerprint(label, strategy_factory, cache_size, tau),
+        )
+        resumed = {
+            seed: journal_obj.completed[seed]
+            for seed in seeds
+            if seed in journal_obj.completed
+        }
+        todo = [seed for seed in seeds if seed not in resumed]
+
+    def record(seed, outcome) -> None:
+        if journal_obj is not None:
+            _seed, faults, makespan, _hit = outcome
+            journal_obj.record(seed, {"faults": faults, "makespan": makespan})
+
+    failures: list = []
+    try:
+        if parallel and len(todo) > 1:
+            workers = max_workers or min(len(todo), os.cpu_count() or 1)
+            initargs = (
                 workload_factory,
                 strategy_factory,
                 cache_size,
                 tau,
                 cache_root,
-            ),
-        ) as pool:
-            outcomes = list(pool.map(_seed_replica, seeds, chunksize=chunksize))
-    else:
-        outcomes = [
-            _run_replica(
-                workload_factory, strategy_factory, cache_size, tau, seed,
-                cache_root,
             )
-            for seed in seeds
-        ]
+            if supervised:
+                results, failures = supervised_map(
+                    _seed_replica_attempt,
+                    todo,
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    backoff_s=retry_backoff_s,
+                    on_result=record,
+                    on_failure=(
+                        "record" if on_failure == "record" else "raise"
+                    ),
+                )
+                outcomes = list(results.values())
+            else:
+                chunksize = max(1, len(todo) // (workers * 4))
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                ) as pool:
+                    outcomes = list(
+                        pool.map(_seed_replica, todo, chunksize=chunksize)
+                    )
+        else:
+            outcomes = []
+            for seed in todo:
+                outcome = _run_serial_replica(
+                    workload_factory, strategy_factory, cache_size, tau,
+                    seed, cache_root, retries, retry_backoff_s,
+                    on_failure, failures,
+                )
+                if outcome is None:
+                    continue
+                record(seed, outcome)
+                outcomes.append(outcome)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+
+    for seed, payload in resumed.items():
+        outcomes.append(
+            (seed, int(payload["faults"]), int(payload["makespan"]), False)
+        )
     outcomes.sort()
     return BatchResult(
         label=label,
@@ -280,23 +469,98 @@ def batch_run(
         faults=tuple(f for _, f, _, _ in outcomes),
         makespans=tuple(m for _, _, m, _ in outcomes),
         cache_hits=sum(1 for _, _, _, hit in outcomes if hit),
+        resumed=len(resumed),
+        failed_seeds=tuple(sorted(f.item for f in failures)),
     )
 
 
+def _run_serial_replica(
+    workload_factory, strategy_factory, cache_size, tau, seed, cache_root,
+    retries, backoff_s, on_failure, failures,
+):
+    """One in-process replica with the retry half of supervision (timeouts
+    need a killable worker process).  Returns the outcome tuple, or
+    ``None`` when the replica failed and ``on_failure="record"``."""
+    import time as _time
+
+    from repro.runtime.supervisor import ReplicaFailure, SweepError
+
+    for attempt in range(retries + 1):
+        try:
+            return _run_replica(
+                workload_factory, strategy_factory, cache_size, tau, seed,
+                cache_root, attempt,
+            )
+        except Exception as exc:
+            if attempt < retries:
+                if backoff_s > 0:
+                    _time.sleep(backoff_s * (2**attempt))
+                continue
+            if on_failure == "record":
+                failures.append(
+                    ReplicaFailure(
+                        seed, attempt + 1, f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                return None
+            if retries == 0 and not isinstance(exc, chaos.ChaosCrash):
+                raise  # historical behaviour: replica errors propagate as-is
+            raise SweepError(
+                [
+                    ReplicaFailure(
+                        seed, attempt + 1, f"{type(exc).__name__}: {exc}"
+                    )
+                ]
+            ) from exc
+    return None  # pragma: no cover - unreachable
+
+
 def cache_info(cache_dir: str | os.PathLike | None = None) -> dict:
-    """Entry count and total size of the batch result cache (all versions)."""
+    """Entry count, size and health of the batch result cache.
+
+    Counts every version's entries.  Entries that fail to parse as JSON
+    or (current version only) fail checksum validation are counted under
+    ``corrupt`` rather than raising — a half-written or bit-rotted file
+    must never crash an inspection command.  ``quarantined`` counts
+    entries previously moved aside by the read path.  This function is
+    read-only: it reports corruption but leaves quarantining to the
+    reader that actually needs the entry.
+    """
     base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     root = base / "batch"
+    current = _cache_root(cache_dir)
+    qdir = root / "quarantine"
     entries = 0
     size = 0
+    corrupt = 0
+    quarantined = 0
     if root.is_dir():
         for path in root.rglob("*.json"):
-            entries += 1
             try:
                 size += path.stat().st_size
             except OSError:
-                pass
-    return {"path": str(root), "entries": entries, "bytes": size}
+                continue
+            if qdir in path.parents:
+                quarantined += 1
+                continue
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if current in path.parents and (
+                    not isinstance(data, dict)
+                    or data.get("sha256") != _payload_checksum(data)
+                ):
+                    raise ValueError("checksum mismatch")
+            except (OSError, ValueError, TypeError):
+                corrupt += 1
+                continue
+            entries += 1
+    return {
+        "path": str(root),
+        "entries": entries,
+        "bytes": size,
+        "corrupt": corrupt,
+        "quarantined": quarantined,
+    }
 
 
 def clear_cache(cache_dir: str | os.PathLike | None = None) -> int:

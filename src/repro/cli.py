@@ -13,8 +13,10 @@ Commands
     Simulate one strategy on a workload from a trace file.
 ``generate --workload phased -p 4 -n 500 --output w.trace``
     Write a synthetic workload to a trace file.
-``opt --workload-file w.trace -K 3 --tau 1``
-    Exact offline optimum (Algorithm 1) — guarded to toy sizes.
+``opt --workload-file w.trace -K 3 --tau 1 [--deadline-s 5]``
+    Exact offline optimum (Algorithm 1) — guarded to toy sizes.  With a
+    ``--deadline-s``/``--max-states`` budget, exhaustion degrades to a
+    ``[lower, upper]`` interval instead of running unboundedly.
 ``timeline --workload theorem1 -p 2 -K 8 --tau 1 --width 80``
     Render an ASCII core-by-time execution timeline.
 ``profile --workload-file w.trace``
@@ -160,7 +162,7 @@ def cmd_experiment(args) -> int:
 def cmd_report(args) -> int:
     from repro.experiments.report import experiments_report
 
-    text, ok = experiments_report(scale=args.scale)
+    text, ok = experiments_report(scale=args.scale, fail_fast=args.fail_fast)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -270,17 +272,21 @@ def cmd_cache(args) -> int:
     print(f"cache dir : {info['path']}")
     print(f"entries   : {info['entries']}")
     print(f"size      : {info['bytes']} bytes")
+    print(f"corrupt   : {info['corrupt']}")
+    print(f"quarantine: {info['quarantined']}")
     return 0
 
 
 def cmd_verify(args) -> int:
     from repro.verify import fuzz, replay_corpus, save_case
 
+    budget_factory = _budget_factory(args)
     report = fuzz(
         args.fuzz,
         seed=args.seed,
         shrink=args.shrink,
         strategies=args.strategies,
+        budget_factory=budget_factory,
         on_progress=(
             None
             if args.quiet
@@ -305,9 +311,22 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _budget_factory(args):
+    """Build a ``Budget`` factory from ``--deadline-s``/``--max-states``
+    flags (``None`` when neither was given)."""
+    deadline = getattr(args, "deadline_s", None)
+    max_states = getattr(args, "max_states", None)
+    if deadline is None and max_states is None:
+        return None
+    from repro.runtime import Budget
+
+    return lambda: Budget(deadline_s=deadline, max_states=max_states)
+
+
 def cmd_opt(args) -> int:
     from repro.offline import minimum_total_faults
     from repro.problems import FTFInstance
+    from repro.runtime import BudgetExceeded
 
     workload = load_workload(args.workload_file)
     if workload.total_requests > args.max_requests:
@@ -316,9 +335,18 @@ def cmd_opt(args) -> int:
             f"is exponential in K and p — refusing above "
             f"--max-requests={args.max_requests}"
         )
-    result = minimum_total_faults(
-        FTFInstance(workload, args.cache_size, args.tau)
-    )
+    budget_factory = _budget_factory(args)
+    budget = budget_factory() if budget_factory is not None else None
+    try:
+        result = minimum_total_faults(
+            FTFInstance(workload, args.cache_size, args.tau), budget=budget
+        )
+    except BudgetExceeded as exc:
+        print("verdict              : DEGRADED")
+        print(f"optimum bounds       : {exc.bounded.describe()}")
+        print(f"DP states expanded   : {exc.bounded.states_expanded}")
+        print(f"budget               : {exc}")
+        return 2
     print(f"optimal total faults : {result.faults}")
     print(f"DP states expanded   : {result.states_expanded}")
     return 0
@@ -327,6 +355,24 @@ def cmd_opt(args) -> int:
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+
+
+def _add_budget_args(sub):
+    sub.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per exact-solver call; on exhaustion the "
+        "result degrades to a [lower, upper] interval (DEGRADED verdict)",
+    )
+    sub.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="state-expansion budget per exact-solver call (see --deadline-s)",
+    )
 
 
 def _add_workload_args(sub, with_tau=True):
@@ -356,7 +402,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subs.add_parser("report", help="run all experiments, emit report")
     sub.add_argument("--scale", default="small", choices=("small", "full"))
     sub.add_argument("--output", default=None)
-    sub.set_defaults(func=cmd_report)
+    group = sub.add_mutually_exclusive_group()
+    group.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="isolate crashing experiments as ERROR rows (default)",
+    )
+    group.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort the report on the first crashing experiment",
+    )
+    sub.set_defaults(func=cmd_report, fail_fast=False)
 
     sub = subs.add_parser("compare", help="strategy panel on a workload")
     _add_workload_args(sub)
@@ -442,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "-q", "--quiet", action="store_true", help="no progress output"
     )
+    _add_budget_args(sub)
     sub.set_defaults(func=cmd_verify)
 
     sub = subs.add_parser("opt", help="exact offline optimum (Algorithm 1)")
@@ -449,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("-K", "--cache-size", type=int, required=True)
     sub.add_argument("--tau", type=int, default=1)
     sub.add_argument("--max-requests", type=int, default=40)
+    _add_budget_args(sub)
     sub.set_defaults(func=cmd_opt)
 
     return parser

@@ -18,6 +18,13 @@ from functools import lru_cache
 from itertools import combinations
 
 from repro.problems import FTFInstance
+from repro.runtime.budget import (
+    BoundedResult,
+    Budget,
+    BudgetExceeded,
+    cold_start_lower_bound,
+    solo_belady_lower_bound,
+)
 
 __all__ = ["scheduled_ftf_optimum"]
 
@@ -25,19 +32,35 @@ _BIG = 10**9
 
 
 def scheduled_ftf_optimum(
-    instance: FTFInstance, stall_budget: int = 8
+    instance: FTFInstance, stall_budget: int = 8, *,
+    budget: Budget | None = None,
 ) -> int:
     """Minimum total faults when the strategy may stall ready cores, with
-    at most ``stall_budget`` total stalled core-steps."""
+    at most ``stall_budget`` total stalled core-steps.
+
+    ``budget`` is a *resource* budget (wall clock / states), unrelated to
+    the model's stall budget.  On exhaustion the search raises
+    :class:`~repro.runtime.budget.BudgetExceeded` carrying a
+    :class:`~repro.runtime.budget.BoundedResult`: stalling never avoids a
+    cold-start fetch and (for these mandatorily-disjoint workloads) never
+    beats a core's solo Belady minimum, so both static lower bounds hold;
+    the zero-stall greedy descent is a valid schedule of the scheduled
+    model, so its cost is the upper bound.  ``budget=None`` reproduces
+    the unbudgeted behaviour bit-for-bit.
+    """
     workload = instance.workload
     if not workload.is_disjoint:
         raise ValueError("scheduled optimum assumes disjoint workloads")
     K, tau, p = instance.cache_size, instance.tau, workload.num_cores
     seqs = [s.as_tuple() for s in workload]
     lengths = tuple(len(s) for s in seqs)
+    if budget is not None:
+        budget.start()
 
     @lru_cache(maxsize=None)
-    def search(cache: frozenset, positions: tuple, offsets: tuple, budget: int) -> int:
+    def search(cache: frozenset, positions: tuple, offsets: tuple, stalls: int) -> int:
+        if budget is not None:
+            budget.charge()
         active = [j for j in range(p) if positions[j] < lengths[j]]
         if not active:
             return 0
@@ -56,7 +79,7 @@ def scheduled_ftf_optimum(
         # core and advances time by 1.)
         for admit_count in range(len(ready), -1, -1):
             stalled = len(ready) - admit_count
-            if stalled > budget:
+            if stalled > stalls:
                 continue
             for admitted in combinations(ready, admit_count):
                 requested = {seqs[j][positions[j]] for j in admitted}
@@ -94,7 +117,7 @@ def scheduled_ftf_optimum(
                 evict_count = max(0, need + len(droppable) - K)
                 if evict_count > len(droppable):
                     continue
-                nbudget = budget - stalled
+                nbudget = stalls - stalled
                 # When nothing was admitted, time still advances (offsets
                 # all >= 1 now), so recursion terminates via budget decay.
                 for victims in combinations(droppable, evict_count):
@@ -109,7 +132,26 @@ def scheduled_ftf_optimum(
         return best
 
     offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
-    out = search(frozenset(), tuple([0] * p), offsets0, stall_budget)
+    try:
+        out = search(frozenset(), tuple([0] * p), offsets0, stall_budget)
+    except BudgetExceeded as exc:
+        states = search.cache_info().misses
+        search.cache_clear()
+        from repro.offline.brute_force import _greedy_upper
+
+        upper = _greedy_upper(workload, K, tau)
+        lower = max(
+            cold_start_lower_bound(workload),
+            solo_belady_lower_bound(workload, K),
+        )
+        exc.bounded = BoundedResult(
+            lower=float(min(lower, upper)),
+            upper=upper,
+            exact=False,
+            states_expanded=states,
+            reason=f"scheduled_ftf_optimum: {exc}",
+        )
+        raise
     search.cache_clear()
     if out >= _BIG:
         raise RuntimeError("no feasible scheduled execution found")

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.tables import Table
 
-__all__ = ["ExperimentResult", "Scale", "scale_params"]
+__all__ = ["ExperimentError", "ExperimentResult", "Scale", "scale_params"]
 
 Scale = str  # "small" | "full"
 
@@ -43,6 +43,9 @@ class ExperimentResult:
     table: Table
     checks: dict[str, bool] = field(default_factory=dict)
     notes: str = ""
+    #: Wall-clock seconds the experiment took (filled by the report
+    #: runner; 0.0 when run directly).
+    seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -85,3 +88,41 @@ class ExperimentResult:
             lines.append("")
             lines.append(f"*Note: {self.notes}*")
         return "\n".join(lines)
+
+
+@dataclass
+class ExperimentError:
+    """A crashed experiment, reported in place of its result.
+
+    Duck-types the slice of :class:`ExperimentResult` the report renderer
+    uses (``id``/``title``/``ok``/``verdict``/``format_*``/``seconds``),
+    so one failing experiment yields an ERROR row — with the exception
+    summary for triage — instead of aborting the whole report.
+    """
+
+    id: str
+    title: str
+    #: Compact traceback summary: ``ExcType: message (file:line in func)``.
+    error: str
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def verdict(self) -> str:
+        return "ERROR"
+
+    def format_ascii(self) -> str:
+        return (
+            f"=== {self.id}: {self.title} [ERROR] ===\n"
+            f"  crashed after {self.seconds:.2f}s: {self.error}"
+        )
+
+    def format_markdown(self) -> str:
+        return (
+            f"### {self.id} — {self.title}\n\n"
+            f"**Verdict: ERROR**\n\n"
+            f"The experiment crashed after {self.seconds:.2f}s:\n\n"
+            f"```\n{self.error}\n```"
+        )

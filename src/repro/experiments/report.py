@@ -1,14 +1,23 @@
 """EXPERIMENTS.md generation: the paper-vs-measured record as a library
 function, used by ``python -m repro report`` and by the release process.
+
+Each experiment runs in isolation: one crashing experiment becomes an
+``ERROR`` row carrying a traceback summary and its wall time instead of
+aborting the other seventeen (``fail_fast=True`` restores the abort for
+debugging).  Every row records per-experiment wall time so regressions
+in the report's own cost are visible in the artifact.
 """
 
 from __future__ import annotations
 
+import time
+import traceback
 from pathlib import Path
 
-from repro.experiments import run_all
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentError
 
-__all__ = ["experiments_report", "write_experiments_md"]
+__all__ = ["experiments_report", "run_all_supervised", "write_experiments_md"]
 
 _HEADER = """# EXPERIMENTS — paper-vs-measured record
 
@@ -37,18 +46,62 @@ exact equalities/bounds the theory predicts.
 
 ## Summary
 
-| id | claim | verdict |
-|----|-------|---------|
+| id | claim | verdict | time |
+|----|-------|---------|------|
 """
 
 
-def experiments_report(scale: str = "full") -> tuple[str, bool]:
+def _error_summary(exc: BaseException) -> str:
+    """``ExcType: message (file:line in func)`` for the innermost frame."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    location = ""
+    if frames:
+        frame = frames[-1]
+        location = f" ({Path(frame.filename).name}:{frame.lineno} in {frame.name})"
+    return f"{type(exc).__name__}: {exc}{location}"
+
+
+def run_all_supervised(scale: str = "small", *, fail_fast: bool = False):
+    """Run every experiment in id order, isolating crashes.
+
+    Returns a list of :class:`~repro.experiments.base.ExperimentResult`
+    and (for crashed experiments, unless ``fail_fast``)
+    :class:`~repro.experiments.base.ExperimentError` entries, each with
+    its wall time stamped.
+    """
+    results = []
+    for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        start = time.perf_counter()
+        try:
+            result = run_experiment(eid, scale=scale)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if fail_fast:
+                raise
+            result = ExperimentError(
+                id=eid,
+                title=getattr(EXPERIMENTS[eid], "TITLE", eid),
+                error=_error_summary(exc),
+            )
+        result.seconds = time.perf_counter() - start
+        results.append(result)
+    return results
+
+
+def experiments_report(
+    scale: str = "full", *, fail_fast: bool = False
+) -> tuple[str, bool]:
     """Run every experiment and render the full EXPERIMENTS.md text.
 
-    Returns ``(markdown, all_ok)``.
+    Returns ``(markdown, all_ok)`` — ``all_ok`` is False if any check
+    failed *or* any experiment crashed.
     """
-    results = run_all(scale=scale)
-    summary = [f"| {r.id} | {r.title} | {r.verdict()} |" for r in results]
+    results = run_all_supervised(scale=scale, fail_fast=fail_fast)
+    summary = [
+        f"| {r.id} | {r.title} | {r.verdict()} | {r.seconds:.2f}s |"
+        for r in results
+    ]
     sections = [r.format_markdown() for r in results]
     text = (
         _HEADER.format(scale=scale)

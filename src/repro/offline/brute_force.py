@@ -33,10 +33,33 @@ from functools import lru_cache
 from itertools import combinations
 
 from repro.problems import FTFInstance, PIFInstance
+from repro.runtime.budget import (
+    BoundedResult,
+    Budget,
+    BudgetExceeded,
+    cold_start_lower_bound,
+    solo_belady_lower_bound,
+)
 
 __all__ = ["brute_force_ftf", "brute_force_pif"]
 
 _INFEASIBLE = 10**12
+
+
+def _greedy_upper(workload, cache_size: int, tau: int) -> float:
+    """Greedy-descent upper bound on the FTF optimum (``inf`` if stuck).
+
+    Reuses the DP space's Belady-flavored honest descent: a completed
+    descent is a valid schedule, so its cost bounds the optimum from
+    above.  Used only to assemble a degradation interval — the exact
+    search itself stays independent of the DP machinery.
+    """
+    from repro.offline.alg_state import DPSpace
+
+    chain = DPSpace(workload, cache_size, tau).greedy_descent()
+    if chain is None:
+        return float("inf")
+    return float(sum(cost for _cfg, cost, _fv in chain))
 
 
 def _intern(workload):
@@ -100,17 +123,30 @@ def _resolve_step(levels, positions, offsets, seqs, lengths, p):
     return levels_now, new_offsets, due, fault_cores, fault_pages, requested, delta
 
 
-def brute_force_ftf(instance: FTFInstance) -> int:
-    """Minimum total faults by exhaustive search over victim choices."""
+def brute_force_ftf(
+    instance: FTFInstance, *, budget: Budget | None = None
+) -> int:
+    """Minimum total faults by exhaustive search over victim choices.
+
+    With a ``budget``, exhaustion raises
+    :class:`~repro.runtime.budget.BudgetExceeded` carrying a
+    :class:`~repro.runtime.budget.BoundedResult` (static lower bounds,
+    greedy-descent upper bound).  ``budget=None`` reproduces the
+    unbudgeted behaviour bit-for-bit.
+    """
     workload = instance.workload
     K = instance.cache_size
     tau = instance.tau
     p = workload.num_cores
     seqs = _intern(workload)
     lengths = tuple(len(s) for s in seqs)
+    if budget is not None:
+        budget.start()
 
     @lru_cache(maxsize=None)
     def search(levels: tuple, positions: tuple, offsets: tuple) -> int:
+        if budget is not None:
+            budget.charge()
         step = _resolve_step(levels, positions, offsets, seqs, lengths, p)
         if step is None:
             return 0
@@ -161,20 +197,43 @@ def brute_force_ftf(instance: FTFInstance) -> int:
 
     offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
     levels0 = tuple([0] * (tau + 2))
-    result = search(levels0, tuple([0] * p), offsets0)
+    try:
+        result = search(levels0, tuple([0] * p), offsets0)
+    except BudgetExceeded as exc:
+        states = search.cache_info().misses
+        search.cache_clear()
+        upper = _greedy_upper(workload, K, tau)
+        lower = max(
+            cold_start_lower_bound(workload),
+            solo_belady_lower_bound(workload, K),
+        )
+        exc.bounded = BoundedResult(
+            lower=float(min(lower, upper)),
+            upper=upper,
+            exact=False,
+            states_expanded=states,
+            reason=f"brute_force_ftf: {exc}",
+        )
+        raise
     search.cache_clear()
     if result >= _INFEASIBLE:
         raise RuntimeError("no feasible execution found; K < p?")
     return result
 
 
-def brute_force_pif(instance: PIFInstance) -> bool:
+def brute_force_pif(
+    instance: PIFInstance, *, budget: Budget | None = None
+) -> bool:
     """Decide PIF by exhaustive honest search.
 
     Returns True iff some honest execution keeps every sequence within its
     fault bound at the checkpoint.  (Algorithm 2 with ``honest=False``
     additionally explores voluntary evictions; on every instance family we
     test the answers coincide.)
+
+    With a ``budget``, exhaustion raises
+    :class:`~repro.runtime.budget.BudgetExceeded` carrying the undecided
+    indicator interval ``BoundedResult(0, 1)``.
     """
     workload = instance.workload
     K = instance.cache_size
@@ -186,6 +245,9 @@ def brute_force_pif(instance: PIFInstance) -> bool:
     lengths = tuple(len(s) for s in seqs)
 
     failed: set = set()
+    if budget is not None:
+        budget.start()
+    expanded = 0
 
     def search(
         levels: tuple,
@@ -194,6 +256,10 @@ def brute_force_pif(instance: PIFInstance) -> bool:
         now: int,
         remaining: tuple,
     ) -> bool:
+        if budget is not None:
+            nonlocal expanded
+            expanded += 1
+            budget.charge()
         active = [j for j in range(p) if positions[j] < lengths[j]]
         if not active:
             return True
@@ -254,4 +320,14 @@ def brute_force_pif(instance: PIFInstance) -> bool:
 
     offsets0 = tuple(0 if lengths[j] > 0 else None for j in range(p))
     levels0 = tuple([0] * (tau + 2))
-    return search(levels0, tuple([0] * p), offsets0, 0, bounds)
+    try:
+        return search(levels0, tuple([0] * p), offsets0, 0, bounds)
+    except BudgetExceeded as exc:
+        exc.bounded = BoundedResult(
+            lower=0.0,
+            upper=1.0,
+            exact=False,
+            states_expanded=expanded,
+            reason=f"brute_force_pif undecided: {exc}",
+        )
+        raise

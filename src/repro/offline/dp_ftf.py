@@ -19,6 +19,13 @@ from dataclasses import dataclass
 
 from repro.offline.alg_state import DPSpace
 from repro.problems import FTFInstance
+from repro.runtime.budget import (
+    BoundedResult,
+    Budget,
+    BudgetExceeded,
+    cold_start_lower_bound,
+    solo_belady_lower_bound,
+)
 
 __all__ = ["FTFResult", "minimum_total_faults", "dp_ftf"]
 
@@ -55,6 +62,7 @@ def minimum_total_faults(
     honest: bool = True,
     return_schedule: bool = False,
     max_states: int | None = 5_000_000,
+    budget: Budget | None = None,
 ) -> FTFResult:
     """Run Algorithm 1 on ``instance``.
 
@@ -67,7 +75,15 @@ def minimum_total_faults(
     return_schedule:
         Also reconstruct one optimal configuration-per-step schedule.
     max_states:
-        Abort with ``RuntimeError`` if more states than this are expanded.
+        Abort with ``RuntimeError`` if more states than this are expanded
+        (the historical hard stop, no partial answer).
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget`.  On exhaustion the
+        DP raises :class:`~repro.runtime.budget.BudgetExceeded` carrying a
+        :class:`~repro.runtime.budget.BoundedResult`: the greedy-descent
+        upper bound plus the tightest of the frontier / cold-start /
+        per-sequence-Belady lower bounds.  ``None`` (default) reproduces
+        the unbudgeted behaviour bit-for-bit.
     """
     space = DPSpace(instance.workload, instance.cache_size, instance.tau)
     start_pos = space.initial_positions
@@ -104,38 +120,68 @@ def minimum_total_faults(
     best_final: int | None = None
     final_state = None
     max_sum = sum(space.terminals)
-    for s in range(sum(start_pos), max_sum + 1):
-        states = buckets.pop(s, None)
-        if not states:
-            continue
-        if s == max_sum:
-            # Positions never exceed their terminals, so a state sums to
-            # max_sum iff it is terminal — the whole bucket is final.
+    states: dict = {}
+    if budget is not None:
+        budget.start()
+    try:
+        for s in range(sum(start_pos), max_sum + 1):
+            states = buckets.pop(s, None)
+            if not states:
+                continue
+            if s == max_sum:
+                # Positions never exceed their terminals, so a state sums to
+                # max_sum iff it is terminal — the whole bucket is final.
+                for state, cost_here in states.items():
+                    if best_final is None or cost_here < best_final:
+                        best_final = cost_here
+                        final_state = state
+                continue
             for state, cost_here in states.items():
-                if best_final is None or cost_here < best_final:
-                    best_final = cost_here
-                    final_state = state
-            continue
-        for state, cost_here in states.items():
-            if cost_here > upper:
-                continue  # costs only grow along paths
-            expanded += 1
-            if max_states is not None and expanded > max_states:
-                raise RuntimeError(
-                    f"FTF DP exceeded max_states={max_states} "
-                    f"({space.describe()})"
-                )
-            config = state & cfg_mask
-            pid = state >> width
-            for ncfg, npid, ncost, _nfv, nsum in expand(config, pid, honest):
-                nxt = (npid << width) | ncfg
-                ntotal = cost_here + ncost
-                bucket = buckets[nsum]
-                old = bucket.get(nxt)
-                if old is None or ntotal < old:
-                    bucket[nxt] = ntotal
-                    if return_schedule:
-                        parent[nxt] = state
+                if cost_here > upper:
+                    continue  # costs only grow along paths
+                expanded += 1
+                if max_states is not None and expanded > max_states:
+                    raise RuntimeError(
+                        f"FTF DP exceeded max_states={max_states} "
+                        f"({space.describe()})"
+                    )
+                if budget is not None:
+                    budget.charge()
+                config = state & cfg_mask
+                pid = state >> width
+                for ncfg, npid, ncost, _nfv, nsum in expand(config, pid, honest):
+                    nxt = (npid << width) | ncfg
+                    ntotal = cost_here + ncost
+                    bucket = buckets[nsum]
+                    old = bucket.get(nxt)
+                    if old is None or ntotal < old:
+                        bucket[nxt] = ntotal
+                        if return_schedule:
+                            parent[nxt] = state
+    except BudgetExceeded as exc:
+        # Every completion passes through a frontier state (the current
+        # bucket's remnant or a later bucket) and costs only grow along
+        # paths, so the frontier minimum lower-bounds the optimum; combine
+        # with the static bounds, and bound from above by the greedy
+        # descent (inf if the greedy got stuck).
+        frontier = [
+            cost
+            for bucket in [states, *buckets.values()]
+            for cost in bucket.values()
+        ]
+        lower = max(
+            min(frontier) if frontier else 0,
+            cold_start_lower_bound(space.workload),
+            solo_belady_lower_bound(space.workload, space.K),
+        )
+        exc.bounded = BoundedResult(
+            lower=float(min(lower, upper)),
+            upper=float(upper),
+            exact=False,
+            states_expanded=expanded,
+            reason=f"dp_ftf: {exc} ({space.describe()})",
+        )
+        raise
 
     if best_final is None:
         raise RuntimeError("DP found no terminal state (internal error)")

@@ -17,6 +17,7 @@ from operator import add, gt, le
 
 from repro.offline.alg_state import DPSpace
 from repro.problems import PIFInstance
+from repro.runtime.budget import BoundedResult, Budget, BudgetExceeded
 
 __all__ = ["PIFResult", "decide_pif"]
 
@@ -58,6 +59,7 @@ def decide_pif(
     honest: bool = True,
     max_states: int | None = 5_000_000,
     return_schedule: bool = False,
+    budget: Budget | None = None,
 ) -> PIFResult:
     """Decide the PIF instance.
 
@@ -67,6 +69,13 @@ def decide_pif(
     so the default is justified case-by-case by the caller (the Theorem 2
     reduction's yes-schedules are honest) and the tests compare both modes
     on small instances.  Set ``honest=False`` for the full search.
+
+    With a ``budget``, exhaustion raises
+    :class:`~repro.runtime.budget.BudgetExceeded` carrying the undecided
+    indicator interval ``BoundedResult(0, 1)`` — feasibility is unknown;
+    the greedy presolve has already certified the easy feasible cases
+    before the layered search starts.  ``budget=None`` reproduces the
+    unbudgeted behaviour bit-for-bit.
     """
     space = DPSpace(instance.workload, instance.cache_size, instance.tau)
     bounds = instance.bounds
@@ -120,6 +129,8 @@ def decide_pif(
             chain.append(space.extern(state & cfg_mask))
         return tuple(reversed(chain))
 
+    if budget is not None:
+        budget.start()
     t = 0
     while True:
         # Certification: at the checkpoint, or once every sequence has
@@ -167,6 +178,21 @@ def decide_pif(
                         f"PIF DP exceeded max_states={max_states} "
                         f"({space.describe()})"
                     )
+                if budget is not None:
+                    try:
+                        budget.charge(len(vectors))
+                    except BudgetExceeded as exc:
+                        exc.bounded = BoundedResult(
+                            lower=0.0,
+                            upper=1.0,
+                            exact=False,
+                            states_expanded=expanded,
+                            reason=(
+                                f"decide_pif undecided at layer {t}: {exc} "
+                                f"({space.describe()})"
+                            ),
+                        )
+                        raise
                 # Buckets are created lazily so pruned-out keys do not
                 # linger in the layer as empty states.  A fresh bucket
                 # can be bulk-filled: translating a Pareto-minimal set

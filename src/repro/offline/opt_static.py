@@ -28,6 +28,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.request import Workload
+from repro.runtime.budget import (
+    BoundedResult,
+    Budget,
+    BudgetExceeded,
+    cold_start_lower_bound,
+)
 from repro.sequential.faults import (
     belady_faults,
     fifo_faults,
@@ -44,21 +50,31 @@ __all__ = [
 _INF = math.inf
 
 
-def per_size_fault_table(seq, max_size: int, policy: str = "opt") -> list[float]:
+def per_size_fault_table(
+    seq, max_size: int, policy: str = "opt",
+    *, budget: Budget | None = None,
+) -> list[float]:
     """``table[k]`` = faults of ``policy`` on ``seq`` with a ``k``-cell
     cache, for ``k = 0..max_size``.  ``table[0]`` is ``inf`` for non-empty
     sequences (a core with requests needs at least one cell) and ``0`` for
-    empty ones."""
+    empty ones.  ``budget`` (if any) is charged ``len(seq)`` work units
+    per cache size computed."""
     n = len(seq)
     if n == 0:
         return [0.0] * (max_size + 1)
     policy = policy.lower()
     if policy == "lru":
+        if budget is not None:
+            budget.charge(n * max_size)
         tail = lru_faults_all_sizes(list(seq), max_size).tolist()
-    elif policy == "fifo":
-        tail = [fifo_faults(list(seq), k) for k in range(1, max_size + 1)]
-    elif policy in ("opt", "belady", "fitf"):
-        tail = [belady_faults(list(seq), k) for k in range(1, max_size + 1)]
+    elif policy in ("fifo", "opt", "belady", "fitf"):
+        count = fifo_faults if policy == "fifo" else belady_faults
+        s = list(seq)
+        tail = []
+        for k in range(1, max_size + 1):
+            if budget is not None:
+                budget.charge(n)
+            tail.append(count(s, k))
     else:
         raise ValueError(f"unknown sequential policy {policy!r}")
     return [_INF] + [float(f) for f in tail]
@@ -96,6 +112,8 @@ def optimal_static_partition(
     workload: Workload | list,
     cache_size: int,
     policy: str = "opt",
+    *,
+    budget: Budget | None = None,
 ) -> OptimalPartition:
     """Compute the fault-minimising static partition for ``policy``.
 
@@ -104,6 +122,16 @@ def optimal_static_partition(
 
     Allocation DP: ``dp[j][c]`` = minimum faults serving sequences
     ``0..j-1`` with ``c`` cells; ``O(p * K^2)`` after the fault tables.
+
+    This is polynomial, but the fault tables are ``O(p * K * n log n)``
+    and dominate on long sequences; ``budget`` (if any) caps the work.
+    On exhaustion a :class:`~repro.runtime.budget.BudgetExceeded` carries
+    a :class:`~repro.runtime.budget.BoundedResult`: cold-start fetches
+    plus — for the cache-monotone policies (``opt``/``lru``, not
+    ``fifo``) — the full-``K`` faults of every completed table lower-bound
+    the optimum, while the upper bound stays ``inf`` (no feasible
+    partition was finished).  ``budget=None`` reproduces the unbudgeted
+    behaviour bit-for-bit.
     """
     if not isinstance(workload, Workload):
         workload = Workload(workload)
@@ -114,7 +142,34 @@ def optimal_static_partition(
         )
     p = workload.num_cores
     K = cache_size
-    tables = [per_size_fault_table(seq, K, policy) for seq in workload]
+    if budget is not None:
+        budget.start()
+    tables = []
+    try:
+        for seq in workload:
+            tables.append(per_size_fault_table(seq, K, policy, budget=budget))
+    except BudgetExceeded as exc:
+        # LRU is a stack algorithm and Belady is optimal, so both are
+        # monotone in the cache size: faults at the full K cells
+        # lower-bound faults at any allocation k_j <= K.  FIFO is not
+        # monotone (Belady's anomaly), so only the cold-start bound holds.
+        lower = float(cold_start_lower_bound(workload))
+        if policy.lower() in ("opt", "belady", "fitf", "lru"):
+            lower = max(
+                lower,
+                sum(t[K] for t in tables if t[K] != _INF),
+            )
+        exc.bounded = BoundedResult(
+            lower=lower,
+            upper=_INF,
+            exact=False,
+            states_expanded=budget.states,
+            reason=(
+                f"optimal_static_partition: {exc} "
+                f"({len(tables)}/{p} fault tables completed)"
+            ),
+        )
+        raise
 
     dp = np.full((p + 1, K + 1), _INF)
     dp[0][0] = 0.0

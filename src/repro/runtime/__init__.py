@@ -1,0 +1,55 @@
+"""Robust execution runtime: budgets, supervision, fault injection.
+
+Three layers, built to keep long runs alive (docs/ROBUSTNESS.md):
+
+:mod:`repro.runtime.budget`
+    :class:`Budget` limits (wall-clock deadline, state cap) threaded
+    through every exponential solver; on exhaustion the solver raises
+    :class:`BudgetExceeded` carrying a :class:`BoundedResult` interval
+    around the exact answer instead of hanging.
+:mod:`repro.runtime.supervisor`
+    :func:`supervised_map` — process-pool execution with per-item
+    timeouts, bounded retries, pool restart — and :class:`Journal`,
+    the append-only manifest that makes interrupted sweeps resumable.
+:mod:`repro.runtime.chaos`
+    Deterministic fault injection (``REPRO_CHAOS``) — worker crashes,
+    slow replicas, cache corruption — used to test the other two layers.
+"""
+
+from repro.runtime.budget import (
+    BoundedResult,
+    Budget,
+    BudgetExceeded,
+    cold_start_lower_bound,
+    solo_belady_lower_bound,
+)
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosCrash,
+    chaos_active,
+    chaos_config,
+)
+from repro.runtime.supervisor import (
+    Journal,
+    JournalMismatch,
+    ReplicaFailure,
+    SweepError,
+    supervised_map,
+)
+
+__all__ = [
+    "BoundedResult",
+    "Budget",
+    "BudgetExceeded",
+    "ChaosConfig",
+    "ChaosCrash",
+    "Journal",
+    "JournalMismatch",
+    "ReplicaFailure",
+    "SweepError",
+    "chaos_active",
+    "chaos_config",
+    "cold_start_lower_bound",
+    "solo_belady_lower_bound",
+    "supervised_map",
+]

@@ -1,0 +1,216 @@
+"""Resource budgets for the exponential solvers.
+
+Every exact engine in this package (``brute_force_ftf``/``_pif``, the
+Algorithm 1/2 dynamic programs, ``optimal_static_partition``, the
+scheduler-augmented search) is exponential in ``(K, p)``: on an oversized
+instance it either finishes or hangs/OOMs with no middle ground.  A
+:class:`Budget` gives them a middle ground — a wall-clock deadline and/or
+a state-expansion cap checked cheaply from inside the search loops.
+
+On exhaustion the solver does *not* return garbage: it raises
+:class:`BudgetExceeded` carrying a :class:`BoundedResult` — a
+``[lower, upper]`` interval guaranteed to contain the exact answer,
+assembled from the best-so-far search state (frontier minima, completed
+greedy descents) plus static bounds (cold-start fetches, per-sequence
+Belady minima).  Callers that cannot tolerate an exception-free partial
+answer degrade explicitly: the oracle reports a ``DEGRADED`` verdict, the
+CLI prints the interval, sweeps record the replica as bounded.
+
+``budget=None`` (the default everywhere) disables all checks and
+reproduces the historical exact behaviour bit-for-bit.
+
+Sharing one :class:`Budget` across several solver calls makes the limits
+*cumulative* — the deadline clock starts at the first charge and the
+state counter never resets — which is what a caller racing a whole
+pipeline against one deadline wants.  Use a fresh Budget per call for
+per-call limits.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "BoundedResult",
+    "Budget",
+    "BudgetExceeded",
+    "cold_start_lower_bound",
+    "solo_belady_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class BoundedResult:
+    """A two-sided bound on an exact quantity the solver could not finish.
+
+    For optimisation problems (FTF optima) ``lower``/``upper`` bound the
+    optimal fault count; ``upper`` may be ``inf`` when no feasible witness
+    schedule was found before exhaustion.  For decision problems (PIF
+    feasibility) the interval bounds the 0/1 indicator: ``(0, 1)`` means
+    undecided, a degenerate interval would mean decided (but solvers
+    return normally in that case instead of raising).
+    """
+
+    lower: float
+    upper: float
+    exact: bool = False
+    #: States expanded before the budget ran out.
+    states_expanded: int = 0
+    #: Human-readable cause (which limit tripped, where).
+    reason: str = ""
+
+    def __post_init__(self):
+        if self.lower > self.upper:
+            raise ValueError(
+                f"empty interval: lower={self.lower} > upper={self.upper}"
+            )
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def describe(self) -> str:
+        hi = "inf" if math.isinf(self.upper) else f"{self.upper:g}"
+        return f"[{self.lower:g}, {hi}]"
+
+
+class BudgetExceeded(RuntimeError):
+    """A solver ran out of budget.
+
+    ``bounded`` is ``None`` at the instant :meth:`Budget.charge` raises
+    and is filled in by the solver's handler before the exception leaves
+    the solver, so external callers always observe a
+    :class:`BoundedResult` on it.
+    """
+
+    def __init__(self, message: str, bounded: BoundedResult | None = None):
+        super().__init__(message)
+        self.bounded = bounded
+
+
+class Budget:
+    """A deadline and/or state-expansion cap, checked from search loops.
+
+    ``charge(n)`` accounts ``n`` expanded states and raises
+    :class:`BudgetExceeded` once ``max_states`` is crossed or — checked
+    only every :attr:`check_interval` charged states, so the common case
+    is integer arithmetic with no syscall — once ``deadline_s`` of wall
+    clock has elapsed since :meth:`start` (implicitly the first charge).
+    """
+
+    __slots__ = (
+        "deadline_s",
+        "max_states",
+        "check_interval",
+        "states",
+        "_t0",
+        "_since_check",
+    )
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        max_states: int | None = None,
+        *,
+        check_interval: int = 1024,
+    ):
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
+        if max_states is not None and max_states < 0:
+            raise ValueError("max_states must be >= 0")
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.deadline_s = deadline_s
+        self.max_states = max_states
+        self.check_interval = check_interval
+        self.states = 0
+        self._t0: float | None = None
+        self._since_check = 0
+
+    def start(self) -> "Budget":
+        """Stamp the deadline clock (idempotent; implicit on first charge)."""
+        if self._t0 is None:
+            self._t0 = time.monotonic()
+        return self
+
+    def elapsed_s(self) -> float:
+        return 0.0 if self._t0 is None else time.monotonic() - self._t0
+
+    def remaining_states(self) -> float:
+        if self.max_states is None:
+            return math.inf
+        return max(0, self.max_states - self.states)
+
+    def exhausted(self) -> bool:
+        """Non-raising probe of both limits (always checks the clock)."""
+        if self.max_states is not None and self.states > self.max_states:
+            return True
+        return (
+            self.deadline_s is not None
+            and self._t0 is not None
+            and time.monotonic() - self._t0 > self.deadline_s
+        )
+
+    def charge(self, n: int = 1) -> None:
+        """Account ``n`` states; raise :class:`BudgetExceeded` when spent."""
+        self.states += n
+        if self.max_states is not None and self.states > self.max_states:
+            raise BudgetExceeded(
+                f"state budget exhausted: {self.states} > "
+                f"max_states={self.max_states}"
+            )
+        if self.deadline_s is not None:
+            self._since_check += n
+            if self._since_check >= self.check_interval:
+                self._since_check = 0
+                if self._t0 is None:
+                    self._t0 = time.monotonic()
+                elif time.monotonic() - self._t0 > self.deadline_s:
+                    raise BudgetExceeded(
+                        f"deadline exhausted: {self.elapsed_s():.3f}s > "
+                        f"deadline_s={self.deadline_s}"
+                    )
+
+    def describe(self) -> str:
+        parts = []
+        if self.deadline_s is not None:
+            parts.append(f"deadline_s={self.deadline_s}")
+        if self.max_states is not None:
+            parts.append(f"max_states={self.max_states}")
+        return f"Budget({', '.join(parts) or 'unlimited'})"
+
+
+# ---------------------------------------------------------------------------
+# static bounds shared by the solvers' degradation paths
+# ---------------------------------------------------------------------------
+
+
+def cold_start_lower_bound(workload) -> int:
+    """Every distinct requested page must be fetched at least once from a
+    cold cache, in every model variant (plain, scheduled, partitioned):
+    ``|universe|`` lower-bounds the total fault count."""
+    return len(workload.universe)
+
+
+def solo_belady_lower_bound(workload, cache_size: int) -> int:
+    """For *disjoint* workloads, the execution restricted to core ``j`` is
+    a legal single-sequence paging run on at most ``K`` cells, so its
+    faults are at least ``belady_faults(R_j, K)``; the per-core minima sum
+    to a lower bound on any strategy's (or schedule's) total.  Returns 0
+    for non-disjoint workloads, where cross-core sharing voids the
+    argument."""
+    if not workload.is_disjoint:
+        return 0
+    from repro.sequential.faults import belady_faults
+
+    total = 0
+    for seq in workload:
+        s = list(seq)
+        if s:
+            total += belady_faults(s, cache_size)
+    return total

@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the robustness layers (``REPRO_CHAOS``).
+
+The supervised sweep machinery (timeouts, retries, pool restarts, journal
+resume, cache quarantine) is itself code that must be tested — mirroring
+how the verify oracle tests the simulation kernels.  This module injects
+the faults those layers exist to survive:
+
+``crash``
+    the replica dies — ``os._exit`` inside a pool worker (producing a
+    real ``BrokenProcessPool`` in the parent), a :class:`ChaosCrash`
+    exception in-process;
+``slow``
+    the replica sleeps ``slow_s`` seconds before running (to trip
+    per-replica timeouts);
+``corrupt``
+    a cache entry is written truncated (to exercise checksum
+    quarantine).
+
+Configuration comes from the ``REPRO_CHAOS`` environment variable —
+inherited by pool workers — as comma-separated clauses::
+
+    REPRO_CHAOS="seed=7,crash=0.3,slow=0.2,slow_s=2.0,corrupt=1.0"
+
+Injection is *deterministic*: the decision for a given ``(kind, key)``
+scope is a pure hash of ``(chaos seed, kind, key)`` against the
+configured probability, so a run can be replayed exactly and a test can
+predict which replicas will be hit.  Crash and slow faults are
+*transient by construction*: they fire only on ``attempt == 0``, so a
+retry of the same work item always runs clean — this models transient
+infrastructure faults and keeps "retry fixes it" testable with
+``crash=1.0``.  (Permanent failures are exercised by setting
+``retries=0`` instead.)
+
+The environment is re-read on every decision (no module cache) so tests
+can flip it with ``monkeypatch.setenv``; with ``REPRO_CHAOS`` unset every
+hook is a no-op costing one dict lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosConfig",
+    "ChaosCrash",
+    "chaos_active",
+    "chaos_config",
+    "corrupt_text",
+    "maybe_corrupt",
+    "maybe_crash",
+    "maybe_slow",
+    "should_inject",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit status used for hard (worker-process) chaos crashes, so a chaos
+#: kill is distinguishable from a genuine segfault in pool post-mortems.
+CRASH_EXIT_STATUS = 66
+
+
+class ChaosCrash(RuntimeError):
+    """An injected in-process replica crash."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` settings.  All probabilities in [0, 1]."""
+
+    seed: int = 0
+    crash: float = 0.0
+    slow: float = 0.0
+    slow_s: float = 1.0
+    corrupt: float = 0.0
+
+    @staticmethod
+    def parse(spec: str) -> "ChaosConfig":
+        """Parse a ``REPRO_CHAOS`` clause string.
+
+        >>> ChaosConfig.parse("seed=3,crash=0.5,corrupt=1")
+        ChaosConfig(seed=3, crash=0.5, slow=0.0, slow_s=1.0, corrupt=1.0)
+        """
+        fields = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ValueError(
+                    f"bad {CHAOS_ENV} clause {clause!r}: expected key=value"
+                )
+            key, _, value = clause.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                fields["seed"] = int(value)
+            elif key in ("crash", "slow", "corrupt"):
+                prob = float(value)
+                if not 0.0 <= prob <= 1.0:
+                    raise ValueError(
+                        f"{CHAOS_ENV} {key} probability {prob} not in [0, 1]"
+                    )
+                fields[key] = prob
+            elif key == "slow_s":
+                fields["slow_s"] = float(value)
+            else:
+                raise ValueError(f"unknown {CHAOS_ENV} key {key!r}")
+        return ChaosConfig(**fields)
+
+    def active(self) -> bool:
+        return self.crash > 0 or self.slow > 0 or self.corrupt > 0
+
+
+def chaos_config() -> ChaosConfig | None:
+    """The current environment's chaos settings, or ``None`` when unset."""
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec:
+        return None
+    return ChaosConfig.parse(spec)
+
+
+def chaos_active() -> bool:
+    cfg = chaos_config()
+    return cfg is not None and cfg.active()
+
+
+def _roll(seed: int, kind: str, key) -> float:
+    """Deterministic uniform draw in [0, 1) for one (kind, key) scope."""
+    digest = hashlib.sha256(
+        f"{seed}|{kind}|{key!r}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def should_inject(kind: str, key, attempt: int = 0, *, config=None) -> bool:
+    """Decide (purely, reproducibly) whether to inject ``kind`` at ``key``.
+
+    ``crash``/``slow`` fire only on the first attempt; ``corrupt`` has no
+    attempt scope (cache writes are not retried).
+    """
+    cfg = chaos_config() if config is None else config
+    if cfg is None:
+        return False
+    prob = getattr(cfg, kind)
+    if prob <= 0.0:
+        return False
+    if kind in ("crash", "slow") and attempt != 0:
+        return False
+    return _roll(cfg.seed, kind, key) < prob
+
+
+def maybe_crash(key, attempt: int = 0, *, hard: bool = False) -> None:
+    """Crash the replica if chaos selects it.
+
+    ``hard=True`` (pool workers) kills the whole process with
+    ``os._exit`` so the parent sees a genuine ``BrokenProcessPool``;
+    otherwise raises :class:`ChaosCrash`.
+    """
+    if should_inject("crash", key, attempt):
+        if hard:
+            os._exit(CRASH_EXIT_STATUS)
+        raise ChaosCrash(f"injected crash at {key!r} (attempt {attempt})")
+
+
+def maybe_slow(key, attempt: int = 0) -> None:
+    """Sleep ``slow_s`` seconds if chaos selects this replica."""
+    cfg = chaos_config()
+    if cfg is not None and should_inject("slow", key, attempt, config=cfg):
+        time.sleep(cfg.slow_s)
+
+
+def corrupt_text(text: str) -> str:
+    """The canonical injected corruption: truncate to half length (always
+    invalid JSON for the cache's object payloads)."""
+    return text[: max(1, len(text) // 2)]
+
+
+def maybe_corrupt(key, text: str) -> str:
+    """Return ``text``, truncated if chaos selects this cache write."""
+    if should_inject("corrupt", key):
+        return corrupt_text(text)
+    return text

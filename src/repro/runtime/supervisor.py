@@ -1,0 +1,317 @@
+"""Supervised process-pool execution and resumable work journals.
+
+``ProcessPoolExecutor.map`` dies wholesale: one hung replica stalls the
+sweep forever, one crashed worker poisons the pool and every outstanding
+future raises ``BrokenProcessPool``, and a ``KeyboardInterrupt`` throws
+away every completed result.  :func:`supervised_map` wraps the pool with
+the supervision a long sweep needs:
+
+* **per-item timeouts** — items are submitted in a sliding window of at
+  most ``max_workers`` in-flight jobs (so submission time ≈ start time),
+  and an item that exceeds ``timeout_s`` gets its worker killed and the
+  pool rebuilt rather than stalling the run;
+* **bounded retries with backoff** — a failed attempt (worker exception,
+  injected crash, timeout, pool breakage) is retried up to ``retries``
+  times with exponential backoff; innocent items that merely shared a
+  killed pool are resubmitted without being charged an attempt (except on
+  ``BrokenProcessPool``, where the culprit is unknowable and every
+  in-flight item is charged conservatively);
+* **pool restart** — a broken or deliberately-killed pool is rebuilt
+  with the same initializer and the sweep continues;
+* **incremental results** — ``on_result`` fires in the parent as each
+  item completes, which is what lets callers journal progress and
+  survive interrupts.
+
+:class:`Journal` is the matching append-only manifest: one JSON line per
+completed item, headed by a fingerprint line so a journal can never be
+replayed against a different sweep configuration.  A truncated final
+line (the crash arrived mid-write) is tolerated and dropped.  Re-opening
+an existing journal yields the completed payloads, so an interrupted
+sweep resumes where it left off instead of recomputing.
+
+This module is policy-free: it knows nothing about workloads or caches.
+:mod:`repro.analysis.batch` supplies the work function and journaling
+policy; :mod:`repro.runtime.chaos` supplies the faults that test it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Journal",
+    "JournalMismatch",
+    "ReplicaFailure",
+    "SweepError",
+    "supervised_map",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaFailure:
+    """One work item that exhausted its retry budget."""
+
+    item: object
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        return f"{self.item!r} failed after {self.attempts} attempt(s): {self.error}"
+
+
+class SweepError(RuntimeError):
+    """A supervised sweep aborted on an unrecoverable item failure."""
+
+    def __init__(self, failures: list[ReplicaFailure]):
+        self.failures = list(failures)
+        super().__init__(
+            "; ".join(f.describe() for f in self.failures) or "sweep failed"
+        )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if workers are wedged: cancel what is queued,
+    terminate the worker processes, then reap them."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    # _processes is None once the pool has fully shut down on its own.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+    for proc in processes:
+        try:
+            proc.join(timeout=5)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+def supervised_map(
+    fn,
+    items,
+    *,
+    max_workers: int = 1,
+    initializer=None,
+    initargs: tuple = (),
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.1,
+    on_result=None,
+    on_failure: str = "raise",
+):
+    """Run ``fn(item, attempt)`` over ``items`` under supervision.
+
+    ``fn`` must be picklable (module-level) and is called with the work
+    item and the 0-based attempt number.  Returns ``(results, failures)``
+    where ``results`` maps each completed item to its return value in
+    input order and ``failures`` lists items that exhausted ``retries``
+    (empty unless ``on_failure="record"``; with the default ``"raise"``
+    the first exhausted item raises :class:`SweepError`, after
+    ``on_result`` has fired for everything already completed).
+
+    ``timeout_s`` bounds one *attempt's* wall clock, measured from
+    submission; the sliding submission window keeps queue wait out of
+    that measurement.  A timed-out attempt kills and rebuilds the pool
+    (there is no cooperative cancel for a wedged worker); in-flight
+    bystanders are resubmitted without being charged an attempt.
+    """
+    if on_failure not in ("raise", "record"):
+        raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
+    items = list(items)
+    results: dict = {}
+    failures: list[ReplicaFailure] = []
+    pending: deque = deque((item, 0) for item in items)
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def note_failure(item, attempt: int, error: str) -> None:
+        """Charge one attempt; requeue or (beyond ``retries``) fail."""
+        if attempt < retries:
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2**attempt))
+            pending.append((item, attempt + 1))
+        else:
+            failure = ReplicaFailure(item, attempt + 1, error)
+            failures.append(failure)
+            if on_failure == "raise":
+                raise SweepError(failures)
+
+    pool = make_pool()
+    inflight: dict = {}  # future -> (item, attempt, submit time)
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < max_workers:
+                item, attempt = pending.popleft()
+                future = pool.submit(fn, item, attempt)
+                inflight[future] = (item, attempt, time.monotonic())
+            wait_s = None
+            if timeout_s is not None:
+                now = time.monotonic()
+                wait_s = max(
+                    0.0,
+                    min(t0 + timeout_s - now for _, _, t0 in inflight.values()),
+                )
+            done, _ = wait(
+                set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                item, attempt, _t0 = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    note_failure(item, attempt, "worker process died")
+                except Exception as exc:
+                    note_failure(item, attempt, f"{type(exc).__name__}: {exc}")
+                else:
+                    results[item] = value
+                    if on_result is not None:
+                        on_result(item, value)
+            if broken:
+                # The pool is poisoned: every other in-flight future will
+                # raise BrokenProcessPool too.  The culprit is unknowable,
+                # so each is (conservatively) charged an attempt.
+                for future, (item, attempt, _t0) in list(inflight.items()):
+                    note_failure(item, attempt, "worker process died (pool broke)")
+                inflight.clear()
+                _kill_pool(pool)
+                pool = make_pool()
+                continue
+            if not done and timeout_s is not None:
+                now = time.monotonic()
+                overdue = [
+                    (future, payload)
+                    for future, payload in inflight.items()
+                    if now - payload[2] > timeout_s
+                ]
+                if overdue:
+                    # No cooperative cancel exists for a running worker:
+                    # kill the pool, charge the overdue items, resubmit
+                    # the bystanders attempt-free.
+                    _kill_pool(pool)
+                    overdue_futures = {future for future, _ in overdue}
+                    bystanders = [
+                        (item, attempt)
+                        for future, (item, attempt, _t0) in inflight.items()
+                        if future not in overdue_futures
+                    ]
+                    inflight.clear()
+                    pool = make_pool()
+                    for item, attempt in reversed(bystanders):
+                        pending.appendleft((item, attempt))
+                    for _future, (item, attempt, _t0) in overdue:
+                        note_failure(
+                            item, attempt, f"timed out after {timeout_s}s"
+                        )
+    finally:
+        _kill_pool(pool)
+    ordered = {item: results[item] for item in items if item in results}
+    return ordered, failures
+
+
+# ---------------------------------------------------------------------------
+# resumable journal
+# ---------------------------------------------------------------------------
+
+
+class JournalMismatch(ValueError):
+    """An existing journal belongs to a different sweep configuration."""
+
+
+class Journal:
+    """Append-only JSONL manifest of completed work items.
+
+    Line 1 is a header ``{"journal": 1, "fingerprint": ...}``; each
+    subsequent line is ``{"key": <item>, "value": <payload>}``, flushed
+    as written so a crash loses at most the line in flight.  Keys and
+    payloads must be JSON-serialisable (ints, strings, lists, dicts).
+
+    Opening an existing journal validates the fingerprint — resuming a
+    sweep with different parameters raises :class:`JournalMismatch`
+    instead of silently merging incompatible results — and tolerates a
+    truncated final line (dropped; its item simply reruns).
+    """
+
+    _HEADER_VERSION = 1
+
+    def __init__(self, path, fingerprint):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.completed: dict = {}
+        self._fh = None
+        if self.path.exists():
+            self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write_line(
+                {"journal": self._HEADER_VERSION, "fingerprint": fingerprint}
+            )
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise JournalMismatch(f"journal {self.path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except ValueError as exc:
+            raise JournalMismatch(
+                f"journal {self.path} has an unreadable header: {exc}"
+            ) from None
+        if header.get("journal") != self._HEADER_VERSION:
+            raise JournalMismatch(
+                f"journal {self.path} has unsupported version "
+                f"{header.get('journal')!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise JournalMismatch(
+                f"journal {self.path} was written by a different sweep "
+                f"configuration; refusing to resume (delete it to restart)"
+            )
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                value = entry["value"]
+            except (ValueError, KeyError, TypeError):
+                continue  # truncated/corrupt tail line: its item reruns
+            self.completed[self._freeze(key)] = value
+
+    @staticmethod
+    def _freeze(key):
+        """JSON round-trips tuples to lists; normalise for dict lookup."""
+        return tuple(key) if isinstance(key, list) else key
+
+    def _write_line(self, obj) -> None:
+        self._fh.write(json.dumps(obj) + "\n")
+        self._fh.flush()
+
+    def record(self, key, value) -> None:
+        """Append one completed item (immediately flushed)."""
+        self._write_line({"key": key, "value": value})
+        self.completed[self._freeze(key)] = value
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

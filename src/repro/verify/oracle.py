@@ -105,6 +105,9 @@ class FuzzReport:
     cases_run: int = 0
     corpus_replayed: int = 0
     divergences: list[Divergence] = field(default_factory=list)
+    #: Exact-engine checks that ran out of budget and degraded to an
+    #: interval check (``DEGRADED`` verdict) instead of an exact one.
+    degraded: int = 0
 
     @property
     def ok(self) -> bool:
@@ -115,9 +118,15 @@ class FuzzReport:
             f"{self.cases_run} fuzz case(s), {self.corpus_replayed} corpus "
             f"case(s): "
         )
+        tail = (
+            f" [{self.degraded} DEGRADED exact check(s): budget exhausted, "
+            f"interval checks only]"
+            if self.degraded
+            else ""
+        )
         if self.ok:
-            return head + "all engines agree"
-        lines = [head + f"{len(self.divergences)} divergence(s)"]
+            return head + "all engines agree" + tail
+        lines = [head + f"{len(self.divergences)} divergence(s)" + tail]
         lines += [d.format() for d in self.divergences]
         return "\n".join(lines)
 
@@ -192,6 +201,8 @@ def check_case(
     opt_limit: int = 12,
     brute_limit: int = 9,
     max_dp_states: int = 200_000,
+    budget_factory=None,
+    on_degraded=None,
 ) -> list[Divergence]:
     """Run every engine on ``case`` and return all divergences.
 
@@ -199,6 +210,14 @@ def check_case(
     names.  ``opt_limit`` / ``brute_limit`` bound the instance size (in
     total requests) above which the exponential exact engines are
     skipped.
+
+    ``budget_factory`` (if given) builds one fresh
+    :class:`~repro.runtime.budget.Budget` per exact-engine call.  A
+    budget-exhausted engine *degrades* instead of failing the case: its
+    :class:`~repro.runtime.budget.BoundedResult` interval is checked
+    against the online costs (a lower bound exceeding an online cost is
+    still a real ``opt_above_online`` divergence) and ``on_degraded`` is
+    called with the bound for reporting.
     """
     from repro.core.kernels import KERNELS
     from repro.core.simulator import simulate
@@ -267,22 +286,55 @@ def check_case(
         and K <= 8
     ):
         divergences += _check_optima(
-            case, workload, online_costs, brute_limit, max_dp_states
+            case, workload, online_costs, brute_limit, max_dp_states,
+            budget_factory, on_degraded,
         )
     return divergences
 
 
+def _bound_violations(
+    case: VerifyCase, engine: str, bounded, online_costs: dict
+) -> list[Divergence]:
+    """Exact-check degradation: the interval must still sit below every
+    online cost (``lower > cost`` proves OPT above an online strategy —
+    impossible — with no need for the exact value)."""
+    out = []
+    for name, cost in sorted(online_costs.items()):
+        if bounded.lower > cost:
+            out.append(
+                Divergence(
+                    "opt_above_online",
+                    name,
+                    f"{engine} DEGRADED lower bound {bounded.lower:g} "
+                    f"exceeds online cost {cost} "
+                    f"(interval {bounded.describe()})",
+                    case,
+                )
+            )
+    return out
+
+
 def _check_optima(
     case: VerifyCase, workload, online_costs: dict, brute_limit: int,
-    max_dp_states: int,
+    max_dp_states: int, budget_factory=None, on_degraded=None,
 ) -> list[Divergence]:
     from repro.offline.brute_force import brute_force_ftf
     from repro.offline.dp_ftf import minimum_total_faults
     from repro.problems import FTFInstance
+    from repro.runtime.budget import BudgetExceeded
 
     instance = FTFInstance(workload, case.cache_size, case.tau)
     try:
-        opt = minimum_total_faults(instance, max_states=max_dp_states).faults
+        opt = minimum_total_faults(
+            instance,
+            max_states=max_dp_states,
+            budget=budget_factory() if budget_factory is not None else None,
+        ).faults
+    except BudgetExceeded as exc:
+        # Must precede RuntimeError: BudgetExceeded subclasses it.
+        if on_degraded is not None:
+            on_degraded("dp_ftf", case, exc.bounded)
+        return _bound_violations(case, "dp_ftf", exc.bounded, online_costs)
     except RuntimeError:
         return []  # instance too large for the exact engine: skip silently
     out: list[Divergence] = []
@@ -297,7 +349,27 @@ def _check_optima(
                 )
             )
     if case.total_requests <= brute_limit:
-        brute = brute_force_ftf(instance)
+        try:
+            brute = brute_force_ftf(
+                instance,
+                budget=(
+                    budget_factory() if budget_factory is not None else None
+                ),
+            )
+        except BudgetExceeded as exc:
+            if on_degraded is not None:
+                on_degraded("brute_force_ftf", case, exc.bounded)
+            if not exc.bounded.contains(opt):
+                out.append(
+                    Divergence(
+                        "opt_engines_disagree",
+                        "dp_ftf",
+                        f"dp_ftf={opt} outside brute_force_ftf DEGRADED "
+                        f"interval {exc.bounded.describe()}",
+                        case,
+                    )
+                )
+            return out
         if brute != opt:
             out.append(
                 Divergence(
@@ -398,6 +470,7 @@ def fuzz(
     opt_limit: int = 12,
     max_failures: int = 5,
     on_progress=None,
+    budget_factory=None,
 ) -> FuzzReport:
     """Fuzz ``n`` random cases through :func:`check_case`.
 
@@ -407,15 +480,23 @@ def fuzz(
     reported (and shrunk) once — and fuzzing stops early after
     ``max_failures`` distinct signatures.  ``on_progress`` is an
     optional callback ``(cases_done, total)`` invoked every 50 cases.
+    ``budget_factory`` (if given) budgets each exact-engine call;
+    exhausted engines degrade to interval checks, counted in
+    :attr:`FuzzReport.degraded`.
     """
     rng = random.Random(seed)
     report = FuzzReport()
     seen: set[tuple[str, str]] = set()
+
+    def note_degraded(_engine, _case, _bounded):
+        report.degraded += 1
+
     for i in range(n):
         case = random_case(rng)
         report.cases_run += 1
         divergences = check_case(
-            case, strategies=strategies, opt_limit=opt_limit
+            case, strategies=strategies, opt_limit=opt_limit,
+            budget_factory=budget_factory, on_degraded=note_degraded,
         )
         for div in divergences:
             signature = (div.kind, div.strategy)

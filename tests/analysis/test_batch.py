@@ -187,8 +187,8 @@ class TestCacheFingerprint:
         import repro.analysis.batch as batch_mod
         from repro.analysis.batch import _cache_root
 
-        assert batch_mod.CACHE_VERSION == 2
-        assert _cache_root(tmp_path).name == "v2"
+        assert batch_mod.CACHE_VERSION == 3
+        assert _cache_root(tmp_path).name == "v3"
         v1 = tmp_path / "batch" / "v1" / "ab" / ("a" * 64 + ".json")
         v1.parent.mkdir(parents=True)
         v1.write_text('{"faults": 0, "makespan": 0}')

@@ -1,0 +1,188 @@
+"""Supervised sweeps under deterministic chaos: crash recovery, journal
+resume after interruption, and cache-corruption quarantine.
+
+These tests drive :func:`repro.analysis.batch.batch_run` through the
+faults the robustness layer exists to survive (``REPRO_CHAOS``), and
+assert the recovered statistics are *identical* to a fault-free run —
+the acceptance criterion of docs/ROBUSTNESS.md.
+"""
+
+import pytest
+
+from repro import LRUPolicy, SharedStrategy
+from repro.analysis import batch_run, cache_info
+from repro.runtime import chaos
+from repro.runtime.supervisor import JournalMismatch, SweepError
+from repro.workloads import uniform_workload
+
+SEEDS = range(8)
+
+
+def make_workload(seed):
+    return uniform_workload(2, 40, 5, seed=seed)
+
+
+def make_strategy():
+    return SharedStrategy(LRUPolicy)
+
+
+def run(**kwargs):
+    return batch_run(
+        "chaos-sweep", make_workload, make_strategy, 4, 1, SEEDS, **kwargs
+    )
+
+
+def crashing_seeds(spec):
+    """Chaos is deterministic: predict exactly which replicas die."""
+    cfg = chaos.ChaosConfig.parse(spec)
+    return {
+        s
+        for s in SEEDS
+        if chaos.should_inject("crash", ("replica", s), 0, config=cfg)
+    }
+
+
+# A spec that provably kills some replicas but not all of them.
+CRASH_SPEC = "seed=3,crash=0.4"
+
+
+def test_crash_spec_is_partial():
+    hit = crashing_seeds(CRASH_SPEC)
+    assert hit and hit < set(SEEDS)
+
+
+@pytest.mark.chaos
+class TestCrashRecovery:
+    def test_serial_retry_recovers_exact_stats(self, monkeypatch):
+        baseline = run()
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC)
+        recovered = run(retries=1, retry_backoff_s=0.0)
+        assert recovered.faults == baseline.faults
+        assert recovered.makespans == baseline.makespans
+        assert recovered.failed_seeds == ()
+
+    def test_serial_no_retries_surfaces_sweep_error(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC)
+        with pytest.raises(SweepError):
+            run(retries=0)
+
+    def test_parallel_hard_crash_recovers_exact_stats(self, monkeypatch):
+        """Pool workers die with ``os._exit`` (a genuine BrokenProcessPool);
+        the pool is rebuilt and the stats still match fault-free serial."""
+        baseline = run()
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC)
+        # A pool break charges every in-flight bystander an attempt (the
+        # culprit is unknowable), so budget one retry per possible break.
+        retries = len(crashing_seeds(CRASH_SPEC)) + 1
+        recovered = run(
+            parallel=True, max_workers=2, retries=retries,
+            retry_backoff_s=0.0,
+        )
+        assert recovered.faults == baseline.faults
+        assert recovered.makespans == baseline.makespans
+
+    def test_record_mode_reports_failed_seeds(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC)
+        partial = run(retries=0, on_failure="record")
+        assert set(partial.failed_seeds) == crashing_seeds(CRASH_SPEC)
+        assert set(partial.seeds) == set(SEEDS) - set(partial.failed_seeds)
+
+
+@pytest.mark.chaos
+class TestJournalResume:
+    def test_interrupted_sweep_resumes_without_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        """The satellite scenario: chaos kills a parallel sweep mid-flight;
+        rerunning with the same journal recomputes only the missing
+        replicas and the final stats match an uninterrupted run."""
+        baseline = run()
+        journal = tmp_path / "sweep.jsonl"
+
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC)
+        with pytest.raises(SweepError):
+            run(parallel=True, max_workers=2, retries=0, journal=journal)
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+
+        completed = len(journal.read_text().splitlines()) - 1  # minus header
+        assert completed < len(SEEDS)  # genuinely interrupted
+
+        computed = []
+
+        def counting_factory(seed):
+            computed.append(seed)
+            return make_workload(seed)
+
+        resumed = batch_run(
+            "chaos-sweep", counting_factory, make_strategy, 4, 1, SEEDS,
+            journal=journal,
+        )
+        assert resumed.resumed == completed
+        assert len(computed) == len(SEEDS) - completed  # no recompute
+        assert resumed.seeds == baseline.seeds
+        assert resumed.faults == baseline.faults
+        assert resumed.makespans == baseline.makespans
+
+    def test_completed_journal_short_circuits_everything(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = run(journal=journal)
+        again = batch_run(
+            "chaos-sweep",
+            lambda seed: pytest.fail("resumed sweep must not recompute"),
+            make_strategy, 4, 1, SEEDS, journal=journal,
+        )
+        assert again.resumed == len(SEEDS)
+        assert again.faults == first.faults
+
+    def test_journal_refuses_different_configuration(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run(journal=journal)
+        with pytest.raises(JournalMismatch):
+            batch_run(
+                "chaos-sweep", make_workload, make_strategy, 4, 2, SEEDS,
+                journal=journal,  # same journal, different tau
+            )
+
+
+@pytest.mark.chaos
+class TestCacheCorruption:
+    def test_corrupt_writes_are_quarantined_and_recomputed(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: a sweep under injected worker crashes
+        *and* cache corruption still returns chaos-free statistics, and a
+        later clean run quarantines the corrupt entries instead of
+        trusting or crashing on them."""
+        baseline = run()
+
+        monkeypatch.setenv(chaos.CHAOS_ENV, CRASH_SPEC + ",corrupt=1.0")
+        retries = len(crashing_seeds(CRASH_SPEC)) + 1  # see TestCrashRecovery
+        chaotic = run(
+            parallel=True, max_workers=2, retries=retries,
+            retry_backoff_s=0.0, cache=True, cache_dir=tmp_path,
+        )
+        assert chaotic.faults == baseline.faults
+        assert chaotic.makespans == baseline.makespans
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+
+        # Every cache entry was written truncated; the warm run must
+        # quarantine them all and recompute — never serve corrupt data.
+        warm = run(cache=True, cache_dir=tmp_path)
+        assert warm.cache_hits == 0
+        assert warm.faults == baseline.faults
+        info = cache_info(tmp_path)
+        assert info["quarantined"] == len(SEEDS)
+        assert info["entries"] == len(SEEDS)  # clean rewrites
+
+    def test_cache_info_counts_corrupt_without_quarantining(self, tmp_path):
+        from repro.analysis.batch import _cache_root
+
+        run(cache=True, cache_dir=tmp_path)
+        entries = list(_cache_root(tmp_path).rglob("*.json"))
+        entries[0].write_text('{"faults": 1')  # truncated write
+        info = cache_info(tmp_path)
+        assert info["corrupt"] == 1
+        assert info["entries"] == len(SEEDS) - 1
+        assert info["quarantined"] == 0  # inspection is read-only
+        # still on disk, untouched:
+        assert entries[0].exists()

@@ -1,0 +1,177 @@
+"""Budgeted solver degradation: exhaustion yields sound intervals and
+``budget=None`` reproduces the exact results bit-for-bit."""
+
+import random
+
+import pytest
+
+from repro import Workload
+from repro.contrast import scheduled_ftf_optimum
+from repro.offline import (
+    brute_force_ftf,
+    brute_force_pif,
+    decide_pif,
+    minimum_total_faults,
+    optimal_static_partition,
+)
+from repro.problems import FTFInstance, PIFInstance
+from repro.runtime import BoundedResult, Budget, BudgetExceeded
+
+
+def random_disjoint(seed, p, length, pages):
+    rng = random.Random(seed)
+    return Workload(
+        [[(j, rng.randrange(pages)) for _ in range(length)] for j in range(p)]
+    )
+
+
+class TestBudgetMechanics:
+    def test_state_cap_raises(self):
+        budget = Budget(max_states=10)
+        budget.charge(10)
+        with pytest.raises(BudgetExceeded):
+            budget.charge()
+        assert budget.exhausted()
+
+    def test_deadline_checked_at_interval(self):
+        budget = Budget(deadline_s=0.0, check_interval=1)
+        budget.start()
+        with pytest.raises(BudgetExceeded) as exc_info:
+            for _ in range(5):
+                budget.charge()
+        assert "deadline" in str(exc_info.value)
+
+    def test_deadline_not_checked_between_intervals(self):
+        budget = Budget(deadline_s=0.0, check_interval=1000)
+        budget.start()
+        budget.charge(999)  # below the interval: no clock read, no raise
+
+    def test_unlimited_budget_never_raises(self):
+        budget = Budget()
+        budget.charge(10**6)
+        assert not budget.exhausted()
+        assert budget.describe() == "Budget(unlimited)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(deadline_s=-1)
+        with pytest.raises(ValueError):
+            Budget(max_states=-1)
+        with pytest.raises(ValueError):
+            Budget(check_interval=0)
+
+    def test_bounded_result(self):
+        b = BoundedResult(lower=3.0, upper=7.0)
+        assert b.contains(3) and b.contains(7) and not b.contains(8)
+        assert b.width == 4.0
+        assert b.describe() == "[3, 7]"
+        with pytest.raises(ValueError):
+            BoundedResult(lower=5.0, upper=4.0)
+
+
+class TestFTFDegradation:
+    """On small instances with a known exact optimum, an exhausted budget
+    must yield ``lower <= exact <= upper`` (the acceptance criterion)."""
+
+    def exact_and_bounded(self, solver, inst):
+        exact = solver(inst)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            solver(inst, budget=Budget(max_states=1))
+        bounded = exc_info.value.bounded
+        assert isinstance(bounded, BoundedResult)
+        assert not bounded.exact
+        return exact, bounded
+
+    @pytest.mark.parametrize("tau", [0, 1])
+    def test_dp_ftf_interval_contains_exact(self, tau):
+        for seed in range(4):
+            w = random_disjoint(seed, p=2, length=5, pages=3)
+            inst = FTFInstance(w, 3, tau)
+            exact, bounded = self.exact_and_bounded(
+                lambda i, **kw: minimum_total_faults(i, **kw).faults, inst
+            )
+            assert bounded.contains(exact)
+
+    @pytest.mark.parametrize("tau", [0, 1])
+    def test_brute_force_interval_contains_exact(self, tau):
+        for seed in range(4):
+            w = random_disjoint(seed + 10, p=2, length=5, pages=3)
+            inst = FTFInstance(w, 3, tau)
+            exact, bounded = self.exact_and_bounded(brute_force_ftf, inst)
+            assert bounded.contains(exact)
+
+    def test_scheduled_opt_interval_contains_exact(self):
+        for seed in range(3):
+            w = random_disjoint(seed + 20, p=2, length=4, pages=3)
+            inst = FTFInstance(w, 3, 1)
+            exact, bounded = self.exact_and_bounded(scheduled_ftf_optimum, inst)
+            assert bounded.contains(exact)
+
+    def test_opt_static_interval_contains_exact(self):
+        w = random_disjoint(3, p=2, length=6, pages=3)
+        exact = optimal_static_partition(w, 4).faults
+        with pytest.raises(BudgetExceeded) as exc_info:
+            optimal_static_partition(w, 4, budget=Budget(max_states=1))
+        assert exc_info.value.bounded.contains(exact)
+
+
+class TestDecisionDegradation:
+    """Decision problems degrade to the undecided [0, 1] indicator."""
+
+    def test_decide_pif_undecided_interval(self):
+        # Bounds of 0 defeat the greedy presolve (the first faults exceed
+        # them), forcing the layered search — which the budget then stops.
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 0, 10, (0, 0))
+        answer = decide_pif(inst)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            decide_pif(inst, budget=Budget(max_states=0))
+        bounded = exc_info.value.bounded
+        assert (bounded.lower, bounded.upper) == (0.0, 1.0)
+        assert bounded.contains(int(answer.feasible))
+
+    def test_brute_force_pif_undecided_interval(self):
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 0, 10, (2, 2))
+        answer = brute_force_pif(inst)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            brute_force_pif(inst, budget=Budget(max_states=1))
+        bounded = exc_info.value.bounded
+        assert (bounded.lower, bounded.upper) == (0.0, 1.0)
+        assert bounded.contains(int(answer))
+
+
+class TestExactParity:
+    """``budget=None`` and a generous budget must both reproduce the
+    historical exact results bit-for-bit."""
+
+    def test_generous_budget_is_invisible(self):
+        for seed in range(4):
+            w = random_disjoint(seed + 30, p=2, length=5, pages=3)
+            inst = FTFInstance(w, 3, 1)
+            baseline = minimum_total_faults(inst)
+            budgeted = minimum_total_faults(inst, budget=Budget(max_states=10**9))
+            assert budgeted.faults == baseline.faults
+            assert budgeted.states_expanded == baseline.states_expanded
+            assert brute_force_ftf(inst) == brute_force_ftf(
+                inst, budget=Budget(max_states=10**9)
+            )
+            assert scheduled_ftf_optimum(inst) == scheduled_ftf_optimum(
+                inst, budget=Budget(max_states=10**9)
+            )
+
+    def test_generous_budget_pif_parity(self):
+        inst = PIFInstance([[1, 2], [10, 11]], 4, 0, 10, (2, 2))
+        assert decide_pif(inst) == decide_pif(
+            inst, budget=Budget(max_states=10**9)
+        )
+        assert brute_force_pif(inst) == brute_force_pif(
+            inst, budget=Budget(max_states=10**9)
+        )
+
+    def test_generous_budget_opt_static_parity(self):
+        w = random_disjoint(5, p=2, length=6, pages=3)
+        base = optimal_static_partition(w, 4)
+        budgeted = optimal_static_partition(
+            w, 4, budget=Budget(max_states=10**9)
+        )
+        assert budgeted.faults == base.faults
+        assert budgeted.partition == base.partition

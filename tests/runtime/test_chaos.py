@@ -1,0 +1,94 @@
+"""Deterministic fault injection (``REPRO_CHAOS``)."""
+
+import pytest
+
+from repro.runtime import chaos
+
+
+class TestParse:
+    def test_full_spec(self):
+        cfg = chaos.ChaosConfig.parse(
+            "seed=7,crash=0.3,slow=0.2,slow_s=2.5,corrupt=1.0"
+        )
+        assert cfg == chaos.ChaosConfig(
+            seed=7, crash=0.3, slow=0.2, slow_s=2.5, corrupt=1.0
+        )
+        assert cfg.active()
+
+    def test_empty_clauses_and_whitespace(self):
+        cfg = chaos.ChaosConfig.parse(" crash=1 , ,seed=3 ")
+        assert cfg.crash == 1.0 and cfg.seed == 3
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            chaos.ChaosConfig.parse("crash")
+        with pytest.raises(ValueError):
+            chaos.ChaosConfig.parse("crash=1.5")
+        with pytest.raises(ValueError):
+            chaos.ChaosConfig.parse("frobnicate=1")
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        assert chaos.chaos_config() is None
+        assert not chaos.chaos_active()
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=1,crash=0.5")
+        assert chaos.chaos_config().crash == 0.5
+        assert chaos.chaos_active()
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=1")  # all probs zero
+        assert not chaos.chaos_active()
+
+
+class TestDeterminism:
+    def test_same_key_same_decision(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,crash=0.5")
+        decisions = [
+            chaos.should_inject("crash", ("replica", s)) for s in range(64)
+        ]
+        assert decisions == [
+            chaos.should_inject("crash", ("replica", s)) for s in range(64)
+        ]
+        # A 0.5 probability over 64 keys hits both outcomes.
+        assert any(decisions) and not all(decisions)
+
+    def test_seed_changes_decisions(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,crash=0.5")
+        a = [chaos.should_inject("crash", s) for s in range(64)]
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=1,crash=0.5")
+        b = [chaos.should_inject("crash", s) for s in range(64)]
+        assert a != b
+
+    def test_crash_is_transient(self, monkeypatch):
+        """Crash/slow fire only on attempt 0, so a retry always runs clean."""
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,crash=1.0,slow=1.0")
+        assert chaos.should_inject("crash", "x", attempt=0)
+        assert not chaos.should_inject("crash", "x", attempt=1)
+        assert chaos.should_inject("slow", "x", attempt=0)
+        assert not chaos.should_inject("slow", "x", attempt=1)
+
+    def test_corrupt_ignores_attempt(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,corrupt=1.0")
+        assert chaos.should_inject("corrupt", "x", attempt=5)
+
+
+class TestHooks:
+    def test_maybe_crash_soft(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,crash=1.0")
+        with pytest.raises(chaos.ChaosCrash):
+            chaos.maybe_crash("k")
+        chaos.maybe_crash("k", attempt=1)  # retries run clean
+
+    def test_hooks_are_noops_without_env(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        chaos.maybe_crash("k")
+        chaos.maybe_slow("k")
+        assert chaos.maybe_corrupt("k", "payload") == "payload"
+
+    def test_maybe_corrupt_truncates(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,corrupt=1.0")
+        text = '{"faults": 3, "makespan": 9}'
+        corrupted = chaos.maybe_corrupt("k", text)
+        assert corrupted == text[: len(text) // 2]
+        with pytest.raises(ValueError):
+            import json
+
+            json.loads(corrupted)

@@ -1,0 +1,173 @@
+"""Supervised pool execution and the resumable journal."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime.supervisor import (
+    Journal,
+    JournalMismatch,
+    SweepError,
+    supervised_map,
+)
+
+
+# Pool work functions must be module-level (picklable).  Transient faults
+# are keyed off the attempt number, mirroring chaos injection.
+
+
+def _square(item, attempt):
+    return item * item
+
+
+def _flaky_odd(item, attempt):
+    if attempt == 0 and item % 2:
+        raise ValueError(f"flaky {item}")
+    return item
+
+
+def _always_fails(item, attempt):
+    raise ValueError("permanent")
+
+
+def _hard_crash_two(item, attempt):
+    if attempt == 0 and item == 2:
+        os._exit(66)
+    return item
+
+
+def _hang_one(item, attempt):
+    if attempt == 0 and item == 1:
+        time.sleep(60)
+    return item
+
+
+class TestSupervisedMap:
+    def test_plain_map_in_input_order(self):
+        results, failures = supervised_map(_square, [3, 1, 2], max_workers=2)
+        assert list(results.items()) == [(3, 9), (1, 1), (2, 4)]
+        assert failures == []
+
+    def test_retry_fixes_transient_failures(self):
+        results, failures = supervised_map(
+            _flaky_odd, [0, 1, 2, 3], max_workers=2, retries=1, backoff_s=0.0
+        )
+        assert results == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert failures == []
+
+    def test_exhausted_retries_raise_sweep_error(self):
+        with pytest.raises(SweepError) as exc_info:
+            supervised_map(
+                _always_fails, [0], max_workers=1, retries=1, backoff_s=0.0
+            )
+        (failure,) = exc_info.value.failures
+        assert failure.item == 0
+        assert failure.attempts == 2
+        assert "ValueError" in failure.error
+
+    def test_on_failure_record_finishes_the_sweep(self):
+        results, failures = supervised_map(
+            _flaky_odd, [0, 1, 2], max_workers=1, retries=0,
+            on_failure="record",
+        )
+        assert results == {0: 0, 2: 2}
+        assert [f.item for f in failures] == [1]
+
+    def test_on_failure_validation(self):
+        with pytest.raises(ValueError):
+            supervised_map(_square, [1], on_failure="ignore")
+
+    def test_on_result_fires_per_completion(self):
+        seen = []
+        supervised_map(
+            _square, [1, 2], max_workers=1,
+            on_result=lambda item, value: seen.append((item, value)),
+        )
+        assert sorted(seen) == [(1, 1), (2, 4)]
+
+    def test_broken_pool_is_rebuilt_and_item_retried(self):
+        results, failures = supervised_map(
+            _hard_crash_two, [1, 2, 3], max_workers=2, retries=1,
+            backoff_s=0.0,
+        )
+        assert results == {1: 1, 2: 2, 3: 3}
+        assert failures == []
+
+    def test_worker_crash_without_retries_fails_that_item(self):
+        results, failures = supervised_map(
+            _hard_crash_two, [1, 2, 3], max_workers=1, retries=0,
+            on_failure="record",
+        )
+        assert 2 not in results
+        assert {f.item for f in failures} >= {2}
+        assert results.get(1) == 1  # completed before the pool broke
+
+    def test_timeout_kills_and_retries(self):
+        t0 = time.monotonic()
+        results, failures = supervised_map(
+            _hang_one, [0, 1], max_workers=2, timeout_s=1.0, retries=1,
+            backoff_s=0.0,
+        )
+        assert results == {0: 0, 1: 1}
+        assert failures == []
+        assert time.monotonic() - t0 < 30  # did not wait out the hang
+
+    def test_timeout_without_retries_fails_the_item(self):
+        results, failures = supervised_map(
+            _hang_one, [0, 1], max_workers=2, timeout_s=1.0, retries=0,
+            on_failure="record",
+        )
+        assert results == {0: 0}
+        assert [f.item for f in failures] == [1]
+        assert "timed out" in failures[0].error
+
+
+class TestJournal:
+    def test_record_and_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record(3, {"faults": 7})
+            journal.record(4, {"faults": 9})
+        resumed = Journal(path, "fp")
+        assert resumed.completed == {3: {"faults": 7}, 4: {"faults": 9}}
+        resumed.record(5, {"faults": 1})
+        resumed.close()
+        assert Journal(path, "fp").completed[5] == {"faults": 1}
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        Journal(path, "fp-a").close()
+        with pytest.raises(JournalMismatch):
+            Journal(path, "fp-b")
+
+    def test_truncated_tail_line_is_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record(1, {"faults": 2})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": 2, "val')  # crash arrived mid-write
+        resumed = Journal(path, "fp")
+        assert resumed.completed == {1: {"faults": 2}}
+
+    def test_tuple_keys_survive_json_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record((1, 2), {"x": 0})
+        assert Journal(path, "fp").completed == {(1, 2): {"x": 0}}
+
+    def test_empty_or_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalMismatch):
+            Journal(path, "fp")
+        path.write_text("not json\n")
+        with pytest.raises(JournalMismatch):
+            Journal(path, "fp")
+
+    def test_header_line_format(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        Journal(path, "fp").close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"journal": 1, "fingerprint": "fp"}

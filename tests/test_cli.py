@@ -122,6 +122,30 @@ class TestCommands:
         )
         assert "optimal total faults" in capsys.readouterr().out
 
+    def test_opt_budget_degrades(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        main(
+            ["generate", "--workload", "uniform", "-p", "2", "-n", "8",
+             "-K", "3", "--output", str(trace)]
+        )
+        exact_code = main(
+            ["opt", "--workload-file", str(trace), "-K", "3", "--tau", "1"]
+        )
+        assert exact_code == 0
+        exact = int(
+            capsys.readouterr().out.split("optimal total faults :")[1]
+            .splitlines()[0]
+        )
+        degraded_code = main(
+            ["opt", "--workload-file", str(trace), "-K", "3", "--tau", "1",
+             "--max-states", "3"]
+        )
+        out = capsys.readouterr().out
+        assert degraded_code == 2
+        assert "DEGRADED" in out
+        lower, upper = out.split("[")[1].split("]")[0].split(",")
+        assert float(lower) <= exact <= float(upper)
+
     def test_opt_refuses_big_instances(self, tmp_path):
         trace = tmp_path / "big.trace"
         main(

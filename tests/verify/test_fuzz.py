@@ -37,3 +37,29 @@ def test_acceptance_fuzz_500_seed0():
     from repro.cli import main
 
     assert main(["verify", "--fuzz", "500", "--seed", "0", "-q"]) == 0
+
+
+def test_budgeted_fuzz_degrades_without_divergences():
+    """A starvation budget on the exact engines must degrade the optimum
+    checks to interval form — counted and surfaced — not fabricate
+    divergences or crash (docs/ROBUSTNESS.md)."""
+    from repro.runtime import Budget
+
+    report = fuzz(
+        40, seed=0, shrink=False, budget_factory=lambda: Budget(max_states=5)
+    )
+    assert report.ok, report.summary()
+    assert report.degraded > 0
+    assert "DEGRADED" in report.summary()
+
+
+def test_budgeted_cli_flags():
+    from repro.cli import main
+
+    assert (
+        main(
+            ["verify", "--fuzz", "20", "-q", "--max-states", "1000",
+             "--deadline-s", "5"]
+        )
+        == 0
+    )
