@@ -37,7 +37,13 @@ Packages
     Ratio/sweep harness and table formatting used by the benchmarks.
 ``repro.runtime``
     Robust execution runtime: solver budgets with graceful degradation,
-    supervised resumable sweeps, deterministic chaos injection.
+    supervised resumable sweeps, deterministic chaos injection, circuit
+    breakers and drain hooks.
+``repro.service``
+    Resilient job service (``python -m repro serve``): queued serving of
+    simulation/experiment/sweep/solver jobs with admission control,
+    per-class circuit breakers, journaled crash recovery and graceful
+    drain (docs/SERVICE.md).
 """
 
 from repro.core import (
@@ -86,7 +92,12 @@ from repro.strategies import (
     proportional_partition,
 )
 
-__version__ = "1.0.0"
+from repro._util import repro_version
+
+#: Resolved from installed package metadata when available, so deployed
+#: instances (``repro --version``, the job service's ``/healthz``) report
+#: the truth even when the source tree lags.
+__version__ = repro_version()
 
 __all__ = [
     "ARCPolicy",

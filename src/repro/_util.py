@@ -82,3 +82,24 @@ def argmax(values: Iterable[T], key) -> T:
 def human_int(value: int) -> str:
     """Format an integer with thousands separators for table output."""
     return f"{value:,}"
+
+
+#: Fallback when the package is run from a source tree (PYTHONPATH=src)
+#: without being pip-installed; keep in sync with pyproject.toml.
+_FALLBACK_VERSION = "1.0.0"
+
+
+def repro_version() -> str:
+    """The deployed package version, from installed metadata when
+    available (single source of truth: pyproject.toml), else the
+    source-tree fallback.  ``repro --version`` and the job service's
+    ``/healthz`` both report this string, so a deployed instance is
+    always identifiable."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+    except Exception:  # pragma: no cover - exotic metadata breakage
+        return _FALLBACK_VERSION

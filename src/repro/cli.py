@@ -30,6 +30,14 @@ Commands
     the general simulator, every specialised kernel and (on small
     instances) the exact DP, shrinking any divergence to a minimal
     replayable counterexample.
+``serve [--port 8023] [--journal jobs.jsonl] [--workers 2]``
+    Run the resilient job service: queued simulation/experiment/sweep/
+    solver serving with admission control, circuit breakers, journaled
+    crash recovery and graceful drain (docs/SERVICE.md).
+``submit --kind opt --param workload=zipf --deadline-s 5 [--wait]``
+    Submit one job to a running service (429/503 backpressure honoured).
+``status [JOB_ID] [--url http://127.0.0.1:8023]``
+    Poll one job (full record + event log) or summarise all jobs.
 """
 
 from __future__ import annotations
@@ -352,6 +360,97 @@ def cmd_opt(args) -> int:
     return 0
 
 
+def _parse_params(pairs) -> dict:
+    """Parse ``--param key=value`` pairs; values are JSON when they parse
+    (numbers, lists, booleans) and plain strings otherwise."""
+    import json
+
+    params = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}: expected key=value")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        args.journal,
+        host=args.host,
+        port=args.port,
+        drain_timeout_s=args.drain_timeout_s,
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        retries=args.retries,
+        job_timeout_s=args.job_timeout_s,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+    )
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import Backpressure, ServiceClient
+
+    client = ServiceClient(args.url)
+    params = _parse_params(args.param)
+    try:
+        if args.wait:
+            record = client.submit_and_wait(
+                args.kind,
+                params,
+                deadline_s=args.deadline_s,
+                timeout_s=args.timeout_s,
+            )
+        else:
+            record = client.submit(args.kind, params, deadline_s=args.deadline_s)
+    except Backpressure as busy:
+        print(f"rejected: {busy}")
+        print(f"retry after {busy.retry_after_s:.1f}s")
+        return 3
+    print(f"job     : {record['id']}")
+    print(f"state   : {record['state']}")
+    if record.get("result") is not None:
+        print(f"result  : {record['result']}")
+    if record.get("error"):
+        print(f"error   : {record['error']}")
+    return {"DONE": 0, "DEGRADED": 2, "FAILED": 1}.get(record["state"], 0)
+
+
+def cmd_status(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        try:
+            record = client.status(args.job_id)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+        for key in ("id", "kind", "state", "result", "error", "attempts"):
+            print(f"{key:10}: {record.get(key)}")
+        for event in record.get("events", []):
+            detail = {
+                k: v for k, v in event.items() if k not in ("t", "event")
+            }
+            print(f"  {event['t']:.3f} {event['event']} {detail or ''}")
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for record in jobs:
+        print(
+            f"{record['id']}  {record['state']:9} {record['kind']:11}"
+            f" {record.get('error') or ''}"
+        )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -387,9 +486,17 @@ def _add_workload_args(sub, with_tau=True):
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._util import repro_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multicore paging reproduction (López-Ortiz & Salinger, SPAA'11)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {repro_version()}",
+        help="print the package version (also reported by /healthz)",
     )
     subs = parser.add_subparsers(dest="command", required=True)
 
@@ -503,6 +610,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_args(sub)
     sub.set_defaults(func=cmd_verify)
+
+    sub = subs.add_parser(
+        "serve", help="run the resilient job service (docs/SERVICE.md)"
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8023)
+    sub.add_argument(
+        "--journal",
+        default="repro_jobs.jsonl",
+        help="crash-safe job journal; restarting with the same path "
+        "re-enqueues unfinished jobs (default repro_jobs.jsonl)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default 2)"
+    )
+    sub.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="admission queue bound; beyond it submissions get 429 + "
+        "Retry-After (default 64)",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="per-job retry budget for crashed/timed-out workers (default 1)",
+    )
+    sub.add_argument(
+        "--job-timeout-s",
+        type=float,
+        default=None,
+        help="hard per-attempt wall-clock kill for any job (default none)",
+    )
+    sub.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failures that open a job class's circuit "
+        "breaker (default 5)",
+    )
+    sub.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before admitting a probe "
+        "job (default 30)",
+    )
+    sub.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=None,
+        help="max seconds to wait for in-flight jobs on SIGTERM drain",
+    )
+    sub.set_defaults(func=cmd_serve)
+
+    sub = subs.add_parser("submit", help="submit a job to a running service")
+    sub.add_argument(
+        "--url", default="http://127.0.0.1:8023", help="service base URL"
+    )
+    sub.add_argument(
+        "--kind",
+        required=True,
+        help="job kind: simulate, experiment, sweep, or opt",
+    )
+    sub.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="job parameter (repeatable); values parse as JSON when "
+        'possible, e.g. --param id=E7 --param "seeds=[0,1,2]"',
+    )
+    sub.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-job deadline; exact-solver jobs degrade to a "
+        "[lower, upper] interval (DEGRADED) instead of timing out",
+    )
+    sub.add_argument(
+        "--wait",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="poll until the job is terminal (default; --no-wait to "
+        "just print the job id)",
+    )
+    sub.add_argument(
+        "--timeout-s",
+        type=float,
+        default=300.0,
+        help="client-side wait deadline with --wait (default 300)",
+    )
+    sub.set_defaults(func=cmd_submit)
+
+    sub = subs.add_parser(
+        "status", help="job status from a running service"
+    )
+    sub.add_argument("job_id", nargs="?", default=None)
+    sub.add_argument(
+        "--url", default="http://127.0.0.1:8023", help="service base URL"
+    )
+    sub.set_defaults(func=cmd_status)
 
     sub = subs.add_parser("opt", help="exact offline optimum (Algorithm 1)")
     sub.add_argument("--workload-file", required=True)

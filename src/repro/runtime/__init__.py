@@ -14,8 +14,15 @@ Three layers, built to keep long runs alive (docs/ROBUSTNESS.md):
 :mod:`repro.runtime.chaos`
     Deterministic fault injection (``REPRO_CHAOS``) — worker crashes,
     slow replicas, cache corruption — used to test the other two layers.
+:mod:`repro.runtime.breaker`
+    :class:`CircuitBreaker` — per-call-class failure isolation
+    (CLOSED/OPEN/HALF_OPEN) used by the job service's admission control.
+:mod:`repro.runtime.drain`
+    :class:`DrainSignal` — SIGTERM/SIGINT to graceful-drain latch for
+    long-running serving loops.
 """
 
+from repro.runtime.breaker import CircuitBreaker, CircuitOpen
 from repro.runtime.budget import (
     BoundedResult,
     Budget,
@@ -29,6 +36,7 @@ from repro.runtime.chaos import (
     chaos_active,
     chaos_config,
 )
+from repro.runtime.drain import DrainSignal
 from repro.runtime.supervisor import (
     Journal,
     JournalMismatch,
@@ -43,6 +51,9 @@ __all__ = [
     "BudgetExceeded",
     "ChaosConfig",
     "ChaosCrash",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DrainSignal",
     "Journal",
     "JournalMismatch",
     "ReplicaFailure",

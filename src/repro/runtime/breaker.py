@@ -1,0 +1,182 @@
+"""Circuit breaker: stop hammering a job class that keeps failing.
+
+A service that retries every failing job forever converts one bad job
+class (a solver that always OOMs, an experiment whose dependency is
+broken) into a whole-server brownout: workers spend their time failing,
+the queue backs up, and healthy job classes starve behind the doomed
+ones.  The classical remedy (Nygard, *Release It!*) is a per-class
+**circuit breaker**:
+
+``CLOSED``
+    normal operation; failures are counted, and ``failure_threshold``
+    *consecutive* failures trip the breaker;
+``OPEN``
+    calls are rejected immediately (the caller gets a retry-after hint)
+    for ``reset_timeout_s`` — the failing dependency gets room to
+    recover instead of load;
+``HALF_OPEN``
+    after the cooldown, up to ``probe_limit`` probe calls are let
+    through.  A probe success closes the breaker; a probe failure
+    re-opens it for another full cooldown.
+
+The breaker is thread-safe (admission and completion race in the job
+service) and purely monotonic-clock based, so it is immune to wall-clock
+jumps.  It is policy-free — it neither sleeps nor retries; it only
+answers :meth:`allow` and accepts :meth:`record_success` /
+:meth:`record_failure`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CircuitOpen"]
+
+
+class CircuitOpen(RuntimeError):
+    """A call was rejected because its class's breaker is open.
+
+    ``retry_after_s`` is the caller-facing hint: how long until the
+    breaker will admit a probe.
+    """
+
+    def __init__(self, name: str, retry_after_s: float):
+        self.name = name
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"circuit {name!r} is open; retry in {retry_after_s:.1f}s"
+        )
+
+
+class CircuitBreaker:
+    """One breaker guarding one class of calls (see module docstring)."""
+
+    CLOSED = "CLOSED"
+    OPEN = "OPEN"
+    HALF_OPEN = "HALF_OPEN"
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        probe_limit: int = 1,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be >= 0")
+        if probe_limit < 1:
+            raise ValueError("probe_limit must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.probe_limit = probe_limit
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_inflight = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``OPEN -> HALF_OPEN`` on cooldown expiry."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 if not open)."""
+        with self._lock:
+            self._advance()
+            if self._state != self.OPEN or self._opened_at is None:
+                return 0.0
+            return max(
+                0.0, self.reset_timeout_s - (self._clock() - self._opened_at)
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for readiness endpoints and event logs."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "retry_after_s": round(
+                    max(
+                        0.0,
+                        self.reset_timeout_s
+                        - (self._clock() - self._opened_at),
+                    ),
+                    3,
+                )
+                if self._state == self.OPEN and self._opened_at is not None
+                else 0.0,
+            }
+
+    # -- transitions -------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Lock held: move OPEN to HALF_OPEN once the cooldown has passed."""
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_inflight = 0
+
+    def allow(self) -> bool:
+        """May a call of this class proceed right now?
+
+        In ``HALF_OPEN`` this *claims a probe slot*: the caller that got
+        ``True`` is expected to report back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_inflight < self.probe_limit:
+                    self._probes_inflight += 1
+                    return True
+                return False
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow` that raises :class:`CircuitOpen` on rejection."""
+        if not self.allow():
+            raise CircuitOpen(self.name, self.retry_after_s() or self.reset_timeout_s)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._advance()
+            self._consecutive_failures = 0
+            if self._state == self.HALF_OPEN:
+                # The probe came back healthy: close fully.
+                self._state = self.CLOSED
+                self._probes_inflight = 0
+                self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                # The probe failed: re-open for a fresh cooldown.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probes_inflight = 0
+            elif (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()

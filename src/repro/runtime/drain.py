@@ -1,0 +1,99 @@
+"""Graceful-drain hooks: turn SIGTERM/SIGINT into an orderly shutdown.
+
+A long-running process that dies mid-write loses work; one that ignores
+SIGTERM gets SIGKILLed by its supervisor and loses work *and* its grace
+period.  :class:`DrainSignal` is the small shared primitive: it converts
+termination signals into a :class:`threading.Event` plus a list of
+drain callbacks, so serving loops can stop admitting, finish in-flight
+work, and flush journals before exiting.
+
+The second signal is deliberately *not* swallowed: a second Ctrl-C /
+SIGTERM restores the previous handler and re-raises, so an operator can
+always escalate a stuck drain to an immediate stop.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+__all__ = ["DrainSignal"]
+
+
+class DrainSignal:
+    """A latch that trips on SIGTERM/SIGINT (or programmatically).
+
+    Use as a context manager to install the signal handlers only for the
+    serving loop's lifetime (and only from the main thread — Python
+    restricts ``signal.signal`` to it; off the main thread the latch
+    still works but only :meth:`trip` can fire it)::
+
+        drain = DrainSignal(on_drain=service.begin_drain)
+        with drain:
+            while not drain.is_set():
+                serve_one()
+    """
+
+    def __init__(self, *, signals=(signal.SIGTERM, signal.SIGINT), on_drain=None):
+        self._signals = tuple(signals)
+        self._event = threading.Event()
+        self._callbacks = [on_drain] if on_drain is not None else []
+        self._previous: dict = {}
+        self._installed = False
+
+    # -- latch protocol ----------------------------------------------------
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def add_callback(self, callback) -> None:
+        """Register ``callback()`` to run (once) when the latch trips."""
+        self._callbacks.append(callback)
+
+    def trip(self) -> None:
+        """Fire the latch programmatically (idempotent)."""
+        if self._event.is_set():
+            return
+        self._event.set()
+        for callback in self._callbacks:
+            callback()
+
+    # -- signal wiring -----------------------------------------------------
+
+    def _handler(self, signum, frame) -> None:
+        if self._event.is_set():
+            # Second signal: restore handlers and let it behave normally
+            # (an operator escalating past a stuck drain).
+            self.uninstall()
+            signal.raise_signal(signum)
+            return
+        self.trip()
+
+    def install(self) -> "DrainSignal":
+        """Install handlers for the configured signals (main thread only)."""
+        if self._installed:
+            return self
+        for signum in self._signals:
+            self._previous[signum] = signal.signal(signum, self._handler)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):  # pragma: no cover - teardown race
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "DrainSignal":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()

@@ -37,7 +37,11 @@ policy; :mod:`repro.runtime.chaos` supplies the faults that test it.
 from __future__ import annotations
 
 import json
+import os
+import random
 import time
+import traceback
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -103,6 +107,7 @@ def supervised_map(
     timeout_s: float | None = None,
     retries: int = 0,
     backoff_s: float = 0.1,
+    jitter: float = 0.0,
     on_result=None,
     on_failure: str = "raise",
 ):
@@ -121,13 +126,25 @@ def supervised_map(
     that measurement.  A timed-out attempt kills and rebuilds the pool
     (there is no cooperative cancel for a wedged worker); in-flight
     bystanders are resubmitted without being charged an attempt.
+
+    ``jitter`` (a fraction in [0, 1]) randomises each backoff sleep by up
+    to that fraction of its nominal length, de-synchronising retry storms
+    when many supervised sweeps share a machine.  The default 0.0 keeps
+    backoff deterministic for tests.
     """
     if on_failure not in ("raise", "record"):
         raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
     items = list(items)
     results: dict = {}
     failures: list[ReplicaFailure] = []
     pending: deque = deque((item, 0) for item in items)
+    # Last *worker-raised* error per item, with its remote traceback.  A
+    # later infrastructure failure (pool break, timeout) must not clobber
+    # it in the final ReplicaFailure: the original traceback is the
+    # diagnosable signal, "worker process died" is not.
+    last_real_error: dict = {}
 
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -140,13 +157,32 @@ def supervised_map(
         """Charge one attempt; requeue or (beyond ``retries``) fail."""
         if attempt < retries:
             if backoff_s > 0:
-                time.sleep(backoff_s * (2**attempt))
+                sleep_s = backoff_s * (2**attempt)
+                if jitter > 0:
+                    sleep_s *= 1.0 + jitter * random.random()
+                time.sleep(sleep_s)
             pending.append((item, attempt + 1))
         else:
+            prior = last_real_error.get(item)
+            if prior is not None and prior not in error:
+                error = f"{error}; last worker error: {prior}"
             failure = ReplicaFailure(item, attempt + 1, error)
             failures.append(failure)
             if on_failure == "raise":
                 raise SweepError(failures)
+
+    def describe_exception(exc: BaseException) -> str:
+        """``TypeName: message`` plus the remote traceback when the pool
+        preserved one (``exc.__cause__`` is ``_RemoteTraceback``)."""
+        text = f"{type(exc).__name__}: {exc}"
+        cause = exc.__cause__
+        if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+            text = f"{text}\n{cause}"
+        elif exc.__traceback__ is not None:
+            text = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ).rstrip()
+        return text
 
     pool = make_pool()
     inflight: dict = {}  # future -> (item, attempt, submit time)
@@ -175,7 +211,8 @@ def supervised_map(
                     broken = True
                     note_failure(item, attempt, "worker process died")
                 except Exception as exc:
-                    note_failure(item, attempt, f"{type(exc).__name__}: {exc}")
+                    last_real_error[item] = describe_exception(exc)
+                    note_failure(item, attempt, last_real_error[item])
                 else:
                     results[item] = value
                     if on_result is not None:
@@ -242,7 +279,13 @@ class Journal:
     Opening an existing journal validates the fingerprint — resuming a
     sweep with different parameters raises :class:`JournalMismatch`
     instead of silently merging incompatible results — and tolerates a
-    truncated final line (dropped; its item simply reruns).
+    truncated final line (a SIGKILL arrived mid-``record()``): the
+    partial tail is *truncated away* on disk with a warning, so the file
+    is valid JSONL again and the interrupted item simply reruns.
+
+    :meth:`close` (and so ``with``-block exit) flushes **and fsyncs**
+    before closing: once the context manager exits, every recorded line
+    is durable against power loss, not just against process death.
     """
 
     _HEADER_VERSION = 1
@@ -263,7 +306,8 @@ class Journal:
             )
 
     def _load(self) -> None:
-        lines = self.path.read_text(encoding="utf-8").splitlines()
+        raw = self.path.read_bytes()
+        lines = raw.decode("utf-8").splitlines(keepends=True)
         if not lines:
             raise JournalMismatch(f"journal {self.path} is empty (no header)")
         try:
@@ -282,14 +326,38 @@ class Journal:
                 f"journal {self.path} was written by a different sweep "
                 f"configuration; refusing to resume (delete it to restart)"
             )
-        for line in lines[1:]:
+        offset = len(lines[0].encode("utf-8"))
+        for index, line in enumerate(lines[1:], start=1):
             try:
                 entry = json.loads(line)
                 key = entry["key"]
                 value = entry["value"]
             except (ValueError, KeyError, TypeError):
-                continue  # truncated/corrupt tail line: its item reruns
+                if index == len(lines) - 1:
+                    # A SIGKILL landed mid-record(): the final line is
+                    # partial.  Truncate it away so the file is valid
+                    # JSONL again; the in-flight item simply reruns.
+                    warnings.warn(
+                        f"journal {self.path}: dropping partially-written "
+                        f"final line ({len(line)} bytes) — the item in "
+                        f"flight at the crash will rerun",
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(offset)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    return
+                # A corrupt line *with* valid lines after it is not a
+                # crash artefact — refuse to guess what else is wrong.
+                raise JournalMismatch(
+                    f"journal {self.path} line {index + 1} is corrupt but "
+                    f"not the final line; refusing to resume from a "
+                    f"damaged journal (delete it to restart)"
+                ) from None
             self.completed[self._freeze(key)] = value
+            offset += len(line.encode("utf-8"))
 
     @staticmethod
     def _freeze(key):
@@ -305,8 +373,16 @@ class Journal:
         self._write_line({"key": key, "value": value})
         self.completed[self._freeze(key)] = value
 
-    def close(self) -> None:
+    def sync(self) -> None:
+        """Flush buffered lines and fsync them to disk."""
         if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync, and close: recorded lines survive power loss."""
+        if self._fh is not None:
+            self.sync()
             self._fh.close()
             self._fh = None
 

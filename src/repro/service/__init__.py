@@ -1,0 +1,60 @@
+"""Resilient job service: queued solver/simulation serving that degrades
+instead of dying (docs/SERVICE.md).
+
+The one-shot CLI verbs run work in a process that owns nothing; this
+package is the long-lived serving surface on top of the
+:mod:`repro.runtime` substrate:
+
+:mod:`repro.service.jobs`
+    Job model — specs, content fingerprints, the QUEUED→RUNNING→terminal
+    lifecycle.
+:mod:`repro.service.queue`
+    Bounded admission queue: full ⇒ reject-with-``Retry-After``, never
+    buffer-to-death.
+:mod:`repro.service.jobstore`
+    Event-sourced journaled store; a SIGKILLed server restarts with
+    unfinished jobs re-enqueued and completed work deduplicated by
+    content hash.
+:mod:`repro.service.executor`
+    What runs in the worker processes; threads each job's deadline into
+    the exact solvers as a :class:`repro.runtime.Budget` so overload
+    returns ``DEGRADED`` ``[lower, upper]`` intervals.
+:mod:`repro.service.server`
+    :class:`JobService` (engine), the stdlib HTTP front-end
+    (``/healthz``, ``/readyz``, ``/jobs``), and the ``repro serve``
+    entry point with SIGTERM/SIGINT graceful drain.
+:mod:`repro.service.client`
+    ``urllib`` client with typed backpressure exceptions
+    (``repro submit`` / ``repro status`` use it).
+"""
+
+from repro.service.client import Backpressure, JobTimeout, ServiceClient, ServiceError
+from repro.service.jobs import JOB_KINDS, TERMINAL_STATES, JobRecord, JobSpec
+from repro.service.jobstore import IllegalTransition, JobStore, UnknownJob
+from repro.service.queue import AdmissionQueue, QueueFull
+from repro.service.server import (
+    JobService,
+    ServiceDraining,
+    ServiceHTTPServer,
+    serve,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Backpressure",
+    "IllegalTransition",
+    "JOB_KINDS",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobStore",
+    "JobTimeout",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceDraining",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "TERMINAL_STATES",
+    "UnknownJob",
+    "serve",
+]

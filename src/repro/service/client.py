@@ -1,0 +1,165 @@
+"""Client library for the repro job service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` speaks the JSON/HTTP API of
+:mod:`repro.service.server` and converts its backpressure vocabulary
+into typed exceptions, so callers can implement honest retry loops::
+
+    client = ServiceClient("http://127.0.0.1:8023")
+    try:
+        job = client.submit("experiment", {"id": "E7"})
+    except Backpressure as busy:          # 429 or 503, with Retry-After
+        time.sleep(busy.retry_after_s)
+        ...
+    result = client.wait(job["id"], timeout_s=60.0)
+
+:meth:`ServiceClient.submit_and_wait` packages exactly that loop —
+bounded retries honouring the server's ``Retry-After`` hints — for
+clients that just want the answer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.jobs import TERMINAL_STATES
+
+__all__ = [
+    "Backpressure",
+    "JobTimeout",
+    "ServiceClient",
+    "ServiceError",
+]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status (4xx/5xx)."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class Backpressure(ServiceError):
+    """Submission rejected by admission control (full queue, open
+    breaker, or draining server); retry after ``retry_after_s``."""
+
+    def __init__(self, status: int, message: str, retry_after_s: float):
+        super().__init__(status, message)
+        self.retry_after_s = retry_after_s
+
+
+class JobTimeout(TimeoutError):
+    """A client-side wait deadline expired before the job finished."""
+
+
+class ServiceClient:
+    """Minimal blocking client for one service instance."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {"error": raw or exc.reason}
+            message = payload.get("error", exc.reason)
+            if exc.code in (429, 503):
+                retry_after = payload.get("retry_after_s")
+                if retry_after is None:
+                    retry_after = float(exc.headers.get("Retry-After", 1) or 1)
+                raise Backpressure(exc.code, message, float(retry_after)) from None
+            raise ServiceError(exc.code, message) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` payload; raises :class:`Backpressure` when the
+        server reports not-ready (503)."""
+        return self._request("GET", "/readyz")
+
+    def submit(
+        self,
+        kind: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Submit one job; returns the created job record (id, state...)."""
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "kind": kind,
+                "params": params or {},
+                "deadline_s": deadline_s,
+            },
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(
+        self, job_id: str, *, timeout_s: float = 60.0, poll_s: float = 0.2
+    ) -> dict:
+        """Poll until ``job_id`` is terminal; raises :class:`JobTimeout`."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {job_id} still {record['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(
+        self,
+        kind: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        timeout_s: float = 60.0,
+        submit_retries: int = 5,
+    ) -> dict:
+        """Submit with a backpressure-honouring retry loop, then wait.
+
+        On 429/503 the client sleeps for the server's ``Retry-After``
+        hint (capped at 10s per round) up to ``submit_retries`` times —
+        the well-behaved-client loop docs/SERVICE.md prescribes.
+        """
+        for attempt in range(submit_retries + 1):
+            try:
+                job = self.submit(kind, params, deadline_s=deadline_s)
+                break
+            except Backpressure as busy:
+                if attempt == submit_retries:
+                    raise
+                time.sleep(min(busy.retry_after_s, 10.0))
+        return self.wait(job["id"], timeout_s=timeout_s)

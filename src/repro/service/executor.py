@@ -1,0 +1,262 @@
+"""Job execution: what actually runs inside a service worker process.
+
+:func:`execute_payload` is the (picklable, module-level) entry point the
+server hands to :func:`repro.runtime.supervisor.supervised_map`.  It is
+deliberately transport-shaped: the payload crosses the pool boundary as
+a JSON string (hashable, so ``supervised_map`` can key results by it)
+carrying the job id, kind, params, and deadline.
+
+Robustness contract per kind:
+
+``opt`` (exact solver)
+    The job's ``deadline_s`` is threaded into the solver as a
+    :class:`repro.runtime.Budget`.  An overloaded server therefore
+    returns a ``DEGRADED`` payload carrying a valid ``[lower, upper]``
+    interval around the optimum — never a timeout error.
+``simulate`` / ``experiment`` / ``sweep``
+    Polynomial work with no principled partial answer; the deadline is
+    enforced by the server's hard per-attempt timeout instead
+    (kill + retry + eventually ``FAILED``).
+
+Chaos composition: every attempt first passes through the ``REPRO_CHAOS``
+hooks keyed by ``("job", id)``, so the existing fault injector can
+crash (hard, producing a real ``BrokenProcessPool`` under the pool) or
+slow service workers exactly as it does sweep replicas — that is what
+the chaos-under-service acceptance tests drive.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+from repro.runtime import Budget, BudgetExceeded
+from repro.runtime.chaos import maybe_crash, maybe_slow
+from repro.service.jobs import JOB_KINDS
+
+__all__ = ["execute_payload", "run_job", "validate_spec"]
+
+#: Defaults mirrored from the CLI workload flags (cli._add_workload_args).
+_WORKLOAD_DEFAULTS = {
+    "workload": "zipf",
+    "cores": 4,
+    "length": 1000,
+    "cache_size": 16,
+    "alpha": 1.2,
+    "seed": 0,
+    "tau": 1,
+}
+
+
+def _build_workload(params: dict):
+    """A workload from job params: inline ``sequences`` win, else the
+    named synthetic generators (same spec language as the CLI)."""
+    if "sequences" in params:
+        from repro import Workload
+
+        return Workload(params["sequences"])
+    from repro.cli import make_workload
+
+    spec = {
+        key: params.get(key, default)
+        for key, default in _WORKLOAD_DEFAULTS.items()
+    }
+    return make_workload(SimpleNamespace(**spec))
+
+
+def _build_strategy(params: dict, num_cores: int):
+    from repro.cli import make_strategy
+
+    return make_strategy(
+        params.get("strategy", "S_LRU"),
+        params.get("cache_size", _WORKLOAD_DEFAULTS["cache_size"]),
+        num_cores,
+    )
+
+
+def validate_spec(kind: str, params: dict) -> None:
+    """Admission-time validation: reject unrunnable jobs with a clear
+    error *before* they consume a queue slot.
+
+    Builds the workload/strategy (cheap at admission sizes) so a typo'd
+    strategy spec or experiment id is a 400 to the submitter, not a
+    FAILED job half a queue later.
+    """
+    if kind not in JOB_KINDS:
+        raise ValueError(
+            f"unknown job kind {kind!r}; choose from {', '.join(JOB_KINDS)}"
+        )
+    try:
+        if kind == "experiment":
+            from repro.experiments import EXPERIMENTS
+
+            experiment_id = str(params.get("id", "")).upper()
+            if experiment_id not in EXPERIMENTS:
+                raise ValueError(
+                    f"unknown experiment {params.get('id')!r}; known: "
+                    f"{', '.join(sorted(EXPERIMENTS))}"
+                )
+            if params.get("scale", "small") not in ("small", "full"):
+                raise ValueError("scale must be 'small' or 'full'")
+        elif kind in ("simulate", "sweep"):
+            workload = _build_workload(params)
+            _build_strategy(params, workload.num_cores)
+            if kind == "sweep":
+                seeds = params.get("seeds", [0])
+                if not isinstance(seeds, list) or not seeds:
+                    raise ValueError("sweep needs a non-empty 'seeds' list")
+        elif kind == "opt":
+            _build_workload(params)
+    except SystemExit as exc:  # CLI spec helpers reject via SystemExit
+        raise ValueError(str(exc)) from None
+
+
+# ---------------------------------------------------------------------------
+# per-kind runners — each returns {"state": "DONE"|"DEGRADED", "result": ...}
+# ---------------------------------------------------------------------------
+
+
+def _sim_result_dict(res) -> dict:
+    return {
+        "faults": res.total_faults,
+        "hits": res.total_hits,
+        "fault_rate": round(res.fault_rate(), 6),
+        "makespan": res.makespan,
+        "faults_per_core": list(res.faults_per_core),
+    }
+
+
+def _run_simulate(params: dict) -> dict:
+    from repro import simulate
+
+    workload = _build_workload(params)
+    strategy = _build_strategy(params, workload.num_cores)
+    res = simulate(
+        workload,
+        params.get("cache_size", _WORKLOAD_DEFAULTS["cache_size"]),
+        params.get("tau", _WORKLOAD_DEFAULTS["tau"]),
+        strategy,
+    )
+    return {"state": "DONE", "result": _sim_result_dict(res)}
+
+
+def _run_experiment(params: dict) -> dict:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        str(params["id"]), scale=params.get("scale", "small")
+    )
+    return {
+        "state": "DONE",
+        "result": {
+            "id": result.id,
+            "title": result.title,
+            "ok": result.ok,
+            "verdict": result.verdict(),
+            "checks": dict(result.checks),
+        },
+    }
+
+
+def _run_sweep(params: dict) -> dict:
+    from repro import simulate
+
+    seeds = params.get("seeds", [0])
+    faults: dict[str, int] = {}
+    makespans: dict[str, int] = {}
+    for seed in seeds:
+        replica = dict(params, seed=seed)
+        workload = _build_workload(replica)
+        strategy = _build_strategy(replica, workload.num_cores)
+        res = simulate(
+            workload,
+            params.get("cache_size", _WORKLOAD_DEFAULTS["cache_size"]),
+            params.get("tau", _WORKLOAD_DEFAULTS["tau"]),
+            strategy,
+        )
+        faults[str(seed)] = res.total_faults
+        makespans[str(seed)] = res.makespan
+    totals = list(faults.values())
+    return {
+        "state": "DONE",
+        "result": {
+            "seeds": len(seeds),
+            "total_faults": sum(totals),
+            "mean_faults": round(sum(totals) / len(totals), 3),
+            "faults": faults,
+            "makespans": makespans,
+        },
+    }
+
+
+def _run_opt(params: dict, deadline_s: float | None) -> dict:
+    from repro.offline import minimum_total_faults
+    from repro.problems import FTFInstance
+
+    workload = _build_workload(params)
+    cache_size = params.get("cache_size", _WORKLOAD_DEFAULTS["cache_size"])
+    tau = params.get("tau", _WORKLOAD_DEFAULTS["tau"])
+    budget = None
+    if deadline_s is not None or params.get("max_states") is not None:
+        budget = Budget(
+            deadline_s=deadline_s, max_states=params.get("max_states")
+        )
+    try:
+        result = minimum_total_faults(
+            FTFInstance(workload, cache_size, tau), budget=budget
+        )
+    except BudgetExceeded as exc:
+        bounded = exc.bounded
+        upper = bounded.upper
+        return {
+            "state": "DEGRADED",
+            "result": {
+                "lower": bounded.lower,
+                "upper": None if upper == float("inf") else upper,
+                "states_expanded": bounded.states_expanded,
+                "reason": str(exc),
+            },
+        }
+    return {
+        "state": "DONE",
+        "result": {
+            "faults": result.faults,
+            "lower": result.faults,
+            "upper": result.faults,
+            "states_expanded": result.states_expanded,
+        },
+    }
+
+
+def run_job(payload: dict) -> dict:
+    """Dispatch one decoded job payload to its kind runner."""
+    kind = payload["kind"]
+    params = payload.get("params", {})
+    if kind == "simulate":
+        return _run_simulate(params)
+    if kind == "experiment":
+        return _run_experiment(params)
+    if kind == "sweep":
+        return _run_sweep(params)
+    if kind == "opt":
+        return _run_opt(params, payload.get("deadline_s"))
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def execute_payload(payload_json: str, attempt: int) -> dict:
+    """Supervised-pool entry point: chaos hooks, then the real work.
+
+    Chaos crashes are *hard* (``os._exit``) so the parent sees a genuine
+    ``BrokenProcessPool`` and must exercise its rebuild path, exactly as
+    in the sweep machinery.  Both hooks key on the job id, so which jobs
+    get hit is deterministic per chaos seed and independent of worker
+    scheduling.
+    """
+    payload = json.loads(payload_json)
+    key = ("job", payload["id"])
+    maybe_slow(key, attempt)
+    maybe_crash(key, attempt, hard=True)
+    try:
+        return run_job(payload)
+    except SystemExit as exc:  # CLI helpers signal bad specs this way
+        raise ValueError(str(exc)) from None

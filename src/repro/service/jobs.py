@@ -1,0 +1,159 @@
+"""Job model for the resilient job service.
+
+A **job** is one unit of server-side work: a simulation, a reproduction
+experiment, a multi-seed sweep, or an exact-solver (``opt``) call.  Its
+identity splits in two:
+
+* the **job id** — a unique per-submission handle (``j-...``) used to
+  poll status; two submissions always get two ids;
+* the **fingerprint** — a content hash of ``(kind, canonical params)``.
+  Two submissions of identical work share a fingerprint, which is what
+  lets the store deduplicate completed results across restarts instead
+  of recomputing.
+
+The lifecycle is a strict state machine::
+
+    QUEUED --> RUNNING --> DONE      (completed exactly)
+                       \\-> DEGRADED  (budget exhausted: [lower, upper])
+                       \\-> FAILED    (retries exhausted / crashed)
+    QUEUED ----------------^          (dedup hit or breaker-fast-fail)
+
+``DONE``/``DEGRADED``/``FAILED`` are **terminal**: the store refuses a
+second terminal transition, which is the exactly-once half of the
+kill-recover invariant (the journal replay half lives in
+:mod:`repro.service.jobstore`).  Rejected submissions (full queue, open
+breaker, draining server) never become jobs at all — backpressure is an
+admission-time concern, not a job state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JOB_KINDS",
+    "JobRecord",
+    "JobSpec",
+    "TERMINAL_STATES",
+    "fingerprint_spec",
+    "new_job_id",
+]
+
+#: Job kinds the executor knows how to run (see repro.service.executor).
+JOB_KINDS = ("simulate", "experiment", "sweep", "opt")
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({"DONE", "DEGRADED", "FAILED"})
+
+#: Every legal state, in lifecycle order (useful for docs and asserts).
+ALL_STATES = ("QUEUED", "RUNNING", "DONE", "DEGRADED", "FAILED")
+
+
+def new_job_id() -> str:
+    """A fresh, unguessable job handle."""
+    return f"j-{uuid.uuid4().hex[:12]}"
+
+
+def fingerprint_spec(kind: str, params: dict) -> str:
+    """Content hash of one unit of work (kind + canonical JSON params).
+
+    Deadlines and other *execution* knobs are deliberately excluded: the
+    same experiment under a different deadline is still the same work,
+    and a completed exact result can satisfy a later budgeted request.
+    """
+    payload = json.dumps([kind, params], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run: validated at admission, executed by the worker pool."""
+
+    kind: str
+    params: dict
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; choose from "
+                f"{', '.join(JOB_KINDS)}"
+            )
+        if not isinstance(self.params, dict):
+            raise TypeError(
+                f"params must be a dict, got {type(self.params).__name__}"
+            )
+        # Params must survive a JSON round-trip: they cross the journal,
+        # the HTTP API and the worker-pool pickle boundary.
+        try:
+            json.dumps(self.params)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"params are not JSON-serialisable: {exc}") from None
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint_spec(self.kind, self.params)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "deadline_s": self.deadline_s,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "JobSpec":
+        return JobSpec(
+            kind=data["kind"],
+            params=data.get("params", {}),
+            deadline_s=data.get("deadline_s"),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: spec + lifecycle + structured event log."""
+
+    id: str
+    spec: JobSpec
+    state: str = "QUEUED"
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    attempts: int = 0
+    #: Structured per-job event log: ``{"t": ..., "event": ..., ...}``.
+    events: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def log_event(self, event: str, **detail) -> dict:
+        entry = {"t": round(time.time(), 3), "event": event, **detail}
+        self.events.append(entry)
+        return entry
+
+    def to_dict(self, *, with_events: bool = True) -> dict:
+        data = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "params": self.spec.params,
+            "deadline_s": self.spec.deadline_s,
+            "fingerprint": self.spec.fingerprint,
+            "state": self.state,
+            "result": self.result,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+        }
+        if with_events:
+            data["events"] = list(self.events)
+        return data

@@ -1,0 +1,243 @@
+"""Crash-safe, journaled job store (event-sourced on :class:`Journal`).
+
+Every mutation — submission, state transition, structured event — is one
+JSONL line appended to a :class:`repro.runtime.supervisor.Journal`
+before the in-memory view changes, so the store's durable state is
+always at least as new as what callers observed.  A SIGKILL at any point
+loses at most the line in flight, which the journal's
+truncate-and-warn reload repairs; replaying the surviving lines rebuilds
+the exact job table.
+
+That replay is what makes the kill-recover invariant mechanical:
+
+* jobs whose last journaled state is non-terminal (``QUEUED`` /
+  ``RUNNING``) are handed back via :meth:`non_terminal` for the service
+  to re-enqueue — no job is ever silently lost;
+* terminal transitions are refused once a job is already terminal
+  (:class:`IllegalTransition`), so no job can complete twice — replay
+  cannot duplicate results;
+* completed results are indexed by the spec's **content fingerprint**,
+  so a re-enqueued job whose work already finished under another id (or
+  a resubmission of identical work) is served from the index instead of
+  recomputed (:meth:`completed_result_for`).
+
+The journal reuses the runtime fingerprint header, so pointing a store
+at some other journal file refuses to load rather than merging foreign
+state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.supervisor import Journal
+from repro.service.jobs import TERMINAL_STATES, JobRecord, JobSpec
+
+__all__ = ["IllegalTransition", "JobStore", "UnknownJob"]
+
+#: Journal-header fingerprint: bump when the event schema changes.
+STORE_FINGERPRINT = "repro-jobstore-v1"
+
+
+class UnknownJob(KeyError):
+    """No job with that id exists in the store."""
+
+
+class IllegalTransition(RuntimeError):
+    """A state change that the job lifecycle forbids (e.g. a second
+    terminal transition — the exactly-once guard)."""
+
+
+class JobStore:
+    """See module docstring.  Thread-safe; one lock covers journal+table."""
+
+    def __init__(self, path):
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        #: fingerprint -> job id of a successfully completed job.
+        self._completed_by_fingerprint: dict[str, str] = {}
+        self._seq = 0
+        self._journal = Journal(path, STORE_FINGERPRINT)
+        self._replay()
+
+    # -- journal plumbing --------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        """Lock held: durably journal one event (flushed line-by-line)."""
+        self._seq += 1
+        self._journal.record([self._seq, event["type"]], event)
+
+    def _replay(self) -> None:
+        for key, event in self._journal.completed.items():
+            self._seq = max(self._seq, key[0])
+            self._apply(event)
+
+    def _apply(self, event: dict) -> None:
+        """Apply one journaled event to the in-memory table (no re-journal)."""
+        etype = event["type"]
+        if etype == "submit":
+            spec = JobSpec.from_dict(event["spec"])
+            record = JobRecord(
+                id=event["id"], spec=spec, submitted_at=event["t"]
+            )
+            record.events.append(
+                {"t": event["t"], "event": "submitted", "kind": spec.kind}
+            )
+            self._jobs[record.id] = record
+        elif etype == "state":
+            record = self._jobs.get(event["id"])
+            if record is None:  # foreign tail; submit line lost pre-v1 only
+                return
+            record.state = event["state"]
+            record.result = event.get("result")
+            record.error = event.get("error")
+            record.attempts = event.get("attempts", record.attempts)
+            record.events.append(
+                {
+                    "t": event["t"],
+                    "event": event["state"].lower(),
+                    **(
+                        {"error": event["error"]}
+                        if event.get("error")
+                        else {}
+                    ),
+                }
+            )
+            if record.state in TERMINAL_STATES:
+                record.finished_at = event["t"]
+                if record.state in ("DONE", "DEGRADED"):
+                    self._completed_by_fingerprint[
+                        record.spec.fingerprint
+                    ] = record.id
+        elif etype == "event":
+            record = self._jobs.get(event["id"])
+            if record is not None:
+                entry = dict(event["detail"])
+                entry.setdefault("t", event["t"])
+                record.events.append(entry)
+
+    # -- mutations ---------------------------------------------------------
+
+    def submit(self, record: JobRecord) -> JobRecord:
+        """Durably register a new QUEUED job."""
+        with self._lock:
+            if record.id in self._jobs:
+                raise IllegalTransition(f"job {record.id} already submitted")
+            self._append(
+                {
+                    "type": "submit",
+                    "id": record.id,
+                    "t": record.submitted_at,
+                    "spec": record.spec.to_dict(),
+                }
+            )
+            record.log_event("submitted", kind=record.spec.kind)
+            self._jobs[record.id] = record
+            return record
+
+    def transition(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: dict | None = None,
+        error: str | None = None,
+        attempts: int | None = None,
+        t: float | None = None,
+    ) -> JobRecord:
+        """Durably move a job to ``state`` (journal first, memory second)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise UnknownJob(job_id)
+            if record.state in TERMINAL_STATES:
+                raise IllegalTransition(
+                    f"job {job_id} is already terminal ({record.state}); "
+                    f"refusing transition to {state}"
+                )
+            stamp = time.time() if t is None else t
+            self._append(
+                {
+                    "type": "state",
+                    "id": job_id,
+                    "t": stamp,
+                    "state": state,
+                    "result": result,
+                    "error": error,
+                    "attempts": record.attempts if attempts is None else attempts,
+                }
+            )
+            record.state = state
+            record.result = result
+            record.error = error
+            if attempts is not None:
+                record.attempts = attempts
+            record.log_event(state.lower(), **({"error": error} if error else {}))
+            if state in TERMINAL_STATES:
+                record.finished_at = stamp
+                if state in ("DONE", "DEGRADED"):
+                    self._completed_by_fingerprint[
+                        record.spec.fingerprint
+                    ] = record.id
+            return record
+
+    def log_event(self, job_id: str, event: str, **detail) -> None:
+        """Append one structured event to a job's durable event log."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise UnknownJob(job_id)
+            entry = {"t": round(time.time(), 3), "event": event, **detail}
+            self._append(
+                {"type": "event", "id": job_id, "t": entry["t"], "detail": entry}
+            )
+            record.events.append(entry)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise UnknownJob(job_id)
+            return record
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def non_terminal(self) -> list[JobRecord]:
+        """Jobs the journal says never finished — re-enqueue these."""
+        with self._lock:
+            return [r for r in self._jobs.values() if not r.terminal]
+
+    def completed_result_for(self, fingerprint: str) -> JobRecord | None:
+        """A completed (DONE/DEGRADED) job carrying identical work, if any."""
+        with self._lock:
+            job_id = self._completed_by_fingerprint.get(fingerprint)
+            return self._jobs.get(job_id) if job_id is not None else None
+
+    def counts(self) -> dict:
+        """State histogram for ``/readyz`` and drain logging."""
+        with self._lock:
+            histogram: dict[str, int] = {}
+            for record in self._jobs.values():
+                histogram[record.state] = histogram.get(record.state, 0) + 1
+            return histogram
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self) -> None:
+        with self._lock:
+            self._journal.sync()
+
+    def close(self) -> None:
+        with self._lock:
+            self._journal.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Bounded admission queue with backpressure hints.
+
+Unbounded queues turn overload into latency and then into memory
+exhaustion; the service instead holds a hard capacity and **rejects** at
+admission (HTTP 429) once it is full.  A rejection is not an error state
+— it carries a ``retry_after_s`` hint computed from the observed service
+rate, so a well-behaved client backs off for roughly the time the
+backlog actually needs to drain::
+
+    retry_after ≈ queue_depth × EWMA(job duration) / workers
+
+In-flight and queued jobs are never affected by rejections: admission
+control is strictly front-door (the backpressure half of the acceptance
+criteria; the kill-recover half lives in the job store).
+"""
+
+from __future__ import annotations
+
+import queue as _stdlib_queue
+import threading
+
+__all__ = ["AdmissionQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, capacity: int, retry_after_s: float):
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"admission queue full ({capacity} jobs); "
+            f"retry in {retry_after_s:.1f}s"
+        )
+
+
+class AdmissionQueue:
+    """A bounded FIFO of queued jobs plus the service-time estimator.
+
+    ``put`` never blocks: a full queue raises :class:`QueueFull`
+    immediately (backpressure beats buffering).  ``get`` blocks with a
+    timeout so worker loops can poll their drain latch.
+    """
+
+    def __init__(self, capacity: int = 64, *, workers: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.capacity = capacity
+        self.workers = workers
+        self._queue: _stdlib_queue.Queue = _stdlib_queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        # EWMA of observed job durations; seeds pessimistically at 1s so
+        # the very first rejection already carries a sane hint.
+        self._ewma_duration_s = 1.0
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, item) -> None:
+        """Admit ``item`` or raise :class:`QueueFull` with a hint."""
+        try:
+            self._queue.put_nowait(item)
+        except _stdlib_queue.Full:
+            raise QueueFull(self.capacity, self.retry_after_s()) from None
+
+    def force_put(self, item) -> None:
+        """Enqueue bypassing admission control (blocking).
+
+        Only for restart recovery and worker-stop sentinels: the items
+        were either already admitted once (journaled jobs being
+        re-enqueued) or are internal control messages.
+        """
+        self._queue.put(item)
+
+    def retry_after_s(self) -> float:
+        """How long a rejected client should wait before retrying."""
+        with self._lock:
+            per_worker = self._ewma_duration_s / self.workers
+        return max(1.0, round(self.depth() * per_worker, 1))
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: float | None = None):
+        """Next queued item, or ``None`` when ``timeout`` expires."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except _stdlib_queue.Empty:
+            return None
+
+    def observe_duration(self, seconds: float) -> None:
+        """Feed one completed job's wall time into the EWMA."""
+        if seconds < 0:
+            return
+        with self._lock:
+            self._ewma_duration_s = 0.7 * self._ewma_duration_s + 0.3 * seconds
+
+    # -- introspection -----------------------------------------------------
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def full(self) -> bool:
+        return self._queue.full()
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/readyz``."""
+        with self._lock:
+            ewma = round(self._ewma_duration_s, 3)
+        return {
+            "depth": self.depth(),
+            "capacity": self.capacity,
+            "ewma_job_s": ewma,
+        }

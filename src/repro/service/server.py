@@ -1,0 +1,533 @@
+"""The resilient job service: queued serving with degrade-don't-die.
+
+:class:`JobService` is the engine (usable in-process, no sockets): a
+bounded admission queue feeding a small pool of worker threads, each of
+which executes one job at a time inside a **supervised worker process**
+(:func:`repro.runtime.supervisor.supervised_map` with a single item) —
+so a crashed, hung, or chaos-killed worker is killed/rebuilt/retried
+with jittered backoff without taking the server down.  Around that core:
+
+* **admission control** — full queue ⇒ immediate rejection with a
+  ``Retry-After`` hint (never queue-to-death), per-kind circuit breakers
+  that open after repeated failures and half-open with probe jobs;
+* **crash-safe state** — every submission and transition is journaled
+  via :class:`repro.service.jobstore.JobStore` *before* it is
+  acknowledged, so a SIGKILLed server restarts with queued/running jobs
+  re-enqueued and completed work deduplicated by content fingerprint;
+* **graceful drain** — :meth:`drain` stops admission, lets in-flight
+  jobs finish, checkpoints still-queued jobs for the next boot, and
+  fsyncs the journal;
+* **deadlines** — an ``opt`` job's deadline rides into the solver as a
+  :class:`repro.runtime.Budget`, so overload degrades to a
+  ``[lower, upper]`` interval (job state ``DEGRADED``) instead of a
+  timeout.
+
+:class:`ServiceHTTPServer` wraps the engine in a stdlib threaded HTTP
+server (``/healthz``, ``/readyz``, ``/jobs``); :func:`serve` is the
+``python -m repro serve`` entry point gluing both to SIGTERM/SIGINT via
+:class:`repro.runtime.drain.DrainSignal`.  Endpoint and lifecycle
+semantics are documented in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro._util import repro_version
+from repro.runtime.breaker import CircuitBreaker, CircuitOpen
+from repro.runtime.drain import DrainSignal
+from repro.runtime.supervisor import supervised_map
+from repro.service.executor import execute_payload, validate_spec
+from repro.service.jobs import JOB_KINDS, JobRecord, JobSpec, new_job_id
+from repro.service.jobstore import JobStore
+from repro.service.queue import AdmissionQueue, QueueFull
+
+__all__ = ["JobService", "ServiceDraining", "ServiceHTTPServer", "serve"]
+
+#: Sentinel that wakes a worker thread for immediate exit (hard stop).
+_STOP = object()
+
+
+class ServiceDraining(RuntimeError):
+    """Submission rejected: the server is draining for shutdown."""
+
+    def __init__(self):
+        super().__init__("server is draining; submissions are closed")
+
+
+class JobService:
+    """Queued job execution engine (see module docstring)."""
+
+    def __init__(
+        self,
+        journal_path,
+        *,
+        queue_capacity: int = 64,
+        workers: int = 2,
+        retries: int = 1,
+        backoff_s: float = 0.5,
+        jitter: float = 0.25,
+        job_timeout_s: float | None = None,
+        opt_grace_s: float = 10.0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.journal_path = journal_path
+        self.store = JobStore(journal_path)
+        self.queue = AdmissionQueue(queue_capacity, workers=workers)
+        self.breakers = {
+            kind: CircuitBreaker(
+                kind,
+                failure_threshold=breaker_threshold,
+                reset_timeout_s=breaker_reset_s,
+            )
+            for kind in JOB_KINDS
+        }
+        self.workers = workers
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.jitter = jitter
+        self.job_timeout_s = job_timeout_s
+        self.opt_grace_s = opt_grace_s
+        self._admission_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        self._recovered: list[str] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobService":
+        """Start worker threads and re-enqueue journaled unfinished jobs."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        # Crash recovery: every job the journal says never reached a
+        # terminal state goes back on the queue.  Workers are already
+        # running, so a recovered backlog larger than the queue capacity
+        # drains as it refills (blocking put, not QueueFull).
+        for record in self.store.non_terminal():
+            if record.state != "QUEUED":
+                self.store.transition(record.id, "QUEUED")
+            self.store.log_event(record.id, "requeued_after_restart")
+            self._recovered.append(record.id)
+            self.queue.force_put(record.id)
+        return self
+
+    @property
+    def recovered_job_ids(self) -> list[str]:
+        """Jobs re-enqueued by the last :meth:`start` (for logs/tests)."""
+        return list(self._recovered)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; running jobs continue (non-blocking half of
+        :meth:`drain`, safe to call from a signal handler)."""
+        self._draining.set()
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: stop admission, finish in-flight jobs,
+        checkpoint still-queued jobs, flush-and-fsync the journal."""
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        self._finalize()
+
+    def stop(self) -> None:
+        """Hard stop: abandon queued work (it stays journaled as QUEUED —
+        exactly what a restart recovers) and close the journal."""
+        self._draining.set()
+        for _ in self._threads:
+            self.queue.force_put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._finalize()
+
+    def _finalize(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.store.sync()
+            self.store.close()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+    ) -> JobRecord:
+        """Admit one job or raise the precise backpressure signal.
+
+        Raises
+        ------
+        ValueError
+            Malformed spec (unknown kind/strategy/experiment) — HTTP 400.
+        ServiceDraining
+            Server is shutting down — HTTP 503.
+        CircuitOpen
+            This job class is failing repeatedly — HTTP 503 + Retry-After.
+        QueueFull
+            Admission queue at capacity — HTTP 429 + Retry-After.
+        """
+        spec = JobSpec(kind, dict(params or {}), deadline_s=deadline_s)
+        if self._draining.is_set():
+            raise ServiceDraining()
+        validate_spec(spec.kind, spec.params)
+
+        # Dedup before the breaker: serving a cached result says nothing
+        # about current worker health, so it must not consume a half-open
+        # probe slot (nor be blocked by an open breaker).
+        cached = self.store.completed_result_for(spec.fingerprint)
+        if cached is not None:
+            record = JobRecord(id=new_job_id(), spec=spec)
+            with self._admission_lock:
+                self.store.submit(record)
+                self.store.log_event(
+                    record.id, "deduplicated", source=cached.id
+                )
+                self.store.transition(
+                    record.id, cached.state, result=cached.result
+                )
+            return self.store.get(record.id)
+
+        self.breakers[spec.kind].check()
+
+        record = JobRecord(id=new_job_id(), spec=spec)
+        with self._admission_lock:
+            # Reserve the slot under the lock so a durable submission can
+            # never be left off-queue (journal-then-enqueue atomically
+            # w.r.t. other submitters; workers only ever *remove*).
+            if self.queue.full():
+                raise QueueFull(self.queue.capacity, self.queue.retry_after_s())
+            self.store.submit(record)
+            self.queue.put(record.id)
+        return record
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            # Drain semantics: finish the job you already hold, but do
+            # not pull new work — still-queued jobs stay journaled as
+            # QUEUED, i.e. checkpointed for the next boot to recover.
+            if self._draining.is_set():
+                return
+            job_id = self.queue.get(timeout=0.2)
+            if job_id is _STOP:
+                return
+            if job_id is None:
+                continue
+            try:
+                self._run_one(job_id)
+            except Exception as exc:  # defence: a worker loop must survive
+                try:
+                    self.store.transition(
+                        job_id, "FAILED", error=f"worker loop error: {exc}"
+                    )
+                except Exception:
+                    pass
+
+    def _hard_timeout_s(self, spec: JobSpec) -> float | None:
+        """Per-attempt kill timeout for the supervised pool.
+
+        ``opt`` jobs degrade via their Budget, so the hard kill is only a
+        backstop well past the deadline; other kinds are killed at their
+        deadline (no principled partial answer exists for them).
+        """
+        if spec.deadline_s is not None:
+            if spec.kind == "opt":
+                backstop = spec.deadline_s + self.opt_grace_s
+                if self.job_timeout_s is not None:
+                    return min(backstop, self.job_timeout_s)
+                return backstop
+            if self.job_timeout_s is not None:
+                return min(spec.deadline_s, self.job_timeout_s)
+            return spec.deadline_s
+        return self.job_timeout_s
+
+    def _run_one(self, job_id: str) -> None:
+        record = self.store.get(job_id)
+        if record.terminal:  # e.g. duplicated requeue already satisfied
+            return
+        spec = record.spec
+
+        # Restart dedup: identical work may have completed under another
+        # id (either pre-crash or earlier in this very recovery pass).
+        cached = self.store.completed_result_for(spec.fingerprint)
+        if cached is not None and cached.id != job_id:
+            self.store.log_event(job_id, "deduplicated", source=cached.id)
+            self.store.transition(job_id, cached.state, result=cached.result)
+            return
+
+        breaker = self.breakers[spec.kind]
+        self.store.transition(job_id, "RUNNING")
+        payload_json = json.dumps(
+            {
+                "id": job_id,
+                "kind": spec.kind,
+                "params": spec.params,
+                "deadline_s": spec.deadline_s,
+            },
+            sort_keys=True,
+        )
+        t0 = time.monotonic()
+        try:
+            results, failures = supervised_map(
+                execute_payload,
+                [payload_json],
+                max_workers=1,
+                timeout_s=self._hard_timeout_s(spec),
+                retries=self.retries,
+                backoff_s=self.backoff_s,
+                jitter=self.jitter,
+                on_failure="record",
+            )
+        except Exception as exc:  # supervision itself blew up
+            results, failures = {}, None
+            supervision_error = f"{type(exc).__name__}: {exc}"
+        else:
+            supervision_error = None
+        duration = time.monotonic() - t0
+        self.queue.observe_duration(duration)
+
+        if payload_json in results:
+            outcome = results[payload_json]
+            self.store.log_event(
+                job_id, "executed", seconds=round(duration, 3)
+            )
+            self.store.transition(
+                job_id,
+                outcome["state"],
+                result=outcome.get("result"),
+                attempts=record.attempts + 1,
+            )
+            # DEGRADED is a *successful* degradation (a valid interval
+            # was served): only FAILED counts against the breaker.
+            breaker.record_success()
+        else:
+            if supervision_error is not None:
+                error, attempts = supervision_error, record.attempts + 1
+            else:
+                failure = failures[0]
+                error, attempts = failure.error, failure.attempts
+            self.store.transition(
+                job_id, "FAILED", error=error, attempts=attempts
+            )
+            breaker.record_failure()
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness payload (``/healthz``)."""
+        return {"status": "alive", "version": repro_version()}
+
+    def readiness(self) -> tuple[bool, dict]:
+        """Readiness verdict + payload (``/readyz``): queue and breakers."""
+        payload = {
+            "version": repro_version(),
+            "draining": self.draining,
+            "queue": self.queue.snapshot(),
+            "jobs": self.store.counts(),
+            "breakers": {
+                kind: breaker.snapshot()
+                for kind, breaker in self.breakers.items()
+            },
+            "workers": self.workers,
+        }
+        ready = not self.draining and not self.queue.full()
+        payload["ready"] = ready
+        return ready, payload
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    #: Set by ServiceHTTPServer.
+    service: JobService = None
+    quiet: bool = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:  # pragma: no cover - operator logging
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(
+        self, status: int, payload: dict, *, retry_after_s: float | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after_s))))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        return json.loads(raw.decode("utf-8"))
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif self.path == "/readyz":
+                ready, payload = self.service.readiness()
+                self._send_json(200 if ready else 503, payload)
+            elif self.path == "/jobs":
+                jobs = [
+                    record.to_dict(with_events=False)
+                    for record in self.service.store.jobs()
+                ]
+                self._send_json(200, {"jobs": jobs})
+            elif self.path.startswith("/jobs/"):
+                job_id = self.path[len("/jobs/"):]
+                try:
+                    record = self.service.store.get(job_id)
+                except KeyError:
+                    self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                    return
+                self._send_json(200, record.to_dict())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:  # defence: the server must not die
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/jobs":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            body = self._read_json()
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad JSON body: {exc}"})
+            return
+        try:
+            record = self.service.submit(
+                body.get("kind", ""),
+                body.get("params", {}),
+                deadline_s=body.get("deadline_s"),
+            )
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except QueueFull as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                retry_after_s=exc.retry_after_s,
+            )
+        except CircuitOpen as exc:
+            self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "breaker": exc.name,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                retry_after_s=exc.retry_after_s,
+            )
+        except ServiceDraining as exc:
+            self._send_json(503, {"error": str(exc)}, retry_after_s=5)
+        except Exception as exc:  # defence: the server must not die
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(201, record.to_dict(with_events=False))
+
+
+class ServiceHTTPServer:
+    """The stdlib HTTP front-end bound to one :class:`JobService`."""
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+
+def serve(
+    journal_path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    drain_timeout_s: float | None = None,
+    echo=print,
+    **service_kwargs,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    Blocks.  Returns the process exit code (0 on a clean drain).
+    """
+    service = JobService(journal_path, **service_kwargs).start()
+    http = ServiceHTTPServer(service, host=host, port=port).start()
+    recovered = service.recovered_job_ids
+    if recovered:
+        echo(f"recovered {len(recovered)} unfinished job(s) from the journal")
+    echo(f"repro job service {repro_version()} listening on {http.url}")
+    echo(f"journal: {journal_path}")
+    drain = DrainSignal(on_drain=service.begin_drain)
+    with drain:
+        drain.wait()
+    echo("drain: admissions closed, finishing in-flight jobs...")
+    http.stop()
+    service.drain(timeout=drain_timeout_s)
+    counts = service.store.counts()
+    echo(f"drained; journal checkpointed ({counts})")
+    return 0

@@ -1,0 +1,137 @@
+"""Circuit breaker state machine and the drain latch."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.runtime.breaker import CircuitBreaker, CircuitOpen
+from repro.runtime.drain import DrainSignal
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout_s", 10.0)
+    return CircuitBreaker("test", clock=clock, **kwargs)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.retry_after_s() == 0.0
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # streak was broken
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # probe_limit=1: no second probe
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)  # fresh cooldown
+
+    def test_check_raises_circuit_open_with_hint(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpen) as exc_info:
+            breaker.check()
+        assert exc_info.value.retry_after_s == pytest.approx(6.0)
+        assert "test" in str(exc_info.value)
+
+    def test_snapshot_is_json_ready(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": "CLOSED",
+            "consecutive_failures": 1,
+            "retry_after_s": 0.0,
+        }
+
+    def test_parameter_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_limit=0)
+
+
+class TestDrainSignal:
+    def test_trip_fires_callbacks_once(self):
+        fired = []
+        drain = DrainSignal(on_drain=lambda: fired.append("a"))
+        drain.add_callback(lambda: fired.append("b"))
+        assert not drain.is_set()
+        drain.trip()
+        drain.trip()  # idempotent
+        assert drain.is_set()
+        assert fired == ["a", "b"]
+
+    def test_wait_unblocks_on_trip(self):
+        drain = DrainSignal()
+        t = threading.Timer(0.05, drain.trip)
+        t.start()
+        try:
+            assert drain.wait(timeout=5.0)
+        finally:
+            t.cancel()
+
+    def test_signal_handler_trips_latch(self):
+        drain = DrainSignal(signals=(signal.SIGUSR1,))
+        with drain:
+            signal.raise_signal(signal.SIGUSR1)
+            assert drain.is_set()
+        # handler uninstalled on exit
+        assert signal.getsignal(signal.SIGUSR1) != drain._handler

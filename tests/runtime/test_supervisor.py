@@ -3,6 +3,7 @@
 import json
 import os
 import time
+import warnings
 
 import pytest
 
@@ -42,6 +43,16 @@ def _hang_one(item, attempt):
     if attempt == 0 and item == 1:
         time.sleep(60)
     return item
+
+
+def _raise_then_hard_crash(item, attempt):
+    if attempt == 0:
+        raise ValueError("distinctive-original-error")
+    os._exit(66)
+
+
+def _raise_distinctive(item, attempt):
+    raise ValueError("distinctive-original-error")
 
 
 class TestSupervisedMap:
@@ -114,6 +125,42 @@ class TestSupervisedMap:
         assert failures == []
         assert time.monotonic() - t0 < 30  # did not wait out the hang
 
+    def test_pool_break_does_not_clobber_original_traceback(self):
+        """Regression: an item whose *last real* failure was a worker
+        exception, followed by a pool-breaking crash on the retry, must
+        still surface the original error (with ``timeout_s=None``), not
+        just the anonymous "worker process died" from the rebuild path."""
+        results, failures = supervised_map(
+            _raise_then_hard_crash, [7], max_workers=1, retries=1,
+            backoff_s=0.0, timeout_s=None, on_failure="record",
+        )
+        assert results == {}
+        (failure,) = failures
+        assert failure.attempts == 2
+        assert "worker process died" in failure.error
+        assert "distinctive-original-error" in failure.error
+
+    def test_failure_error_carries_remote_traceback(self):
+        """Worker exceptions keep their remote traceback text, so the
+        recorded ReplicaFailure is diagnosable without re-running."""
+        results, failures = supervised_map(
+            _raise_distinctive, [0], max_workers=1, retries=0,
+            on_failure="record",
+        )
+        (failure,) = failures
+        assert "distinctive-original-error" in failure.error
+        assert "Traceback" in failure.error  # the remote traceback string
+
+    def test_jitter_validation_and_accepts_jittered_backoff(self):
+        with pytest.raises(ValueError):
+            supervised_map(_square, [1], jitter=1.5)
+        results, failures = supervised_map(
+            _flaky_odd, [0, 1], max_workers=1, retries=1,
+            backoff_s=0.01, jitter=0.5,
+        )
+        assert results == {0: 0, 1: 1}
+        assert failures == []
+
     def test_timeout_without_retries_fails_the_item(self):
         results, failures = supervised_map(
             _hang_one, [0, 1], max_workers=2, timeout_s=1.0, retries=0,
@@ -148,8 +195,56 @@ class TestJournal:
             journal.record(1, {"faults": 2})
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"key": 2, "val')  # crash arrived mid-write
-        resumed = Journal(path, "fp")
+        with pytest.warns(RuntimeWarning, match="partially-written"):
+            resumed = Journal(path, "fp")
         assert resumed.completed == {1: {"faults": 2}}
+
+    def test_truncated_tail_is_repaired_on_disk(self, tmp_path):
+        """The partial tail is physically truncated away, so the journal
+        is valid JSONL again and a *second* reload is warning-free."""
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record(1, {"faults": 2})
+            journal.record(2, {"faults": 5})
+        clean_size = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": 3, "va')  # SIGKILL mid-record()
+        with pytest.warns(RuntimeWarning):
+            repaired = Journal(path, "fp")
+        repaired.record(3, {"faults": 9})
+        repaired.close()
+        assert path.stat().st_size > clean_size
+        # No warning this time: the file was repaired, not just tolerated.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resumed = Journal(path, "fp")
+        assert resumed.completed == {
+            1: {"faults": 2}, 2: {"faults": 5}, 3: {"faults": 9}
+        }
+        resumed.close()
+
+    def test_interior_corruption_refuses_resume(self, tmp_path):
+        """A corrupt line *followed by* valid lines is damage, not a
+        crash artefact: refuse to resume rather than silently drop it."""
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record(1, {"faults": 2})
+            journal.record(2, {"faults": 5})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # damage a middle line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatch):
+            Journal(path, "fp")
+
+    def test_close_is_fsynced(self, tmp_path, monkeypatch):
+        """Journal.close() must fsync before closing the handle."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+        path = tmp_path / "sweep.jsonl"
+        with Journal(path, "fp") as journal:
+            journal.record(1, {"faults": 2})
+        assert synced  # fsync happened during __exit__ -> close()
 
     def test_tuple_keys_survive_json_round_trip(self, tmp_path):
         path = tmp_path / "sweep.jsonl"

@@ -1,0 +1,68 @@
+"""Admission queue backpressure semantics."""
+
+import pytest
+
+from repro.service.queue import AdmissionQueue, QueueFull
+
+
+class TestAdmissionQueue:
+    def test_put_get_fifo(self):
+        q = AdmissionQueue(4)
+        q.put("a")
+        q.put("b")
+        assert q.get(timeout=0.1) == "a"
+        assert q.get(timeout=0.1) == "b"
+        assert q.get(timeout=0.01) is None  # empty: None, not an exception
+
+    def test_full_queue_rejects_with_hint(self):
+        q = AdmissionQueue(2, workers=1)
+        q.put(1)
+        q.put(2)
+        assert q.full()
+        with pytest.raises(QueueFull) as exc_info:
+            q.put(3)
+        assert exc_info.value.capacity == 2
+        assert exc_info.value.retry_after_s >= 1.0
+        # rejection did not disturb queued work
+        assert q.depth() == 2
+        assert q.get(timeout=0.1) == 1
+
+    def test_retry_after_scales_with_backlog_and_workers(self):
+        slow = AdmissionQueue(100, workers=1)
+        fast = AdmissionQueue(100, workers=4)
+        for q in (slow, fast):
+            for i in range(10):
+                q.put(i)
+            for _ in range(5):
+                q.observe_duration(8.0)
+        assert slow.retry_after_s() > fast.retry_after_s()
+
+    def test_observe_duration_moves_the_ewma(self):
+        q = AdmissionQueue(4)
+        before = q.snapshot()["ewma_job_s"]
+        q.observe_duration(10.0)
+        assert q.snapshot()["ewma_job_s"] > before
+        q.observe_duration(-5.0)  # nonsense durations are ignored
+        assert q.snapshot()["ewma_job_s"] > before
+
+    def test_force_put_bypasses_capacity_for_recovery(self):
+        q = AdmissionQueue(1)
+        q.put("admitted")
+        # force_put blocks rather than rejects; with room it must succeed
+        assert q.get(timeout=0.1) == "admitted"
+        q.force_put("recovered")
+        assert q.get(timeout=0.1) == "recovered"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, workers=0)
+
+    def test_snapshot_shape(self):
+        q = AdmissionQueue(8, workers=2)
+        q.put("x")
+        snap = q.snapshot()
+        assert snap["depth"] == 1
+        assert snap["capacity"] == 8
+        assert snap["ewma_job_s"] > 0

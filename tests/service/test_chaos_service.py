@@ -1,0 +1,157 @@
+"""Chaos under the job service (satellite of the resilience PR).
+
+These tests run the full service with ``REPRO_CHAOS`` fault injection
+and assert the service-level invariant the subsystem exists to provide:
+
+    every submitted job terminates in **exactly one** of
+    DONE | DEGRADED | FAILED — no duplicates, no losses —
+    even across a forced restart mid-backlog.
+
+``crash=1.0`` makes the injection deterministic regardless of the random
+job ids: every first attempt dies hard (``os._exit`` in the pool worker,
+a real ``BrokenProcessPool`` in the parent).  Chaos crashes are
+transient by construction (attempt 0 only), so ``retries=1`` means
+"retry fixes it" and ``retries=0`` means "permanently failing class".
+"""
+
+import time
+
+import pytest
+
+from repro.service import JobService
+from repro.service.jobs import TERMINAL_STATES
+
+pytestmark = [pytest.mark.chaos, pytest.mark.service]
+
+SIM = {"workload": "zipf", "cores": 2, "length": 40, "cache_size": 8}
+
+#: Tiny instance that still blows a ~0 deadline: forces DEGRADED.
+OPT_TIGHT = {"workload": "zipf", "cores": 3, "length": 27, "cache_size": 6,
+             "tau": 1, "seed": 4}
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault("backoff_s", 0.05)
+    kwargs.setdefault("jitter", 0.25)
+    kwargs.setdefault("breaker_threshold", 1000)  # not under test here
+    return JobService(tmp_path / "jobs.jsonl", **kwargs)
+
+
+def wait_all_terminal(service, job_ids, timeout_s=180.0):
+    deadline = time.monotonic() + timeout_s
+    pending = set(job_ids)
+    while pending and time.monotonic() < deadline:
+        pending = {
+            job_id
+            for job_id in pending
+            if not service.store.get(job_id).terminal
+        }
+        time.sleep(0.05)
+    assert not pending, f"jobs never terminated: {sorted(pending)}"
+
+
+def assert_exactly_one_terminal(service, job_ids):
+    """The core invariant: one terminal state, reached exactly once."""
+    for job_id in job_ids:
+        record = service.store.get(job_id)
+        assert record.state in TERMINAL_STATES, (job_id, record.state)
+        terminal_events = [
+            e for e in record.events
+            if e["event"] in ("done", "degraded", "failed")
+        ]
+        assert len(terminal_events) == 1, (job_id, record.events)
+        assert terminal_events[0]["event"] == record.state.lower()
+
+
+class TestChaosTransient:
+    def test_crashes_retried_to_done_and_degraded(self, tmp_path, monkeypatch):
+        """crash=1.0 + retries=1: every job's first attempt dies, every
+        retry runs clean — so nothing is FAILED, the opt job degrades on
+        its budget, and the terminal vocabulary is exercised end to end.
+        slow/corrupt ride along to prove the modes compose."""
+        monkeypatch.setenv(
+            "REPRO_CHAOS", "seed=3,crash=1.0,slow=0.3,slow_s=0.1,corrupt=0.5"
+        )
+        service = make_service(tmp_path).start()
+        try:
+            ids = [
+                service.submit("simulate", dict(SIM, seed=s)).id
+                for s in range(4)
+            ]
+            degraded = service.submit("opt", OPT_TIGHT, deadline_s=0.02)
+            ids.append(degraded.id)
+            wait_all_terminal(service, ids)
+            assert_exactly_one_terminal(service, ids)
+            states = {j: service.store.get(j).state for j in ids}
+            assert states.pop(degraded.id) == "DEGRADED"
+            assert set(states.values()) == {"DONE"}
+        finally:
+            service.stop()
+
+    def test_permanent_crashes_become_failed_not_lost(self, tmp_path, monkeypatch):
+        """retries=0 turns the same chaos into a permanently failing
+        class: jobs must land in FAILED (with the pool post-mortem in
+        the error), never hang or vanish."""
+        monkeypatch.setenv("REPRO_CHAOS", "seed=3,crash=1.0")
+        service = make_service(tmp_path, retries=0).start()
+        try:
+            ids = [
+                service.submit("simulate", dict(SIM, seed=s)).id
+                for s in range(3)
+            ]
+            wait_all_terminal(service, ids)
+            assert_exactly_one_terminal(service, ids)
+            for job_id in ids:
+                record = service.store.get(job_id)
+                assert record.state == "FAILED"
+                assert "worker process died" in record.error
+        finally:
+            service.stop()
+
+
+class TestChaosRestart:
+    def test_forced_restart_mid_backlog_loses_and_duplicates_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance scenario: chaos on, a backlog in flight, the
+        server is forced down, a new incarnation recovers the journal —
+        and afterwards every job has exactly one terminal state."""
+        monkeypatch.setenv(
+            "REPRO_CHAOS", "seed=7,crash=1.0,slow=1.0,slow_s=0.2,corrupt=1.0"
+        )
+        first = make_service(tmp_path, workers=1)
+        first.start()
+        ids = [
+            first.submit("simulate", dict(SIM, seed=s)).id for s in range(5)
+        ]
+        # let at least one job finish so the journal holds a mix of
+        # DONE and QUEUED states, then force the server down
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if any(first.store.get(j).terminal for j in ids):
+                break
+            time.sleep(0.05)
+        first.stop()  # in-flight finishes; the rest stays journaled QUEUED
+
+        reborn = make_service(tmp_path, workers=2).start()
+        try:
+            # recovery re-enqueued precisely the unfinished jobs
+            recovered = set(reborn.recovered_job_ids)
+            done_before = {
+                j for j in ids if j not in recovered
+            }
+            assert recovered | done_before == set(ids)
+            assert recovered & done_before == set()
+            assert done_before, "expected at least one pre-restart completion"
+
+            wait_all_terminal(reborn, ids)
+            assert_exactly_one_terminal(reborn, ids)
+            # no losses, no phantom duplicates in the store
+            assert {r.id for r in reborn.store.jobs()} == set(ids)
+            assert all(
+                reborn.store.get(j).state == "DONE" for j in ids
+            ), {j: reborn.store.get(j).state for j in ids}
+        finally:
+            reborn.stop()

@@ -1,0 +1,77 @@
+"""Job model: specs, fingerprints, lifecycle bookkeeping."""
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_KINDS,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    fingerprint_spec,
+    new_job_id,
+)
+
+
+class TestJobSpec:
+    def test_valid_kinds(self):
+        for kind in JOB_KINDS:
+            assert JobSpec(kind, {}).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec("mine-bitcoin", {})
+
+    def test_params_must_be_json_dict(self):
+        with pytest.raises(TypeError):
+            JobSpec("simulate", params=[1, 2])
+        with pytest.raises(ValueError, match="JSON"):
+            JobSpec("simulate", {"bad": object()})
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobSpec("opt", {}, deadline_s=0)
+        assert JobSpec("opt", {}, deadline_s=2.5).deadline_s == 2.5
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec("sweep", {"seeds": [0, 1]}, deadline_s=3.0)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFingerprint:
+    def test_identical_work_shares_a_fingerprint(self):
+        a = JobSpec("simulate", {"length": 100, "cores": 2})
+        b = JobSpec("simulate", {"cores": 2, "length": 100})  # key order
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_params_differ(self):
+        a = fingerprint_spec("simulate", {"length": 100})
+        b = fingerprint_spec("simulate", {"length": 101})
+        c = fingerprint_spec("opt", {"length": 100})
+        assert len({a, b, c}) == 3
+
+    def test_deadline_is_not_identity(self):
+        """The same work under a different deadline is the same work:
+        a completed exact answer can satisfy a budgeted re-request."""
+        a = JobSpec("opt", {"length": 10}, deadline_s=1.0)
+        b = JobSpec("opt", {"length": 10}, deadline_s=99.0)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestJobRecord:
+    def test_ids_are_unique(self):
+        assert len({new_job_id() for _ in range(100)}) == 100
+
+    def test_terminal_property(self):
+        record = JobRecord(id="j-x", spec=JobSpec("simulate", {}))
+        assert not record.terminal
+        for state in TERMINAL_STATES:
+            record.state = state
+            assert record.terminal
+
+    def test_event_log_accumulates(self):
+        record = JobRecord(id="j-x", spec=JobSpec("simulate", {}))
+        record.log_event("submitted", kind="simulate")
+        record.log_event("running")
+        assert [e["event"] for e in record.events] == ["submitted", "running"]
+        assert record.to_dict()["events"] == record.events
+        assert "events" not in record.to_dict(with_events=False)

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the repro job service (CI: service-smoke).
+
+Drives the real ``python -m repro serve`` process through the lifecycle
+the service exists to survive:
+
+1. boot a server on an ephemeral port with a fresh journal;
+2. submit a small experiment job over HTTP and poll it to completion;
+3. pile up a backlog (chaos-slowed simulate jobs) and SIGTERM the
+   server mid-work — the drain must finish the in-flight job, checkpoint
+   the queued ones, and exit 0;
+4. restart the server on the same journal and verify crash recovery:
+   the checkpointed jobs are re-enqueued and complete, and resubmitting
+   the finished experiment is deduplicated from the journal, not rerun.
+
+Exits non-zero (with a transcript) on any violation.  Needs only the
+repro package (installed or via PYTHONPATH=src) — stdlib otherwise.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if os.path.isdir(os.path.join(SRC, "repro")):
+    sys.path.insert(0, SRC)
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+#: Every job's first attempt sleeps 2s: deterministic backlog without
+#: tuning job sizes to machine speed (see repro.runtime.chaos).
+CHAOS = "seed=5,slow=1.0,slow_s=2.0"
+
+URL_RE = re.compile(r"listening on (http://\S+)")
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Server:
+    """One `python -m repro serve` subprocess bound to `journal`."""
+
+    def __init__(self, journal):
+        self.journal = journal
+        self.proc = None
+        self.url = None
+        self.lines = []
+
+    def start(self, timeout_s=60.0):
+        env = dict(os.environ, REPRO_CHAOS=CHAOS, PYTHONUNBUFFERED="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (SRC, env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--journal", self.journal, "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            self.lines.append(line.rstrip())
+            print(f"  server: {line.rstrip()}")
+            match = URL_RE.search(line)
+            if match:
+                self.url = match.group(1)
+                return self
+        fail(f"server never announced its URL; output: {self.lines}")
+
+    def sigterm_and_wait(self, timeout_s=120.0):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            out, _ = self.proc.communicate(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("server did not drain and exit after SIGTERM")
+        for line in out.splitlines():
+            self.lines.append(line)
+            print(f"  server: {line}")
+        if self.proc.returncode != 0:
+            fail(f"server exited {self.proc.returncode} after SIGTERM")
+        return out
+
+
+def main():
+    journal = os.path.join(tempfile.mkdtemp(prefix="repro-smoke-"), "jobs.jsonl")
+    sim = {"workload": "zipf", "cores": 2, "length": 50, "cache_size": 8}
+
+    print("== boot ==")
+    server = Server(journal).start()
+    client = ServiceClient(server.url)
+
+    health = client.health()
+    print(f"healthz: {health}")
+    if health.get("status") != "alive" or not health.get("version"):
+        fail(f"bad /healthz payload: {health}")
+
+    print("== experiment job over HTTP ==")
+    job = client.submit("experiment", {"id": "E1", "scale": "small"})
+    record = client.wait(job["id"], timeout_s=300.0, poll_s=0.5)
+    print(f"experiment {record['id']}: {record['state']}")
+    if record["state"] != "DONE":
+        fail(f"experiment job ended {record['state']}: {record.get('error')}")
+    experiment_id = record["id"]
+
+    print("== backlog + SIGTERM mid-drain ==")
+    backlog = [
+        client.submit("simulate", dict(sim, seed=seed))["id"]
+        for seed in range(4)
+    ]
+    time.sleep(0.5)  # let worker 0 pick up the first job
+    server.sigterm_and_wait()
+
+    terminal, queued = [], []
+    probe = Server(journal).start()
+    try:
+        states = {j["id"]: j["state"] for j in ServiceClient(probe.url).jobs()}
+        for job_id in backlog:
+            if job_id not in states:
+                fail(f"job {job_id} lost across restart")
+            (terminal if states[job_id] in ("DONE", "DEGRADED", "FAILED")
+             else queued).append(job_id)
+        recovered_line = [l for l in probe.lines if "recovered" in l]
+        print(f"recovery: {len(terminal)} finished pre-restart, "
+              f"{len(queued)} recovered ({recovered_line})")
+        if not queued:
+            fail("expected SIGTERM to checkpoint at least one queued job")
+        if not recovered_line:
+            fail("restarted server did not announce journal recovery")
+
+        print("== recovered jobs complete ==")
+        probe_client = ServiceClient(probe.url)
+        for job_id in backlog:
+            final = probe_client.wait(job_id, timeout_s=120.0, poll_s=0.5)
+            if final["state"] != "DONE":
+                fail(f"recovered job {job_id} ended {final['state']}")
+        print(f"all {len(backlog)} backlog jobs DONE")
+
+        print("== completed work is deduplicated, not rerun ==")
+        redo = probe_client.submit("experiment", {"id": "E1", "scale": "small"})
+        final = probe_client.status(redo["id"])
+        if final["state"] != "DONE":
+            fail(f"resubmitted experiment not served from journal: {final}")
+        events = [e["event"] for e in final.get("events", [])]
+        if "deduplicated" not in events:
+            fail(f"expected a deduplicated event, got {events}")
+        print(f"resubmission {redo['id']} answered from {experiment_id}'s result")
+    finally:
+        probe.sigterm_and_wait()
+
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
