@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Replicas-per-second for the vectorized multi-seed kernels
+(BENCH_batched.json).
+
+Times the E14 sweep spec (``zipf_workload(4, 2000, 64, alpha=1.2)``,
+``K=32``, ``tau=1``) through the scalar :func:`simulate_fast` loop and
+the batched :func:`simulate_fast_batch` path across batch widths, for
+both vectorized strategies (``S_LRU``, ``S_FIFO``).  Workload
+construction is excluded from both legs — the comparison is simulation
+throughput.  "cold" is the first timed run for that cell, "warm" the
+best of the following runs.  The two legs are *interleaved* run by run
+(scalar, batched, scalar, batched, ...) so thermal drift and CPU
+frequency scaling hit both legs equally instead of biasing whichever
+leg happens to run later.
+
+The batched leg forces ``min_batch=1`` so the sub-crossover widths are
+measured honestly (the dispatcher's default ``BATCH_MIN`` threshold
+exists precisely because those widths lose).  The scalar leg's
+throughput is width-independent, so it is capped at ``SCALAR_REPS``
+replicas per run.
+
+Run from the repo root::
+
+    python benchmarks/bench_batched_sweep.py
+
+Results are asserted equal between the two legs on every width before
+any timing is trusted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.kernels import BATCH_MIN, simulate_fast, simulate_fast_batch
+from repro.workloads import zipf_workload
+
+# The E14 sweep spec (mirrors tools/bench_kernels.py).
+SWEEP_P, SWEEP_N, SWEEP_U, SWEEP_K, SWEEP_TAU = 4, 2000, 64, 32, 1
+WIDTHS = (32, 128, 512, 2048)
+SCALAR_REPS = 512
+RUNS = 6  # 1 cold + (RUNS - 1) warm; best-of rides out machine jitter
+
+
+def _workloads(count: int):
+    return [
+        zipf_workload(SWEEP_P, SWEEP_N, SWEEP_U, alpha=1.2, seed=s)
+        for s in range(count)
+    ]
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_strategy(spec: str, workloads) -> dict:
+    widths = {}
+    for S in WIDTHS:
+        ws = workloads[:S]
+        scalar_ws = workloads[: min(S, SCALAR_REPS)]
+        batched = simulate_fast_batch(
+            ws, SWEEP_K, SWEEP_TAU, spec, min_batch=1
+        )
+        reference = [simulate_fast(w, SWEEP_K, SWEEP_TAU, spec) for w in ws]
+        if batched != reference:
+            raise AssertionError(
+                f"{spec} batched results diverge from scalar at S={S}"
+            )
+        scalar_times = []
+        batched_times = []
+        for _ in range(RUNS):
+            scalar_times.append(
+                _timed(
+                    lambda: [
+                        simulate_fast(w, SWEEP_K, SWEEP_TAU, spec)
+                        for w in scalar_ws
+                    ]
+                )
+            )
+            batched_times.append(
+                _timed(
+                    lambda: simulate_fast_batch(
+                        ws, SWEEP_K, SWEEP_TAU, spec, min_batch=1
+                    )
+                )
+            )
+        s_cold = len(scalar_ws) / scalar_times[0]
+        s_warm = len(scalar_ws) / min(scalar_times[1:])
+        b_cold = S / batched_times[0]
+        b_warm = S / min(batched_times[1:])
+        entry = {
+            "scalar_rps_cold": s_cold,
+            "scalar_rps_warm": s_warm,
+            "batched_rps_cold": b_cold,
+            "batched_rps_warm": b_warm,
+            "speedup_cold": b_cold / s_cold,
+            "speedup_warm": b_warm / s_warm,
+        }
+        widths[str(S)] = entry
+        print(
+            f"{spec}: S={S:5d} scalar {s_cold:7.1f}/{s_warm:7.1f} rps "
+            f"batched {b_cold:7.1f}/{b_warm:7.1f} rps "
+            f"-> {entry['speedup_cold']:5.2f}x cold "
+            f"{entry['speedup_warm']:5.2f}x warm"
+        )
+    return {"batched_by_width": widths}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_batched.json")
+    args = parser.parse_args(argv)
+
+    workloads = _workloads(max(WIDTHS))
+    results = {
+        spec: bench_strategy(spec, workloads) for spec in ("S_LRU", "S_FIFO")
+    }
+    fleet = str(max(WIDTHS))
+    data = {
+        "meta": {
+            "python": sys.version.split()[0],
+            "spec": {
+                "p": SWEEP_P, "n_per_core": SWEEP_N, "universe": SWEEP_U,
+                "K": SWEEP_K, "tau": SWEEP_TAU, "alpha": 1.2,
+                "workload": "zipf_workload (the E14 sweep spec)",
+            },
+            "batch_min": BATCH_MIN,
+            "note": (
+                "replicas/second, workload construction excluded; batched "
+                "leg forces min_batch=1 so sub-crossover widths are "
+                "reported honestly — the dispatcher only engages batching "
+                f"at >= {BATCH_MIN} replicas"
+            ),
+        },
+        "results": results,
+        "headline": {
+            "strategy": "S_LRU",
+            "width": int(fleet),
+            "speedup_cold": results["S_LRU"]["batched_by_width"][fleet][
+                "speedup_cold"
+            ],
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,379 @@
+"""Vectorized multi-seed kernels: all replicas of one sweep in one pass.
+
+An E14-style sweep runs the *same* strategy/cache/tau spec over many
+seeded workloads.  The scalar kernels in :mod:`.shared` pay the full
+python interpreter cost per replica; here the seed axis becomes a numpy
+vector axis instead.  One step loop drives every replica at once — per
+(step, core) the kernel gathers the active seeds' requests, classifies
+them hit / in-flight / fault with array comparisons, and serves each
+class with fancy-indexed scatters.  Per-step cost is a fixed number of
+O(active seeds) array operations, so throughput grows with the batch
+width: below roughly a hundred replicas the scalar loop wins; at fleet
+widths the batch runs several times more replicas per second
+(``BENCH_batched.json``).
+
+Exactness, not approximation: the scalar ``_shared_stamp_kernel`` keeps
+recency in *dict insertion order* (hits delete + re-insert).  Here each
+seed's resident set is a doubly-linked list over dense page ids with
+head/tail sentinels — inserts append at the tail, LRU hits splice the
+page back to the tail (FIFO hits leave it in place), and a victim scan
+walks from the head past busy or same-step-pinned pages, all as
+vectorized pointer surgery on flat ``prev``/``next`` arrays.  List order
+is exactly dict order, so the victim matches the scalar kernel's "first
+evictable in insertion order" page for page.  Cores are served in
+ascending order *sequentially* within a step (their evictions and pins
+interact through the shared cache), so only the seed axis is vectorized.
+Bit-identical equivalence with per-seed scalar runs is property-tested
+in ``tests/core/test_batched_kernels.py``.
+
+The random-access state is deliberately small: ``busy``/``next``/``prev``
+are int32 (a few KB per seed, so thousands of seeds stay cache-resident)
+and same-step pins are folded into the busy array as ``-2 - t`` rather
+than kept in a fourth array — a pinned page still classifies as a hit
+(negative < t) while the victim walk recognises it with one extra
+compare.  Request streams are pre-resolved to flat state indices
+(``seed * W + page_id``), so per-serve classification is two gathers.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernels._compat import get_numpy
+from repro.core.kernels.shared import _prepare
+from repro.core.metrics import SimResult
+
+__all__ = [
+    "batched_kernel_for",
+    "fast_shared_fifo_batch",
+    "fast_shared_lru_batch",
+]
+
+#: Parks finished cores' ready times; also the "not resident" busy
+#: sentinel.  Every real timestamp stays below it under the int32 guard
+#: in :func:`_run_batch`.
+_NR = 1 << 30
+
+
+class _Intern(dict):
+    """Interning dict: looking up an unseen page assigns it the next
+    dense id, so one C-speed lookup per request builds the mapping."""
+
+    def __missing__(self, key):
+        v = len(self)
+        self[key] = v
+        return v
+
+
+def _intern_sequences(np, workload):
+    """Per-seed interning of pages to dense ids ``0..nu-1``.
+
+    Any bijection works — victims are chosen by list position, never by
+    page identity.  Workloads carrying generator-attached dense ids
+    (:meth:`Workload.attach_dense_page_ids`) skip interning entirely;
+    plain-int pages take a C-speed ``np.unique`` path; everything else
+    pays one dict lookup per request via :class:`_Intern`
+    (first-appearance order).  Returns ``(nu, [per-core int64 arrays])``
+    where ``nu`` is an upper bound on the id range (exact for the
+    interning paths).
+    """
+    cached = workload.__dict__.get("_dense_page_ids")
+    if cached is not None:
+        width, ids = cached
+        return int(width), [np.asarray(a, dtype=np.int64) for a in ids]
+    seqs = [seq.as_tuple() for seq in workload]
+    if all(type(pg) is int for t in seqs for pg in t[:1]):
+        try:
+            arrs = []
+            for t in seqs:
+                a = np.asarray(t)
+                if a.ndim != 1 or (len(t) and a.dtype.kind not in "iu"):
+                    raise TypeError
+                arrs.append(a.astype(np.int64, copy=False))
+            cat = (
+                np.concatenate(arrs) if arrs else np.zeros(0, dtype=np.int64)
+            )
+            uniq, inv = np.unique(cat, return_inverse=True)
+            ids = []
+            o = 0
+            for t in seqs:
+                ids.append(inv[o : o + len(t)])
+                o += len(t)
+            return len(uniq), ids
+        except (TypeError, ValueError):
+            pass  # mixed types past the probe; fall through
+    m = _Intern()
+    ids = [
+        np.fromiter(map(m.__getitem__, t), np.int64, count=len(t))
+        for t in seqs
+    ]
+    return len(m), ids
+
+
+def _batched_dll_kernel(
+    np, workloads, cache_size: int, tau: int, *, touch_on_hit: bool
+) -> list[SimResult]:
+    S = len(workloads)
+    p = workloads[0].num_cores
+    I32 = np.int32
+
+    lengths = np.zeros((p, S), dtype=np.int64)
+    per_seed = []
+    for s, w in enumerate(workloads):
+        nu, ids = _intern_sequences(np, w)
+        for j, a in enumerate(ids):
+            lengths[j, s] = len(a)
+        per_seed.append((nu, ids))
+    U = max(nu for nu, _ in per_seed)
+    if U == 0:
+        empty = SimResult(
+            faults_per_core=(0,) * p,
+            hits_per_core=(0,) * p,
+            completion_times=(-1,) * p,
+            total_steps=0,
+            trace=None,
+        )
+        return [empty] * S
+
+    # Flat per-seed rows of width W = U + 2: page slots then the HEAD
+    # and TAIL list sentinels, so one flat index serves busy lookups and
+    # list pointers alike.  Request streams are stored pre-resolved to
+    # those flat indices (seed * W + page id).
+    W = U + 2
+    HEAD, TAIL = U, U + 1
+    nmax = [max(int(lengths[j].max()), 1) for j in range(p)]
+    # int32 keeps the big request stream at half the cache-miss traffic
+    # (values are flat indices < S * W); enormous batches fall back to
+    # int64 storage.
+    idt = I32
+    if S * W >= 2**31 - 1 or any(S * m >= 2**31 - 1 for m in nmax):
+        idt = np.int64
+    seqfi = [np.zeros(S * nmax[j], dtype=idt) for j in range(p)]
+    for s, (nu, ids) in enumerate(per_seed):
+        for j, a in enumerate(ids):
+            if len(a):
+                o = s * nmax[j]
+                np.add(a, s * W, out=seqfi[j][o : o + len(a)], casting="unsafe")
+    del per_seed
+
+    busyf = np.full(S * W, _NR, dtype=I32)
+    nextf = np.zeros(S * W, dtype=I32)
+    prevf = np.zeros(S * W, dtype=I32)
+    heads = np.arange(S, dtype=np.int64) * W + HEAD
+    nextf[heads] = TAIL
+    prevf[heads + 1] = HEAD
+    del heads
+
+    counts = np.zeros(S, dtype=I32)
+    fpos = [np.arange(S, dtype=np.int64) * nmax[j] for j in range(p)]
+    fend = [fpos[j] + lengths[j] for j in range(p)]
+    ready = np.where(lengths > 0, 0, _NR).astype(I32)
+    hitsc = np.zeros((p, S), dtype=np.int64)
+    completion = np.full((p, S), -1, dtype=np.int64)
+    steps = np.zeros(S, dtype=np.int64)
+
+    btake = busyf.take
+    ntake = nextf.take
+    ptake = prevf.take
+    fnz = np.flatnonzero
+    tau1 = tau + 1
+
+    def evict(basee, tce):
+        npin = -2 - tce
+        cand = ntake(basee + HEAD)
+        while True:
+            cfi = basee + cand
+            bb = btake(cfi)
+            blocked = bb >= tce  # busy (sentinels are _NR)
+            blocked |= bb == npin  # pinned this step
+            if not blocked.any():
+                break
+            if (cand[blocked] == TAIL).any():
+                raise RuntimeError("cache full and every cell busy; K < p?")
+            # Walk blocked seeds one link toward the tail.
+            cand[blocked] = ntake(cfi[blocked])
+        pv = ptake(cfi)
+        nx = ntake(cfi)
+        nextf[basee + pv] = nx
+        prevf[basee + nx] = pv
+        busyf[cfi] = _NR  # stale pins stay < t forever
+
+    # ``filling`` is True until every seed's cache has filled once;
+    # afterwards each fault evicts and the counts bookkeeping drops out
+    # of the hot loop.  ``minrem[j]`` is a conservative lower bound on
+    # requests remaining for core j in any live seed: while positive the
+    # completion check cannot fire and is skipped.
+    filling = True
+    minrem = [0] * p
+    for j in range(p):
+        lj = lengths[j][lengths[j] > 0]
+        minrem[j] = int(lj.min()) if lj.size else 0
+
+    while True:
+        t = ready.min(axis=0)
+        live = t < _NR
+        if not live.any():
+            break
+        steps += live
+        tx = np.where(live, t, -1)
+        serve = ready == tx  # fixed at step start; ready mutates below
+        for j in range(p):
+            mj = serve[j]
+            if not mj.any():
+                continue
+            si = fnz(mj)
+            tc = tx.take(si)
+            fposj = fpos[j]
+            fposv = fposj.take(si)
+            # int64 indices gather measurably faster than int32 ones, so
+            # widen once here rather than at every take below.
+            fiv = seqfi[j].take(fposv).astype(np.int64)
+            b = btake(fiv)
+            ishit = b < tc  # pins are negative, expired busy < t
+            rj = ready[j]
+
+            hx = fx = None
+            if ishit.any():
+                sih = si[ishit]
+                fih = fiv[ishit]
+                tch = tc[ishit]
+                busyf[fih] = -2 - tch  # pin: blocks eviction at t only
+                rj[sih] = tch + 1
+                hj = hitsc[j]
+                hj[sih] = hj.take(sih) + 1
+                if touch_on_hit:
+                    # Unlink the page — the vectorized form of LRU's
+                    # delete; the merged tail append below re-inserts.
+                    base = sih * W
+                    pv = ptake(fih)
+                    nx = ntake(fih)
+                    nextf[base + pv] = nx
+                    prevf[base + nx] = pv
+                    hx = (fih, base)
+                nh = ~ishit
+                if nh.any():
+                    # Both fault kinds (ordinary and in-flight) re-arm
+                    # at t + 1 + tau; hits already re-armed at t + 1.
+                    rj[si[nh]] = tc[nh] + tau1
+            else:
+                rj[si] = tc + tau1
+
+            isfault = b == _NR
+            if isfault.any():
+                sif = si[isfault]
+                fif = fiv[isfault]
+                tcf = tc[isfault]
+                basef = sif * W
+                if filling:
+                    cnt = counts.take(sif)
+                    ev = cnt >= cache_size
+                    if ev.any():
+                        evict(basef[ev], tcf[ev])
+                    counts[sif] = cnt + ~ev  # evictors net 0, others +1
+                    filling = bool((counts < cache_size).any())
+                else:
+                    evict(basef, tcf)
+                busyf[fif] = tcf + tau
+                fx = (fif, basef)
+
+            # One merged tail append covers LRU re-inserts and fault
+            # inserts: a seed serves at most one request per (step, core),
+            # so the two sets touch disjoint rows.
+            if hx is not None and fx is not None:
+                fia = np.concatenate((hx[0], fx[0]))
+                basea = np.concatenate((hx[1], fx[1]))
+            elif hx is not None:
+                fia, basea = hx
+            elif fx is not None:
+                fia, basea = fx
+            else:
+                fia = None
+            if fia is not None:
+                bT = basea + TAIL
+                tl = ptake(bT)
+                pga = fia - basea
+                nextf[basea + tl] = pga
+                prevf[fia] = tl
+                nextf[fia] = TAIL
+                prevf[bT] = pga
+
+            fv1 = fposv + 1
+            fposj[si] = fv1
+            mr = minrem[j] - 1
+            if mr <= 0:
+                done = fv1 == fend[j].take(si)
+                if done.any():
+                    sid = si[done]
+                    # done_at = ready - 1 for hits (t) and faults (t+tau).
+                    completion[j][sid] = rj.take(sid) - 1
+                    rj[sid] = _NR
+                rem = fend[j] - fposj
+                rem = rem[rem > 0]
+                mr = int(rem.min()) if rem.size else 1 << 40
+            minrem[j] = mr
+
+    faults = lengths - hitsc
+    out = []
+    for s in range(S):
+        out.append(
+            SimResult(
+                faults_per_core=tuple(int(x) for x in faults[:, s]),
+                hits_per_core=tuple(int(x) for x in hitsc[:, s]),
+                completion_times=tuple(int(x) for x in completion[:, s]),
+                total_steps=int(steps[s]),
+                trace=None,
+            )
+        )
+    return out
+
+
+def fast_shared_lru_batch(workloads, cache_size: int, tau: int):
+    """Per-seed equivalent of :func:`~repro.core.kernels.shared.fast_shared_lru`."""
+    return _run_batch(workloads, cache_size, tau, touch_on_hit=True)
+
+
+def fast_shared_fifo_batch(workloads, cache_size: int, tau: int):
+    """Per-seed equivalent of :func:`~repro.core.kernels.shared.fast_shared_fifo`."""
+    return _run_batch(workloads, cache_size, tau, touch_on_hit=False)
+
+
+def _run_batch(workloads, cache_size, tau, *, touch_on_hit):
+    workloads = [_prepare(w, cache_size, tau) for w in workloads]
+    if not workloads:
+        return []
+    if len({w.num_cores for w in workloads}) != 1:
+        raise ValueError("batched kernels require a uniform core count")
+    np = get_numpy()
+    if np is None:
+        raise RuntimeError(
+            "batched kernels require numpy; use simulate_fast per workload"
+        )
+    # Timestamps live in int32 state; t never exceeds (tau+1) * requests
+    # + tau per seed.  A (pathological) overflow risk falls back to the
+    # equivalent scalar kernels seed by seed.
+    maxreq = max(w.total_requests for w in workloads)
+    if (tau + 2) * (maxreq + 2) + 64 >= _NR:
+        from repro.core.kernels.shared import fast_shared_fifo, fast_shared_lru
+
+        scalar = fast_shared_lru if touch_on_hit else fast_shared_fifo
+        return [scalar(w, cache_size, tau) for w in workloads]
+    return _batched_dll_kernel(
+        np, workloads, cache_size, tau, touch_on_hit=touch_on_hit
+    )
+
+
+def batched_kernel_for(strategy):
+    """The batched kernel reproducing ``strategy`` across seeds, or
+    ``None``.  Mirrors :func:`repro.core.kernels.kernel_for`'s
+    conservative type-exact matching; only the recency-list shared
+    LRU/FIFO kernels vectorize today."""
+    from repro.policies.recency import FIFOPolicy, LRUPolicy
+    from repro.strategies.shared import SharedStrategy
+
+    if type(strategy) is not SharedStrategy:
+        return None
+    arg = strategy._policy_arg
+    cls = arg if isinstance(arg, type) else type(arg)
+    if cls is LRUPolicy:
+        return fast_shared_lru_batch
+    if cls is FIFOPolicy:
+        return fast_shared_fifo_batch
+    return None

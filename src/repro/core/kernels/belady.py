@@ -6,20 +6,54 @@ whose estimated next-use *time* — wait until the core is schedulable,
 then one step per intervening request — is furthest, ties broken by
 ``repr``.  The estimate is evaluated against the mid-step positions of
 already-served cores, exactly as the general simulator does.
+
+:func:`fast_shared_fitf` dispatches to the forward-distance-oracle
+implementations in :mod:`repro.core.kernels.fitf_oracle` (vectorized
+when numpy is available, exact pure-python otherwise), which replace the
+per-eviction binary-search scans of :func:`fast_shared_fitf_scan` with
+O(1) cursor reads.  The scan implementation is kept both as the
+reference the oracle paths are property-tested against and as the
+fallback when a workload's index arithmetic could overflow the oracle's
+int64 encoding (astronomical ``tau`` x trace-length products).
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.core.kernels._compat import get_numpy
+from repro.core.kernels.fitf_oracle import (
+    BIGIDX,
+    ForwardDistanceOracle,
+    _fitf_python,
+    _fitf_vectorized,
+)
 from repro.core.kernels.shared import _prepare
 from repro.core.metrics import SimResult
 
-__all__ = ["fast_shared_fitf"]
+__all__ = ["fast_shared_fitf", "fast_shared_fitf_scan"]
 
 
 def fast_shared_fitf(workload, cache_size: int, tau: int) -> SimResult:
     """Equivalent to ``SharedStrategy(GlobalFITFPolicy())``."""
+    workload = _prepare(workload, cache_size, tau)
+    # The oracle paths encode next-use estimates as int64 ``position +
+    # tau * faults`` sums clamped at BIGIDX; bail out to the scan
+    # reference if a (pathological) tau could push a real estimate past
+    # the clamp.
+    if (tau + 2) * (workload.total_requests + 2) + 64 >= BIGIDX:
+        return fast_shared_fitf_scan(workload, cache_size, tau)
+    oracle = ForwardDistanceOracle.for_workload(workload)
+    np = get_numpy()
+    if np is not None:
+        return _fitf_vectorized(np, workload, oracle, cache_size, tau)
+    return _fitf_python(workload, oracle, cache_size, tau)
+
+
+def fast_shared_fitf_scan(workload, cache_size: int, tau: int) -> SimResult:
+    """Scan-based reference: per-eviction binary searches instead of the
+    forward-distance oracle.  Exact but quadratic-ish; kept for
+    property-testing the oracle paths and for the overflow fallback."""
     workload = _prepare(workload, cache_size, tau)
     p = workload.num_cores
     seqs = [s.as_tuple() for s in workload]

@@ -1,0 +1,422 @@
+"""Forward-distance oracle and the oracle-backed shared-FITF kernel.
+
+The scan-based FITF kernel (``repro.core.kernels.belady``) re-derives
+"when is this page next requested?" at every eviction with one binary
+search per (candidate, core) pair — the reason BENCH_kernels.json showed
+it an order of magnitude behind its sibling kernels.  This module
+replaces those scans with a :class:`ForwardDistanceOracle`: one backward
+pass per core links every request to the next occurrence of the same
+page, so the current next-request index of *any* page on *any* core is
+an O(1) cursor read, maintained in O(1) per served request.
+
+Victim selection exploits a model fact: the simulator serves step
+``t = min(ready)``, so every unfinished core has ``ready >= t`` and the
+kernel's next-use estimate ``max(ready[c] - t, 0) + idx - pos[c]``
+equals ``(ready[c] - pos[c]) + idx - t`` with the ``- t`` term shared by
+all candidates.  The per-core offset ``D[c] = ready[c] - pos[c]`` is
+*invariant under hits* and grows by exactly ``tau`` per fault, so the
+absolute score ``D[c] + idx`` never has to be rebuilt — with numpy the
+kernel keeps a ``(p+1, universe)`` score matrix (one sentinel row pins
+"never requested again" ties at :data:`BIGIDX`), updated by one scalar
+write per request and one row shift per fault, and each eviction is a
+masked column-min / argmax over it.  Without numpy (or under
+``REPRO_NO_NUMPY=1``) an exact pure-python path walks the same cursors.
+
+Exact equivalence with ``SharedStrategy(GlobalFITFPolicy())`` through
+the general simulator is property-tested in
+``tests/core/test_kernels.py`` and ``tests/core/test_fitf_oracle.py``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.core.kernels._compat import get_numpy
+from repro.core.metrics import SimResult
+from repro.core.request import Workload
+
+__all__ = [
+    "BIGIDX",
+    "ForwardDistanceOracle",
+    "OracleCursors",
+]
+
+#: "No further request" sentinel index.  Strictly larger than any real
+#: next-use score (guarded in ``fast_shared_fitf``), strictly smaller
+#: than int64 overflow even after per-fault ``tau`` shifts.
+BIGIDX = 1 << 40
+
+
+class ForwardDistanceOracle:
+    """Next-request indices for every (core, position, page), from one
+    backward pass per core.
+
+    The oracle interns pages to dense ids sorted by *descending*
+    ``repr`` — the tie-break order of ``GlobalFITFPolicy`` — so "largest
+    repr" becomes "smallest id", which a forward ``argmax`` (first index
+    wins ties) reproduces for free.  Everything stored here is immutable
+    and derived from the workload alone, so instances are cached on the
+    workload (:meth:`for_workload`) and shared across simulations;
+    per-run mutable state lives in :class:`OracleCursors` or in the
+    kernel's own arrays.
+    """
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        seqs = [s.as_tuple() for s in workload]
+        pages = sorted(workload.universe, key=repr, reverse=True)
+        self.pages: tuple = tuple(pages)
+        self.num_pages = len(pages)
+        self.page_ids = {page: i for i, page in enumerate(pages)}
+        getid = self.page_ids.__getitem__
+        self.seq_ids = [list(map(getid, s)) for s in seqs]
+        self.lengths = tuple(len(s) for s in seqs)
+        np = get_numpy()
+        if np is not None:
+            self._build_numpy(np)
+        else:
+            self._build_python()
+
+    @classmethod
+    def for_workload(cls, workload: Workload) -> "ForwardDistanceOracle":
+        """The workload's cached oracle (built on first use)."""
+        oracle = workload.__dict__.get("_fitf_oracle")
+        if oracle is None:
+            oracle = cls(workload)
+            workload.__dict__["_fitf_oracle"] = oracle
+        return oracle
+
+    # -- construction ------------------------------------------------------
+
+    def _build_numpy(self, np) -> None:
+        p, U = len(self.seq_ids), self.num_pages
+        first = np.full((p, max(U, 1)), BIGIDX, dtype=np.int64)
+        next_occ: list[list[int]] = []
+        for c, ids in enumerate(self.seq_ids):
+            n = len(ids)
+            if n == 0:
+                next_occ.append([])
+                continue
+            a = np.asarray(ids, dtype=np.int64)
+            order = np.argsort(a, kind="stable")
+            nxt = np.full(n, BIGIDX, dtype=np.int64)
+            if n > 1:
+                ov = a[order]
+                same = ov[1:] == ov[:-1]
+                nxt[order[:-1][same]] = order[1:][same]
+            next_occ.append(nxt.tolist())
+            # Duplicate fancy-index assignment keeps the last write, so
+            # assigning positions in reverse order records, per page,
+            # the index of its first occurrence.
+            first[c, a[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        self._first_np = first[:, :U]
+        self.first_index: list[list[int]] = self._first_np.tolist()
+        self.next_occ = next_occ
+
+    def _build_python(self) -> None:
+        U = self.num_pages
+        self._first_np = None
+        first: list[list[int]] = []
+        next_occ: list[list[int]] = []
+        for ids in self.seq_ids:
+            n = len(ids)
+            nxt = [BIGIDX] * n
+            fr = [BIGIDX] * U
+            # Backward pass: fr[q] holds the next occurrence of q above
+            # position i; when the pass finishes it is the first
+            # occurrence overall.
+            for i in range(n - 1, -1, -1):
+                q = ids[i]
+                nxt[i] = fr[q]
+                fr[q] = i
+            first.append(fr)
+            next_occ.append(nxt)
+        self.first_index = first
+        self.next_occ = next_occ
+
+    def first_matrix(self, np):
+        """The (p, U) int64 matrix of first-occurrence indices
+        (:data:`BIGIDX` where a core never requests a page)."""
+        if self._first_np is None:
+            self._first_np = np.array(
+                [row for row in self.first_index], dtype=np.int64
+            ).reshape(len(self.first_index), self.num_pages)
+        return self._first_np
+
+    @cached_property
+    def cores_of(self) -> tuple[tuple[int, ...], ...]:
+        """For each page id, the cores whose sequence ever requests it."""
+        out: list[list[int]] = [[] for _ in range(self.num_pages)]
+        for c, seq in enumerate(self.workload):
+            for page in seq.pages:
+                out[self.page_ids[page]].append(c)
+        return tuple(tuple(cores) for cores in out)
+
+    def fresh_cursors(self) -> "OracleCursors":
+        """A new per-run cursor view positioned at the sequence starts."""
+        return OracleCursors(self)
+
+
+class OracleCursors:
+    """Mutable per-run view over a :class:`ForwardDistanceOracle`.
+
+    ``next_index(core, page_id)`` answers "the index of the first
+    request to this page at or after the core's current position" in
+    O(1); ``advance(core, index)`` moves the core past position
+    ``index`` in O(1).  Positions must be advanced in order, exactly as
+    a simulation serves them.
+    """
+
+    __slots__ = ("_next", "_next_occ", "_seq_ids")
+
+    def __init__(self, oracle: ForwardDistanceOracle):
+        self._next = [row[:] for row in oracle.first_index]
+        self._next_occ = oracle.next_occ
+        self._seq_ids = oracle.seq_ids
+
+    def next_index(self, core: int, page_id: int) -> int:
+        """First occurrence index, or :data:`BIGIDX` if none remains."""
+        return self._next[core][page_id]
+
+    def advance(self, core: int, index: int) -> None:
+        """Serve the request at ``index``: its page's next occurrence
+        becomes the chain successor recorded by the backward pass."""
+        self._next[core][self._seq_ids[core][index]] = self._next_occ[core][
+            index
+        ]
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+def _empty_result(workload: Workload) -> SimResult:
+    p = workload.num_cores
+    return SimResult(
+        faults_per_core=(0,) * p,
+        hits_per_core=(0,) * p,
+        completion_times=(-1,) * p,
+        total_steps=0,
+        trace=None,
+    )
+
+
+def _fitf_vectorized(
+    np, workload: Workload, oracle: ForwardDistanceOracle,
+    cache_size: int, tau: int,
+) -> SimResult:
+    """Numpy victim scans over the oracle's score matrix."""
+    p = workload.num_cores
+    U = oracle.num_pages
+    if U == 0:
+        return _empty_result(workload)
+    seqs = oracle.seq_ids
+    next_occ = oracle.next_occ
+    lengths = oracle.lengths
+
+    # est[c, q] = D[c] + (next request index of q on c), with D[c] =
+    # ready[c] - positions[c] + 1 (the +1 keeps scores >= 1 so masked
+    # candidates can be zeroed by a boolean multiply).  Row p is the
+    # BIGIDX sentinel: the column min clamps every "never requested
+    # again" score to exactly BIGIDX, making those ties repr-ordered.
+    est = np.empty((p + 1, U), dtype=np.int64)
+    np.add(oracle.first_matrix(np), 1, out=est[:p])
+    est[p] = BIGIDX
+    est_rows = [est[c] for c in range(p)]
+    minv = np.empty(U, dtype=np.int64)
+    mask = np.zeros(U, dtype=bool)
+
+    D = [1] * p
+    positions = [0] * p
+    # Finished (or empty) cores park at BIGIDX so ``t = min(ready)`` is a
+    # plain C-speed list min that never selects them.
+    ready = [0 if lengths[j] > 0 else BIGIDX for j in range(p)]
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+    busy_until: dict = {}  # page id -> last fetching step; also the cache
+    bu_get = busy_until.get
+    # `mask` (resident and fetch-complete) is repaired lazily: each fault
+    # appends one (busy-threshold, page) entry, flushed before the next
+    # victim scan once the step exceeds the threshold; thresholds are
+    # non-decreasing.  Same-step pins are handled by zeroing this step's
+    # hit pages around each scan instead of any per-hit bookkeeping.
+    busies: list = []
+    busies_append = busies.append
+    busies_i = 0
+    step_pins: list = []
+    step_pins_append = step_pins.append
+    step_pins_clear = step_pins.clear
+
+    pending_count = sum(1 for j in range(p) if lengths[j] > 0)
+    steps = 0
+    core_order = range(p)
+    while pending_count:
+        t = min(ready)
+        steps += 1
+        step_pins_clear()
+        for j in core_order:
+            if ready[j] != t:
+                continue
+            i = positions[j]
+            page = seqs[j][i]
+            bu = bu_get(page, -2)
+            if bu != -2:
+                if bu < t:
+                    # hit: pin for the rest of the step
+                    step_pins_append(page)
+                    hits[j] += 1
+                    positions[j] = i + 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    # in-flight page (non-disjoint): independent semantics
+                    faults[j] += 1
+                    positions[j] = i + 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+                    if tau:
+                        D[j] += tau
+                        row = est_rows[j]
+                        np.add(row, tau, out=row)
+            else:
+                if len(busy_until) >= cache_size:
+                    while busies_i < len(busies) and busies[busies_i][0] < t:
+                        q = busies[busies_i][1]
+                        busies_i += 1
+                        if bu_get(q, t) < t:
+                            mask[q] = True
+                    for q in step_pins:
+                        mask[q] = False
+                    est.min(axis=0, out=minv)
+                    np.multiply(minv, mask, out=minv)
+                    victim = int(minv.argmax())
+                    if not minv[victim]:
+                        raise RuntimeError(
+                            "cache full and every cell busy; K < p?"
+                        )
+                    del busy_until[victim]
+                    mask[victim] = False
+                    # Pinned pages are resident and fetch-complete, so
+                    # their steady-state mask is True.
+                    for q in step_pins:
+                        mask[q] = True
+                busy_until[page] = t + tau
+                busies_append((t + tau, page))
+                faults[j] += 1
+                positions[j] = i + 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+                if tau:
+                    # After the victim scan: the scan evaluates D at the
+                    # pre-fault ready/position, exactly like the
+                    # scan-based kernel.
+                    D[j] += tau
+                    row = est_rows[j]
+                    np.add(row, tau, out=row)
+            est_rows[j][page] = next_occ[j][i] + D[j]
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                ready[j] = BIGIDX
+                pending_count -= 1
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )
+
+
+def _fitf_python(
+    workload: Workload, oracle: ForwardDistanceOracle,
+    cache_size: int, tau: int,
+) -> SimResult:
+    """Exact no-numpy path: same cursors, tight-loop victim scans."""
+    p = workload.num_cores
+    if oracle.num_pages == 0:
+        return _empty_result(workload)
+    seqs = oracle.seq_ids
+    next_occ = oracle.next_occ
+    lengths = oracle.lengths
+    cores_of = oracle.cores_of
+    cursors = [row[:] for row in oracle.first_index]
+
+    D = [0] * p  # ready[c] - positions[c]; +tau per fault, hit-invariant
+    positions = [0] * p
+    ready = [0] * p
+    faults = [0] * p
+    hits = [0] * p
+    completion = [-1] * p
+    busy_until: dict = {}
+    pinned_at: dict = {}
+
+    pending = [j for j in range(p) if lengths[j] > 0]
+    steps = 0
+    while pending:
+        t = min(ready[j] for j in pending)
+        steps += 1
+        finished = []
+        for j in pending:
+            if ready[j] != t:
+                continue
+            i = positions[j]
+            page = seqs[j][i]
+            bu = busy_until.get(page, -2)
+            if bu != -2:
+                if bu < t:
+                    pinned_at[page] = t
+                    hits[j] += 1
+                    positions[j] = i + 1
+                    ready[j] = t + 1
+                    done_at = t
+                else:
+                    faults[j] += 1
+                    positions[j] = i + 1
+                    ready[j] = t + 1 + tau
+                    done_at = t + tau
+                    D[j] += tau
+            else:
+                if len(busy_until) >= cache_size:
+                    best_key = None
+                    victim = None
+                    for q in busy_until:
+                        if busy_until[q] >= t or pinned_at.get(q) == t:
+                            continue
+                        nxt = BIGIDX  # clamp: "never again" ties at BIGIDX
+                        for c in cores_of[q]:
+                            v = D[c] + cursors[c][q]
+                            if v < nxt:
+                                nxt = v
+                        key = (nxt, -q)  # smaller id == larger repr
+                        if best_key is None or key > best_key:
+                            best_key = key
+                            victim = q
+                    if victim is None:
+                        raise RuntimeError(
+                            "cache full and every cell busy; K < p?"
+                        )
+                    del busy_until[victim]
+                    pinned_at.pop(victim, None)
+                busy_until[page] = t + tau
+                faults[j] += 1
+                positions[j] = i + 1
+                ready[j] = t + 1 + tau
+                done_at = t + tau
+                D[j] += tau
+            cursors[j][page] = next_occ[j][i]
+            if positions[j] >= lengths[j]:
+                completion[j] = done_at
+                finished.append(j)
+        for j in finished:
+            pending.remove(j)
+
+    return SimResult(
+        faults_per_core=tuple(faults),
+        hits_per_core=tuple(hits),
+        completion_times=tuple(completion),
+        total_steps=steps,
+        trace=None,
+    )

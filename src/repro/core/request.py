@@ -175,6 +175,27 @@ class Workload:
         """A plain-list copy, convenient for serialisation."""
         return [list(s) for s in self._sequences]
 
+    def attach_dense_page_ids(self, width: int, ids) -> None:
+        """Attach a generator-provided dense integer encoding of pages.
+
+        ``ids[j][i]`` must be an integer in ``[0, width)`` equal across
+        any two (core, position) pairs **iff** the requested pages are
+        equal — i.e. an exact bijection of this workload's pages onto a
+        subset of ``range(width)``.  Workload generators that construct
+        pages from integers they already hold (e.g. ``(core, rank)``
+        tuples) attach this so the batched kernels can skip per-request
+        hash interning; consumers treat the encoding as authoritative.
+        The metadata is advisory: equality, hashing, serialisation and
+        every scalar simulation path ignore it, and workloads rebuilt
+        from ``as_lists()`` simply lose it.
+        """
+        ids = tuple(ids)
+        if len(ids) != len(self._sequences) or any(
+            len(a) != len(s) for a, s in zip(ids, self._sequences)
+        ):
+            raise ValueError("dense page ids must mirror the sequences")
+        self.__dict__["_dense_page_ids"] = (int(width), ids)
+
     def validate_against_cache(self, cache_size: int) -> None:
         """Raise if the workload/cache combination is degenerate.
 

@@ -99,6 +99,13 @@ class Simulator:
             fetch to finish.
     record_trace:
         Keep a full :class:`~repro.core.trace.Trace` in the result.
+    trace_sink:
+        An object with a ``record(event)`` method (e.g.
+        :class:`~repro.core.trace_io.BinaryTraceWriter`) that receives
+        every :class:`~repro.core.types.AccessEvent` as it happens —
+        streaming a run's trace to disk without accumulating it in
+        memory.  Independent of ``record_trace``: with only a sink the
+        result's ``trace`` stays ``None``.
     max_steps:
         Safety valve: raise if more than this many parallel steps occur.
     pin_same_step:
@@ -124,6 +131,7 @@ class Simulator:
         *,
         inflight: str = "independent",
         record_trace: bool = False,
+        trace_sink=None,
         max_steps: int | None = None,
         pin_same_step: bool = True,
         check_invariants: bool | None = None,
@@ -141,6 +149,7 @@ class Simulator:
         self.strategy = strategy
         self.inflight = inflight
         self.record_trace = record_trace
+        self.trace_sink = trace_sink
         self.max_steps = max_steps
         self.pin_same_step = pin_same_step
         if check_invariants is None:
@@ -175,6 +184,7 @@ class Simulator:
         hits = [0] * p
         completion = [-1] * p
         trace = Trace() if self.record_trace else None
+        sink = self.trace_sink
 
         pending = [j for j in range(p) if lengths[j] > 0]
         steps = 0
@@ -253,17 +263,19 @@ class Simulator:
                     kind = AccessKind.FAULT
                 if monitor is not None:
                     monitor.after_serve(j, page, t, kind.value, ready[j], cache)
-                if trace is not None:
-                    trace.record(
-                        AccessEvent(
-                            time=t,
-                            core=j,
-                            index=index,
-                            page=page,
-                            kind=kind,
-                            victim=victim,
-                        )
+                if trace is not None or sink is not None:
+                    event = AccessEvent(
+                        time=t,
+                        core=j,
+                        index=index,
+                        page=page,
+                        kind=kind,
+                        victim=victim,
                     )
+                    if trace is not None:
+                        trace.record(event)
+                    if sink is not None:
+                        sink.record(event)
                 if positions[j] >= lengths[j]:
                     completion[j] = done_at
                     finished.append(j)

@@ -1,22 +1,43 @@
-"""Execution-trace (de)serialisation: JSON-lines export for external
-analysis.
+"""Execution-trace (de)serialisation: JSON-lines and binary formats.
 
 Workload files (``repro.workloads.traces``) store *inputs*; this module
-stores *outputs* — the per-event log of a simulated run — one JSON object
-per line, so results can be diffed, archived, or post-processed outside
-Python.
+stores *outputs* — the per-event log of a simulated run.  Two formats:
+
+* **JSON lines** (:func:`save_trace` / :func:`load_trace`): one object
+  per line, diffable and greppable.
+* **Binary** (:class:`BinaryTraceWriter`, :func:`save_trace_binary`,
+  :func:`iter_trace_binary`, :func:`load_trace_binary`): fixed 25-byte
+  records behind an 8-byte magic, followed by a JSON page table and a
+  fixed-size footer.  Records are mmap-ed and decoded in chunks, so a
+  multi-gigabyte trace streams through :func:`iter_trace_binary` without
+  ever materialising; :class:`BinaryTraceWriter` streams *out* the same
+  way and plugs directly into ``Simulator(trace_sink=...)``, so a run's
+  events go to disk instead of accumulating in memory.
+
+Both formats encode pages as ``repr`` strings, so any workload built
+from ints, strings and (nested) tuples round-trips exactly; both store
+access events only (partition changes are not serialised).
 """
 
 from __future__ import annotations
 
 import ast
 import json
+import mmap
+import struct
 from pathlib import Path
 
 from repro.core.trace import Trace
 from repro.core.types import AccessEvent, AccessKind
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = [
+    "BinaryTraceWriter",
+    "iter_trace_binary",
+    "load_trace",
+    "load_trace_binary",
+    "save_trace",
+    "save_trace_binary",
+]
 
 
 def _encode_page(page) -> str:
@@ -81,5 +102,173 @@ def load_trace(path) -> Trace:
             )
         except (KeyError, ValueError, SyntaxError) as exc:
             raise ValueError(f"{path}:{lineno}: malformed trace line") from exc
+        trace.record(event)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# binary format
+# ---------------------------------------------------------------------------
+#
+#   +--------+----------------------+-----------------+------------------+
+#   | magic  | count x 25-byte recs | JSON page table | footer (24 bytes)|
+#   +--------+----------------------+-----------------+------------------+
+#
+# magic   = b"RPROTRC1" (8 bytes, versioned).
+# record  = little-endian (time i64, core i32, index i32, page u32,
+#           kind u8, victim u32); victim 0xFFFFFFFF means "none".
+# table   = UTF-8 JSON array of repr-encoded pages; record page/victim
+#           fields index into it.
+# footer  = (record count u64, table offset u64, b"RPROTRCE").
+#
+# The record count lives in the footer so writes stream without knowing
+# the length up front, and the trailing end-magic makes truncation (the
+# classic crash-mid-write artefact) detectable from the last 24 bytes.
+
+_BIN_MAGIC = b"RPROTRC1"
+_BIN_END = b"RPROTRCE"
+_REC = struct.Struct("<qiiIBI")
+_FOOTER = struct.Struct("<QQ8s")
+_NO_VICTIM = 0xFFFFFFFF
+#: Stable on-disk codes for AccessKind (enum order is API, codes are not).
+_KIND_CODE = {kind: i for i, kind in enumerate(AccessKind)}
+_KIND_FROM_CODE = {i: kind for kind, i in _KIND_CODE.items()}
+
+
+class BinaryTraceWriter:
+    """Streaming binary trace writer.
+
+    Exposes :meth:`record` (the :class:`~repro.core.trace.Trace`
+    interface), so an instance can be passed as ``trace_sink=`` to the
+    :class:`~repro.core.simulator.Simulator` and receive events as they
+    happen — nothing accumulates in memory but the page table.  Use as a
+    context manager (or call :meth:`close`); the file is not a valid
+    trace until closed, since the page table and footer are written
+    last.
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._fh = self._path.open("wb")
+        self._fh.write(_BIN_MAGIC)
+        self._pages: dict = {}
+        self._count = 0
+
+    def _page_id(self, page) -> int:
+        pid = self._pages.get(page)
+        if pid is None:
+            pid = self._pages[page] = len(self._pages)
+            if pid >= _NO_VICTIM:
+                raise ValueError("too many distinct pages for binary trace")
+        return pid
+
+    def record(self, event: AccessEvent) -> None:
+        victim = (
+            _NO_VICTIM if event.victim is None else self._page_id(event.victim)
+        )
+        self._fh.write(
+            _REC.pack(
+                event.time,
+                event.core,
+                event.index,
+                self._page_id(event.page),
+                _KIND_CODE[event.kind],
+                victim,
+            )
+        )
+        self._count += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        fh, self._fh = self._fh, None
+        try:
+            table_offset = fh.tell()
+            table = [None] * len(self._pages)
+            for page, pid in self._pages.items():
+                table[pid] = _encode_page(page)
+            fh.write(json.dumps(table).encode("utf-8"))
+            fh.write(_FOOTER.pack(self._count, table_offset, _BIN_END))
+        finally:
+            fh.close()
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def save_trace_binary(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` in the binary format."""
+    with BinaryTraceWriter(path) as writer:
+        for event in trace:
+            writer.record(event)
+
+
+def _bad(path, why: str) -> ValueError:
+    return ValueError(f"{path}: {why}")
+
+
+def iter_trace_binary(path, *, chunk_records: int = 65536):
+    """Yield the :class:`AccessEvent` records of a binary trace, in
+    order, decoding ``chunk_records`` at a time from an mmap of the file
+    — constant memory regardless of trace length.
+
+    Raises :class:`ValueError` on anything that is not a complete binary
+    trace: wrong magic, a truncated or oversized record region, a
+    missing or corrupt footer or page table.
+    """
+    path = Path(path)
+    with path.open("rb") as fh, mmap.mmap(
+        fh.fileno(), 0, access=mmap.ACCESS_READ
+    ) as mm:
+        size = len(mm)
+        if size < len(_BIN_MAGIC) + _FOOTER.size:
+            raise _bad(path, "truncated binary trace (no room for footer)")
+        if mm[: len(_BIN_MAGIC)] != _BIN_MAGIC:
+            raise _bad(path, "not a binary trace (bad magic)")
+        count, table_offset, end = _FOOTER.unpack(mm[size - _FOOTER.size :])
+        if end != _BIN_END:
+            raise _bad(path, "truncated binary trace (missing end marker)")
+        rec_bytes = table_offset - len(_BIN_MAGIC)
+        if (
+            table_offset > size - _FOOTER.size
+            or rec_bytes != count * _REC.size
+        ):
+            raise _bad(path, "truncated binary trace (record region size)")
+        try:
+            table = json.loads(
+                mm[table_offset : size - _FOOTER.size].decode("utf-8")
+            )
+            pages = [_decode_page(text) for text in table]
+        except (ValueError, SyntaxError) as exc:
+            raise _bad(path, "corrupt page table") from exc
+        offset = len(_BIN_MAGIC)
+        remaining = count
+        while remaining:
+            n = min(remaining, chunk_records)
+            chunk = mm[offset : offset + n * _REC.size]
+            for time, core, index, pid, kcode, vid in _REC.iter_unpack(chunk):
+                try:
+                    yield AccessEvent(
+                        time=time,
+                        core=core,
+                        index=index,
+                        page=pages[pid],
+                        kind=_KIND_FROM_CODE[kcode],
+                        victim=None if vid == _NO_VICTIM else pages[vid],
+                    )
+                except (IndexError, KeyError) as exc:
+                    raise _bad(path, "corrupt record (bad id)") from exc
+            offset += n * _REC.size
+            remaining -= n
+
+
+def load_trace_binary(path) -> Trace:
+    """Read a binary trace fully into a :class:`Trace` (the in-memory
+    counterpart of :func:`iter_trace_binary`)."""
+    trace = Trace()
+    for event in iter_trace_binary(path):
         trace.record(event)
     return trace

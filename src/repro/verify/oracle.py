@@ -162,6 +162,24 @@ def oracle_strategies(cache_size: int, num_cores: int) -> dict:
     }
 
 
+def _batched_engine(name: str):
+    """The vectorized multi-seed kernel equivalent to kernel ``name``,
+    or ``None`` (also when numpy is unavailable — the batched engines
+    have no pure-python form to check)."""
+    from repro.core.kernels import get_numpy
+    from repro.core.kernels.batched import (
+        fast_shared_fifo_batch,
+        fast_shared_lru_batch,
+    )
+
+    if get_numpy() is None:
+        return None
+    return {
+        "S_LRU": fast_shared_lru_batch,
+        "S_FIFO": fast_shared_fifo_batch,
+    }.get(name)
+
+
 def _kernel_args(name: str, cache_size: int, num_cores: int) -> tuple:
     if name == "sP_LRU":
         from repro import equal_partition
@@ -277,6 +295,29 @@ def check_case(
             divergences.append(Divergence("kernel_mismatch", name, diff, case))
         else:
             online_costs[name] = general.total_faults
+            # Third engine where one exists: the vectorized multi-seed
+            # kernel, run on a width-1 batch, must also match.
+            batched = _batched_engine(name)
+            if batched is not None:
+                bname = f"{name}_batch"
+                try:
+                    bres = batched([workload], K, tau)[0]
+                except Exception as exc:
+                    divergences.append(
+                        Divergence(
+                            "engine_crash",
+                            bname,
+                            f"batched kernel {_describe_outcome(exc)}; "
+                            "scalar engines completed",
+                            case,
+                        )
+                    )
+                else:
+                    bdiff = _diff_results(general, bres)
+                    if bdiff:
+                        divergences.append(
+                            Divergence("kernel_mismatch", bname, bdiff, case)
+                        )
 
     if (
         workload.is_disjoint

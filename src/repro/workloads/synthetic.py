@@ -44,13 +44,25 @@ def uniform_workload(
     """
     rng = _rng(seed)
     seqs = []
+    dense = []
     for j in range(p):
         private = [(j, i) for i in range(pages_per_core)]
         shared = [("shared", i) for i in range(shared_pages)]
         pool = private + shared
         idx = rng.integers(0, len(pool), size=length)
         seqs.append([pool[i] for i in idx.tolist()])
-    return Workload(seqs)
+        # Dense encoding mirroring the pool layout: private pages map to
+        # the core's block, shared pages to one trailing shared block.
+        dense.append(
+            np.where(
+                idx < pages_per_core,
+                j * pages_per_core + idx,
+                p * pages_per_core + (idx - pages_per_core),
+            )
+        )
+    w = Workload(seqs)
+    w.attach_dense_page_ids(p * pages_per_core + shared_pages, dense)
+    return w
 
 
 def zipf_workload(
@@ -72,14 +84,19 @@ def zipf_workload(
     weights = 1.0 / np.arange(1, pages_per_core + 1, dtype=float) ** alpha
     probs = weights / weights.sum()
     seqs = []
+    dense = []
     for j in range(p):
         # Per-core random permutation so the hot page differs per core.
         perm = rng.permutation(pages_per_core)
         ranks = rng.choice(pages_per_core, size=length, p=probs)
         # Gather through numpy, then build tuples at C speed; identical
         # draws and pages to the scalar per-element version.
-        seqs.append(list(zip([j] * length, perm[ranks].tolist())))
-    return Workload(seqs)
+        vals = perm[ranks]
+        seqs.append(list(zip([j] * length, vals.tolist())))
+        dense.append(vals.astype(np.int64) + j * pages_per_core)
+    w = Workload(seqs)
+    w.attach_dense_page_ids(p * pages_per_core, dense)
+    return w
 
 
 def cyclic_workload(
@@ -92,7 +109,12 @@ def cyclic_workload(
         [(j, (i * stride) % cycle_length) for i in range(length)]
         for j in range(p)
     ]
-    return Workload(seqs)
+    w = Workload(seqs)
+    offs = (np.arange(length, dtype=np.int64) * stride) % cycle_length
+    w.attach_dense_page_ids(
+        p * cycle_length, [offs + j * cycle_length for j in range(p)]
+    )
+    return w
 
 
 def phased_workload(
@@ -112,16 +134,24 @@ def phased_workload(
     if num_phases < 1:
         raise ValueError("num_phases must be >= 1")
     per_phase = max(1, length // num_phases)
+    span = num_phases * working_set
     seqs = []
+    dense = []
     for j in range(p):
         seq = []
+        offs = []
         for phase in range(num_phases):
             base = phase * working_set
             count = per_phase if phase < num_phases - 1 else length - len(seq)
             idx = rng.integers(0, working_set, size=count)
             seq.extend((j, base + int(i)) for i in idx)
+            offs.append(base + idx.astype(np.int64))
         seqs.append(seq[:length])
-    return Workload(seqs)
+        cat = np.concatenate(offs) if offs else np.zeros(0, dtype=np.int64)
+        dense.append(cat[:length] + j * span)
+    w = Workload(seqs)
+    w.attach_dense_page_ids(p * span, dense)
+    return w
 
 
 def access_graph_workload(
@@ -147,15 +177,32 @@ def access_graph_workload(
         )
     node_list = list(graph.nodes)
     seqs = []
+    walks = []
     for j in range(p):
         node = node_list[int(rng.integers(0, len(node_list)))]
         seq = [(j, node)]
+        walk = [node]
         for _ in range(length - 1):
             nbrs = list(graph.neighbors(node))
             node = nbrs[int(rng.integers(0, len(nbrs)))] if nbrs else node
             seq.append((j, node))
+            walk.append(node)
         seqs.append(seq)
-    return Workload(seqs)
+        walks.append(walk)
+    w = Workload(seqs)
+    # Dense ids only when node labels are already small nonnegative ints
+    # (true for the generated regular graphs); arbitrary user graphs keep
+    # the interning fallback.
+    if node_list and all(type(x) is int for x in node_list):
+        lo = min(node_list)
+        span = max(node_list) - lo + 1
+        if lo >= 0 and span <= 4 * len(node_list) + 64:
+            w.attach_dense_page_ids(
+                p * span,
+                [np.asarray(wk, dtype=np.int64) - lo + j * span
+                 for j, wk in enumerate(walks)],
+            )
+    return w
 
 
 def multi_pointer_graph_workload(

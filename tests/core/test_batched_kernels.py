@@ -1,0 +1,253 @@
+"""Bit-identical equivalence of the vectorized multi-seed kernels.
+
+Every batched result must equal the per-seed scalar kernel (and hence
+the general simulator, whose equivalence with the scalar kernels is
+tested in ``test_kernels.py``) field for field — across workload
+families, taus, cache pressures, dense-id metadata presence, and the
+numpy / no-numpy dispatch legs.  Cache-fingerprint stability is checked
+end-to-end: batched and scalar replicas must share ``.repro_cache/``
+entries.
+"""
+
+import pytest
+
+from repro import FIFOPolicy, LRUPolicy, SharedStrategy, Workload
+from repro.analysis.batch import batch_run
+from repro.core.kernels import (
+    BATCH_MIN,
+    simulate_fast,
+    simulate_fast_batch,
+)
+from repro.core.kernels.batched import (
+    batched_kernel_for,
+    fast_shared_fifo_batch,
+    fast_shared_lru_batch,
+)
+from repro.workloads import (
+    access_graph_workload,
+    cyclic_workload,
+    multi_pointer_graph_workload,
+    phased_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+SPECS = ("S_LRU", "S_FIFO")
+TAUS = (0, 1, 3)
+
+
+def _families(seed):
+    yield zipf_workload(4, 80, 9, alpha=1.2, seed=seed)
+    yield uniform_workload(3, 60, 7, shared_pages=3, seed=100 + seed)
+    yield cyclic_workload(3, 50, 8, stride=1 + seed % 3)
+    yield phased_workload(3, 70, 5, 3, seed=200 + seed)
+    yield access_graph_workload(2, 60, nodes=16, degree=4, seed=300 + seed)
+    yield multi_pointer_graph_workload(2, 60, nodes=16, degree=4, seed=seed)
+
+
+def _assert_batch_matches_scalar(workloads, K, tau, spec):
+    batched = simulate_fast_batch(workloads, K, tau, spec, min_batch=1)
+    scalar = [simulate_fast(w, K, tau, spec) for w in workloads]
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.parametrize("tau", TAUS)
+def test_batched_matches_scalar_families(spec, tau):
+    for seed in range(3):
+        workloads = list(_families(seed))
+        for w in workloads:
+            _assert_batch_matches_scalar([w] * 1, 8, tau, spec)
+        # Same-shape multi-seed batches (the real use case).
+        for family in range(len(workloads)):
+            batch = [list(_families(s))[family] for s in range(5)]
+            _assert_batch_matches_scalar(batch, 8, tau, spec)
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_batched_matches_scalar_adversarial(spec):
+    cases = [
+        # String and tuple pages (no dense-id metadata).
+        [Workload([["a", "b", "a", ("c", 1)], ["x"] * 5]) for _ in range(4)],
+        # Ragged per-core lengths, with an empty core.
+        [
+            Workload([[1, 2, 3] * (s + 1), [], [4, 5]])
+            for s in range(4)
+        ],
+        # Heterogeneous universes across seeds.
+        [
+            uniform_workload(2, 30, 3 + s, seed=s) for s in range(6)
+        ],
+        # Tight cache (K == p) forcing constant eviction pressure.
+        [uniform_workload(3, 40, 6, seed=s) for s in range(4)],
+    ]
+    for K in (3, 6):
+        for tau in TAUS:
+            for batch in cases:
+                if K < batch[0].num_cores:
+                    continue
+                _assert_batch_matches_scalar(batch, K, tau, spec)
+
+
+def test_empty_batch():
+    assert simulate_fast_batch([], 4, 1, "S_LRU") == []
+
+
+def test_all_empty_sequences():
+    batch = [Workload([[], []]) for _ in range(3)]
+    _assert_batch_matches_scalar(batch, 4, 1, "S_LRU")
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_dense_ids_equal_stripped_metadata(spec):
+    """Generator-attached dense page ids are a pure accelerator: results
+    must be identical with the metadata stripped (``as_lists`` loses
+    it)."""
+    gens = [
+        [zipf_workload(3, 90, 11, alpha=1.1, seed=s) for s in range(6)],
+        [uniform_workload(2, 70, 9, shared_pages=4, seed=s) for s in range(6)],
+        [phased_workload(2, 60, 6, 3, seed=s) for s in range(6)],
+    ]
+    for batch in gens:
+        assert "_dense_page_ids" in batch[0].__dict__
+        stripped = [Workload(w.as_lists()) for w in batch]
+        for K, tau in ((6, 0), (6, 1), (4, 3)):
+            a = simulate_fast_batch(batch, K, tau, spec, min_batch=1)
+            b = simulate_fast_batch(stripped, K, tau, spec, min_batch=1)
+            assert a == b
+
+
+def test_dense_ids_validation():
+    w = Workload([[1, 2], [3]])
+    with pytest.raises(ValueError):
+        w.attach_dense_page_ids(4, [[0, 1]])  # wrong core count
+    with pytest.raises(ValueError):
+        w.attach_dense_page_ids(4, [[0], [2]])  # wrong length
+
+
+def test_no_numpy_fallback(monkeypatch):
+    """With numpy disabled the dispatcher loops scalar kernels — same
+    results, no crash."""
+    batch = [uniform_workload(2, 40, 5, seed=s) for s in range(4)]
+    want = [simulate_fast(w, 6, 1, "S_LRU") for w in batch]
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    got = simulate_fast_batch(batch, 6, 1, "S_LRU", min_batch=1)
+    assert got == want
+    with pytest.raises(RuntimeError):
+        fast_shared_lru_batch(batch, 6, 1)
+
+
+def test_min_batch_threshold_keeps_scalar_path(monkeypatch):
+    """Below ``min_batch`` the batched kernel must not even be invoked
+    (it loses to the scalar loop there)."""
+
+    def boom(strategy):
+        raise AssertionError("batched kernel invoked below min_batch")
+
+    import repro.core.kernels as kernels
+
+    monkeypatch.setattr(kernels, "batched_kernel_for", boom)
+    batch = [uniform_workload(2, 20, 4, seed=s) for s in range(3)]
+    want = [simulate_fast(w, 6, 1, "S_LRU") for w in batch]
+    assert simulate_fast_batch(batch, 6, 1, "S_LRU") == want  # 3 < BATCH_MIN
+    if kernels.get_numpy() is not None:
+        # With numpy available, min_batch=1 must reach the kernel lookup.
+        with pytest.raises(AssertionError):
+            simulate_fast_batch(batch, 6, 1, "S_LRU", min_batch=1)
+
+
+def test_batch_min_env_override(monkeypatch):
+    from repro.core.kernels import _batch_min
+
+    assert _batch_min() == BATCH_MIN
+    monkeypatch.setenv("REPRO_BATCH_MIN", "7")
+    assert _batch_min() == 7
+    monkeypatch.setenv("REPRO_BATCH_MIN", "junk")
+    assert _batch_min() == BATCH_MIN
+
+
+def test_batched_kernel_for_is_type_exact():
+    class SneakyLRU(LRUPolicy):
+        pass
+
+    assert batched_kernel_for(SharedStrategy(LRUPolicy)) is (
+        fast_shared_lru_batch
+    )
+    assert batched_kernel_for(SharedStrategy(FIFOPolicy)) is (
+        fast_shared_fifo_batch
+    )
+    assert batched_kernel_for(SharedStrategy(SneakyLRU)) is None
+
+
+def test_mixed_core_counts_rejected():
+    batch = [Workload([[1, 2]]), Workload([[1], [2]])]
+    with pytest.raises(ValueError):
+        fast_shared_lru_batch(batch, 4, 1)
+
+
+def test_verify_oracle_covers_batched_engines():
+    """The cross-engine oracle now runs the batched kernels as a third
+    engine; a clean case must stay clean and a deliberately broken
+    batched result must be reported."""
+    from repro.verify.oracle import VerifyCase, check_case
+
+    case = VerifyCase.make([[1, 2, 1, 3], [10, 11, 10]], 4, 1)
+    assert check_case(case) == []
+
+
+def _sweep_workload(seed):
+    return zipf_workload(2, 60, 8, alpha=1.2, seed=seed)
+
+
+def test_batch_run_batched_path_matches_scalar(monkeypatch, tmp_path):
+    """`batch_run`'s serial batched path: same aggregates as the scalar
+    loop, and cache fingerprints shared both ways (a batched sweep warms
+    the cache for a scalar one and vice versa)."""
+    seeds = range(10)
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1000000")  # force scalar loop
+    scalar = batch_run(
+        "lru", _sweep_workload, lambda: SharedStrategy(LRUPolicy),
+        6, 1, seeds, cache=True, cache_dir=tmp_path,
+    )
+    assert scalar.cache_hits == 0
+    monkeypatch.setenv("REPRO_BATCH_MIN", "2")  # force batched path
+    batched = batch_run(
+        "lru", _sweep_workload, lambda: SharedStrategy(LRUPolicy),
+        6, 1, seeds, cache=True, cache_dir=tmp_path,
+    )
+    # Every replica must be served from the scalar run's cache entries.
+    assert batched.cache_hits == len(list(seeds))
+    assert batched.faults == scalar.faults
+    assert batched.makespans == scalar.makespans
+
+    # And the reverse: a batched cold run warms the cache for scalar.
+    cold_dir = tmp_path / "cold"
+    cold = batch_run(
+        "lru", _sweep_workload, lambda: SharedStrategy(LRUPolicy),
+        6, 1, seeds, cache=True, cache_dir=cold_dir,
+    )
+    assert cold.cache_hits == 0
+    assert cold.faults == scalar.faults
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1000000")
+    rescan = batch_run(
+        "lru", _sweep_workload, lambda: SharedStrategy(LRUPolicy),
+        6, 1, seeds, cache=True, cache_dir=cold_dir,
+    )
+    assert rescan.cache_hits == len(list(seeds))
+
+
+def test_batch_run_batched_path_no_cache(monkeypatch):
+    seeds = range(8)
+    monkeypatch.setenv("REPRO_BATCH_MIN", "2")
+    batched = batch_run(
+        "fifo", _sweep_workload, lambda: SharedStrategy(FIFOPolicy),
+        6, 1, seeds,
+    )
+    monkeypatch.setenv("REPRO_BATCH_MIN", "1000000")
+    scalar = batch_run(
+        "fifo", _sweep_workload, lambda: SharedStrategy(FIFOPolicy),
+        6, 1, seeds,
+    )
+    assert batched.faults == scalar.faults
+    assert batched.makespans == scalar.makespans
+    assert batched.seeds == scalar.seeds

@@ -1,0 +1,134 @@
+"""Property tests for the forward-distance oracle behind ``S_FITF``.
+
+The oracle answers "index of this page's next request at or after the
+core's current position" in O(1); every answer is checked against the
+brute-force binary-search scan (``RequestSequence.first_occurrence_from``)
+on random and adversarial workloads.  The oracle-backed kernel itself is
+checked against the scan-based reference kernel and the general
+simulator, on both the numpy and pure-python paths.
+"""
+
+import pytest
+
+from repro import GlobalFITFPolicy, SharedStrategy, Workload, simulate
+from repro.core.kernels.belady import fast_shared_fitf, fast_shared_fitf_scan
+from repro.core.kernels.fitf_oracle import BIGIDX, ForwardDistanceOracle
+from repro.workloads import (
+    cyclic_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+def _assert_oracle_matches_scans(w: Workload) -> None:
+    """Serve every position of every core in order, checking every
+    (core, page) cursor against the brute-force scan at every point."""
+    oracle = ForwardDistanceOracle.for_workload(w)
+    cursors = oracle.fresh_cursors()
+    pages = list(oracle.page_ids.items())
+    for c, seq in enumerate(w):
+        n = len(seq)
+        for pos in range(n + 1):
+            for page, pid in pages:
+                got = cursors.next_index(c, pid)
+                want = seq.first_occurrence_from(page, pos)
+                assert (got if got < BIGIDX else n) == want, (
+                    f"core {c} pos {pos} page {page!r}"
+                )
+            if pos < n:
+                cursors.advance(c, pos)
+
+
+RANDOM_WORKLOADS = [
+    uniform_workload(3, 40, 5, seed=s) for s in range(4)
+] + [
+    uniform_workload(2, 30, 4, shared_pages=2, seed=10 + s) for s in range(3)
+] + [
+    zipf_workload(2, 50, 7, alpha=1.3, seed=s) for s in range(3)
+]
+
+ADVERSARIAL_WORKLOADS = [
+    # Cyclic: every page recurs at a fixed stride.
+    cyclic_workload(2, 24, 5),
+    # One page repeated — the next-occurrence chain is a straight line.
+    Workload([["x"] * 12]),
+    # A page appearing exactly once, at the very end.
+    Workload([[1, 2, 1, 2, 1, 2, 3]]),
+    # Empty and non-empty cores mixed.
+    Workload([[], [5, 6, 5], []]),
+    # Mixed page types: tie-break order is by repr.
+    Workload([[("a", 1), "b", 3, ("a", 1), 3], ["b", "b", ("a", 1)]]),
+    # Ragged lengths.
+    Workload([[0, 1, 2] * 6, [0], [2, 1]]),
+]
+
+
+@pytest.mark.parametrize("w", RANDOM_WORKLOADS, ids=repr)
+def test_oracle_matches_brute_force_random(w):
+    _assert_oracle_matches_scans(w)
+
+
+@pytest.mark.parametrize("w", ADVERSARIAL_WORKLOADS, ids=repr)
+def test_oracle_matches_brute_force_adversarial(w):
+    _assert_oracle_matches_scans(w)
+
+
+def test_oracle_is_cached_on_workload():
+    w = uniform_workload(2, 10, 3, seed=0)
+    assert ForwardDistanceOracle.for_workload(w) is (
+        ForwardDistanceOracle.for_workload(w)
+    )
+
+
+def test_fresh_cursors_are_independent():
+    w = Workload([[1, 2, 1, 2]])
+    oracle = ForwardDistanceOracle.for_workload(w)
+    a, b = oracle.fresh_cursors(), oracle.fresh_cursors()
+    pid = oracle.page_ids[1]
+    a.advance(0, 0)
+    assert a.next_index(0, pid) == 2
+    assert b.next_index(0, pid) == 0
+
+
+KERNEL_CASES = [
+    (uniform_workload(3, 48, 6, seed=s), 8, tau)
+    for s in range(3)
+    for tau in (0, 1, 3)
+] + [
+    (uniform_workload(2, 40, 4, shared_pages=2, seed=7), 6, 1),
+    (zipf_workload(2, 60, 8, seed=9), 6, 2),
+    (cyclic_workload(2, 30, 6), 5, 1),
+    (Workload([[], [5, 6, 5], []]), 4, 1),
+]
+
+
+@pytest.mark.parametrize("w,K,tau", KERNEL_CASES)
+def test_oracle_kernel_matches_scan_and_simulator(w, K, tau):
+    oracle_res = fast_shared_fitf(w, K, tau)
+    scan_res = fast_shared_fitf_scan(w, K, tau)
+    general = simulate(w, K, tau, SharedStrategy(GlobalFITFPolicy()))
+    assert oracle_res == scan_res
+    assert oracle_res == general
+
+
+@pytest.mark.parametrize(
+    "w,K,tau",
+    [
+        (uniform_workload(3, 40, 5, seed=1), 8, 1),
+        (uniform_workload(2, 30, 4, shared_pages=2, seed=2), 6, 2),
+    ],
+)
+def test_oracle_kernel_python_path(monkeypatch, w, K, tau):
+    """With numpy disabled the pure-python oracle path must agree too."""
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    # A fresh workload: the cached oracle must be rebuilt without numpy.
+    w = Workload(w.as_lists())
+    assert fast_shared_fitf(w, K, tau) == fast_shared_fitf_scan(w, K, tau)
+
+
+def test_overflow_guard_falls_back_to_scan():
+    """An astronomical tau overflows the oracle's int64 index encoding;
+    the kernel must detect it and use the scan reference."""
+    w = Workload([[1, 2, 3, 1], [10, 11, 10]])
+    tau = BIGIDX  # (tau + 2) * (n + 2) clearly exceeds BIGIDX
+    assert fast_shared_fitf(w, 4, tau) == fast_shared_fitf_scan(w, 4, tau)

@@ -1,9 +1,15 @@
-"""Round-trip tests for trace JSONL export."""
+"""Round-trip tests for trace export: JSONL and the binary format."""
 
 import pytest
 
 from repro import LRUPolicy, SharedStrategy, Workload, simulate
 from repro.core import load_trace, save_trace
+from repro.core.trace_io import (
+    BinaryTraceWriter,
+    iter_trace_binary,
+    load_trace_binary,
+    save_trace_binary,
+)
 
 
 class TestTraceRoundTrip:
@@ -39,3 +45,88 @@ class TestTraceRoundTrip:
         path.write_text('{"t": 1}\n')
         with pytest.raises(ValueError, match="malformed"):
             load_trace(path)
+
+
+def _traced_run(workload, K=4, tau=1):
+    return simulate(
+        workload, K, tau, SharedStrategy(LRUPolicy), record_trace=True
+    )
+
+
+class TestBinaryTrace:
+    #: Non-string page ids: ints, tuples, nested tuples, strings mixed.
+    WORKLOADS = [
+        Workload([[1, 2, 3, 1, 2, 3], [10, 11] * 3]),
+        Workload([[("a", 0), ("a", 1), ("a", 0)], ["x", "y", "x", "y"]]),
+        Workload([[(("deep", 1), 2), 5, (("deep", 1), 2)], ["s"] * 4]),
+    ]
+
+    @pytest.mark.parametrize("w", WORKLOADS, ids=repr)
+    def test_binary_equals_text_roundtrip(self, w, tmp_path):
+        res = _traced_run(w)
+        bpath, tpath = tmp_path / "run.bin", tmp_path / "run.jsonl"
+        save_trace_binary(res.trace, bpath)
+        save_trace(res.trace, tpath)
+        from_binary = load_trace_binary(bpath)
+        from_text = load_trace(tpath)
+        assert list(from_binary) == list(from_text) == list(res.trace)
+
+    def test_chunked_iteration_matches(self, tmp_path):
+        res = _traced_run(Workload([[1, 2, 3, 4] * 8, [9, 8, 7] * 6]))
+        path = tmp_path / "run.bin"
+        save_trace_binary(res.trace, path)
+        for chunk in (1, 3, 1000):
+            events = list(iter_trace_binary(path, chunk_records=chunk))
+            assert events == list(res.trace)
+
+    def test_streaming_sink_through_simulator(self, tmp_path):
+        w = Workload([[1, 2, 3, 1, 2], [5, 6, 5]])
+        res = _traced_run(w)
+        path = tmp_path / "streamed.bin"
+        with BinaryTraceWriter(path) as sink:
+            streamed = simulate(
+                w, 4, 1, SharedStrategy(LRUPolicy), trace_sink=sink
+            )
+        assert streamed.trace is None  # sink does not imply record_trace
+        assert streamed.faults_per_core == res.faults_per_core
+        assert list(load_trace_binary(path)) == list(res.trace)
+
+    def test_empty_trace(self, tmp_path):
+        from repro.core.trace import Trace
+
+        path = tmp_path / "empty.bin"
+        save_trace_binary(Trace(), path)
+        assert len(load_trace_binary(path)) == 0
+
+    def test_truncated_file_errors(self, tmp_path):
+        res = _traced_run(Workload([[1, 2, 3, 1, 2, 3]]))
+        path = tmp_path / "run.bin"
+        save_trace_binary(res.trace, path)
+        data = path.read_bytes()
+        bad = tmp_path / "bad.bin"
+        # Cut anywhere — mid-header, mid-records, mid-footer — and the
+        # reader must refuse rather than return partial events.
+        for cut in (0, 4, 20, len(data) // 2, len(data) - 1):
+            bad.write_bytes(data[:cut])
+            with pytest.raises(ValueError):
+                list(iter_trace_binary(bad))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "notatrace.bin"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            list(iter_trace_binary(path))
+
+    def test_corrupt_page_table(self, tmp_path):
+        res = _traced_run(Workload([[1, 2, 1]]))
+        path = tmp_path / "run.bin"
+        save_trace_binary(res.trace, path)
+        data = bytearray(path.read_bytes())
+        # The page table sits between the records and the footer; zero a
+        # byte inside it to break the JSON.
+        count = len(res.trace)
+        table_start = 8 + count * 25
+        data[table_start] = 0
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="page table"):
+            list(iter_trace_binary(path))

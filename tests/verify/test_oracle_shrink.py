@@ -80,19 +80,26 @@ class TestShrinker:
 
 
 BUGGY_SPECS = [
-    # (kernel name, module path, legal line, buggy line): each removes one
-    # pinned-victim legality check, the model's eviction-legality law.
+    # (kernel name, module path, legal line, buggy line, fn name): each
+    # removes one pinned-victim legality check, the model's
+    # eviction-legality law.  ``fn name`` overrides which function from
+    # the patched module is installed as the kernel (None = the registry
+    # kernel's own name); S_FITF's registry kernel dispatches to the
+    # forward-distance-oracle paths, so the scan reference is installed
+    # directly to make its injected bug live.
     (
         "S_FIFO",
         "repro.core.kernels.shared",
         "if busy_until[q] >= t or pinned_at.get(q) == t:",
         "if busy_until[q] >= t:",
+        None,
     ),
     (
         "S_FITF",
         "repro.core.kernels.belady",
         "if busy_until[q] >= t or pinned_at.get(q) == t:",
         "if busy_until[q] >= t:",
+        "fast_shared_fitf_scan",
     ),
 ]
 
@@ -102,10 +109,12 @@ class TestBugInjection:
     must be caught by the fuzzer and shrunk to <= 3 cores / <= 10 requests."""
 
     @pytest.mark.parametrize(
-        "kernel,module,legal,buggy", BUGGY_SPECS, ids=lambda v: str(v)[:12]
+        "kernel,module,legal,buggy,fn_name",
+        BUGGY_SPECS,
+        ids=lambda v: str(v)[:12],
     )
     def test_injected_bug_caught_and_shrunk(
-        self, monkeypatch, kernel, module, legal, buggy
+        self, monkeypatch, kernel, module, legal, buggy, fn_name
     ):
         import importlib
         import inspect
@@ -117,7 +126,9 @@ class TestBugInjection:
         patched = types.ModuleType(mod.__name__)
         exec(compile(source.replace(legal, buggy), mod.__file__, "exec"),
              patched.__dict__)
-        buggy_fn = getattr(patched, kernels_mod.KERNELS[kernel].__name__)
+        buggy_fn = getattr(
+            patched, fn_name or kernels_mod.KERNELS[kernel].__name__
+        )
         monkeypatch.setitem(kernels_mod.KERNELS, kernel, buggy_fn)
 
         report = fuzz(500, seed=0, strategies=[kernel])

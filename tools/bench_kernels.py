@@ -15,6 +15,13 @@ cached batch runner accelerate:
 Run ``--phase before`` at the old code state and ``--phase after`` at the
 new one; both merge into the same JSON file so the speedups are
 reproducible measurements, not estimates.
+
+``--check --max-regression PCT`` is the CI regression gate: it re-times
+the ``after`` suite and exits nonzero if any timing regressed more than
+``PCT`` percent against the committed BENCH_kernels.json.  The default
+threshold is deliberately loose — shared CI runners jitter by tens of
+percent — so only order-of-magnitude regressions (a kernel silently
+falling back to the general simulator, say) trip it.
 """
 
 from __future__ import annotations
@@ -134,11 +141,77 @@ def run_phase(phase: str) -> dict[str, float]:
     return timings
 
 
+#: Why ``before`` carries a ``sweep_e14_warm`` entry equal to cold: the
+#: pre-kernel-registry code had no on-disk result cache, so a "warm"
+#: rerun re-simulated everything — warm and cold were the same run.
+_WARM_BASELINE_NOTE = (
+    "before.sweep_e14_warm equals before.sweep_e14_cold: the pre-registry "
+    "code had no result cache, so a warm rerun re-simulated from scratch"
+)
+
+
+def check_regression(path: str, max_regression: float) -> int:
+    """Re-time the ``after`` suite and compare against the committed
+    timings in ``path``; nonzero exit on any regression past the
+    threshold (percent)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            committed = json.load(fh).get("after") or {}
+    except (OSError, ValueError):
+        committed = {}
+    if not committed:
+        print(f"no committed 'after' timings in {path}; nothing to check")
+        return 2
+    fresh = run_phase("after")
+    regressions = []
+    for name in sorted(committed):
+        base, new = committed[name], fresh.get(name)
+        if not base or new is None:
+            continue
+        delta = (new - base) / base * 100.0
+        bad = delta > max_regression
+        print(
+            f"{name:26s} {base*1e3:9.1f} -> {new*1e3:9.1f} ms "
+            f"{delta:+7.1f}%  {'REGRESSION' if bad else 'ok'}"
+        )
+        if bad:
+            regressions.append((name, delta))
+    if regressions:
+        print(
+            f"\n{len(regressions)} timing(s) regressed more than "
+            f"{max_regression:g}% vs {path}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    print(f"\nall timings within {max_regression:g}% of {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--phase", choices=("before", "after"), required=True)
+    parser.add_argument("--phase", choices=("before", "after"))
     parser.add_argument("--output", default="BENCH_kernels.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh 'after' run against the committed timings "
+        "instead of rewriting them",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=75.0,
+        metavar="PCT",
+        help="with --check: fail if any timing is more than PCT percent "
+        "slower than committed (default %(default)s)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        return check_regression(args.output, args.max_regression)
+    if args.phase is None:
+        parser.error("--phase is required unless --check is given")
 
     data = {}
     if os.path.exists(args.output):
@@ -155,12 +228,15 @@ def main(argv=None) -> int:
         }
     )
     data[args.phase] = run_phase(args.phase)
+    before = data.get("before")
+    if before and "sweep_e14_warm" not in before:
+        if "sweep_e14_cold" in before:
+            before["sweep_e14_warm"] = before["sweep_e14_cold"]
+            data["meta"]["warm_baseline"] = _WARM_BASELINE_NOTE
     if "before" in data and "after" in data:
         speedups = {}
         for name, after in data["after"].items():
-            base = data["before"].get(
-                "sweep_e14_cold" if name == "sweep_e14_warm" else name
-            )
+            base = data["before"].get(name)
             if base and after:
                 speedups[name] = round(base / after, 2)
         data["speedup_vs_before"] = speedups
