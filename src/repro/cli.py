@@ -6,9 +6,21 @@ Commands
 ``experiment E7 [--scale full] [--markdown]``
     Run one reproduction experiment and print its table + checks.
 ``report [--scale full] [--output EXPERIMENTS.md]``
-    Run every experiment and emit the paper-vs-measured report.
-``compare --workload zipf --tau 4 [...]``
-    Run the strategy panel on a generated workload and tabulate faults.
+    Run every experiment and emit the paper-vs-measured report (a thin
+    wrapper over the platform engine; use ``run`` for a locked record).
+``run SPEC [--set key=value ...] [--force] [--runs-dir DIR]``
+    Execute a declarative experiment spec (JSON/YAML) under the run
+    registry: content-addressed run ID, locked spec, byte-deterministic
+    metric tables, journaled resume, cache-hit reruns (docs/PLATFORM.md).
+``compare RUN_A RUN_B [--rel-tol 0.01]``
+    Regression/diff report between two registry runs; exits non-zero on
+    any surviving difference (the CI gate).  Invoked with no run IDs it
+    falls back to the deprecated strategy-panel alias (see ``panel``).
+``runs [--runs-dir DIR]``
+    List the completed runs in the registry.
+``panel --workload zipf --tau 4 [...]``
+    Run the strategy panel on a generated workload and tabulate faults
+    (formerly ``compare``).
 ``simulate --workload-file w.trace --strategy S_LRU -K 8 --tau 1``
     Simulate one strategy on a workload from a trace file.
 ``generate --workload phased -p 4 -n 500 --output w.trace``
@@ -180,7 +192,7 @@ def cmd_report(args) -> int:
     return 0 if ok else 1
 
 
-def cmd_compare(args) -> int:
+def cmd_panel(args) -> int:
     workload = make_workload(args)
     specs = args.strategies or [
         "S_LRU",
@@ -200,6 +212,97 @@ def cmd_compare(args) -> int:
         res = simulate(workload, args.cache_size, args.tau, strategy)
         table.add_row(spec, res.total_faults, res.fault_rate(), res.makespan)
     print(table.format_ascii())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Dual verb: two run IDs → registry run diff; none → the deprecated
+    strategy-panel alias (``repro panel`` is the new name)."""
+    refs = args.runs or []
+    if len(refs) == 2:
+        return _cmd_run_diff(args, refs)
+    if refs:
+        raise SystemExit(
+            "compare takes exactly two run references (run diff) or none "
+            "(deprecated panel alias; use `repro panel`)"
+        )
+    print(
+        "warning: `repro compare` without run IDs is deprecated; "
+        "use `repro panel` for the strategy panel",
+        file=sys.stderr,
+    )
+    return cmd_panel(args)
+
+
+def _cmd_run_diff(args, refs) -> int:
+    from repro.platform import RunNotFound, diff_runs, resolve_run
+
+    try:
+        run_a = resolve_run(refs[0], args.runs_dir)
+        run_b = resolve_run(refs[1], args.runs_dir)
+    except RunNotFound as exc:
+        raise SystemExit(str(exc))
+    diff = diff_runs(run_a, run_b, rel_tol=args.rel_tol)
+    print(diff.format_markdown() if args.markdown else diff.format_ascii())
+    return 0 if diff.empty else 1
+
+
+def cmd_run(args) -> int:
+    from repro.platform import SpecError, run_spec, spec_from_cli
+
+    try:
+        spec = spec_from_cli(args.spec, args.set)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    record = run_spec(
+        spec,
+        runs_dir=args.runs_dir,
+        force=args.force,
+        fail_fast=args.fail_fast,
+        on_progress=(
+            None
+            if args.quiet
+            else lambda eid, payload: print(
+                f"  {eid:4} {payload['verdict']:12} "
+                f"{payload.get('seconds', 0.0):.2f}s",
+                file=sys.stderr,
+            )
+        ),
+    )
+    status = "cached" if record.cached else (
+        f"ran ({record.resumed} resumed)" if record.resumed else "ran"
+    )
+    print(f"run {record.run_id}: {status}")
+    print(f"  spec    : {record.spec['name']} (scale={record.spec['scale']})")
+    print(f"  folder  : {record.path}")
+    print(f"  verdicts: {_verdict_counts(record)}")
+    for eid, error in sorted(record.errors.items()):
+        print(f"  ERROR {eid}: {error}")
+    return 0 if record.ok else 1
+
+
+def _verdict_counts(record) -> str:
+    counts: dict[str, int] = {}
+    for verdict in record.verdicts.values():
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return ", ".join(f"{n} {v}" for v, n in sorted(counts.items()))
+
+
+def cmd_runs(args) -> int:
+    from repro.platform import list_runs
+
+    records = list_runs(args.runs_dir)
+    if not records:
+        print("no completed runs in the registry")
+        return 0
+    for record in records:
+        summary = record.summary()
+        flags = "ok" if summary["ok"] else f"{summary['errors']} error(s)"
+        print(
+            f"{record.run_id}  {summary['name'] or '-':12} "
+            f"scale={summary['scale']:5} experiments={summary['experiments']:2} "
+            f"{flags}"
+        )
     return 0
 
 
@@ -524,7 +627,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.set_defaults(func=cmd_report, fail_fast=False)
 
-    sub = subs.add_parser("compare", help="strategy panel on a workload")
+    sub = subs.add_parser(
+        "run",
+        help="execute a declarative experiment spec under the run registry",
+    )
+    sub.add_argument("spec", help="path to a JSON or YAML experiment spec")
+    sub.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path (repeatable), e.g. "
+        "--set model.tau=2 --set experiments='[\"E1\",\"E7\"]'",
+    )
+    sub.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run registry root (default .repro_runs or $REPRO_RUNS_DIR)",
+    )
+    sub.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even if a completed run for this spec exists",
+    )
+    sub.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first crashing experiment instead of recording "
+        "an ERROR row",
+    )
+    sub.add_argument(
+        "-q", "--quiet", action="store_true", help="no per-experiment progress"
+    )
+    sub.set_defaults(func=cmd_run)
+
+    sub = subs.add_parser(
+        "runs", help="list completed runs in the registry"
+    )
+    sub.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run registry root (default .repro_runs or $REPRO_RUNS_DIR)",
+    )
+    sub.set_defaults(func=cmd_runs)
+
+    sub = subs.add_parser("panel", help="strategy panel on a workload")
+    _add_workload_args(sub)
+    sub.add_argument(
+        "--strategies", nargs="*", default=None, help=STRATEGY_HELP
+    )
+    sub.set_defaults(func=cmd_panel)
+
+    sub = subs.add_parser(
+        "compare",
+        help="diff two registry runs (or, deprecated, the strategy panel)",
+    )
+    sub.add_argument(
+        "runs",
+        nargs="*",
+        default=None,
+        metavar="RUN",
+        help="two run references (IDs, unique prefixes, or folder paths); "
+        "omit both for the deprecated panel alias",
+    )
+    sub.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run registry root (default .repro_runs or $REPRO_RUNS_DIR)",
+    )
+    sub.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="suppress numeric metric deltas within this relative "
+        "tolerance (threshold gate; default 0 = exact)",
+    )
+    sub.add_argument(
+        "--markdown", action="store_true", help="render the diff as markdown"
+    )
     _add_workload_args(sub)
     sub.add_argument(
         "--strategies", nargs="*", default=None, help=STRATEGY_HELP
@@ -673,7 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--kind",
         required=True,
-        help="job kind: simulate, experiment, sweep, or opt",
+        help="job kind: simulate, experiment, sweep, opt, or run",
     )
     sub.add_argument(
         "--param",

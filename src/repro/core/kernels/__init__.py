@@ -74,13 +74,29 @@ BATCH_MIN = 128
 
 def _batch_min() -> int:
     import os
+    import warnings
 
     raw = os.environ.get("REPRO_BATCH_MIN")
     if raw:
         try:
-            return int(raw)
+            value = int(raw)
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid REPRO_BATCH_MIN={raw!r} (not an "
+                f"integer); using the default {BATCH_MIN}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return BATCH_MIN
+        if value < 1:
+            warnings.warn(
+                f"REPRO_BATCH_MIN={value} is not a valid batch width; "
+                f"clamping to 1",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+        return value
     return BATCH_MIN
 
 

@@ -29,7 +29,7 @@ from repro.experiments import (
     e17_scheduling_power,
     e18_parallel_fetch,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, param_overrides
 
 #: Registry of experiment modules, keyed by experiment id.
 EXPERIMENTS = {
@@ -57,8 +57,19 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"E7"``)."""
+def run_experiment(
+    experiment_id: str,
+    scale: str = "small",
+    overrides: dict | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E7"``).
+
+    ``overrides`` maps parameter names (``tau``, ``n``, ``K``, ...) to
+    replacement values; they apply to the keys the experiment's own
+    parameter set defines (see
+    :func:`repro.experiments.base.param_overrides`) and come from the
+    declarative spec layer (:mod:`repro.platform`).
+    """
     try:
         module = EXPERIMENTS[experiment_id.upper()]
     except KeyError:
@@ -66,6 +77,9 @@ def run_experiment(experiment_id: str, scale: str = "small") -> ExperimentResult
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
+    if overrides:
+        with param_overrides(overrides):
+            return module.run(scale=scale)
     return module.run(scale=scale)
 
 

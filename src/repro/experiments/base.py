@@ -15,22 +15,73 @@ free-text notes.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import Table
 
-__all__ = ["ExperimentError", "ExperimentResult", "Scale", "scale_params"]
+__all__ = [
+    "ExperimentError",
+    "ExperimentResult",
+    "Scale",
+    "param_overrides",
+    "scale_params",
+]
 
 Scale = str  # "small" | "full"
 
+#: Overrides installed by :func:`param_overrides` (a context variable so
+#: concurrent service workers running different specs cannot interfere).
+_OVERRIDES: contextvars.ContextVar[dict | None] = contextvars.ContextVar(
+    "repro_param_overrides", default=None
+)
+
+
+@contextlib.contextmanager
+def param_overrides(overrides: dict | None):
+    """Install experiment-parameter overrides for the enclosed block.
+
+    While active, :func:`scale_params` merges ``overrides`` into the
+    chosen parameter set *for the keys the experiment actually defines*
+    (an override for ``tau`` applies to every experiment with a ``tau``
+    parameter and is ignored by the ones without).  This is how
+    declarative spec ``model``/``workload`` sections
+    (:mod:`repro.platform.spec`) reach the experiment modules without
+    every module growing a parameter-plumbing signature.
+    """
+    token = _OVERRIDES.set(dict(overrides) if overrides else None)
+    try:
+        yield
+    finally:
+        _OVERRIDES.reset(token)
+
 
 def scale_params(scale: Scale, small: dict, full: dict) -> dict:
-    """Pick the parameter set for a scale, validating the name."""
+    """Pick the parameter set for a scale, validating the name.
+
+    Any overrides installed by :func:`param_overrides` are merged in for
+    keys present in the chosen set; a list override for a tuple-valued
+    parameter is coerced to a tuple so experiment code iterating shapes
+    stays unchanged.
+    """
     if scale == "small":
-        return dict(small)
-    if scale == "full":
-        return dict(full)
-    raise ValueError(f"unknown scale {scale!r} (use 'small' or 'full')")
+        params = dict(small)
+    elif scale == "full":
+        params = dict(full)
+    else:
+        raise ValueError(f"unknown scale {scale!r} (use 'small' or 'full')")
+    overrides = _OVERRIDES.get()
+    if overrides:
+        for key, value in overrides.items():
+            if key not in params:
+                continue
+            if isinstance(params[key], tuple) and isinstance(
+                value, (list, tuple)
+            ):
+                value = tuple(value)
+            params[key] = value
+    return params
 
 
 @dataclass
@@ -105,6 +156,11 @@ class ExperimentError:
     #: Compact traceback summary: ``ExcType: message (file:line in func)``.
     error: str
     seconds: float = 0.0
+    #: Replica fingerprint: a content hash of the exact (spec, experiment)
+    #: configuration that crashed, stamped by the run machinery so the
+    #: failure is replayable (``repro run SPEC --set experiments=ID``)
+    #: instead of being an anonymous traceback.
+    fingerprint: str = ""
 
     @property
     def ok(self) -> bool:
@@ -114,15 +170,25 @@ class ExperimentError:
         return "ERROR"
 
     def format_ascii(self) -> str:
-        return (
+        text = (
             f"=== {self.id}: {self.title} [ERROR] ===\n"
             f"  crashed after {self.seconds:.2f}s: {self.error}"
         )
+        if self.fingerprint:
+            text += f"\n  replica: {self.fingerprint}"
+        return text
 
     def format_markdown(self) -> str:
-        return (
+        text = (
             f"### {self.id} — {self.title}\n\n"
             f"**Verdict: ERROR**\n\n"
             f"The experiment crashed after {self.seconds:.2f}s:\n\n"
             f"```\n{self.error}\n```"
         )
+        if self.fingerprint:
+            text += (
+                f"\n\nReplica fingerprint `{self.fingerprint}` — replay "
+                f"with `repro run SPEC --set experiments={self.id}` "
+                f"against the locked spec."
+            )
+        return text

@@ -1,21 +1,20 @@
 """EXPERIMENTS.md generation: the paper-vs-measured record as a library
 function, used by ``python -m repro report`` and by the release process.
 
-Each experiment runs in isolation: one crashing experiment becomes an
-``ERROR`` row carrying a traceback summary and its wall time instead of
-aborting the other seventeen (``fail_fast=True`` restores the abort for
-debugging).  Every row records per-experiment wall time so regressions
-in the report's own cost are visible in the artifact.
+This module is now a thin rendering wrapper over the experiment-lifecycle
+platform (:mod:`repro.platform`): ``repro report`` builds the default
+all-experiments spec for the requested scale and executes it through the
+same engine as ``repro run``, so the two can never drift.  Each
+experiment runs in isolation: one crashing experiment becomes an
+``ERROR`` row carrying a traceback summary, its wall time, and its
+replica fingerprint (so the failure is replayable) instead of aborting
+the other seventeen (``fail_fast=True`` restores the abort for
+debugging).
 """
 
 from __future__ import annotations
 
-import time
-import traceback
 from pathlib import Path
-
-from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.base import ExperimentError
 
 __all__ = ["experiments_report", "run_all_supervised", "write_experiments_md"]
 
@@ -32,11 +31,11 @@ rate, crossover point, exact equality — is checked on the measured data.
 
 Everything below was produced by `repro.experiments.run_all(scale="{scale}")`.
 Regenerate with `python -m repro report --scale {scale} --output EXPERIMENTS.md`,
-or run `pytest benchmarks/ --benchmark-only` to re-execute each
-experiment under the benchmark harness; see DESIGN.md §3 for the
-experiment index mapping claims to modules and bench targets, and
-`benchmarks/bench_ablations.py` for the ablations of the documented
-modelling decisions.
+or run a locked spec through the run registry with `python -m repro run`
+(docs/PLATFORM.md) to get a content-addressed, diffable record; see
+DESIGN.md §3 for the experiment index mapping claims to modules and bench
+targets, and `benchmarks/bench_ablations.py` for the ablations of the
+documented modelling decisions.
 
 Absolute numbers are simulator-model quantities (fault counts of the
 discrete-time model), so they are exactly reproducible — there is no
@@ -51,42 +50,19 @@ exact equalities/bounds the theory predicts.
 """
 
 
-def _error_summary(exc: BaseException) -> str:
-    """``ExcType: message (file:line in func)`` for the innermost frame."""
-    frames = traceback.extract_tb(exc.__traceback__)
-    location = ""
-    if frames:
-        frame = frames[-1]
-        location = f" ({Path(frame.filename).name}:{frame.lineno} in {frame.name})"
-    return f"{type(exc).__name__}: {exc}{location}"
-
-
 def run_all_supervised(scale: str = "small", *, fail_fast: bool = False):
     """Run every experiment in id order, isolating crashes.
 
-    Returns a list of :class:`~repro.experiments.base.ExperimentResult`
-    and (for crashed experiments, unless ``fail_fast``)
+    Thin wrapper: executes the default all-experiments spec through
+    :func:`repro.platform.execute_spec`.  Returns a list of
+    :class:`~repro.experiments.base.ExperimentResult` and (for crashed
+    experiments, unless ``fail_fast``)
     :class:`~repro.experiments.base.ExperimentError` entries, each with
     its wall time stamped.
     """
-    results = []
-    for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
-        start = time.perf_counter()
-        try:
-            result = run_experiment(eid, scale=scale)
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            if fail_fast:
-                raise
-            result = ExperimentError(
-                id=eid,
-                title=getattr(EXPERIMENTS[eid], "TITLE", eid),
-                error=_error_summary(exc),
-            )
-        result.seconds = time.perf_counter() - start
-        results.append(result)
-    return results
+    from repro.platform import default_spec, execute_spec
+
+    return execute_spec(default_spec(scale=scale), fail_fast=fail_fast)
 
 
 def experiments_report(
@@ -98,6 +74,12 @@ def experiments_report(
     failed *or* any experiment crashed.
     """
     results = run_all_supervised(scale=scale, fail_fast=fail_fast)
+    return render_report(results, scale=scale)
+
+
+def render_report(results, *, scale: str) -> tuple[str, bool]:
+    """Render result objects (live or rebuilt from registry payloads via
+    :func:`repro.platform.payload_to_stub`) as the EXPERIMENTS.md text."""
     summary = [
         f"| {r.id} | {r.title} | {r.verdict()} | {r.seconds:.2f}s |"
         for r in results

@@ -1,0 +1,79 @@
+"""The experiment-lifecycle platform: declarative specs, a
+content-addressed run registry, and run-diff reports.
+
+The golden path (docs/PLATFORM.md)::
+
+    spec.yaml  --repro run-->  .repro_runs/<run_id>/  --repro compare-->  diff
+
+* :mod:`repro.platform.spec` — parse JSON/YAML specs, apply ``--set``
+  overrides, canonicalize, fingerprint.  Equivalent specs (key order,
+  source format, file-vs-override) share one fingerprint and one run ID.
+* :mod:`repro.platform.runner` — execute a spec with per-experiment
+  crash isolation, journaled resume, and cache-hit returns for already
+  completed runs.
+* :mod:`repro.platform.registry` — the ``.repro_runs/`` store: locked
+  specs, byte-deterministic metric tables, error replay descriptors,
+  environment stamps.
+* :mod:`repro.platform.diff` — regression/diff reports between two runs,
+  threshold-gated for CI.
+"""
+
+from __future__ import annotations
+
+from repro.platform.diff import MetricDelta, RunDiff, diff_runs
+from repro.platform.registry import (
+    RunNotFound,
+    RunRecord,
+    default_runs_dir,
+    environment_stamp,
+    list_runs,
+    load_run,
+    resolve_run,
+)
+from repro.platform.runner import (
+    execute_spec,
+    payload_to_stub,
+    result_to_payload,
+    run_spec,
+)
+from repro.platform.spec import (
+    SPEC_SCHEMA,
+    SpecError,
+    apply_set_overrides,
+    canonicalize_spec,
+    default_spec,
+    experiment_overrides,
+    load_spec,
+    replica_fingerprint,
+    run_id_for,
+    spec_fingerprint,
+    spec_from_cli,
+)
+
+__all__ = [
+    "MetricDelta",
+    "RunDiff",
+    "RunNotFound",
+    "RunRecord",
+    "SPEC_SCHEMA",
+    "SpecError",
+    "apply_set_overrides",
+    "canonicalize_spec",
+    "default_runs_dir",
+    "default_spec",
+    "diff_runs",
+    "environment_stamp",
+    "execute_spec",
+    "experiment_overrides",
+    "list_runs",
+    "load_run",
+    "load_spec",
+    "payload_to_stub",
+    "replica_fingerprint",
+    "resolve_run",
+    "result_to_payload",
+    "run_id_for",
+    "run_spec",
+    "spec_fingerprint",
+    "spec_from_cli",
+]

@@ -1,0 +1,272 @@
+"""Spec execution: run experiments under a locked spec, crash-safely.
+
+:func:`execute_spec` is the in-memory engine — it runs the spec's
+experiments in id order with per-experiment crash isolation (a crashing
+experiment becomes an ``ERROR`` result carrying a replica fingerprint
+instead of aborting its neighbours) and is what ``repro report`` now
+wraps.  :func:`run_spec` adds the registry half: results stream into a
+:class:`repro.runtime.supervisor.Journal` under the run folder as they
+complete, so a SIGKILLed run re-invoked with the same spec resumes where
+it left off, and a *completed* run folder is returned whole as a cache
+hit without executing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+import traceback
+from pathlib import Path
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentError, ExperimentResult
+from repro.platform.registry import (
+    RunRecord,
+    default_runs_dir,
+    environment_stamp,
+    load_run,
+)
+from repro.platform.spec import (
+    canonicalize_spec,
+    experiment_overrides,
+    replica_fingerprint,
+    run_id_for,
+    spec_fingerprint,
+)
+from repro.runtime.supervisor import Journal
+
+__all__ = [
+    "execute_spec",
+    "payload_to_stub",
+    "result_to_payload",
+    "run_spec",
+]
+
+
+def _error_summary(exc: BaseException) -> str:
+    """``ExcType: message (file:line in func)`` for the innermost frame."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    location = ""
+    if frames:
+        frame = frames[-1]
+        location = f" ({Path(frame.filename).name}:{frame.lineno} in {frame.name})"
+    return f"{type(exc).__name__}: {exc}{location}"
+
+
+def _run_one(spec: dict, eid: str, *, fail_fast: bool):
+    """One experiment under the spec, crash-isolated, wall time stamped."""
+    from repro.experiments import EXPERIMENTS
+
+    overrides = experiment_overrides(spec)
+    start = time.perf_counter()
+    try:
+        result = run_experiment(eid, scale=spec["scale"], overrides=overrides)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        if fail_fast:
+            raise
+        result = ExperimentError(
+            id=eid,
+            title=getattr(EXPERIMENTS[eid], "TITLE", eid),
+            error=_error_summary(exc),
+            fingerprint=replica_fingerprint(spec, eid),
+        )
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def execute_spec(spec: dict, *, fail_fast: bool = False) -> list:
+    """Run every experiment the spec selects, in id order.
+
+    Returns a list of :class:`ExperimentResult` /
+    :class:`ExperimentError` objects (the latter only without
+    ``fail_fast``).  Purely in-memory: no registry folder is written —
+    that is :func:`run_spec`'s job.
+    """
+    spec = canonicalize_spec(spec)
+    return [
+        _run_one(spec, eid, fail_fast=fail_fast)
+        for eid in spec["experiments"]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# result (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def result_to_payload(result) -> dict:
+    """The JSON payload for one experiment outcome.
+
+    Everything except ``seconds`` is deterministic for a given (spec,
+    code) pair; the registry strips ``seconds`` before writing metric
+    tables so those files are byte-identical across identical runs.
+    """
+    payload = {
+        "id": result.id,
+        "title": result.title,
+        "verdict": result.verdict(),
+        "ok": bool(result.ok),
+        "seconds": round(result.seconds, 3),
+    }
+    if isinstance(result, ExperimentError):
+        payload["error"] = result.error
+        payload["fingerprint"] = result.fingerprint
+    else:
+        payload["claim"] = result.claim
+        payload["checks"] = dict(result.checks)
+        payload["notes"] = result.notes
+        payload["table"] = {
+            "title": result.table.title,
+            "columns": list(result.table.columns),
+            "rows": [list(row) for row in result.table.rows],
+        }
+    return payload
+
+
+def payload_to_stub(payload: dict):
+    """Rebuild a result object from its payload (for rendering resumed or
+    cached runs with the standard formatters)."""
+    from repro.analysis.tables import Table
+
+    if payload.get("verdict") == "ERROR":
+        return ExperimentError(
+            id=payload["id"],
+            title=payload["title"],
+            error=payload.get("error", ""),
+            seconds=payload.get("seconds", 0.0),
+            fingerprint=payload.get("fingerprint", ""),
+        )
+    table_data = payload.get("table", {})
+    table = Table(table_data.get("title", ""), table_data.get("columns", []))
+    table.rows = [list(row) for row in table_data.get("rows", [])]
+    return ExperimentResult(
+        id=payload["id"],
+        title=payload["title"],
+        claim=payload.get("claim", ""),
+        table=table,
+        checks=dict(payload.get("checks", {})),
+        notes=payload.get("notes", ""),
+        seconds=payload.get("seconds", 0.0),
+    )
+
+
+def _metric_body(payload: dict) -> dict:
+    """The deterministic slice of a payload (wall time excluded)."""
+    return {k: v for k, v in payload.items() if k != "seconds"}
+
+
+def _write_json(path: Path, body) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(body, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry-backed runs
+# ---------------------------------------------------------------------------
+
+
+def run_spec(
+    spec: dict,
+    *,
+    runs_dir=None,
+    force: bool = False,
+    fail_fast: bool = False,
+    on_progress=None,
+) -> RunRecord:
+    """Run a spec under the registry; return its :class:`RunRecord`.
+
+    * The run ID is content-addressed (spec + code generation), so a
+      **completed** folder for this spec is returned as a cache hit
+      without executing anything (``record.cached``); ``force=True``
+      deletes and recomputes it.
+    * An **interrupted** folder (journal present, ``run.json`` absent)
+      resumes: journaled experiments are restored, the rest run.
+    * Each experiment's payload is journaled the moment it completes
+      (crash-safe via :class:`repro.runtime.supervisor.Journal`), and the
+      folder is finalised — metric tables, error replay descriptors,
+      ``run.json`` — only after the last one.
+    """
+    spec = canonicalize_spec(spec)
+    rid = run_id_for(spec)
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    folder = root / rid
+
+    if (folder / "run.json").is_file():
+        if not force:
+            return load_run(folder)
+        shutil.rmtree(folder)
+
+    folder.mkdir(parents=True, exist_ok=True)
+    _write_json(folder / "spec.lock.json", spec)
+
+    payloads: dict = {}
+    seconds: dict = {}
+    resumed = 0
+    journal = Journal(folder / "journal.jsonl", rid)
+    try:
+        for eid in spec["experiments"]:
+            if eid in journal.completed:
+                payload = dict(journal.completed[eid])
+                resumed += 1
+            else:
+                result = _run_one(spec, eid, fail_fast=fail_fast)
+                payload = result_to_payload(result)
+                journal.record(eid, payload)
+            payloads[eid] = payload
+            seconds[eid] = payload.get("seconds", 0.0)
+            if on_progress is not None:
+                on_progress(eid, payload)
+    finally:
+        journal.close()
+
+    for eid, payload in payloads.items():
+        _write_json(folder / "metrics" / f"{eid}.json", _metric_body(payload))
+        if payload.get("verdict") == "ERROR":
+            _write_json(
+                folder / "errors" / f"{eid}.json",
+                {
+                    "schema": "repro-run-error/1",
+                    "id": eid,
+                    "error": payload.get("error", ""),
+                    "fingerprint": payload.get("fingerprint", ""),
+                    "run_id": rid,
+                    "spec": spec,
+                    "replay": (
+                        f"python -m repro run {folder / 'spec.lock.json'} "
+                        f"--set experiments={eid} --force"
+                    ),
+                },
+            )
+
+    environment = environment_stamp()
+    _write_json(
+        folder / "run.json",
+        {
+            "schema": 1,
+            "run_id": rid,
+            "spec_fingerprint": spec_fingerprint(spec),
+            "name": spec["name"],
+            "scale": spec["scale"],
+            "ok": all(p.get("ok") for p in payloads.values()),
+            "verdicts": {e: p.get("verdict") for e, p in payloads.items()},
+            "seconds": seconds,
+            "total_seconds": round(sum(seconds.values()), 3),
+            "created_at": time.time(),
+            "environment": environment,
+        },
+    )
+    return RunRecord(
+        run_id=rid,
+        spec=spec,
+        payloads=payloads,
+        path=folder,
+        cached=False,
+        resumed=resumed,
+        seconds=seconds,
+        environment=environment,
+    )

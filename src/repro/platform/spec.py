@@ -1,0 +1,345 @@
+"""Declarative experiment specs: parse, override, canonicalize, fingerprint.
+
+A *spec* is a small JSON or YAML document describing one reproducible
+evaluation: which experiments to run, at which scale, under which model
+parameters (``K``, ``tau``, ``p``, inflight mode), workload/seed
+configuration, and budget.  Two textually different specs that describe
+the same work — different key order, YAML vs JSON source, values set in
+the file vs via ``--set`` overrides — canonicalize to the same dict and
+therefore the same **spec fingerprint**, which is what keys the run
+registry (:mod:`repro.platform.registry`), the batch result cache, and
+the job service's dedup store.
+
+Schema (every section optional)::
+
+    name: nightly            # label only; excluded from the fingerprint
+    experiments: all         # or a list ["E1", "E7"] or "E1,E7"
+    scale: small             # small | full
+    model:                   # model-parameter overrides
+      K: 16
+      tau: 2
+      p: 4
+      inflight: ftf          # ftf | pif (recorded; e19+ scenario hook)
+    workload:                # workload/seed overrides
+      n: 1000
+      seed: 3
+    budget:                  # exact-solver budget (docs/ROBUSTNESS.md)
+      deadline_s: 5.0
+      max_states: 200000
+
+``model`` and ``workload`` values reach the experiment modules through
+:func:`repro.experiments.base.param_overrides`: each override applies to
+every selected experiment whose parameter set defines that key and is
+ignored by the others, so one spec can retune the whole suite without
+per-experiment plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "SpecError",
+    "apply_set_overrides",
+    "canonicalize_spec",
+    "default_spec",
+    "experiment_overrides",
+    "load_spec",
+    "replica_fingerprint",
+    "run_id_for",
+    "spec_fingerprint",
+    "spec_from_cli",
+]
+
+#: Bump on any incompatible change to the canonical spec layout; it is
+#: embedded in every fingerprint, so old fingerprints become unreachable
+#: rather than ambiguous.
+SPEC_SCHEMA = 1
+
+_TOP_KEYS = ("name", "experiments", "scale", "model", "workload", "budget")
+_MODEL_KEYS = ("K", "tau", "p", "inflight")
+_WORKLOAD_KEYS = ("n", "seed")
+_BUDGET_KEYS = ("deadline_s", "max_states")
+_INFLIGHT_MODES = ("ftf", "pif")
+
+
+class SpecError(ValueError):
+    """A spec failed validation; the message names the offending field."""
+
+
+def _known_experiments() -> dict:
+    from repro.experiments import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def _require_int(section: str, key: str, value, *, minimum: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecError(
+            f"spec {section}.{key} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise SpecError(
+            f"spec {section}.{key} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _normalize_experiments(value) -> list[str]:
+    known = _known_experiments()
+    if value is None or value == "all":
+        ids = list(known)
+    else:
+        if isinstance(value, str):
+            value = [part for part in value.split(",") if part.strip()]
+        if not isinstance(value, (list, tuple)) or not value:
+            raise SpecError(
+                "spec experiments must be 'all', an experiment id, or a "
+                f"non-empty list of ids, got {value!r}"
+            )
+        ids = []
+        for item in value:
+            eid = str(item).strip().upper()
+            if eid not in known:
+                raise SpecError(
+                    f"spec names unknown experiment {item!r}; known: "
+                    f"{', '.join(sorted(known))}"
+                )
+            if eid not in ids:
+                ids.append(eid)
+    return sorted(ids, key=lambda e: int(e[1:]))
+
+
+def _normalize_section(section: str, value, allowed: tuple[str, ...]) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise SpecError(f"spec {section} must be a mapping, got {value!r}")
+    unknown = sorted(set(value) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"spec {section} has unknown key(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(allowed)}"
+        )
+    return dict(value)
+
+
+def canonicalize_spec(raw: dict) -> dict:
+    """Validate ``raw`` and return the canonical spec dict.
+
+    Canonicalization is idempotent and injective up to equivalence: any
+    two raw specs describing the same work produce identical canonical
+    dicts (and so identical fingerprints), and every invalid field is a
+    :class:`SpecError` naming the problem.
+    """
+    if not isinstance(raw, dict):
+        raise SpecError(f"a spec must be a mapping, got {type(raw).__name__}")
+    unknown = sorted(set(raw) - set(_TOP_KEYS) - {"schema"})
+    if unknown:
+        raise SpecError(
+            f"spec has unknown top-level key(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(_TOP_KEYS)}"
+        )
+    schema = raw.get("schema", SPEC_SCHEMA)
+    if schema != SPEC_SCHEMA:
+        raise SpecError(
+            f"unsupported spec schema {schema!r} (this build understands "
+            f"{SPEC_SCHEMA})"
+        )
+
+    name = raw.get("name", "adhoc")
+    if not isinstance(name, str) or not name:
+        raise SpecError(f"spec name must be a non-empty string, got {name!r}")
+
+    scale = raw.get("scale", "small")
+    if scale not in ("small", "full"):
+        raise SpecError(f"spec scale must be 'small' or 'full', got {scale!r}")
+
+    model = _normalize_section("model", raw.get("model"), _MODEL_KEYS)
+    for key in ("K", "p"):
+        if key in model:
+            model[key] = _require_int("model", key, model[key], minimum=1)
+    if "tau" in model:
+        model["tau"] = _require_int("model", "tau", model["tau"], minimum=0)
+    if "inflight" in model and model["inflight"] not in _INFLIGHT_MODES:
+        raise SpecError(
+            f"spec model.inflight must be one of "
+            f"{', '.join(_INFLIGHT_MODES)}, got {model['inflight']!r}"
+        )
+
+    workload = _normalize_section(
+        "workload", raw.get("workload"), _WORKLOAD_KEYS
+    )
+    if "n" in workload:
+        workload["n"] = _require_int("workload", "n", workload["n"], minimum=1)
+    if "seed" in workload:
+        workload["seed"] = _require_int(
+            "workload", "seed", workload["seed"], minimum=0
+        )
+
+    budget = _normalize_section("budget", raw.get("budget"), _BUDGET_KEYS)
+    if "deadline_s" in budget:
+        deadline = budget["deadline_s"]
+        if not isinstance(deadline, (int, float)) or isinstance(
+            deadline, bool
+        ) or deadline <= 0:
+            raise SpecError(
+                f"spec budget.deadline_s must be a positive number, "
+                f"got {deadline!r}"
+            )
+        budget["deadline_s"] = float(deadline)
+    if "max_states" in budget:
+        budget["max_states"] = _require_int(
+            "budget", "max_states", budget["max_states"], minimum=1
+        )
+
+    return {
+        "schema": SPEC_SCHEMA,
+        "name": name,
+        "experiments": _normalize_experiments(raw.get("experiments")),
+        "scale": scale,
+        "model": {k: model[k] for k in sorted(model)},
+        "workload": {k: workload[k] for k in sorted(workload)},
+        "budget": {k: budget[k] for k in sorted(budget)},
+    }
+
+
+def default_spec(scale: str = "small", *, name: str = "report") -> dict:
+    """The canonical all-experiments spec ``repro report`` runs."""
+    return canonicalize_spec({"name": name, "scale": scale})
+
+
+def spec_fingerprint(spec: dict) -> str:
+    """sha256 over the canonical spec, *excluding* the display name.
+
+    Two specs that run the same work under different labels share a
+    fingerprint — the label is for humans, the fingerprint for dedup.
+    """
+    spec = canonicalize_spec(spec)
+    body = {k: v for k, v in spec.items() if k != "name"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_id_for(spec: dict) -> str:
+    """Content-addressed run ID: spec fingerprint + code generation.
+
+    The code generation is the batch cache's :data:`CACHE_VERSION` (bumped
+    on any change to simulation semantics) plus the package version, so a
+    run produced by different code can never collide with — and therefore
+    never be mistaken for a cache hit of — the current build.
+    """
+    from repro._util import repro_version
+    from repro.analysis.batch import CACHE_VERSION
+
+    payload = json.dumps(
+        [spec_fingerprint(spec), CACHE_VERSION, repro_version()],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def replica_fingerprint(spec: dict, experiment_id: str) -> str:
+    """Fingerprint of one experiment replica inside a spec.
+
+    This is what an ERROR row carries: enough identity to re-run exactly
+    the failing (spec, experiment) pair.
+    """
+    payload = f"{spec_fingerprint(spec)}:{experiment_id.upper()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def experiment_overrides(spec: dict) -> dict:
+    """The parameter overrides a canonical spec implies for experiments.
+
+    ``workload`` and ``model`` sections merge (model wins on a shared
+    key); ``inflight`` is recorded in the fingerprint but has no
+    corresponding experiment parameter yet, so it drops out here.
+    """
+    merged = {**spec.get("workload", {}), **spec.get("model", {})}
+    merged.pop("inflight", None)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# parsing and CLI overrides
+# ---------------------------------------------------------------------------
+
+
+def load_spec(path) -> dict:
+    """Read a raw spec mapping from a JSON or YAML file.
+
+    ``.json`` parses as JSON; anything else tries JSON first (a strict
+    subset of YAML, and always available) and falls back to YAML when
+    PyYAML is installed.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(f"cannot read spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".json":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"{path}: invalid JSON: {exc}") from exc
+        return raw
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    try:
+        import yaml
+    except ImportError:
+        raise SpecError(
+            f"{path} is not JSON and PyYAML is not installed; write the "
+            f"spec as JSON or install pyyaml"
+        ) from None
+    try:
+        raw = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise SpecError(f"{path}: invalid YAML: {exc}") from exc
+    if raw is None:
+        raw = {}
+    return raw
+
+
+def apply_set_overrides(raw: dict, sets) -> dict:
+    """Apply ``--set key=value`` overrides to a raw spec mapping.
+
+    Keys are dotted paths (``model.tau``); values parse as JSON when they
+    can (numbers, lists, booleans) and stay strings otherwise, so
+    ``--set model.tau=2`` and ``--set experiments='["E1","E2"]'`` both do
+    what they look like.  Returns a new mapping; ``raw`` is untouched.
+    """
+    spec = json.loads(json.dumps(raw))  # deep copy via the JSON round-trip
+    for item in sets or ():
+        if "=" not in item:
+            raise SpecError(f"bad --set {item!r}: expected key=value")
+        dotted, _, text = item.partition("=")
+        dotted = dotted.strip()
+        if not dotted:
+            raise SpecError(f"bad --set {item!r}: empty key")
+        try:
+            value = json.loads(text)
+        except ValueError:
+            value = text
+        target = spec
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            node = target.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise SpecError(
+                    f"--set {dotted}: {part} is not a section in the spec"
+                )
+            target = node
+        target[parts[-1]] = value
+    return spec
+
+
+def spec_from_cli(path, sets=None) -> dict:
+    """Load, override, and canonicalize a spec in one step (the CLI path)."""
+    return canonicalize_spec(apply_set_overrides(load_spec(path), sets))

@@ -17,6 +17,12 @@ Robustness contract per kind:
     Polynomial work with no principled partial answer; the deadline is
     enforced by the server's hard per-attempt timeout instead
     (kill + retry + eventually ``FAILED``).
+``run``
+    A declarative experiment spec executed under the run registry
+    (:mod:`repro.platform`); the spec is canonicalized at admission so
+    the job fingerprint — and therefore the service's dedup store —
+    keys on spec content, and a killed worker resumes from the run
+    folder's journal on retry instead of recomputing.
 
 Chaos composition: every attempt first passes through the ``REPRO_CHAOS``
 hooks keyed by ``("job", id)``, so the existing fault injector can
@@ -107,6 +113,24 @@ def validate_spec(kind: str, params: dict) -> None:
                     raise ValueError("sweep needs a non-empty 'seeds' list")
         elif kind == "opt":
             _build_workload(params)
+        elif kind == "run":
+            from repro.platform import SpecError, canonicalize_spec
+
+            if not isinstance(params.get("spec"), dict):
+                raise ValueError(
+                    "run needs a 'spec' mapping (the declarative "
+                    "experiment spec; docs/PLATFORM.md)"
+                )
+            runs_dir = params.get("runs_dir")
+            if runs_dir is not None and not isinstance(runs_dir, str):
+                raise ValueError("runs_dir must be a string path")
+            try:
+                # Canonicalize in place so the job fingerprint — computed
+                # from these params after validation — keys on the
+                # canonical spec: equivalent specs dedup to one result.
+                params["spec"] = canonicalize_spec(params["spec"])
+            except SpecError as exc:
+                raise ValueError(str(exc)) from None
     except SystemExit as exc:  # CLI spec helpers reject via SystemExit
         raise ValueError(str(exc)) from None
 
@@ -228,6 +252,28 @@ def _run_opt(params: dict, deadline_s: float | None) -> dict:
     }
 
 
+def _run_platform_run(params: dict) -> dict:
+    from repro.platform import run_spec
+
+    record = run_spec(
+        params["spec"],
+        runs_dir=params.get("runs_dir"),
+        force=bool(params.get("force", False)),
+    )
+    return {
+        "state": "DONE",
+        "result": {
+            "run_id": record.run_id,
+            "ok": record.ok,
+            "cached": record.cached,
+            "resumed": record.resumed,
+            "verdicts": dict(record.verdicts),
+            "errors": dict(record.errors),
+            "path": str(record.path),
+        },
+    }
+
+
 def run_job(payload: dict) -> dict:
     """Dispatch one decoded job payload to its kind runner."""
     kind = payload["kind"]
@@ -240,6 +286,8 @@ def run_job(payload: dict) -> dict:
         return _run_sweep(params)
     if kind == "opt":
         return _run_opt(params, payload.get("deadline_s"))
+    if kind == "run":
+        return _run_platform_run(params)
     raise ValueError(f"unknown job kind {kind!r}")
 
 

@@ -44,7 +44,11 @@ __all__ = [
 ]
 
 #: Job kinds the executor knows how to run (see repro.service.executor).
-JOB_KINDS = ("simulate", "experiment", "sweep", "opt")
+#: ``run`` executes a declarative experiment spec under the run registry
+#: (docs/PLATFORM.md); its params carry the *canonical* spec, so the
+#: fingerprint below dedups equivalent specs exactly as the registry's
+#: content-addressed run IDs do.
+JOB_KINDS = ("simulate", "experiment", "sweep", "opt", "run")
 
 #: States a job can never leave.
 TERMINAL_STATES = frozenset({"DONE", "DEGRADED", "FAILED"})
@@ -64,7 +68,16 @@ def fingerprint_spec(kind: str, params: dict) -> str:
     Deadlines and other *execution* knobs are deliberately excluded: the
     same experiment under a different deadline is still the same work,
     and a completed exact result can satisfy a later budgeted request.
+    For ``run`` jobs the experiment spec's display ``name`` is excluded
+    too, mirroring :func:`repro.platform.spec_fingerprint`: the same
+    spec under a different label is the same work (and lands in the
+    same content-addressed run folder).
     """
+    if kind == "run" and isinstance(params.get("spec"), dict):
+        spec_body = {
+            k: v for k, v in params["spec"].items() if k != "name"
+        }
+        params = {**params, "spec": spec_body}
     payload = json.dumps([kind, params], sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

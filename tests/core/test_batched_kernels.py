@@ -162,8 +162,21 @@ def test_batch_min_env_override(monkeypatch):
     assert _batch_min() == BATCH_MIN
     monkeypatch.setenv("REPRO_BATCH_MIN", "7")
     assert _batch_min() == 7
+
+
+def test_batch_min_invalid_env_warns_not_silently(monkeypatch):
+    """Regression: junk/out-of-range REPRO_BATCH_MIN used to be swallowed
+    silently; now each bad value warns and falls back safely."""
+    from repro.core.kernels import _batch_min
+
     monkeypatch.setenv("REPRO_BATCH_MIN", "junk")
-    assert _batch_min() == BATCH_MIN
+    with pytest.warns(RuntimeWarning, match="not an integer"):
+        assert _batch_min() == BATCH_MIN
+
+    for below_one in ("0", "-5"):
+        monkeypatch.setenv("REPRO_BATCH_MIN", below_one)
+        with pytest.warns(RuntimeWarning, match="clamping to 1"):
+            assert _batch_min() == 1
 
 
 def test_batched_kernel_for_is_type_exact():

@@ -2,23 +2,23 @@
 
 import pytest
 
-import repro.experiments.report as report_mod
+import repro.platform.runner as runner_mod
 from repro.experiments.base import ExperimentError
 from repro.experiments.report import experiments_report, run_all_supervised
 
 
-_REAL_RUN = report_mod.run_experiment
+_REAL_RUN = runner_mod.run_experiment
 
 
-def _explode_e3(eid, scale="small"):
+def _explode_e3(eid, scale="small", overrides=None):
     if eid == "E3":
         raise RuntimeError("synthetic experiment crash")
-    return _REAL_RUN(eid, scale=scale)
+    return _REAL_RUN(eid, scale=scale, overrides=overrides)
 
 
 class TestKeepGoing:
     def test_crash_becomes_error_row(self, monkeypatch):
-        monkeypatch.setattr(report_mod, "run_experiment", _explode_e3)
+        monkeypatch.setattr(runner_mod, "run_experiment", _explode_e3)
         results = run_all_supervised("small")
         by_id = {r.id: r for r in results}
         error = by_id["E3"]
@@ -27,19 +27,22 @@ class TestKeepGoing:
         assert not error.ok
         assert "RuntimeError: synthetic experiment crash" in error.error
         assert "test_report_supervision.py" in error.error  # traceback summary
+        # The ERROR row carries a replayable replica fingerprint.
+        assert error.fingerprint and len(error.fingerprint) == 16
         # The other seventeen still ran.
         assert sum(1 for r in results if not isinstance(r, ExperimentError)) == 17
         assert all(r.seconds >= 0.0 for r in results)
 
     def test_fail_fast_re_raises(self, monkeypatch):
-        monkeypatch.setattr(report_mod, "run_experiment", _explode_e3)
+        monkeypatch.setattr(runner_mod, "run_experiment", _explode_e3)
         with pytest.raises(RuntimeError, match="synthetic"):
             run_all_supervised("small", fail_fast=True)
 
     def test_report_renders_error_row_and_fails(self, monkeypatch):
-        monkeypatch.setattr(report_mod, "run_experiment", _explode_e3)
+        monkeypatch.setattr(runner_mod, "run_experiment", _explode_e3)
         text, ok = experiments_report(scale="small")
         assert not ok
         assert "| E3 |" in text and "ERROR" in text
         assert "synthetic experiment crash" in text
+        assert "Replica fingerprint" in text  # replay pointer rendered
         assert "### E1 —" in text  # neighbours rendered normally

@@ -1,0 +1,161 @@
+"""Run-diff semantics on hand-built payloads (no experiments executed)."""
+
+import pytest
+
+from repro.platform import MetricDelta, RunRecord, diff_runs
+
+
+def _record(rid, payloads):
+    return RunRecord(run_id=rid, spec={"name": "t"}, payloads=payloads)
+
+
+def _ok_payload(eid, rows, *, checks=None, verdict="REPRODUCED"):
+    return {
+        "id": eid,
+        "verdict": verdict,
+        "ok": verdict == "REPRODUCED",
+        "checks": checks or {"shape holds": True},
+        "table": {
+            "title": "t",
+            "columns": ["tau", "faults"],
+            "rows": [list(r) for r in rows],
+        },
+    }
+
+
+def _error_payload(eid, message):
+    return {
+        "id": eid,
+        "verdict": "ERROR",
+        "ok": False,
+        "error": message,
+        "fingerprint": "ab" * 8,
+    }
+
+
+class TestIdentical:
+    def test_empty_diff_and_rendering(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 10]])})
+        b = _record("bbbb", {"E1": _ok_payload("E1", [[1, 10]])})
+        diff = diff_runs(a, b)
+        assert diff.empty and diff.count == 0
+        assert "identical" in diff.format_ascii()
+        assert "Identical" in diff.format_markdown()
+
+
+class TestMetricDeltas:
+    def test_numeric_delta_with_rel(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 100]])})
+        b = _record("bbbb", {"E1": _ok_payload("E1", [[1, 150]])})
+        diff = diff_runs(a, b)
+        (delta,) = diff.metric_deltas
+        assert delta == MetricDelta(
+            experiment="E1", row="1", column="faults",
+            a="100", b="150", delta=50.0, rel=0.5,
+        )
+        assert "+50" in delta.describe()
+        assert "metric E1" in diff.format_ascii()
+        assert "Metric deltas" in diff.format_markdown()
+
+    def test_rel_tol_suppresses_small_deltas_only(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 100], [2, 100]])})
+        b = _record("bbbb", {"E1": _ok_payload("E1", [[1, 101], [2, 200]])})
+        assert len(diff_runs(a, b).metric_deltas) == 2
+        tolerant = diff_runs(a, b, rel_tol=0.05)
+        (delta,) = tolerant.metric_deltas
+        assert delta.row == "2" and delta.delta == 100.0
+
+    def test_rel_tol_must_be_non_negative(self):
+        a = _record("aaaa", {})
+        with pytest.raises(ValueError, match="rel_tol"):
+            diff_runs(a, a, rel_tol=-0.1)
+
+    def test_repeated_row_labels_pair_positionally(self):
+        rows_a = [["x", 1], ["x", 2]]
+        rows_b = [["x", 1], ["x", 9]]
+        a = _record("aaaa", {"E1": _ok_payload("E1", rows_a)})
+        b = _record("bbbb", {"E1": _ok_payload("E1", rows_b)})
+        (delta,) = diff_runs(a, b).metric_deltas
+        assert delta.a == "2" and delta.b == "9"
+
+
+class TestVerdictsAndChecks:
+    def test_verdict_change_and_check_flip(self):
+        a = _record(
+            "aaaa",
+            {"E1": _ok_payload("E1", [[1, 10]], checks={"c": True})},
+        )
+        b = _record(
+            "bbbb",
+            {
+                "E1": _ok_payload(
+                    "E1", [[1, 10]], checks={"c": False},
+                    verdict="CHECK FAILED",
+                )
+            },
+        )
+        diff = diff_runs(a, b)
+        assert diff.verdict_changes == [("E1", "REPRODUCED", "CHECK FAILED")]
+        assert diff.check_flips == [("E1", "c", True, False)]
+        assert "REGRESSED" in diff.format_ascii()
+
+    def test_check_present_in_one_run_is_shape_change(self):
+        a = _record(
+            "aaaa", {"E1": _ok_payload("E1", [[1, 10]], checks={"c": True})}
+        )
+        b = _record(
+            "bbbb", {"E1": _ok_payload("E1", [[1, 10]], checks={"d": True})}
+        )
+        diff = diff_runs(a, b)
+        assert len(diff.shape_changes) == 2
+
+
+class TestErrors:
+    def test_new_error_takes_precedence_over_metrics(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 10]])})
+        b = _record("bbbb", {"E1": _error_payload("E1", "boom")})
+        diff = diff_runs(a, b)
+        assert diff.new_errors == [("E1", "boom")]
+        assert not diff.metric_deltas and not diff.verdict_changes
+        assert "NEW ERROR" in diff.format_ascii()
+
+    def test_resolved_error(self):
+        a = _record("aaaa", {"E1": _error_payload("E1", "boom")})
+        b = _record("bbbb", {"E1": _ok_payload("E1", [[1, 10]])})
+        assert diff_runs(a, b).resolved_errors == [("E1", "boom")]
+
+    def test_error_text_change_reports_one_delta(self):
+        a = _record("aaaa", {"E1": _error_payload("E1", "boom")})
+        b = _record("bbbb", {"E1": _error_payload("E1", "bang")})
+        diff = diff_runs(a, b)
+        (delta,) = diff.metric_deltas
+        assert delta.row == "(error)" and delta.delta is None
+
+
+class TestCoverageAndShape:
+    def test_only_in_one_run(self):
+        a = _record(
+            "aaaa",
+            {
+                "E1": _ok_payload("E1", [[1, 10]]),
+                "E2": _ok_payload("E2", [[1, 10]]),
+            },
+        )
+        b = _record("bbbb", {"E2": _ok_payload("E2", [[1, 10]])})
+        diff = diff_runs(a, b)
+        assert diff.only_in_a == ["E1"] and diff.only_in_b == []
+
+    def test_column_mismatch_is_shape_not_delta(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 10]])})
+        changed = _ok_payload("E1", [[1, 10]])
+        changed["table"]["columns"] = ["tau", "misses"]
+        b = _record("bbbb", {"E1": changed})
+        diff = diff_runs(a, b)
+        assert diff.shape_changes and not diff.metric_deltas
+
+    def test_row_appeared_and_disappeared(self):
+        a = _record("aaaa", {"E1": _ok_payload("E1", [[1, 10], [2, 20]])})
+        b = _record("bbbb", {"E1": _ok_payload("E1", [[1, 10], [4, 40]])})
+        descriptions = [d for _, d in diff_runs(a, b).shape_changes]
+        assert any("disappeared" in d for d in descriptions)
+        assert any("appeared" in d for d in descriptions)

@@ -1,0 +1,176 @@
+"""Registry-backed runs: folder layout, cache hits, resume, ERROR replay.
+
+Uses tiny single/double-experiment specs (E2/E7 run in well under a
+second at small scale) so the suite exercises the full write-journal-
+finalize path without paying for the whole experiment battery.
+"""
+
+import json
+
+import pytest
+
+import repro.platform.runner as runner_mod
+from repro.platform import (
+    RunNotFound,
+    diff_runs,
+    list_runs,
+    load_run,
+    replica_fingerprint,
+    resolve_run,
+    run_id_for,
+    run_spec,
+)
+
+SPEC = {"name": "t", "experiments": ["E2"], "scale": "small"}
+SPEC2 = {"name": "t2", "experiments": ["E2", "E7"], "scale": "small"}
+
+
+class TestRunFolder:
+    def test_layout_and_cache_hit(self, tmp_path):
+        record = run_spec(SPEC, runs_dir=tmp_path)
+        rid = run_id_for(SPEC)
+        assert record.run_id == rid
+        assert record.path == tmp_path / rid
+        assert not record.cached and record.resumed == 0
+        assert record.ok and record.verdicts == {"E2": "REPRODUCED"}
+        folder = tmp_path / rid
+        for name in ("spec.lock.json", "journal.jsonl", "run.json"):
+            assert (folder / name).is_file()
+        assert (folder / "metrics" / "E2.json").is_file()
+
+        # Metric files are deterministic: no wall times inside.
+        metric = json.loads((folder / "metrics" / "E2.json").read_text())
+        assert "seconds" not in metric
+        assert metric["table"]["rows"]
+
+        again = run_spec(SPEC, runs_dir=tmp_path)
+        assert again.cached
+        # Cached payloads come from the metric files, which drop wall
+        # times; everything deterministic matches the live run exactly.
+        def strip(payload):
+            return {k: v for k, v in payload.items() if k != "seconds"}
+
+        assert {e: strip(p) for e, p in again.payloads.items()} == {
+            e: strip(p) for e, p in record.payloads.items()
+        }
+
+    def test_metrics_byte_identical_across_registries(self, tmp_path):
+        a = run_spec(SPEC2, runs_dir=tmp_path / "a")
+        b = run_spec(SPEC2, runs_dir=tmp_path / "b")
+        assert a.run_id == b.run_id
+        for eid in SPEC2["experiments"]:
+            bytes_a = (a.path / "metrics" / f"{eid}.json").read_bytes()
+            bytes_b = (b.path / "metrics" / f"{eid}.json").read_bytes()
+            assert bytes_a == bytes_b
+        assert diff_runs(a, b).empty
+
+    def test_force_recomputes(self, tmp_path):
+        run_spec(SPEC, runs_dir=tmp_path)
+        record = run_spec(SPEC, runs_dir=tmp_path, force=True)
+        assert not record.cached
+
+    def test_spec_change_changes_folder(self, tmp_path):
+        a = run_spec(SPEC, runs_dir=tmp_path)
+        b = run_spec(
+            {**SPEC, "workload": {"n": 500}}, runs_dir=tmp_path
+        )
+        assert a.run_id != b.run_id
+        assert a.path != b.path
+
+
+class TestResume:
+    def test_interrupted_run_resumes_from_journal(self, tmp_path, monkeypatch):
+        real = runner_mod.run_experiment
+
+        def explode_e7(eid, scale="small", overrides=None):
+            if eid == "E7":
+                raise KeyboardInterrupt  # simulate ctrl-C mid-run
+            return real(eid, scale=scale, overrides=overrides)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", explode_e7)
+        with pytest.raises(KeyboardInterrupt):
+            run_spec(SPEC2, runs_dir=tmp_path)
+
+        folder = tmp_path / run_id_for(SPEC2)
+        assert (folder / "journal.jsonl").is_file()
+        assert not (folder / "run.json").exists()  # incomplete marker
+
+        monkeypatch.setattr(runner_mod, "run_experiment", real)
+        calls = []
+        record = run_spec(
+            SPEC2, runs_dir=tmp_path, on_progress=lambda e, p: calls.append(e)
+        )
+        assert record.resumed == 1  # E2 restored, only E7 re-ran
+        assert not record.cached
+        assert record.ok and calls == ["E2", "E7"]
+        assert (folder / "run.json").is_file()
+
+
+class TestErrorRows:
+    def test_crash_yields_replayable_error_payload(self, tmp_path, monkeypatch):
+        real = runner_mod.run_experiment
+
+        def explode_e7(eid, scale="small", overrides=None):
+            if eid == "E7":
+                raise RuntimeError("synthetic crash")
+            return real(eid, scale=scale, overrides=overrides)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", explode_e7)
+        record = run_spec(SPEC2, runs_dir=tmp_path)
+        assert not record.ok
+        assert record.verdicts["E7"] == "ERROR"
+        payload = record.payloads["E7"]
+        expected_fp = replica_fingerprint(SPEC2, "E7")
+        assert payload["fingerprint"] == expected_fp
+        assert "synthetic crash" in payload["error"]
+
+        descriptor = json.loads(
+            (record.path / "errors" / "E7.json").read_text()
+        )
+        assert descriptor["fingerprint"] == expected_fp
+        assert descriptor["run_id"] == record.run_id
+        assert "repro run" in descriptor["replay"]
+        assert "experiments=E7" in descriptor["replay"]
+
+    def test_fail_fast_propagates(self, tmp_path, monkeypatch):
+        def explode(eid, scale="small", overrides=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner_mod, "run_experiment", explode)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spec(SPEC, runs_dir=tmp_path, fail_fast=True)
+
+
+class TestResolve:
+    def test_resolve_by_id_prefix_and_path(self, tmp_path):
+        record = run_spec(SPEC, runs_dir=tmp_path)
+        rid = record.run_id
+        assert resolve_run(rid, tmp_path).run_id == rid
+        assert resolve_run(rid[:6], tmp_path).run_id == rid
+        assert resolve_run(str(record.path), tmp_path).run_id == rid
+
+    def test_missing_and_incomplete_refs_raise(self, tmp_path):
+        with pytest.raises(RunNotFound, match="no completed run"):
+            resolve_run("deadbeef", tmp_path)
+        (tmp_path / "0123abcd").mkdir()  # folder without run.json
+        with pytest.raises(RunNotFound):
+            load_run(tmp_path / "0123abcd")
+        assert list_runs(tmp_path) == []
+
+    def test_list_runs(self, tmp_path):
+        run_spec(SPEC, runs_dir=tmp_path)
+        run_spec({**SPEC, "model": {"tau": 2}}, runs_dir=tmp_path)
+        records = list_runs(tmp_path)
+        assert len(records) == 2
+        assert all(r.cached for r in records)
+
+
+class TestOverridesReachExperiments:
+    def test_workload_n_changes_e7_table(self, tmp_path):
+        base = run_spec(SPEC2, runs_dir=tmp_path)
+        small = run_spec(
+            {**SPEC2, "workload": {"n": 500}}, runs_dir=tmp_path
+        )
+        diff = diff_runs(base, small)
+        assert not diff.empty
+        assert any(d.experiment == "E7" for d in diff.metric_deltas)

@@ -1,0 +1,165 @@
+"""Spec canonicalization, fingerprints, and content-addressed run IDs.
+
+The load-bearing property: any two raw specs describing the same work —
+different key order, YAML vs JSON source, values in the file vs set via
+``--set`` — canonicalize identically and therefore share a fingerprint
+and a run ID, while any semantic change (seed, tau, scale, experiment
+selection) changes both.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.platform import (
+    SPEC_SCHEMA,
+    SpecError,
+    apply_set_overrides,
+    canonicalize_spec,
+    default_spec,
+    experiment_overrides,
+    replica_fingerprint,
+    run_id_for,
+    spec_fingerprint,
+    spec_from_cli,
+)
+
+
+class TestCanonicalize:
+    def test_empty_spec_selects_everything(self):
+        spec = canonicalize_spec({})
+        assert spec["schema"] == SPEC_SCHEMA
+        assert spec["scale"] == "small"
+        assert spec["experiments"] == sorted(
+            EXPERIMENTS, key=lambda e: int(e[1:])
+        )
+        assert spec["model"] == {} and spec["workload"] == {}
+
+    def test_experiment_list_normalizes(self):
+        for raw in (["e7", "E2", "E7"], "E7,e2", ("E2", "E7")):
+            spec = canonicalize_spec({"experiments": raw})
+            assert spec["experiments"] == ["E2", "E7"]
+
+    def test_idempotent(self):
+        raw = {"experiments": "E2,E7", "model": {"tau": 2}, "scale": "full"}
+        once = canonicalize_spec(raw)
+        assert canonicalize_spec(once) == once
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ({"bogus": 1}, "unknown top-level"),
+            ({"experiments": []}, "non-empty"),
+            ({"experiments": "E99"}, "unknown experiment"),
+            ({"scale": "huge"}, "scale"),
+            ({"model": {"tau": -1}}, "tau"),
+            ({"model": {"K": 0}}, "K"),
+            ({"model": {"K": True}}, "integer"),
+            ({"model": {"inflight": "magic"}}, "inflight"),
+            ({"model": {"cores": 4}}, "unknown key"),
+            ({"workload": {"n": "lots"}}, "integer"),
+            ({"budget": {"deadline_s": 0}}, "deadline_s"),
+            ({"schema": 99}, "schema"),
+            ({"name": ""}, "name"),
+            ([], "mapping"),
+        ],
+    )
+    def test_invalid_specs_name_the_field(self, raw, match):
+        with pytest.raises(SpecError, match=match):
+            canonicalize_spec(raw)
+
+
+class TestFingerprint:
+    def test_key_order_does_not_matter(self):
+        a = {"model": {"tau": 2, "K": 16}, "experiments": ["E2", "E7"]}
+        b = {"experiments": ["E7", "e2"], "model": {"K": 16, "tau": 2}}
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_name_is_excluded(self):
+        assert spec_fingerprint({"name": "nightly"}) == spec_fingerprint(
+            {"name": "adhoc"}
+        )
+
+    def test_json_and_yaml_sources_agree(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        body = {"experiments": ["E2"], "model": {"tau": 2}}
+        json_file = tmp_path / "spec.json"
+        json_file.write_text(json.dumps(body), encoding="utf-8")
+        yaml_file = tmp_path / "spec.yaml"
+        yaml_file.write_text(yaml.safe_dump(body), encoding="utf-8")
+        assert spec_fingerprint(spec_from_cli(json_file)) == spec_fingerprint(
+            spec_from_cli(yaml_file)
+        )
+
+    def test_file_value_equals_set_override(self, tmp_path):
+        in_file = tmp_path / "full.json"
+        in_file.write_text(
+            json.dumps({"experiments": ["E2"], "model": {"tau": 3}}),
+            encoding="utf-8",
+        )
+        via_set = tmp_path / "bare.json"
+        via_set.write_text(
+            json.dumps({"experiments": ["E2"]}), encoding="utf-8"
+        )
+        assert spec_from_cli(in_file) == spec_from_cli(
+            via_set, ["model.tau=3"]
+        )
+
+
+class TestRunId:
+    def test_stable_for_identical_specs(self):
+        rid = run_id_for({"experiments": ["E2"]})
+        assert rid == run_id_for({"experiments": ["e2"], "name": "other"})
+        assert len(rid) == 16
+        int(rid, 16)  # hex
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"workload": {"seed": 1}},
+            {"model": {"tau": 5}},
+            {"scale": "full"},
+            {"experiments": ["E2", "E7"]},
+        ],
+    )
+    def test_changes_with_spec(self, mutation):
+        base = run_id_for({"experiments": ["E2"]})
+        assert run_id_for({"experiments": ["E2"], **mutation}) != base
+
+    def test_replica_fingerprint_identifies_the_pair(self):
+        spec = default_spec()
+        fp = replica_fingerprint(spec, "E3")
+        assert len(fp) == 16 and fp == replica_fingerprint(spec, "e3")
+        assert fp != replica_fingerprint(spec, "E4")
+        assert fp != replica_fingerprint({"model": {"tau": 9}}, "E3")
+
+
+class TestOverrides:
+    def test_apply_set_parses_json_values(self):
+        raw = {"experiments": ["E2"]}
+        spec = apply_set_overrides(
+            raw,
+            ["model.tau=2", "workload.n=500", 'experiments=["E2","E7"]'],
+        )
+        assert spec["model"]["tau"] == 2
+        assert spec["workload"]["n"] == 500
+        assert spec["experiments"] == ["E2", "E7"]
+        assert raw == {"experiments": ["E2"]}  # input untouched
+
+    def test_apply_set_rejects_malformed(self):
+        with pytest.raises(SpecError, match="key=value"):
+            apply_set_overrides({}, ["tau:2"])
+        with pytest.raises(SpecError, match="empty key"):
+            apply_set_overrides({}, ["=2"])
+        with pytest.raises(SpecError, match="not a section"):
+            apply_set_overrides({"scale": "small"}, ["scale.deep=1"])
+
+    def test_experiment_overrides_merge_model_wins(self):
+        spec = canonicalize_spec(
+            {
+                "model": {"tau": 2, "inflight": "pif"},
+                "workload": {"n": 100, "seed": 4},
+            }
+        )
+        assert experiment_overrides(spec) == {"tau": 2, "n": 100, "seed": 4}

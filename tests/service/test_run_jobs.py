@@ -1,0 +1,71 @@
+"""The ``run`` job kind: spec canonicalization at admission, dedup keys,
+and execution through the run registry."""
+
+import pytest
+
+from repro.platform import canonicalize_spec, run_id_for
+from repro.service.executor import run_job, validate_spec
+from repro.service.jobs import JOB_KINDS, JobSpec
+
+
+class TestAdmission:
+    def test_run_is_a_known_kind(self):
+        assert "run" in JOB_KINDS
+
+    def test_validate_canonicalizes_spec_in_place(self):
+        params = {"spec": {"experiments": "e7,E2", "name": "x"}}
+        validate_spec("run", params)
+        assert params["spec"] == canonicalize_spec(
+            {"experiments": ["E2", "E7"], "name": "x"}
+        )
+
+    def test_equivalent_specs_share_a_dedup_fingerprint(self):
+        a = {"spec": {"experiments": ["E7", "e2"], "model": {"tau": 2}}}
+        b = {"spec": {"model": {"tau": 2}, "experiments": "E2,E7"}}
+        validate_spec("run", a)
+        validate_spec("run", b)
+        assert JobSpec("run", a).fingerprint == JobSpec("run", b).fingerprint
+
+    def test_display_name_does_not_split_the_fingerprint(self):
+        # Mirrors spec_fingerprint: the label is for humans, and both
+        # jobs land in the same content-addressed run folder anyway.
+        a = {"spec": {"experiments": ["E2"], "name": "nightly"}}
+        b = {"spec": {"experiments": ["E2"], "name": "adhoc"}}
+        validate_spec("run", a)
+        validate_spec("run", b)
+        assert JobSpec("run", a).fingerprint == JobSpec("run", b).fingerprint
+        c = {"spec": {"experiments": ["E2"], "model": {"tau": 4}}}
+        validate_spec("run", c)
+        assert JobSpec("run", c).fingerprint != JobSpec("run", a).fingerprint
+
+    @pytest.mark.parametrize(
+        "params,match",
+        [
+            ({}, "needs a 'spec' mapping"),
+            ({"spec": "all"}, "needs a 'spec' mapping"),
+            ({"spec": {"experiments": ["E99"]}}, "unknown experiment"),
+            ({"spec": {}, "runs_dir": 7}, "runs_dir"),
+        ],
+    )
+    def test_bad_params_rejected_at_admission(self, params, match):
+        with pytest.raises(ValueError, match=match):
+            validate_spec("run", params)
+
+
+class TestExecution:
+    def test_run_job_executes_under_the_registry(self, tmp_path):
+        params = {
+            "spec": {"name": "svc", "experiments": ["E2"]},
+            "runs_dir": str(tmp_path),
+        }
+        validate_spec("run", params)
+        outcome = run_job({"kind": "run", "params": params})
+        assert outcome["state"] == "DONE"
+        result = outcome["result"]
+        assert result["run_id"] == run_id_for(params["spec"])
+        assert result["ok"] and not result["cached"]
+        assert result["verdicts"] == {"E2": "REPRODUCED"}
+
+        # Resubmission of the same work is a registry cache hit.
+        rerun = run_job({"kind": "run", "params": params})
+        assert rerun["result"]["cached"]

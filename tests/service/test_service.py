@@ -276,7 +276,9 @@ class TestHTTPSurface:
         ready = client.readiness()
         assert ready["ready"] is True
         assert ready["queue"]["capacity"] == 4
-        assert set(ready["breakers"]) == {"simulate", "experiment", "sweep", "opt"}
+        assert set(ready["breakers"]) == {
+            "simulate", "experiment", "sweep", "opt", "run",
+        }
         service.begin_drain()
         with pytest.raises(Backpressure) as exc_info:
             client.readiness()

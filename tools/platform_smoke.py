@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the experiment platform (CI: platform-smoke).
+
+Drives the real ``python -m repro run`` / ``repro compare`` CLI through
+the properties the run registry guarantees (docs/PLATFORM.md):
+
+1. run a tiny two-experiment spec — exits 0, creates a run folder;
+2. run it again — the second invocation is a pure cache hit with the
+   same run ID, and its metric tables are **byte-identical**;
+3. ``repro compare RUN RUN`` on the identical run — empty diff, exit 0;
+4. mutate one parameter via ``--set`` — a *different* run ID, and
+   ``repro compare BASE MUTATED`` trips the regression gate (exit 1)
+   with a non-empty diff report.
+
+Exits non-zero (with a transcript) on any violation.  Needs only the
+repro package (installed or via PYTHONPATH=src) — stdlib otherwise.
+"""
+
+import filecmp
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if os.path.isdir(os.path.join(SRC, "repro")):
+    os.environ["PYTHONPATH"] = (
+        SRC + os.pathsep + os.environ.get("PYTHONPATH", "")
+    )
+
+SPEC = {
+    "name": "platform-smoke",
+    "experiments": ["E2", "E7"],
+    "scale": "small",
+}
+
+RUN_ID_RE = re.compile(r"^run ([0-9a-f]{16}): (\w+)", re.MULTILINE)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def repro(*args):
+    """Run one repro CLI invocation; return (exit code, stdout)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=os.environ,
+    )
+    print(f"$ repro {' '.join(args)}  -> exit {proc.returncode}")
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc.returncode, proc.stdout
+
+
+def run_spec(spec_path, runs_dir, *extra):
+    code, out = repro(
+        "run", spec_path, "--runs-dir", runs_dir, "--quiet", *extra
+    )
+    match = RUN_ID_RE.search(out)
+    if match is None:
+        fail(f"no run ID in `repro run` output:\n{out}")
+    return code, match.group(1), match.group(2)
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-platform-smoke-") as tmp:
+        spec_path = os.path.join(tmp, "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as fh:
+            json.dump(SPEC, fh)
+        runs = os.path.join(tmp, "runs")
+
+        # 1. fresh run
+        code, base_id, status = run_spec(spec_path, runs)
+        if code != 0:
+            fail(f"fresh run exited {code}")
+        if status != "ran":
+            fail(f"fresh run reported {status!r}, expected 'ran'")
+
+        # 2. identical rerun: full cache hit, same ID, identical bytes
+        code, again_id, status = run_spec(spec_path, runs)
+        if code != 0 or again_id != base_id:
+            fail(f"rerun gave id {again_id} (exit {code}), want {base_id}")
+        if status != "cached":
+            fail(f"rerun reported {status!r}, expected 'cached'")
+        runs_b = os.path.join(tmp, "runs-b")
+        code, b_id, _ = run_spec(spec_path, runs_b)
+        if code != 0 or b_id != base_id:
+            fail("independent registry produced a different run ID")
+        metrics_a = os.path.join(runs, base_id, "metrics")
+        metrics_b = os.path.join(runs_b, base_id, "metrics")
+        names = sorted(os.listdir(metrics_a))
+        if names != sorted(os.listdir(metrics_b)):
+            fail("metric file sets differ between registries")
+        same, diff, funny = filecmp.cmpfiles(
+            metrics_a, metrics_b, names, shallow=False
+        )
+        if diff or funny:
+            fail(f"metric tables not byte-identical: {diff or funny}")
+        print(f"OK metric tables byte-identical across registries: {names}")
+
+        # 3. self-compare: empty diff, exit 0
+        code, out = repro("compare", base_id, base_id, "--runs-dir", runs)
+        if code != 0 or "identical" not in out:
+            fail(f"self-compare should be empty/exit 0, got {code}:\n{out}")
+
+        # 4. one-parameter mutation: new ID, diff gate trips
+        code, mutated_id, _ = run_spec(
+            spec_path, runs, "--set", "workload.n=500"
+        )
+        if mutated_id == base_id:
+            fail("--set workload.n=500 did not change the run ID")
+        code, out = repro(
+            "compare", base_id, mutated_id, "--runs-dir", runs
+        )
+        if code != 1:
+            fail(f"regression gate exited {code}, expected 1")
+        if "difference(s)" not in out:
+            fail(f"gate tripped but diff report is empty:\n{out}")
+
+    print("platform smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
