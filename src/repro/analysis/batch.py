@@ -342,6 +342,8 @@ def batch_run(
     retry_backoff_s: float = 0.1,
     journal: str | os.PathLike | None = None,
     on_failure: str = "raise",
+    executor=None,
+    task: dict | None = None,
 ) -> BatchResult:
     """Run ``strategy_factory()`` on ``workload_factory(seed)`` for every
     seed and aggregate.
@@ -375,7 +377,61 @@ def batch_run(
         replica that exhausts its retries — completed replicas are
         already journaled.  ``"record"`` finishes the sweep and reports
         the failures in :attr:`BatchResult.failed_seeds`.
+    ``executor`` / ``task``
+        Route the sweep through a :mod:`repro.fleet` executor instead of
+        the local pool.  Replica jobs cross HTTP as JSON, so the sweep
+        must be described by ``task`` — the ``replica`` job params
+        (named workload generator or inline ``sequences``, strategy
+        spec, ``cache_size``, ``tau``) — rather than by the opaque
+        Python factories; passing ``executor`` without ``task`` raises
+        :class:`TypeError`.  The journal (if any) is managed by the
+        fleet layer under the task fingerprint, the local replica cache
+        is bypassed (the service's fingerprint dedup plays that role),
+        and each replica's retry count lands in the journal entries.
     """
+    if executor is not None:
+        if task is None:
+            raise TypeError(
+                "batch_run(executor=...) needs task= — a JSON replica-job "
+                "description (workload/strategy/cache_size/tau); the "
+                "workload and strategy factories cannot cross the fleet's "
+                "HTTP boundary"
+            )
+        from repro.fleet.sweep import run_sweep
+
+        sweep = run_sweep(
+            dict(task, cache_size=cache_size, tau=tau),
+            seeds,
+            executor=executor,
+            journal=journal,
+        )
+        done = sorted(
+            (o.key, o.faults, o.makespan)
+            for o in sweep.outcomes.values()
+            if o.ok
+        )
+        if sweep.failed_seeds and on_failure != "record":
+            from repro.runtime.supervisor import ReplicaFailure, SweepError
+
+            raise SweepError(
+                [
+                    ReplicaFailure(
+                        seed,
+                        sweep.outcomes[seed].attempts,
+                        sweep.outcomes[seed].error or "replica failed",
+                    )
+                    for seed in sweep.failed_seeds
+                ]
+            )
+        return BatchResult(
+            label=label,
+            seeds=tuple(s for s, _, _ in done),
+            faults=tuple(f for _, f, _ in done),
+            makespans=tuple(m for _, _, m in done),
+            cache_hits=0,
+            resumed=sweep.resumed,
+            failed_seeds=tuple(sweep.failed_seeds),
+        )
     seeds = list(seeds)
     cache_root = _cache_root(cache_dir) if cache else None
     supervised = (
@@ -400,10 +456,20 @@ def batch_run(
         }
         todo = [seed for seed in seeds if seed not in resumed]
 
-    def record(seed, outcome) -> None:
+    def record(seed, outcome, attempt=0) -> None:
+        # The 3-arg supervised_map form delivers the 0-based attempt that
+        # succeeded; journaling attempts = attempt + 1 makes flaky
+        # replicas visible post-hoc (docs/ROBUSTNESS.md).
         if journal_obj is not None:
             _seed, faults, makespan, _hit = outcome
-            journal_obj.record(seed, {"faults": faults, "makespan": makespan})
+            journal_obj.record(
+                seed,
+                {
+                    "faults": faults,
+                    "makespan": makespan,
+                    "attempts": attempt + 1,
+                },
+            )
 
     failures: list = []
     try:

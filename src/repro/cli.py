@@ -298,12 +298,96 @@ def cmd_runs(args) -> int:
     for record in records:
         summary = record.summary()
         flags = "ok" if summary["ok"] else f"{summary['errors']} error(s)"
+        extras = ""
+        if summary.get("executor"):
+            extras += f" executor={summary['executor']}"
+        if summary.get("retried"):
+            extras += f" retried={summary['retried']}"
         print(
             f"{record.run_id}  {summary['name'] or '-':12} "
             f"scale={summary['scale']:5} experiments={summary['experiments']:2} "
-            f"{flags}"
+            f"{flags}{extras}"
         )
     return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.fleet import executor_from_config, run_sweep
+
+    task = {
+        "workload": args.workload,
+        "cores": args.cores,
+        "length": args.length,
+        "alpha": args.alpha,
+        "cache_size": args.cache_size,
+        "tau": args.tau,
+        "strategy": args.strategy,
+    }
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    config = {"kind": args.executor}
+    if args.endpoints:
+        config["endpoints"] = list(args.endpoints)
+    for key in ("max_workers", "retries", "hedge_after_s"):
+        value = getattr(args, key)
+        if value is not None:
+            config[key] = value
+    try:
+        executor = executor_from_config(config)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    on_outcome = None
+    if not args.quiet:
+
+        def on_outcome(outcome):
+            where = f" @{outcome.endpoint}" if outcome.endpoint else ""
+            print(
+                f"  seed {outcome.key:<6} {outcome.status:5} "
+                f"attempts={outcome.attempts}{where}",
+                file=sys.stderr,
+            )
+
+    try:
+        sweep = run_sweep(
+            task,
+            seeds,
+            executor=executor,
+            journal=args.journal,
+            on_outcome=on_outcome,
+        )
+    finally:
+        executor.close()
+    summary = sweep.summary()
+    print(
+        f"sweep   : {summary['replicas']} replicas "
+        f"({summary['done']} done, {summary['errors']} error(s), "
+        f"{summary['resumed']} resumed)"
+    )
+    topology = sweep.topology
+    endpoints = topology.get("endpoints")
+    where = (
+        ", ".join(endpoints)
+        if endpoints
+        else f"workers={topology.get('max_workers')}"
+    )
+    print(f"executor: {topology.get('kind')} ({where})")
+    if summary["done"]:
+        faults, makespan = summary["faults"], summary["makespan"]
+        print(
+            f"faults  : mean={faults['mean']:.3f} std={faults['std']:.3f} "
+            f"min={faults['min']} max={faults['max']}"
+        )
+        print(
+            f"makespan: mean={makespan['mean']:.3f} "
+            f"min={makespan['min']} max={makespan['max']}"
+        )
+    if summary["max_attempts"] > 1 or summary["hedged"]:
+        print(
+            f"faults tolerated: max_attempts={summary['max_attempts']} "
+            f"hedged={summary['hedged']}"
+        )
+    for seed in sweep.failed_seeds:
+        print(f"  ERROR seed {seed}: {sweep.outcomes[seed].error}")
+    return 0 if sweep.ok else 1
 
 
 def cmd_simulate(args) -> int:
@@ -669,6 +753,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="run registry root (default .repro_runs or $REPRO_RUNS_DIR)",
     )
     sub.set_defaults(func=cmd_runs)
+
+    sub = subs.add_parser(
+        "sweep",
+        help="multi-seed replica sweep over a pluggable executor "
+        "(docs/FLEET.md)",
+    )
+    _add_workload_args(sub)
+    sub.add_argument("--strategy", default="S_LRU", help=STRATEGY_HELP)
+    sub.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of replica seeds, starting at --seed (default 10)",
+    )
+    sub.add_argument(
+        "--executor",
+        default="processes",
+        choices=("processes", "threads", "service", "fleet"),
+        help="where replicas run (default: local process pool)",
+    )
+    sub.add_argument(
+        "--endpoints",
+        nargs="+",
+        default=None,
+        metavar="URL",
+        help="service base URLs for --executor service/fleet",
+    )
+    sub.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="local pool width (processes/threads executors)",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-replica retry budget (executor default if omitted)",
+    )
+    sub.add_argument(
+        "--hedge-after-s",
+        type=float,
+        default=None,
+        help="fleet: resubmit a straggling replica to a second endpoint "
+        "after this many seconds (first result wins)",
+    )
+    sub.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="crash-safe sweep journal; rerunning with the same path "
+        "skips completed replicas",
+    )
+    sub.add_argument(
+        "-q", "--quiet", action="store_true", help="no per-replica progress"
+    )
+    sub.set_defaults(func=cmd_sweep)
 
     sub = subs.add_parser("panel", help="strategy panel on a workload")
     _add_workload_args(sub)

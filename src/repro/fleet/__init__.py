@@ -1,0 +1,39 @@
+"""Fleet-scale sweep execution with fault tolerance (docs/FLEET.md).
+
+The experiment battery needs sweeps of 10^4–10^5 replicas; this package
+is the pluggable backend layer that scatters them — over local pools or
+over N ``repro serve`` endpoints — and survives the endpoints: circuit
+breakers fed by health probes, Retry-After-honouring jittered backoff,
+hedged straggler resubmission, automatic failover, typed ERROR outcomes
+for replicas that exhaust their budgets, and order-independent mergeable
+statistics so a flaky fleet reports the same numbers as one quiet
+process.
+"""
+
+from repro.fleet.executor import (
+    FleetExecutor,
+    LocalProcessExecutor,
+    LocalThreadExecutor,
+    ReplicaJob,
+    ReplicaOutcome,
+    ServiceExecutor,
+    executor_from_config,
+)
+from repro.fleet.stats import ReservoirSample, StreamingMoments, SweepStats
+from repro.fleet.sweep import FleetSweepResult, run_sweep, task_fingerprint
+
+__all__ = [
+    "FleetExecutor",
+    "FleetSweepResult",
+    "LocalProcessExecutor",
+    "LocalThreadExecutor",
+    "ReplicaJob",
+    "ReplicaOutcome",
+    "ReservoirSample",
+    "ServiceExecutor",
+    "StreamingMoments",
+    "SweepStats",
+    "executor_from_config",
+    "run_sweep",
+    "task_fingerprint",
+]

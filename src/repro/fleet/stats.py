@@ -1,0 +1,231 @@
+"""Streaming, mergeable statistics for fleet-scale sweeps.
+
+A 10^5-replica sweep must not require the coordinator to hold 10^5
+replica outputs: each worker (or each endpoint's slice of the sweep)
+folds its outcomes into a :class:`StreamingMoments` /
+:class:`ReservoirSample` pair, and partial aggregates **merge**
+associatively — ``merge(merge(a, b), c) == merge(a, merge(b, c))`` —
+so results can arrive in any order, from any endpoint, and still
+produce the same numbers.
+
+Order-independence is load-bearing: the fleet acceptance criterion is
+that a sweep executed over N flaky endpoints reports *identical*
+aggregate metrics to the same sweep run in one local process, even
+though replicas complete in a different order.  Floating-point running
+means are order-dependent in their last ulps, so the moments here are
+kept as **exact integer sums** (Python ints never overflow) whenever the
+observations are ints — fault counts and makespans are — and the mean /
+variance are derived only at read time.  The reservoir sample is made
+order-independent the same way: instead of the classical random-replace
+reservoir (whose content depends on arrival order), each key gets a
+deterministic priority hash and the sample is "the ``capacity`` smallest
+priorities" — a fixed function of the *set* of observations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ReservoirSample", "StreamingMoments", "SweepStats"]
+
+
+@dataclass
+class StreamingMoments:
+    """Count / sum / sum-of-squares / min / max of a stream of numbers.
+
+    Exact for integer observations (arbitrary-precision sums), and the
+    merge of two instances equals the instance built from the
+    concatenated streams — in any order.
+    """
+
+    n: int = 0
+    total: float = 0
+    total_sq: float = 0
+    min: float | None = None
+    max: float | None = None
+
+    def update(self, value) -> None:
+        self.n += 1
+        self.total += value
+        self.total_sq += value * value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` into ``self`` (returns ``self`` for chaining)."""
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = getattr(other, bound)
+            if theirs is not None:
+                ours = getattr(self, bound)
+                setattr(
+                    self, bound, theirs if ours is None else pick(ours, theirs)
+                )
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance, computed from exact sums at read time."""
+        if self.n == 0:
+            return 0.0
+        # n*Σx² - (Σx)² stays exact for int streams; clamp tiny float
+        # negatives from genuinely-float streams.
+        num = self.n * self.total_sq - self.total * self.total
+        return max(0.0, num / (self.n * self.n))
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "total": self.total,
+            "total_sq": self.total_sq,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "StreamingMoments":
+        return StreamingMoments(
+            n=data["n"],
+            total=data["total"],
+            total_sq=data["total_sq"],
+            min=data["min"],
+            max=data["max"],
+        )
+
+
+def _priority(seed: int, key) -> int:
+    """Deterministic per-key priority for the hash reservoir."""
+    digest = hashlib.sha256(f"{seed}|{key!r}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class ReservoirSample:
+    """A bounded, order-independent sample of ``(key, value)`` pairs.
+
+    Keeps the ``capacity`` entries whose keys hash to the smallest
+    priorities under ``seed``.  Because membership is a pure function of
+    the key set, two partial reservoirs built from disjoint slices of a
+    sweep merge to exactly the reservoir of the full sweep — no matter
+    how the slices were cut or ordered.
+    """
+
+    capacity: int = 32
+    seed: int = 0
+    #: priority -> (key, value); len() <= capacity.
+    entries: dict = field(default_factory=dict)
+
+    def update(self, key, value) -> None:
+        self.entries[_priority(self.seed, key)] = (key, value)
+        self._trim()
+
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        self.entries.update(other.entries)
+        self._trim()
+        return self
+
+    def _trim(self) -> None:
+        while len(self.entries) > self.capacity:
+            self.entries.pop(max(self.entries))
+
+    def items(self) -> list[tuple]:
+        """The sampled ``(key, value)`` pairs, in priority order."""
+        return [self.entries[p] for p in sorted(self.entries)]
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "entries": {str(p): list(kv) for p, kv in self.entries.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ReservoirSample":
+        sample = ReservoirSample(
+            capacity=data["capacity"], seed=data["seed"]
+        )
+        sample.entries = {
+            int(p): (kv[0], kv[1]) for p, kv in data["entries"].items()
+        }
+        return sample
+
+
+@dataclass
+class SweepStats:
+    """The mergeable aggregate of one sweep: what the coordinator keeps
+    instead of every replica's output."""
+
+    faults: StreamingMoments = field(default_factory=StreamingMoments)
+    makespans: StreamingMoments = field(default_factory=StreamingMoments)
+    sample: ReservoirSample = field(default_factory=ReservoirSample)
+    done: int = 0
+    errors: int = 0
+
+    def observe(self, key, faults: int, makespan: int) -> None:
+        self.faults.update(faults)
+        self.makespans.update(makespan)
+        self.sample.update(key, faults)
+        self.done += 1
+
+    def observe_error(self) -> None:
+        self.errors += 1
+
+    def merge(self, other: "SweepStats") -> "SweepStats":
+        self.faults.merge(other.faults)
+        self.makespans.merge(other.makespans)
+        self.sample.merge(other.sample)
+        self.done += other.done
+        self.errors += other.errors
+        return self
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate (order-independent by construction)."""
+        return {
+            "replicas": self.done + self.errors,
+            "done": self.done,
+            "errors": self.errors,
+            "faults": {
+                "sum": self.faults.total,
+                "mean": round(self.faults.mean, 6),
+                "std": round(self.faults.std, 6),
+                "min": self.faults.min,
+                "max": self.faults.max,
+            },
+            "makespan": {
+                "sum": self.makespans.total,
+                "mean": round(self.makespans.mean, 6),
+                "min": self.makespans.min,
+                "max": self.makespans.max,
+            },
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "faults": self.faults.to_dict(),
+            "makespans": self.makespans.to_dict(),
+            "sample": self.sample.to_dict(),
+            "done": self.done,
+            "errors": self.errors,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SweepStats":
+        return SweepStats(
+            faults=StreamingMoments.from_dict(data["faults"]),
+            makespans=StreamingMoments.from_dict(data["makespans"]),
+            sample=ReservoirSample.from_dict(data["sample"]),
+            done=data["done"],
+            errors=data["errors"],
+        )

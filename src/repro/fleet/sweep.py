@@ -1,0 +1,181 @@
+"""Sweep driver: replicas → executor → mergeable aggregate, crash-safe.
+
+:func:`run_sweep` is the executor-agnostic front door: give it a JSON
+**task** (the ``replica`` job params language — named workload generator
+or inline ``sequences``, strategy spec, ``cache_size``/``tau``) and a
+seed list, and it scatters one :class:`~repro.fleet.executor.ReplicaJob`
+per seed over whatever executor you hand it, folding results into
+:class:`~repro.fleet.stats.SweepStats` as they land.
+
+Two invariants carry the fleet acceptance criteria:
+
+* **exactly-once accounting** — every seed ends as exactly one
+  :class:`~repro.fleet.executor.ReplicaOutcome` (DONE or typed ERROR),
+  keyed by seed, no matter how many times fault tolerance re-submitted
+  it under the hood;
+* **order-independent aggregates** — the stats layer uses exact integer
+  sums and a hash-priority reservoir, so a sweep completed out of order
+  across N flaky endpoints reports numbers identical to the same sweep
+  run serially in one process.
+
+With ``journal=`` the sweep is resumable: each outcome is appended to a
+:class:`repro.runtime.supervisor.Journal` (fingerprinted by the task
+configuration) the moment it lands, and a rerun skips journaled seeds —
+a coordinator crash mid-sweep costs only the replicas in flight.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+
+from repro.fleet.executor import (
+    LocalProcessExecutor,
+    ReplicaJob,
+    ReplicaOutcome,
+)
+from repro.fleet.stats import ReservoirSample, SweepStats
+from repro.runtime.supervisor import Journal
+
+__all__ = ["FleetSweepResult", "run_sweep", "task_fingerprint"]
+
+#: Journal schema tag; bump on any change to the outcome payload shape.
+_SWEEP_SCHEMA = "fleet-sweep/1"
+
+
+def task_fingerprint(task: dict) -> str:
+    """Content hash of one sweep's task configuration (seed excluded —
+    the journal covers all seeds of one task)."""
+    body = {k: v for k, v in task.items() if k != "seed"}
+    payload = json.dumps(
+        [_SWEEP_SCHEMA, body], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class FleetSweepResult:
+    """Everything a completed sweep reports."""
+
+    task: dict
+    outcomes: dict  # seed -> ReplicaOutcome
+    stats: SweepStats
+    topology: dict
+    resumed: int = 0
+    #: Seeds that landed as typed ERROR outcomes, sorted.
+    failed_seeds: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_seeds
+
+    @property
+    def seeds(self) -> tuple:
+        return tuple(self.outcomes)
+
+    @property
+    def max_attempts(self) -> int:
+        """The flakiest replica's attempt count (1 = nothing retried)."""
+        if not self.outcomes:
+            return 0
+        return max(o.attempts for o in self.outcomes.values())
+
+    def summary(self) -> dict:
+        body = self.stats.summary()
+        body["topology"] = self.topology
+        body["resumed"] = self.resumed
+        body["failed_seeds"] = list(self.failed_seeds)
+        body["max_attempts"] = self.max_attempts
+        body["hedged"] = sum(
+            1 for o in self.outcomes.values() if o.hedged
+        )
+        return body
+
+
+def run_sweep(
+    task: dict,
+    seeds,
+    *,
+    executor=None,
+    journal=None,
+    stats_seed: int = 0,
+    sample_capacity: int = 32,
+    on_outcome=None,
+) -> FleetSweepResult:
+    """Run ``task`` once per seed on ``executor`` and aggregate.
+
+    ``executor`` defaults to a fresh
+    :class:`~repro.fleet.executor.LocalProcessExecutor`; pass any object
+    with the executor protocol (``run(jobs, on_outcome=...)``,
+    ``describe()``) — see :func:`repro.fleet.executor.executor_from_config`.
+    ``journal`` names a resumable manifest: outcomes already journaled
+    for this task fingerprint are restored, not re-run.  ``on_outcome``
+    fires once per freshly-computed outcome (not for resumed ones).
+    """
+    owns_executor = executor is None
+    if executor is None:
+        executor = LocalProcessExecutor()
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("sweep seeds must be unique (they key outcomes)")
+    stats = SweepStats(
+        sample=ReservoirSample(capacity=sample_capacity, seed=stats_seed)
+    )
+    outcomes: dict = {}
+    lock = threading.Lock()
+
+    def fold(outcome: ReplicaOutcome) -> None:
+        if outcome.ok:
+            stats.observe(outcome.key, outcome.faults, outcome.makespan)
+        else:
+            stats.observe_error()
+
+    journal_obj = None
+    resumed = 0
+    todo_seeds = seeds
+    if journal is not None:
+        journal_obj = Journal(journal, task_fingerprint(task))
+        restored = {
+            seed: journal_obj.completed[seed]
+            for seed in seeds
+            if seed in journal_obj.completed
+        }
+        for seed, payload in restored.items():
+            outcome = ReplicaOutcome.from_dict(dict(payload))
+            outcome.key = seed  # journal round-trips keys through JSON
+            outcomes[seed] = outcome
+            fold(outcome)
+        resumed = len(restored)
+        todo_seeds = [seed for seed in seeds if seed not in restored]
+
+    def record(outcome: ReplicaOutcome) -> None:
+        with lock:
+            outcomes[outcome.key] = outcome
+            fold(outcome)
+            if journal_obj is not None:
+                journal_obj.record(outcome.key, outcome.to_dict())
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+    jobs = [ReplicaJob(seed, dict(task, seed=seed)) for seed in todo_seeds]
+    try:
+        executor.run(jobs, on_outcome=record)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+        if owns_executor:
+            executor.close()
+
+    failed = tuple(
+        sorted(seed for seed, o in outcomes.items() if not o.ok)
+    )
+    return FleetSweepResult(
+        task=dict(task),
+        outcomes={seed: outcomes[seed] for seed in seeds},
+        stats=stats,
+        topology=executor.describe(),
+        resumed=resumed,
+        failed_seeds=failed,
+    )

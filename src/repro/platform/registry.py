@@ -93,6 +93,11 @@ class RunRecord:
     #: Per-experiment wall seconds (registry metadata, not metric data).
     seconds: dict = field(default_factory=dict)
     environment: dict = field(default_factory=dict)
+    #: Executor topology that produced the run ({} for plain local runs).
+    topology: dict = field(default_factory=dict)
+    #: experiment id -> attempt count, for experiments that needed >1
+    #: fleet attempt (flaky-replica visibility; docs/FLEET.md).
+    attempts: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -113,7 +118,7 @@ class RunRecord:
         }
 
     def summary(self) -> dict:
-        return {
+        body = {
             "run_id": self.run_id,
             "name": self.spec.get("name"),
             "scale": self.spec.get("scale"),
@@ -122,6 +127,11 @@ class RunRecord:
             "errors": len(self.errors),
             "cached": self.cached,
         }
+        if self.topology:
+            body["executor"] = self.topology.get("kind")
+        if self.attempts:
+            body["retried"] = sum(n - 1 for n in self.attempts.values())
+        return body
 
 
 def _read_json(path: Path):
@@ -153,6 +163,8 @@ def load_run(path) -> RunRecord:
         cached=True,
         seconds=dict(meta.get("seconds", {})),
         environment=dict(meta.get("environment", {})),
+        topology=dict(meta.get("topology", {})),
+        attempts=dict(meta.get("attempts", {})),
     )
 
 

@@ -9,6 +9,15 @@ wraps.  :func:`run_spec` adds the registry half: results stream into a
 complete, so a SIGKILLed run re-invoked with the same spec resumes where
 it left off, and a *completed* run folder is returned whole as a cache
 hit without executing anything.
+
+Specs with a remote ``executor`` section (kind ``service`` or ``fleet``;
+docs/FLEET.md) scatter their experiments as ``experiment`` jobs over the
+named endpoints instead of running in-process.  The executor section is
+excluded from the spec fingerprint, and remote experiments return the
+same ``result_to_payload`` bodies a local run produces, so a fleet run
+and a local run of one spec share a run ID and byte-identical metric
+files; the topology that actually ran — and any per-experiment retry
+counts — are recorded in ``run.json`` (surfaced by ``repro runs``).
 """
 
 from __future__ import annotations
@@ -77,19 +86,103 @@ def _run_one(spec: dict, eid: str, *, fail_fast: bool):
     return result
 
 
-def execute_spec(spec: dict, *, fail_fast: bool = False) -> list:
+def _spec_executor(spec: dict, executor):
+    """Resolve the executor for a spec: an explicit instance wins, else a
+    remote ``executor`` section builds one (local kinds return ``None`` —
+    the in-process path is already the local executor).  Returns
+    ``(executor_or_None, owns_it)``."""
+    if executor is not None:
+        return executor, False
+    config = spec.get("executor") or {}
+    if config.get("kind") in ("service", "fleet"):
+        from repro.fleet.executor import executor_from_config
+
+        return executor_from_config(config), True
+    return None, False
+
+
+def _execute_remote(spec: dict, eids, executor, *, on_payload=None) -> dict:
+    """Scatter experiments over a fleet executor; returns
+    ``eid -> (payload, attempts)`` with typed ERROR payloads for
+    experiments the fleet could not finish."""
+    from repro.fleet.executor import ReplicaJob
+
+    overrides = experiment_overrides(spec)
+    jobs = [
+        ReplicaJob(
+            eid,
+            {
+                "id": eid,
+                "scale": spec["scale"],
+                "overrides": overrides,
+                "payload": True,
+            },
+            kind="experiment",
+        )
+        for eid in eids
+    ]
+    results: dict = {}
+
+    def record(outcome) -> None:
+        from repro.experiments import EXPERIMENTS
+
+        eid = outcome.key
+        if outcome.ok:
+            payload = dict(outcome.result)
+        else:
+            payload = result_to_payload(
+                ExperimentError(
+                    id=eid,
+                    title=getattr(EXPERIMENTS[eid], "TITLE", eid),
+                    error=outcome.error or "fleet replica failed",
+                    fingerprint=replica_fingerprint(spec, eid),
+                )
+            )
+        results[eid] = (payload, outcome.attempts)
+        if on_payload is not None:
+            on_payload(eid, payload, outcome.attempts)
+
+    executor.run(jobs, on_outcome=record)
+    return results
+
+
+def execute_spec(spec: dict, *, fail_fast: bool = False, executor=None) -> list:
     """Run every experiment the spec selects, in id order.
 
     Returns a list of :class:`ExperimentResult` /
     :class:`ExperimentError` objects (the latter only without
     ``fail_fast``).  Purely in-memory: no registry folder is written —
     that is :func:`run_spec`'s job.
+
+    ``executor`` (or a remote ``executor`` section in the spec) scatters
+    the experiments over a :mod:`repro.fleet` backend instead; each
+    returned stub then carries the fleet attempt count as an
+    ``attempts`` attribute.
     """
     spec = canonicalize_spec(spec)
-    return [
-        _run_one(spec, eid, fail_fast=fail_fast)
-        for eid in spec["experiments"]
-    ]
+    executor, owns = _spec_executor(spec, executor)
+    if executor is None:
+        return [
+            _run_one(spec, eid, fail_fast=fail_fast)
+            for eid in spec["experiments"]
+        ]
+    try:
+        remote = _execute_remote(spec, spec["experiments"], executor)
+    finally:
+        if owns:
+            executor.close()
+    results = []
+    for eid in spec["experiments"]:
+        payload, attempts = remote[eid]
+        if fail_fast and payload.get("verdict") == "ERROR":
+            raise RuntimeError(
+                f"experiment {eid} failed on the fleet: "
+                f"{payload.get('error', '')}"
+            )
+        stub = payload_to_stub(payload)
+        stub.attempts = attempts
+        results.append(stub)
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +270,7 @@ def run_spec(
     force: bool = False,
     fail_fast: bool = False,
     on_progress=None,
+    executor=None,
 ) -> RunRecord:
     """Run a spec under the registry; return its :class:`RunRecord`.
 
@@ -190,6 +284,11 @@ def run_spec(
       (crash-safe via :class:`repro.runtime.supervisor.Journal`), and the
       folder is finalised — metric tables, error replay descriptors,
       ``run.json`` — only after the last one.
+    * ``executor`` (or a remote ``executor`` spec section) scatters the
+      experiments over a :mod:`repro.fleet` backend; ``run.json`` then
+      records the fleet topology and per-experiment attempt counts
+      (metric files stay byte-identical to a local run — attempts are
+      run metadata, not results).
     """
     spec = canonicalize_spec(spec)
     rid = run_id_for(spec)
@@ -204,25 +303,58 @@ def run_spec(
     folder.mkdir(parents=True, exist_ok=True)
     _write_json(folder / "spec.lock.json", spec)
 
+    executor, owns_executor = _spec_executor(spec, executor)
     payloads: dict = {}
     seconds: dict = {}
+    attempts: dict = {}
     resumed = 0
     journal = Journal(folder / "journal.jsonl", rid)
     try:
+        todo = []
         for eid in spec["experiments"]:
             if eid in journal.completed:
-                payload = dict(journal.completed[eid])
+                payloads[eid] = dict(journal.completed[eid])
+                seconds[eid] = payloads[eid].get("seconds", 0.0)
                 resumed += 1
+                if on_progress is not None:
+                    on_progress(eid, payloads[eid])
             else:
+                todo.append(eid)
+        if executor is not None and todo:
+
+            def on_payload(eid, payload, n_attempts):
+                journal.record(eid, payload)
+                payloads[eid] = payload
+                seconds[eid] = payload.get("seconds", 0.0)
+                if n_attempts > 1:
+                    attempts[eid] = n_attempts
+                if on_progress is not None:
+                    on_progress(eid, payload)
+
+            _execute_remote(spec, todo, executor, on_payload=on_payload)
+            if fail_fast:
+                for eid in todo:
+                    if payloads[eid].get("verdict") == "ERROR":
+                        raise RuntimeError(
+                            f"experiment {eid} failed on the fleet: "
+                            f"{payloads[eid].get('error', '')}"
+                        )
+        else:
+            for eid in todo:
                 result = _run_one(spec, eid, fail_fast=fail_fast)
                 payload = result_to_payload(result)
                 journal.record(eid, payload)
-            payloads[eid] = payload
-            seconds[eid] = payload.get("seconds", 0.0)
-            if on_progress is not None:
-                on_progress(eid, payload)
+                payloads[eid] = payload
+                seconds[eid] = payload.get("seconds", 0.0)
+                if on_progress is not None:
+                    on_progress(eid, payload)
+        payloads = {
+            eid: payloads[eid] for eid in spec["experiments"]
+        }  # id order, however the fleet finished
     finally:
         journal.close()
+        if owns_executor:
+            executor.close()
 
     for eid, payload in payloads.items():
         _write_json(folder / "metrics" / f"{eid}.json", _metric_body(payload))
@@ -244,22 +376,26 @@ def run_spec(
             )
 
     environment = environment_stamp()
-    _write_json(
-        folder / "run.json",
-        {
-            "schema": 1,
-            "run_id": rid,
-            "spec_fingerprint": spec_fingerprint(spec),
-            "name": spec["name"],
-            "scale": spec["scale"],
-            "ok": all(p.get("ok") for p in payloads.values()),
-            "verdicts": {e: p.get("verdict") for e, p in payloads.items()},
-            "seconds": seconds,
-            "total_seconds": round(sum(seconds.values()), 3),
-            "created_at": time.time(),
-            "environment": environment,
-        },
-    )
+    run_body = {
+        "schema": 1,
+        "run_id": rid,
+        "spec_fingerprint": spec_fingerprint(spec),
+        "name": spec["name"],
+        "scale": spec["scale"],
+        "ok": all(p.get("ok") for p in payloads.values()),
+        "verdicts": {e: p.get("verdict") for e, p in payloads.items()},
+        "seconds": seconds,
+        "total_seconds": round(sum(seconds.values()), 3),
+        "created_at": time.time(),
+        "environment": environment,
+    }
+    if executor is not None:
+        run_body["topology"] = executor.describe()
+    if attempts:
+        # Only experiments that needed >1 attempt: flaky-replica
+        # visibility for `repro runs` without noise on clean runs.
+        run_body["attempts"] = {e: attempts[e] for e in sorted(attempts)}
+    _write_json(folder / "run.json", run_body)
     return RunRecord(
         run_id=rid,
         spec=spec,
@@ -269,4 +405,6 @@ def run_spec(
         resumed=resumed,
         seconds=seconds,
         environment=environment,
+        topology=run_body.get("topology", {}),
+        attempts=dict(attempts),
     )

@@ -26,6 +26,16 @@ Schema (every section optional)::
     budget:                  # exact-solver budget (docs/ROBUSTNESS.md)
       deadline_s: 5.0
       max_states: 200000
+    executor:                # where to run (docs/FLEET.md)
+      kind: fleet            # processes | threads | service | fleet
+      endpoints: ["http://127.0.0.1:8023"]
+      retries: 2
+
+Like ``name``, the ``executor`` section is **excluded from the
+fingerprint**: where a spec runs never changes what it computes (the
+fleet acceptance criterion), so a fleet run and a local run of the same
+spec share a run ID and dedup to one registry folder.  The topology that
+actually ran is recorded in the run's ``run.json`` instead.
 
 ``model`` and ``workload`` values reach the experiment modules through
 :func:`repro.experiments.base.param_overrides`: each override applies to
@@ -59,10 +69,24 @@ __all__ = [
 #: rather than ambiguous.
 SPEC_SCHEMA = 1
 
-_TOP_KEYS = ("name", "experiments", "scale", "model", "workload", "budget")
+_TOP_KEYS = (
+    "name", "experiments", "scale", "model", "workload", "budget", "executor",
+)
 _MODEL_KEYS = ("K", "tau", "p", "inflight")
 _WORKLOAD_KEYS = ("n", "seed")
 _BUDGET_KEYS = ("deadline_s", "max_states")
+_EXECUTOR_KEYS = (
+    "kind",
+    "endpoint",
+    "endpoints",
+    "max_workers",
+    "retries",
+    "timeout_s",
+    "hedge_after_s",
+    "replica_deadline_s",
+    "max_inflight_per_endpoint",
+)
+_EXECUTOR_KINDS = ("processes", "threads", "service", "fleet")
 _INFLIGHT_MODES = ("ftf", "pif")
 
 
@@ -196,6 +220,45 @@ def canonicalize_spec(raw: dict) -> dict:
             "budget", "max_states", budget["max_states"], minimum=1
         )
 
+    executor = _normalize_section(
+        "executor", raw.get("executor"), _EXECUTOR_KEYS
+    )
+    if "kind" in executor:
+        kind = executor["kind"]
+        if kind in ("local", "process"):
+            kind = "processes"
+        if kind not in _EXECUTOR_KINDS:
+            raise SpecError(
+                f"spec executor.kind must be one of "
+                f"{', '.join(_EXECUTOR_KINDS)}, got {executor['kind']!r}"
+            )
+        executor["kind"] = kind
+    if "endpoints" in executor:
+        endpoints = executor["endpoints"]
+        if not isinstance(endpoints, (list, tuple)) or not all(
+            isinstance(e, str) and e for e in endpoints
+        ):
+            raise SpecError(
+                f"spec executor.endpoints must be a list of URL strings, "
+                f"got {endpoints!r}"
+            )
+        executor["endpoints"] = list(endpoints)
+    if "endpoint" in executor and (
+        not isinstance(executor["endpoint"], str) or not executor["endpoint"]
+    ):
+        raise SpecError(
+            f"spec executor.endpoint must be a URL string, "
+            f"got {executor['endpoint']!r}"
+        )
+    if "retries" in executor:
+        executor["retries"] = _require_int(
+            "executor", "retries", executor["retries"], minimum=0
+        )
+    if "max_workers" in executor:
+        executor["max_workers"] = _require_int(
+            "executor", "max_workers", executor["max_workers"], minimum=1
+        )
+
     return {
         "schema": SPEC_SCHEMA,
         "name": name,
@@ -204,6 +267,7 @@ def canonicalize_spec(raw: dict) -> dict:
         "model": {k: model[k] for k in sorted(model)},
         "workload": {k: workload[k] for k in sorted(workload)},
         "budget": {k: budget[k] for k in sorted(budget)},
+        "executor": {k: executor[k] for k in sorted(executor)},
     }
 
 
@@ -213,13 +277,20 @@ def default_spec(scale: str = "small", *, name: str = "report") -> dict:
 
 
 def spec_fingerprint(spec: dict) -> str:
-    """sha256 over the canonical spec, *excluding* the display name.
+    """sha256 over the canonical spec, *excluding* the display name and
+    the executor section.
 
     Two specs that run the same work under different labels share a
     fingerprint — the label is for humans, the fingerprint for dedup.
+    The executor section is likewise excluded: *where* a spec runs never
+    changes *what* it computes, so a fleet run can serve as a cache hit
+    for a local run of the same work (and vice versa); the topology that
+    actually ran is recorded in ``run.json``, not the identity.
     """
     spec = canonicalize_spec(spec)
-    body = {k: v for k, v in spec.items() if k != "name"}
+    body = {
+        k: v for k, v in spec.items() if k not in ("name", "executor")
+    }
     payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -14,12 +14,18 @@ the faults those layers exist to survive:
     per-replica timeouts);
 ``corrupt``
     a cache entry is written truncated (to exercise checksum
-    quarantine).
+    quarantine); the service client reuses the same probability to
+    garble HTTP response bodies (to exercise the fleet's
+    corrupt-response retry);
+``drop``
+    an HTTP request to a service endpoint fails with a connection
+    error, as if the endpoint were dead (to exercise fleet failover
+    and health-probe recovery).
 
 Configuration comes from the ``REPRO_CHAOS`` environment variable —
 inherited by pool workers — as comma-separated clauses::
 
-    REPRO_CHAOS="seed=7,crash=0.3,slow=0.2,slow_s=2.0,corrupt=1.0"
+    REPRO_CHAOS="seed=7,crash=0.3,slow=0.2,slow_s=2.0,corrupt=1.0,drop=0.2"
 
 Injection is *deterministic*: the decision for a given ``(kind, key)``
 scope is a pure hash of ``(chaos seed, kind, key)`` against the
@@ -52,6 +58,7 @@ __all__ = [
     "corrupt_text",
     "maybe_corrupt",
     "maybe_crash",
+    "maybe_drop",
     "maybe_slow",
     "should_inject",
 ]
@@ -76,13 +83,14 @@ class ChaosConfig:
     slow: float = 0.0
     slow_s: float = 1.0
     corrupt: float = 0.0
+    drop: float = 0.0
 
     @staticmethod
     def parse(spec: str) -> "ChaosConfig":
         """Parse a ``REPRO_CHAOS`` clause string.
 
         >>> ChaosConfig.parse("seed=3,crash=0.5,corrupt=1")
-        ChaosConfig(seed=3, crash=0.5, slow=0.0, slow_s=1.0, corrupt=1.0)
+        ChaosConfig(seed=3, crash=0.5, slow=0.0, slow_s=1.0, corrupt=1.0, drop=0.0)
         """
         fields = {}
         for clause in spec.split(","):
@@ -98,7 +106,7 @@ class ChaosConfig:
             value = value.strip()
             if key == "seed":
                 fields["seed"] = int(value)
-            elif key in ("crash", "slow", "corrupt"):
+            elif key in ("crash", "slow", "corrupt", "drop"):
                 prob = float(value)
                 if not 0.0 <= prob <= 1.0:
                     raise ValueError(
@@ -112,7 +120,12 @@ class ChaosConfig:
         return ChaosConfig(**fields)
 
     def active(self) -> bool:
-        return self.crash > 0 or self.slow > 0 or self.corrupt > 0
+        return (
+            self.crash > 0
+            or self.slow > 0
+            or self.corrupt > 0
+            or self.drop > 0
+        )
 
 
 def chaos_config() -> ChaosConfig | None:
@@ -139,8 +152,10 @@ def _roll(seed: int, kind: str, key) -> float:
 def should_inject(kind: str, key, attempt: int = 0, *, config=None) -> bool:
     """Decide (purely, reproducibly) whether to inject ``kind`` at ``key``.
 
-    ``crash``/``slow`` fire only on the first attempt; ``corrupt`` has no
-    attempt scope (cache writes are not retried).
+    ``crash``/``slow`` fire only on the first attempt; ``corrupt`` and
+    ``drop`` have no attempt scope (cache writes are not retried, and a
+    dead endpoint stays dead for that request — the fleet is expected to
+    fail over to a different endpoint, not to re-roll the same one).
     """
     cfg = chaos_config() if config is None else config
     if cfg is None:
@@ -171,6 +186,17 @@ def maybe_slow(key, attempt: int = 0) -> None:
     cfg = chaos_config()
     if cfg is not None and should_inject("slow", key, attempt, config=cfg):
         time.sleep(cfg.slow_s)
+
+
+def maybe_drop(key) -> None:
+    """Raise :class:`ConnectionError` if chaos kills this HTTP exchange.
+
+    Keyed on the full request scope (endpoint + path), so which
+    (endpoint, request) pairs die is deterministic per chaos seed; the
+    caller is expected to treat it exactly like a refused connection.
+    """
+    if should_inject("drop", key):
+        raise ConnectionError(f"injected endpoint drop at {key!r}")
 
 
 def corrupt_text(text: str) -> str:

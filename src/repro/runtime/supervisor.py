@@ -36,6 +36,7 @@ policy; :mod:`repro.runtime.chaos` supplies the faults that test it.
 
 from __future__ import annotations
 
+import inspect
 import json
 import os
 import random
@@ -97,6 +98,25 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
+def _adapt_on_result(on_result):
+    """Normalise an ``on_result`` callback to the 3-arg form.
+
+    Accepts both the historical ``(item, value)`` signature and the
+    attempt-aware ``(item, value, attempt)`` one; when the signature is
+    uninspectable (builtins, some callables) the 2-arg form is assumed.
+    """
+    try:
+        parameters = inspect.signature(on_result).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return lambda item, value, attempt: on_result(item, value)
+    takes_attempt = len(parameters) >= 3 or any(
+        p.kind == inspect.Parameter.VAR_POSITIONAL for p in parameters.values()
+    )
+    if takes_attempt:
+        return on_result
+    return lambda item, value, attempt: on_result(item, value)
+
+
 def supervised_map(
     fn,
     items,
@@ -131,6 +151,13 @@ def supervised_map(
     to that fraction of its nominal length, de-synchronising retry storms
     when many supervised sweeps share a machine.  The default 0.0 keeps
     backoff deterministic for tests.
+
+    ``on_result`` may take either two arguments ``(item, value)`` or
+    three ``(item, value, attempt)`` — the signature is inspected once.
+    The third form receives the 0-based attempt number that *succeeded*
+    (so ``attempt + 1`` attempts were consumed), which is how journaling
+    callers record per-replica retry counts for post-hoc flakiness
+    analysis (docs/ROBUSTNESS.md).
     """
     if on_failure not in ("raise", "record"):
         raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
@@ -139,6 +166,9 @@ def supervised_map(
     items = list(items)
     results: dict = {}
     failures: list[ReplicaFailure] = []
+    result_cb = None
+    if on_result is not None:
+        result_cb = _adapt_on_result(on_result)
     pending: deque = deque((item, 0) for item in items)
     # Last *worker-raised* error per item, with its remote traceback.  A
     # later infrastructure failure (pool break, timeout) must not clobber
@@ -215,8 +245,8 @@ def supervised_map(
                     note_failure(item, attempt, last_real_error[item])
                 else:
                     results[item] = value
-                    if on_result is not None:
-                        on_result(item, value)
+                    if result_cb is not None:
+                        result_cb(item, value, attempt)
             if broken:
                 # The pool is poisoned: every other in-flight future will
                 # raise BrokenProcessPool too.  The culprit is unknowable,

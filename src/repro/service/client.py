@@ -15,19 +15,40 @@ into typed exceptions, so callers can implement honest retry loops::
 :meth:`ServiceClient.submit_and_wait` packages exactly that loop —
 bounded retries honouring the server's ``Retry-After`` hints — for
 clients that just want the answer.
+
+Failure typing is the fleet contract (docs/FLEET.md): *transport*
+failures (connection refused, reset mid-read, undecodable body) raise
+:class:`EndpointDown` / :class:`CorruptResponse` — the endpoint is
+suspect, fail over — while *job* failures arrive as ordinary terminal
+records — the endpoint is healthy, the work failed.  An overall
+``overall_deadline_s`` on :meth:`submit_and_wait` bounds the whole
+retry loop against a permanently-saturated server; exhaustion raises
+:class:`FleetTimeout` carrying the attempt history, so the caller can
+see *why* the deadline went (all backpressure? one slow job?).
+
+Under ``REPRO_CHAOS`` (:mod:`repro.runtime.chaos`) every request passes
+through three deterministic fault points — latency injection (``slow``),
+endpoint kill (``drop``), response corruption (``corrupt``) — which is
+how the fleet executor's failover machinery is tested without real
+network failures.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 
+from repro.runtime import chaos
 from repro.service.jobs import TERMINAL_STATES
 
 __all__ = [
     "Backpressure",
+    "CorruptResponse",
+    "EndpointDown",
+    "FleetTimeout",
     "JobTimeout",
     "ServiceClient",
     "ServiceError",
@@ -51,8 +72,37 @@ class Backpressure(ServiceError):
         self.retry_after_s = retry_after_s
 
 
+class EndpointDown(ServiceError):
+    """The endpoint could not be reached or died mid-exchange.
+
+    This is a *transport*-level verdict (connection refused, reset,
+    timeout), distinct from a job failing on a healthy endpoint — the
+    fleet treats it as "this endpoint is suspect: probe it, fail over".
+    ``status`` is 0: no HTTP status was ever received.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(0, message)
+
+
+class CorruptResponse(EndpointDown):
+    """The endpoint answered, but the body was not decodable JSON —
+    treated like a transport failure (retry elsewhere), not a result."""
+
+
 class JobTimeout(TimeoutError):
     """A client-side wait deadline expired before the job finished."""
+
+
+class FleetTimeout(TimeoutError):
+    """The overall ``overall_deadline_s`` cap on a submit-and-wait loop
+    expired.  ``attempts`` is the structured history of everything the
+    client tried before giving up (submissions, backpressure waits,
+    polls), for post-mortems of saturated or flapping endpoints."""
+
+    def __init__(self, message: str, attempts: list[dict]):
+        super().__init__(message)
+        self.attempts = list(attempts)
 
 
 class ServiceClient:
@@ -70,12 +120,20 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        chaos_on = chaos.chaos_active()
+        scope = ("http", f"{self.base_url}{path}")
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, headers=headers, method=method
         )
         try:
+            if chaos_on:
+                # Inside the transport try-block on purpose: an injected
+                # drop is a ConnectionError and must surface as the same
+                # EndpointDown a real refused connection would.
+                chaos.maybe_slow(scope)
+                chaos.maybe_drop(scope)
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                text = resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", errors="replace")
             try:
@@ -89,6 +147,28 @@ class ServiceClient:
                     retry_after = float(exc.headers.get("Retry-After", 1) or 1)
                 raise Backpressure(exc.code, message, float(retry_after)) from None
             raise ServiceError(exc.code, message) from None
+        except (
+            urllib.error.URLError,
+            ConnectionError,
+            OSError,
+            http.client.HTTPException,
+        ) as exc:
+            # Connection refused / reset / timed out / torn down mid-read
+            # (IncompleteRead and friends subclass HTTPException, not
+            # OSError): no usable HTTP exchange happened, so this is an
+            # endpoint verdict, not a job verdict.
+            reason = getattr(exc, "reason", None) or exc
+            raise EndpointDown(
+                f"{self.base_url}{path}: {type(exc).__name__}: {reason}"
+            ) from None
+        if chaos_on:
+            text = chaos.maybe_corrupt(("http-response", scope[1]), text)
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise CorruptResponse(
+                f"{self.base_url}{path}: undecodable response body ({exc})"
+            ) from None
 
     # -- API ---------------------------------------------------------------
 
@@ -147,19 +227,71 @@ class ServiceClient:
         deadline_s: float | None = None,
         timeout_s: float = 60.0,
         submit_retries: int = 5,
+        overall_deadline_s: float | None = None,
     ) -> dict:
         """Submit with a backpressure-honouring retry loop, then wait.
 
         On 429/503 the client sleeps for the server's ``Retry-After``
         hint (capped at 10s per round) up to ``submit_retries`` times —
         the well-behaved-client loop docs/SERVICE.md prescribes.
+
+        ``overall_deadline_s`` caps the **whole** loop — submission
+        retries *and* the wait — so a permanently-saturated server whose
+        every reply says "come back later" cannot spin this client
+        forever.  On expiry the loop raises :class:`FleetTimeout`
+        carrying the attempt history instead of silently looping; the
+        per-round ``submit_retries`` bound still applies independently.
         """
+        start = time.monotonic()
+        history: list[dict] = []
+
+        def remaining() -> float | None:
+            if overall_deadline_s is None:
+                return None
+            return overall_deadline_s - (time.monotonic() - start)
+
+        def overall_expired(event: str) -> FleetTimeout:
+            history.append({"event": event})
+            return FleetTimeout(
+                f"{kind} submit_and_wait exceeded its overall deadline of "
+                f"{overall_deadline_s}s after {len(history)} step(s)",
+                history,
+            )
+
         for attempt in range(submit_retries + 1):
+            left = remaining()
+            if left is not None and left <= 0:
+                raise overall_expired("deadline_before_submit")
             try:
                 job = self.submit(kind, params, deadline_s=deadline_s)
+                history.append({"event": "submitted", "job_id": job["id"]})
                 break
             except Backpressure as busy:
+                history.append(
+                    {
+                        "event": "backpressure",
+                        "status": busy.status,
+                        "retry_after_s": busy.retry_after_s,
+                    }
+                )
                 if attempt == submit_retries:
                     raise
-                time.sleep(min(busy.retry_after_s, 10.0))
-        return self.wait(job["id"], timeout_s=timeout_s)
+                sleep_s = min(busy.retry_after_s, 10.0)
+                left = remaining()
+                if left is not None and sleep_s >= left:
+                    # Sleeping through the hint would blow the deadline:
+                    # fail now, with the history explaining why.
+                    raise overall_expired("deadline_during_backoff") from None
+                time.sleep(sleep_s)
+        wait_s = timeout_s
+        left = remaining()
+        if left is not None:
+            wait_s = min(wait_s, max(0.0, left))
+        try:
+            return self.wait(job["id"], timeout_s=wait_s)
+        except JobTimeout:
+            if left is not None and wait_s < timeout_s:
+                # The *overall* cap (not the caller's wait budget) is
+                # what actually expired.
+                raise overall_expired("deadline_during_wait") from None
+            raise

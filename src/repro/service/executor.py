@@ -23,6 +23,13 @@ Robustness contract per kind:
     the job fingerprint — and therefore the service's dedup store —
     keys on spec content, and a killed worker resumes from the run
     folder's journal on retry instead of recomputing.
+``replica``
+    One seed's simulation — the fleet executor's unit of work
+    (docs/FLEET.md).  Runs through the same
+    :func:`~repro.core.kernels.simulate_fast` path as local
+    :func:`repro.analysis.batch.batch_run` replicas and returns the
+    same ``{"faults", "makespan"}`` pair, which is what makes fleet
+    aggregates bit-identical to local ones.
 
 Chaos composition: every attempt first passes through the ``REPRO_CHAOS``
 hooks keyed by ``("job", id)``, so the existing fault injector can
@@ -104,7 +111,7 @@ def validate_spec(kind: str, params: dict) -> None:
                 )
             if params.get("scale", "small") not in ("small", "full"):
                 raise ValueError("scale must be 'small' or 'full'")
-        elif kind in ("simulate", "sweep"):
+        elif kind in ("simulate", "sweep", "replica"):
             workload = _build_workload(params)
             _build_strategy(params, workload.num_cores)
             if kind == "sweep":
@@ -165,11 +172,29 @@ def _run_simulate(params: dict) -> dict:
 
 
 def _run_experiment(params: dict) -> dict:
+    """Run one registered experiment.
+
+    ``overrides`` (optional) is the merged workload/model override
+    mapping a platform spec produces — this is how
+    :func:`repro.platform.runner.run_spec` delegates experiments to a
+    fleet and still gets spec-faithful results.  ``payload=True``
+    returns the full :func:`repro.platform.runner.result_to_payload`
+    body (claim, checks, metric table) instead of the compact summary,
+    so the caller can write registry metric files byte-identical to a
+    local run.
+    """
     from repro.experiments import run_experiment
 
     result = run_experiment(
-        str(params["id"]), scale=params.get("scale", "small")
+        str(params["id"]),
+        scale=params.get("scale", "small"),
+        overrides=params.get("overrides") or None,
     )
+    if params.get("payload"):
+        from repro.platform.runner import result_to_payload
+
+        result.seconds = getattr(result, "seconds", 0.0) or 0.0
+        return {"state": "DONE", "result": result_to_payload(result)}
     return {
         "state": "DONE",
         "result": {
@@ -179,6 +204,25 @@ def _run_experiment(params: dict) -> dict:
             "verdict": result.verdict(),
             "checks": dict(result.checks),
         },
+    }
+
+
+def _run_replica(params: dict) -> dict:
+    """One seed's simulation, via the same fast-kernel path as local
+    ``batch_run`` replicas — identical numbers, by construction."""
+    from repro.core.kernels import simulate_fast
+
+    workload = _build_workload(params)
+    strategy = _build_strategy(params, workload.num_cores)
+    res = simulate_fast(
+        workload,
+        params.get("cache_size", _WORKLOAD_DEFAULTS["cache_size"]),
+        params.get("tau", _WORKLOAD_DEFAULTS["tau"]),
+        strategy,
+    )
+    return {
+        "state": "DONE",
+        "result": {"faults": res.total_faults, "makespan": res.makespan},
     }
 
 
@@ -284,6 +328,8 @@ def run_job(payload: dict) -> dict:
         return _run_experiment(params)
     if kind == "sweep":
         return _run_sweep(params)
+    if kind == "replica":
+        return _run_replica(params)
     if kind == "opt":
         return _run_opt(params, payload.get("deadline_s"))
     if kind == "run":

@@ -47,8 +47,12 @@ __all__ = [
 #: ``run`` executes a declarative experiment spec under the run registry
 #: (docs/PLATFORM.md); its params carry the *canonical* spec, so the
 #: fingerprint below dedups equivalent specs exactly as the registry's
-#: content-addressed run IDs do.
-JOB_KINDS = ("simulate", "experiment", "sweep", "opt", "run")
+#: content-addressed run IDs do.  ``replica`` is one seed-replicated
+#: simulation — the unit of work the fleet executor (docs/FLEET.md)
+#: scatters across endpoints; its fingerprint is what makes hedged
+#: resubmission exactly-once (two submissions of the same replica dedup
+#: to one result).
+JOB_KINDS = ("simulate", "experiment", "sweep", "opt", "run", "replica")
 
 #: States a job can never leave.
 TERMINAL_STATES = frozenset({"DONE", "DEGRADED", "FAILED"})

@@ -12,10 +12,20 @@ backlog actually needs to drain::
 In-flight and queued jobs are never affected by rejections: admission
 control is strictly front-door (the backpressure half of the acceptance
 criteria; the kill-recover half lives in the job store).
+
+With ``jitter > 0`` each hint is stretched by a small deterministic
+factor in ``[1, 1 + jitter]`` — drawn from a seeded hash of the
+rejection counter, not the wall clock — so a fleet of clients rejected
+in the same burst does not thundering-herd back the instant a shared
+interval expires.  Jitter only ever *adds* to the base estimate: a
+jittered hint is never shorter than the honest drain time, so hints
+remain monotone in backlog depth (the property
+``tests/service/test_admission.py`` pins).
 """
 
 from __future__ import annotations
 
+import hashlib
 import queue as _stdlib_queue
 import threading
 
@@ -42,18 +52,33 @@ class AdmissionQueue:
     timeout so worker loops can poll their drain latch.
     """
 
-    def __init__(self, capacity: int = 64, *, workers: int = 1):
+    def __init__(
+        self,
+        capacity: int = 64,
+        *,
+        workers: int = 1,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
         self.capacity = capacity
         self.workers = workers
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
         self._queue: _stdlib_queue.Queue = _stdlib_queue.Queue(maxsize=capacity)
         self._lock = threading.Lock()
         # EWMA of observed job durations; seeds pessimistically at 1s so
         # the very first rejection already carries a sane hint.
         self._ewma_duration_s = 1.0
+        # Counts hints issued; the jitter fraction is a pure hash of
+        # (seed, counter) so successive rejected clients get *different*
+        # waits (de-synchronised) that are still reproducible per seed.
+        self._hints_issued = 0
 
     # -- producer side -----------------------------------------------------
 
@@ -74,10 +99,25 @@ class AdmissionQueue:
         self._queue.put(item)
 
     def retry_after_s(self) -> float:
-        """How long a rejected client should wait before retrying."""
+        """How long a rejected client should wait before retrying.
+
+        The base is the honest drain estimate; with ``jitter`` enabled
+        the reply is stretched by a deterministic per-hint factor in
+        ``[1, 1 + jitter]`` — never shortened, so the hint is always at
+        least the drain estimate and stays monotone in backlog.
+        """
         with self._lock:
             per_worker = self._ewma_duration_s / self.workers
-        return max(1.0, round(self.depth() * per_worker, 1))
+            self._hints_issued += 1
+            hint_index = self._hints_issued
+        base = max(1.0, round(self.depth() * per_worker, 1))
+        if self.jitter <= 0.0:
+            return base
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}|{hint_index}".encode("utf-8")
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return round(base * (1.0 + self.jitter * frac), 3)
 
     # -- consumer side -----------------------------------------------------
 
@@ -111,4 +151,5 @@ class AdmissionQueue:
             "depth": self.depth(),
             "capacity": self.capacity,
             "ewma_job_s": ewma,
+            "retry_jitter": self.jitter,
         }

@@ -74,12 +74,15 @@ class JobService:
         opt_grace_s: float = 10.0,
         breaker_threshold: int = 5,
         breaker_reset_s: float = 30.0,
+        queue_jitter: float = 0.1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.journal_path = journal_path
         self.store = JobStore(journal_path)
-        self.queue = AdmissionQueue(queue_capacity, workers=workers)
+        self.queue = AdmissionQueue(
+            queue_capacity, workers=workers, jitter=queue_jitter
+        )
         self.breakers = {
             kind: CircuitBreaker(
                 kind,

@@ -1,0 +1,194 @@
+"""Local executors + the sweep driver: every backend must produce the
+same numbers for the same task, and the sweep must account for every
+seed exactly once (journal resume included)."""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    FleetExecutor,
+    LocalProcessExecutor,
+    LocalThreadExecutor,
+    ReplicaJob,
+    ReplicaOutcome,
+    ServiceExecutor,
+    executor_from_config,
+    run_sweep,
+    task_fingerprint,
+)
+
+pytestmark = pytest.mark.fleet
+
+#: Tiny replica task (the ``replica`` job params language).
+TASK = {
+    "workload": "zipf",
+    "cores": 2,
+    "length": 60,
+    "cache_size": 8,
+    "tau": 1,
+    "strategy": "S_LRU",
+}
+
+SEEDS = list(range(6))
+
+
+def summaries_equal(a, b):
+    """Aggregate equality modulo provenance — topology/resume/attempt
+    bookkeeping legitimately differs between executors; the *numbers*
+    must not."""
+    sa, sb = dict(a.summary()), dict(b.summary())
+    for body in (sa, sb):
+        for provenance in ("topology", "resumed", "max_attempts", "hedged"):
+            body.pop(provenance)
+    return sa == sb
+
+
+class TestLocalExecutors:
+    def test_thread_and_process_executors_agree(self):
+        thread_sweep = run_sweep(
+            TASK, SEEDS, executor=LocalThreadExecutor(max_workers=3)
+        )
+        process_sweep = run_sweep(
+            TASK, SEEDS, executor=LocalProcessExecutor(max_workers=2)
+        )
+        assert thread_sweep.ok and process_sweep.ok
+        assert summaries_equal(thread_sweep, process_sweep)
+        # Per-seed results, not just aggregates.
+        for seed in SEEDS:
+            t = thread_sweep.outcomes[seed]
+            p = process_sweep.outcomes[seed]
+            assert (t.faults, t.makespan) == (p.faults, p.makespan)
+
+    def test_outcomes_keyed_and_complete(self):
+        sweep = run_sweep(TASK, SEEDS, executor=LocalThreadExecutor())
+        assert sorted(sweep.outcomes) == SEEDS
+        assert all(o.status == "DONE" for o in sweep.outcomes.values())
+        assert all(o.endpoint == "local" for o in sweep.outcomes.values())
+
+    def test_bad_task_lands_as_typed_error_not_exception(self):
+        bad = dict(TASK, strategy="S_NO_SUCH")
+        sweep = run_sweep(bad, [0, 1], executor=LocalThreadExecutor())
+        assert sweep.failed_seeds == (0, 1)
+        assert not sweep.ok
+        for outcome in sweep.outcomes.values():
+            assert outcome.status == "ERROR"
+            assert outcome.error
+
+    def test_thread_executor_preserves_job_order(self):
+        ex = LocalThreadExecutor(max_workers=4)
+        jobs = [ReplicaJob(s, dict(TASK, seed=s)) for s in (5, 1, 3)]
+        outcomes = ex.run(jobs)
+        assert [o.key for o in outcomes] == [5, 1, 3]
+
+
+class TestSweepDriver:
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_sweep(TASK, [0, 1, 0], executor=LocalThreadExecutor())
+
+    def test_task_fingerprint_ignores_seed_only(self):
+        base = task_fingerprint(TASK)
+        assert task_fingerprint(dict(TASK, seed=42)) == base
+        assert task_fingerprint(dict(TASK, cache_size=9)) != base
+
+    def test_journal_resume_skips_completed_seeds(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = run_sweep(
+            TASK, SEEDS[:3], executor=LocalThreadExecutor(), journal=journal
+        )
+        assert first.resumed == 0
+        ran = []
+        second = run_sweep(
+            TASK,
+            SEEDS,
+            executor=LocalThreadExecutor(),
+            journal=journal,
+            on_outcome=lambda o: ran.append(o.key),
+        )
+        assert second.resumed == 3
+        assert sorted(ran) == SEEDS[3:]
+        # Resumed + fresh must aggregate identically to a clean run.
+        clean = run_sweep(TASK, SEEDS, executor=LocalThreadExecutor())
+        assert summaries_equal(second, clean)
+
+    def test_journal_rejects_different_task(self, tmp_path):
+        from repro.runtime.supervisor import JournalMismatch
+
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(TASK, [0], executor=LocalThreadExecutor(), journal=journal)
+        with pytest.raises(JournalMismatch):
+            run_sweep(
+                dict(TASK, cache_size=4),
+                [0],
+                executor=LocalThreadExecutor(),
+                journal=journal,
+            )
+
+    def test_outcome_round_trips_through_json(self):
+        outcome = ReplicaOutcome(
+            3, "DONE", faults=10, makespan=20, result={"faults": 10},
+            attempts=2, endpoint="http://x", hedged=True,
+        )
+        restored = ReplicaOutcome.from_dict(
+            json.loads(json.dumps(outcome.to_dict()))
+        )
+        assert restored == outcome
+
+
+class TestExecutorFromConfig:
+    def test_default_is_processes(self):
+        ex = executor_from_config()
+        assert isinstance(ex, LocalProcessExecutor)
+
+    def test_aliases_and_kinds(self):
+        assert isinstance(
+            executor_from_config({"kind": "local"}), LocalProcessExecutor
+        )
+        assert isinstance(
+            executor_from_config({"kind": "process"}), LocalProcessExecutor
+        )
+        threads = executor_from_config(
+            {"kind": "threads", "max_workers": 2, "retries": 1}
+        )
+        assert isinstance(threads, LocalThreadExecutor)
+        assert threads.max_workers == 2 and threads.retries == 1
+
+    def test_service_and_fleet_require_endpoints(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            executor_from_config({"kind": "service"})
+        with pytest.raises(ValueError, match="endpoints"):
+            executor_from_config({"kind": "fleet"})
+        with pytest.raises(ValueError, match="endpoints"):
+            executor_from_config({"kind": "fleet", "endpoints": []})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            executor_from_config({"kind": "mainframe"})
+
+    def test_service_accepts_endpoint_or_endpoints(self):
+        for config in (
+            {"kind": "service", "endpoint": "http://127.0.0.1:1"},
+            {"kind": "service", "endpoints": ["http://127.0.0.1:1"]},
+        ):
+            ex = executor_from_config(config)
+            assert isinstance(ex, ServiceExecutor)
+            assert ex.describe()["endpoints"] == ["http://127.0.0.1:1"]
+            assert ex.hedge_after_s is None  # nowhere to hedge to
+            ex.close()
+
+    def test_fleet_config(self):
+        ex = executor_from_config(
+            {
+                "kind": "fleet",
+                "endpoints": ["http://a:1", "http://b:2"],
+                "retries": 5,
+                "hedge_after_s": 0.5,
+            }
+        )
+        assert isinstance(ex, FleetExecutor)
+        desc = ex.describe()
+        assert desc["endpoints"] == ["http://a:1", "http://b:2"]
+        assert desc["retries"] == 5
+        assert desc["hedge_after_s"] == 0.5
+        ex.close()

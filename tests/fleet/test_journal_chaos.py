@@ -1,0 +1,147 @@
+"""Sweep journal under fault injection: partial-tail repair × resume.
+
+A SIGKILL mid-``record()`` leaves a half-written final line; reopening
+must truncate it away (with a warning), rerun exactly the interrupted
+replica, and end with every seed journaled exactly once — no duplicated
+work, no lost replicas, aggregates identical to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    LocalProcessExecutor,
+    LocalThreadExecutor,
+    run_sweep,
+)
+
+pytestmark = [pytest.mark.fleet, pytest.mark.chaos]
+
+TASK = {
+    "workload": "zipf",
+    "cores": 2,
+    "length": 40,
+    "cache_size": 8,
+    "tau": 1,
+    "strategy": "S_LRU",
+}
+
+SEEDS = list(range(7))
+
+
+def summaries_equal(a, b):
+    sa, sb = dict(a.summary()), dict(b.summary())
+    for body in (sa, sb):
+        for provenance in ("topology", "resumed", "max_attempts", "hedged"):
+            body.pop(provenance)
+    return sa == sb
+
+
+def journal_entries(path):
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines[1:]]  # skip header
+
+
+class TestPartialTailRepairWithResume:
+    def test_interrupt_mid_write_reopen_no_dup_no_loss(
+        self, tmp_path, monkeypatch
+    ):
+        # Chaos latency active throughout: injected sleeps interleave the
+        # worker threads so the journal's append order is adversarial.
+        monkeypatch.setenv("REPRO_CHAOS", "seed=5,slow=0.3,slow_s=0.01")
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(
+            TASK, SEEDS[:4], executor=LocalThreadExecutor(), journal=journal
+        )
+
+        # Simulate the SIGKILL arriving mid-record(): chop the final
+        # journal line in half, exactly what a dying process leaves.
+        raw = journal.read_bytes()
+        lines = raw.decode("utf-8").splitlines(keepends=True)
+        assert len(lines) == 1 + 4  # header + one line per seed
+        interrupted_seed = json.loads(lines[-1])["key"]
+        with open(journal, "r+b") as fh:
+            fh.truncate(len(raw) - len(lines[-1].encode("utf-8")) // 2)
+
+        ran = []
+        with pytest.warns(RuntimeWarning, match="partially-written"):
+            resumed = run_sweep(
+                TASK,
+                SEEDS,
+                executor=LocalThreadExecutor(),
+                journal=journal,
+                on_outcome=lambda o: ran.append(o.key),
+            )
+
+        # The 3 intact seeds resumed; the interrupted one re-ran, along
+        # with the 3 never-started seeds — each exactly once.
+        assert resumed.resumed == 3
+        assert sorted(ran) == sorted([interrupted_seed] + SEEDS[4:])
+        assert sorted(resumed.outcomes) == SEEDS
+        keys = [entry["key"] for entry in journal_entries(journal)]
+        assert sorted(keys) == SEEDS  # exactly once on disk too
+
+        clean = run_sweep(TASK, SEEDS, executor=LocalThreadExecutor())
+        assert summaries_equal(resumed, clean)
+
+    def test_repaired_journal_is_clean_on_third_open(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(
+            TASK, SEEDS[:2], executor=LocalThreadExecutor(), journal=journal
+        )
+        raw = journal.read_bytes()
+        with open(journal, "r+b") as fh:
+            fh.truncate(len(raw) - 5)
+        with pytest.warns(RuntimeWarning, match="partially-written"):
+            run_sweep(
+                TASK,
+                SEEDS[:2],
+                executor=LocalThreadExecutor(),
+                journal=journal,
+            )
+        # The repair truncated the damage away durably: a further resume
+        # must be warning-free and fully cached.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            third = run_sweep(
+                TASK,
+                SEEDS[:2],
+                executor=LocalThreadExecutor(),
+                journal=journal,
+            )
+        assert third.resumed == 2
+
+
+class TestChaosCrashAttemptsSurfaced:
+    def test_process_pool_crashes_retried_and_counted(
+        self, tmp_path, monkeypatch
+    ):
+        """crash=1.0: every replica's first pool attempt dies hard, a
+        retry lands — and the attempt count survives into the outcomes
+        and the journal.  The retry budget is generous because a broken
+        pool can charge an attempt to in-flight bystanders too (same
+        accounting the batch chaos tests pin)."""
+        monkeypatch.setenv("REPRO_CHAOS", "seed=3,crash=1.0")
+        journal = tmp_path / "sweep.jsonl"
+        sweep = run_sweep(
+            TASK,
+            SEEDS[:3],
+            executor=LocalProcessExecutor(max_workers=2, retries=4),
+            journal=journal,
+        )
+        assert sweep.ok
+        assert all(o.attempts >= 2 for o in sweep.outcomes.values())
+        assert sweep.max_attempts >= 2
+        for entry in journal_entries(journal):
+            assert entry["value"]["attempts"] >= 2
+
+        # Same task, no chaos: the numbers are identical — retries are
+        # provenance, not data.
+        monkeypatch.delenv("REPRO_CHAOS")
+        clean = run_sweep(
+            TASK, SEEDS[:3], executor=LocalThreadExecutor()
+        )
+        assert summaries_equal(sweep, clean)

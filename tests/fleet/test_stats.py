@@ -1,0 +1,148 @@
+"""Mergeable sweep statistics: the order-independence the fleet's
+"aggregates identical to a local run" acceptance criterion rests on."""
+
+import random
+
+import pytest
+
+from repro.fleet.stats import ReservoirSample, StreamingMoments, SweepStats
+
+pytestmark = pytest.mark.fleet
+
+
+def moments_of(values):
+    m = StreamingMoments()
+    for v in values:
+        m.update(v)
+    return m
+
+
+class TestStreamingMoments:
+    def test_matches_direct_computation(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        m = moments_of(values)
+        assert m.n == len(values)
+        assert m.total == sum(values)
+        assert m.min == min(values)
+        assert m.max == max(values)
+        mean = sum(values) / len(values)
+        assert m.mean == pytest.approx(mean)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert m.variance == pytest.approx(var)
+
+    def test_merge_equals_concatenation_any_order(self):
+        rng = random.Random(7)
+        values = [rng.randrange(1000) for _ in range(200)]
+        whole = moments_of(values)
+        # Three different cuts, merged in different orders.
+        for cut_a, cut_b in [(50, 120), (1, 199), (100, 100)]:
+            parts = [values[:cut_a], values[cut_a:cut_b], values[cut_b:]]
+            for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+                merged = StreamingMoments()
+                for i in order:
+                    merged.merge(moments_of(parts[i]))
+                assert merged.to_dict() == whole.to_dict()
+
+    def test_integer_streams_stay_exact(self):
+        # Sums of large ints would lose low bits as floats; Python ints
+        # keep them, and that exactness is what makes merge order moot.
+        big = [10**15 + k for k in range(10)]
+        m = moments_of(big)
+        assert m.total == sum(big)
+        assert isinstance(m.total, int)
+
+    def test_empty_moments(self):
+        m = StreamingMoments()
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+        assert m.min is None and m.max is None
+
+    def test_round_trip(self):
+        m = moments_of([5, 7, 11])
+        assert StreamingMoments.from_dict(m.to_dict()).to_dict() == m.to_dict()
+
+
+class TestReservoirSample:
+    def test_membership_is_a_function_of_the_key_set(self):
+        keys = list(range(100))
+        rng = random.Random(3)
+        samples = []
+        for _ in range(5):
+            rng.shuffle(keys)
+            s = ReservoirSample(capacity=10, seed=1)
+            for k in keys:
+                s.update(k, k * 2)
+            samples.append(s)
+        first = samples[0].items()
+        assert len(first) == 10
+        for s in samples[1:]:
+            assert s.items() == first
+
+    def test_merge_of_disjoint_slices_equals_full_sample(self):
+        full = ReservoirSample(capacity=8, seed=2)
+        left = ReservoirSample(capacity=8, seed=2)
+        right = ReservoirSample(capacity=8, seed=2)
+        for k in range(60):
+            full.update(k, k)
+            (left if k % 2 else right).update(k, k)
+        assert left.merge(right).items() == full.items()
+
+    def test_seed_changes_the_sample(self):
+        a = ReservoirSample(capacity=5, seed=0)
+        b = ReservoirSample(capacity=5, seed=99)
+        for k in range(50):
+            a.update(k, k)
+            b.update(k, k)
+        assert a.items() != b.items()
+
+    def test_round_trip(self):
+        s = ReservoirSample(capacity=4, seed=3)
+        for k in range(20):
+            s.update(k, k * k)
+        restored = ReservoirSample.from_dict(s.to_dict())
+        assert restored.items() == s.items()
+        assert restored.capacity == s.capacity
+
+
+class TestSweepStats:
+    def test_merge_associative_and_order_independent(self):
+        rng = random.Random(11)
+        observations = [
+            (seed, rng.randrange(100), rng.randrange(50, 200))
+            for seed in range(90)
+        ]
+
+        def stats_of(obs):
+            s = SweepStats(sample=ReservoirSample(capacity=16, seed=5))
+            for key, faults, makespan in obs:
+                s.observe(key, faults, makespan)
+            return s
+
+        whole = stats_of(observations)
+        a, b, c = (
+            observations[:30],
+            observations[30:60],
+            observations[60:],
+        )
+        left = stats_of(a).merge(stats_of(b).merge(stats_of(c)))
+        right = stats_of(c).merge(stats_of(a)).merge(stats_of(b))
+        assert left.summary() == whole.summary()
+        assert right.summary() == whole.summary()
+        assert left.sample.items() == whole.sample.items()
+
+    def test_errors_counted_separately(self):
+        s = SweepStats()
+        s.observe(0, 10, 20)
+        s.observe_error()
+        s.observe_error()
+        summary = s.summary()
+        assert summary["replicas"] == 3
+        assert summary["done"] == 1
+        assert summary["errors"] == 2
+
+    def test_round_trip(self):
+        s = SweepStats()
+        for k in range(5):
+            s.observe(k, k + 1, 2 * k + 1)
+        s.observe_error()
+        assert SweepStats.from_dict(s.to_dict()).summary() == s.summary()

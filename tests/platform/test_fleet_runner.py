@@ -1,0 +1,173 @@
+"""Platform × fleet: specs with an ``executor`` section, run identity
+across executors, and the ``batch_run`` fleet bridge.
+
+The property under test is the PR's core invariant: *where* a spec runs
+never changes *what* it computes — a fleet run and a local run of the
+same spec share a run ID and byte-identical metric files; topology and
+retry counts live in ``run.json`` only.
+"""
+
+import pytest
+
+from repro.platform import run_spec
+from repro.platform.spec import SpecError, canonicalize_spec, spec_fingerprint
+from repro.service import JobService, ServiceHTTPServer
+
+pytestmark = [pytest.mark.fleet, pytest.mark.service]
+
+SPEC = {"name": "local", "experiments": ["E1"], "scale": "small"}
+
+
+@pytest.fixture
+def endpoint(tmp_path):
+    service = JobService(
+        tmp_path / "svc.jsonl",
+        workers=2,
+        retries=1,
+        backoff_s=0.05,
+        jitter=0.0,
+    ).start()
+    http = ServiceHTTPServer(service).start()
+    try:
+        yield http.url
+    finally:
+        http.stop()
+        service.stop()
+
+
+class TestExecutorSpecSection:
+    def test_executor_section_is_canonicalized(self):
+        spec = canonicalize_spec(
+            {"executor": {"kind": "local", "max_workers": 2}}
+        )
+        assert spec["executor"] == {"kind": "processes", "max_workers": 2}
+
+    def test_executor_section_excluded_from_fingerprint(self):
+        plain = spec_fingerprint(SPEC)
+        for section in (
+            {"kind": "threads", "max_workers": 8},
+            {"kind": "fleet", "endpoints": ["http://a:1", "http://b:2"]},
+            {"kind": "service", "endpoint": "http://c:3", "retries": 9},
+        ):
+            assert spec_fingerprint(dict(SPEC, executor=section)) == plain
+
+    def test_invalid_executor_sections_rejected(self):
+        with pytest.raises(SpecError, match="executor.kind"):
+            canonicalize_spec({"executor": {"kind": "mainframe"}})
+        with pytest.raises(SpecError, match="endpoints"):
+            canonicalize_spec({"executor": {"endpoints": "http://a:1"}})
+        with pytest.raises(SpecError, match="unknown key"):
+            canonicalize_spec({"executor": {"nodes": 3}})
+        with pytest.raises(SpecError, match="retries"):
+            canonicalize_spec({"executor": {"retries": -1}})
+
+
+class TestRunIdentityAcrossExecutors:
+    def test_fleet_run_matches_local_run_byte_for_byte(
+        self, tmp_path, endpoint
+    ):
+        local = run_spec(SPEC, runs_dir=tmp_path / "runs_local")
+        fleet_spec = dict(
+            SPEC,
+            name="fleet",
+            executor={"kind": "service", "endpoint": endpoint},
+        )
+        remote = run_spec(fleet_spec, runs_dir=tmp_path / "runs_fleet")
+
+        # Same work => same content-addressed run ID, despite different
+        # names and executors.
+        assert remote.run_id == local.run_id
+        assert not remote.cached
+        assert remote.ok, remote.errors
+
+        # Metric files are byte-identical — the acceptance criterion.
+        local_metric = (local.path / "metrics" / "E1.json").read_bytes()
+        remote_metric = (remote.path / "metrics" / "E1.json").read_bytes()
+        assert remote_metric == local_metric
+
+        # Provenance splits: topology in run.json, not in metrics.
+        assert remote.topology["kind"] == "service"
+        assert remote.topology["endpoints"] == [endpoint]
+        assert local.topology == {}
+        assert remote.summary()["executor"] == "service"
+        assert "executor" not in local.summary()
+
+    def test_completed_local_run_is_a_cache_hit_for_fleet_spec(
+        self, tmp_path, endpoint
+    ):
+        runs = tmp_path / "runs"
+        first = run_spec(SPEC, runs_dir=runs)
+        # The executor section does not change the run ID, so the fleet
+        # variant is served whole from the local run's folder — no jobs
+        # are ever submitted.
+        fleet_spec = dict(
+            SPEC, executor={"kind": "service", "endpoint": "http://down:1"}
+        )
+        hit = run_spec(fleet_spec, runs_dir=runs)
+        assert hit.cached
+        assert hit.run_id == first.run_id
+
+
+class TestBatchRunBridge:
+    TASK = {
+        "workload": "zipf",
+        "cores": 2,
+        "length": 60,
+        "alpha": 1.2,
+        "strategy": "S_LRU",
+    }
+
+    def test_executor_without_task_is_a_type_error(self):
+        from repro.analysis.batch import batch_run
+        from repro.fleet import LocalThreadExecutor
+
+        with pytest.raises(TypeError, match="task="):
+            batch_run(
+                "sweep",
+                lambda seed: None,
+                lambda: None,
+                8,
+                1,
+                [0, 1],
+                executor=LocalThreadExecutor(),
+            )
+
+    def test_executor_path_matches_local_pool(self):
+        from repro.analysis.batch import batch_run
+        from repro.cli import make_strategy, make_workload
+        from repro.fleet import LocalThreadExecutor
+        from types import SimpleNamespace
+
+        def workload_factory(seed):
+            return make_workload(
+                SimpleNamespace(
+                    workload="zipf",
+                    cores=2,
+                    length=60,
+                    cache_size=8,
+                    alpha=1.2,
+                    seed=seed,
+                )
+            )
+
+        plain = batch_run(
+            "bridge",
+            workload_factory,
+            lambda: make_strategy("S_LRU", 8, 2),
+            8,
+            1,
+            [0, 1, 2],
+        )
+        bridged = batch_run(
+            "bridge",
+            workload_factory,
+            lambda: make_strategy("S_LRU", 8, 2),
+            8,
+            1,
+            [0, 1, 2],
+            executor=LocalThreadExecutor(),
+            task=dict(self.TASK),
+        )
+        assert bridged.seeds == plain.seeds
+        assert bridged.faults == plain.faults
+        assert bridged.makespans == plain.makespans

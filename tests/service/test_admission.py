@@ -66,3 +66,65 @@ class TestAdmissionQueue:
         assert snap["depth"] == 1
         assert snap["capacity"] == 8
         assert snap["ewma_job_s"] > 0
+        assert snap["retry_jitter"] == 0.0
+
+
+class TestRetryAfterJitter:
+    """Deterministic-seeded hint jitter (fleet thundering-herd defence)."""
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, jitter=-0.1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, jitter=1.5)
+
+    def test_jitter_only_stretches_the_hint(self):
+        """Every jittered hint lies in [base, base * (1 + jitter)] — a
+        rejected client is never told to come back *sooner* than the
+        honest drain estimate."""
+        plain = AdmissionQueue(100, workers=1)
+        jittered = AdmissionQueue(100, workers=1, jitter=0.25)
+        for q in (plain, jittered):
+            for i in range(10):
+                q.put(i)
+            for _ in range(5):
+                q.observe_duration(8.0)
+        base = plain.retry_after_s()
+        for _ in range(50):
+            hint = jittered.retry_after_s()
+            assert base <= hint <= base * 1.25 + 1e-9
+
+    def test_hints_stay_monotone_under_load(self):
+        """Deeper backlog never yields a shorter hint, jitter included:
+        the max jittered hint at depth d is below the min at depth d'
+        whenever base(d') >= base(d) * (1 + jitter)."""
+        q = AdmissionQueue(1000, workers=1, jitter=0.2)
+        for _ in range(5):
+            q.observe_duration(4.0)
+        hints_by_depth = []
+        depth_step = 20  # base grows 2x per step >> the 1.2x jitter band
+        for _ in range(5):
+            for i in range(depth_step):
+                q.put(i)
+            hints_by_depth.append(
+                [q.retry_after_s() for _ in range(20)]
+            )
+        for shallow, deep in zip(hints_by_depth, hints_by_depth[1:]):
+            assert max(shallow) < min(deep)
+
+    def test_jitter_is_seed_deterministic(self):
+        def hints(seed):
+            q = AdmissionQueue(100, workers=1, jitter=0.3, jitter_seed=seed)
+            for i in range(10):
+                q.put(i)
+            return [q.retry_after_s() for _ in range(10)]
+
+        assert hints(7) == hints(7)
+        assert hints(7) != hints(8)
+
+    def test_successive_hints_desynchronise(self):
+        q = AdmissionQueue(100, workers=1, jitter=0.5)
+        for i in range(10):
+            q.put(i)
+        hints = [q.retry_after_s() for _ in range(10)]
+        assert len(set(hints)) > 1  # a burst of clients spreads out

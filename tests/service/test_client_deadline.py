@@ -1,0 +1,136 @@
+"""Client-side deadline semantics: the ``submit_and_wait`` overall cap.
+
+A permanently-saturated server answers every submission with 429 and an
+honest-looking Retry-After; a hung server accepts the job and then never
+finishes it.  In both cases the overall ``overall_deadline_s`` must
+bound the loop and raise :class:`FleetTimeout` carrying the attempt
+history — the typed failure the fleet layer needs for post-mortems.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import (
+    Backpressure,
+    FleetTimeout,
+    JobTimeout,
+    ServiceClient,
+)
+
+pytestmark = pytest.mark.service
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Tiny scripted endpoint: ``mode`` picks the failure personality."""
+
+    mode = "busy"  # "busy": always 429; "hung": accept, never finish
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self):
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        if self.mode == "busy":
+            self._reply(
+                429, {"error": "queue full", "retry_after_s": 0.05}
+            )
+        else:
+            self._reply(200, {"id": "j-hung", "state": "QUEUED"})
+
+    def do_GET(self):
+        self._reply(200, {"id": "j-hung", "state": "RUNNING"})
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+class TestOverallDeadline:
+    def test_saturated_server_raises_fleet_timeout_with_history(
+        self, scripted_server
+    ):
+        _ScriptedHandler.mode = "busy"
+        client = ServiceClient(scripted_server)
+        with pytest.raises(FleetTimeout) as exc_info:
+            client.submit_and_wait(
+                "simulate",
+                {},
+                submit_retries=100,
+                overall_deadline_s=0.3,
+            )
+        history = exc_info.value.attempts
+        events = [h["event"] for h in history]
+        # At least one backpressure round happened, and the final entry
+        # names which phase of the loop blew the deadline.
+        assert "backpressure" in events
+        assert events[-1] in (
+            "deadline_before_submit",
+            "deadline_during_backoff",
+        )
+        backpressure = [h for h in history if h["event"] == "backpressure"]
+        assert all(h["status"] == 429 for h in backpressure)
+        assert all(h["retry_after_s"] == 0.05 for h in backpressure)
+
+    def test_without_overall_deadline_bounded_by_submit_retries(
+        self, scripted_server
+    ):
+        _ScriptedHandler.mode = "busy"
+        client = ServiceClient(scripted_server)
+        # The per-round bound still applies: the loop ends with the
+        # original Backpressure, not an unbounded spin.
+        with pytest.raises(Backpressure):
+            client.submit_and_wait("simulate", {}, submit_retries=2)
+
+    def test_hung_job_blows_overall_deadline_during_wait(
+        self, scripted_server
+    ):
+        _ScriptedHandler.mode = "hung"
+        client = ServiceClient(scripted_server)
+        with pytest.raises(FleetTimeout) as exc_info:
+            client.submit_and_wait(
+                "simulate",
+                {},
+                timeout_s=60.0,  # generous caller budget...
+                overall_deadline_s=0.3,  # ...but the overall cap is tight
+            )
+        events = [h["event"] for h in exc_info.value.attempts]
+        assert events[0] == "submitted"
+        assert events[-1] == "deadline_during_wait"
+
+    def test_caller_wait_budget_still_raises_job_timeout(
+        self, scripted_server
+    ):
+        _ScriptedHandler.mode = "hung"
+        client = ServiceClient(scripted_server)
+        # When the *caller's* timeout (not the overall cap) is the binding
+        # constraint, the classic JobTimeout is preserved.
+        with pytest.raises(JobTimeout):
+            client.submit_and_wait("simulate", {}, timeout_s=0.3)
+
+    def test_fast_path_unaffected(self, scripted_server):
+        _ScriptedHandler.mode = "hung"
+        client = ServiceClient(scripted_server)
+        record = client.submit("simulate", {})
+        assert record["state"] == "QUEUED"

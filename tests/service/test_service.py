@@ -277,7 +277,7 @@ class TestHTTPSurface:
         assert ready["ready"] is True
         assert ready["queue"]["capacity"] == 4
         assert set(ready["breakers"]) == {
-            "simulate", "experiment", "sweep", "opt", "run",
+            "simulate", "experiment", "sweep", "opt", "run", "replica",
         }
         service.begin_drain()
         with pytest.raises(Backpressure) as exc_info:
