@@ -57,6 +57,7 @@ import numpy as np
 from repro.core.kernels import simulate_fast
 from repro.runtime import chaos
 from repro.runtime.supervisor import Journal, supervised_map
+from repro.store.fs import fsync_dir
 
 __all__ = [
     "BatchResult",
@@ -190,6 +191,8 @@ def _quarantine(path: Path, cache_root: Path) -> None:
     try:
         qdir.mkdir(parents=True, exist_ok=True)
         os.replace(path, qdir / path.name)
+        fsync_dir(path.parent)
+        fsync_dir(qdir)
     except OSError:
         pass
 
@@ -243,7 +246,14 @@ def _store(path: Path, payload: dict, *, key: str = "") -> None:
     try:
         with tmp:
             tmp.write(text)
+            tmp.flush()
+            os.fsync(tmp.fileno())
         os.replace(tmp.name, path)
+        # The entry's *bytes* are durable after the fsync above; the
+        # rename that names them is only durable once the parent
+        # directory is fsynced too (a power cut could otherwise roll
+        # the publish back — or worse, leave the name without bytes).
+        fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp.name)

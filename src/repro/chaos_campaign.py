@@ -1,0 +1,555 @@
+"""Scripted crash-recovery campaigns (``repro chaos``).
+
+Each **campaign** is a declarative fault schedule executed against real
+subprocesses: a child process does real store work under a ``REPRO_CHAOS``
+schedule that kills it at a precise point (the Nth journal append, a
+torn byte inside a record, a phase of the snapshot/compaction state
+machine), the parent observes the genuine death (exit status 66 —
+:data:`repro.runtime.chaos.CRASH_EXIT_STATUS`), and a *clean* child then
+recovers the store and reports what it found.  The parent asserts the
+recovery invariants the durable layer promises (docs/ROBUSTNESS.md):
+
+* **consistent prefix** — the recovered log holds records ``0..count-1``
+  contiguously, with the exact values written: nothing lost before the
+  crash point, nothing duplicated, nothing imagined;
+* **exactly-once terminal transitions** — no job in a recovered
+  :class:`~repro.service.jobstore.JobStore` carries two terminal events;
+* **byte-identical aggregates** — a fleet sweep killed mid-run and then
+  resumed from its journal produces the same summary statistics as an
+  uninterrupted run;
+* **bounded replay** — recovery after a snapshot replays at most one
+  snapshot interval of records, however long the history;
+* **fsck clean** — after recovery, ``repro fsck`` over every artefact
+  the campaign touched exits 0.
+
+Campaigns are deterministic: the chaos seed fixes torn-byte offsets and
+workloads, and the Nth-event counters fix *which* operation dies, so a
+failing campaign replays identically under the same ``--seed``.
+
+The module doubles as the child-process driver: the parent re-invokes
+``python -m repro.chaos_campaign --drive <step> ...`` for every step, so
+the dying process is a real, separate interpreter — not a mocked fork.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.runtime.chaos import CHAOS_ENV, CRASH_EXIT_STATUS
+
+__all__ = ["CAMPAIGNS", "CampaignFailure", "run_campaigns"]
+
+#: Fingerprint for raw-log campaign journals.
+LOG_FP = "repro-chaos-campaign-v1"
+
+
+class CampaignFailure(AssertionError):
+    """A recovery invariant did not hold after an injected fault."""
+
+
+# ---------------------------------------------------------------------------
+# subprocess plumbing
+# ---------------------------------------------------------------------------
+
+
+def _spawn(step: str, *argv, chaos: str | None = None, expect: int = 0):
+    """Run one ``--drive`` step in a fresh interpreter.
+
+    ``expect`` is the required exit status (0 for clean steps, 66 for a
+    step scheduled to die).  Returns the parsed JSON the step printed as
+    its final stdout line (``None`` when the child died as scheduled).
+    """
+    env = {k: v for k, v in os.environ.items() if k != CHAOS_ENV}
+    if chaos is not None:
+        env[CHAOS_ENV] = chaos
+    src_root = str(Path(__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.chaos_campaign", "--drive", step, *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != expect:
+        raise CampaignFailure(
+            f"step {step!r} exited {proc.returncode}, expected {expect}\n"
+            f"--- chaos: {chaos!r}\n--- stdout:\n{proc.stdout}\n"
+            f"--- stderr:\n{proc.stderr}"
+        )
+    if expect != 0:
+        return None
+    lines = [line for line in proc.stdout.splitlines() if line.strip()]
+    if not lines:
+        raise CampaignFailure(f"step {step!r} printed no result")
+    return json.loads(lines[-1])
+
+
+def _require(condition: bool, what: str, **context) -> None:
+    if not condition:
+        detail = ", ".join(f"{k}={v!r}" for k, v in context.items())
+        raise CampaignFailure(f"invariant violated: {what} ({detail})")
+
+
+def _fsck_clean(*journals) -> None:
+    """Recovered artefacts must pass fsck with zero issues."""
+    from repro.store import fsck_paths
+
+    # Explicit families only: the campaign scratch dir has no cache/runs.
+    report = fsck_paths(
+        cache_dir=Path(journals[0]).parent / "no-cache",
+        runs_dir=Path(journals[0]).parent / "no-runs",
+        journals=journals,
+    )
+    _require(report.ok, "repro fsck found corruption after recovery",
+             issues=[i.describe() for i in report.issues])
+
+
+def _flip_byte(path: Path) -> None:
+    """Flip one bit in the middle of a file (simulated media corruption)."""
+    raw = bytearray(path.read_bytes())
+    mid = len(raw) // 2
+    raw[mid] ^= 0x10
+    path.write_bytes(bytes(raw))
+
+
+# ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+
+
+def campaign_crash_at_record(workdir: Path, seed: int) -> dict:
+    """SIGKILL-shaped death at the Kth journal append of a JobStore.
+
+    40 jobs (120 events) are loaded with snapshots every 16 events; the
+    50th append never happens.  Recovery must yield a job table that is
+    a consistent prefix with exactly-once terminal transitions.
+    """
+    journal = workdir / "jobs.jsonl"
+    _spawn(
+        "jobs_load", str(journal), "40", "16",
+        chaos=f"seed={seed},hard=1,kill=durable.append,kill_at=50",
+        expect=CRASH_EXIT_STATUS,
+    )
+    out = _spawn("jobs_verify", str(journal))
+    _require(out["terminal_once"], "a job has two terminal events", **out)
+    # 49 events survived; every fully-journaled job must be DONE and the
+    # job in flight must be recoverable as non-terminal, never dropped.
+    _require(out["jobs"] >= 16, "jobs lost below the crash point", **out)
+    _require(out["seq"] == 49, "event count is not the crash prefix", **out)
+    _fsck_clean(journal)
+    return out
+
+
+def campaign_torn_final_write(workdir: Path, seed: int) -> dict:
+    """Power-cut-shaped torn append: the 13th record is half-written.
+
+    Recovery must truncate the torn tail (warn + repair on disk) and
+    land on exactly the 12 durable records.
+    """
+    log = workdir / "torn.jsonl"
+    _spawn(
+        "log_append", str(log), "30", "8",
+        chaos=f"seed={seed},hard=1,torn=13",
+        expect=CRASH_EXIT_STATUS,
+    )
+    out = _spawn("log_verify", str(log), "8")
+    _require(out["count"] == 12, "torn tail not truncated to prefix", **out)
+    _require(out["contiguous"], "recovered records not contiguous", **out)
+    _require(out["replayed"] <= 8, "replay not bounded by snapshot", **out)
+    _fsck_clean(log)
+    return out
+
+
+def campaign_snapshot_bitflip(workdir: Path, seed: int) -> dict:
+    """Media corruption inside the newest snapshot.
+
+    A clean run leaves snapshots at records 8 and 16 plus live segments;
+    one flipped bit in the newest snapshot must be detected (checksum),
+    quarantined, and recovered *around* via the previous snapshot plus
+    retained segments — with no data loss at all.
+    """
+    log = workdir / "bitflip.jsonl"
+    _spawn("log_append", str(log), "20", "8")
+    snaps = sorted(log.parent.glob(f"{log.name}.*.snap"))
+    _require(len(snaps) == 2, "expected two retained snapshots",
+             snaps=[s.name for s in snaps])
+    _flip_byte(snaps[-1])
+    out = _spawn("log_verify", str(log), "8")
+    _require(out["count"] == 20, "records lost after snapshot bit-flip", **out)
+    _require(out["contiguous"], "recovered records not contiguous", **out)
+    _require(out["from_snapshot"], "fallback snapshot not used", **out)
+    quarantined = list(log.parent.glob(f"{log.name}.*.snap.corrupt"))
+    _require(bool(quarantined), "damaged snapshot not quarantined")
+    _fsck_clean(log)
+    return out
+
+
+def campaign_enospc_append(workdir: Path, seed: int) -> dict:
+    """Disk-full on the Nth append: the store must roll back the torn
+    bytes, surface ``OSError``, and stay fully usable once space frees."""
+    journal = workdir / "enospc.jsonl"
+    out = _spawn(
+        "jobs_enospc", str(journal), "10",
+        chaos=f"seed={seed},enospc=12",
+    )
+    _require(out["enospc_seen"], "injected ENOSPC never surfaced", **out)
+    _require(out["recovered_after"], "store unusable after ENOSPC", **out)
+    check = _spawn("jobs_verify", str(journal))
+    _require(check["terminal_once"], "duplicate terminal transition", **check)
+    _require(check["jobs"] == 10, "jobs lost across ENOSPC", **check)
+    _fsck_clean(journal)
+    return {**out, **check}
+
+
+def campaign_sigkill_mid_compaction(workdir: Path, seed: int) -> dict:
+    """SIGKILL inside every phase of the snapshot/compaction machine.
+
+    For each named kill-point (seal → snap-write → snap-rename → reopen
+    → compact), a child dies there during the *second* snapshot of a 30-
+    record append (snapshots every 8).  Whatever the on-disk state, a
+    clean reopen must land on exactly the 16 records appended before the
+    phase began, contiguous, with replay bounded by one snapshot span.
+    """
+    results = {}
+    # The snapshot-lifecycle points fire once per snapshot, so kill_at=2
+    # dies during the second snapshot (16 records durable).  The compact
+    # point fires per *removal*: nothing is removable at snapshot 1, one
+    # segment goes at snapshot 2, and the second removal (an expired
+    # snapshot) happens at snapshot 3 — 24 records durable.
+    expected = {"seal": 16, "snap-write": 16, "snap-rename": 16,
+                "reopen": 16, "compact": 24}
+    for phase, count in expected.items():
+        log = workdir / f"kill-{phase}.jsonl"
+        _spawn(
+            "log_append", str(log), "30", "8",
+            chaos=f"seed={seed},hard=1,kill=durable.{phase},kill_at=2",
+            expect=CRASH_EXIT_STATUS,
+        )
+        out = _spawn("log_verify", str(log), "8")
+        _require(out["count"] == count,
+                 f"kill at {phase}: count is not the phase prefix", **out)
+        _require(out["contiguous"],
+                 f"kill at {phase}: records not contiguous", **out)
+        _require(out["replayed"] <= 8,
+                 f"kill at {phase}: replay not bounded", **out)
+        _fsck_clean(log)
+        results[phase] = out
+    return results
+
+
+def campaign_sweep_resume(workdir: Path, seed: int) -> dict:
+    """Fleet sweep killed mid-run, resumed, and compared to a clean run.
+
+    The resumed sweep's aggregate statistics must be byte-identical to
+    an uninterrupted sweep of the same task (exactly-once replicas: the
+    journal neither drops nor double-counts any completed seed).
+    """
+    journal = workdir / "sweep.jsonl"
+    baseline = _spawn("sweep_run", str(workdir / "baseline.jsonl"), str(seed))
+    _spawn(
+        "sweep_run", str(journal), str(seed),
+        chaos=f"seed={seed},hard=1,kill=durable.append,kill_at=4",
+        expect=CRASH_EXIT_STATUS,
+    )
+    resumed = _spawn("sweep_run", str(journal), str(seed))
+    _require(resumed["resumed"] >= 3, "no replicas resumed from journal",
+             **resumed)
+    for summary in (baseline, resumed):
+        for volatile in ("resumed", "topology", "max_attempts", "hedged"):
+            summary.pop(volatile, None)
+    _require(
+        json.dumps(baseline, sort_keys=True)
+        == json.dumps(resumed, sort_keys=True),
+        "resumed sweep aggregates differ from a clean run",
+        baseline=baseline,
+        resumed=resumed,
+    )
+    _fsck_clean(journal)
+    return resumed
+
+
+CAMPAIGNS = {
+    "crash_at_record": campaign_crash_at_record,
+    "torn_final_write": campaign_torn_final_write,
+    "snapshot_bitflip": campaign_snapshot_bitflip,
+    "enospc_append": campaign_enospc_append,
+    "sigkill_mid_compaction": campaign_sigkill_mid_compaction,
+    "sweep_resume": campaign_sweep_resume,
+}
+
+
+def run_campaigns(
+    which: str = "all",
+    *,
+    seed: int = 0,
+    keep: bool = False,
+    quiet: bool = False,
+    echo=print,
+) -> int:
+    """Run one campaign (or ``all``); returns a process exit code."""
+    if which == "all":
+        names = list(CAMPAIGNS)
+    elif which in CAMPAIGNS:
+        names = [which]
+    else:
+        echo(
+            f"unknown campaign {which!r}; choose from "
+            f"{', '.join(CAMPAIGNS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    failed = []
+    for name in names:
+        workdir = Path(tempfile.mkdtemp(prefix=f"repro-chaos-{name}-"))
+        try:
+            CAMPAIGNS[name](workdir, seed)
+        except CampaignFailure as exc:
+            failed.append(name)
+            echo(f"FAIL  {name}: {exc}")
+        else:
+            if not quiet:
+                echo(f"ok    {name}")
+        finally:
+            if keep:
+                echo(f"      scratch kept at {workdir}")
+            else:
+                _rmtree(workdir)
+    verdict = (
+        f"{len(names) - len(failed)}/{len(names)} campaign(s) ok"
+        if not failed
+        else f"{len(failed)} campaign(s) FAILED: {', '.join(failed)}"
+    )
+    echo(f"chaos: {verdict} (seed={seed})")
+    return 1 if failed else 0
+
+
+def _rmtree(path: Path) -> None:
+    import shutil
+
+    shutil.rmtree(path, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# child-process drive steps
+# ---------------------------------------------------------------------------
+
+
+def _drive_log_append(argv) -> int:
+    """``log_append PATH COUNT SNAPSHOT_EVERY`` — append records 0..N-1."""
+    from repro.store import DurableLog
+
+    path, count, every = argv[0], int(argv[1]), int(argv[2])
+    with DurableLog(path, LOG_FP, snapshot_every=every) as log:
+        for i in range(count):
+            if i not in log.completed:
+                log.record(i, {"v": i * i})
+    print(json.dumps({"count": log.count}))
+    return 0
+
+
+def _drive_log_verify(argv) -> int:
+    """``log_verify PATH SNAPSHOT_EVERY`` — recover and report shape."""
+    import warnings
+
+    from repro.store import DurableLog
+
+    path, every = argv[0], int(argv[1])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        log = DurableLog(path, LOG_FP, snapshot_every=every)
+    keys = sorted(k for k in log.completed)
+    contiguous = keys == list(range(log.count)) and all(
+        log.completed[k] == {"v": k * k} for k in keys
+    )
+    print(
+        json.dumps(
+            {
+                "count": log.count,
+                "contiguous": contiguous,
+                "replayed": log.replayed,
+                "from_snapshot": log.recovered_from_snapshot,
+            }
+        )
+    )
+    log.close()
+    return 0
+
+
+def _jobs_fill(store, count: int) -> None:
+    """Deterministically submit + complete ``count`` jobs."""
+    from repro.service.jobs import JobRecord, JobSpec
+
+    for i in range(count):
+        job_id = f"j-{i:012d}"
+        store.submit(
+            JobRecord(
+                id=job_id,
+                spec=JobSpec(kind="simulate", params={"i": i}),
+                submitted_at=float(i),
+            )
+        )
+        store.transition(job_id, "RUNNING", t=float(i) + 0.1)
+        store.transition(
+            job_id, "DONE", result={"faults": i}, t=float(i) + 0.2
+        )
+
+
+def _drive_jobs_load(argv) -> int:
+    """``jobs_load PATH NJOBS SNAPSHOT_EVERY`` — submit/run/complete."""
+    from repro.service.jobstore import JobStore
+
+    path, njobs, every = argv[0], int(argv[1]), int(argv[2])
+    with JobStore(path, snapshot_every=every) as store:
+        _jobs_fill(store, njobs)
+        stats = store.recovery_stats()
+    print(json.dumps(stats))
+    return 0
+
+
+def _drive_jobs_verify(argv) -> int:
+    """``jobs_verify PATH`` — recover the store and audit invariants."""
+    import warnings
+
+    from repro.service.jobs import TERMINAL_STATES
+    from repro.service.jobstore import JobStore
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        store = JobStore(argv[0])
+    terminal_once = True
+    states: dict[str, int] = {}
+    for record in store.jobs():
+        states[record.state] = states.get(record.state, 0) + 1
+        terminal_events = [
+            e
+            for e in record.events
+            if e.get("event", "").upper() in TERMINAL_STATES
+        ]
+        if len(terminal_events) > 1:
+            terminal_once = False
+    stats = store.recovery_stats()
+    store.close()
+    print(
+        json.dumps(
+            {
+                "jobs": stats["jobs"],
+                "seq": stats["seq"],
+                "replayed": stats["replayed"],
+                "from_snapshot": stats["from_snapshot"],
+                "terminal_once": terminal_once,
+                "states": states,
+            }
+        )
+    )
+    return 0
+
+
+def _drive_jobs_enospc(argv) -> int:
+    """``jobs_enospc PATH NJOBS`` — absorb one injected disk-full."""
+    from repro.service.jobs import JobRecord, JobSpec
+    from repro.service.jobstore import JobStore
+
+    path, njobs = argv[0], int(argv[1])
+    enospc_seen = False
+    with JobStore(path, snapshot_every=16) as store:
+        for i in range(njobs):
+            job_id = f"j-{i:012d}"
+            record = JobRecord(
+                id=job_id,
+                spec=JobSpec(kind="simulate", params={"i": i}),
+                submitted_at=float(i),
+            )
+            for op in ("submit", "running", "done"):
+                while True:
+                    try:
+                        if op == "submit":
+                            store.submit(record)
+                        elif op == "running":
+                            store.transition(job_id, "RUNNING", t=float(i))
+                        else:
+                            store.transition(
+                                job_id,
+                                "DONE",
+                                result={"faults": i},
+                                t=float(i) + 0.5,
+                            )
+                        break
+                    except OSError:
+                        # Disk full mid-append: the store rolled the torn
+                        # bytes back; "free space" (the injection fires
+                        # once) and retry the same operation.
+                        enospc_seen = True
+        recovered_after = store.recovery_stats()["jobs"] == njobs
+    print(
+        json.dumps(
+            {"enospc_seen": enospc_seen, "recovered_after": recovered_after}
+        )
+    )
+    return 0
+
+
+def _drive_sweep_run(argv) -> int:
+    """``sweep_run JOURNAL SEED`` — journaled fleet sweep, print summary."""
+    from repro.fleet import executor_from_config, run_sweep
+
+    journal, seed = argv[0], int(argv[1])
+    task = {
+        "workload": "zipf",
+        "cores": 2,
+        "length": 120,
+        "alpha": 1.2,
+        "cache_size": 8,
+        "tau": 1,
+        "strategy": "S_LRU",
+    }
+    executor = executor_from_config({"kind": "threads", "max_workers": 2})
+    try:
+        sweep = run_sweep(
+            task,
+            list(range(seed, seed + 8)),
+            executor=executor,
+            journal=journal,
+        )
+    finally:
+        executor.close()
+    print(json.dumps(sweep.summary(), sort_keys=True))
+    return 0
+
+
+_DRIVERS = {
+    "log_append": _drive_log_append,
+    "log_verify": _drive_log_verify,
+    "jobs_load": _drive_jobs_load,
+    "jobs_verify": _drive_jobs_verify,
+    "jobs_enospc": _drive_jobs_enospc,
+    "sweep_run": _drive_sweep_run,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) >= 2 and argv[0] == "--drive":
+        step = argv[1]
+        if step not in _DRIVERS:
+            print(f"unknown drive step {step!r}", file=sys.stderr)
+            return 2
+        return _DRIVERS[step](argv[2:])
+    print(
+        "usage: python -m repro.chaos_campaign --drive STEP ARGS...\n"
+        "(campaigns are launched via `repro chaos`)",
+        file=sys.stderr,
+    )
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

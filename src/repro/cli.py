@@ -46,6 +46,18 @@ Commands
     Run the resilient job service: queued simulation/experiment/sweep/
     solver serving with admission control, circuit breakers, journaled
     crash recovery and graceful drain (docs/SERVICE.md).
+    ``--snapshot-every N`` tunes journal snapshot + compaction cadence
+    (0 disables; default 1024 events).
+``fsck [--cache-dir DIR] [--runs-dir DIR] [--journal PATH ...] [--repair]``
+    Validate checksums and headers of every on-disk store (batch cache,
+    run registry, durable journals).  ``--repair`` quarantines corrupt
+    artefacts.  Exit 0 clean / 1 corruption found / 2 usage error —
+    the CI gate (docs/ROBUSTNESS.md).
+``chaos [--campaign all] [--seed 0]``
+    Run the scripted crash-recovery campaigns: each one spawns real
+    subprocesses, kills them at a scheduled fault (crash at record K,
+    torn final write, snapshot bit-flip, ENOSPC, SIGKILL mid-
+    compaction), then asserts the recovery invariants.
 ``submit --kind opt --param workload=zipf --deadline-s 5 [--wait]``
     Submit one job to a running service (429/503 backpressure honoured).
 ``status [JOB_ID] [--url http://127.0.0.1:8023]``
@@ -578,6 +590,39 @@ def cmd_serve(args) -> int:
         job_timeout_s=args.job_timeout_s,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset_s,
+        snapshot_every=args.snapshot_every,
+    )
+
+
+def cmd_fsck(args) -> int:
+    from repro.store import fsck_paths
+
+    for journal in args.journal or ():
+        import os.path
+
+        parent = os.path.dirname(os.path.abspath(journal))
+        if not os.path.isdir(parent):
+            print(f"fsck: no such directory for journal {journal!r}",
+                  file=sys.stderr)
+            return 2
+    report = fsck_paths(
+        cache_dir=args.cache_dir,
+        runs_dir=args.runs_dir,
+        journals=args.journal or (),
+        repair=args.repair,
+    )
+    for issue in report.issues:
+        print(issue.describe())
+    verdict = "clean" if report.ok else f"{len(report.issues)} issue(s)"
+    print(f"fsck: {report.checked} artefact(s) checked, {verdict}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos_campaign import run_campaigns
+
+    return run_campaigns(
+        args.campaign, seed=args.seed, keep=args.keep, quiet=args.quiet
     )
 
 
@@ -985,7 +1030,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="max seconds to wait for in-flight jobs on SIGTERM drain",
     )
+    sub.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot + compact the job journal every N events so "
+        "restarts replay a bounded tail (0 disables; default 1024)",
+    )
     sub.set_defaults(func=cmd_serve)
+
+    sub = subs.add_parser(
+        "fsck",
+        help="validate on-disk stores (cache, run registry, journals)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default .repro_cache or $REPRO_CACHE_DIR)",
+    )
+    sub.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run registry root (default .repro_runs or $REPRO_RUNS_DIR)",
+    )
+    sub.add_argument(
+        "--journal",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="also check this durable-log family (repeatable), e.g. the "
+        "service's repro_jobs.jsonl",
+    )
+    sub.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt artefacts (rename *.corrupt / move to "
+        "the cache quarantine folder) instead of just reporting",
+    )
+    sub.set_defaults(func=cmd_fsck)
+
+    sub = subs.add_parser(
+        "chaos",
+        help="scripted crash-recovery campaigns (docs/ROBUSTNESS.md)",
+    )
+    sub.add_argument(
+        "--campaign",
+        default="all",
+        help="campaign name or 'all' (see repro.chaos_campaign.CAMPAIGNS)",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--keep",
+        action="store_true",
+        help="keep each campaign's scratch directory for post-mortem",
+    )
+    sub.add_argument(
+        "-q", "--quiet", action="store_true", help="only the final verdict"
+    )
+    sub.set_defaults(func=cmd_chaos)
 
     sub = subs.add_parser("submit", help="submit a job to a running service")
     sub.add_argument(

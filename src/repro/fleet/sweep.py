@@ -19,9 +19,11 @@ Two invariants carry the fleet acceptance criteria:
   run serially in one process.
 
 With ``journal=`` the sweep is resumable: each outcome is appended to a
-:class:`repro.runtime.supervisor.Journal` (fingerprinted by the task
+:class:`repro.store.DurableLog` (fingerprinted by the task
 configuration) the moment it lands, and a rerun skips journaled seeds —
-a coordinator crash mid-sweep costs only the replicas in flight.
+a coordinator crash mid-sweep costs only the replicas in flight.  The
+log snapshots + compacts itself every :data:`JOURNAL_SNAPSHOT_EVERY`
+outcomes, bounding both the journal's size and the resume replay cost.
 """
 
 from __future__ import annotations
@@ -37,7 +39,12 @@ from repro.fleet.executor import (
     ReplicaOutcome,
 )
 from repro.fleet.stats import ReservoirSample, SweepStats
-from repro.runtime.supervisor import Journal
+from repro.store import DurableLog
+
+#: Sweep journals snapshot + compact every N completed replicas, so a
+#: resumed million-replica sweep replays a bounded tail instead of the
+#: entire outcome history.
+JOURNAL_SNAPSHOT_EVERY = 512
 
 __all__ = ["FleetSweepResult", "run_sweep", "task_fingerprint"]
 
@@ -136,7 +143,11 @@ def run_sweep(
     resumed = 0
     todo_seeds = seeds
     if journal is not None:
-        journal_obj = Journal(journal, task_fingerprint(task))
+        journal_obj = DurableLog(
+            journal,
+            task_fingerprint(task),
+            snapshot_every=JOURNAL_SNAPSHOT_EVERY,
+        )
         restored = {
             seed: journal_obj.completed[seed]
             for seed in seeds

@@ -43,7 +43,13 @@ from repro.platform.spec import (
     run_id_for,
     spec_fingerprint,
 )
-from repro.runtime.supervisor import Journal
+from repro.store import DurableLog, atomic_write_json
+
+#: Run journals snapshot + compact every N completed experiments, so a
+#: resumed mega-run replays a bounded tail (one payload per line is
+#: large — experiment tables — which makes compaction worth it even at
+#: modest counts).
+JOURNAL_SNAPSHOT_EVERY = 256
 
 __all__ = [
     "execute_spec",
@@ -252,10 +258,13 @@ def _metric_body(payload: dict) -> dict:
 
 
 def _write_json(path: Path, body) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(body, sort_keys=True, indent=2) + "\n", encoding="utf-8"
-    )
+    """Publish a registry artefact atomically and durably.
+
+    ``run.json`` is the folder's completion marker, so it must never be
+    observable half-written, and the rename that publishes it must
+    survive power loss (write-temp → fsync → rename → fsync(dir)).
+    """
+    atomic_write_json(path, body)
 
 
 # ---------------------------------------------------------------------------
@@ -308,7 +317,10 @@ def run_spec(
     seconds: dict = {}
     attempts: dict = {}
     resumed = 0
-    journal = Journal(folder / "journal.jsonl", rid)
+    journal = DurableLog(
+        folder / "journal.jsonl", rid,
+        snapshot_every=JOURNAL_SNAPSHOT_EVERY,
+    )
     try:
         todo = []
         for eid in spec["experiments"]:

@@ -20,12 +20,26 @@ the faults those layers exist to survive:
 ``drop``
     an HTTP request to a service endpoint fails with a connection
     error, as if the endpoint were dead (to exercise fleet failover
-    and health-probe recovery).
+    and health-probe recovery);
+``enospc``
+    the Nth durable-store write raises ``OSError(ENOSPC)`` mid-line, as
+    if the disk filled — the store must roll the torn bytes back and
+    stay consistent without a reopen;
+``torn``
+    the Nth durable-store append writes only a seeded prefix of the
+    record and then the process "dies" — exactly the on-disk state a
+    power cut leaves, which recovery must truncate away;
+``kill``
+    the process dies at a named kill-point inside the durable-log state
+    machine (``kill=durable.snap-rename,kill_at=1`` dies the first time
+    a snapshot rename completes), driving the crash-mid-compaction /
+    crash-mid-snapshot campaigns (docs/ROBUSTNESS.md).
 
 Configuration comes from the ``REPRO_CHAOS`` environment variable —
 inherited by pool workers — as comma-separated clauses::
 
     REPRO_CHAOS="seed=7,crash=0.3,slow=0.2,slow_s=2.0,corrupt=1.0,drop=0.2"
+    REPRO_CHAOS="seed=0,hard=1,kill=durable.append,kill_at=17"
 
 Injection is *deterministic*: the decision for a given ``(kind, key)``
 scope is a pure hash of ``(chaos seed, kind, key)`` against the
@@ -37,6 +51,14 @@ infrastructure faults and keeps "retry fixes it" testable with
 ``crash=1.0``.  (Permanent failures are exercised by setting
 ``retries=0`` instead.)
 
+The counted faults (``enospc``, ``torn``, ``kill_at``) are deterministic
+too, but sequential rather than hashed: they fire on the Nth matching
+event in this process, counted by :func:`bump_counter` (reset with
+:func:`reset_chaos_counters`, automatic in a fresh subprocess).  ``hard=1``
+makes tears and kills exit the whole process with ``os._exit`` (a genuine
+SIGKILL-shaped death for subprocess campaigns); without it they raise
+:class:`ChaosCrash` so in-process tests can catch and recover.
+
 The environment is re-read on every decision (no module cache) so tests
 can flip it with ``monkeypatch.setenv``; with ``REPRO_CHAOS`` unset every
 hook is a no-op costing one dict lookup.
@@ -44,6 +66,7 @@ hook is a no-op costing one dict lookup.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import time
@@ -53,14 +76,20 @@ __all__ = [
     "CHAOS_ENV",
     "ChaosConfig",
     "ChaosCrash",
+    "bump_counter",
     "chaos_active",
     "chaos_config",
+    "chaos_die",
     "corrupt_text",
     "maybe_corrupt",
     "maybe_crash",
     "maybe_drop",
+    "maybe_enospc",
+    "maybe_kill",
     "maybe_slow",
+    "reset_chaos_counters",
     "should_inject",
+    "torn_offset",
 ]
 
 CHAOS_ENV = "REPRO_CHAOS"
@@ -76,7 +105,8 @@ class ChaosCrash(RuntimeError):
 
 @dataclass(frozen=True)
 class ChaosConfig:
-    """Parsed ``REPRO_CHAOS`` settings.  All probabilities in [0, 1]."""
+    """Parsed ``REPRO_CHAOS`` settings.  All probabilities in [0, 1];
+    ``enospc``/``torn`` are 1-based event counts (0 = off)."""
 
     seed: int = 0
     crash: float = 0.0
@@ -84,13 +114,26 @@ class ChaosConfig:
     slow_s: float = 1.0
     corrupt: float = 0.0
     drop: float = 0.0
+    #: Fail the Nth durable-store write with OSError(ENOSPC); 0 = off.
+    enospc: int = 0
+    #: Tear the Nth durable-store append at a seeded byte offset; 0 = off.
+    torn: int = 0
+    #: Kill-point name substring; the process dies when a kill-point
+    #: whose name contains this string fires (see ``kill_at``).
+    kill: str = ""
+    #: Which matching kill-point firing dies (1-based, default first).
+    kill_at: int = 1
+    #: Hard deaths: ``os._exit`` instead of raising :class:`ChaosCrash`.
+    hard: bool = False
 
     @staticmethod
     def parse(spec: str) -> "ChaosConfig":
         """Parse a ``REPRO_CHAOS`` clause string.
 
-        >>> ChaosConfig.parse("seed=3,crash=0.5,corrupt=1")
-        ChaosConfig(seed=3, crash=0.5, slow=0.0, slow_s=1.0, corrupt=1.0, drop=0.0)
+        >>> ChaosConfig.parse("seed=3,crash=0.5,corrupt=1").crash
+        0.5
+        >>> ChaosConfig.parse("kill=durable.seal,kill_at=2,hard=1").kill
+        'durable.seal'
         """
         fields = {}
         for clause in spec.split(","):
@@ -115,6 +158,17 @@ class ChaosConfig:
                 fields[key] = prob
             elif key == "slow_s":
                 fields["slow_s"] = float(value)
+            elif key in ("enospc", "torn", "kill_at"):
+                count = int(value)
+                if count < 0:
+                    raise ValueError(
+                        f"{CHAOS_ENV} {key} count {count} must be >= 0"
+                    )
+                fields[key] = count
+            elif key == "kill":
+                fields["kill"] = value
+            elif key == "hard":
+                fields["hard"] = value not in ("", "0", "false", "no")
             else:
                 raise ValueError(f"unknown {CHAOS_ENV} key {key!r}")
         return ChaosConfig(**fields)
@@ -125,6 +179,9 @@ class ChaosConfig:
             or self.slow > 0
             or self.corrupt > 0
             or self.drop > 0
+            or self.enospc > 0
+            or self.torn > 0
+            or bool(self.kill)
         )
 
 
@@ -210,3 +267,76 @@ def maybe_corrupt(key, text: str) -> str:
     if should_inject("corrupt", key):
         return corrupt_text(text)
     return text
+
+
+# ---------------------------------------------------------------------------
+# counted faults (durable-store writes): enospc, torn, kill-points
+# ---------------------------------------------------------------------------
+
+#: Per-process event counters for the Nth-event fault kinds.  A fresh
+#: subprocess starts at zero, which is what makes campaign children
+#: deterministic; in-process tests call :func:`reset_chaos_counters`.
+_COUNTERS: dict = {}
+
+
+def reset_chaos_counters() -> None:
+    """Zero the Nth-event counters (``enospc``/``torn``/``kill_at``)."""
+    _COUNTERS.clear()
+
+
+def bump_counter(name: str) -> int:
+    """Increment and return the 1-based count of ``name`` events."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + 1
+    return _COUNTERS[name]
+
+
+def chaos_die(reason: str) -> None:
+    """Die the way the active config wants: ``os._exit`` under ``hard=1``
+    (a SIGKILL-shaped death for subprocess campaigns), else raise
+    :class:`ChaosCrash` so in-process tests can catch and recover."""
+    cfg = chaos_config()
+    if cfg is not None and cfg.hard:
+        os._exit(CRASH_EXIT_STATUS)
+    raise ChaosCrash(reason)
+
+
+def maybe_enospc(key) -> None:
+    """Raise ``OSError(ENOSPC)`` if this is the configured Nth durable
+    write.  The caller is expected to have already written a torn prefix
+    (mimicking a mid-write disk-full) and to roll it back on the error."""
+    cfg = chaos_config()
+    if cfg is None or cfg.enospc <= 0:
+        return
+    if bump_counter("enospc") == cfg.enospc:
+        raise OSError(
+            errno.ENOSPC, f"injected ENOSPC (no space left) at {key!r}"
+        )
+
+
+def torn_offset(key, length: int) -> int | None:
+    """The seeded byte offset to tear this append at, or ``None``.
+
+    Fires only on the configured Nth durable append; the offset is a
+    pure hash of ``(seed, "torn", key)`` in ``[1, length - 1]``, so the
+    same campaign always tears the same record at the same byte.
+    """
+    cfg = chaos_config()
+    if cfg is None or cfg.torn <= 0 or length <= 1:
+        return None
+    if bump_counter("torn") != cfg.torn:
+        return None
+    return 1 + int(_roll(cfg.seed, "torn", key) * (length - 1))
+
+
+def maybe_kill(point: str) -> None:
+    """Die at a named kill-point if the active config targets it.
+
+    ``point`` is a dotted phase name (e.g. ``durable.snap-rename``);
+    the config's ``kill=`` clause matches by substring, and ``kill_at=N``
+    selects the Nth matching firing (1-based).
+    """
+    cfg = chaos_config()
+    if cfg is None or not cfg.kill or cfg.kill not in point:
+        return
+    if bump_counter(("kill", cfg.kill)) == max(1, cfg.kill_at):
+        chaos_die(f"injected kill at {point}")

@@ -37,17 +37,15 @@ policy; :mod:`repro.runtime.chaos` supplies the faults that test it.
 from __future__ import annotations
 
 import inspect
-import json
-import os
 import random
 import time
 import traceback
-import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from pathlib import Path
+
+from repro.store.durable import DurableLog, JournalMismatch
 
 __all__ = [
     "Journal",
@@ -290,134 +288,23 @@ def supervised_map(
 
 
 # ---------------------------------------------------------------------------
-# resumable journal
+# resumable journal (compatibility shim over repro.store.DurableLog)
 # ---------------------------------------------------------------------------
 
 
-class JournalMismatch(ValueError):
-    """An existing journal belongs to a different sweep configuration."""
-
-
-class Journal:
+class Journal(DurableLog):
     """Append-only JSONL manifest of completed work items.
 
-    Line 1 is a header ``{"journal": 1, "fingerprint": ...}``; each
-    subsequent line is ``{"key": <item>, "value": <payload>}``, flushed
-    as written so a crash loses at most the line in flight.  Keys and
-    payloads must be JSON-serialisable (ints, strings, lists, dicts).
+    Since the durable-store refactor this is a thin alias for
+    :class:`repro.store.DurableLog` with snapshots disabled — the exact
+    legacy behaviour: a single JSONL file headed by
+    ``{"journal": 1, "fingerprint": ...}``, one flushed line per record,
+    fingerprint-checked resume, truncate-and-warn recovery of a torn
+    final line, and an fsync on :meth:`close`.  Existing v1 journals
+    open unchanged (the upgrade is purely additive: new files written
+    by a generation > 0 log carry v2 headers, old files never do).
 
-    Opening an existing journal validates the fingerprint — resuming a
-    sweep with different parameters raises :class:`JournalMismatch`
-    instead of silently merging incompatible results — and tolerates a
-    truncated final line (a SIGKILL arrived mid-``record()``): the
-    partial tail is *truncated away* on disk with a warning, so the file
-    is valid JSONL again and the interrupted item simply reruns.
-
-    :meth:`close` (and so ``with``-block exit) flushes **and fsyncs**
-    before closing: once the context manager exits, every recorded line
-    is durable against power loss, not just against process death.
+    Pass ``snapshot_every=N`` to opt a call site into checksummed
+    snapshots + segment compaction; see :mod:`repro.store.durable` for
+    the on-disk format and crash-recovery contract.
     """
-
-    _HEADER_VERSION = 1
-
-    def __init__(self, path, fingerprint):
-        self.path = Path(path)
-        self.fingerprint = fingerprint
-        self.completed: dict = {}
-        self._fh = None
-        if self.path.exists():
-            self._load()
-            self._fh = open(self.path, "a", encoding="utf-8")
-        else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "w", encoding="utf-8")
-            self._write_line(
-                {"journal": self._HEADER_VERSION, "fingerprint": fingerprint}
-            )
-
-    def _load(self) -> None:
-        raw = self.path.read_bytes()
-        lines = raw.decode("utf-8").splitlines(keepends=True)
-        if not lines:
-            raise JournalMismatch(f"journal {self.path} is empty (no header)")
-        try:
-            header = json.loads(lines[0])
-        except ValueError as exc:
-            raise JournalMismatch(
-                f"journal {self.path} has an unreadable header: {exc}"
-            ) from None
-        if header.get("journal") != self._HEADER_VERSION:
-            raise JournalMismatch(
-                f"journal {self.path} has unsupported version "
-                f"{header.get('journal')!r}"
-            )
-        if header.get("fingerprint") != self.fingerprint:
-            raise JournalMismatch(
-                f"journal {self.path} was written by a different sweep "
-                f"configuration; refusing to resume (delete it to restart)"
-            )
-        offset = len(lines[0].encode("utf-8"))
-        for index, line in enumerate(lines[1:], start=1):
-            try:
-                entry = json.loads(line)
-                key = entry["key"]
-                value = entry["value"]
-            except (ValueError, KeyError, TypeError):
-                if index == len(lines) - 1:
-                    # A SIGKILL landed mid-record(): the final line is
-                    # partial.  Truncate it away so the file is valid
-                    # JSONL again; the in-flight item simply reruns.
-                    warnings.warn(
-                        f"journal {self.path}: dropping partially-written "
-                        f"final line ({len(line)} bytes) — the item in "
-                        f"flight at the crash will rerun",
-                        RuntimeWarning,
-                        stacklevel=4,
-                    )
-                    with open(self.path, "r+b") as fh:
-                        fh.truncate(offset)
-                        fh.flush()
-                        os.fsync(fh.fileno())
-                    return
-                # A corrupt line *with* valid lines after it is not a
-                # crash artefact — refuse to guess what else is wrong.
-                raise JournalMismatch(
-                    f"journal {self.path} line {index + 1} is corrupt but "
-                    f"not the final line; refusing to resume from a "
-                    f"damaged journal (delete it to restart)"
-                ) from None
-            self.completed[self._freeze(key)] = value
-            offset += len(line.encode("utf-8"))
-
-    @staticmethod
-    def _freeze(key):
-        """JSON round-trips tuples to lists; normalise for dict lookup."""
-        return tuple(key) if isinstance(key, list) else key
-
-    def _write_line(self, obj) -> None:
-        self._fh.write(json.dumps(obj) + "\n")
-        self._fh.flush()
-
-    def record(self, key, value) -> None:
-        """Append one completed item (immediately flushed)."""
-        self._write_line({"key": key, "value": value})
-        self.completed[self._freeze(key)] = value
-
-    def sync(self) -> None:
-        """Flush buffered lines and fsync them to disk."""
-        if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-
-    def close(self) -> None:
-        """Flush, fsync, and close: recorded lines survive power loss."""
-        if self._fh is not None:
-            self.sync()
-            self._fh.close()
-            self._fh = None
-
-    def __enter__(self) -> "Journal":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()

@@ -174,3 +174,23 @@ class JobRecord:
         if with_events:
             data["events"] = list(self.events)
         return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "JobRecord":
+        """Inverse of :meth:`to_dict` — used by the job store's journal
+        snapshots to restore a job without replaying its event stream."""
+        return JobRecord(
+            id=data["id"],
+            spec=JobSpec(
+                kind=data["kind"],
+                params=data.get("params", {}),
+                deadline_s=data.get("deadline_s"),
+            ),
+            state=data.get("state", "QUEUED"),
+            result=data.get("result"),
+            error=data.get("error"),
+            submitted_at=data.get("submitted_at", 0.0),
+            finished_at=data.get("finished_at"),
+            attempts=data.get("attempts", 0),
+            events=list(data.get("events", ())),
+        )

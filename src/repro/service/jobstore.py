@@ -24,6 +24,15 @@ That replay is what makes the kill-recover invariant mechanical:
 The journal reuses the runtime fingerprint header, so pointing a store
 at some other journal file refuses to load rather than merging foreign
 state.
+
+The journal is a :class:`repro.store.DurableLog` with snapshots on
+(``snapshot_every``, default 1024 events): every N events the full job
+table is folded into one checksummed snapshot (one ``restore`` event
+per job — a terminal job's whole submit/state/event stream collapses to
+a single record) and older segments are compacted away, so recovery
+replays a bounded tail no matter how many jobs the store has ever seen.
+The ``restore`` event type is additive — the fingerprint stays
+``repro-jobstore-v1`` and pre-snapshot journals open unchanged.
 """
 
 from __future__ import annotations
@@ -31,13 +40,16 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.runtime.supervisor import Journal
+from repro.store import DurableLog
 from repro.service.jobs import TERMINAL_STATES, JobRecord, JobSpec
 
 __all__ = ["IllegalTransition", "JobStore", "UnknownJob"]
 
 #: Journal-header fingerprint: bump when the event schema changes.
 STORE_FINGERPRINT = "repro-jobstore-v1"
+
+#: Snapshot + compact the journal after this many events by default.
+DEFAULT_SNAPSHOT_EVERY = 1024
 
 
 class UnknownJob(KeyError):
@@ -52,13 +64,19 @@ class IllegalTransition(RuntimeError):
 class JobStore:
     """See module docstring.  Thread-safe; one lock covers journal+table."""
 
-    def __init__(self, path):
+    def __init__(self, path, *, snapshot_every: int | None = DEFAULT_SNAPSHOT_EVERY):
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         #: fingerprint -> job id of a successfully completed job.
         self._completed_by_fingerprint: dict[str, str] = {}
         self._seq = 0
-        self._journal = Journal(path, STORE_FINGERPRINT)
+        self._journal = DurableLog(
+            path,
+            STORE_FINGERPRINT,
+            # 0 and None both mean "snapshots off" (legacy behaviour).
+            snapshot_every=snapshot_every or None,
+            compact_items=self._compact_events,
+        )
         self._replay()
 
     # -- journal plumbing --------------------------------------------------
@@ -73,10 +91,39 @@ class JobStore:
             self._seq = max(self._seq, key[0])
             self._apply(event)
 
+    def _compact_events(self, items):
+        """Snapshot compactor: fold the event stream into the job table.
+
+        Called by the durable log (under the store lock — snapshots
+        trigger inside :meth:`_append`) when it snapshots.  Instead of
+        persisting every historical ``submit``/``state``/``event`` line,
+        the snapshot holds one ``restore`` event per job, so a job's
+        whole lifecycle costs one snapshot record forever.  A trailing
+        ``seq`` marker preserves the sequence high-water mark; event
+        keys stay ``[seq, type]`` so replay-over-snapshot ordering and
+        the max-seq scan are unchanged.
+        """
+        del items  # the in-memory table already reflects every event
+        compacted = [
+            [[i, "restore"], {"type": "restore", "record": record.to_dict()}]
+            for i, record in enumerate(self._jobs.values(), start=1)
+        ]
+        compacted.append([[self._seq, "seq"], {"type": "seq"}])
+        return compacted
+
     def _apply(self, event: dict) -> None:
         """Apply one journaled event to the in-memory table (no re-journal)."""
         etype = event["type"]
-        if etype == "submit":
+        if etype == "restore":
+            record = JobRecord.from_dict(event["record"])
+            self._jobs[record.id] = record
+            if record.state in ("DONE", "DEGRADED"):
+                self._completed_by_fingerprint[
+                    record.spec.fingerprint
+                ] = record.id
+        elif etype == "seq":
+            pass  # high-water marker: only its key matters (max-seq scan)
+        elif etype == "submit":
             spec = JobSpec.from_dict(event["spec"])
             record = JobRecord(
                 id=event["id"], spec=spec, submitted_at=event["t"]
@@ -217,6 +264,18 @@ class JobStore:
         with self._lock:
             job_id = self._completed_by_fingerprint.get(fingerprint)
             return self._jobs.get(job_id) if job_id is not None else None
+
+    def recovery_stats(self) -> dict:
+        """How much work the last open cost — the compaction gate's
+        numbers: segment records replayed, and whether a snapshot seeded
+        the table (see tools/compaction_smoke.py)."""
+        with self._lock:
+            return {
+                "replayed": self._journal.replayed,
+                "from_snapshot": self._journal.recovered_from_snapshot,
+                "jobs": len(self._jobs),
+                "seq": self._seq,
+            }
 
     def counts(self) -> dict:
         """State histogram for ``/readyz`` and drain logging."""

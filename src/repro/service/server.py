@@ -75,11 +75,15 @@ class JobService:
         breaker_threshold: int = 5,
         breaker_reset_s: float = 30.0,
         queue_jitter: float = 0.1,
+        snapshot_every: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.journal_path = journal_path
-        self.store = JobStore(journal_path)
+        if snapshot_every is not None:
+            self.store = JobStore(journal_path, snapshot_every=snapshot_every)
+        else:
+            self.store = JobStore(journal_path)
         self.queue = AdmissionQueue(
             queue_capacity, workers=workers, jitter=queue_jitter
         )

@@ -1,0 +1,97 @@
+"""Durable filesystem primitives shared by every on-disk store.
+
+POSIX makes two promises easy to forget:
+
+* ``fsync(fd)`` makes a *file's bytes* durable, but says nothing about
+  the directory entry that names it — after a rename, the new name
+  lives in the parent directory's data, and a power cut can roll the
+  rename back unless the *directory* is fsynced too;
+* ``rename`` within one filesystem is atomic with respect to crashes
+  (observers see the old file or the new one, never a mix), which is
+  what makes write-to-temp-then-rename the standard publish step.
+
+Everything here composes those two facts: :func:`fsync_dir` closes the
+rename-durability gap, and :func:`atomic_write_text` /
+:func:`atomic_write_json` are the full tmp → fsync(file) → rename →
+fsync(dir) sequence used by the durable log, the run registry and the
+batch result cache (docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "atomic_replace",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_dir",
+]
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so renames/creates/unlinks inside it are durable.
+
+    Best-effort: platforms (or filesystems) that refuse to open or fsync
+    a directory degrade to the old behaviour rather than crashing the
+    caller — the write itself already succeeded.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(os.fspath(path), flags)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_replace(src, dst) -> None:
+    """``os.replace`` + parent-directory fsync: the rename survives power
+    loss, not just process death."""
+    os.replace(src, dst)
+    fsync_dir(Path(dst).parent)
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Atomically publish ``text`` at ``path``, durable against power loss.
+
+    Writes a collision-free temp file in the target directory, fsyncs
+    the bytes, renames it into place, then fsyncs the parent directory.
+    A crash at any byte leaves either the old content or the new — never
+    a torn file under the final name.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f"{path.name}.tmp",
+        delete=False,
+    )
+    try:
+        with tmp:
+            tmp.write(text)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        atomic_replace(tmp.name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp.name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, body) -> None:
+    """Atomically publish ``body`` as stable, human-diffable JSON."""
+    atomic_write_text(
+        path, json.dumps(body, sort_keys=True, indent=2) + "\n"
+    )

@@ -1,0 +1,360 @@
+"""Offline integrity checking for every on-disk store (``repro fsck``).
+
+Walks the three persistent artefact families —
+
+* the batch result cache (``.repro_cache/batch/v*/``, sha256-checksummed
+  JSON entries),
+* the run registry (``.repro_runs/<run_id>/`` folders: ``run.json``,
+  ``spec.lock.json``, ``metrics/*.json``, a durable-log journal),
+* durable-log families (service job journals, sweep resume journals):
+  active segment, sealed ``*.seg`` segments, ``*.snap`` snapshots —
+
+and validates what the online read paths validate (JSON shape, header
+versions, record CRCs, global-index continuity, snapshot checksums),
+plus what they can't see until too late (torn tails in files nobody has
+reopened yet).  Pure inspection by default; with ``repair=True`` each
+corrupt artefact is *quarantined* — renamed ``<name>.corrupt`` (cache
+entries move to the cache's existing ``quarantine/`` folder) — never
+deleted, matching the online quarantine convention.
+
+Exit-code contract (the CLI maps the report onto it, for CI gating)::
+
+    0   every checked artefact is intact
+    1   corruption found (listed on stdout; quarantined under --repair)
+    2   usage error (nonexistent explicit path, ...)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.store.durable import (
+    LEGACY_VERSION,
+    SEGMENT_VERSION,
+    SNAPSHOT_VERSION,
+    record_crc,
+    snapshot_checksum,
+)
+from repro.store.fs import fsync_dir
+
+__all__ = [
+    "FsckIssue",
+    "FsckReport",
+    "fsck_cache",
+    "fsck_log",
+    "fsck_paths",
+    "fsck_runs",
+]
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One corrupt artefact: where, what kind, and what was done."""
+
+    path: str
+    kind: str
+    detail: str
+    repaired: bool = False
+
+    def describe(self) -> str:
+        action = " [quarantined]" if self.repaired else ""
+        return f"{self.path}: {self.kind}: {self.detail}{action}"
+
+
+@dataclass
+class FsckReport:
+    """Aggregate result of one fsck walk."""
+
+    checked: int = 0
+    issues: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, path, kind: str, detail: str, repaired: bool = False):
+        self.issues.append(FsckIssue(str(path), kind, detail, repaired))
+
+    def merge(self, other: "FsckReport") -> None:
+        self.checked += other.checked
+        self.issues.extend(other.issues)
+
+    def to_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "issues": [
+                {
+                    "path": i.path,
+                    "kind": i.kind,
+                    "detail": i.detail,
+                    "repaired": i.repaired,
+                }
+                for i in self.issues
+            ],
+            "ok": self.ok,
+        }
+
+
+def _quarantine_file(path: Path) -> bool:
+    """Rename a damaged file to ``<name>.corrupt``; True on success."""
+    try:
+        os.replace(path, path.with_name(path.name + ".corrupt"))
+        fsync_dir(path.parent)
+        return True
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# durable-log families
+# ---------------------------------------------------------------------------
+
+
+def _check_snapshot(path: Path, report: FsckReport, repair: bool) -> None:
+    report.checked += 1
+    try:
+        body = json.loads(path.read_text(encoding="utf-8"))
+        if body.get("snapshot") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {body.get('snapshot')!r}"
+            )
+        if body.get("sha256") != snapshot_checksum(body):
+            raise ValueError("sha256 checksum mismatch")
+        int(body["count"])
+        int(body["gen"])
+        list(body["items"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        repaired = repair and _quarantine_file(path)
+        report.add(path, "snapshot", str(exc), repaired)
+
+
+def _check_segment(path: Path, report: FsckReport, repair: bool) -> None:
+    """Validate one journal segment (active or sealed) structurally."""
+    report.checked += 1
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        report.add(path, "segment", str(exc))
+        return
+    lines = raw.decode("utf-8", errors="replace").splitlines(keepends=True)
+    if not lines:
+        repaired = repair and _quarantine_file(path)
+        report.add(path, "segment", "empty file (no header)", repaired)
+        return
+    try:
+        header = json.loads(lines[0])
+        version = header["journal"]
+        header["fingerprint"]
+    except (ValueError, KeyError, TypeError) as exc:
+        repaired = repair and _quarantine_file(path)
+        report.add(path, "segment", f"unreadable header ({exc})", repaired)
+        return
+    if version not in (LEGACY_VERSION, SEGMENT_VERSION):
+        repaired = repair and _quarantine_file(path)
+        report.add(
+            path, "segment", f"unsupported version {version!r}", repaired
+        )
+        return
+    base = int(header.get("base", 0)) if version == SEGMENT_VERSION else 0
+    offset = len(lines[0].encode("utf-8"))
+    index = base
+    for lineno, line in enumerate(lines[1:], start=1):
+        bad = None
+        try:
+            entry = json.loads(line)
+            key = entry["key"]
+            value = entry["value"]
+        except (ValueError, KeyError, TypeError):
+            bad = "unparsable record"
+            entry = None
+        if entry is not None and "n" in entry and entry["n"] != index:
+            bad = f"record index {entry['n']} != expected {index}"
+        if (
+            entry is not None
+            and bad is None
+            and "c" in entry
+            and entry["c"] != record_crc(entry.get("n", index), key, value)
+        ):
+            bad = "record CRC mismatch"
+        if bad is not None:
+            if lineno == len(lines) - 1 and entry is None:
+                # Torn tail: the one corruption crash recovery repairs
+                # itself.  Repair = the same truncation recovery does.
+                repaired = False
+                if repair:
+                    try:
+                        with open(path, "r+b") as fh:
+                            fh.truncate(offset)
+                            fh.flush()
+                            os.fsync(fh.fileno())
+                        repaired = True
+                    except OSError:
+                        repaired = False
+                report.add(
+                    path,
+                    "torn-tail",
+                    f"partially-written final line ({len(line)} bytes)",
+                    repaired,
+                )
+            else:
+                repaired = repair and _quarantine_file(path)
+                report.add(
+                    path, "segment", f"line {lineno + 1}: {bad}", repaired
+                )
+            return
+        index += 1
+        offset += len(line.encode("utf-8"))
+
+
+def fsck_log(path, *, repair: bool = False) -> FsckReport:
+    """Check one durable-log family (active + ``*.seg`` + ``*.snap``).
+
+    A missing active segment is not an error on its own — that is a
+    legal crash state (between seal and reopen) — but a completely
+    absent family (no file at all) is reported so a typo'd explicit
+    path fails loudly.
+    """
+    path = Path(path)
+    report = FsckReport()
+    members = []
+    if path.is_file():
+        members.append((path, "segment"))
+    if path.parent.is_dir():
+        for child in sorted(path.parent.glob(f"{path.name}.*.seg")):
+            members.append((child, "segment"))
+        for child in sorted(path.parent.glob(f"{path.name}.*.snap")):
+            members.append((child, "snapshot"))
+    if not members:
+        report.add(path, "missing", "no journal, segments or snapshots")
+        return report
+    for member, kind in members:
+        if kind == "snapshot":
+            _check_snapshot(member, report, repair)
+        else:
+            _check_segment(member, report, repair)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# batch result cache
+# ---------------------------------------------------------------------------
+
+
+def fsck_cache(cache_dir=None, *, repair: bool = False) -> FsckReport:
+    """Validate every batch-cache entry's JSON shape and sha256.
+
+    Quarantined (``quarantine/``) entries are skipped — they are already
+    known-bad and moved aside.  Repair moves corrupt entries there too,
+    mirroring what the online read path does on a checksum miss.
+    """
+    from repro.analysis.batch import default_cache_dir
+
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    root = base / "batch"
+    report = FsckReport()
+    if not root.is_dir():
+        return report
+    qdir = root / "quarantine"
+    for path in sorted(root.rglob("*.json")):
+        if qdir in path.parents:
+            continue
+        report.checked += 1
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict) or "sha256" not in data:
+                raise ValueError("no sha256 checksum")
+            if data["sha256"] != snapshot_checksum(data):
+                raise ValueError("sha256 checksum mismatch")
+        except (OSError, ValueError, TypeError) as exc:
+            repaired = False
+            if repair:
+                try:
+                    qdir.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, qdir / path.name)
+                    fsync_dir(path.parent)
+                    fsync_dir(qdir)
+                    repaired = True
+                except OSError:
+                    repaired = False
+            report.add(path, "cache-entry", str(exc), repaired)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# run registry
+# ---------------------------------------------------------------------------
+
+
+def _check_json_file(path: Path, report: FsckReport, repair: bool,
+                     kind: str) -> None:
+    report.checked += 1
+    try:
+        json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        repaired = repair and _quarantine_file(path)
+        report.add(path, kind, str(exc), repaired)
+
+
+def fsck_runs(runs_dir=None, *, repair: bool = False) -> FsckReport:
+    """Validate every run folder in the registry.
+
+    Completed runs (``run.json`` present) must have parsable summary,
+    locked spec and metric tables plus an intact journal.  Interrupted
+    folders (no ``run.json``) are legal — only their journal family is
+    checked, since that is what resume will read.
+    """
+    from repro.platform.registry import default_runs_dir
+
+    root = Path(runs_dir) if runs_dir is not None else default_runs_dir()
+    report = FsckReport()
+    if not root.is_dir():
+        return report
+    for folder in sorted(root.iterdir()):
+        if not folder.is_dir():
+            continue
+        run_json = folder / "run.json"
+        if run_json.is_file():
+            _check_json_file(run_json, report, repair, "run-summary")
+            lock = folder / "spec.lock.json"
+            if lock.is_file():
+                _check_json_file(lock, report, repair, "spec-lock")
+            else:
+                report.add(lock, "spec-lock", "missing locked spec")
+            metrics = folder / "metrics"
+            if metrics.is_dir():
+                for table in sorted(metrics.glob("*.json")):
+                    _check_json_file(table, report, repair, "metric-table")
+        journal = folder / "journal.jsonl"
+        if journal.is_file() or list(
+            folder.glob("journal.jsonl.*.seg")
+        ) or list(folder.glob("journal.jsonl.*.snap")):
+            report.merge(fsck_log(journal, repair=repair))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# top-level walk
+# ---------------------------------------------------------------------------
+
+
+def fsck_paths(
+    *,
+    cache_dir=None,
+    runs_dir=None,
+    journals=(),
+    repair: bool = False,
+) -> FsckReport:
+    """Check the cache, the run registry and any explicit journal paths.
+
+    ``journals`` naming a nonexistent family yields a ``missing`` issue
+    (explicit paths failing silently would defeat the CI gate).
+    """
+    report = FsckReport()
+    report.merge(fsck_cache(cache_dir, repair=repair))
+    report.merge(fsck_runs(runs_dir, repair=repair))
+    for journal in journals:
+        report.merge(fsck_log(journal, repair=repair))
+    return report

@@ -1,0 +1,42 @@
+"""The scripted chaos-campaign harness (`repro chaos`), end to end.
+
+Runs a representative subset of the real subprocess campaigns — each
+boots ``python -m repro.chaos_campaign --drive ...`` children, kills
+them for real (``os._exit``) at scheduled fault points, and asserts the
+recovery invariants.  The full matrix (``--campaign all``, two seeds)
+runs in the CI ``chaos-campaign`` job; this test keeps the harness
+itself honest under plain ``pytest -m chaos``.
+"""
+
+import pytest
+
+from repro import chaos_campaign
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.mark.parametrize(
+    "name", ["torn_final_write", "snapshot_bitflip", "enospc_append"]
+)
+def test_campaign_passes(name, capsys):
+    assert chaos_campaign.run_campaigns(name, seed=0) == 0
+    out = capsys.readouterr().out
+    assert f"ok    {name}" in out
+    assert "1/1 campaign(s) ok" in out
+
+
+def test_unknown_campaign_is_usage_error(capsys):
+    assert chaos_campaign.run_campaigns("frobnicate") == 2
+
+
+def test_registry_covers_every_fault_family():
+    """The campaign set must keep exercising every injected fault kind
+    (a regression here would silently shrink chaos coverage)."""
+    assert set(chaos_campaign.CAMPAIGNS) == {
+        "crash_at_record",
+        "torn_final_write",
+        "snapshot_bitflip",
+        "enospc_append",
+        "sigkill_mid_compaction",
+        "sweep_resume",
+    }

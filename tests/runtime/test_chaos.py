@@ -1,5 +1,7 @@
 """Deterministic fault injection (``REPRO_CHAOS``)."""
 
+import errno
+
 import pytest
 
 from repro.runtime import chaos
@@ -92,3 +94,63 @@ class TestHooks:
             import json
 
             json.loads(corrupted)
+
+
+class TestCountedFaults:
+    """The Nth-event fault kinds (enospc / torn / kill-points)."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_counters(self):
+        chaos.reset_chaos_counters()
+        yield
+        chaos.reset_chaos_counters()
+
+    def test_parse_counted_kinds(self):
+        cfg = chaos.ChaosConfig.parse(
+            "seed=3,enospc=5,torn=2,kill=durable.seal,kill_at=4,hard=1"
+        )
+        assert cfg.enospc == 5 and cfg.torn == 2
+        assert cfg.kill == "durable.seal" and cfg.kill_at == 4
+        assert cfg.hard and cfg.active()
+        with pytest.raises(ValueError):
+            chaos.ChaosConfig.parse("enospc=-1")
+
+    def test_enospc_fires_on_nth_write_only(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "enospc=3")
+        chaos.maybe_enospc("w")
+        chaos.maybe_enospc("w")
+        with pytest.raises(OSError) as err:
+            chaos.maybe_enospc("w")
+        assert err.value.errno == errno.ENOSPC
+        chaos.maybe_enospc("w")  # one-shot: later writes succeed
+
+    def test_torn_offset_is_seeded_and_in_range(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=0,torn=2")
+        assert chaos.torn_offset("k", 40) is None  # first append intact
+        offset = chaos.torn_offset("k", 40)
+        assert offset is not None and 1 <= offset <= 39
+        chaos.reset_chaos_counters()
+        chaos.torn_offset("k", 40)
+        assert chaos.torn_offset("k", 40) == offset  # same seed, same byte
+        monkeypatch.setenv(chaos.CHAOS_ENV, "seed=9,torn=1")
+        chaos.reset_chaos_counters()
+        other = chaos.torn_offset("k", 40000)
+        assert other != offset
+
+    def test_kill_point_substring_and_ordinal(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "kill=durable.snap,kill_at=2")
+        chaos.maybe_kill("durable.append")      # no substring match
+        chaos.maybe_kill("durable.snap-write")  # 1st match survives
+        with pytest.raises(chaos.ChaosCrash):
+            chaos.maybe_kill("durable.snap-rename")
+
+    def test_chaos_die_soft_raises(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "torn=1")  # hard unset
+        with pytest.raises(chaos.ChaosCrash):
+            chaos.chaos_die("boom")
+
+    def test_counted_hooks_are_noops_without_env(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        chaos.maybe_enospc("w")
+        assert chaos.torn_offset("k", 40) is None
+        chaos.maybe_kill("durable.append")

@@ -1,0 +1,120 @@
+"""Offline integrity checking (`repro fsck`) over every store family."""
+
+import json
+
+from repro.store import DurableLog, snapshot_checksum
+from repro.store.fsck import fsck_cache, fsck_log, fsck_paths
+
+FP = "test-fsck-v1"
+
+
+def make_family(tmp_path, n=30, every=8):
+    path = tmp_path / "j.jsonl"
+    with DurableLog(path, FP, snapshot_every=every) as log:
+        for i in range(n):
+            log.record(i, {"v": i})
+    return path
+
+
+class TestLog:
+    def test_clean_family(self, tmp_path):
+        path = make_family(tmp_path)
+        report = fsck_log(path)
+        assert report.ok
+        assert report.checked >= 3  # active + >=1 seg + >=1 snap
+
+    def test_missing_family_is_loud(self, tmp_path):
+        report = fsck_log(tmp_path / "nope.jsonl")
+        assert not report.ok
+        assert report.issues[0].kind == "missing"
+
+    def test_snapshot_bitflip_found_and_quarantined(self, tmp_path):
+        path = make_family(tmp_path)
+        snap = sorted(tmp_path.glob("j.jsonl.*.snap"))[-1]
+        blob = bytearray(snap.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        snap.write_bytes(bytes(blob))
+
+        report = fsck_log(path)
+        assert [i.kind for i in report.issues] == ["snapshot"]
+        assert not report.issues[0].repaired
+        assert snap.exists()  # inspection never mutates
+
+        report = fsck_log(path, repair=True)
+        assert report.issues[0].repaired
+        assert not snap.exists()
+        assert snap.with_name(snap.name + ".corrupt").exists()
+        assert fsck_log(path).ok  # the survivors are intact
+
+    def test_torn_tail_repaired_by_truncation(self, tmp_path):
+        path = make_family(tmp_path)
+        before = path.read_bytes()
+        with open(path, "ab") as fh:
+            fh.write(b'{"n": 30, "key": 30, "val')
+
+        report = fsck_log(path)
+        assert [i.kind for i in report.issues] == ["torn-tail"]
+
+        report = fsck_log(path, repair=True)
+        assert report.issues[0].repaired
+        assert path.read_bytes() == before  # repair == recovery's truncation
+        assert fsck_log(path).ok
+
+    def test_interior_corruption_quarantines_segment(self, tmp_path):
+        path = make_family(tmp_path)
+        seg = sorted(tmp_path.glob("j.jsonl.*.seg"))[0]
+        lines = seg.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][: len(lines[1]) // 2] + "\n"
+        seg.write_text("".join(lines))
+
+        report = fsck_log(path, repair=True)
+        kinds = {i.kind for i in report.issues}
+        assert kinds == {"segment"}
+        assert seg.with_name(seg.name + ".corrupt").exists()
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        path = make_family(tmp_path, n=4, every=None)
+        lines = path.read_text().splitlines(keepends=True)
+        entry = json.loads(lines[2])
+        entry["value"] = {"v": 999}  # value edited, CRC not recomputed
+        lines[2] = json.dumps(entry) + "\n"
+        path.write_text("".join(lines))
+        report = fsck_log(path)
+        assert any("CRC" in i.detail for i in report.issues)
+
+
+class TestCacheAndPaths:
+    def entry(self, body):
+        body = dict(body)
+        body["sha256"] = snapshot_checksum(body)
+        return json.dumps(body)
+
+    def test_cache_sweep_and_quarantine(self, tmp_path):
+        root = tmp_path / "batch" / "v1"
+        root.mkdir(parents=True)
+        (root / "good.json").write_text(self.entry({"x": 1}))
+        (root / "bad.json").write_text(self.entry({"x": 1})[:-9])
+
+        report = fsck_cache(tmp_path)
+        assert report.checked == 2
+        assert [i.kind for i in report.issues] == ["cache-entry"]
+
+        report = fsck_cache(tmp_path, repair=True)
+        assert report.issues[0].repaired
+        assert (tmp_path / "batch" / "quarantine" / "bad.json").exists()
+        assert fsck_cache(tmp_path).ok  # quarantined entries are skipped
+
+    def test_fsck_paths_merges_all_families(self, tmp_path):
+        journal = make_family(tmp_path / "logs")
+        report = fsck_paths(
+            cache_dir=tmp_path / "no-cache",
+            runs_dir=tmp_path / "no-runs",
+            journals=[journal],
+        )
+        assert report.ok and report.checked >= 3
+        report = fsck_paths(
+            cache_dir=tmp_path / "no-cache",
+            runs_dir=tmp_path / "no-runs",
+            journals=[journal, tmp_path / "absent.jsonl"],
+        )
+        assert not report.ok

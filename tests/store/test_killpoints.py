@@ -1,0 +1,89 @@
+"""Parametrized crash coverage of the DurableLog state machine.
+
+One test per (kill-point, occurrence): chaos kills the process (softly —
+:class:`ChaosCrash`, so the test survives) at every phase of the
+append/seal/snapshot/reopen/compact cycle, and recovery must come back
+to a *consistent prefix* — contiguous record indices, correct values,
+and a store that accepts the remaining appends and ends byte-equivalent
+to a never-crashed run.  The subprocess campaigns
+(:mod:`repro.chaos_campaign`) drive the same points with ``hard=1`` for
+real ``os._exit`` deaths; this file is the fast in-process sweep.
+"""
+
+import warnings
+
+import pytest
+
+from repro.runtime import chaos
+from repro.store import KILL_POINTS, DurableLog
+from repro.store.fsck import fsck_log
+
+pytestmark = pytest.mark.chaos
+
+FP = "test-killpoints-v1"
+TOTAL = 30
+EVERY = 8
+
+
+def drive(path, *, upto=TOTAL):
+    """(Re)open the log and append records until ``upto`` are durable,
+    skipping whatever a previous incarnation already journaled."""
+    log = DurableLog(path, FP, snapshot_every=EVERY)
+    try:
+        for i in range(upto):
+            if i not in log.completed:
+                log.record(i, {"v": i * i})
+    finally:
+        log.close()
+
+
+@pytest.mark.parametrize("occurrence", [1, 2])
+@pytest.mark.parametrize("point", [p.split(".", 1)[1] for p in KILL_POINTS])
+def test_crash_then_recover(tmp_path, monkeypatch, point, occurrence):
+    path = tmp_path / "j.jsonl"
+    chaos.reset_chaos_counters()
+    monkeypatch.setenv(
+        chaos.CHAOS_ENV, f"kill=durable.{point},kill_at={occurrence}"
+    )
+    with pytest.raises(chaos.ChaosCrash):
+        drive(path)
+    monkeypatch.delenv(chaos.CHAOS_ENV)
+    chaos.reset_chaos_counters()
+
+    # The crash state must already be fsck-consistent: kill-points land
+    # between writes, so no artefact may be torn (only legally absent).
+    report = fsck_log(path)
+    real = [i for i in report.issues if i.kind != "missing"]
+    assert not real, [i.describe() for i in real]
+
+    # Recovery: a consistent prefix, no repairs needed.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        log = DurableLog(path, FP, snapshot_every=EVERY)
+    try:
+        count = log.count
+        assert 0 <= count <= TOTAL
+        assert set(log.completed) == set(range(count))
+        assert all(log.completed[i] == {"v": i * i} for i in range(count))
+        assert log.replayed <= EVERY + 1  # snapshots bound the replay tail
+    finally:
+        log.close()
+
+    # Finishing the run lands the exact state a crash-free run produces.
+    drive(path)
+    with DurableLog(path, FP, snapshot_every=EVERY) as log:
+        assert log.count == TOTAL
+        assert log.completed == {i: {"v": i * i} for i in range(TOTAL)}
+    assert fsck_log(path).ok
+
+
+def test_every_phase_is_covered():
+    """The parametrization above must sweep the full state machine."""
+    assert KILL_POINTS == (
+        "durable.append",
+        "durable.seal",
+        "durable.snap-write",
+        "durable.snap-rename",
+        "durable.reopen",
+        "durable.compact",
+    )

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Compaction smoke test for the durable job store (CI: chaos-campaign).
+
+Pushes 10k jobs through a :class:`repro.service.jobstore.JobStore` with
+snapshots every 250 events (10k jobs x submit/RUNNING/DONE = 30k journal
+records), closes it, reopens it, and asserts the recovery replay cost:
+
+* the reopened store must seed itself from a snapshot;
+* it must replay at most 1% of the original record count from segments
+  (the acceptance bound from the durability work — in practice the tail
+  is at most ``snapshot_every`` records);
+* every job must survive with its terminal state and result intact;
+* ``repro fsck`` must pronounce the journal family clean (exit 0).
+
+Exits non-zero with a transcript on any violation.  Needs only the repro
+package (installed or via PYTHONPATH=src) — stdlib otherwise.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if os.path.isdir(os.path.join(SRC, "repro")):
+    sys.path.insert(0, SRC)
+
+from repro.service.jobs import JobRecord, JobSpec  # noqa: E402
+from repro.service.jobstore import JobStore  # noqa: E402
+
+JOBS = 10_000
+SNAPSHOT_EVERY = 250
+RECORDS = JOBS * 3  # submit + RUNNING + DONE per job
+REPLAY_BUDGET = RECORDS // 100  # the <=1% acceptance bound
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-compaction-smoke-")
+    journal = os.path.join(workdir, "jobs.jsonl")
+    try:
+        print(f"== write {JOBS} jobs ({RECORDS} journal records, "
+              f"snapshot every {SNAPSHOT_EVERY}) ==")
+        t0 = time.monotonic()
+        with JobStore(journal, snapshot_every=SNAPSHOT_EVERY) as store:
+            for i in range(JOBS):
+                job_id = f"j-{i:012d}"
+                spec = JobSpec(kind="simulate", params={"i": i})
+                store.submit(
+                    JobRecord(id=job_id, spec=spec, submitted_at=float(i))
+                )
+                store.transition(job_id, "RUNNING", t=float(i))
+                store.transition(
+                    job_id, "DONE", result={"i": i}, t=float(i)
+                )
+        print(f"write+snapshots took {time.monotonic() - t0:.1f}s")
+
+        family = sorted(os.listdir(workdir))
+        print(f"journal family ({len(family)} files): {family}")
+        segments = [f for f in family if f.endswith(".seg")]
+        snaps = [f for f in family if f.endswith(".snap")]
+        if not snaps:
+            fail("no snapshot was ever taken")
+        if len(segments) > 4:
+            fail(f"compaction left {len(segments)} sealed segments behind")
+
+        print("== reopen and audit recovery cost ==")
+        t0 = time.monotonic()
+        with JobStore(journal, snapshot_every=SNAPSHOT_EVERY) as store:
+            stats = store.recovery_stats()
+            print(f"recovery: {stats} in {time.monotonic() - t0:.1f}s")
+            if not stats["from_snapshot"]:
+                fail("reopen did not seed from a snapshot")
+            if stats["replayed"] > REPLAY_BUDGET:
+                fail(
+                    f"replayed {stats['replayed']} records on reopen; "
+                    f"budget is {REPLAY_BUDGET} (1% of {RECORDS})"
+                )
+            if stats["jobs"] != JOBS:
+                fail(f"expected {JOBS} jobs after reopen, got {stats['jobs']}")
+            spot = store.get(f"j-{JOBS - 1:012d}")
+            if spot.state != "DONE" or spot.result != {"i": JOBS - 1}:
+                fail(f"spot-checked job came back wrong: {spot.to_dict()}")
+            bad = [r.id for r in store.jobs() if r.state != "DONE"]
+            if bad:
+                fail(f"{len(bad)} jobs lost their terminal state: {bad[:5]}")
+
+        print("== repro fsck ==")
+        env = dict(os.environ)
+        env.pop("REPRO_CHAOS", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (SRC, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fsck", "--journal", journal],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            fail(f"repro fsck exited {proc.returncode}: {proc.stderr}")
+
+        print(
+            f"compaction smoke: OK (replayed {stats['replayed']} of "
+            f"{RECORDS} records, {100 * stats['replayed'] / RECORDS:.2f}%)"
+        )
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
