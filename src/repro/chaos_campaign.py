@@ -26,6 +26,11 @@ Campaigns are deterministic: the chaos seed fixes torn-byte offsets and
 workloads, and the Nth-event counters fix *which* operation dies, so a
 failing campaign replays identically under the same ``--seed``.
 
+One campaign (``chaosnet_sweep``) injects *wire* faults instead of
+process deaths: a fleet sweep runs through :mod:`repro.chaosnet` proxies
+that drop connections, add latency, and partition one endpoint mid-sweep
+— exactly-once and byte-identical aggregates must survive that too.
+
 The module doubles as the child-process driver: the parent re-invokes
 ``python -m repro.chaos_campaign --drive <step> ...`` for every step, so
 the dying process is a real, separate interpreter — not a mocked fork.
@@ -277,6 +282,186 @@ def campaign_sweep_resume(workdir: Path, seed: int) -> dict:
     return resumed
 
 
+class _ServeProc:
+    """One ``python -m repro serve`` subprocess on an ephemeral port."""
+
+    _URL_RE = None  # compiled lazily; campaign module stays import-light
+
+    def __init__(self, journal: Path):
+        self.journal = journal
+        self.proc = None
+        self.url = None
+
+    def start(self, timeout_s: float = 60.0) -> "_ServeProc":
+        import re
+        import threading
+        import time
+
+        if _ServeProc._URL_RE is None:
+            _ServeProc._URL_RE = re.compile(r"listening on (http://\S+)")
+        env = {k: v for k, v in os.environ.items() if k != CHAOS_ENV}
+        env["PYTHONUNBUFFERED"] = "1"
+        src_root = str(Path(__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--journal", str(self.journal), "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = _ServeProc._URL_RE.search(line)
+            if match:
+                self.url = match.group(1)
+                # Keep draining stdout so the server never blocks on a
+                # full pipe once we stop reading.
+                threading.Thread(
+                    target=self.proc.stdout.read, daemon=True
+                ).start()
+                return self
+        raise CampaignFailure("serve subprocess never announced its URL")
+
+    def stop(self) -> None:
+        import signal
+
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+
+
+def campaign_chaosnet_sweep(workdir: Path, seed: int) -> dict:
+    """Fleet sweep through fault-injecting proxies, partitioned mid-run.
+
+    Two real ``repro serve`` endpoints sit behind two
+    :class:`repro.chaosnet.ChaosProxy` instances injecting seeded
+    connection drops and latency; once results start landing, one proxy
+    is partitioned in both directions, then healed.  Every replica must
+    still complete exactly once, and the aggregates must be
+    byte-identical to an undisturbed local threads run — wire chaos may
+    slow the fleet down, it may never change the numbers.
+    """
+    import threading
+    import time
+
+    from repro.chaosnet import ChaosProxy, FaultSchedule
+    from repro.fleet import FleetExecutor, LocalThreadExecutor, run_sweep
+
+    task = {
+        "workload": "zipf",
+        "cores": 2,
+        "length": 80,
+        "alpha": 1.2,
+        "cache_size": 8,
+        "tau": 1,
+        "strategy": "S_LRU",
+    }
+    seeds = list(range(seed, seed + 12))
+
+    local_exec = LocalThreadExecutor(max_workers=4)
+    try:
+        baseline = run_sweep(task, seeds, executor=local_exec)
+    finally:
+        local_exec.close()
+    _require(baseline.ok, "undisturbed baseline sweep failed",
+             failed=baseline.failed_seeds)
+
+    schedule = FaultSchedule(
+        seed=seed, drop_rate=0.15, latency_s=0.01, jitter_s=0.02
+    )
+    servers = [
+        _ServeProc(workdir / "a.jsonl").start(),
+        _ServeProc(workdir / "b.jsonl").start(),
+    ]
+    proxies = [
+        ChaosProxy(server.url, schedule=schedule) for server in servers
+    ]
+    delivered: list = []
+    landed = threading.Event()
+    healed = threading.Event()
+
+    def on_outcome(outcome):
+        delivered.append(outcome.key)
+        if len(delivered) >= 3:
+            landed.set()
+
+    def partitioner():
+        if not landed.wait(timeout=120):
+            return
+        proxies[0].set_partition("both")
+        time.sleep(1.5)
+        proxies[0].set_partition(None)
+        healed.set()
+
+    flipper = threading.Thread(target=partitioner, daemon=True)
+    try:
+        for proxy in proxies:
+            proxy.start()
+        flipper.start()
+        executor = FleetExecutor(
+            [proxy.url for proxy in proxies],
+            retries=3,
+            poll_s=0.05,
+            hedge_after_s=8.0,
+            replica_deadline_s=180.0,
+            probe_interval_s=0.3,
+            breaker_reset_s=0.5,
+        )
+        try:
+            fleet = run_sweep(
+                task, seeds, executor=executor, on_outcome=on_outcome
+            )
+        finally:
+            executor.close()
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for server in servers:
+            server.stop()
+    flipper.join(timeout=5)
+
+    _require(landed.is_set(), "no outcomes landed; partition never fired")
+    _require(healed.is_set(), "mid-sweep partition was never applied")
+    _require(
+        sorted(delivered) == seeds,
+        "replicas not delivered exactly once",
+        delivered=sorted(delivered),
+    )
+    _require(fleet.ok, "sweep did not survive the wire chaos",
+             failed={s: fleet.outcomes[s].error for s in fleet.failed_seeds})
+    faults_seen = {
+        k: v
+        for k, v in proxies[0].stats().items()
+        if k in ("dropped", "partitioned") and v
+    }
+    summaries = [baseline.summary(), fleet.summary()]
+    for summary in summaries:
+        for volatile in ("resumed", "topology", "max_attempts", "hedged"):
+            summary.pop(volatile, None)
+    _require(
+        json.dumps(summaries[0], sort_keys=True)
+        == json.dumps(summaries[1], sort_keys=True),
+        "aggregates diverged under wire chaos",
+        baseline=summaries[0],
+        chaotic=summaries[1],
+    )
+    _fsck_clean(workdir / "a.jsonl", workdir / "b.jsonl")
+    return {**summaries[1], "wire_faults": faults_seen}
+
+
 CAMPAIGNS = {
     "crash_at_record": campaign_crash_at_record,
     "torn_final_write": campaign_torn_final_write,
@@ -284,6 +469,7 @@ CAMPAIGNS = {
     "enospc_append": campaign_enospc_append,
     "sigkill_mid_compaction": campaign_sigkill_mid_compaction,
     "sweep_resume": campaign_sweep_resume,
+    "chaosnet_sweep": campaign_chaosnet_sweep,
 }
 
 

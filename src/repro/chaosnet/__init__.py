@@ -1,0 +1,41 @@
+"""Network fault injection: a deterministic chaos TCP proxy.
+
+``REPRO_CHAOS`` (:mod:`repro.runtime.chaos`) injects faults *inside*
+processes — worker crashes, slow calls, corrupted payloads.  What it
+cannot produce is wire pathology: connections that die mid-read, bytes
+that trickle at 2/s, a partition that eats traffic in one direction
+only.  :class:`ChaosProxy` closes that gap — a TCP proxy you park in
+front of any endpoint (the job service, most usefully) that injects:
+
+* **latency + jitter** — a seeded per-connection delay before bytes
+  start flowing;
+* **drops** — connections accepted and immediately closed;
+* **resets** — connections torn down (RST) after N forwarded bytes;
+* **black-holes** — connections that accept and read but never answer
+  (the client hangs until its own timeout — the cruellest failure);
+* **slow-loris trickle** — bytes forwarded a few at a time;
+* **asymmetric partitions** — :meth:`ChaosProxy.set_partition` swallows
+  traffic in one or both directions at runtime, then heals.
+
+Every per-connection decision is drawn from
+``sha256(seed | connection_index)`` via :class:`FaultSchedule`, so a
+chaos campaign replays identically under the same seed — the same
+discipline as the in-process injector.
+
+Use it programmatically in tests::
+
+    proxy = ChaosProxy("127.0.0.1:8023",
+                       schedule=FaultSchedule(seed=7, drop_rate=0.2))
+    proxy.start()
+    client = ServiceClient(proxy.url)   # traffic now suffers
+    ...
+    proxy.set_partition("both")         # mid-test partition
+    proxy.set_partition(None)           # heal
+    proxy.stop()
+
+or standalone via ``repro chaosnet --upstream HOST:PORT ...``.
+"""
+
+from repro.chaosnet.proxy import ChaosProxy, ConnectionPlan, FaultSchedule
+
+__all__ = ["ChaosProxy", "ConnectionPlan", "FaultSchedule"]

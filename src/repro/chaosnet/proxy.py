@@ -1,0 +1,412 @@
+"""The chaos TCP proxy: seeded wire faults between client and upstream.
+
+See the package docstring for the fault vocabulary.  Design notes:
+
+* one listener thread accepts; each connection gets two **pump threads**
+  (client→upstream, upstream→client) so either side can stall or die
+  independently — exactly how real sockets fail;
+* fault decisions are made **per connection** from a pure hash of
+  ``(seed, connection_index)`` (:class:`FaultSchedule.plan`), never from
+  the wall clock or ``random`` — campaigns replay byte-for-byte;
+* the dynamic partition (:meth:`ChaosProxy.set_partition`) is checked on
+  every pump iteration, so flipping it mid-sweep affects in-flight
+  connections immediately (bytes are swallowed, not buffered: a healed
+  partition does not deliver stale traffic);
+* a **reset** closes the client socket with ``SO_LINGER 0`` so the peer
+  sees a genuine RST (``ConnectionResetError``), not a graceful FIN —
+  the failure mode retry code most often gets wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosProxy", "ConnectionPlan", "FaultSchedule"]
+
+#: Pump read size.  Small enough that per-chunk latency/trickle pacing
+#: is meaningful for HTTP-sized exchanges, large enough to be cheap.
+_CHUNK = 4096
+
+#: Partition modes: which pump direction(s) swallow bytes.
+_PARTITION_MODES = (None, "inbound", "outbound", "both")
+
+
+@dataclass(frozen=True)
+class ConnectionPlan:
+    """The faults one connection will suffer (decided at accept time)."""
+
+    #: Close immediately on accept (connection refused, effectively).
+    drop: bool = False
+    #: Hard-RST the client after this many upstream-bound bytes.
+    reset_after_bytes: int | None = None
+    #: Accept and read, forward nothing, answer nothing.
+    blackhole: bool = False
+    #: Delay before each direction forwards its first byte.
+    latency_s: float = 0.0
+    #: Forward at most this many bytes per send, sleeping between sends.
+    trickle_bytes: int | None = None
+    trickle_interval_s: float = 0.05
+
+    @property
+    def faulty(self) -> bool:
+        return bool(
+            self.drop
+            or self.reset_after_bytes is not None
+            or self.blackhole
+            or self.latency_s > 0
+            or self.trickle_bytes is not None
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic per-connection fault decisions.
+
+    Rates are probabilities in ``[0, 1]``; a connection suffers at most
+    one of drop/reset/blackhole/trickle (drawn by stacked thresholds
+    from one uniform hash draw), plus latency which composes with any
+    of them.  ``plan(i)`` is a pure function of ``(seed, i)``.
+    """
+
+    seed: int = 0
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    drop_rate: float = 0.0
+    reset_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    trickle_rate: float = 0.0
+    reset_after_bytes: int = 64
+    trickle_bytes: int = 16
+    trickle_interval_s: float = 0.05
+
+    def __post_init__(self):
+        for name in ("drop_rate", "reset_rate", "blackhole_rate", "trickle_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        total = (
+            self.drop_rate + self.reset_rate
+            + self.blackhole_rate + self.trickle_rate
+        )
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates sum to {total:.3f} > 1 (they are exclusive)"
+            )
+
+    def _draw(self, conn_index: int, salt: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}|{conn_index}|{salt}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def plan(self, conn_index: int) -> ConnectionPlan:
+        """The (reproducible) faults for connection number ``conn_index``."""
+        u = self._draw(conn_index, "fault")
+        latency = self.latency_s
+        if self.jitter_s > 0:
+            latency += self.jitter_s * self._draw(conn_index, "jitter")
+        threshold = self.drop_rate
+        if u < threshold:
+            return ConnectionPlan(drop=True, latency_s=latency)
+        threshold += self.reset_rate
+        if u < threshold:
+            return ConnectionPlan(
+                reset_after_bytes=self.reset_after_bytes, latency_s=latency
+            )
+        threshold += self.blackhole_rate
+        if u < threshold:
+            return ConnectionPlan(blackhole=True, latency_s=latency)
+        threshold += self.trickle_rate
+        if u < threshold:
+            return ConnectionPlan(
+                trickle_bytes=self.trickle_bytes,
+                trickle_interval_s=self.trickle_interval_s,
+                latency_s=latency,
+            )
+        return ConnectionPlan(latency_s=latency)
+
+
+@dataclass
+class _Counters:
+    connections: int = 0
+    dropped: int = 0
+    reset: int = 0
+    blackholed: int = 0
+    trickled: int = 0
+    partitioned: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    active: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "connections": self.connections,
+                "dropped": self.dropped,
+                "reset": self.reset,
+                "blackholed": self.blackholed,
+                "trickled": self.trickled,
+                "partitioned": self.partitioned,
+                "bytes_up": self.bytes_up,
+                "bytes_down": self.bytes_down,
+                "active": self.active,
+            }
+
+
+def _parse_upstream(upstream) -> tuple[str, int]:
+    """Accept ``(host, port)``, ``"host:port"`` or an ``http://`` URL."""
+    if isinstance(upstream, (tuple, list)):
+        host, port = upstream
+        return str(host), int(port)
+    text = str(upstream)
+    if "//" in text:  # http://host:port[/...]
+        text = text.split("//", 1)[1].split("/", 1)[0]
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            f"upstream must be 'host:port' or an http URL, got {upstream!r}"
+        )
+    return host, int(port)
+
+
+class ChaosProxy:
+    """A seeded fault-injecting TCP proxy in front of one upstream."""
+
+    def __init__(
+        self,
+        upstream,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        schedule: FaultSchedule | None = None,
+        connect_timeout_s: float = 5.0,
+    ):
+        self.upstream = _parse_upstream(upstream)
+        self.schedule = schedule or FaultSchedule()
+        self.connect_timeout_s = connect_timeout_s
+        self._listener = socket.create_server((host, port), backlog=32)
+        self._listener.settimeout(0.2)
+        self._host, self._port = self._listener.getsockname()[:2]
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._partition: str | None = None
+        self._partition_lock = threading.Lock()
+        self._conn_sockets: set = set()
+        self._conn_lock = threading.Lock()
+        self.counters = _Counters()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """An ``http://`` URL for clients (the proxy itself is raw TCP)."""
+        return f"http://{self._host}:{self._port}"
+
+    def start(self) -> "ChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaosnet-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with self._conn_lock:
+            live = list(self._conn_sockets)
+        for sock in live:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- dynamic partition -------------------------------------------------
+
+    def set_partition(self, mode: str | None) -> None:
+        """Swallow traffic: ``"inbound"`` (client→upstream), ``"outbound"``
+        (upstream→client), ``"both"``, or ``None`` to heal.  Takes effect
+        immediately, including for connections already in flight."""
+        if mode not in _PARTITION_MODES:
+            raise ValueError(
+                f"partition mode must be one of {_PARTITION_MODES}, got {mode!r}"
+            )
+        with self._partition_lock:
+            self._partition = mode
+
+    def partition(self) -> str | None:
+        with self._partition_lock:
+            return self._partition
+
+    def stats(self) -> dict:
+        body = self.counters.snapshot()
+        body["partition"] = self.partition()
+        body["upstream"] = f"{self.upstream[0]}:{self.upstream[1]}"
+        body["listen"] = f"{self._host}:{self._port}"
+        return body
+
+    # -- data path ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        conn_index = 0
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed
+                return
+            plan = self.schedule.plan(conn_index)
+            conn_index += 1
+            with self.counters.lock:
+                self.counters.connections += 1
+            threading.Thread(
+                target=self._handle,
+                args=(client, plan),
+                name=f"chaosnet-conn-{conn_index}",
+                daemon=True,
+            ).start()
+
+    def _track(self, sock) -> None:
+        with self._conn_lock:
+            self._conn_sockets.add(sock)
+
+    def _untrack(self, sock) -> None:
+        with self._conn_lock:
+            self._conn_sockets.discard(sock)
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _handle(self, client: socket.socket, plan: ConnectionPlan) -> None:
+        self._track(client)
+        if plan.drop:
+            # Refuse at the door (an immediate close).  A full partition
+            # deliberately does NOT refuse: its new connections connect
+            # and then starve in the pumps, so clients suffer timeouts —
+            # the black-hole failure mode — rather than failing fast.
+            with self.counters.lock:
+                self.counters.dropped += 1
+            self._untrack(client)
+            return
+        try:
+            upstream = socket.create_connection(
+                self.upstream, timeout=self.connect_timeout_s
+            )
+        except OSError:
+            self._untrack(client)
+            return
+        upstream.settimeout(None)
+        client.settimeout(None)
+        self._track(upstream)
+        with self.counters.lock:
+            self.counters.active += 1
+            if plan.blackhole:
+                self.counters.blackholed += 1
+            if plan.trickle_bytes is not None:
+                self.counters.trickled += 1
+
+        reset_budget = [plan.reset_after_bytes]  # shared, guarded by GIL
+
+        def pump(src, dst, direction: str) -> None:
+            first = True
+            try:
+                while not self._stopping.is_set():
+                    try:
+                        data = src.recv(_CHUNK)
+                    except OSError:
+                        break
+                    if not data:
+                        break
+                    if plan.blackhole:
+                        continue  # read and swallow, answer nothing
+                    partition = self.partition()
+                    if partition == "both" or (
+                        partition == "inbound" and direction == "up"
+                    ) or (partition == "outbound" and direction == "down"):
+                        with self.counters.lock:
+                            self.counters.partitioned += 1
+                        continue  # swallowed, not buffered
+                    if first and plan.latency_s > 0:
+                        time.sleep(plan.latency_s)
+                    first = False
+                    try:
+                        if plan.trickle_bytes is not None:
+                            for i in range(0, len(data), plan.trickle_bytes):
+                                dst.sendall(data[i:i + plan.trickle_bytes])
+                                time.sleep(plan.trickle_interval_s)
+                        else:
+                            dst.sendall(data)
+                    except OSError:
+                        break
+                    with self.counters.lock:
+                        if direction == "up":
+                            self.counters.bytes_up += len(data)
+                        else:
+                            self.counters.bytes_down += len(data)
+                    if (
+                        direction == "up"
+                        and reset_budget[0] is not None
+                    ):
+                        reset_budget[0] -= len(data)
+                        if reset_budget[0] <= 0:
+                            self._reset(client)
+                            break
+            finally:
+                # Half-close propagation: when one direction ends, tear
+                # both sockets down (HTTP keep-alive streams cannot
+                # survive a half-dead proxy pair anyway).
+                for sock in (client, upstream):
+                    self._untrack(sock)
+
+        up = threading.Thread(
+            target=pump, args=(client, upstream, "up"), daemon=True
+        )
+        down = threading.Thread(
+            target=pump, args=(upstream, client, "down"), daemon=True
+        )
+        up.start()
+        down.start()
+        up.join()
+        down.join()
+        with self.counters.lock:
+            self.counters.active -= 1
+
+    def _reset(self, client: socket.socket) -> None:
+        """Abort the client side with an RST (SO_LINGER 0 + close)."""
+        with self.counters.lock:
+            self.counters.reset += 1
+        try:
+            client.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:  # pragma: no cover
+            pass
+        self._untrack(client)

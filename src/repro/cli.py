@@ -325,6 +325,7 @@ def cmd_runs(args) -> int:
 
 def cmd_sweep(args) -> int:
     from repro.fleet import executor_from_config, run_sweep
+    from repro.runtime import JournalMismatch
 
     task = {
         "workload": args.workload,
@@ -359,13 +360,21 @@ def cmd_sweep(args) -> int:
             )
 
     try:
-        sweep = run_sweep(
-            task,
-            seeds,
-            executor=executor,
-            journal=args.journal,
-            on_outcome=on_outcome,
-        )
+        try:
+            sweep = run_sweep(
+                task,
+                seeds,
+                executor=executor,
+                journal=args.journal,
+                on_outcome=on_outcome,
+            )
+        except JournalMismatch as exc:
+            print(f"sweep: corrupt journal: {exc}", file=sys.stderr)
+            print(
+                f"diagnose it with: repro fsck --journal {args.journal}",
+                file=sys.stderr,
+            )
+            return 1
     finally:
         executor.close()
     summary = sweep.summary()
@@ -591,6 +600,10 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset_s,
         snapshot_every=args.snapshot_every,
+        tenant_rate_per_s=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_max_inflight=args.tenant_max_inflight,
+        pool_recycle_after=args.pool_recycle_after,
     )
 
 
@@ -626,6 +639,38 @@ def cmd_chaos(args) -> int:
     )
 
 
+def cmd_chaosnet(args) -> int:
+    from repro.chaosnet import ChaosProxy, FaultSchedule
+    from repro.runtime import DrainSignal
+
+    schedule = FaultSchedule(
+        seed=args.seed,
+        latency_s=args.latency_s,
+        jitter_s=args.jitter_s,
+        drop_rate=args.drop_rate,
+        reset_rate=args.reset_rate,
+        blackhole_rate=args.blackhole_rate,
+        trickle_rate=args.trickle_rate,
+    )
+    proxy = ChaosProxy(
+        args.upstream, host=args.host, port=args.port, schedule=schedule
+    )
+    proxy.start()
+    print(f"chaosnet proxy listening on {proxy.url}")
+    print(f"forwarding to {args.upstream} (seed {args.seed})")
+    drain = DrainSignal()
+    try:
+        with drain:
+            drain.wait()
+    finally:
+        proxy.stop()
+    stats = proxy.stats()
+    print("chaosnet stats:")
+    for key in sorted(stats):
+        print(f"  {key:18}: {stats[key]}")
+    return 0
+
+
 def cmd_submit(args) -> int:
     from repro.service.client import Backpressure, ServiceClient
 
@@ -638,9 +683,17 @@ def cmd_submit(args) -> int:
                 params,
                 deadline_s=args.deadline_s,
                 timeout_s=args.timeout_s,
+                tenant=args.tenant,
+                priority=args.priority,
             )
         else:
-            record = client.submit(args.kind, params, deadline_s=args.deadline_s)
+            record = client.submit(
+                args.kind,
+                params,
+                deadline_s=args.deadline_s,
+                tenant=args.tenant,
+                priority=args.priority,
+            )
     except Backpressure as busy:
         print(f"rejected: {busy}")
         print(f"retry after {busy.retry_after_s:.1f}s")
@@ -1038,6 +1091,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot + compact the job journal every N events so "
         "restarts replay a bounded tail (0 disables; default 1024)",
     )
+    sub.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="JOBS_PER_S",
+        help="per-tenant token-bucket refill rate; beyond it a tenant's "
+        "submissions get 429 + Retry-After (default: no rate limit)",
+    )
+    sub.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-tenant token-bucket burst capacity (default: 2x rate)",
+    )
+    sub.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max queued+running jobs per tenant (default: unlimited)",
+    )
+    sub.add_argument(
+        "--pool-recycle-after",
+        type=int,
+        default=64,
+        metavar="N",
+        help="recycle each warm worker process after N jobs (default 64)",
+    )
     sub.set_defaults(func=cmd_serve)
 
     sub = subs.add_parser(
@@ -1090,6 +1172,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.set_defaults(func=cmd_chaos)
 
+    sub = subs.add_parser(
+        "chaosnet",
+        help="deterministic TCP fault-injection proxy (repro.chaosnet)",
+    )
+    sub.add_argument(
+        "--upstream",
+        required=True,
+        metavar="HOST:PORT",
+        help="endpoint to forward to (host:port or an http:// URL)",
+    )
+    sub.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default lo)"
+    )
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: pick a free one, printed at start)",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--latency-s",
+        type=float,
+        default=0.0,
+        help="base one-way latency added before bytes flow",
+    )
+    sub.add_argument(
+        "--jitter-s",
+        type=float,
+        default=0.0,
+        help="seeded per-connection latency jitter in [0, JITTER_S)",
+    )
+    sub.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="fraction of connections accepted then immediately closed",
+    )
+    sub.add_argument(
+        "--reset-rate",
+        type=float,
+        default=0.0,
+        help="fraction of connections RST after a few forwarded bytes",
+    )
+    sub.add_argument(
+        "--blackhole-rate",
+        type=float,
+        default=0.0,
+        help="fraction of connections that read but never answer",
+    )
+    sub.add_argument(
+        "--trickle-rate",
+        type=float,
+        default=0.0,
+        help="fraction of connections forwarded a few bytes at a time",
+    )
+    sub.set_defaults(func=cmd_chaosnet)
+
     sub = subs.add_parser("submit", help="submit a job to a running service")
     sub.add_argument(
         "--url", default="http://127.0.0.1:8023", help="service base URL"
@@ -1112,6 +1252,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-job deadline; exact-solver jobs degrade to a "
         "[lower, upper] interval (DEGRADED) instead of timing out",
+    )
+    sub.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant the job is billed to for quota/rate-limit purposes "
+        "(default 'default')",
+    )
+    sub.add_argument(
+        "--priority",
+        default=None,
+        choices=("interactive", "batch", "bulk"),
+        help="admission priority class (default batch); on a full queue "
+        "higher classes evict the newest lowest-class job",
     )
     sub.add_argument(
         "--wait",

@@ -654,9 +654,20 @@ class FleetExecutor:
             endpoint.inflight += 1
         charged = [endpoint]  # every endpoint whose inflight we bumped
         candidates: list[tuple[_Endpoint, str]] = []
+
+        def remaining_deadline_s() -> float:
+            """What is left of this replica's overall deadline *now* —
+            forwarded on every submission (original and hedge), so a
+            resubmitted or hedged attempt can only ever get less time
+            than its originator, and the server can expire a replica
+            that would outlive the fleet's patience."""
+            return max(0.05, deadline - time.monotonic())
+
         try:
             try:
-                submitted = endpoint.client.submit(job.kind, job.params)
+                submitted = endpoint.client.submit(
+                    job.kind, job.params, deadline_s=remaining_deadline_s()
+                )
             except Backpressure:
                 raise
             except EndpointDown:
@@ -713,7 +724,9 @@ class FleetExecutor:
                     if hedge_ep is not None:
                         try:
                             dup = hedge_ep.client.submit(
-                                job.kind, job.params
+                                job.kind,
+                                job.params,
+                                deadline_s=remaining_deadline_s(),
                             )
                         except (Backpressure, EndpointDown, ServiceError):
                             pass  # hedging is best-effort

@@ -14,6 +14,10 @@ Three layers, built to keep long runs alive (docs/ROBUSTNESS.md):
 :mod:`repro.runtime.chaos`
     Deterministic fault injection (``REPRO_CHAOS``) — worker crashes,
     slow replicas, cache corruption — used to test the other two layers.
+:mod:`repro.runtime.pool`
+    :class:`WarmWorkerPool` — a persistent supervised worker pool with
+    health-checked recycling (the job service's steady-state execution
+    engine; supervised_map semantics without a pool build per job).
 :mod:`repro.runtime.breaker`
     :class:`CircuitBreaker` — per-call-class failure isolation
     (CLOSED/OPEN/HALF_OPEN) used by the job service's admission control.
@@ -37,6 +41,7 @@ from repro.runtime.chaos import (
     chaos_config,
 )
 from repro.runtime.drain import DrainSignal
+from repro.runtime.pool import WarmWorkerPool, WorkerJobFailed
 from repro.runtime.supervisor import (
     Journal,
     JournalMismatch,
@@ -58,6 +63,8 @@ __all__ = [
     "JournalMismatch",
     "ReplicaFailure",
     "SweepError",
+    "WarmWorkerPool",
+    "WorkerJobFailed",
     "chaos_active",
     "chaos_config",
     "cold_start_lower_bound",

@@ -9,8 +9,12 @@ package is the long-lived serving surface on top of the
     Job model — specs, content fingerprints, the QUEUED→RUNNING→terminal
     lifecycle.
 :mod:`repro.service.queue`
-    Bounded admission queue: full ⇒ reject-with-``Retry-After``, never
-    buffer-to-death.
+    Bounded priority admission queue: strict class ordering
+    (``interactive`` > ``batch`` > ``bulk``), shed-lowest-newest on a
+    full queue, reject-with-``Retry-After`` — never buffer-to-death.
+:mod:`repro.service.tenancy`
+    Per-tenant token-bucket rate limits and in-flight quotas (429 with
+    a per-tenant ``Retry-After``), plus the priority-class vocabulary.
 :mod:`repro.service.jobstore`
     Event-sourced journaled store; a SIGKILLed server restarts with
     unfinished jobs re-enqueued and completed work deduplicated by
@@ -33,15 +37,27 @@ from repro.service.jobs import JOB_KINDS, TERMINAL_STATES, JobRecord, JobSpec
 from repro.service.jobstore import IllegalTransition, JobStore, UnknownJob
 from repro.service.queue import AdmissionQueue, QueueFull
 from repro.service.server import (
+    DEADLINE_HEADER,
     JobService,
     ServiceDraining,
     ServiceHTTPServer,
     serve,
 )
+from repro.service.tenancy import (
+    PRIORITIES,
+    QuotaExceeded,
+    TenantRegistry,
+    TokenBucket,
+)
 
 __all__ = [
     "AdmissionQueue",
     "Backpressure",
+    "DEADLINE_HEADER",
+    "PRIORITIES",
+    "QuotaExceeded",
+    "TenantRegistry",
+    "TokenBucket",
     "IllegalTransition",
     "JOB_KINDS",
     "JobRecord",

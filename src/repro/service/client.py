@@ -37,12 +37,18 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
 from repro.runtime import chaos
 from repro.service.jobs import TERMINAL_STATES
+
+#: Header carrying the absolute deadline (mirrors
+#: repro.service.server.DEADLINE_HEADER; duplicated to keep the client
+#: importable without the server module).
+DEADLINE_HEADER = "X-Repro-Deadline-At"
 
 __all__ = [
     "Backpressure",
@@ -114,9 +120,15 @@ class ServiceClient:
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **(headers or {})}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -186,8 +198,28 @@ class ServiceClient:
         params: dict | None = None,
         *,
         deadline_s: float | None = None,
+        deadline_at: float | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> dict:
-        """Submit one job; returns the created job record (id, state...)."""
+        """Submit one job; returns the created job record (id, state...).
+
+        A relative ``deadline_s`` is also sent as an **absolute**
+        ``deadline_at`` (``now + deadline_s``, wall clock) in the
+        ``X-Repro-Deadline-At`` header — that is what makes the budget
+        end-to-end: the server decrements it by queue wait, the worker
+        by execution start, and a forwarded/hedged resubmission can only
+        ever tighten it.  An explicit ``deadline_at`` wins (taking the
+        minimum when both are derivable); clock skew between client and
+        server shifts the absolute deadline by the skew, so keep NTP
+        sane for cross-machine budgets.
+        """
+        if deadline_s is not None:
+            derived = time.time() + deadline_s
+            deadline_at = derived if deadline_at is None else min(deadline_at, derived)
+        headers = {}
+        if deadline_at is not None:
+            headers[DEADLINE_HEADER] = repr(deadline_at)
         return self._request(
             "POST",
             "/jobs",
@@ -195,7 +227,11 @@ class ServiceClient:
                 "kind": kind,
                 "params": params or {},
                 "deadline_s": deadline_s,
+                "deadline_at": deadline_at,
+                "tenant": tenant,
+                "priority": priority,
             },
+            headers=headers,
         )
 
     def status(self, job_id: str) -> dict:
@@ -228,12 +264,21 @@ class ServiceClient:
         timeout_s: float = 60.0,
         submit_retries: int = 5,
         overall_deadline_s: float | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
+        retry_jitter: float = 0.1,
     ) -> dict:
         """Submit with a backpressure-honouring retry loop, then wait.
 
         On 429/503 the client sleeps for the server's ``Retry-After``
-        hint (capped at 10s per round) up to ``submit_retries`` times —
-        the well-behaved-client loop docs/SERVICE.md prescribes.
+        hint — capped at 10s per round **and at the remaining overall
+        deadline** (a saturated server's generous hint can tell this
+        client to back off, but never to sleep past its own budget) —
+        up to ``submit_retries`` times: the well-behaved-client loop
+        docs/SERVICE.md prescribes.  Each backoff sleep is stretched by
+        a random factor in ``[1, 1 + retry_jitter]`` so a fleet of
+        clients rejected in the same burst does not thundering-herd back
+        on the same instant.
 
         ``overall_deadline_s`` caps the **whole** loop — submission
         retries *and* the wait — so a permanently-saturated server whose
@@ -241,8 +286,20 @@ class ServiceClient:
         forever.  On expiry the loop raises :class:`FleetTimeout`
         carrying the attempt history instead of silently looping; the
         per-round ``submit_retries`` bound still applies independently.
+        The cap also propagates to the server as an absolute
+        ``deadline_at``, so a job this client will have abandoned is
+        never given more server-side budget than the client's patience.
         """
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must be in [0, 1], got {retry_jitter}"
+            )
         start = time.monotonic()
+        overall_deadline_at = (
+            None
+            if overall_deadline_s is None
+            else time.time() + overall_deadline_s
+        )
         history: list[dict] = []
 
         def remaining() -> float | None:
@@ -263,7 +320,14 @@ class ServiceClient:
             if left is not None and left <= 0:
                 raise overall_expired("deadline_before_submit")
             try:
-                job = self.submit(kind, params, deadline_s=deadline_s)
+                job = self.submit(
+                    kind,
+                    params,
+                    deadline_s=deadline_s,
+                    deadline_at=overall_deadline_at,
+                    tenant=tenant,
+                    priority=priority,
+                )
                 history.append({"event": "submitted", "job_id": job["id"]})
                 break
             except Backpressure as busy:
@@ -277,11 +341,18 @@ class ServiceClient:
                 if attempt == submit_retries:
                     raise
                 sleep_s = min(busy.retry_after_s, 10.0)
+                if retry_jitter > 0:
+                    sleep_s *= 1.0 + retry_jitter * random.random()
                 left = remaining()
-                if left is not None and sleep_s >= left:
-                    # Sleeping through the hint would blow the deadline:
-                    # fail now, with the history explaining why.
-                    raise overall_expired("deadline_during_backoff") from None
+                if left is not None:
+                    if left <= 0.005:
+                        # Nothing meaningful remains: fail now, with the
+                        # history explaining why.
+                        raise overall_expired("deadline_during_backoff") from None
+                    # Cap the server's hint at the remaining budget — a
+                    # large Retry-After may postpone this client, but
+                    # never push it past its own deadline.
+                    sleep_s = min(sleep_s, left)
                 time.sleep(sleep_s)
         wait_s = timeout_s
         left = remaining()

@@ -41,6 +41,7 @@ the chaos-under-service acceptance tests drive.
 from __future__ import annotations
 
 import json
+import time
 from types import SimpleNamespace
 
 from repro.runtime import Budget, BudgetExceeded
@@ -318,6 +319,25 @@ def _run_platform_run(params: dict) -> dict:
     }
 
 
+def _effective_deadline(payload: dict) -> float | None:
+    """Remaining budget at execution start.
+
+    The tighter of the relative ``deadline_s`` and what is left of the
+    absolute ``deadline_at`` — so time spent queued, retried, or hedged
+    upstream has already been decremented by the time a Budget is built.
+    Clamped to a hair above zero: an already-expired budget makes the
+    solver degrade on its first check instead of crashing validation.
+    """
+    deadline_s = payload.get("deadline_s")
+    deadline_at = payload.get("deadline_at")
+    if deadline_at is not None:
+        remaining = deadline_at - time.time()
+        deadline_s = remaining if deadline_s is None else min(deadline_s, remaining)
+    if deadline_s is not None:
+        deadline_s = max(1e-3, deadline_s)
+    return deadline_s
+
+
 def run_job(payload: dict) -> dict:
     """Dispatch one decoded job payload to its kind runner."""
     kind = payload["kind"]
@@ -331,7 +351,7 @@ def run_job(payload: dict) -> dict:
     if kind == "replica":
         return _run_replica(params)
     if kind == "opt":
-        return _run_opt(params, payload.get("deadline_s"))
+        return _run_opt(params, _effective_deadline(payload))
     if kind == "run":
         return _run_platform_run(params)
     raise ValueError(f"unknown job kind {kind!r}")

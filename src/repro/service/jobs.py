@@ -34,6 +34,8 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
+from repro.service.tenancy import priority_rank
+
 __all__ = [
     "JOB_KINDS",
     "JobRecord",
@@ -93,6 +95,21 @@ class JobSpec:
     kind: str
     params: dict
     deadline_s: float | None = None
+    #: Absolute wall-clock deadline (epoch seconds).  Set by clients that
+    #: propagate an end-to-end budget: queue wait decrements the
+    #: remaining time automatically, and a job whose ``deadline_at`` has
+    #: passed while queued completes DEGRADED/FAILED without ever
+    #: reaching a worker.  Like ``deadline_s``, excluded from the
+    #: fingerprint (the same work under a different budget is the same
+    #: work).
+    deadline_at: float | None = None
+    #: Priority class (see repro.service.tenancy.PRIORITIES); orders the
+    #: admission queue and drives shedding.  Not part of the fingerprint.
+    priority: str = "batch"
+    #: Billing/quota identity.  Defaults to ``params["tenant"]`` when
+    #: present (so tenant can ride inside the job params as the issue's
+    #: API prescribes); an explicit argument wins.
+    tenant: str | None = None
 
     def __post_init__(self):
         if self.kind not in JOB_KINDS:
@@ -112,16 +129,54 @@ class JobSpec:
             raise ValueError(f"params are not JSON-serialisable: {exc}") from None
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.deadline_at is not None and self.deadline_at <= 0:
+            raise ValueError(
+                f"deadline_at must be an epoch timestamp > 0, got "
+                f"{self.deadline_at}"
+            )
+        priority_rank(self.priority)  # raises ValueError on junk
+        if self.tenant is None:
+            inline = self.params.get("tenant")
+            if inline is not None:
+                object.__setattr__(self, "tenant", inline)
+        if self.tenant is not None and (
+            not isinstance(self.tenant, str) or not self.tenant
+        ):
+            raise ValueError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
 
     @property
     def fingerprint(self) -> str:
         return fingerprint_spec(self.kind, self.params)
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        """Seconds left on the absolute deadline (negative = expired);
+        ``None`` when no ``deadline_at`` was set."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - (time.time() if now is None else now)
+
+    def effective_deadline_s(self, now: float | None = None) -> float | None:
+        """The budget actually available to an attempt starting *now*:
+        the tighter of the relative ``deadline_s`` and what remains of
+        the absolute ``deadline_at`` (queue wait has already been spent
+        against the latter)."""
+        remaining = self.remaining_s(now)
+        if remaining is None:
+            return self.deadline_s
+        if self.deadline_s is None:
+            return remaining
+        return min(self.deadline_s, remaining)
 
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
             "params": self.params,
             "deadline_s": self.deadline_s,
+            "deadline_at": self.deadline_at,
+            "priority": self.priority,
+            "tenant": self.tenant,
         }
 
     @staticmethod
@@ -130,6 +185,9 @@ class JobSpec:
             kind=data["kind"],
             params=data.get("params", {}),
             deadline_s=data.get("deadline_s"),
+            deadline_at=data.get("deadline_at"),
+            priority=data.get("priority", "batch"),
+            tenant=data.get("tenant"),
         )
 
 
@@ -163,6 +221,9 @@ class JobRecord:
             "kind": self.spec.kind,
             "params": self.spec.params,
             "deadline_s": self.spec.deadline_s,
+            "deadline_at": self.spec.deadline_at,
+            "priority": self.spec.priority,
+            "tenant": self.spec.tenant,
             "fingerprint": self.spec.fingerprint,
             "state": self.state,
             "result": self.result,
@@ -185,6 +246,9 @@ class JobRecord:
                 kind=data["kind"],
                 params=data.get("params", {}),
                 deadline_s=data.get("deadline_s"),
+                deadline_at=data.get("deadline_at"),
+                priority=data.get("priority", "batch"),
+                tenant=data.get("tenant"),
             ),
             state=data.get("state", "QUEUED"),
             result=data.get("result"),

@@ -1,7 +1,7 @@
-"""Bounded admission queue with backpressure hints.
+"""Bounded, priority-classed admission queue with backpressure hints.
 
 Unbounded queues turn overload into latency and then into memory
-exhaustion; the service instead holds a hard capacity and **rejects** at
+exhaustion; the service instead holds a hard capacity and sheds at
 admission (HTTP 429) once it is full.  A rejection is not an error state
 — it carries a ``retry_after_s`` hint computed from the observed service
 rate, so a well-behaved client backs off for roughly the time the
@@ -9,9 +9,22 @@ backlog actually needs to drain::
 
     retry_after ≈ queue_depth × EWMA(job duration) / workers
 
-In-flight and queued jobs are never affected by rejections: admission
-control is strictly front-door (the backpressure half of the acceptance
-criteria; the kill-recover half lives in the job store).
+Every queued item belongs to a **priority class** (``interactive`` >
+``batch`` > ``bulk``, see :mod:`repro.service.tenancy`).  ``get``
+dispatches strictly by class — FIFO within a class, but any queued
+interactive job beats every batch job.  When the queue is full,
+admission is **priority-aware shedding** rather than flat rejection:
+
+* an incoming job outranked by nothing queued is rejected (it is itself
+  the newest job of the lowest present class — shedding it *is*
+  rejecting it);
+* an incoming job that outranks some queued work **evicts the newest
+  job of the lowest present class** and takes its slot.  ``put``
+  returns the evicted item so the caller can complete it as FAILED
+  ("shed") — an admitted job is never silently lost.
+
+In-flight and already-running jobs are never affected: admission
+control is strictly front-door.
 
 With ``jitter > 0`` each hint is stretched by a small deterministic
 factor in ``[1, 1 + jitter]`` — drawn from a seeded hash of the
@@ -26,8 +39,10 @@ remain monotone in backlog depth (the property
 from __future__ import annotations
 
 import hashlib
-import queue as _stdlib_queue
 import threading
+from collections import deque
+
+from repro.service.tenancy import PRIORITIES, priority_rank
 
 __all__ = ["AdmissionQueue", "QueueFull"]
 
@@ -45,11 +60,12 @@ class QueueFull(RuntimeError):
 
 
 class AdmissionQueue:
-    """A bounded FIFO of queued jobs plus the service-time estimator.
+    """A bounded priority queue of jobs plus the service-time estimator.
 
-    ``put`` never blocks: a full queue raises :class:`QueueFull`
-    immediately (backpressure beats buffering).  ``get`` blocks with a
-    timeout so worker loops can poll their drain latch.
+    ``put`` never blocks: a full queue either sheds a lower-priority
+    queued item (returning it) or raises :class:`QueueFull` immediately
+    (backpressure beats buffering).  ``get`` blocks with a timeout so
+    worker loops can poll their drain latch.
     """
 
     def __init__(
@@ -70,8 +86,11 @@ class AdmissionQueue:
         self.workers = workers
         self.jitter = jitter
         self.jitter_seed = jitter_seed
-        self._queue: _stdlib_queue.Queue = _stdlib_queue.Queue(maxsize=capacity)
-        self._lock = threading.Lock()
+        # One FIFO per class, scanned highest-priority-first on get().
+        self._classes: dict[str, deque] = {
+            name: deque() for name in reversed(PRIORITIES)
+        }
+        self._cond = threading.Condition(threading.Lock())
         # EWMA of observed job durations; seeds pessimistically at 1s so
         # the very first rejection already carries a sane hint.
         self._ewma_duration_s = 1.0
@@ -79,24 +98,64 @@ class AdmissionQueue:
         # (seed, counter) so successive rejected clients get *different*
         # waits (de-synchronised) that are still reproducible per seed.
         self._hints_issued = 0
+        self._shed_count = 0
 
     # -- producer side -----------------------------------------------------
 
-    def put(self, item) -> None:
-        """Admit ``item`` or raise :class:`QueueFull` with a hint."""
-        try:
-            self._queue.put_nowait(item)
-        except _stdlib_queue.Full:
-            raise QueueFull(self.capacity, self.retry_after_s()) from None
+    def _depth_locked(self) -> int:
+        return sum(len(q) for q in self._classes.values())
 
-    def force_put(self, item) -> None:
-        """Enqueue bypassing admission control (blocking).
+    def _shed_victim_locked(self, incoming_rank: int):
+        """The newest queued item of the lowest class strictly below
+        ``incoming_rank``, or ``None`` when nothing is outranked."""
+        for name in PRIORITIES:  # ascending: lowest class first
+            if priority_rank(name) >= incoming_rank:
+                return None
+            if self._classes[name]:
+                return name
+        return None
+
+    def can_shed(self, priority: str = "batch") -> bool:
+        """Whether a full queue could admit a ``priority`` job by
+        evicting queued lower-priority work."""
+        rank = priority_rank(priority)
+        with self._cond:
+            return self._shed_victim_locked(rank) is not None
+
+    def put(self, item, *, priority: str = "batch"):
+        """Admit ``item`` at ``priority``; returns the evicted item.
+
+        On a full queue: if some queued item has strictly lower priority,
+        the **newest** item of the lowest present class is evicted and
+        returned (the caller must complete it as shed — it was already
+        admitted and journaled).  Otherwise :class:`QueueFull` is raised
+        with a drain-time hint.  Returns ``None`` when nothing was shed.
+        """
+        rank = priority_rank(priority)
+        shed = None
+        with self._cond:
+            if self._depth_locked() >= self.capacity:
+                victim_class = self._shed_victim_locked(rank)
+                if victim_class is None:
+                    raise QueueFull(self.capacity, self._retry_after_locked())
+                shed = self._classes[victim_class].pop()  # newest of lowest
+                self._shed_count += 1
+            self._classes[priority].append(item)
+            self._cond.notify()
+        return shed
+
+    def force_put(self, item, *, priority: str = "batch") -> None:
+        """Enqueue bypassing admission control (never sheds, may exceed
+        capacity).
 
         Only for restart recovery and worker-stop sentinels: the items
         were either already admitted once (journaled jobs being
         re-enqueued) or are internal control messages.
         """
-        self._queue.put(item)
+        priority_rank(priority)  # validate
+        with self._cond:
+            self._classes[priority].append(item)
+            self._cond.notify()
 
     def retry_after_s(self) -> float:
         """How long a rejected client should wait before retrying.
@@ -106,11 +165,14 @@ class AdmissionQueue:
         ``[1, 1 + jitter]`` — never shortened, so the hint is always at
         least the drain estimate and stays monotone in backlog.
         """
-        with self._lock:
-            per_worker = self._ewma_duration_s / self.workers
-            self._hints_issued += 1
-            hint_index = self._hints_issued
-        base = max(1.0, round(self.depth() * per_worker, 1))
+        with self._cond:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        per_worker = self._ewma_duration_s / self.workers
+        self._hints_issued += 1
+        hint_index = self._hints_issued
+        base = max(1.0, round(self._depth_locked() * per_worker, 1))
         if self.jitter <= 0.0:
             return base
         digest = hashlib.sha256(
@@ -122,34 +184,55 @@ class AdmissionQueue:
     # -- consumer side -----------------------------------------------------
 
     def get(self, timeout: float | None = None):
-        """Next queued item, or ``None`` when ``timeout`` expires."""
-        try:
-            return self._queue.get(timeout=timeout)
-        except _stdlib_queue.Empty:
-            return None
+        """Next queued item (highest class first, FIFO within class), or
+        ``None`` when ``timeout`` expires."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._depth_locked() > 0, timeout=timeout
+            ):
+                return None
+            for name in reversed(PRIORITIES):  # descending urgency
+                if self._classes[name]:
+                    return self._classes[name].popleft()
+        return None  # pragma: no cover - wait_for guarantees an item
 
     def observe_duration(self, seconds: float) -> None:
         """Feed one completed job's wall time into the EWMA."""
         if seconds < 0:
             return
-        with self._lock:
+        with self._cond:
             self._ewma_duration_s = 0.7 * self._ewma_duration_s + 0.3 * seconds
 
     # -- introspection -----------------------------------------------------
 
     def depth(self) -> int:
-        return self._queue.qsize()
+        with self._cond:
+            return self._depth_locked()
 
     def full(self) -> bool:
-        return self._queue.full()
+        with self._cond:
+            return self._depth_locked() >= self.capacity
+
+    def shed_count(self) -> int:
+        """Total queued items evicted for higher-priority admissions."""
+        with self._cond:
+            return self._shed_count
 
     def snapshot(self) -> dict:
         """JSON-ready view for ``/readyz``."""
-        with self._lock:
+        with self._cond:
             ewma = round(self._ewma_duration_s, 3)
+            by_class = {
+                name: len(self._classes[name])
+                for name in reversed(PRIORITIES)
+            }
+            depth = sum(by_class.values())
+            shed = self._shed_count
         return {
-            "depth": self.depth(),
+            "depth": depth,
             "capacity": self.capacity,
+            "by_priority": by_class,
+            "shed": shed,
             "ewma_job_s": ewma,
             "retry_jitter": self.jitter,
         }

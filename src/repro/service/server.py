@@ -1,15 +1,24 @@
 """The resilient job service: queued serving with degrade-don't-die.
 
 :class:`JobService` is the engine (usable in-process, no sockets): a
-bounded admission queue feeding a small pool of worker threads, each of
-which executes one job at a time inside a **supervised worker process**
-(:func:`repro.runtime.supervisor.supervised_map` with a single item) —
-so a crashed, hung, or chaos-killed worker is killed/rebuilt/retried
-with jittered backoff without taking the server down.  Around that core:
+bounded priority admission queue feeding a small pool of worker
+threads, each of which owns a persistent **warm worker pool**
+(:class:`repro.runtime.pool.WarmWorkerPool`) — steady-state dispatch
+reuses a live worker process, and a crashed, hung, or chaos-killed
+worker is still killed/rebuilt/retried with jittered backoff without
+taking the server down.  Around that core:
 
-* **admission control** — full queue ⇒ immediate rejection with a
-  ``Retry-After`` hint (never queue-to-death), per-kind circuit breakers
-  that open after repeated failures and half-open with probe jobs;
+* **admission control** — priority classes (``interactive`` > ``batch``
+  > ``bulk``) with shed-lowest-newest on a full queue, per-tenant
+  token-bucket rate limits and in-flight quotas
+  (:mod:`repro.service.tenancy`), ``Retry-After`` hints (never
+  queue-to-death), per-kind circuit breakers that open after repeated
+  failures and half-open with probe jobs;
+* **deadline propagation** — an absolute client deadline rides the
+  ``X-Repro-Deadline-At`` header, is decremented by queue wait, and
+  reaches the solver as a :class:`repro.runtime.Budget`; a job that
+  expires while queued completes DEGRADED/FAILED without ever touching
+  a worker;
 * **crash-safe state** — every submission and transition is journaled
   via :class:`repro.service.jobstore.JobStore` *before* it is
   acknowledged, so a SIGKILLed server restarts with queued/running jobs
@@ -39,13 +48,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro._util import repro_version
 from repro.runtime.breaker import CircuitBreaker, CircuitOpen
 from repro.runtime.drain import DrainSignal
-from repro.runtime.supervisor import supervised_map
+from repro.runtime.pool import WarmWorkerPool, WorkerJobFailed
 from repro.service.executor import execute_payload, validate_spec
 from repro.service.jobs import JOB_KINDS, JobRecord, JobSpec, new_job_id
 from repro.service.jobstore import JobStore
 from repro.service.queue import AdmissionQueue, QueueFull
+from repro.service.tenancy import QuotaExceeded, TenantRegistry
 
-__all__ = ["JobService", "ServiceDraining", "ServiceHTTPServer", "serve"]
+__all__ = [
+    "DEADLINE_HEADER",
+    "JobService",
+    "ServiceDraining",
+    "ServiceHTTPServer",
+    "serve",
+]
+
+#: HTTP header carrying the absolute client deadline (epoch seconds).
+#: Header wins over the body field so proxies/executors can tighten a
+#: forwarded request without re-encoding its body.
+DEADLINE_HEADER = "X-Repro-Deadline-At"
 
 #: Sentinel that wakes a worker thread for immediate exit (hard stop).
 _STOP = object()
@@ -76,6 +97,11 @@ class JobService:
         breaker_reset_s: float = 30.0,
         queue_jitter: float = 0.1,
         snapshot_every: int | None = None,
+        tenant_rate_per_s: float | None = None,
+        tenant_burst: float | None = None,
+        tenant_max_inflight: int | None = None,
+        tenant_overrides: dict | None = None,
+        pool_recycle_after: int = 64,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -95,15 +121,24 @@ class JobService:
             )
             for kind in JOB_KINDS
         }
+        self.tenants = TenantRegistry(
+            rate_per_s=tenant_rate_per_s,
+            burst=tenant_burst,
+            max_inflight=tenant_max_inflight,
+            overrides=tenant_overrides,
+        )
         self.workers = workers
         self.retries = retries
         self.backoff_s = backoff_s
         self.jitter = jitter
         self.job_timeout_s = job_timeout_s
         self.opt_grace_s = opt_grace_s
+        self.pool_recycle_after = pool_recycle_after
         self._admission_lock = threading.Lock()
         self._draining = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._pools: list[WarmWorkerPool] = []
+        self._pools_lock = threading.Lock()
         self._started = False
         self._stopped = False
         self._recovered: list[str] = []
@@ -132,7 +167,11 @@ class JobService:
                 self.store.transition(record.id, "QUEUED")
             self.store.log_event(record.id, "requeued_after_restart")
             self._recovered.append(record.id)
-            self.queue.force_put(record.id)
+            # Re-occupy the tenant's in-flight slot: the job was admitted
+            # (and charged) once already, so recovery bypasses the limits
+            # but keeps the accounting honest.
+            self.tenants.reserve_recovered(record.spec.tenant)
+            self.queue.force_put(record.id, priority=record.spec.priority)
         return self
 
     @property
@@ -166,7 +205,8 @@ class JobService:
         exactly what a restart recovers) and close the journal."""
         self._draining.set()
         for _ in self._threads:
-            self.queue.force_put(_STOP)
+            # Highest class so sentinels are not buried behind backlog.
+            self.queue.force_put(_STOP, priority="interactive")
         for thread in self._threads:
             thread.join(timeout=30)
         self._finalize()
@@ -185,6 +225,9 @@ class JobService:
         params: dict | None = None,
         *,
         deadline_s: float | None = None,
+        deadline_at: float | None = None,
+        tenant: str | None = None,
+        priority: str = "batch",
     ) -> JobRecord:
         """Admit one job or raise the precise backpressure signal.
 
@@ -194,88 +237,195 @@ class JobService:
             Malformed spec (unknown kind/strategy/experiment) — HTTP 400.
         ServiceDraining
             Server is shutting down — HTTP 503.
+        QuotaExceeded
+            Tenant rate limit / in-flight quota — HTTP 429 + per-tenant
+            Retry-After.
         CircuitOpen
             This job class is failing repeatedly — HTTP 503 + Retry-After.
         QueueFull
-            Admission queue at capacity — HTTP 429 + Retry-After.
+            Admission queue at capacity and nothing queued is of lower
+            priority — HTTP 429 + Retry-After.
         """
-        spec = JobSpec(kind, dict(params or {}), deadline_s=deadline_s)
+        spec = JobSpec(
+            kind,
+            dict(params or {}),
+            deadline_s=deadline_s,
+            deadline_at=deadline_at,
+            priority=priority or "batch",
+            tenant=tenant,
+        )
         if self._draining.is_set():
             raise ServiceDraining()
         validate_spec(spec.kind, spec.params)
 
-        # Dedup before the breaker: serving a cached result says nothing
-        # about current worker health, so it must not consume a half-open
-        # probe slot (nor be blocked by an open breaker).
-        cached = self.store.completed_result_for(spec.fingerprint)
-        if cached is not None:
+        # Tenant limits are the outermost gate: a rate-limited tenant is
+        # told to back off before any queue or breaker state is touched
+        # (and before dedup — cached answers are still admissions).
+        resolved_tenant = self.tenants.admit(spec.tenant)
+        try:
+            # Dedup before the breaker: serving a cached result says
+            # nothing about current worker health, so it must not consume
+            # a half-open probe slot (nor be blocked by an open breaker).
+            cached = self.store.completed_result_for(spec.fingerprint)
+            if cached is not None:
+                record = JobRecord(id=new_job_id(), spec=spec)
+                with self._admission_lock:
+                    self.store.submit(record)
+                    self.store.log_event(
+                        record.id, "deduplicated", source=cached.id
+                    )
+                    self.store.transition(
+                        record.id, cached.state, result=cached.result
+                    )
+                # Terminal immediately: the in-flight slot frees here.
+                self.tenants.release(resolved_tenant)
+                return self.store.get(record.id)
+
+            self.breakers[spec.kind].check()
+
             record = JobRecord(id=new_job_id(), spec=spec)
             with self._admission_lock:
+                # Reserve the slot under the lock so a durable submission
+                # can never be left off-queue (journal-then-enqueue
+                # atomically w.r.t. other submitters; workers only ever
+                # *remove*).  A full queue either sheds queued
+                # lower-priority work or rejects the newcomer.
+                if self.queue.full() and not self.queue.can_shed(spec.priority):
+                    raise QueueFull(
+                        self.queue.capacity, self.queue.retry_after_s()
+                    )
                 self.store.submit(record)
-                self.store.log_event(
-                    record.id, "deduplicated", source=cached.id
-                )
-                self.store.transition(
-                    record.id, cached.state, result=cached.result
-                )
-            return self.store.get(record.id)
-
-        self.breakers[spec.kind].check()
-
-        record = JobRecord(id=new_job_id(), spec=spec)
-        with self._admission_lock:
-            # Reserve the slot under the lock so a durable submission can
-            # never be left off-queue (journal-then-enqueue atomically
-            # w.r.t. other submitters; workers only ever *remove*).
-            if self.queue.full():
-                raise QueueFull(self.queue.capacity, self.queue.retry_after_s())
-            self.store.submit(record)
-            self.queue.put(record.id)
+                shed_id = self.queue.put(record.id, priority=spec.priority)
+            if shed_id is not None:
+                self._complete_shed(shed_id)
+        except Exception:
+            # Rejected after the slot was reserved (dedup miss → breaker
+            # open, queue full, journal error): nothing is in flight for
+            # this submission, so free the tenant's slot before
+            # propagating the precise backpressure signal.
+            self.tenants.release(resolved_tenant)
+            raise
         return record
+
+    def _complete_shed(self, job_id: str) -> None:
+        """Finish a queued job evicted by a higher-priority admission.
+
+        The victim was admitted, journaled, and acknowledged — it must
+        complete, not vanish: it lands FAILED with a ``shed`` event and
+        its tenant's in-flight slot frees.  The breaker is not charged
+        (shedding is overload policy, not worker failure).
+        """
+        try:
+            record = self.store.get(job_id)
+        except KeyError:  # pragma: no cover - defensive
+            return
+        if record.terminal:  # pragma: no cover - defensive
+            return
+        self.store.log_event(
+            job_id, "shed", reason="evicted for higher-priority admission"
+        )
+        self.store.transition(
+            job_id,
+            "FAILED",
+            error="shed: evicted by a higher-priority admission (queue full)",
+        )
+        self.tenants.release(record.spec.tenant)
 
     # -- execution ---------------------------------------------------------
 
     def _worker_loop(self) -> None:
-        while True:
-            # Drain semantics: finish the job you already hold, but do
-            # not pull new work — still-queued jobs stay journaled as
-            # QUEUED, i.e. checkpointed for the next boot to recover.
-            if self._draining.is_set():
-                return
-            job_id = self.queue.get(timeout=0.2)
-            if job_id is _STOP:
-                return
-            if job_id is None:
-                continue
-            try:
-                self._run_one(job_id)
-            except Exception as exc:  # defence: a worker loop must survive
+        # Each worker thread owns one persistent warm pool: steady-state
+        # dispatch reuses a live worker process instead of forking per
+        # job, while timeout-kill isolation stays per-thread (one hung
+        # job can never force a rebuild under a neighbour's feet).
+        pool = WarmWorkerPool(
+            max_workers=1, recycle_after=self.pool_recycle_after
+        )
+        with self._pools_lock:
+            self._pools.append(pool)
+        try:
+            while True:
+                # Drain semantics: finish the job you already hold, but
+                # do not pull new work — still-queued jobs stay journaled
+                # as QUEUED, i.e. checkpointed for the next boot.
+                if self._draining.is_set():
+                    return
+                job_id = self.queue.get(timeout=0.2)
+                if job_id is _STOP:
+                    return
+                if job_id is None:
+                    continue
                 try:
-                    self.store.transition(
-                        job_id, "FAILED", error=f"worker loop error: {exc}"
-                    )
-                except Exception:
-                    pass
+                    self._run_one(job_id, pool)
+                except Exception as exc:  # defence: the loop must survive
+                    try:
+                        record = self.store.get(job_id)
+                        self.store.transition(
+                            job_id, "FAILED", error=f"worker loop error: {exc}"
+                        )
+                        self.tenants.release(record.spec.tenant)
+                    except Exception:
+                        pass
+        finally:
+            pool.close()
 
-    def _hard_timeout_s(self, spec: JobSpec) -> float | None:
-        """Per-attempt kill timeout for the supervised pool.
+    def _hard_timeout_s(
+        self, spec: JobSpec, effective_deadline_s: float | None
+    ) -> float | None:
+        """Per-attempt kill timeout for the warm pool.
 
-        ``opt`` jobs degrade via their Budget, so the hard kill is only a
-        backstop well past the deadline; other kinds are killed at their
-        deadline (no principled partial answer exists for them).
+        ``effective_deadline_s`` is the budget *remaining* at dispatch
+        (queue wait already subtracted).  ``opt`` jobs degrade via their
+        Budget, so the hard kill is only a backstop well past the
+        deadline; other kinds are killed at their deadline (no principled
+        partial answer exists for them).
         """
-        if spec.deadline_s is not None:
+        if effective_deadline_s is not None:
             if spec.kind == "opt":
-                backstop = spec.deadline_s + self.opt_grace_s
+                backstop = effective_deadline_s + self.opt_grace_s
                 if self.job_timeout_s is not None:
                     return min(backstop, self.job_timeout_s)
                 return backstop
             if self.job_timeout_s is not None:
-                return min(spec.deadline_s, self.job_timeout_s)
-            return spec.deadline_s
+                return min(effective_deadline_s, self.job_timeout_s)
+            return effective_deadline_s
         return self.job_timeout_s
 
-    def _run_one(self, job_id: str) -> None:
+    def _expire_in_queue(self, job_id: str, spec: JobSpec, overdue_s: float) -> None:
+        """Complete a job whose absolute deadline passed while queued.
+
+        It never reaches a worker: an ``opt`` job degrades to the vacuous
+        (but honest) ``[0, ∞)`` interval, anything else fails with a
+        clear error.  Either way the outcome is recorded — a deadline
+        casualty is never silently lost — and the breaker is not charged
+        (queue wait says nothing about worker health).
+        """
+        self.store.log_event(
+            job_id, "deadline_expired_in_queue", overdue_s=round(overdue_s, 3)
+        )
+        if spec.kind == "opt":
+            self.store.transition(
+                job_id,
+                "DEGRADED",
+                result={
+                    "lower": 0,
+                    "upper": None,
+                    "states_expanded": 0,
+                    "reason": "deadline expired while queued",
+                },
+            )
+        else:
+            self.store.transition(
+                job_id,
+                "FAILED",
+                error=(
+                    f"deadline expired while queued "
+                    f"({overdue_s:.3f}s past deadline_at)"
+                ),
+            )
+        self.tenants.release(spec.tenant)
+
+    def _run_one(self, job_id: str, pool: WarmWorkerPool) -> None:
         record = self.store.get(job_id)
         if record.terminal:  # e.g. duplicated requeue already satisfied
             return
@@ -287,7 +437,16 @@ class JobService:
         if cached is not None and cached.id != job_id:
             self.store.log_event(job_id, "deduplicated", source=cached.id)
             self.store.transition(job_id, cached.state, result=cached.result)
+            self.tenants.release(spec.tenant)
             return
+
+        # Queue wait has already been spent against the absolute
+        # deadline; an expired job completes here, worker-free.
+        remaining = spec.remaining_s()
+        if remaining is not None and remaining <= 0:
+            self._expire_in_queue(job_id, spec, -remaining)
+            return
+        effective_deadline_s = spec.effective_deadline_s()
 
         breaker = self.breakers[spec.kind]
         self.store.transition(job_id, "RUNNING")
@@ -296,32 +455,33 @@ class JobService:
                 "id": job_id,
                 "kind": spec.kind,
                 "params": spec.params,
-                "deadline_s": spec.deadline_s,
+                # The *remaining* budget, not the original: queue wait
+                # decrements it, and the executor tightens once more at
+                # execution start via deadline_at.
+                "deadline_s": effective_deadline_s,
+                "deadline_at": spec.deadline_at,
             },
             sort_keys=True,
         )
         t0 = time.monotonic()
+        outcome = None
         try:
-            results, failures = supervised_map(
+            outcome, attempts = pool.run_one(
                 execute_payload,
-                [payload_json],
-                max_workers=1,
-                timeout_s=self._hard_timeout_s(spec),
+                payload_json,
+                timeout_s=self._hard_timeout_s(spec, effective_deadline_s),
                 retries=self.retries,
                 backoff_s=self.backoff_s,
                 jitter=self.jitter,
-                on_failure="record",
             )
+        except WorkerJobFailed as failure:
+            error, attempts = failure.error, failure.attempts
         except Exception as exc:  # supervision itself blew up
-            results, failures = {}, None
-            supervision_error = f"{type(exc).__name__}: {exc}"
-        else:
-            supervision_error = None
+            error, attempts = f"{type(exc).__name__}: {exc}", record.attempts + 1
         duration = time.monotonic() - t0
         self.queue.observe_duration(duration)
 
-        if payload_json in results:
-            outcome = results[payload_json]
+        if outcome is not None:
             self.store.log_event(
                 job_id, "executed", seconds=round(duration, 3)
             )
@@ -329,21 +489,17 @@ class JobService:
                 job_id,
                 outcome["state"],
                 result=outcome.get("result"),
-                attempts=record.attempts + 1,
+                attempts=record.attempts + attempts,
             )
             # DEGRADED is a *successful* degradation (a valid interval
             # was served): only FAILED counts against the breaker.
             breaker.record_success()
         else:
-            if supervision_error is not None:
-                error, attempts = supervision_error, record.attempts + 1
-            else:
-                failure = failures[0]
-                error, attempts = failure.error, failure.attempts
             self.store.transition(
                 job_id, "FAILED", error=error, attempts=attempts
             )
             breaker.record_failure()
+        self.tenants.release(spec.tenant)
 
     # -- introspection -----------------------------------------------------
 
@@ -353,6 +509,8 @@ class JobService:
 
     def readiness(self) -> tuple[bool, dict]:
         """Readiness verdict + payload (``/readyz``): queue and breakers."""
+        with self._pools_lock:
+            pools = [pool.stats() for pool in self._pools]
         payload = {
             "version": repro_version(),
             "draining": self.draining,
@@ -362,6 +520,8 @@ class JobService:
                 kind: breaker.snapshot()
                 for kind, breaker in self.breakers.items()
             },
+            "tenants": self.tenants.snapshot(),
+            "pools": pools,
             "workers": self.workers,
         }
         ready = not self.draining and not self.queue.full()
@@ -374,11 +534,27 @@ class JobService:
 # ---------------------------------------------------------------------------
 
 
+class _BodyTooLarge(ValueError):
+    """POST body exceeds the configured cap (HTTP 413)."""
+
+    def __init__(self, length: int, limit: int):
+        self.length = length
+        self.limit = limit
+        super().__init__(
+            f"request body of {length} bytes exceeds the {limit}-byte limit"
+        )
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     #: Set by ServiceHTTPServer.
     service: JobService = None
     quiet: bool = True
+    #: Upper bound on an accepted POST body.  ``Content-Length`` is
+    #: attacker-controlled: without this cap a single request header
+    #: could make the handler allocate gigabytes.  Job specs are small
+    #: JSON; 1 MiB is generous.
+    max_body_bytes: int = 1 << 20
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if not self.quiet:  # pragma: no cover - operator logging
@@ -400,6 +576,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > self.max_body_bytes:
+            # Reject *before* reading: the declared size is untrusted
+            # input.  The unread body desyncs the keep-alive stream, so
+            # the connection closes after the 413.
+            self.close_connection = True
+            raise _BodyTooLarge(length, self.max_body_bytes)
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
@@ -439,17 +621,47 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             body = self._read_json()
+        except _BodyTooLarge as exc:
+            self._send_json(413, {"error": str(exc)})
+            return
         except ValueError as exc:
             self._send_json(400, {"error": f"bad JSON body: {exc}"})
             return
+        # The absolute deadline travels in a header by preference (so
+        # forwarders can tighten it without re-encoding the body); the
+        # body field is the fallback for bare-bones clients.
+        deadline_at = body.get("deadline_at")
+        header_deadline = self.headers.get(DEADLINE_HEADER)
+        if header_deadline is not None:
+            try:
+                deadline_at = float(header_deadline)
+            except ValueError:
+                self._send_json(
+                    400,
+                    {"error": f"bad {DEADLINE_HEADER} header: {header_deadline!r}"},
+                )
+                return
         try:
             record = self.service.submit(
                 body.get("kind", ""),
                 body.get("params", {}),
                 deadline_s=body.get("deadline_s"),
+                deadline_at=deadline_at,
+                tenant=body.get("tenant"),
+                priority=body.get("priority") or "batch",
             )
         except (ValueError, TypeError) as exc:
             self._send_json(400, {"error": str(exc)})
+        except QuotaExceeded as exc:
+            self._send_json(
+                429,
+                {
+                    "error": str(exc),
+                    "tenant": exc.tenant,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                retry_after_s=exc.retry_after_s,
+            )
         except QueueFull as exc:
             self._send_json(
                 429,

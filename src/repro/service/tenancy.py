@@ -1,0 +1,289 @@
+"""Per-tenant admission control: priorities, rate limits, in-flight quotas.
+
+One hot tenant must not starve everyone else.  The service therefore
+keys admission on a **tenant** (carried in job params or passed
+explicitly) and enforces two independent limits per tenant:
+
+* a **token-bucket rate limit** — sustained submissions per second with
+  a configurable burst, so a flood is smoothed at the front door;
+* an **in-flight quota** — a cap on jobs that are QUEUED or RUNNING at
+  once, released only when the job reaches a terminal state, so a
+  tenant's backlog cannot monopolise the queue even at a legal rate.
+
+Violating either raises :class:`QuotaExceeded`, which the HTTP layer
+maps to 429 with a **per-tenant** ``Retry-After``: the hint is the time
+until *that tenant's* next token, not a global queue estimate — other
+tenants' hints are unaffected.
+
+Orthogonally, every job carries a **priority class**::
+
+    interactive > batch > bulk
+
+Priorities order the admission queue (strict: a queued interactive job
+always dispatches before any batch job) and drive shedding: a full
+queue evicts the newest job of the lowest present class rather than
+rejecting higher-priority work (see :mod:`repro.service.queue`).
+
+Both mechanisms are off by default (``TenantRegistry`` with no limits
+admits everything), so single-tenant deployments pay nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "PRIORITIES",
+    "PRIORITY_RANK",
+    "QuotaExceeded",
+    "TenantRegistry",
+    "TokenBucket",
+    "priority_rank",
+]
+
+#: Priority classes in ascending order of urgency.  The queue dispatches
+#: strictly by class; shedding evicts from the lowest present class.
+PRIORITIES = ("bulk", "batch", "interactive")
+
+#: Class name -> numeric rank (higher = more urgent).
+PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+#: Tenant used when a submission names none: anonymous traffic shares
+#: one bucket rather than bypassing the limits.
+DEFAULT_TENANT = "default"
+
+
+def priority_rank(priority: str) -> int:
+    """Numeric rank of a priority class; raises ``ValueError`` on junk."""
+    try:
+        return PRIORITY_RANK[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; choose from "
+            f"{', '.join(reversed(PRIORITIES))}"
+        ) from None
+
+
+class QuotaExceeded(RuntimeError):
+    """A tenant exceeded its rate limit or in-flight quota (HTTP 429).
+
+    ``retry_after_s`` is per-tenant: the time until this tenant's next
+    token (rate limit) or a conservative recheck interval (quota).
+    """
+
+    def __init__(self, tenant: str, reason: str, retry_after_s: float):
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"tenant {tenant!r} {reason}; retry in {retry_after_s:.1f}s"
+        )
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` sustained, ``burst`` capacity.
+
+    ``try_acquire`` is non-blocking: it returns 0.0 on success or the
+    seconds until one token will be available (the per-tenant
+    ``Retry-After``).  A ``clock`` injection point keeps tests exact.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float, *, clock=time.monotonic):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+
+    def try_acquire(self) -> float:
+        """Take one token; 0.0 on success, else seconds until one frees."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate_per_s
+
+    def available(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class _TenantState:
+    """One tenant's live accounting (bucket + in-flight count)."""
+
+    __slots__ = ("bucket", "inflight", "admitted", "rejected")
+
+    def __init__(self, bucket: TokenBucket | None):
+        self.bucket = bucket
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+
+class TenantRegistry:
+    """Per-tenant admission limits for the job service.
+
+    ``rate_per_s``/``burst`` configure each tenant's token bucket;
+    ``max_inflight`` caps a tenant's QUEUED+RUNNING jobs.  ``None``
+    disables that limit (the default: everything admits).  Per-tenant
+    overrides take the same keys::
+
+        TenantRegistry(rate_per_s=5, burst=10, max_inflight=8,
+                       overrides={"gold": {"max_inflight": 64}})
+
+    The admit/release protocol is two-phase so the caller can hold its
+    own admission lock: :meth:`admit` charges one token *and* reserves
+    one in-flight slot (raising :class:`QuotaExceeded` atomically — a
+    rejected submission charges nothing); :meth:`release` frees the slot
+    when the job reaches a terminal state.  :meth:`reserve_recovered`
+    re-occupies slots for journaled jobs re-enqueued after a restart
+    without consulting the limits (they were admitted once already).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_per_s: float | None = None,
+        burst: float | None = None,
+        max_inflight: int | None = None,
+        overrides: dict | None = None,
+        quota_retry_s: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if rate_per_s is not None and rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst if burst is not None else (rate_per_s or 0) * 2
+        self.max_inflight = max_inflight
+        self.quota_retry_s = quota_retry_s
+        self._overrides = dict(overrides or {})
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enforcing(self) -> bool:
+        """Whether any limit is configured at all."""
+        return (
+            self.rate_per_s is not None
+            or self.max_inflight is not None
+            or bool(self._overrides)
+        )
+
+    def _limits_for(self, tenant: str) -> tuple[float | None, float, int | None]:
+        over = self._overrides.get(tenant, {})
+        rate = over.get("rate_per_s", self.rate_per_s)
+        if "burst" in over:
+            burst = over["burst"]
+        elif rate == self.rate_per_s:
+            burst = self.burst
+        else:
+            burst = (rate or 0) * 2
+        max_inflight = over.get("max_inflight", self.max_inflight)
+        return rate, burst, max_inflight
+
+    def _state_for(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            rate, burst, _ = self._limits_for(tenant)
+            bucket = None
+            if rate is not None:
+                bucket = TokenBucket(rate, max(1.0, burst), clock=self._clock)
+            state = _TenantState(bucket)
+            self._tenants[tenant] = state
+        return state
+
+    # -- admission protocol ------------------------------------------------
+
+    def admit(self, tenant: str | None) -> str:
+        """Charge one token and reserve one in-flight slot for ``tenant``.
+
+        Returns the resolved tenant name (``DEFAULT_TENANT`` when none
+        given).  Raises :class:`QuotaExceeded` without charging anything
+        when either limit would be violated.
+        """
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            state = self._state_for(tenant)
+            _, _, max_inflight = self._limits_for(tenant)
+            if max_inflight is not None and state.inflight >= max_inflight:
+                state.rejected += 1
+                raise QuotaExceeded(
+                    tenant,
+                    f"in-flight quota exhausted ({state.inflight}/{max_inflight})",
+                    self.quota_retry_s,
+                )
+            if state.bucket is not None:
+                wait_s = state.bucket.try_acquire()
+                if wait_s > 0:
+                    state.rejected += 1
+                    raise QuotaExceeded(
+                        tenant,
+                        "rate limit exceeded "
+                        f"({state.bucket.rate_per_s:g}/s sustained)",
+                        max(0.05, round(wait_s, 3)),
+                    )
+            state.inflight += 1
+            state.admitted += 1
+            return tenant
+
+    def reserve_recovered(self, tenant: str | None) -> None:
+        """Re-occupy one slot for a journaled job re-enqueued at boot."""
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            self._state_for(tenant).inflight += 1
+
+    def release(self, tenant: str | None) -> None:
+        """Free one in-flight slot (the job reached a terminal state)."""
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None and state.inflight > 0:
+                state.inflight -= 1
+
+    # -- introspection -----------------------------------------------------
+
+    def inflight(self, tenant: str | None) -> int:
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return 0 if state is None else state.inflight
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-tenant accounting for ``/readyz``."""
+        with self._lock:
+            body = {
+                "enforcing": self.enforcing,
+                "rate_per_s": self.rate_per_s,
+                "max_inflight": self.max_inflight,
+                "tenants": {},
+            }
+            for tenant, state in sorted(self._tenants.items()):
+                body["tenants"][tenant] = {
+                    "inflight": state.inflight,
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                    "tokens": (
+                        None
+                        if state.bucket is None
+                        else round(state.bucket.available(), 3)
+                    ),
+                }
+            return body

@@ -1,0 +1,272 @@
+"""Chaos TCP proxy: deterministic schedules and live wire faults."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.chaosnet import ChaosProxy, ConnectionPlan, FaultSchedule
+
+pytestmark = pytest.mark.chaos
+
+
+class EchoServer:
+    """Tiny threaded echo upstream bound to an ephemeral port."""
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    @property
+    def address(self):
+        return self._listener.getsockname()[:2]
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stopping.set()
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def _loop(self):
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        with conn:
+            conn.settimeout(5.0)
+            while True:
+                try:
+                    data = conn.recv(4096)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    return
+
+
+@pytest.fixture
+def echo():
+    server = EchoServer().start()
+    yield server
+    server.stop()
+
+
+def roundtrip(proxy, payload=b"ping", timeout=5.0):
+    with socket.create_connection(
+        (proxy.host, proxy.port), timeout=timeout
+    ) as conn:
+        conn.sendall(payload)
+        return conn.recv(4096)
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_plans(self):
+        a = FaultSchedule(seed=7, drop_rate=0.3, reset_rate=0.2, jitter_s=0.5)
+        b = FaultSchedule(seed=7, drop_rate=0.3, reset_rate=0.2, jitter_s=0.5)
+        plans_a = [a.plan(i) for i in range(50)]
+        plans_b = [b.plan(i) for i in range(50)]
+        assert plans_a == plans_b
+
+    def test_different_seeds_diverge(self):
+        a = FaultSchedule(seed=1, drop_rate=0.5)
+        b = FaultSchedule(seed=2, drop_rate=0.5)
+        assert [a.plan(i).drop for i in range(64)] != [
+            b.plan(i).drop for i in range(64)
+        ]
+
+    def test_rates_are_roughly_honoured(self):
+        schedule = FaultSchedule(seed=3, drop_rate=0.25)
+        dropped = sum(schedule.plan(i).drop for i in range(1000))
+        assert 180 < dropped < 320
+
+    def test_faults_are_exclusive(self):
+        schedule = FaultSchedule(
+            seed=5, drop_rate=0.25, reset_rate=0.25,
+            blackhole_rate=0.25, trickle_rate=0.25,
+        )
+        for i in range(200):
+            plan = schedule.plan(i)
+            kinds = [
+                plan.drop,
+                plan.reset_after_bytes is not None,
+                plan.blackhole,
+                plan.trickle_bytes is not None,
+            ]
+            assert sum(kinds) == 1
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultSchedule(drop_rate=1.5)
+        with pytest.raises(ValueError, match="sum"):
+            FaultSchedule(drop_rate=0.6, reset_rate=0.6)
+
+    def test_clean_schedule_has_no_faults(self):
+        schedule = FaultSchedule(seed=0)
+        assert not any(schedule.plan(i).faulty for i in range(20))
+
+    def test_jitter_composes_with_latency(self):
+        schedule = FaultSchedule(seed=9, latency_s=0.1, jitter_s=0.2)
+        latencies = {schedule.plan(i).latency_s for i in range(20)}
+        assert all(0.1 <= lat <= 0.3 for lat in latencies)
+        assert len(latencies) > 1  # jitter actually varies per connection
+
+
+class TestConnectionPlan:
+    def test_default_plan_is_clean(self):
+        assert not ConnectionPlan().faulty
+
+    def test_any_fault_marks_faulty(self):
+        assert ConnectionPlan(drop=True).faulty
+        assert ConnectionPlan(blackhole=True).faulty
+        assert ConnectionPlan(latency_s=0.1).faulty
+
+
+class TestProxyPassthrough:
+    def test_clean_proxy_forwards_both_ways(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            assert roundtrip(proxy, b"hello") == b"hello"
+            stats = proxy.stats()
+            assert stats["connections"] == 1
+            assert stats["bytes_up"] == 5
+            assert stats["bytes_down"] == 5
+
+    def test_upstream_forms(self, echo):
+        host, port = echo.address
+        for upstream in ((host, port), f"{host}:{port}", f"http://{host}:{port}"):
+            with ChaosProxy(upstream) as proxy:
+                assert roundtrip(proxy, b"x") == b"x"
+        with pytest.raises(ValueError):
+            ChaosProxy("nonsense")
+
+    def test_url_property(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            assert proxy.url == f"http://{proxy.host}:{proxy.port}"
+
+
+class TestProxyFaults:
+    def test_drop_closes_at_accept(self, echo):
+        schedule = FaultSchedule(seed=0, drop_rate=1.0)
+        with ChaosProxy(echo.address, schedule=schedule) as proxy:
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.settimeout(5.0)
+                # Either an immediate EOF or a reset, never an answer.
+                try:
+                    assert conn.recv(4096) == b""
+                except ConnectionError:
+                    pass
+            assert proxy.stats()["dropped"] == 1
+
+    def test_blackhole_reads_but_never_answers(self, echo):
+        schedule = FaultSchedule(seed=0, blackhole_rate=1.0)
+        with ChaosProxy(echo.address, schedule=schedule) as proxy:
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.sendall(b"anyone home?")
+                conn.settimeout(0.3)
+                with pytest.raises(socket.timeout):
+                    conn.recv(4096)
+            assert proxy.stats()["blackholed"] == 1
+            assert proxy.stats()["bytes_down"] == 0
+
+    def test_reset_rsts_after_budget(self, echo):
+        schedule = FaultSchedule(seed=0, reset_rate=1.0, reset_after_bytes=4)
+        with ChaosProxy(echo.address, schedule=schedule) as proxy:
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.settimeout(5.0)
+                with pytest.raises(ConnectionError):
+                    conn.sendall(b"0123456789" * 200)
+                    # Depending on buffering the RST may land on the next
+                    # operation rather than the send itself.
+                    conn.recv(4096)
+                    conn.sendall(b"more")
+                    conn.recv(4096)
+            assert proxy.stats()["reset"] == 1
+
+    def test_trickle_still_delivers_everything(self, echo):
+        schedule = FaultSchedule(
+            seed=0, trickle_rate=1.0, trickle_bytes=2,
+            trickle_interval_s=0.01,
+        )
+        with ChaosProxy(echo.address, schedule=schedule) as proxy:
+            payload = b"0123456789"
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.settimeout(5.0)
+                conn.sendall(payload)
+                received = b""
+                while len(received) < len(payload):
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    received += chunk
+            assert received == payload
+            assert proxy.stats()["trickled"] == 1
+
+    def test_latency_delays_first_byte(self, echo):
+        schedule = FaultSchedule(seed=0, latency_s=0.2)
+        with ChaosProxy(echo.address, schedule=schedule) as proxy:
+            start = time.monotonic()
+            assert roundtrip(proxy, b"slow") == b"slow"
+            assert time.monotonic() - start >= 0.2
+
+
+class TestPartition:
+    def test_partition_swallows_then_heals(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            assert roundtrip(proxy) == b"ping"  # healthy before
+            proxy.set_partition("both")
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.sendall(b"lost")
+                conn.settimeout(0.3)
+                with pytest.raises(socket.timeout):
+                    conn.recv(4096)
+            proxy.set_partition(None)
+            assert roundtrip(proxy) == b"ping"  # healed
+            assert proxy.stats()["partitioned"] >= 1
+
+    def test_asymmetric_inbound_partition(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            proxy.set_partition("inbound")
+            with socket.create_connection(
+                (proxy.host, proxy.port), timeout=5.0
+            ) as conn:
+                conn.sendall(b"swallowed")  # never reaches the echo server
+                conn.settimeout(0.3)
+                with pytest.raises(socket.timeout):
+                    conn.recv(4096)
+
+    def test_invalid_mode_rejected(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            with pytest.raises(ValueError, match="partition mode"):
+                proxy.set_partition("sideways")
+
+    def test_stats_reports_partition_state(self, echo):
+        with ChaosProxy(echo.address) as proxy:
+            assert proxy.stats()["partition"] is None
+            proxy.set_partition("outbound")
+            assert proxy.stats()["partition"] == "outbound"

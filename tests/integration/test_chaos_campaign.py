@@ -39,4 +39,5 @@ def test_registry_covers_every_fault_family():
         "enospc_append",
         "sigkill_mid_compaction",
         "sweep_resume",
+        "chaosnet_sweep",
     }

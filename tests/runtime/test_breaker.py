@@ -108,6 +108,87 @@ class TestCircuitBreaker:
             CircuitBreaker(probe_limit=0)
 
 
+class TestHalfOpenProbeConcurrency:
+    """``allow()`` must hand out exactly ``probe_limit`` probe slots no
+    matter how many threads race for them."""
+
+    def _trip_to_half_open(self, clock, probe_limit):
+        breaker = make_breaker(clock, probe_limit=probe_limit)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        return breaker
+
+    def test_racing_threads_get_exactly_probe_limit_slots(self, clock):
+        breaker = self._trip_to_half_open(clock, probe_limit=2)
+        barrier = threading.Barrier(16)
+        verdicts = []
+        lock = threading.Lock()
+
+        def contender():
+            barrier.wait()
+            verdict = breaker.allow()
+            with lock:
+                verdicts.append(verdict)
+
+        threads = [threading.Thread(target=contender) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(verdicts) == 16
+        assert sum(verdicts) == 2
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_probe_slots_not_replenished_until_a_verdict(self, clock):
+        breaker = self._trip_to_half_open(clock, probe_limit=1)
+        assert breaker.allow()
+        # Time passing does NOT free the claimed slot: only the probe's
+        # own success/failure verdict may change the state.
+        clock.advance(100.0)
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_probe_failure_reopens_and_next_cooldown_resets_slots(self, clock):
+        breaker = self._trip_to_half_open(clock, probe_limit=2)
+        assert breaker.allow()
+        assert breaker.allow()
+        breaker.record_failure()  # one probe fails: re-open, slots void
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(10.0)  # a fresh cooldown grants fresh probe slots
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_success_under_concurrent_allow_stays_consistent(self, clock):
+        # Half the threads race allow() while another records the probe
+        # verdict; afterwards the breaker must be in a legal state with
+        # allow() behaving accordingly (no slot-counter corruption).
+        breaker = self._trip_to_half_open(clock, probe_limit=1)
+        assert breaker.allow()
+        barrier = threading.Barrier(9)
+
+        def racer():
+            barrier.wait()
+            breaker.allow()
+
+        def verdict():
+            barrier.wait()
+            breaker.record_success()
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        threads.append(threading.Thread(target=verdict))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert breaker.state in (CircuitBreaker.CLOSED, CircuitBreaker.HALF_OPEN)
+        if breaker.state == CircuitBreaker.CLOSED:
+            assert breaker.allow()
+
+
 class TestDrainSignal:
     def test_trip_fires_callbacks_once(self):
         fired = []

@@ -1,0 +1,213 @@
+"""End-to-end deadline budgets: spec accounting, queue-expiry, the HTTP
+header, worker-side tightening, and fleet forwarding."""
+
+import time
+
+import pytest
+
+from repro.service import DEADLINE_HEADER, JobService, ServiceClient, ServiceHTTPServer
+from repro.service.executor import _effective_deadline
+from repro.service.jobs import JobSpec
+
+pytestmark = pytest.mark.service
+
+SIM = {"workload": "zipf", "cores": 2, "length": 60, "cache_size": 8}
+OPT = {"workload": "zipf", "cores": 2, "length": 12, "cache_size": 4}
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault("backoff_s", 0.05)
+    kwargs.setdefault("jitter", 0.0)
+    return JobService(tmp_path / "jobs.jsonl", **kwargs)
+
+
+def wait_terminal(service, job_id, timeout_s=90.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        record = service.store.get(job_id)
+        if record.terminal:
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal after {timeout_s}s")
+
+
+class TestSpecAccounting:
+    def test_remaining_counts_down_from_deadline_at(self):
+        spec = JobSpec(kind="simulate", params=dict(SIM), deadline_at=1000.0)
+        assert spec.remaining_s(now=990.0) == pytest.approx(10.0)
+        assert spec.remaining_s(now=1005.0) == pytest.approx(-5.0)
+
+    def test_effective_deadline_is_the_tighter_budget(self):
+        spec = JobSpec(
+            kind="simulate",
+            params=dict(SIM),
+            deadline_s=60.0,
+            deadline_at=1000.0,
+        )
+        # 10s left on the absolute budget beats the relative 60s...
+        assert spec.effective_deadline_s(now=990.0) == pytest.approx(10.0)
+        # ...and the relative budget wins when the absolute one is loose.
+        assert spec.effective_deadline_s(now=0.0) == pytest.approx(60.0)
+
+    def test_no_deadline_means_no_budget(self):
+        spec = JobSpec(kind="simulate", params=dict(SIM))
+        assert spec.remaining_s() is None
+        assert spec.effective_deadline_s() is None
+
+    def test_worker_side_tightening(self):
+        now = time.time()
+        payload = {"deadline_s": 60.0, "deadline_at": now + 5.0}
+        effective = _effective_deadline(payload)
+        assert effective == pytest.approx(5.0, abs=0.5)
+        # An already-lapsed budget clamps to a hair above zero (the
+        # solver degrades on its first budget check, it never crashes).
+        assert _effective_deadline({"deadline_at": now - 10.0}) == 1e-3
+        assert _effective_deadline({}) is None
+
+
+class TestExpiredInQueue:
+    def test_opt_expires_to_degraded_interval(self, tmp_path):
+        service = make_service(tmp_path).start()
+        try:
+            record = service.submit(
+                "opt", dict(OPT), deadline_at=time.time() - 5.0
+            )
+            final = wait_terminal(service, record.id)
+            assert final.state == "DEGRADED"
+            assert final.result["lower"] == 0
+            assert final.result["upper"] is None
+            assert "expired" in final.result["reason"]
+        finally:
+            service.stop()
+
+    def test_simulate_expires_to_failed_without_dispatch(self, tmp_path):
+        service = make_service(tmp_path).start()
+        try:
+            record = service.submit(
+                "simulate", dict(SIM), deadline_at=time.time() - 5.0
+            )
+            final = wait_terminal(service, record.id)
+            assert final.state == "FAILED"
+            assert "deadline" in final.error
+            events = [e["event"] for e in final.events]
+            assert "deadline_expired_in_queue" in events
+            assert "running" not in events  # never reached a worker
+        finally:
+            service.stop()
+
+    def test_expiry_releases_the_tenant_slot(self, tmp_path):
+        service = make_service(tmp_path, tenant_max_inflight=1).start()
+        try:
+            record = service.submit(
+                "simulate",
+                dict(SIM),
+                deadline_at=time.time() - 5.0,
+                tenant="t1",
+            )
+            wait_terminal(service, record.id)
+            assert service.tenants.inflight("t1") == 0
+        finally:
+            service.stop()
+
+    def test_expiry_does_not_charge_the_breaker(self, tmp_path):
+        service = make_service(tmp_path, breaker_threshold=2).start()
+        try:
+            for i in range(3):
+                record = service.submit(
+                    "simulate",
+                    dict(SIM, seed=i),
+                    deadline_at=time.time() - 5.0,
+                )
+                final = wait_terminal(service, record.id)
+                assert final.state == "FAILED"
+            # Three expiries would have tripped a threshold-2 breaker if
+            # they counted as worker failures; a live job must still run.
+            record = service.submit("simulate", dict(SIM, seed=99))
+            assert wait_terminal(service, record.id).state == "DONE"
+        finally:
+            service.stop()
+
+
+class TestHTTPPropagation:
+    def test_client_derives_absolute_deadline_from_relative(self, tmp_path):
+        service = make_service(tmp_path).start()
+        http = ServiceHTTPServer(service, port=0).start()
+        try:
+            client = ServiceClient(http.url)
+            before = time.time()
+            record = client.submit("simulate", dict(SIM), deadline_s=30.0)
+            assert record["deadline_at"] is not None
+            assert before + 25.0 < record["deadline_at"] < time.time() + 31.0
+        finally:
+            http.stop()
+            service.stop()
+
+    def test_header_wins_over_body(self, tmp_path):
+        service = make_service(tmp_path).start()
+        http = ServiceHTTPServer(service, port=0).start()
+        try:
+            client = ServiceClient(http.url)
+            header_at = time.time() + 7.0
+            record = client._request(
+                "POST",
+                "/jobs",
+                {
+                    "kind": "simulate",
+                    "params": dict(SIM),
+                    "deadline_at": time.time() + 9999.0,
+                },
+                headers={DEADLINE_HEADER: repr(header_at)},
+            )
+            assert record["deadline_at"] == pytest.approx(header_at)
+        finally:
+            http.stop()
+            service.stop()
+
+    def test_garbage_header_is_a_400(self, tmp_path):
+        from repro.service.client import ServiceError
+
+        service = make_service(tmp_path).start()
+        http = ServiceHTTPServer(service, port=0).start()
+        try:
+            client = ServiceClient(http.url)
+            with pytest.raises(ServiceError) as exc_info:
+                client._request(
+                    "POST",
+                    "/jobs",
+                    {"kind": "simulate", "params": dict(SIM)},
+                    headers={DEADLINE_HEADER: "not-a-timestamp"},
+                )
+            assert exc_info.value.status == 400
+        finally:
+            http.stop()
+            service.stop()
+
+
+class TestFleetForwarding:
+    @pytest.mark.fleet
+    def test_replica_submissions_carry_the_replica_deadline(self, tmp_path):
+        from repro.fleet import FleetExecutor, run_sweep
+
+        service = make_service(tmp_path, workers=2).start()
+        http = ServiceHTTPServer(service, port=0).start()
+        executor = FleetExecutor(
+            [http.url], poll_s=0.05, replica_deadline_s=45.0
+        )
+        task = dict(SIM, strategy="S_LRU", length=40)
+        try:
+            sweep = run_sweep(task, [0, 1], executor=executor)
+            assert sweep.ok
+            records = ServiceClient(http.url).jobs()
+            replicas = [r for r in records if r["kind"] == "replica"]
+            assert replicas
+            for record in replicas:
+                # Forwarded as an absolute deadline no looser than the
+                # replica budget at submission time.
+                assert record["deadline_at"] is not None
+                assert record["deadline_at"] <= time.time() + 45.0
+        finally:
+            executor.close()
+            http.stop()
+            service.stop()

@@ -1,0 +1,118 @@
+"""Priority classes and load shedding on the admission queue.
+
+FIFO/backpressure basics live in test_admission.py; this file covers
+what the priority rewrite added: strict class ordering on dispatch, and
+shed-the-newest-lowest-class instead of rejecting a higher-priority
+arrival when the queue is full.
+"""
+
+import pytest
+
+from repro.service.queue import AdmissionQueue, QueueFull
+
+pytestmark = pytest.mark.service
+
+
+class TestClassOrdering:
+    def test_interactive_dispatches_before_batch_before_bulk(self):
+        q = AdmissionQueue(8)
+        q.put("slow", priority="bulk")
+        q.put("normal", priority="batch")
+        q.put("now", priority="interactive")
+        assert q.get(timeout=0.1) == "now"
+        assert q.get(timeout=0.1) == "normal"
+        assert q.get(timeout=0.1) == "slow"
+
+    def test_fifo_within_a_class(self):
+        q = AdmissionQueue(8)
+        for item in ("a", "b", "c"):
+            q.put(item, priority="batch")
+        assert [q.get(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_default_priority_is_batch(self):
+        q = AdmissionQueue(8)
+        q.put("plain")
+        q.put("bg", priority="bulk")
+        q.put("plain2", priority="batch")
+        assert q.get(timeout=0.1) == "plain"
+        assert q.get(timeout=0.1) == "plain2"
+        assert q.get(timeout=0.1) == "bg"
+
+    def test_unknown_priority_rejected(self):
+        q = AdmissionQueue(4)
+        with pytest.raises(ValueError, match="unknown priority"):
+            q.put("x", priority="urgent")
+
+
+class TestShedding:
+    def test_interactive_sheds_newest_bulk_when_full(self):
+        q = AdmissionQueue(3)
+        q.put("bulk-old", priority="bulk")
+        q.put("bulk-new", priority="bulk")
+        q.put("batch", priority="batch")
+        assert q.full()
+        shed = q.put("vip", priority="interactive")
+        assert shed == "bulk-new"  # newest of the lowest class
+        assert q.depth() == 3
+        assert q.get(timeout=0.1) == "vip"
+        assert q.get(timeout=0.1) == "batch"
+        assert q.get(timeout=0.1) == "bulk-old"
+
+    def test_batch_sheds_bulk_but_not_batch(self):
+        q = AdmissionQueue(2)
+        q.put("bulk", priority="bulk")
+        q.put("batch", priority="batch")
+        shed = q.put("batch2", priority="batch")
+        assert shed == "bulk"
+        # Queue now holds only batch work: another batch arrival must be
+        # rejected, not shed — same-class arrivals never evict each other.
+        with pytest.raises(QueueFull):
+            q.put("batch3", priority="batch")
+
+    def test_same_class_overflow_still_rejects(self):
+        q = AdmissionQueue(2)
+        q.put("a", priority="bulk")
+        q.put("b", priority="bulk")
+        with pytest.raises(QueueFull) as exc_info:
+            q.put("c", priority="bulk")
+        assert exc_info.value.retry_after_s >= 1.0
+        assert q.depth() == 2
+
+    def test_interactive_never_shed(self):
+        q = AdmissionQueue(2)
+        q.put("vip1", priority="interactive")
+        q.put("vip2", priority="interactive")
+        with pytest.raises(QueueFull):
+            q.put("vip3", priority="interactive")
+
+    def test_put_returns_none_when_not_full(self):
+        q = AdmissionQueue(4)
+        assert q.put("a", priority="interactive") is None
+
+    def test_can_shed_mirrors_put(self):
+        q = AdmissionQueue(2)
+        q.put("a", priority="bulk")
+        q.put("b", priority="batch")
+        assert q.can_shed("interactive")
+        assert q.can_shed("batch")
+        assert not q.can_shed("bulk")
+
+    def test_force_put_bypasses_capacity(self):
+        q = AdmissionQueue(1)
+        q.put("a", priority="batch")
+        q.force_put("stop", priority="interactive")
+        assert q.depth() == 2
+        assert q.get(timeout=0.1) == "stop"
+
+    def test_snapshot_counts_by_priority_and_sheds(self):
+        q = AdmissionQueue(2)
+        q.put("a", priority="bulk")
+        q.put("b", priority="batch")
+        q.put("vip", priority="interactive")  # sheds "a"
+        snap = q.snapshot()
+        assert snap["shed"] == 1
+        assert snap["by_priority"]["interactive"] == 1
+        assert snap["by_priority"]["batch"] == 1
+        assert snap["by_priority"]["bulk"] == 0
+        assert snap["depth"] == 2
+        assert q.shed_count() == 1

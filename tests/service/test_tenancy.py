@@ -1,0 +1,143 @@
+"""Per-tenant token buckets, in-flight quotas, and the priority vocabulary."""
+
+import pytest
+
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    PRIORITIES,
+    QuotaExceeded,
+    TenantRegistry,
+    TokenBucket,
+    priority_rank,
+)
+
+pytestmark = pytest.mark.service
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestPriorityVocabulary:
+    def test_ranks_are_strictly_ordered(self):
+        assert priority_rank("interactive") > priority_rank("batch")
+        assert priority_rank("batch") > priority_rank("bulk")
+        assert tuple(sorted(PRIORITIES, key=priority_rank)) == PRIORITIES
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            priority_rank("urgent")
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestTenantRegistry:
+    def test_unlimited_by_default(self):
+        registry = TenantRegistry()
+        assert not registry.enforcing
+        for _ in range(100):
+            assert registry.admit("anyone") == "anyone"
+
+    def test_none_resolves_to_default_tenant(self):
+        registry = TenantRegistry()
+        assert registry.admit(None) == DEFAULT_TENANT
+
+    def test_inflight_quota_admits_then_rejects(self):
+        registry = TenantRegistry(max_inflight=2, quota_retry_s=1.5)
+        registry.admit("a")
+        registry.admit("a")
+        with pytest.raises(QuotaExceeded) as exc_info:
+            registry.admit("a")
+        assert exc_info.value.tenant == "a"
+        assert exc_info.value.retry_after_s == pytest.approx(1.5)
+        # Another tenant's budget is untouched.
+        assert registry.admit("b") == "b"
+
+    def test_release_frees_the_slot(self):
+        registry = TenantRegistry(max_inflight=1)
+        registry.admit("a")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("a")
+        registry.release("a")
+        assert registry.admit("a") == "a"
+
+    def test_rate_limit_charges_nothing_on_rejection(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            rate_per_s=1.0, burst=1, max_inflight=10, clock=clock
+        )
+        registry.admit("a")
+        with pytest.raises(QuotaExceeded) as exc_info:
+            registry.admit("a")
+        assert exc_info.value.retry_after_s > 0
+        assert registry.inflight("a") == 1  # the rejection reserved nothing
+        clock.advance(1.0)
+        registry.admit("a")
+        assert registry.inflight("a") == 2
+
+    def test_overrides_give_one_tenant_its_own_limits(self):
+        registry = TenantRegistry(
+            max_inflight=1, overrides={"gold": {"max_inflight": 3}}
+        )
+        registry.admit("gold")
+        registry.admit("gold")
+        registry.admit("gold")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("gold")
+        registry.admit("pleb")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("pleb")
+
+    def test_reserve_recovered_bypasses_limits(self):
+        # Boot-time re-enqueue must never be rejected: those jobs were
+        # already admitted in a previous life.
+        registry = TenantRegistry(max_inflight=1)
+        registry.reserve_recovered("a")
+        registry.reserve_recovered("a")
+        assert registry.inflight("a") == 2
+        with pytest.raises(QuotaExceeded):
+            registry.admit("a")
+        registry.release("a")
+        registry.release("a")
+        assert registry.admit("a") == "a"
+
+    def test_snapshot_reports_per_tenant_counters(self):
+        registry = TenantRegistry(max_inflight=1)
+        registry.admit("a")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("a")
+        snap = registry.snapshot()
+        assert snap["enforcing"] is True
+        assert snap["tenants"]["a"]["inflight"] == 1
+        assert snap["tenants"]["a"]["admitted"] == 1
+        assert snap["tenants"]["a"]["rejected"] == 1

@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""End-to-end overload smoke test for the job service (CI: overload-smoke).
+
+Boots one real ``python -m repro serve`` process with a small admission
+queue, a per-tenant in-flight quota, and deterministic 0.4s worker jobs
+(``REPRO_CHAOS`` slow injection), puts a :mod:`repro.chaosnet` proxy in
+front of it (mild seeded latency only — no drops, so every submission's
+fate is deterministic), and drives a mixed-priority, multi-tenant flood
+through the proxy.  Asserts the overload contract (docs/SERVICE.md):
+
+* **quotas** — a hog tenant bursting past its in-flight quota gets 429s
+  naming *that tenant*; a polite tenant is never rejected;
+* **no starvation** — with the queue full of ``bulk`` work, incoming
+  ``interactive`` jobs are admitted by shedding the newest bulk job:
+  zero interactive jobs shed, at least one bulk job shed;
+* **deadline expiry** — jobs whose absolute deadline lapses while
+  queued complete ``DEGRADED`` (opt) / ``FAILED`` (others) with a
+  ``deadline_expired_in_queue`` event and are never dispatched to a
+  worker — and they are never lost;
+* **exactly-once** — every admitted job ends in exactly one terminal
+  state with exactly one terminal event.
+
+Exits non-zero (with a transcript) on any violation.  Needs only the
+repro package (installed or via PYTHONPATH=src) — stdlib otherwise.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if os.path.isdir(os.path.join(SRC, "repro")):
+    sys.path.insert(0, SRC)
+
+from repro.chaosnet import ChaosProxy, FaultSchedule  # noqa: E402
+from repro.service.client import Backpressure, ServiceClient  # noqa: E402
+from repro.service.jobs import TERMINAL_STATES  # noqa: E402
+
+URL_RE = re.compile(r"listening on (http://\S+)")
+
+#: Every job sleeps this long in the worker (chaos slow injection), so
+#: queue-drain speed is machine-independent.
+JOB_S = 0.4
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(journal):
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p
+    )
+    # Deterministic job duration: every first attempt sleeps JOB_S in the
+    # worker before doing (trivial) real work.
+    env["REPRO_CHAOS"] = f"seed=0,slow=1.0,slow_s={JOB_S}"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--journal", journal,
+         "--workers", "1",
+         "--queue-capacity", "8",
+         "--tenant-max-inflight", "4"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        print(f"  server: {line.rstrip()}")
+        match = URL_RE.search(line)
+        if match:
+            threading.Thread(target=proc.stdout.read, daemon=True).start()
+            return proc, match.group(1)
+    fail("server never announced its URL")
+
+
+def stop_server(proc):
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-overload-smoke-")
+    proc, upstream = start_server(os.path.join(workdir, "jobs.jsonl"))
+    proxy = ChaosProxy(
+        upstream,
+        schedule=FaultSchedule(seed=11, latency_s=0.005, jitter_s=0.01),
+    )
+    proxy.start()
+    client = ServiceClient(proxy.url, timeout_s=30.0)
+    submitted = []  # (job_id, label)
+
+    def submit(kind, params, *, tenant, priority, label, deadline_at=None):
+        record = client.submit(
+            kind, params, tenant=tenant, priority=priority,
+            deadline_at=deadline_at,
+        )
+        submitted.append((record["id"], label))
+        return record
+
+    try:
+        print("== phase 1: per-tenant in-flight quota ==")
+        quota_rejects = []
+        for i in range(6):
+            try:
+                submit("simulate", {"length": 50, "seed": 100 + i},
+                       tenant="hog", priority="bulk", label="hog")
+            except Backpressure as busy:
+                quota_rejects.append(busy)
+        if len(quota_rejects) != 2:
+            fail(f"hog tenant: expected 2 quota rejections out of 6 "
+                 f"bursts, got {len(quota_rejects)}")
+        for busy in quota_rejects:
+            if busy.status != 429 or "'hog'" not in str(busy):
+                fail(f"quota rejection does not name the hog tenant: {busy}")
+            if busy.retry_after_s <= 0:
+                fail(f"quota rejection without a Retry-After: {busy}")
+        try:
+            submit("simulate", {"length": 50, "seed": 200},
+                   tenant="polite", priority="interactive", label="polite")
+        except Backpressure as busy:
+            fail(f"polite tenant rejected while under quota: {busy}")
+        print(f"  hog: 4 admitted, {len(quota_rejects)} x 429 "
+              f"(retry_after {quota_rejects[0].retry_after_s}s); polite: admitted")
+
+        print("== phase 2: fill the queue with bulk work ==")
+        queue_full_seen = False
+        for i in range(30):
+            tenant = f"bulk-{i % 3}"
+            try:
+                submit("simulate", {"length": 50, "seed": 300 + i},
+                       tenant=tenant, priority="bulk", label="bulk")
+            except Backpressure as busy:
+                if "tenant" in str(busy):
+                    continue  # that tenant's quota, not the queue
+                queue_full_seen = True
+                break
+        if not queue_full_seen:
+            fail("queue never filled: no queue-full 429 after 30 bulk bursts")
+        print("  queue full (bulk submission rejected with 429)")
+
+        print("== phase 3: interactive admission sheds bulk ==")
+        for i in range(3):
+            # Top the queue back up first so each interactive submission
+            # genuinely races a full queue (skip per-tenant quota
+            # rejections: only a queue-full 429 proves the queue is full).
+            for j in range(10):
+                try:
+                    submit("simulate", {"length": 50, "seed": 400 + 10 * i + j},
+                           tenant=f"bulk-{j % 3}", priority="bulk",
+                           label="bulk")
+                except Backpressure as busy:
+                    if "tenant" in str(busy):
+                        continue
+                    break
+            try:
+                submit("simulate", {"length": 50, "seed": 500 + i},
+                       tenant=f"int-{i}", priority="interactive",
+                       label="interactive")
+            except Backpressure as busy:
+                fail(f"interactive job rejected on a full queue instead of "
+                     f"shedding bulk: {busy}")
+        print("  3 interactive jobs admitted against a full queue")
+
+        print("== phase 4: deadline expires while queued ==")
+        lapsed = time.time() - 5.0
+        expired_opt = submit(
+            "opt", {"length": 12, "cores": 2, "cache_size": 4},
+            tenant="late", priority="interactive", label="expired-opt",
+            deadline_at=lapsed,
+        )
+        expired_sim = submit(
+            "simulate", {"length": 50, "seed": 600},
+            tenant="late", priority="interactive", label="expired-sim",
+            deadline_at=lapsed,
+        )
+
+        print("== drain ==")
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            states = {
+                rec["id"]: rec["state"] for rec in client.jobs()
+            }
+            if all(
+                states.get(job_id) in TERMINAL_STATES
+                for job_id, _ in submitted
+            ):
+                break
+            time.sleep(0.25)
+        else:
+            fail("jobs still non-terminal after 120s drain")
+
+        print("== verdicts ==")
+        records = {job_id: client.status(job_id) for job_id, _ in submitted}
+        labels = dict(submitted)
+        if len(records) != len(submitted):
+            fail(f"jobs lost: submitted {len(submitted)}, "
+                 f"found {len(records)}")
+
+        shed_by_priority = {}
+        for job_id, record in records.items():
+            if (record.get("error") or "").startswith("shed:"):
+                priority = record["priority"]
+                shed_by_priority[priority] = shed_by_priority.get(priority, 0) + 1
+        if shed_by_priority.get("interactive", 0) != 0:
+            fail(f"interactive jobs were shed: {shed_by_priority}")
+        if shed_by_priority.get("bulk", 0) < 1:
+            fail(f"no bulk job was ever shed under overload: {shed_by_priority}")
+        print(f"  shed by priority: {shed_by_priority} "
+              "(interactive: 0, as required)")
+
+        for record, want_state in (
+            (records[expired_opt["id"]], "DEGRADED"),
+            (records[expired_sim["id"]], "FAILED"),
+        ):
+            label = labels[record["id"]]
+            if record["state"] != want_state:
+                fail(f"{label}: expected {want_state}, got {record['state']} "
+                     f"({record.get('error')})")
+            events = [e.get("event", "") for e in record.get("events", [])]
+            if "deadline_expired_in_queue" not in events:
+                fail(f"{label}: no deadline_expired_in_queue event: {events}")
+            if any(e.upper() == "RUNNING" for e in events):
+                fail(f"{label}: expired job was dispatched to a worker: "
+                     f"{events}")
+        print("  expired-in-queue: opt DEGRADED, simulate FAILED, "
+              "neither dispatched, neither lost")
+
+        for job_id, record in records.items():
+            if record["state"] not in TERMINAL_STATES:
+                fail(f"{labels[job_id]} ({job_id}) not terminal: "
+                     f"{record['state']}")
+            terminal_events = [
+                e for e in record.get("events", [])
+                if e.get("event", "").upper() in TERMINAL_STATES
+            ]
+            if len(terminal_events) != 1:
+                fail(f"{labels[job_id]} ({job_id}) has {len(terminal_events)} "
+                     f"terminal events")
+        print(f"  {len(records)} jobs all terminal exactly once")
+
+        stats = proxy.stats()
+        print(f"  proxy: {stats['connections']} connections, "
+              f"{stats['bytes_up']}B up / {stats['bytes_down']}B down")
+    finally:
+        proxy.stop()
+        stop_server(proc)
+
+    print("overload smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
